@@ -1,0 +1,172 @@
+//! Fixed-size chunking (§4.3, §7.3) — the HDFS/Azure/Alluxio default.
+//!
+//! Files are split into chunks of a pre-specified size (the paper tests
+//! 4/8/16 MB against Alluxio's 512 MB default), so the partition count
+//! follows the file *size* but ignores *popularity*: big chunks can't
+//! dissolve hot spots, small chunks drown every read in connections.
+
+use spcache_core::file::{FileId, FileSet};
+use spcache_core::placement::random_distinct;
+use spcache_core::scheme::{CachingScheme, Chunk, FileLayout, Layout, ReadPlan, WritePlan};
+use spcache_sim::Xoshiro256StarStar;
+
+/// Fixed-size chunking with the given chunk size in bytes.
+#[derive(Debug, Clone)]
+pub struct FixedChunking {
+    chunk_bytes: f64,
+}
+
+impl FixedChunking {
+    /// Chunking with `chunk_bytes` per chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `chunk_bytes > 0`.
+    pub fn new(chunk_bytes: f64) -> Self {
+        assert!(chunk_bytes > 0.0, "chunk size must be positive");
+        FixedChunking { chunk_bytes }
+    }
+
+    /// Convenience constructor in megabytes (the paper's 4/8/16 MB).
+    pub fn megabytes(mb: f64) -> Self {
+        FixedChunking::new(mb * 1e6)
+    }
+
+    /// Chunk count for a file of `size` bytes on an `n_servers` cluster:
+    /// `ceil(size / chunk)`, clamped to the cluster size (chunks beyond
+    /// that would share servers, which changes nothing for load balance).
+    pub fn chunks_for(&self, size: f64, n_servers: usize) -> usize {
+        ((size / self.chunk_bytes).ceil() as usize).clamp(1, n_servers)
+    }
+}
+
+impl CachingScheme for FixedChunking {
+    fn name(&self) -> String {
+        format!("fixed-chunking({:.0}MB)", self.chunk_bytes / 1e6)
+    }
+
+    fn build_layout(
+        &self,
+        files: &FileSet,
+        n_servers: usize,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Layout {
+        let per_file = files
+            .iter()
+            .map(|(_, meta)| {
+                let k = self.chunks_for(meta.size_bytes, n_servers);
+                let part = meta.size_bytes / k as f64;
+                FileLayout {
+                    chunks: random_distinct(k, n_servers, rng)
+                        .into_iter()
+                        .map(|server| Chunk {
+                            server,
+                            bytes: part,
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        Layout::new(per_file, n_servers)
+    }
+
+    fn read_plan(
+        &self,
+        file: FileId,
+        _files: &FileSet,
+        layout: &Layout,
+        _rng: &mut Xoshiro256StarStar,
+    ) -> ReadPlan {
+        ReadPlan::all_of(&layout.file(file).chunks)
+    }
+
+    fn write_plan(
+        &self,
+        file: FileId,
+        files: &FileSet,
+        n_servers: usize,
+        rng: &mut Xoshiro256StarStar,
+    ) -> WritePlan {
+        let size = files.get(file).size_bytes;
+        let k = self.chunks_for(size, n_servers);
+        let part = size / k as f64;
+        WritePlan {
+            writes: random_distinct(k, n_servers, rng)
+                .into_iter()
+                .map(|server| Chunk {
+                    server,
+                    bytes: part,
+                })
+                .collect(),
+            pre_cost: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn chunk_count_follows_size_only() {
+        let c = FixedChunking::megabytes(8.0);
+        assert_eq!(c.chunks_for(100e6, 30), 13); // ceil(100/8)
+        assert_eq!(c.chunks_for(8e6, 30), 1);
+        assert_eq!(c.chunks_for(7.9e6, 30), 1);
+        assert_eq!(c.chunks_for(8.1e6, 30), 2);
+    }
+
+    #[test]
+    fn large_chunks_mean_no_splitting() {
+        // Alluxio's 512 MB default on 100 MB files: one chunk each, no
+        // load balancing at all (the paper's point).
+        let c = FixedChunking::megabytes(512.0);
+        let f = FileSet::uniform_size(100e6, &[0.9, 0.1]);
+        let mut r = rng(1);
+        let layout = c.build_layout(&f, 30, &mut r);
+        assert_eq!(layout.file(0).chunks.len(), 1);
+    }
+
+    #[test]
+    fn count_clamped_to_cluster() {
+        let c = FixedChunking::megabytes(1.0);
+        assert_eq!(c.chunks_for(1e9, 30), 30);
+    }
+
+    #[test]
+    fn popularity_is_ignored() {
+        let c = FixedChunking::megabytes(4.0);
+        let f = FileSet::uniform_size(100e6, &[0.99, 0.01]);
+        let mut r = rng(2);
+        let layout = c.build_layout(&f, 30, &mut r);
+        assert_eq!(
+            layout.file(0).chunks.len(),
+            layout.file(1).chunks.len(),
+            "hot and cold files must chunk identically"
+        );
+    }
+
+    #[test]
+    fn layout_redundancy_free() {
+        let c = FixedChunking::megabytes(4.0);
+        let f = FileSet::uniform_size(100e6, &[0.6, 0.4]);
+        let mut r = rng(3);
+        let layout = c.build_layout(&f, 30, &mut r);
+        assert!(layout.redundancy(&f).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_mirrors_layout_shape() {
+        let c = FixedChunking::megabytes(16.0);
+        let f = FileSet::uniform_size(100e6, &[1.0]);
+        let mut r = rng(4);
+        let plan = c.write_plan(0, &f, 30, &mut r);
+        assert_eq!(plan.writes.len(), 7); // ceil(100/16)
+        assert!((plan.total_bytes() - 100e6).abs() < 1.0);
+    }
+}

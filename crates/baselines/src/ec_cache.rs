@@ -1,0 +1,270 @@
+//! EC-Cache (Rashmi et al., OSDI'16).
+//!
+//! Every file is stored as a systematic `(k, n)` Reed–Solomon code: `n`
+//! equal shards of `S/k` bytes on distinct random servers, `n − k` of them
+//! parity. A read fetches `k + 1` randomly chosen shards (late binding)
+//! and completes when any `k` arrive, then pays a decode cost. A write
+//! pays the encode cost and pushes all `n` shards. The paper (and our
+//! Fig. 13/19 experiments) uses the uniform (10, 14) configuration —
+//! 40% memory overhead.
+
+use spcache_core::file::{FileId, FileSet};
+use spcache_core::placement::random_distinct;
+use spcache_core::scheme::{CachingScheme, Chunk, FileLayout, Layout, ReadPlan, WritePlan};
+use spcache_sim::Xoshiro256StarStar;
+
+use crate::cost::CodingCostModel;
+
+/// The EC-Cache scheme.
+#[derive(Debug, Clone)]
+pub struct EcCache {
+    k: usize,
+    n: usize,
+    late_binding: bool,
+    cost: CodingCostModel,
+}
+
+impl EcCache {
+    /// A `(k, n)` EC-Cache with late binding and the given cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < k <= n`.
+    pub fn new(k: usize, n: usize, cost: CodingCostModel) -> Self {
+        assert!(k > 0 && n >= k, "invalid (k, n) code");
+        EcCache {
+            k,
+            n,
+            late_binding: true,
+            cost,
+        }
+    }
+
+    /// The paper's configuration: (10, 14) with the standard cost model.
+    pub fn paper_config() -> Self {
+        EcCache::new(10, 14, CodingCostModel::standard())
+    }
+
+    /// Disables late binding (ablation: read exactly `k` shards).
+    pub fn without_late_binding(mut self) -> Self {
+        self.late_binding = false;
+        self
+    }
+
+    /// Data-shard count `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total shard count `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Memory overhead `(n − k)/k`.
+    pub fn overhead(&self) -> f64 {
+        (self.n - self.k) as f64 / self.k as f64
+    }
+}
+
+impl CachingScheme for EcCache {
+    fn name(&self) -> String {
+        format!(
+            "ec-cache({},{}){}",
+            self.k,
+            self.n,
+            if self.late_binding { "" } else { "-no-lb" }
+        )
+    }
+
+    fn build_layout(
+        &self,
+        files: &FileSet,
+        n_servers: usize,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Layout {
+        assert!(
+            self.n <= n_servers,
+            "need at least n={} servers for distinct shard placement",
+            self.n
+        );
+        let per_file = files
+            .iter()
+            .map(|(_, meta)| {
+                let shard = meta.size_bytes / self.k as f64;
+                let servers = random_distinct(self.n, n_servers, rng);
+                FileLayout {
+                    chunks: servers
+                        .into_iter()
+                        .map(|server| Chunk {
+                            server,
+                            bytes: shard,
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        Layout::new(per_file, n_servers)
+    }
+
+    fn read_plan(
+        &self,
+        file: FileId,
+        files: &FileSet,
+        layout: &Layout,
+        rng: &mut Xoshiro256StarStar,
+    ) -> ReadPlan {
+        let chunks = &layout.file(file).chunks;
+        let fetch_count = if self.late_binding {
+            (self.k + 1).min(chunks.len())
+        } else {
+            self.k.min(chunks.len())
+        };
+        // Randomly choose which shards to read (paper: "randomly fetches
+        // k+1 partitions"). Fetches carry the shard's stable index so
+        // cache-hit accounting recognizes the same shard across reads.
+        let picked = random_distinct(fetch_count, chunks.len(), rng);
+        ReadPlan {
+            fetches: picked
+                .into_iter()
+                .map(|i| spcache_core::scheme::PlannedFetch {
+                    index: i,
+                    chunk: chunks[i],
+                })
+                .collect(),
+            wait_for: self.k.min(fetch_count),
+            post_cost: self.cost.decode_secs(files.get(file).size_bytes),
+        }
+    }
+
+    fn write_plan(
+        &self,
+        file: FileId,
+        files: &FileSet,
+        n_servers: usize,
+        rng: &mut Xoshiro256StarStar,
+    ) -> WritePlan {
+        let size = files.get(file).size_bytes;
+        let shard = size / self.k as f64;
+        let servers = random_distinct(self.n.min(n_servers), n_servers, rng);
+        WritePlan {
+            writes: servers
+                .into_iter()
+                .map(|server| Chunk {
+                    server,
+                    bytes: shard,
+                })
+                .collect(),
+            pre_cost: self.cost.encode_secs(size),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use spcache_workload::zipf::zipf_popularities;
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(seed)
+    }
+
+    fn files() -> FileSet {
+        FileSet::uniform_size(100e6, &zipf_popularities(50, 1.05))
+    }
+
+    #[test]
+    fn layout_has_40_percent_overhead() {
+        let f = files();
+        let ec = EcCache::paper_config();
+        let mut r = rng(1);
+        let layout = ec.build_layout(&f, 30, &mut r);
+        assert!((layout.redundancy(&f) - 0.4).abs() < 1e-9);
+        assert_eq!(layout.file(0).chunks.len(), 14);
+    }
+
+    #[test]
+    fn shards_on_distinct_servers() {
+        let f = files();
+        let ec = EcCache::paper_config();
+        let mut r = rng(2);
+        let layout = ec.build_layout(&f, 30, &mut r);
+        for i in 0..f.len() {
+            let mut servers: Vec<usize> =
+                layout.file(i).chunks.iter().map(|c| c.server).collect();
+            servers.sort_unstable();
+            servers.dedup();
+            assert_eq!(servers.len(), 14, "file {i} shard servers not distinct");
+        }
+    }
+
+    #[test]
+    fn late_binding_reads_k_plus_1_waits_k() {
+        let f = files();
+        let ec = EcCache::paper_config();
+        let mut r = rng(3);
+        let layout = ec.build_layout(&f, 30, &mut r);
+        let plan = ec.read_plan(0, &f, &layout, &mut r);
+        plan.validate();
+        assert_eq!(plan.fetches.len(), 11);
+        assert_eq!(plan.wait_for, 10);
+        assert!(plan.post_cost > 0.0, "decode must cost CPU time");
+    }
+
+    #[test]
+    fn no_late_binding_reads_exactly_k() {
+        let f = files();
+        let ec = EcCache::paper_config().without_late_binding();
+        let mut r = rng(4);
+        let layout = ec.build_layout(&f, 30, &mut r);
+        let plan = ec.read_plan(0, &f, &layout, &mut r);
+        assert_eq!(plan.fetches.len(), 10);
+        assert_eq!(plan.wait_for, 10);
+    }
+
+    #[test]
+    fn decode_cost_grows_with_file_size() {
+        let sizes = [10e6, 100e6, 500e6];
+        let pops = [0.4, 0.3, 0.3];
+        let f = FileSet::from_parts(&sizes, &pops);
+        let ec = EcCache::paper_config();
+        let mut r = rng(5);
+        let layout = ec.build_layout(&f, 30, &mut r);
+        let costs: Vec<f64> = (0..3)
+            .map(|i| ec.read_plan(i, &f, &layout, &mut r).post_cost)
+            .collect();
+        assert!(costs[0] < costs[1] && costs[1] < costs[2]);
+    }
+
+    #[test]
+    fn write_pushes_n_shards_with_encode_cost() {
+        let f = files();
+        let ec = EcCache::paper_config();
+        let mut r = rng(6);
+        let plan = ec.write_plan(0, &f, 30, &mut r);
+        assert_eq!(plan.writes.len(), 14);
+        assert!((plan.total_bytes() - 140e6).abs() < 1.0);
+        assert!(plan.pre_cost > 0.0);
+    }
+
+    #[test]
+    fn coding_free_mode_has_no_cost() {
+        let f = files();
+        let ec = EcCache::new(10, 10, CodingCostModel::free());
+        let mut r = rng(7);
+        let layout = ec.build_layout(&f, 30, &mut r);
+        assert!(layout.redundancy(&f).abs() < 1e-9);
+        let plan = ec.read_plan(0, &f, &layout, &mut r);
+        assert_eq!(plan.post_cost, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn too_few_servers_rejected() {
+        let f = files();
+        let ec = EcCache::paper_config();
+        let mut r = rng(8);
+        let _ = ec.build_layout(&f, 10, &mut r);
+    }
+}

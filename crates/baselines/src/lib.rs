@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Baseline caching schemes the paper compares SP-Cache against.
+//!
+//! All four implement [`spcache_core::scheme::CachingScheme`], so the
+//! simulator and the real store drive them through the same interface:
+//!
+//! * [`ec_cache::EcCache`] — EC-Cache (Rashmi et al., OSDI'16): each file
+//!   stored as a `(k, n)` systematic Reed–Solomon code across `n` distinct
+//!   servers; reads *late-bind* by fetching `k + 1` random shards and
+//!   completing on the first `k`; decode costs CPU time proportional to
+//!   the file size. The paper's configuration is (10, 14) — 40% memory
+//!   overhead.
+//! * [`replication::SelectiveReplication`] — Scarlett-style: the top
+//!   `top_fraction` popular files get `replicas` full copies; a read picks
+//!   one copy at random. The paper's configuration replicates the top 10%
+//!   four ways — also 40% overhead.
+//! * [`simple_partition::SimplePartition`] — the §4 strawman: *every*
+//!   file split into the same `k` partitions, read fork-join style.
+//! * [`chunking::FixedChunking`] — §4.3/§7.3: files split into fixed-size
+//!   chunks (4/8/16 MB in the paper), so `k` varies with file size but not
+//!   popularity.
+
+pub mod adaptive_ec;
+pub mod chunking;
+pub mod cost;
+pub mod ec_cache;
+pub mod replication;
+pub mod simple_partition;
+
+pub use adaptive_ec::AdaptiveEcCache;
+pub use chunking::FixedChunking;
+pub use cost::CodingCostModel;
+pub use ec_cache::EcCache;
+pub use replication::SelectiveReplication;
+pub use simple_partition::SimplePartition;

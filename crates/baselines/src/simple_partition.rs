@@ -1,0 +1,163 @@
+//! Simple (uniform) partition — the §4 strawman.
+//!
+//! Every file is split into the same `k` partitions on distinct random
+//! servers, regardless of size or popularity. It inherits partition's load
+//! spreading and read parallelism but wastes parallelism on cold files
+//! (network overhead, incast) and cannot give hot files *extra* spreading
+//! — exactly the trade-off Fig. 5 exposes.
+
+use spcache_core::file::{FileId, FileSet};
+use spcache_core::placement::random_distinct;
+use spcache_core::scheme::{CachingScheme, Chunk, FileLayout, Layout, ReadPlan, WritePlan};
+use spcache_sim::Xoshiro256StarStar;
+
+/// Uniform `k`-way partition for every file.
+#[derive(Debug, Clone)]
+pub struct SimplePartition {
+    k: usize,
+}
+
+impl SimplePartition {
+    /// Splits every file into `k` partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        SimplePartition { k }
+    }
+
+    /// The uniform partition count.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl CachingScheme for SimplePartition {
+    fn name(&self) -> String {
+        format!("simple-partition(k={})", self.k)
+    }
+
+    fn build_layout(
+        &self,
+        files: &FileSet,
+        n_servers: usize,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Layout {
+        let k = self.k.min(n_servers);
+        let per_file = files
+            .iter()
+            .map(|(_, meta)| {
+                let part = meta.size_bytes / k as f64;
+                FileLayout {
+                    chunks: random_distinct(k, n_servers, rng)
+                        .into_iter()
+                        .map(|server| Chunk {
+                            server,
+                            bytes: part,
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        Layout::new(per_file, n_servers)
+    }
+
+    fn read_plan(
+        &self,
+        file: FileId,
+        _files: &FileSet,
+        layout: &Layout,
+        _rng: &mut Xoshiro256StarStar,
+    ) -> ReadPlan {
+        ReadPlan::all_of(&layout.file(file).chunks)
+    }
+
+    fn write_plan(
+        &self,
+        file: FileId,
+        files: &FileSet,
+        n_servers: usize,
+        rng: &mut Xoshiro256StarStar,
+    ) -> WritePlan {
+        let k = self.k.min(n_servers);
+        let part = files.get(file).size_bytes / k as f64;
+        WritePlan {
+            writes: random_distinct(k, n_servers, rng)
+                .into_iter()
+                .map(|server| Chunk {
+                    server,
+                    bytes: part,
+                })
+                .collect(),
+            pre_cost: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use spcache_workload::zipf::zipf_popularities;
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn every_file_gets_k_partitions() {
+        let f = FileSet::uniform_size(40e6, &zipf_popularities(50, 1.1));
+        let sp = SimplePartition::new(9);
+        let mut r = rng(1);
+        let layout = sp.build_layout(&f, 30, &mut r);
+        for i in 0..50 {
+            assert_eq!(layout.file(i).chunks.len(), 9);
+        }
+        assert!(layout.redundancy(&f).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_clamped_to_cluster() {
+        let f = FileSet::uniform_size(40e6, &[1.0]);
+        let sp = SimplePartition::new(100);
+        let mut r = rng(2);
+        let layout = sp.build_layout(&f, 8, &mut r);
+        assert_eq!(layout.file(0).chunks.len(), 8);
+    }
+
+    #[test]
+    fn read_is_full_fork_join() {
+        let f = FileSet::uniform_size(40e6, &[0.7, 0.3]);
+        let sp = SimplePartition::new(3);
+        let mut r = rng(3);
+        let layout = sp.build_layout(&f, 10, &mut r);
+        let plan = sp.read_plan(1, &f, &layout, &mut r);
+        plan.validate();
+        assert_eq!(plan.fetches.len(), 3);
+        assert_eq!(plan.wait_for, 3);
+        assert_eq!(plan.post_cost, 0.0);
+    }
+
+    #[test]
+    fn k1_degenerates_to_whole_file_caching() {
+        let f = FileSet::uniform_size(40e6, &[1.0]);
+        let sp = SimplePartition::new(1);
+        let mut r = rng(4);
+        let layout = sp.build_layout(&f, 5, &mut r);
+        assert_eq!(layout.file(0).chunks.len(), 1);
+        assert_eq!(layout.file(0).chunks[0].bytes, 40e6);
+    }
+
+    #[test]
+    fn write_splits_without_redundancy() {
+        let f = FileSet::uniform_size(40e6, &[1.0]);
+        let sp = SimplePartition::new(4);
+        let mut r = rng(5);
+        let plan = sp.write_plan(0, &f, 10, &mut r);
+        assert_eq!(plan.writes.len(), 4);
+        assert!((plan.total_bytes() - 40e6).abs() < 1.0);
+        assert_eq!(plan.pre_cost, 0.0);
+    }
+}

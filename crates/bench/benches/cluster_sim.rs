@@ -1,0 +1,37 @@
+//! Simulator throughput: requests simulated per second for each scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use spcache_baselines::{EcCache, SelectiveReplication};
+use spcache_cluster::engine::simulate_reads;
+use spcache_cluster::{ClusterConfig, ReadWorkload};
+use spcache_core::scheme::CachingScheme;
+use spcache_core::{FileSet, SpCache};
+use spcache_workload::zipf::zipf_popularities;
+
+fn bench_simulator(c: &mut Criterion) {
+    let files = FileSet::uniform_size(100e6, &zipf_popularities(500, 1.05));
+    let cfg = ClusterConfig::ec2_default();
+    let n_req = 5_000usize;
+    let workload = ReadWorkload::poisson(&files, 12.0, n_req, 3);
+
+    let sp = SpCache::with_alpha(30.0 / files.max_load());
+    let ec = EcCache::paper_config();
+    let sr = SelectiveReplication::paper_config();
+    let schemes: Vec<(&str, &dyn CachingScheme)> =
+        vec![("sp_cache", &sp), ("ec_cache", &ec), ("replication", &sr)];
+
+    let mut g = c.benchmark_group("simulate_5k_reads");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n_req as u64));
+    for (name, scheme) in schemes {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &scheme, |b, s| {
+            b.iter(|| black_box(simulate_reads(*s, &files, &workload, &cfg).summary.mean()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

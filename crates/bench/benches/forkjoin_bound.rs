@@ -1,0 +1,55 @@
+//! Eq. 9 solver cost and the golden-section vs coarse-grid ablation
+//! (DESIGN.md §5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use spcache_core::forkjoin::{file_latency_bound, SolverConfig};
+
+fn moments(k: usize) -> Vec<(f64, f64)> {
+    (0..k)
+        .map(|i| {
+            let m = 0.1 + 0.01 * i as f64;
+            (m, m * m)
+        })
+        .collect()
+}
+
+/// A coarse grid-search reference for the same convex objective, to show
+/// why golden-section is the right tool.
+fn grid_bound(moments: &[(f64, f64)]) -> f64 {
+    let max_mean = moments.iter().map(|&(m, _)| m).fold(f64::MIN, f64::max);
+    let max_sd = moments.iter().map(|&(_, v)| v.sqrt()).fold(0.0, f64::max);
+    let lo = max_mean - 10.0 * (max_sd + 1.0);
+    let hi = max_mean + max_sd;
+    let mut best = f64::INFINITY;
+    let steps = 10_000;
+    for i in 0..=steps {
+        let z = lo + (hi - lo) * i as f64 / steps as f64;
+        let mut acc = z;
+        for &(mean, var) in moments {
+            let d = mean - z;
+            acc += 0.5 * (d + (d * d + var).sqrt());
+        }
+        best = best.min(acc);
+    }
+    best
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eq9_bound");
+    for &k in &[5usize, 15, 30] {
+        let ms = moments(k);
+        let cfg = SolverConfig::default();
+        g.bench_with_input(BenchmarkId::new("golden_section", k), &ms, |b, ms| {
+            b.iter(|| black_box(file_latency_bound(black_box(ms), &cfg)));
+        });
+        g.bench_with_input(BenchmarkId::new("grid_10k", k), &ms, |b, ms| {
+            b.iter(|| black_box(grid_bound(black_box(ms))));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

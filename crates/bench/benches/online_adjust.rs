@@ -1,0 +1,74 @@
+//! Online partition-adjustment cost (§8 extension): planning is pure
+//! arithmetic; execution moves real bytes through worker threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use spcache_core::online::plan_adjust;
+use spcache_store::online::execute_adjust;
+use spcache_store::{StoreCluster, StoreConfig};
+
+fn bench_planning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("online_plan");
+    for &(old_k, new_k) in &[(1usize, 8usize), (8, 12), (12, 4)] {
+        let old: Vec<usize> = (0..old_k).collect();
+        let loads = vec![0.0f64; 16];
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{old_k}to{new_k}")),
+            &(old, new_k),
+            |b, (old, new_k)| {
+                b.iter(|| {
+                    black_box(plan_adjust(
+                        black_box(100_000_000),
+                        black_box(old),
+                        black_box(*new_k),
+                        &loads,
+                    ))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("online_execute_4MB");
+    g.sample_size(10);
+    let data: Vec<u8> = (0..4_000_000).map(|i| (i % 251) as u8).collect();
+    for &(old_k, new_k) in &[(1usize, 8usize), (8, 4)] {
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{old_k}to{new_k}")),
+            &(old_k, new_k),
+            |b, &(old_k, new_k)| {
+                b.iter_batched(
+                    || {
+                        // Fresh cluster holding the file at old_k.
+                        let cluster = StoreCluster::spawn(StoreConfig::unthrottled(12));
+                        let client = cluster.client();
+                        let servers: Vec<usize> = (0..old_k).collect();
+                        client.write(1, &data, &servers).unwrap();
+                        let plan =
+                            plan_adjust(data.len() as u64, &servers, new_k, &[0.0; 12]);
+                        (cluster, plan)
+                    },
+                    |(cluster, plan)| {
+                        execute_adjust(
+                            1,
+                            &plan,
+                            cluster.master(),
+                            &cluster.worker_senders(),
+                        )
+                        .unwrap();
+                        black_box(cluster)
+                    },
+                    criterion::BatchSize::PerIteration,
+                );
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_planning, bench_execution);
+criterion_main!(benches);

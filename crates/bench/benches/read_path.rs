@@ -1,0 +1,52 @@
+//! Real-store read-path cost: parallel fork-join reads at varying k, and
+//! the late-binding ablation on the simulated EC-Cache (DESIGN.md §5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use spcache_baselines::EcCache;
+use spcache_cluster::engine::simulate_reads;
+use spcache_cluster::{ClusterConfig, ReadWorkload};
+use spcache_core::FileSet;
+use spcache_store::{StoreCluster, StoreConfig};
+use spcache_workload::zipf::zipf_popularities;
+
+fn bench_store_reads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_read_4MB");
+    g.sample_size(20);
+    let data: Vec<u8> = (0..4_000_000).map(|i| (i % 251) as u8).collect();
+    for &k in &[1usize, 4, 8] {
+        let cluster = StoreCluster::spawn(StoreConfig::unthrottled(8));
+        let client = cluster.client();
+        let servers: Vec<usize> = (0..k).collect();
+        client.write(1, &data, &servers).unwrap();
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(k), &client, |b, client| {
+            b.iter(|| black_box(client.read_quiet(1).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_late_binding(c: &mut Criterion) {
+    // Ablation: does late binding change simulated latency under
+    // stragglers? (It should — that is its purpose.)
+    let files = FileSet::uniform_size(100e6, &zipf_popularities(100, 1.05));
+    let cfg = ClusterConfig::ec2_default()
+        .with_stragglers(spcache_workload::StragglerModel::bing(0.05));
+    let workload = ReadWorkload::poisson(&files, 10.0, 2_000, 7);
+    let mut g = c.benchmark_group("ec_cache_sim_2k_reads");
+    g.sample_size(10);
+    g.bench_function("late_binding", |b| {
+        let ec = EcCache::paper_config();
+        b.iter(|| black_box(simulate_reads(&ec, &files, &workload, &cfg).summary.mean()));
+    });
+    g.bench_function("no_late_binding", |b| {
+        let ec = EcCache::paper_config().without_late_binding();
+        b.iter(|| black_box(simulate_reads(&ec, &files, &workload, &cfg).summary.mean()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_store_reads, bench_late_binding);
+criterion_main!(benches);

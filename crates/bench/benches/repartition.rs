@@ -1,0 +1,51 @@
+//! Algorithm 2 planning cost and real-bytes repartition execution
+//! (Fig. 16's microbench).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use spcache_core::placement::random_partition_map;
+use spcache_core::repartition::plan_repartition;
+use spcache_core::FileSet;
+use spcache_sim::Xoshiro256StarStar;
+use spcache_workload::zipf::zipf_popularities;
+
+fn bench_planner(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algorithm2_plan");
+    for &n_files in &[500usize, 2_000, 10_000] {
+        let pops = zipf_popularities(n_files, 1.1);
+        let files = FileSet::uniform_size(50e6, &pops);
+        let alpha = 10.0 / files.max_load();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let old = random_partition_map(&files, alpha, 30, &mut rng);
+        // Shifted popularity: reversed ranks → drastic change.
+        let mut shifted = pops.clone();
+        shifted.reverse();
+        let sf = FileSet::uniform_size(50e6, &shifted);
+        let counts: Vec<usize> = sf
+            .partition_counts(alpha)
+            .into_iter()
+            .map(|k| k.min(30))
+            .collect();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(n_files),
+            &(sf, old, counts),
+            |b, (sf, old, counts)| {
+                b.iter(|| {
+                    let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+                    black_box(plan_repartition(
+                        black_box(sf),
+                        black_box(old),
+                        black_box(counts),
+                        &mut rng,
+                    ))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_planner);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Algorithm 1 configuration cost vs file count (Fig. 10's microbench).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use spcache_core::tuner::{tune_scale_factor_with_rate, TunerConfig};
+use spcache_core::FileSet;
+use spcache_workload::zipf::zipf_popularities;
+
+fn bench_tuner(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algorithm1_tune");
+    g.sample_size(10);
+    for &n_files in &[1_000usize, 3_000, 10_000] {
+        let files = FileSet::uniform_size(100e6, &zipf_popularities(n_files, 1.05));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(n_files),
+            &files,
+            |b, files| {
+                let cfg = TunerConfig::default();
+                b.iter(|| {
+                    black_box(tune_scale_factor_with_rate(
+                        black_box(files),
+                        30,
+                        125e6,
+                        8.0,
+                        &cfg,
+                    ))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tuner);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Workload-generation throughput: Zipf sampling, Poisson/MMPP arrivals,
+//! Yahoo population synthesis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use spcache_sim::Xoshiro256StarStar;
+use spcache_workload::arrivals::{MmppProcess, PoissonProcess};
+use spcache_workload::yahoo;
+use spcache_workload::zipf::ZipfSampler;
+
+fn bench_zipf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zipf_sample");
+    for &n in &[100usize, 10_000, 1_000_000] {
+        let sampler = ZipfSampler::new(n, 1.1);
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &sampler, |b, s| {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+            b.iter(|| black_box(s.sample(&mut rng)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_arrivals(c: &mut Criterion) {
+    let mut g = c.benchmark_group("arrivals_10k");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("poisson", |b| {
+        b.iter(|| {
+            let p = PoissonProcess::new(10.0, Xoshiro256StarStar::seed_from_u64(2));
+            black_box(p.take(10_000).sum::<f64>())
+        });
+    });
+    g.bench_function("mmpp_bursty", |b| {
+        b.iter(|| {
+            let m = MmppProcess::bursty(10.0, 8.0, Xoshiro256StarStar::seed_from_u64(3));
+            black_box(m.take(10_000).sum::<f64>())
+        });
+    });
+    g.finish();
+}
+
+fn bench_yahoo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("yahoo_population");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("generate_10k_files", |b| {
+        b.iter(|| {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+            black_box(yahoo::generate_files(10_000, &mut rng))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_zipf, bench_arrivals, bench_yahoo);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Regenerates the SP-Cache paper's tables and figures.
+//!
+//! Usage:
+//!   experiments [--quick] <id>...   run specific experiments
+//!   experiments [--quick] all       run everything in paper order
+//!   experiments replay <file>       replay a plain-text workload spec
+//!   experiments list                list experiment ids
+
+use spcache_bench::experiments::{run, ALL};
+use spcache_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    if ids.is_empty() || ids == ["list"] {
+        eprintln!("usage: experiments [--quick] <id>... | all | replay <file> | list");
+        eprintln!("ids: {}", ALL.join(" "));
+        std::process::exit(if ids == ["list"] { 0 } else { 2 });
+    }
+
+    if ids.first() == Some(&"replay") {
+        let Some(path) = ids.get(1) else {
+            eprintln!("usage: experiments replay <spec-file>");
+            std::process::exit(2);
+        };
+        if let Err(e) = spcache_bench::experiments::replay::replay_spec_file(path) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let selected: Vec<&str> = if ids.contains(&"all") {
+        ALL.to_vec()
+    } else {
+        ids
+    };
+
+    let t0 = std::time::Instant::now();
+    for id in &selected {
+        let started = std::time::Instant::now();
+        if !run(id, scale) {
+            eprintln!("unknown experiment id: {id} (try `experiments list`)");
+            std::process::exit(2);
+        }
+        eprintln!("[{id} done in {:.1}s]", started.elapsed().as_secs_f64());
+    }
+    eprintln!(
+        "\nall {} experiment(s) finished in {:.1}s",
+        selected.len(),
+        t0.elapsed().as_secs_f64()
+    );
+}

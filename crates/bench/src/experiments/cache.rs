@@ -1,0 +1,127 @@
+//! Cache-budget and trace-driven experiments: Figs. 20–21.
+
+use rand::SeedableRng;
+use spcache_baselines::{EcCache, SelectiveReplication};
+use spcache_cluster::engine::simulate_reads;
+use spcache_cluster::runner::ExperimentStats;
+use spcache_cluster::{ClusterConfig, ReadWorkload};
+use spcache_core::scheme::CachingScheme;
+use spcache_core::tuner::TunerConfig;
+use spcache_core::{FileSet, SpCache};
+use spcache_sim::Xoshiro256StarStar;
+use spcache_workload::yahoo;
+use spcache_workload::zipf::zipf_popularities;
+use spcache_workload::StragglerModel;
+
+use crate::table::{f2, pct, print_table};
+use crate::Scale;
+
+/// Fig. 20 — cache hit ratio under a throttled cache budget.
+pub fn fig20_hit_ratio(scale: Scale) {
+    let files = FileSet::uniform_size(100e6, &zipf_popularities(500, 1.05));
+    let base = ClusterConfig::ec2_default();
+    let (sp, _) = SpCache::tuned(
+        &files,
+        base.n_servers,
+        base.bandwidth,
+        10.0,
+        &TunerConfig::default(),
+    );
+    let ec = EcCache::paper_config();
+    let sr = SelectiveReplication::paper_config();
+    let n_req = scale.requests(20_000);
+    let raw = files.total_bytes();
+    let mut rows = Vec::new();
+    // Budget as a fraction of the raw working set, split across servers.
+    for &frac in &[0.3, 0.5, 0.7, 0.9, 1.1, 1.4] {
+        let per_server = raw * frac / base.n_servers as f64;
+        let cfg = base.clone().with_cache_capacity(per_server);
+        let workload = ReadWorkload::poisson(&files, 10.0, n_req, 20);
+        let hit = |s: &dyn CachingScheme| simulate_reads(s, &files, &workload, &cfg).hit_ratio;
+        rows.push(vec![
+            pct(frac),
+            pct(hit(&sp)),
+            pct(hit(&ec)),
+            pct(hit(&sr)),
+        ]);
+    }
+    print_table(
+        "Fig. 20 — hit ratio vs cache budget (paper: SP highest, redundancy-free)",
+        &["budget / working set", "SP hit", "EC hit", "SR hit"],
+        &rows,
+    );
+}
+
+/// Fig. 21 — trace-driven simulation: Yahoo sizes, bursty arrivals,
+/// stragglers, throttled cache, 3× miss penalty.
+pub fn fig21_trace_driven(scale: Scale) {
+    let n_files = 3_000;
+    let mut rng = Xoshiro256StarStar::seed_from_u64(21);
+    // Yahoo sizes ordered so larger = more popular (§7.7). Sizes are
+    // capped at the Fig. 1 hot-bucket scale (~600 MB); a single multi-GB
+    // file would be an unstable M/G/1 class at any interesting rate.
+    let sizes: Vec<f64> = yahoo::generate_trace_files(n_files, &mut rng)
+        .into_iter()
+        .map(|s| s.clamp(1e6, 600e6))
+        .collect();
+    let pops = zipf_popularities(n_files, 1.1);
+    let files = FileSet::from_parts(&sizes, &pops);
+
+    // Cache budget tight enough that redundancy costs hit ratio: the
+    // population totals ~budget, so SP (redundancy-free) just fits while
+    // EC (+40%) and SR (+~30% on the largest files) must evict.
+    let total_bytes: f64 = files.total_bytes();
+    let per_server_budget = total_bytes * 1.02 / 30.0;
+    let cfg = ClusterConfig::ec2_default()
+        .with_cache_capacity(per_server_budget)
+        .with_stragglers(StragglerModel::bing(0.05));
+    // Aggregate rate chosen so a perfectly balanced cluster runs at
+    // ρ ≈ 0.55 — heavily loaded (like the paper's multi-second latencies)
+    // but stable.
+    let mean_req_bytes: f64 = files.iter().map(|(_, f)| f.popularity * f.size_bytes).sum();
+    let rate = 0.55 * cfg.n_servers as f64 * cfg.bandwidth / mean_req_bytes;
+    let tuner_cfg = TunerConfig {
+        stragglers: StragglerModel::bing(0.05),
+        ..TunerConfig::default()
+    };
+    let (sp, _) = SpCache::tuned(&files, cfg.n_servers, cfg.bandwidth, rate, &tuner_cfg);
+    let ec = EcCache::paper_config();
+    let sr = SelectiveReplication::paper_config();
+
+    let n_req = scale.requests(30_000);
+    let workload = ReadWorkload::bursty(&files, rate, 8.0, n_req, 777);
+
+    let schemes: Vec<(&str, &dyn CachingScheme)> =
+        vec![("SP-Cache", &sp), ("EC-Cache", &ec), ("Selective repl.", &sr)];
+    let mut rows = Vec::new();
+    let mut cdf_rows = Vec::new();
+    for (name, scheme) in schemes {
+        let res = simulate_reads(scheme, &files, &workload, &cfg);
+        let stats = ExperimentStats::from_result(name.to_string(), rate, res.clone());
+        rows.push(vec![
+            name.to_string(),
+            f2(stats.mean),
+            f2(stats.p95),
+            pct(stats.hit_ratio),
+        ]);
+        let mut lat = res.latencies;
+        cdf_rows.push(vec![
+            name.to_string(),
+            f2(lat.percentile(25.0)),
+            f2(lat.percentile(50.0)),
+            f2(lat.percentile(75.0)),
+            f2(lat.percentile(90.0)),
+            f2(lat.percentile(99.0)),
+        ]);
+    }
+    print_table(
+        "Fig. 21 — trace-driven simulation (paper: means 3.8 / 6.0 / 44.1 s for SP / EC / SR)",
+        &["scheme", "mean (s)", "p95 (s)", "hit ratio"],
+        &rows,
+    );
+    print_table(
+        "Fig. 21 — latency distribution (CDF quantiles, seconds)",
+        &["scheme", "p25", "p50", "p75", "p90", "p99"],
+        &cdf_rows,
+    );
+}

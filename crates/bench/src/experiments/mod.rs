@@ -1,0 +1,61 @@
+//! One module per group of paper artifacts; each public function
+//! regenerates one table or figure (see DESIGN.md §4 for the index).
+
+pub mod analysis;
+pub mod burst;
+pub mod cache;
+pub mod motivation;
+pub mod online;
+pub mod placement;
+pub mod repartition;
+pub mod replay;
+pub mod sensitivity;
+pub mod skew;
+pub mod stragglers;
+pub mod writes;
+
+use crate::Scale;
+
+/// All experiment ids in paper order.
+pub const ALL: &[&str] = &[
+    "fig1", "fig2", "table1", "fig3", "table2", "fig4", "fig5", "table3", "fig6", "fig8",
+    "fig10", "fig11", "thm1", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+    "fig19", "fig20", "fig21", "fig22", "ext-online", "ext-placement", "ext-burst", "ext-skew", "ext-adaptive",
+];
+
+/// Dispatches one experiment by id; returns false for unknown ids.
+pub fn run(id: &str, scale: Scale) -> bool {
+    match id {
+        "fig1" => motivation::fig1_yahoo_trace(scale),
+        "fig2" => motivation::fig2_caching_benefit(scale),
+        "table1" => motivation::table1_cv_caching(scale),
+        "fig3" => motivation::fig3_replication_cost(scale),
+        "table2" => motivation::table2_cv_replication(scale),
+        "fig4" => motivation::fig4_decode_overhead(scale),
+        "fig5" => motivation::fig5_simple_partition(scale),
+        "table3" => motivation::table3_cv_simple_partition(scale),
+        "fig6" => motivation::fig6_goodput(scale),
+        "fig8" => analysis::fig8_bound_vs_measured(scale),
+        "fig10" => analysis::fig10_config_time(scale),
+        "fig11" => analysis::fig11_partition_sizes(scale),
+        "thm1" => analysis::thm1_variance_ratio(scale),
+        "fig12" => skew::fig12_load_distribution(scale),
+        "fig13" => skew::fig13_latency_vs_rate(scale),
+        "fig14" => skew::fig14_vs_chunking(scale),
+        "fig15" => skew::fig15_compute_optimized(scale),
+        "fig16" => repartition::fig16_repartition_time(scale),
+        "fig17" => repartition::fig17_repartition_fraction(scale),
+        "fig18" => repartition::fig18_repartition_balance(scale),
+        "fig19" => stragglers::fig19_straggler_latency(scale),
+        "fig20" => cache::fig20_hit_ratio(scale),
+        "fig21" => cache::fig21_trace_driven(scale),
+        "fig22" => writes::fig22_write_latency(scale),
+        "ext-online" => online::ext_online_adjustment(scale),
+        "ext-placement" => placement::ext_placement_ablation(scale),
+        "ext-burst" => burst::ext_burst_reaction(scale),
+        "ext-skew" => sensitivity::ext_skew_sensitivity(scale),
+        "ext-adaptive" => sensitivity::ext_adaptive_ec(scale),
+        _ => return false,
+    }
+    true
+}

@@ -1,0 +1,255 @@
+//! Motivation-section experiments: Figs. 1–6, Tables 1–3.
+
+use rand::SeedableRng;
+use spcache_baselines::{SelectiveReplication, SimplePartition};
+use spcache_cluster::runner::compare_schemes;
+use spcache_cluster::{ClusterConfig, GoodputModel};
+use spcache_core::{FileSet, SpCache};
+use spcache_ec::ReedSolomon;
+use spcache_metrics::Samples;
+use spcache_sim::Xoshiro256StarStar;
+use spcache_workload::yahoo;
+use spcache_workload::zipf::zipf_popularities;
+use spcache_workload::StragglerModel;
+
+use crate::table::{f2, f3, pct, print_table};
+use crate::Scale;
+
+/// The §2.2 motivation cluster: 30 m4.large nodes (0.8 Gbps), 50 files of
+/// 40 MB, Zipf 1.1.
+fn motivation_files() -> FileSet {
+    FileSet::uniform_size(40e6, &zipf_popularities(50, 1.1))
+}
+
+fn motivation_cfg() -> ClusterConfig {
+    ClusterConfig::ec2_default().with_bandwidth(100e6) // 0.8 Gbps
+}
+
+/// Fig. 1 — Yahoo! trace: access-count distribution and size-by-bucket.
+pub fn fig1_yahoo_trace(scale: Scale) {
+    let n = scale.requests(100_000);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+    let files = yahoo::generate_files(n, &mut rng);
+    let stats = yahoo::stats(&files);
+    let labels = ["<10", "10-100", "100-1k", ">=1k"];
+    let rows: Vec<Vec<String>> = labels
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            vec![
+                l.to_string(),
+                pct(stats.count_fractions[i]),
+                f2(stats.mean_sizes[i] / 1e6),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 1 — synthetic Yahoo! population (paper: ~78% cold, ~2% hot, hot 15-30x larger)",
+        &["access count", "fraction of files", "mean size (MB)"],
+        &rows,
+    );
+    let ratio = stats.mean_sizes[2] / stats.mean_sizes[0].max(1.0);
+    println!("hot/cold size ratio: {:.1}x", ratio);
+}
+
+fn caching_comparison(scale: Scale) -> Vec<(f64, f64, f64, f64, f64)> {
+    // (rate, mean cached, cv cached, mean disk, cv disk)
+    let files = motivation_files();
+    let whole = SpCache::with_alpha(0.0); // stock Alluxio: whole files
+    let n_req = scale.requests(10_000);
+    let mut out = Vec::new();
+    for rate in [5.0, 6.0, 7.0, 8.0, 9.0, 10.0] {
+        let cached = compare_schemes(&[&whole], &files, rate, n_req, &motivation_cfg());
+        // "Without caching": files spilled to local disk (~60 MB/s reads).
+        let disk_cfg = motivation_cfg().with_bandwidth(60e6);
+        let disk = compare_schemes(&[&whole], &files, rate, n_req, &disk_cfg);
+        out.push((
+            rate,
+            cached[0].mean,
+            cached[0].cv,
+            disk[0].mean,
+            disk[0].cv,
+        ));
+    }
+    out
+}
+
+/// Fig. 2 — mean read latency with vs without caching, rates 5–10.
+pub fn fig2_caching_benefit(scale: Scale) {
+    let data = caching_comparison(scale);
+    let rows: Vec<Vec<String>> = data
+        .iter()
+        .map(|&(rate, mc, _, md, _)| {
+            vec![
+                format!("{rate:.0}"),
+                f2(mc),
+                f2(md),
+                format!("{:.1}x", md / mc.max(1e-9)),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 2 — caching benefit diminishes under load (paper: 5x at rate 5, irrelevant by 9+)",
+        &["rate (req/s)", "mean w/ cache (s)", "mean w/o cache (s)", "speedup"],
+        &rows,
+    );
+}
+
+/// Table 1 — CV of read latencies with vs without caching.
+pub fn table1_cv_caching(scale: Scale) {
+    let data = caching_comparison(scale);
+    let rows: Vec<Vec<String>> = data
+        .iter()
+        .map(|&(rate, _, cvc, _, cvd)| vec![format!("{rate:.0}"), f2(cvd), f2(cvc)])
+        .collect();
+    print_table(
+        "Table 1 — CV of read latency (paper: consistently > 1 under skew)",
+        &["rate", "CV w/o caching", "CV w/ caching"],
+        &rows,
+    );
+}
+
+fn replication_sweep(scale: Scale) -> Vec<(usize, f64, f64, f64)> {
+    // (replicas, mean, cv, cache bytes ratio)
+    let files = motivation_files();
+    let n_req = scale.requests(10_000);
+    let mut out = Vec::new();
+    for replicas in 1..=5usize {
+        let sr = SelectiveReplication::new(0.10, replicas);
+        let stats = compare_schemes(&[&sr], &files, 6.0, n_req, &motivation_cfg());
+        let ratio = stats[0].layout_bytes / files.total_bytes();
+        out.push((replicas, stats[0].mean, stats[0].cv, ratio));
+    }
+    out
+}
+
+/// Fig. 3 — selective replication: latency vs memory cost, replicas 1–5.
+pub fn fig3_replication_cost(scale: Scale) {
+    let rows: Vec<Vec<String>> = replication_sweep(scale)
+        .iter()
+        .map(|&(r, mean, _, ratio)| {
+            vec![r.to_string(), f2(mean), pct(ratio - 1.0)]
+        })
+        .collect();
+    print_table(
+        "Fig. 3 — replication: linear memory for sublinear latency (paper §3.1)",
+        &["replicas (top 10%)", "mean latency (s)", "cache overhead"],
+        &rows,
+    );
+}
+
+/// Table 2 — CV vs replica count.
+pub fn table2_cv_replication(scale: Scale) {
+    let rows: Vec<Vec<String>> = replication_sweep(scale)
+        .iter()
+        .map(|&(r, _, cv, _)| vec![r.to_string(), f2(cv)])
+        .collect();
+    print_table(
+        "Table 2 — CV of read latency vs replicas (paper: needs 4 replicas for CV < 1)",
+        &["replicas", "CV"],
+        &rows,
+    );
+}
+
+/// Fig. 4 — EC-Cache decode overhead on real bytes, by file size.
+pub fn fig4_decode_overhead(scale: Scale) {
+    let rs = ReedSolomon::new(10, 14);
+    let trials = scale.trials(20);
+    let mut rows = Vec::new();
+    for &mb in &[1usize, 10, 50, 100, 200] {
+        let size = scale.bytes(mb * 1_000_000);
+        let data: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+        let shards = rs.encode_bytes(&data);
+        let mut overheads = Samples::new();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(mb as u64);
+        for _ in 0..trials {
+            // Lose two random shards (late binding reads k+1 of n; decode
+            // reconstructs from whatever k arrived first).
+            let mut partial: Vec<Option<Vec<u8>>> =
+                shards.iter().cloned().map(Some).collect();
+            let drop1 = spcache_workload::dist::uniform_usize(&mut rng, 14);
+            let drop2 = (drop1 + 1 + spcache_workload::dist::uniform_usize(&mut rng, 13)) % 14;
+            partial[drop1] = None;
+            partial[drop2] = None;
+            let t0 = std::time::Instant::now();
+            let rec = rs.reconstruct_data(&mut partial).expect("decodable");
+            let decode = t0.elapsed().as_secs_f64();
+            assert_eq!(rec.len() % 10, 0);
+            // Read latency model: shard transfers at 1 Gbps in parallel →
+            // whole-file wire time ≈ size / 125 MB/s.
+            let transfer = size as f64 / 125e6;
+            overheads.record(decode / (decode + transfer));
+        }
+        let mut o = overheads;
+        rows.push(vec![
+            format!("{:.1} MB", size as f64 / 1e6),
+            pct(o.percentile(5.0)),
+            pct(o.percentile(25.0)),
+            pct(o.percentile(50.0)),
+            pct(o.percentile(75.0)),
+            pct(o.percentile(95.0)),
+        ]);
+    }
+    print_table(
+        "Fig. 4 — decode overhead, real (10,14) RS codec (paper: >15% for files >= 100 MB)",
+        &["file size", "p5", "p25", "p50", "p75", "p95"],
+        &rows,
+    );
+}
+
+fn simple_partition_sweep(scale: Scale) -> Vec<(usize, f64, f64, f64, f64)> {
+    // (k, mean clean, cv clean, mean stragglers, cv stragglers)
+    let files = motivation_files();
+    let n_req = scale.requests(10_000);
+    let mut out = Vec::new();
+    for &k in &[1usize, 3, 9, 15, 21, 27] {
+        let sp = SimplePartition::new(k);
+        let clean = compare_schemes(&[&sp], &files, 10.0, n_req, &motivation_cfg());
+        let strag_cfg = motivation_cfg().with_stragglers(StragglerModel::bing(0.05));
+        let strag = compare_schemes(&[&sp], &files, 10.0, n_req, &strag_cfg);
+        out.push((k, clean[0].mean, clean[0].cv, strag[0].mean, strag[0].cv));
+    }
+    out
+}
+
+/// Fig. 5 — simple partition: latency vs k, with and without stragglers.
+pub fn fig5_simple_partition(scale: Scale) {
+    let rows: Vec<Vec<String>> = simple_partition_sweep(scale)
+        .iter()
+        .map(|&(k, mc, _, ms, _)| vec![k.to_string(), f2(mc), f2(ms)])
+        .collect();
+    print_table(
+        "Fig. 5 — simple partition at rate 10 (paper: 17-22x better than stock; U-shape past k=15; stragglers dominate at large k)",
+        &["k", "mean w/o stragglers (s)", "mean w/ stragglers (s)"],
+        &rows,
+    );
+}
+
+/// Table 3 — CV for simple partition, with and without stragglers.
+pub fn table3_cv_simple_partition(scale: Scale) {
+    let rows: Vec<Vec<String>> = simple_partition_sweep(scale)
+        .iter()
+        .filter(|&&(k, ..)| k != 1)
+        .map(|&(k, _, cvc, _, cvs)| vec![k.to_string(), f2(cvc), f2(cvs)])
+        .collect();
+    print_table(
+        "Table 3 — CV of simple partition (paper: falls with k clean, rises with stragglers)",
+        &["k", "CV w/o stragglers", "CV w/ stragglers"],
+        &rows,
+    );
+}
+
+/// Fig. 6 — normalized goodput vs partition count at 1 Gbps and 500 Mbps.
+pub fn fig6_goodput(_scale: Scale) {
+    let g1 = GoodputModel::gbps1();
+    let g5 = GoodputModel::mbps500();
+    let rows: Vec<Vec<String>> = [1usize, 5, 10, 20, 40, 60, 80, 100]
+        .iter()
+        .map(|&c| vec![c.to_string(), f3(g1.factor(c)), f3(g5.factor(c))])
+        .collect();
+    print_table(
+        "Fig. 6 — normalized goodput vs #partitions (paper: -20% at 20, -40% at 100 on 1 Gbps)",
+        &["connections", "1 Gbps", "500 Mbps"],
+        &rows,
+    );
+}

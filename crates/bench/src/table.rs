@@ -1,0 +1,101 @@
+//! Minimal aligned-table printer for experiment output.
+
+use std::io::Write;
+
+/// Prints a titled, column-aligned table to stdout (locked once, per the
+/// perf-book guidance on repeated `println!`).
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    write_table(&mut out, title, headers, rows).expect("stdout write failed");
+}
+
+/// Writes the table to any writer (testable core of [`print_table`]).
+pub fn write_table<W: Write>(
+    out: &mut W,
+    title: &str,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    // Column widths from headers and cells.
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+
+    writeln!(out, "\n=== {title} ===")?;
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        line.push_str(&format!("{h:>w$}  ", w = w));
+    }
+    writeln!(out, "{}", line.trim_end())?;
+    let rule: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    writeln!(out, "{}", "-".repeat(rule.min(120)))?;
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            line.push_str(&format!("{cell:>w$}  ", w = w));
+        }
+        writeln!(out, "{}", line.trim_end())?;
+    }
+    Ok(())
+}
+
+/// Formats a float with 3 significant decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a percentage with 1 decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let mut buf = Vec::new();
+        write_table(
+            &mut buf,
+            "T",
+            &["a", "long-header"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["100".into(), "2000".into()],
+            ],
+        )
+        .unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("=== T ==="));
+        assert!(s.contains("long-header"));
+        // All data lines end without trailing spaces.
+        for line in s.lines() {
+            assert_eq!(line, line.trim_end());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_rows_panic() {
+        let mut buf = Vec::new();
+        let _ = write_table(&mut buf, "T", &["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(pct(0.4), "40.0%");
+    }
+}

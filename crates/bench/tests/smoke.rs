@@ -1,0 +1,27 @@
+//! Smoke tests: the experiment dispatcher must know every advertised id,
+//! and the fast experiments must run end-to-end at quick scale.
+
+use spcache_bench::experiments::{run, ALL};
+use spcache_bench::Scale;
+
+#[test]
+fn every_advertised_id_dispatches() {
+    // `run` returns false only for unknown ids; spot-check the registry
+    // without executing the heavy ones.
+    assert!(!run("not-an-experiment", Scale::quick()));
+    assert!(ALL.contains(&"fig13") && ALL.contains(&"ext-burst"));
+    assert_eq!(ALL.len(), 29, "registry drifted — update this test and docs");
+}
+
+#[test]
+fn fast_experiments_run_quick() {
+    // The cheap, pure-computation artifacts: must complete in seconds.
+    for id in ["fig1", "fig6", "fig11", "thm1", "fig17", "fig18", "ext-placement"] {
+        assert!(run(id, Scale::quick()), "{id} failed to dispatch");
+    }
+}
+
+#[test]
+fn one_simulation_experiment_runs_quick() {
+    assert!(run("fig12", Scale::quick()));
+}

@@ -1,0 +1,112 @@
+//! Simulator configuration.
+
+use spcache_workload::StragglerModel;
+
+use crate::network::GoodputModel;
+
+/// How per-fetch service times are drawn around their mean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceModel {
+    /// Exactly `bytes / effective_bandwidth` — for deterministic ablations.
+    Deterministic,
+    /// Exponential with that mean — the queueing model's assumption, and a
+    /// good match for EC2 network jitter (§5.3).
+    Exponential,
+}
+
+/// Static description of the simulated cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of cache servers (paper: 30).
+    pub n_servers: usize,
+    /// Per-server network bandwidth, bytes/s (paper: 1 Gbps ≈ 125 MB/s on
+    /// r3.2xlarge; 0.8 Gbps on m4.large; 1.4 Gbps on c4.4xlarge).
+    pub bandwidth: f64,
+    /// Per-server cache budget in bytes; `f64::INFINITY` = unbounded
+    /// (the skew-resilience experiments run with enough memory).
+    pub cache_capacity: f64,
+    /// Straggler injection model.
+    pub stragglers: StragglerModel,
+    /// Connection-count goodput decay.
+    pub goodput: GoodputModel,
+    /// Service-time distribution.
+    pub service: ServiceModel,
+    /// Latency multiplier for a cache miss (§7.7 uses 3×).
+    pub miss_penalty: f64,
+    /// RNG seed for everything the simulator draws.
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// The paper's main EC2 setting: 30 r3.2xlarge cache servers, 1 Gbps,
+    /// ample memory, no injected stragglers.
+    pub fn ec2_default() -> Self {
+        ClusterConfig {
+            n_servers: 30,
+            bandwidth: 125e6,
+            cache_capacity: f64::INFINITY,
+            stragglers: StragglerModel::none(),
+            goodput: GoodputModel::gbps1(),
+            service: ServiceModel::Exponential,
+            miss_penalty: 3.0,
+            seed: 42,
+        }
+    }
+
+    /// Sets the straggler model (builder style).
+    pub fn with_stragglers(mut self, s: StragglerModel) -> Self {
+        self.stragglers = s;
+        self
+    }
+
+    /// Sets the per-server cache budget.
+    pub fn with_cache_capacity(mut self, bytes: f64) -> Self {
+        self.cache_capacity = bytes;
+        self
+    }
+
+    /// Sets the per-server bandwidth.
+    pub fn with_bandwidth(mut self, bytes_per_sec: f64) -> Self {
+        self.bandwidth = bytes_per_sec;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the service-time model.
+    pub fn with_service(mut self, service: ServiceModel) -> Self {
+        self.service = service;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = ClusterConfig::ec2_default();
+        assert_eq!(c.n_servers, 30);
+        assert_eq!(c.bandwidth, 125e6);
+        assert!(c.cache_capacity.is_infinite());
+        assert_eq!(c.miss_penalty, 3.0);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = ClusterConfig::ec2_default()
+            .with_bandwidth(175e6)
+            .with_cache_capacity(10e9)
+            .with_seed(7)
+            .with_service(ServiceModel::Deterministic);
+        assert_eq!(c.bandwidth, 175e6);
+        assert_eq!(c.cache_capacity, 10e9);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.service, ServiceModel::Deterministic);
+    }
+}

@@ -1,0 +1,384 @@
+//! The simulation engine: executes read/write plans against FIFO server
+//! queues.
+
+use rand::SeedableRng;
+use spcache_core::file::FileSet;
+use spcache_core::scheme::CachingScheme;
+use spcache_metrics::{LoadTracker, Samples, Summary};
+use spcache_sim::{FifoQueue, SimTime, Xoshiro256StarStar};
+use spcache_workload::dist::exponential;
+
+use crate::config::{ClusterConfig, ServiceModel};
+use crate::lru::LruCache;
+use crate::workload::ReadWorkload;
+
+/// Everything a simulation run measures.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Per-request latency samples (seconds).
+    pub latencies: Samples,
+    /// Streaming summary of the same latencies (mean / CV).
+    pub summary: Summary,
+    /// Bytes served per server (η comes from here).
+    pub loads: LoadTracker,
+    /// Cache hit ratio across all partition accesses (1.0 with unlimited
+    /// capacity).
+    pub hit_ratio: f64,
+    /// Total cached bytes of the scheme's layout (memory footprint).
+    pub layout_bytes: f64,
+}
+
+impl SimResult {
+    /// Mean latency in seconds.
+    pub fn mean_latency(&self) -> f64 {
+        self.summary.mean()
+    }
+
+    /// 95th-percentile latency in seconds (the paper's tail metric).
+    pub fn p95_latency(&mut self) -> f64 {
+        self.latencies.percentile(95.0)
+    }
+
+    /// Coefficient of variation of latency (Tables 1–3).
+    pub fn cv(&self) -> f64 {
+        self.summary.cv()
+    }
+
+    /// Imbalance factor η (Eq. 15).
+    pub fn imbalance_factor(&self) -> f64 {
+        self.loads.imbalance_factor()
+    }
+}
+
+/// Simulates a read workload under `scheme`.
+///
+/// Mechanics per request, in global time order:
+///
+/// 1. the scheme plans the read (which chunks, how many to wait for,
+///    decode cost),
+/// 2. each fetched chunk's service time is `bytes / (B · goodput(c))`
+///    (optionally exponentially jittered), inflated by the straggler model
+///    and by the miss penalty if the partition is not LRU-resident,
+/// 3. each fetch joins its server's FIFO queue; the request completes when
+///    the `wait_for`-th fetch finishes,
+/// 4. latency = completion − arrival + decode cost.
+pub fn simulate_reads<S: CachingScheme + ?Sized>(
+    scheme: &S,
+    files: &FileSet,
+    workload: &ReadWorkload,
+    cfg: &ClusterConfig,
+) -> SimResult {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(cfg.seed);
+    let mut layout_rng = rng.split();
+    let mut plan_rng = rng.split();
+    let mut service_rng = rng.split();
+    let mut straggler_rng = rng.split();
+
+    let layout = scheme.build_layout(files, cfg.n_servers, &mut layout_rng);
+    let layout_bytes = layout.total_cached_bytes();
+
+    let mut queues: Vec<FifoQueue> = (0..cfg.n_servers).map(|_| FifoQueue::new()).collect();
+    let mut caches: Vec<LruCache> = (0..cfg.n_servers)
+        .map(|_| LruCache::new(cfg.cache_capacity))
+        .collect();
+    // Pre-warm: the cluster caches the layout before clients arrive
+    // (paper: "the cluster is used to cache 50 files"). Insert cold files
+    // first so that under a throttled budget the hot head (low file ids)
+    // is what stays resident initially; LRU churn takes over from there.
+    for file in (0..layout.len()).rev() {
+        for (idx, chunk) in layout.file(file).chunks.iter().enumerate() {
+            caches[chunk.server].insert((file, idx), chunk.bytes);
+        }
+    }
+    let mut loads = LoadTracker::new(cfg.n_servers);
+    let mut latencies = Samples::with_capacity(workload.len());
+    let mut summary = Summary::new();
+
+    // Reusable buffers for fetch completion times and straggler draws.
+    let mut finishes: Vec<f64> = Vec::with_capacity(cfg.n_servers);
+    let mut straggler_factors: Vec<f64> = Vec::with_capacity(cfg.n_servers);
+
+    for &(t, file) in workload.requests() {
+        let arrival = SimTime::from_secs(t);
+        let plan = scheme.read_plan(file, files, &layout, &mut plan_rng);
+        debug_assert!(plan.wait_for >= 1 && plan.wait_for <= plan.fetches.len());
+
+        let connections = plan.fetches.len();
+        finishes.clear();
+        straggler_factors.clear();
+        let mut needed_bytes = 0.0;
+
+        for fetch in &plan.fetches {
+            let chunk = fetch.chunk;
+            needed_bytes += chunk.bytes;
+            // Server side: the server NIC streams one partition at a time
+            // (FIFO), so per-fetch service is bytes / server bandwidth.
+            let mean_service = chunk.bytes / cfg.bandwidth;
+            let mut service = match cfg.service {
+                ServiceModel::Deterministic => mean_service,
+                ServiceModel::Exponential => {
+                    exponential(&mut service_rng, 1.0 / mean_service)
+                }
+            };
+            // A straggling server thread sleeps while serving (§4.2): its
+            // queue occupancy inflates, and — tracked separately below —
+            // the partition's *delivery* to the client stretches by the
+            // same factor.
+            let f = cfg.stragglers.draw_factor(&mut straggler_rng);
+            service *= f;
+            straggler_factors.push(f);
+            // LRU: a miss costs the penalty multiplier (backing-store
+            // fetch) and installs the partition. Keyed by the chunk's
+            // stable layout index, not its position in this read's plan.
+            let hit = caches[chunk.server].access((file, fetch.index), chunk.bytes);
+            if !hit {
+                service *= cfg.miss_penalty;
+            }
+            let served = queues[chunk.server].enqueue(arrival, service);
+            finishes.push(served.finish.as_secs());
+            loads.add(chunk.server, chunk.bytes);
+        }
+
+        // Completion = wait_for-th smallest finish (late binding takes the
+        // k fastest of k+1).
+        let completion = kth_smallest(&mut finishes, plan.wait_for);
+        // Client side: the bytes the read actually waits for funnel
+        // through the reader's single NIC at goodput g(connections)
+        // (Fig. 6) — a hard floor on the read latency that makes
+        // over-splitting expensive (the rise in Figs. 5 and 8).
+        let waited_bytes =
+            needed_bytes * plan.wait_for as f64 / plan.fetches.len() as f64;
+        let client_floor =
+            waited_bytes / (cfg.bandwidth * cfg.goodput.factor(connections));
+        // All concurrent streams share the client NIC, so every partition's
+        // delivery spans roughly the whole transfer window; a straggling
+        // partition therefore delays the *read* to ~factor × that window
+        // (the paper's injection: "delayed the read completion by a
+        // factor"). Late binding dodges the slowest fetches: drop the
+        // largest (fetches − wait_for) factors before taking the max.
+        let f_read = effective_straggle(&mut straggler_factors, plan.wait_for);
+        let latency = (completion - t).max(client_floor * f_read) + plan.post_cost;
+        latencies.record(latency);
+        summary.record(latency);
+    }
+
+    let (hits, misses) = caches
+        .iter()
+        .fold((0u64, 0u64), |(h, m), c| {
+            let (ch, cm) = c.counters();
+            (h + ch, m + cm)
+        });
+    let hit_ratio = if hits + misses == 0 {
+        1.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    };
+
+    SimResult {
+        latencies,
+        summary,
+        loads,
+        hit_ratio,
+        layout_bytes,
+    }
+}
+
+/// Simulates a sequence of writes (one at a time, as the Fig. 22
+/// experiment does): each write pays the scheme's encode cost, then pushes
+/// all its chunks in parallel to idle servers; latency is the slowest
+/// chunk plus the encode time.
+///
+/// Returns per-write latencies.
+pub fn simulate_writes<S: CachingScheme + ?Sized>(
+    scheme: &S,
+    files: &FileSet,
+    writes: &[usize],
+    cfg: &ClusterConfig,
+) -> Samples {
+    // Decorrelate the write stream's randomness from the read stream's.
+    let mut rng = Xoshiro256StarStar::seed_from_u64(cfg.seed ^ 0x0057_5249_5445);
+    let mut plan_rng = rng.split();
+    let mut service_rng = rng.split();
+    let mut straggler_rng = rng.split();
+
+    let mut out = Samples::with_capacity(writes.len());
+    for &file in writes {
+        let plan = scheme.write_plan(file, files, cfg.n_servers, &mut plan_rng);
+        let connections = plan.writes.len().max(1);
+        let mut slowest = 0.0f64;
+        for chunk in &plan.writes {
+            let mean = chunk.bytes / cfg.bandwidth;
+            let mut service = match cfg.service {
+                ServiceModel::Deterministic => mean,
+                ServiceModel::Exponential => exponential(&mut service_rng, 1.0 / mean),
+            };
+            service = cfg.stragglers.apply(service, &mut straggler_rng);
+            slowest = slowest.max(service);
+        }
+        // All written bytes leave through the writer's NIC: replication's
+        // r full copies and chunking's many streams pay for it here.
+        let client_floor =
+            plan.total_bytes() / (cfg.bandwidth * cfg.goodput.factor(connections));
+        out.record(plan.pre_cost + slowest.max(client_floor));
+    }
+    out
+}
+
+/// The straggler factor a read experiences: the max draw over the fetches
+/// it waits for. Late binding waits for only `wait_for` of the fetches and
+/// abandons the slowest, so the largest `len − wait_for` draws are dropped
+/// first.
+fn effective_straggle(factors: &mut [f64], wait_for: usize) -> f64 {
+    debug_assert!(wait_for >= 1 && wait_for <= factors.len());
+    factors.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN factors"));
+    factors[wait_for - 1]
+}
+
+/// The `k`-th smallest value (1-based) of `xs`, destroying order.
+fn kth_smallest(xs: &mut [f64], k: usize) -> f64 {
+    debug_assert!(k >= 1 && k <= xs.len());
+    let idx = k - 1;
+    let (_, kth, _) =
+        xs.select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).expect("no NaN finishes"));
+    *kth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcache_core::SpCache;
+    use spcache_workload::zipf::zipf_popularities;
+
+    fn files(n: usize) -> FileSet {
+        FileSet::uniform_size(40e6, &zipf_popularities(n, 1.1))
+    }
+
+    fn quick_cfg() -> ClusterConfig {
+        ClusterConfig::ec2_default()
+    }
+
+    #[test]
+    fn kth_smallest_selects_correctly() {
+        let mut xs = vec![5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(kth_smallest(&mut xs.clone(), 1), 1.0);
+        assert_eq!(kth_smallest(&mut xs.clone(), 3), 3.0);
+        assert_eq!(kth_smallest(&mut xs, 5), 5.0);
+    }
+
+    #[test]
+    fn simulation_produces_sane_latencies() {
+        let f = files(50);
+        let w = ReadWorkload::poisson(&f, 5.0, 5_000, 1);
+        let scheme = SpCache::with_alpha(5.0 / f.max_load());
+        let mut res = simulate_reads(&scheme, &f, &w, &quick_cfg());
+        assert_eq!(res.latencies.len(), 5_000);
+        assert!(res.mean_latency() > 0.0);
+        assert!(res.p95_latency() >= res.mean_latency() * 0.5);
+        assert_eq!(res.hit_ratio, 1.0, "unlimited cache must always hit");
+        assert!(res.imbalance_factor() >= 0.0);
+    }
+
+    #[test]
+    fn higher_load_raises_latency() {
+        let f = files(50);
+        let scheme = SpCache::with_alpha(0.0); // whole files → hot spots
+        let cfg = quick_cfg();
+        let lo = simulate_reads(
+            &scheme,
+            &f,
+            &ReadWorkload::poisson(&f, 3.0, 4_000, 2),
+            &cfg,
+        );
+        let hi = simulate_reads(
+            &scheme,
+            &f,
+            &ReadWorkload::poisson(&f, 10.0, 4_000, 2),
+            &cfg,
+        );
+        assert!(
+            hi.mean_latency() > lo.mean_latency(),
+            "lo {} hi {}",
+            lo.mean_latency(),
+            hi.mean_latency()
+        );
+    }
+
+    #[test]
+    fn partitioning_beats_whole_file_under_skew() {
+        // The paper's core empirical claim, in miniature (Fig. 5).
+        let f = files(50);
+        let cfg = quick_cfg();
+        let w = ReadWorkload::poisson(&f, 10.0, 8_000, 3);
+        let whole = simulate_reads(&SpCache::with_alpha(0.0), &f, &w, &cfg);
+        let split = simulate_reads(
+            &SpCache::with_alpha(15.0 / f.max_load()),
+            &f,
+            &w,
+            &cfg,
+        );
+        assert!(
+            split.mean_latency() < whole.mean_latency() * 0.5,
+            "split {} vs whole {}",
+            split.mean_latency(),
+            whole.mean_latency()
+        );
+        assert!(split.imbalance_factor() < whole.imbalance_factor());
+    }
+
+    #[test]
+    fn throttled_cache_reduces_hit_ratio() {
+        let f = files(50); // 2 GB total
+        let w = ReadWorkload::poisson(&f, 5.0, 5_000, 4);
+        let scheme = SpCache::with_alpha(5.0 / f.max_load());
+        let unlimited = simulate_reads(&scheme, &f, &w, &quick_cfg());
+        // 10 MB per server × 30 = 300 MB for a 2 GB working set.
+        let throttled = simulate_reads(
+            &scheme,
+            &f,
+            &w,
+            &quick_cfg().with_cache_capacity(10e6),
+        );
+        assert_eq!(unlimited.hit_ratio, 1.0);
+        assert!(throttled.hit_ratio < 0.9, "hit {}", throttled.hit_ratio);
+        assert!(throttled.mean_latency() > unlimited.mean_latency());
+    }
+
+    #[test]
+    fn stragglers_inflate_tail() {
+        let f = files(50);
+        let w = ReadWorkload::poisson(&f, 6.0, 8_000, 5);
+        let scheme = SpCache::with_alpha(8.0 / f.max_load());
+        let clean_cfg = quick_cfg();
+        let mut clean = simulate_reads(&scheme, &f, &w, &clean_cfg);
+        let straggly_cfg =
+            quick_cfg().with_stragglers(spcache_workload::StragglerModel::bing(0.05));
+        let mut straggly = simulate_reads(&scheme, &f, &w, &straggly_cfg);
+        assert!(
+            straggly.p95_latency() > clean.p95_latency(),
+            "straggler tail {} vs clean {}",
+            straggly.p95_latency(),
+            clean.p95_latency()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let f = files(30);
+        let w = ReadWorkload::poisson(&f, 5.0, 2_000, 6);
+        let scheme = SpCache::with_alpha(5.0 / f.max_load());
+        let a = simulate_reads(&scheme, &f, &w, &quick_cfg());
+        let b = simulate_reads(&scheme, &f, &w, &quick_cfg());
+        assert_eq!(a.latencies.as_slice(), b.latencies.as_slice());
+    }
+
+    #[test]
+    fn write_simulation_scales_with_size() {
+        let sizes = [10e6, 200e6];
+        let f = FileSet::from_parts(&sizes, &[0.5, 0.5]);
+        let scheme = SpCache::with_alpha(0.0);
+        let cfg = quick_cfg().with_service(ServiceModel::Deterministic);
+        let lat = simulate_writes(&scheme, &f, &[0, 1], &cfg);
+        let xs = lat.as_slice();
+        assert!(xs[1] > 10.0 * xs[0], "write latencies {xs:?}");
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! Event-driven cluster-cache simulator — the repository's stand-in for
+//! the paper's EC2 deployments.
+//!
+//! The paper's latency results are driven by five mechanisms, all modeled
+//! here explicitly:
+//!
+//! 1. **Queueing at cache servers** — each server is a FIFO queue fed in
+//!    global time order ([`spcache_sim::FifoQueue`]); hot spots emerge
+//!    naturally from skewed arrivals.
+//! 2. **Network transfer** — a partition of `b` bytes at bandwidth `B`
+//!    with `c` concurrent connections takes `b / (B · goodput(c))`,
+//!    optionally exponentially jittered (the queueing model's assumption);
+//!    [`network::GoodputModel`] is calibrated to Fig. 6.
+//! 3. **Stragglers** — per-fetch Bernoulli slowdown with the Bing profile
+//!    ([`spcache_workload::StragglerModel`]).
+//! 4. **Coding CPU cost** — read plans carry a decode cost, write plans an
+//!    encode cost (EC-Cache only).
+//! 5. **Cache misses** — per-server LRU over partitions with a byte
+//!    budget ([`lru::LruCache`]); a miss inflates the fetch by the
+//!    configured penalty (§7.7 uses 3×).
+//!
+//! [`engine::simulate_reads`] / [`engine::simulate_writes`] execute any
+//! [`spcache_core::CachingScheme`] against a read/write workload and
+//! return latency samples, per-server loads and hit ratios;
+//! [`runner`] wraps common experiment shapes.
+
+pub mod config;
+pub mod engine;
+pub mod lru;
+pub mod network;
+pub mod runner;
+pub mod workload;
+
+pub use config::ClusterConfig;
+pub use engine::{simulate_reads, simulate_writes, SimResult};
+pub use network::GoodputModel;
+pub use runner::{run_read_experiment, ExperimentStats};
+pub use workload::ReadWorkload;

@@ -1,0 +1,311 @@
+//! Per-server LRU cache over partitions, with a byte budget.
+//!
+//! Used by the §7.6 hit-ratio experiment: when the cache budget is
+//! throttled below the working set, each scheme's redundancy directly
+//! costs hit ratio — SP-Cache (redundancy-free) keeps the most files
+//! resident.
+//!
+//! Implementation: a doubly-linked list woven through a `HashMap` via
+//! indices into a slab, giving O(1) touch/insert/evict without unsafe.
+
+use std::collections::HashMap;
+
+/// Key identifying one cached partition: `(file, chunk index)`.
+pub type PartKey = (usize, usize);
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    key: PartKey,
+    bytes: f64,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+/// A byte-budgeted LRU set of partitions.
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    capacity: f64,
+    used: f64,
+    map: HashMap<PartKey, usize>,
+    slab: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // most recent
+    tail: usize, // least recent
+    hits: u64,
+    misses: u64,
+}
+
+impl LruCache {
+    /// An empty cache with a byte budget. `f64::INFINITY` disables
+    /// eviction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive capacity.
+    pub fn new(capacity: f64) -> Self {
+        assert!(capacity > 0.0, "capacity must be positive");
+        LruCache {
+            capacity,
+            used: 0.0,
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Accesses `key` of `bytes` size: returns `true` on a hit (and
+    /// refreshes recency); on a miss, inserts the partition, evicting
+    /// least-recently-used entries until it fits.
+    ///
+    /// Partitions larger than the whole capacity are *not* cached (they
+    /// would evict everything for nothing) and always miss.
+    pub fn access(&mut self, key: PartKey, bytes: f64) -> bool {
+        debug_assert!(bytes >= 0.0);
+        if let Some(&idx) = self.map.get(&key) {
+            self.hits += 1;
+            self.unlink(idx);
+            self.push_front(idx);
+            return true;
+        }
+        self.misses += 1;
+        if bytes <= self.capacity {
+            self.insert(key, bytes);
+        }
+        false
+    }
+
+    /// Inserts without counting a hit or miss (cache pre-warming).
+    pub fn insert(&mut self, key: PartKey, bytes: f64) {
+        if let Some(&idx) = self.map.get(&key) {
+            // Refresh size and recency.
+            self.used -= self.slab[idx].bytes;
+            self.used += bytes;
+            self.slab[idx].bytes = bytes;
+            self.unlink(idx);
+            self.push_front(idx);
+            self.evict_to_fit();
+            return;
+        }
+        if bytes > self.capacity {
+            return;
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = Node {
+                    key,
+                    bytes,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.slab.push(Node {
+                    key,
+                    bytes,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.used += bytes;
+        self.push_front(idx);
+        self.evict_to_fit();
+    }
+
+    fn evict_to_fit(&mut self) {
+        while self.used > self.capacity && self.tail != NIL {
+            let idx = self.tail;
+            // Never evict the entry just inserted at head if it is alone.
+            if idx == self.head && self.map.len() == 1 {
+                break;
+            }
+            let node = self.slab[idx];
+            self.unlink(idx);
+            self.map.remove(&node.key);
+            self.used -= node.bytes;
+            self.free.push(idx);
+        }
+    }
+
+    /// Whether `key` is resident (no recency update, no counters).
+    pub fn contains(&self, key: &PartKey) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Bytes currently resident.
+    pub fn used_bytes(&self) -> f64 {
+        self.used
+    }
+
+    /// Number of resident partitions.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(hits, misses)` counted by [`LruCache::access`].
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Hit ratio so far (0 when nothing was accessed).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Resets the hit/miss counters (e.g. after warm-up).
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = LruCache::new(100.0);
+        c.insert((0, 0), 10.0);
+        assert!(c.access((0, 0), 10.0));
+        assert_eq!(c.counters(), (1, 0));
+    }
+
+    #[test]
+    fn miss_inserts() {
+        let mut c = LruCache::new(100.0);
+        assert!(!c.access((1, 2), 10.0));
+        assert!(c.contains(&(1, 2)));
+        assert_eq!(c.counters(), (0, 1));
+    }
+
+    #[test]
+    fn eviction_is_lru_order() {
+        let mut c = LruCache::new(30.0);
+        c.insert((0, 0), 10.0);
+        c.insert((1, 0), 10.0);
+        c.insert((2, 0), 10.0);
+        // Touch (0,0) so (1,0) is now least recent.
+        assert!(c.access((0, 0), 10.0));
+        c.insert((3, 0), 10.0);
+        assert!(!c.contains(&(1, 0)), "LRU entry should be evicted");
+        assert!(c.contains(&(0, 0)));
+        assert!(c.contains(&(2, 0)));
+        assert!(c.contains(&(3, 0)));
+        assert!((c.used_bytes() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oversized_partition_never_cached() {
+        let mut c = LruCache::new(5.0);
+        assert!(!c.access((0, 0), 10.0));
+        assert!(!c.contains(&(0, 0)));
+        assert!(!c.access((0, 0), 10.0), "still a miss");
+        assert_eq!(c.counters(), (0, 2));
+    }
+
+    #[test]
+    fn reinsert_updates_size() {
+        let mut c = LruCache::new(100.0);
+        c.insert((0, 0), 10.0);
+        c.insert((0, 0), 40.0);
+        assert!((c.used_bytes() - 40.0).abs() < 1e-9);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn capacity_respected_under_churn() {
+        let mut c = LruCache::new(50.0);
+        for i in 0..1000 {
+            c.access((i, 0), 7.0);
+            assert!(c.used_bytes() <= 50.0 + 1e-9, "at step {i}");
+        }
+        assert_eq!(c.len(), 7); // floor(50/7)
+    }
+
+    #[test]
+    fn hit_ratio_steady_state() {
+        // Working set fits: after warm-up everything hits.
+        let mut c = LruCache::new(100.0);
+        for round in 0..10 {
+            for i in 0..10 {
+                let hit = c.access((i, 0), 10.0);
+                if round > 0 {
+                    assert!(hit, "round {round}, item {i}");
+                }
+            }
+        }
+        c.reset_counters();
+        for i in 0..10 {
+            c.access((i, 0), 10.0);
+        }
+        assert_eq!(c.hit_ratio(), 1.0);
+    }
+
+    #[test]
+    fn thrash_when_working_set_exceeds_capacity() {
+        // Sequential scan over 2x the capacity with LRU = 0% hits.
+        let mut c = LruCache::new(100.0);
+        for _ in 0..5 {
+            for i in 0..20 {
+                c.access((i, 0), 10.0);
+            }
+        }
+        assert_eq!(c.counters().0, 0, "LRU must thrash on sequential scan");
+    }
+
+    #[test]
+    fn slab_reuse_keeps_len_consistent() {
+        let mut c = LruCache::new(20.0);
+        for i in 0..100 {
+            c.access((i, 0), 10.0);
+        }
+        assert_eq!(c.len(), 2);
+        assert!(c.used_bytes() <= 20.0);
+    }
+}

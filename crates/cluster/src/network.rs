@@ -1,0 +1,15 @@
+//! Network goodput model — re-exported from `spcache-core` so the analytic
+//! bound (tuner) and the simulator share one calibration (Fig. 6).
+
+pub use spcache_core::goodput::Goodput as GoodputModel;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reexport_matches_core_calibration() {
+        assert_eq!(GoodputModel::gbps1(), spcache_core::Goodput::gbps1());
+        assert_eq!(GoodputModel::ideal().factor(50), 1.0);
+    }
+}

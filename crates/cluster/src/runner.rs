@@ -1,0 +1,153 @@
+//! High-level experiment helpers: run a scheme against a standard
+//! read workload and collect the paper's metrics.
+
+use spcache_core::file::FileSet;
+use spcache_core::scheme::CachingScheme;
+
+use crate::config::ClusterConfig;
+use crate::engine::{simulate_reads, SimResult};
+use crate::workload::ReadWorkload;
+
+/// The metrics every figure reports.
+#[derive(Debug, Clone)]
+pub struct ExperimentStats {
+    /// Scheme name.
+    pub scheme: String,
+    /// Aggregate request rate used.
+    pub rate: f64,
+    /// Mean read latency (s).
+    pub mean: f64,
+    /// 95th-percentile read latency (s).
+    pub p95: f64,
+    /// Coefficient of variation of read latency.
+    pub cv: f64,
+    /// Imbalance factor η.
+    pub eta: f64,
+    /// Cache hit ratio.
+    pub hit_ratio: f64,
+    /// Total cached bytes (memory footprint).
+    pub layout_bytes: f64,
+}
+
+impl ExperimentStats {
+    /// Collapses a [`SimResult`].
+    pub fn from_result(scheme: String, rate: f64, mut res: SimResult) -> Self {
+        ExperimentStats {
+            scheme,
+            rate,
+            mean: res.mean_latency(),
+            p95: res.p95_latency(),
+            cv: res.cv(),
+            eta: res.imbalance_factor(),
+            hit_ratio: res.hit_ratio,
+            layout_bytes: res.layout_bytes,
+        }
+    }
+}
+
+/// Runs one scheme at one aggregate rate with `n_requests` Poisson
+/// requests and returns the figure-ready stats.
+pub fn run_read_experiment<S: CachingScheme + ?Sized>(
+    scheme: &S,
+    files: &FileSet,
+    rate: f64,
+    n_requests: usize,
+    cfg: &ClusterConfig,
+) -> ExperimentStats {
+    let workload = ReadWorkload::poisson(files, rate, n_requests, cfg.seed ^ 0x9e37);
+    let res = simulate_reads(scheme, files, &workload, cfg);
+    ExperimentStats::from_result(scheme.name(), rate, res)
+}
+
+/// Runs several schemes on the *same* workload (paired comparison, the
+/// right way to compare latency curves).
+pub fn compare_schemes(
+    schemes: &[&dyn CachingScheme],
+    files: &FileSet,
+    rate: f64,
+    n_requests: usize,
+    cfg: &ClusterConfig,
+) -> Vec<ExperimentStats> {
+    let workload = ReadWorkload::poisson(files, rate, n_requests, cfg.seed ^ 0x9e37);
+    schemes
+        .iter()
+        .map(|s| {
+            let res = simulate_reads(*s, files, &workload, cfg);
+            ExperimentStats::from_result(s.name(), rate, res)
+        })
+        .collect()
+}
+
+/// Latency improvement of `ours` over `baseline` per the paper's Eq. 14:
+/// `(D − D_SP)/D × 100%`.
+pub fn latency_improvement_percent(baseline: f64, ours: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        (baseline - ours) / baseline * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcache_baselines::{EcCache, SelectiveReplication};
+    use spcache_core::SpCache;
+    use spcache_workload::zipf::zipf_popularities;
+
+    fn files() -> FileSet {
+        FileSet::uniform_size(100e6, &zipf_popularities(100, 1.05))
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let f = files();
+        let scheme = SpCache::with_alpha(10.0 / f.max_load());
+        let stats =
+            run_read_experiment(&scheme, &f, 6.0, 4_000, &ClusterConfig::ec2_default());
+        assert!(stats.mean > 0.0);
+        assert!(stats.p95 >= stats.mean * 0.5);
+        assert!(stats.layout_bytes > 0.0);
+        assert_eq!(stats.rate, 6.0);
+        assert!(stats.scheme.contains("sp-cache"));
+    }
+
+    #[test]
+    fn sp_cache_beats_baselines_at_high_load() {
+        // Fig. 13's ordering: SP < EC < SR in mean latency under load,
+        // with SP using the least memory. SP-Cache is configured the way
+        // the system really configures itself — by Algorithm 1.
+        let f = files();
+        let cfg = ClusterConfig::ec2_default();
+        let (sp, _) = SpCache::tuned(
+            &f,
+            cfg.n_servers,
+            cfg.bandwidth,
+            16.0,
+            &spcache_core::tuner::TunerConfig::default(),
+        );
+        let ec = EcCache::paper_config();
+        let sr = SelectiveReplication::paper_config();
+        let stats = compare_schemes(&[&sp, &ec, &sr], &f, 16.0, 12_000, &cfg);
+        let (s, e, r) = (&stats[0], &stats[1], &stats[2]);
+        assert!(
+            s.mean < e.mean && e.mean < r.mean,
+            "mean ordering violated: sp {} ec {} sr {}",
+            s.mean,
+            e.mean,
+            r.mean
+        );
+        assert!(
+            s.layout_bytes < e.layout_bytes,
+            "SP must use less memory than EC"
+        );
+        assert!(s.eta < r.eta, "SP eta {} vs SR eta {}", s.eta, r.eta);
+    }
+
+    #[test]
+    fn improvement_formula_matches_eq14() {
+        assert_eq!(latency_improvement_percent(2.0, 1.0), 50.0);
+        assert_eq!(latency_improvement_percent(0.0, 1.0), 0.0);
+        assert!(latency_improvement_percent(1.0, 2.0) < 0.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Read/write workloads for the simulator: time-ordered `(time, file)`
+//! request sequences.
+
+use rand::SeedableRng;
+use spcache_core::file::{FileId, FileSet};
+use spcache_sim::Xoshiro256StarStar;
+use spcache_workload::arrivals::{MmppProcess, PoissonProcess};
+use spcache_workload::zipf::ZipfSampler;
+
+/// A time-ordered sequence of file read requests.
+#[derive(Debug, Clone)]
+pub struct ReadWorkload {
+    requests: Vec<(f64, FileId)>,
+}
+
+impl ReadWorkload {
+    /// Poisson arrivals at aggregate rate `lambda` (req/s); each request
+    /// samples a file by popularity. This is the paper's EC2 client model
+    /// (20 clients with independent Poisson processes merge into one
+    /// Poisson process).
+    pub fn poisson(files: &FileSet, lambda: f64, n_requests: usize, seed: u64) -> Self {
+        let pops: Vec<f64> = files.iter().map(|(_, f)| f.popularity).collect();
+        let sampler = ZipfSampler::from_popularities(&pops);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let arrival_rng = rng.split();
+        let arrivals = PoissonProcess::new(lambda, arrival_rng);
+        let requests = arrivals
+            .take(n_requests)
+            .map(|t| (t, sampler.sample(&mut rng)))
+            .collect();
+        ReadWorkload { requests }
+    }
+
+    /// Bursty (MMPP) arrivals standing in for the Google-trace submission
+    /// sequence of §7.7.
+    pub fn bursty(
+        files: &FileSet,
+        avg_rate: f64,
+        burstiness: f64,
+        n_requests: usize,
+        seed: u64,
+    ) -> Self {
+        let pops: Vec<f64> = files.iter().map(|(_, f)| f.popularity).collect();
+        let sampler = ZipfSampler::from_popularities(&pops);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let arrival_rng = rng.split();
+        let arrivals = MmppProcess::bursty(avg_rate, burstiness, arrival_rng);
+        let requests = arrivals
+            .take(n_requests)
+            .map(|t| (t, sampler.sample(&mut rng)))
+            .collect();
+        ReadWorkload { requests }
+    }
+
+    /// Builds `(FileSet, ReadWorkload)` from a parsed plain-text workload
+    /// spec (see [`spcache_workload::spec`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no requests (a spec without a trace can
+    /// still drive Poisson workloads through its `FileSet`).
+    pub fn from_spec(spec: &spcache_workload::spec::WorkloadSpec) -> (FileSet, Self) {
+        let files = FileSet::from_parts(&spec.sizes(), &spec.normalized_popularities());
+        let workload = ReadWorkload::from_trace(spec.requests.clone());
+        (files, workload)
+    }
+
+    /// Wraps an explicit trace (must be time-ordered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty or out of order.
+    pub fn from_trace(requests: Vec<(f64, FileId)>) -> Self {
+        assert!(!requests.is_empty(), "empty workload");
+        assert!(
+            requests.windows(2).all(|w| w[0].0 <= w[1].0),
+            "trace must be time-ordered"
+        );
+        ReadWorkload { requests }
+    }
+
+    /// The request sequence.
+    pub fn requests(&self) -> &[(f64, FileId)] {
+        &self.requests
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the workload is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Duration spanned by the workload.
+    pub fn duration(&self) -> f64 {
+        self.requests.last().map_or(0.0, |&(t, _)| t)
+            - self.requests.first().map_or(0.0, |&(t, _)| t)
+    }
+
+    /// Empirical aggregate request rate.
+    pub fn rate(&self) -> f64 {
+        let d = self.duration();
+        if d <= 0.0 {
+            0.0
+        } else {
+            self.requests.len() as f64 / d
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcache_workload::zipf::zipf_popularities;
+
+    fn files() -> FileSet {
+        FileSet::uniform_size(40e6, &zipf_popularities(50, 1.1))
+    }
+
+    #[test]
+    fn poisson_workload_rate_and_order() {
+        let w = ReadWorkload::poisson(&files(), 8.0, 20_000, 1);
+        assert_eq!(w.len(), 20_000);
+        assert!(w.requests().windows(2).all(|p| p[0].0 <= p[1].0));
+        assert!((w.rate() - 8.0).abs() < 0.5, "rate {}", w.rate());
+    }
+
+    #[test]
+    fn popular_files_requested_more() {
+        let w = ReadWorkload::poisson(&files(), 8.0, 50_000, 2);
+        let count0 = w.requests().iter().filter(|&&(_, f)| f == 0).count();
+        let count49 = w.requests().iter().filter(|&&(_, f)| f == 49).count();
+        assert!(count0 > 5 * count49, "{count0} vs {count49}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ReadWorkload::poisson(&files(), 5.0, 1000, 3);
+        let b = ReadWorkload::poisson(&files(), 5.0, 1000, 3);
+        assert_eq!(a.requests(), b.requests());
+    }
+
+    #[test]
+    fn bursty_workload_is_ordered() {
+        let w = ReadWorkload::bursty(&files(), 6.0, 10.0, 10_000, 4);
+        assert!(w.requests().windows(2).all(|p| p[0].0 <= p[1].0));
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_trace_rejected() {
+        let _ = ReadWorkload::from_trace(vec![(2.0, 0), (1.0, 1)]);
+    }
+
+    #[test]
+    fn from_spec_builds_fileset_and_trace() {
+        let spec = spcache_workload::spec::WorkloadSpec::parse(
+            "file 1000000 0.7\nfile 2000000 0.3\nreq 0.0 0\nreq 0.5 1\n",
+        )
+        .unwrap();
+        let (files, workload) = ReadWorkload::from_spec(&spec);
+        assert_eq!(files.len(), 2);
+        assert_eq!(files.get(1).size_bytes, 2e6);
+        assert!((files.get(0).popularity - 0.7).abs() < 1e-12);
+        assert_eq!(workload.requests(), &[(0.0, 0), (0.5, 1)]);
+    }
+}

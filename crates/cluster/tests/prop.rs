@@ -1,0 +1,131 @@
+//! Property-based tests of the cluster simulator.
+
+use proptest::prelude::*;
+
+use spcache_cluster::engine::{simulate_reads, simulate_writes};
+use spcache_cluster::{ClusterConfig, ReadWorkload};
+use spcache_core::{FileSet, SpCache};
+use spcache_workload::StragglerModel;
+
+fn popularities(max_n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.01f64..1.0, 1..max_n).prop_map(|mut v| {
+        let total: f64 = v.iter().sum();
+        for x in &mut v {
+            *x /= total;
+        }
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Latencies are always positive and at least the client-NIC floor of
+    /// the smallest possible read.
+    #[test]
+    fn latencies_respect_physics(
+        pops in popularities(12),
+        rate in 0.5f64..6.0,
+        k_hot in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let files = FileSet::uniform_size(20e6, &pops);
+        let cfg = ClusterConfig::ec2_default().with_seed(seed);
+        let scheme = SpCache::with_alpha(k_hot as f64 / files.max_load());
+        let workload = ReadWorkload::poisson(&files, rate, 800, seed ^ 1);
+        let res = simulate_reads(&scheme, &files, &workload, &cfg);
+        // Minimum conceivable latency: file bytes at full bandwidth.
+        let min_floor = 20e6 / cfg.bandwidth;
+        for &l in res.latencies.as_slice() {
+            prop_assert!(l > 0.0);
+            prop_assert!(l >= min_floor * 0.99, "latency {} below physics {}", l, min_floor);
+        }
+        prop_assert_eq!(res.latencies.len(), 800);
+    }
+
+    /// With unlimited cache, hit ratio is exactly 1 for every scheme and
+    /// seed (pre-warmed layout).
+    #[test]
+    fn unlimited_cache_always_hits(
+        pops in popularities(10),
+        seed in any::<u64>(),
+    ) {
+        let files = FileSet::uniform_size(10e6, &pops);
+        let cfg = ClusterConfig::ec2_default().with_seed(seed);
+        let scheme = SpCache::with_alpha(3.0 / files.max_load());
+        let workload = ReadWorkload::poisson(&files, 2.0, 500, seed);
+        let res = simulate_reads(&scheme, &files, &workload, &cfg);
+        prop_assert_eq!(res.hit_ratio, 1.0);
+    }
+
+    /// Total served bytes equal requests × file bytes for a
+    /// redundancy-free full-fork scheme.
+    #[test]
+    fn load_accounting_exact(
+        pops in popularities(8),
+        seed in any::<u64>(),
+    ) {
+        let files = FileSet::uniform_size(16e6, &pops);
+        let cfg = ClusterConfig::ec2_default().with_seed(seed);
+        let scheme = SpCache::with_alpha(4.0 / files.max_load());
+        let n_req = 600;
+        let workload = ReadWorkload::poisson(&files, 3.0, n_req, seed ^ 2);
+        let res = simulate_reads(&scheme, &files, &workload, &cfg);
+        let total: f64 = res.loads.loads().iter().sum();
+        // Each request fetches exactly the file's bytes (all partitions).
+        let expect: f64 = workload
+            .requests()
+            .iter()
+            .map(|&(_, f)| files.get(f).size_bytes)
+            .sum();
+        prop_assert!((total - expect).abs() < 1.0, "served {} expect {}", total, expect);
+    }
+
+    /// Stragglers never reduce any quantile of the latency distribution.
+    #[test]
+    fn stragglers_stochastically_dominate(
+        pops in popularities(8),
+        seed in any::<u64>(),
+    ) {
+        let files = FileSet::uniform_size(20e6, &pops);
+        let scheme = SpCache::with_alpha(5.0 / files.max_load());
+        let workload = ReadWorkload::poisson(&files, 3.0, 1_000, seed);
+        let clean_cfg = ClusterConfig::ec2_default().with_seed(seed);
+        let strag_cfg = clean_cfg.clone().with_stragglers(StragglerModel::bing(0.10));
+        let clean = simulate_reads(&scheme, &files, &workload, &clean_cfg);
+        let strag = simulate_reads(&scheme, &files, &workload, &strag_cfg);
+        prop_assert!(strag.summary.mean() >= clean.summary.mean() - 1e-9);
+        prop_assert!(strag.summary.max() >= clean.summary.max() - 1e-9);
+    }
+
+    /// Write latencies scale (weakly) monotonically with file size for
+    /// the deterministic service model.
+    #[test]
+    fn writes_monotone_in_size(seed in any::<u64>(), base in 1.0f64..100.0) {
+        let sizes = [base * 1e6, base * 2e6, base * 4e6];
+        let files = FileSet::from_parts(&sizes, &[0.4, 0.3, 0.3]);
+        let cfg = ClusterConfig::ec2_default()
+            .with_seed(seed)
+            .with_service(spcache_cluster::config::ServiceModel::Deterministic);
+        let scheme = SpCache::with_alpha(0.0);
+        let lat = simulate_writes(&scheme, &files, &[0, 1, 2], &cfg);
+        let xs = lat.as_slice();
+        prop_assert!(xs[0] <= xs[1] && xs[1] <= xs[2], "{:?}", xs);
+    }
+
+    /// Simulation is a pure function of (scheme, workload, config).
+    #[test]
+    fn simulation_is_deterministic(
+        pops in popularities(6),
+        seed in any::<u64>(),
+    ) {
+        let files = FileSet::uniform_size(5e6, &pops);
+        let cfg = ClusterConfig::ec2_default().with_seed(seed);
+        let scheme = SpCache::with_alpha(2.0 / files.max_load());
+        let workload = ReadWorkload::poisson(&files, 2.0, 300, seed);
+        let a = simulate_reads(&scheme, &files, &workload, &cfg);
+        let b = simulate_reads(&scheme, &files, &workload, &cfg);
+        prop_assert_eq!(a.latencies.as_slice(), b.latencies.as_slice());
+        prop_assert_eq!(a.loads.loads(), b.loads.loads());
+    }
+}

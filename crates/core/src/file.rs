@@ -1,0 +1,230 @@
+//! The file/load model.
+//!
+//! SP-Cache measures the *expected load* of file `i` as `L_i = S_i · P_i`
+//! — its size times its access probability (§5.1). Everything downstream
+//! (partition counts, the latency bound, Theorem 1) is a function of the
+//! loads.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a file in a [`FileSet`].
+pub type FileId = usize;
+
+/// Static metadata for one cached file.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FileMeta {
+    /// File size in bytes.
+    pub size_bytes: f64,
+    /// Access probability `P_i` (Eq. 4: `λ_i / Σ_j λ_j`).
+    pub popularity: f64,
+}
+
+impl FileMeta {
+    /// Creates metadata; sizes must be positive and popularity a
+    /// probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive size or popularity outside `[0, 1]`.
+    pub fn new(size_bytes: f64, popularity: f64) -> Self {
+        assert!(size_bytes > 0.0, "file size must be positive");
+        assert!(
+            (0.0..=1.0).contains(&popularity),
+            "popularity must be a probability, got {popularity}"
+        );
+        FileMeta {
+            size_bytes,
+            popularity,
+        }
+    }
+
+    /// Expected load `L_i = S_i · P_i` (bytes of expected transfer per
+    /// request into the cluster).
+    #[inline]
+    pub fn load(&self) -> f64 {
+        self.size_bytes * self.popularity
+    }
+}
+
+/// An immutable collection of file metadata with the derived quantities
+/// the algorithms need.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FileSet {
+    files: Vec<FileMeta>,
+}
+
+impl FileSet {
+    /// Wraps a metadata vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty.
+    pub fn new(files: Vec<FileMeta>) -> Self {
+        assert!(!files.is_empty(), "a FileSet needs at least one file");
+        FileSet { files }
+    }
+
+    /// Convenience: uniform `size_bytes` for every file, popularity given
+    /// per file (the EC2 experiments use equal-sized files).
+    pub fn uniform_size(size_bytes: f64, popularities: &[f64]) -> Self {
+        FileSet::new(
+            popularities
+                .iter()
+                .map(|&p| FileMeta::new(size_bytes, p))
+                .collect(),
+        )
+    }
+
+    /// Paired sizes and popularities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn from_parts(sizes: &[f64], popularities: &[f64]) -> Self {
+        assert_eq!(sizes.len(), popularities.len(), "length mismatch");
+        FileSet::new(
+            sizes
+                .iter()
+                .zip(popularities)
+                .map(|(&s, &p)| FileMeta::new(s, p))
+                .collect(),
+        )
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Always false by construction.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Metadata of file `i`.
+    pub fn get(&self, i: FileId) -> &FileMeta {
+        &self.files[i]
+    }
+
+    /// Iterator over `(FileId, &FileMeta)`.
+    pub fn iter(&self) -> impl Iterator<Item = (FileId, &FileMeta)> {
+        self.files.iter().enumerate()
+    }
+
+    /// All loads `L_i`.
+    pub fn loads(&self) -> Vec<f64> {
+        self.files.iter().map(FileMeta::load).collect()
+    }
+
+    /// The largest load `L_max = max_i L_i` (drives Algorithm 1's initial
+    /// α and Theorem 1's asymptotics).
+    pub fn max_load(&self) -> f64 {
+        self.files
+            .iter()
+            .map(FileMeta::load)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Sum of loads `Σ L_i`.
+    pub fn total_load(&self) -> f64 {
+        self.files.iter().map(FileMeta::load).sum()
+    }
+
+    /// Total bytes across all files (the redundancy-free cache footprint).
+    pub fn total_bytes(&self) -> f64 {
+        self.files.iter().map(|f| f.size_bytes).sum()
+    }
+
+    /// Per-file request rates `λ_i = P_i · Λ` for aggregate rate `Λ`.
+    pub fn request_rates(&self, lambda_total: f64) -> Vec<f64> {
+        assert!(lambda_total >= 0.0);
+        self.files
+            .iter()
+            .map(|f| f.popularity * lambda_total)
+            .collect()
+    }
+
+    /// Partition counts `k_i = ceil(α · L_i)` for every file (Eq. 1),
+    /// clamped to at least 1. Callers that must respect the cluster size
+    /// clamp to `N` separately (a file cannot have more partitions than
+    /// servers).
+    pub fn partition_counts(&self, alpha: f64) -> Vec<usize> {
+        assert!(alpha >= 0.0, "scale factor must be non-negative");
+        self.files
+            .iter()
+            .map(|f| crate::partition::partition_count(alpha, f.load()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_is_size_times_popularity() {
+        let f = FileMeta::new(100.0, 0.25);
+        assert_eq!(f.load(), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_rejected() {
+        let _ = FileMeta::new(0.0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn popularity_above_one_rejected() {
+        let _ = FileMeta::new(1.0, 1.5);
+    }
+
+    #[test]
+    fn uniform_size_constructor() {
+        let fs = FileSet::uniform_size(10.0, &[0.5, 0.3, 0.2]);
+        assert_eq!(fs.len(), 3);
+        assert_eq!(fs.get(0).size_bytes, 10.0);
+        assert!((fs.total_load() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_parts_pairs_up() {
+        let fs = FileSet::from_parts(&[10.0, 20.0], &[0.6, 0.4]);
+        assert_eq!(fs.get(1).size_bytes, 20.0);
+        assert_eq!(fs.get(1).popularity, 0.4);
+        assert_eq!(fs.max_load(), 8.0);
+    }
+
+    #[test]
+    fn request_rates_scale() {
+        let fs = FileSet::uniform_size(1.0, &[0.75, 0.25]);
+        let r = fs.request_rates(8.0);
+        assert_eq!(r, vec![6.0, 2.0]);
+    }
+
+    #[test]
+    fn partition_counts_follow_eq1() {
+        // alpha * L: 0.02*200=4, 0.02*50=1, 0.02*10=0.2→ceil≥1
+        let fs = FileSet::from_parts(&[1000.0, 1000.0, 1000.0], &[0.2, 0.05, 0.01]);
+        let ks = fs.partition_counts(0.02);
+        assert_eq!(ks, vec![4, 1, 1]);
+    }
+
+    #[test]
+    fn alpha_zero_means_no_splitting() {
+        let fs = FileSet::uniform_size(100.0, &[0.9, 0.1]);
+        assert_eq!(fs.partition_counts(0.0), vec![1, 1]);
+    }
+
+    #[test]
+    fn total_bytes_ignores_popularity() {
+        let fs = FileSet::from_parts(&[5.0, 7.0], &[0.0, 1.0]);
+        assert_eq!(fs.total_bytes(), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one file")]
+    fn empty_fileset_rejected() {
+        let _ = FileSet::new(vec![]);
+    }
+}

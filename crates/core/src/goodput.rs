@@ -1,0 +1,120 @@
+//! Network goodput decay with connection count.
+//!
+//! §4.2 measures how a reader's *goodput* decays as one logical read fans
+//! out over more TCP connections (protocol overhead + incast): on a 1 Gbps
+//! link goodput drops ~20% with 20 partitions and ~40% with 100; on
+//! 500 Mbps it falls to ~0.6 at 100 (Fig. 6). A logarithmic decay
+//! `g(c) = max(1 − a·ln c, floor)` fits both curves.
+//!
+//! This is a **client-side** effect: all partitions of one read funnel
+//! through the reading client's NIC, so a read of `S` bytes over `c`
+//! connections can never complete faster than `S / (B_client · g(c))`.
+//! That floor is what makes over-splitting expensive and gives the
+//! latency-vs-α curve its elbow (Figs. 5 and 8). The paper's queueing
+//! model omits it ("we assume a non-blocking network"); we fold it into
+//! the bound as a `max` with the fork-join term — a deviation documented
+//! in DESIGN.md — because without it Algorithm 1 has no reason to ever
+//! stop splitting.
+
+use serde::{Deserialize, Serialize};
+
+/// Logarithmic goodput decay in the number of concurrent connections.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Goodput {
+    /// Decay coefficient `a`.
+    pub decay: f64,
+    /// Lower bound on the goodput factor.
+    pub floor: f64,
+}
+
+impl Goodput {
+    /// Calibrated to the paper's 1 Gbps curve (Fig. 6): `g(20) ≈ 0.8`,
+    /// `g(100) ≈ 0.66`.
+    pub fn gbps1() -> Self {
+        Goodput {
+            decay: 0.067,
+            floor: 0.3,
+        }
+    }
+
+    /// Calibrated to the paper's 500 Mbps curve: steeper decay, reaching
+    /// ~0.6 at 100 connections.
+    pub fn mbps500() -> Self {
+        Goodput {
+            decay: 0.088,
+            floor: 0.3,
+        }
+    }
+
+    /// No connection overhead at all (ablation / the paper's idealized
+    /// queueing model).
+    pub fn ideal() -> Self {
+        Goodput {
+            decay: 0.0,
+            floor: 1.0,
+        }
+    }
+
+    /// The goodput factor for `connections` concurrent fetches
+    /// (1.0 at a single connection).
+    #[inline]
+    pub fn factor(&self, connections: usize) -> f64 {
+        debug_assert!(connections >= 1);
+        (1.0 - self.decay * (connections as f64).ln()).max(self.floor)
+    }
+}
+
+impl Default for Goodput {
+    fn default() -> Self {
+        Goodput::gbps1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_connection_is_ideal() {
+        assert_eq!(Goodput::gbps1().factor(1), 1.0);
+        assert_eq!(Goodput::mbps500().factor(1), 1.0);
+    }
+
+    #[test]
+    fn matches_fig6_calibration_points() {
+        let g = Goodput::gbps1();
+        let g20 = g.factor(20);
+        let g100 = g.factor(100);
+        assert!((0.75..=0.85).contains(&g20), "g(20) = {g20}");
+        assert!((0.58..=0.72).contains(&g100), "g(100) = {g100}");
+
+        let m = Goodput::mbps500();
+        let m100 = m.factor(100);
+        assert!((0.55..=0.65).contains(&m100), "500Mbps g(100) = {m100}");
+    }
+
+    #[test]
+    fn monotone_decreasing() {
+        let g = Goodput::gbps1();
+        let mut prev = f64::INFINITY;
+        for c in 1..200 {
+            let f = g.factor(c);
+            assert!(f <= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn floor_is_respected() {
+        let g = Goodput {
+            decay: 0.5,
+            floor: 0.3,
+        };
+        assert_eq!(g.factor(10_000), 0.3);
+    }
+
+    #[test]
+    fn ideal_never_decays() {
+        assert_eq!(Goodput::ideal().factor(1000), 1.0);
+    }
+}

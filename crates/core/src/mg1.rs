@@ -1,0 +1,315 @@
+//! M/G/1 queue moments for cache servers (paper Eqs. 5–6, 10–13).
+//!
+//! Each cache server `s` is modeled as an independent M/G/1 FIFO queue.
+//! A request for file `i` forks a read to every server holding one of its
+//! partitions, so server `s` sees Poisson arrivals at rate
+//! `Λ_s = Σ_{i ∈ C_s} λ_i` (Eq. 5). Partition transfer delays are
+//! exponential with mean `S_i / (k_i · B_s)`; the Pollaczek–Khinchin
+//! transform then gives the mean and variance of the sojourn time
+//! `Q_{i,s}` (queueing + service) that the fork-join bound consumes.
+
+use crate::file::FileSet;
+use crate::partition::PartitionMap;
+
+/// Per-server aggregates of the queueing model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerModel {
+    /// Aggregate Poisson arrival rate `Λ_s` (Eq. 5).
+    pub lambda: f64,
+    /// Mean service time `μ_s` (Eq. 6) — seconds per partition read.
+    pub mean_service: f64,
+    /// Second moment of service time `Γ²_s` (Eq. 12).
+    pub gamma2: f64,
+    /// Third moment of service time `Γ³_s` (Eq. 13).
+    pub gamma3: f64,
+    /// Utilization `ρ_s = Λ_s · μ_s`.
+    pub rho: f64,
+}
+
+impl ServerModel {
+    /// Whether the queue is stable (`ρ < 1`); the P-K moments diverge
+    /// otherwise.
+    pub fn is_stable(&self) -> bool {
+        self.rho < 1.0
+    }
+
+    /// Mean sojourn time for a partition of size `part_bytes` at bandwidth
+    /// `bandwidth` (Eq. 10): transfer + P-K mean waiting time.
+    /// Returns `f64::INFINITY` for an unstable queue.
+    pub fn mean_sojourn(&self, part_bytes: f64, bandwidth: f64) -> f64 {
+        if !self.is_stable() {
+            return f64::INFINITY;
+        }
+        part_bytes / bandwidth + self.lambda * self.gamma2 / (2.0 * (1.0 - self.rho))
+    }
+
+    /// Variance of the sojourn time (Eq. 11).
+    /// Returns `f64::INFINITY` for an unstable queue.
+    pub fn var_sojourn(&self, part_bytes: f64, bandwidth: f64) -> f64 {
+        if !self.is_stable() {
+            return f64::INFINITY;
+        }
+        let transfer = part_bytes / bandwidth;
+        transfer * transfer
+            + self.lambda * self.gamma3 / (3.0 * (1.0 - self.rho))
+            + self.lambda * self.lambda * self.gamma2 * self.gamma2
+                / (4.0 * (1.0 - self.rho) * (1.0 - self.rho))
+    }
+}
+
+/// The full cluster queueing model: one [`ServerModel`] per server, derived
+/// from a file set, request rates, a partition map and per-server
+/// bandwidths.
+///
+/// # Examples
+///
+/// ```
+/// use spcache_core::file::FileSet;
+/// use spcache_core::mg1::ClusterModel;
+/// use spcache_core::partition::PartitionMap;
+///
+/// // One 100 MB file split over two 1 Gbps servers, 4 reads/s.
+/// let files = FileSet::uniform_size(100e6, &[1.0]);
+/// let map = PartitionMap::new(vec![vec![0, 1]], 2);
+/// let model = ClusterModel::build(&files, &[4.0], &map, &[125e6, 125e6]);
+/// // Each partition is 50 MB → 0.4 s service, ρ = 4 × 0.4 = 1.6 … unstable!
+/// assert!(!model.all_stable());
+/// // Split 4 ways on 4 servers instead: ρ = 4 × 0.2 = 0.8, stable.
+/// let map4 = PartitionMap::new(vec![vec![0, 1, 2, 3]], 4);
+/// let model4 = ClusterModel::build(&files, &[4.0], &map4, &[125e6; 4]);
+/// assert!(model4.all_stable());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterModel {
+    servers: Vec<ServerModel>,
+    bandwidths: Vec<f64>,
+}
+
+impl ClusterModel {
+    /// Builds the per-server moments.
+    ///
+    /// * `rates[i]` — request rate `λ_i` of file `i` (req/s),
+    /// * `map` — the partition placement (defines `C_s` and `k_i`),
+    /// * `bandwidths[s]` — bytes/s available at server `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches or non-positive bandwidths.
+    pub fn build(files: &FileSet, rates: &[f64], map: &PartitionMap, bandwidths: &[f64]) -> Self {
+        assert_eq!(files.len(), rates.len(), "rates length mismatch");
+        assert_eq!(files.len(), map.len(), "map length mismatch");
+        assert_eq!(map.n_servers(), bandwidths.len(), "bandwidths mismatch");
+        assert!(
+            bandwidths.iter().all(|&b| b > 0.0),
+            "bandwidths must be positive"
+        );
+
+        let n = map.n_servers();
+        let mut lambda = vec![0.0f64; n];
+        let mut m1 = vec![0.0f64; n]; // Σ λ_i · t_i
+        let mut m2 = vec![0.0f64; n]; // Σ λ_i · 2 t_i²
+        let mut m3 = vec![0.0f64; n]; // Σ λ_i · 6 t_i³
+
+        for (i, meta) in files.iter() {
+            let k = map.k_of(i) as f64;
+            let part = meta.size_bytes / k;
+            for &s in map.servers_of(i) {
+                let t = part / bandwidths[s]; // mean transfer time at s
+                lambda[s] += rates[i];
+                m1[s] += rates[i] * t;
+                // Exponential service: E[T²] = 2t², E[T³] = 6t³.
+                m2[s] += rates[i] * 2.0 * t * t;
+                m3[s] += rates[i] * 6.0 * t * t * t;
+            }
+        }
+
+        let servers = (0..n)
+            .map(|s| {
+                if lambda[s] == 0.0 {
+                    return ServerModel {
+                        lambda: 0.0,
+                        mean_service: 0.0,
+                        gamma2: 0.0,
+                        gamma3: 0.0,
+                        rho: 0.0,
+                    };
+                }
+                let mean_service = m1[s] / lambda[s];
+                let gamma2 = m2[s] / lambda[s];
+                let gamma3 = m3[s] / lambda[s];
+                ServerModel {
+                    lambda: lambda[s],
+                    mean_service,
+                    gamma2,
+                    gamma3,
+                    rho: lambda[s] * mean_service,
+                }
+            })
+            .collect();
+
+        ClusterModel {
+            servers,
+            bandwidths: bandwidths.to_vec(),
+        }
+    }
+
+    /// The model for server `s`.
+    pub fn server(&self, s: usize) -> &ServerModel {
+        &self.servers[s]
+    }
+
+    /// Bandwidth of server `s`.
+    pub fn bandwidth(&self, s: usize) -> f64 {
+        self.bandwidths[s]
+    }
+
+    /// Number of servers.
+    pub fn n_servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Whether every server queue is stable.
+    pub fn all_stable(&self) -> bool {
+        self.servers.iter().all(ServerModel::is_stable)
+    }
+
+    /// Highest utilization across servers.
+    pub fn max_rho(&self) -> f64 {
+        self.servers.iter().map(|s| s.rho).fold(0.0, f64::max)
+    }
+
+    /// `(E[Q_{i,s}], Var[Q_{i,s}])` for each server holding a partition of
+    /// file `i` — the inputs to the fork-join bound (Eq. 9).
+    pub fn sojourn_moments(&self, files: &FileSet, map: &PartitionMap, i: usize) -> Vec<(f64, f64)> {
+        let k = map.k_of(i) as f64;
+        let part = files.get(i).size_bytes / k;
+        map.servers_of(i)
+            .iter()
+            .map(|&s| {
+                let m = &self.servers[s];
+                let b = self.bandwidths[s];
+                (m.mean_sojourn(part, b), m.var_sojourn(part, b))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::FileSet;
+    use crate::partition::PartitionMap;
+
+    /// One file, one server: the degenerate M/M/1 case where all P-K
+    /// formulas have closed forms to compare against.
+    fn single_server_model(size: f64, rate: f64, bw: f64) -> (FileSet, ClusterModel, PartitionMap) {
+        let files = FileSet::uniform_size(size, &[1.0]);
+        let map = PartitionMap::new(vec![vec![0]], 1);
+        let model = ClusterModel::build(&files, &[rate], &map, &[bw]);
+        (files, model, map)
+    }
+
+    #[test]
+    fn mm1_mean_sojourn_matches_closed_form() {
+        // M/M/1: E[T] = 1/(μ − λ) with μ = 1/t.
+        let t: f64 = 0.05; // 50 ms service
+        let lambda = 10.0;
+        let (files, model, map) = single_server_model(t * 1e9, lambda, 1e9);
+        let s = model.server(0);
+        assert!((s.mean_service - t).abs() < 1e-12);
+        assert!((s.rho - 0.5).abs() < 1e-12);
+        let (mean, var) = model.sojourn_moments(&files, &map, 0)[0];
+        let closed = 1.0 / (1.0 / t - lambda);
+        assert!(
+            (mean - closed).abs() < 1e-9,
+            "P-K mean {mean} vs M/M/1 {closed}"
+        );
+        // M/M/1 sojourn is exponential(μ−λ): Var = closed².
+        assert!(
+            (var - closed * closed).abs() / (closed * closed) < 1e-9,
+            "P-K var {var} vs {}",
+            closed * closed
+        );
+    }
+
+    #[test]
+    fn unstable_queue_reports_infinity() {
+        let (files, model, map) = single_server_model(0.2 * 1e9, 10.0, 1e9); // rho = 2
+        assert!(!model.all_stable());
+        let (mean, var) = model.sojourn_moments(&files, &map, 0)[0];
+        assert!(mean.is_infinite());
+        assert!(var.is_infinite());
+    }
+
+    #[test]
+    fn idle_server_zero_moments() {
+        let files = FileSet::uniform_size(1e6, &[1.0]);
+        let map = PartitionMap::new(vec![vec![0]], 2); // server 1 idle
+        let model = ClusterModel::build(&files, &[1.0], &map, &[1e9, 1e9]);
+        let idle = model.server(1);
+        assert_eq!(idle.lambda, 0.0);
+        assert_eq!(idle.rho, 0.0);
+        assert!(idle.is_stable());
+    }
+
+    #[test]
+    fn partitioning_reduces_utilization() {
+        // One hot file, split across 4 servers vs cached whole: per-server
+        // rho falls by 4x.
+        let files = FileSet::uniform_size(100e6, &[1.0]);
+        let rates = [8.0];
+        let whole = PartitionMap::new(vec![vec![0]], 4);
+        let split = PartitionMap::new(vec![vec![0, 1, 2, 3]], 4);
+        let bw = [1e9; 4];
+        let m_whole = ClusterModel::build(&files, &rates, &whole, &bw);
+        let m_split = ClusterModel::build(&files, &rates, &split, &bw);
+        let rho_whole = m_whole.server(0).rho;
+        let rho_split = m_split.server(0).rho;
+        assert!((rho_whole / rho_split - 4.0).abs() < 1e-9);
+        // All four servers share the load equally.
+        for s in 0..4 {
+            assert!((m_split.server(s).rho - rho_split).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gamma_moments_exponential_relations() {
+        // With a single file class, Γ² = 2t² and Γ³ = 6t³ exactly.
+        let t: f64 = 0.01;
+        let (_, model, _) = single_server_model(t * 1e9, 1.0, 1e9);
+        let s = model.server(0);
+        assert!((s.gamma2 - 2.0 * t * t).abs() < 1e-15);
+        assert!((s.gamma3 - 6.0 * t * t * t).abs() < 1e-18);
+    }
+
+    #[test]
+    fn mixed_file_classes_weight_by_rate() {
+        // Two files on one server: service moments are rate-weighted.
+        let files = FileSet::from_parts(&[1e9, 2e9], &[0.5, 0.5]);
+        let map = PartitionMap::new(vec![vec![0], vec![0]], 1);
+        let model = ClusterModel::build(&files, &[3.0, 1.0], &map, &[1e9]);
+        let s = model.server(0);
+        // t1 = 1s at rate 3; t2 = 2s at rate 1 → mean = (3*1 + 1*2)/4
+        assert!((s.mean_service - 1.25).abs() < 1e-12);
+        assert_eq!(s.lambda, 4.0);
+    }
+
+    #[test]
+    fn heterogeneous_bandwidths() {
+        let files = FileSet::uniform_size(1e9, &[1.0]);
+        let map = PartitionMap::new(vec![vec![0, 1]], 2);
+        let model = ClusterModel::build(&files, &[1.0], &map, &[1e9, 2e9]);
+        // Server 1 is twice as fast → half the mean service time.
+        assert!(
+            (model.server(0).mean_service / model.server(1).mean_service - 2.0).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidths must be positive")]
+    fn zero_bandwidth_rejected() {
+        let files = FileSet::uniform_size(1e6, &[1.0]);
+        let map = PartitionMap::new(vec![vec![0]], 1);
+        let _ = ClusterModel::build(&files, &[1.0], &map, &[0.0]);
+    }
+}

@@ -1,0 +1,376 @@
+//! Online partition-granularity adjustment (the paper's §8 extension).
+//!
+//! Periodic repartition (Algorithm 2) reassembles a whole file to re-split
+//! it. For *short-term* popularity bursts §8 sketches something cheaper:
+//! since partitions are contiguous byte ranges, a file can move from `k`
+//! to `k'` partitions by **splitting and combining the existing
+//! partitions in place**, transferring only the bytes that actually
+//! change servers — no reassembly point, no full-file transfer
+//! ("this can be done in a distributed manner and incurs only a small
+//! amount of data transfer", §8).
+//!
+//! This module plans such adjustments: each new partition (a byte range
+//! under the new granularity) is assigned to the server holding the
+//! *largest overlap* with it, subject to the distinct-servers invariant;
+//! the bytes it lacks are pulled as sub-ranges from their current
+//! holders. The plan reports exactly how many bytes cross the network,
+//! which collapses to 0 when `k' = k` and stays far below the full
+//! reassembly cost otherwise (tested below; the `spcache-store` crate
+//! executes these plans against real bytes).
+
+use serde::{Deserialize, Serialize};
+
+/// A half-open byte range `[start, end)` in file coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ByteRange {
+    /// First byte.
+    pub start: u64,
+    /// One past the last byte.
+    pub end: u64,
+}
+
+impl ByteRange {
+    /// Length in bytes.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Intersection with another range (possibly empty).
+    pub fn intersect(&self, other: &ByteRange) -> ByteRange {
+        ByteRange {
+            start: self.start.max(other.start),
+            end: self.end.min(other.end).max(self.start.max(other.start)),
+        }
+    }
+}
+
+/// The byte range of partition `j` out of `k` for a file of `size` bytes,
+/// matching `spcache_ec::split_into_shards`'s layout (equal `ceil(size/k)`
+/// slots, the last one short).
+pub fn partition_range(size: u64, k: usize, j: usize) -> ByteRange {
+    assert!(k > 0 && j < k);
+    let slot = size.div_ceil(k as u64).max(1);
+    let start = (j as u64 * slot).min(size);
+    let end = ((j as u64 + 1) * slot).min(size);
+    ByteRange { start, end }
+}
+
+/// One sub-range pull feeding a new partition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PullOp {
+    /// Server currently holding the bytes.
+    pub from_server: usize,
+    /// Old partition index holding the bytes.
+    pub from_part: u32,
+    /// Offset of the wanted bytes *within that old partition*.
+    pub offset_in_part: u64,
+    /// Number of bytes wanted.
+    pub len: u64,
+}
+
+/// One new partition to materialize.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NewPartition {
+    /// Index under the new granularity.
+    pub index: u32,
+    /// File byte range it covers.
+    pub range: ByteRange,
+    /// Server that will hold it.
+    pub server: usize,
+    /// Sub-range pulls, in file order; pulls from `server` itself are
+    /// local (no network).
+    pub pulls: Vec<PullOp>,
+}
+
+impl NewPartition {
+    /// Bytes this partition must pull over the network (excludes local
+    /// pulls).
+    pub fn network_bytes(&self) -> u64 {
+        self.pulls
+            .iter()
+            .filter(|p| p.from_server != self.server)
+            .map(|p| p.len)
+            .sum()
+    }
+}
+
+/// A complete online adjustment plan for one file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OnlinePlan {
+    /// File size in bytes.
+    pub size: u64,
+    /// Old partition count.
+    pub old_k: usize,
+    /// New partitions in index order.
+    pub parts: Vec<NewPartition>,
+}
+
+impl OnlinePlan {
+    /// New partition count.
+    pub fn new_k(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Total bytes crossing the network.
+    pub fn network_bytes(&self) -> u64 {
+        self.parts.iter().map(NewPartition::network_bytes).sum()
+    }
+
+    /// What Algorithm 2's reassembly path would move for the same
+    /// adjustment: pull `(k−1)/k` of the file to an executor, push
+    /// `(k'−1)/k'` back out (best case — executor holds one old and keeps
+    /// one new partition).
+    pub fn reassembly_bytes(&self) -> u64 {
+        let k = self.old_k as u64;
+        let k2 = self.parts.len() as u64;
+        self.size * (k - 1) / k + self.size * (k2 - 1) / k2
+    }
+
+    /// The servers of the new layout, in partition order.
+    pub fn new_servers(&self) -> Vec<usize> {
+        self.parts.iter().map(|p| p.server).collect()
+    }
+}
+
+/// Plans an online adjustment of one file from its current placement
+/// (`old_servers[j]` holds partition `j`) to `new_k` partitions.
+///
+/// Assignment: greedy by overlap — each new partition goes to the server
+/// whose old partition overlaps it the most, unless that server is
+/// already taken, in which case the least-loaded unused server (per
+/// `server_loads`) hosts it. Every byte a new partition lacks is pulled
+/// as a sub-range from its current holder.
+///
+/// # Panics
+///
+/// Panics if `new_k` is 0, exceeds `server_loads.len()`, or
+/// `old_servers` is empty / contains duplicates.
+pub fn plan_adjust(
+    size: u64,
+    old_servers: &[usize],
+    new_k: usize,
+    server_loads: &[f64],
+) -> OnlinePlan {
+    let old_k = old_servers.len();
+    assert!(old_k > 0, "file must have partitions");
+    assert!(new_k > 0, "target partition count must be positive");
+    assert!(
+        new_k <= server_loads.len(),
+        "cannot place {new_k} distinct partitions on {} servers",
+        server_loads.len()
+    );
+    {
+        let mut sorted = old_servers.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), old_k, "old placement has duplicate servers");
+    }
+
+    let mut used = vec![false; server_loads.len()];
+    let mut parts = Vec::with_capacity(new_k);
+    for i in 0..new_k {
+        let range = partition_range(size, new_k, i);
+        // Which old partition overlaps this new range the most, and is its
+        // server still free?
+        let mut best: Option<(u64, usize)> = None; // (overlap, old index)
+        for (j, &srv) in old_servers.iter().enumerate() {
+            if used[srv] {
+                continue;
+            }
+            let overlap = range.intersect(&partition_range(size, old_k, j)).len();
+            if best.is_none_or(|(b, _)| overlap > b) && overlap > 0 {
+                best = Some((overlap, j));
+            }
+        }
+        let server = match best {
+            Some((_, j)) => old_servers[j],
+            None => {
+                // No overlapping holder free: least-loaded unused server,
+                // preferring servers that hold no old partition at all —
+                // taking a holder here would rob a later new partition of
+                // its local bytes.
+                let is_holder = |s: usize| old_servers.contains(&s);
+                let pick = |only_non_holders: bool| {
+                    (0..server_loads.len())
+                        .filter(|&s| !used[s] && (!only_non_holders || !is_holder(s)))
+                        .min_by(|&a, &b| {
+                            server_loads[a]
+                                .partial_cmp(&server_loads[b])
+                                .expect("no NaN loads")
+                                .then(a.cmp(&b))
+                        })
+                };
+                pick(true)
+                    .or_else(|| pick(false))
+                    .expect("new_k <= server count guarantees a free server")
+            }
+        };
+        used[server] = true;
+
+        // Pull list: every old partition overlapping the new range
+        // contributes its slice, in file order.
+        let mut pulls = Vec::new();
+        for (j, &srv) in old_servers.iter().enumerate() {
+            let old_range = partition_range(size, old_k, j);
+            let inter = range.intersect(&old_range);
+            if !inter.is_empty() {
+                pulls.push(PullOp {
+                    from_server: srv,
+                    from_part: j as u32,
+                    offset_in_part: inter.start - old_range.start,
+                    len: inter.len(),
+                });
+            }
+        }
+        parts.push(NewPartition {
+            index: i as u32,
+            range,
+            server,
+            pulls,
+        });
+    }
+
+    OnlinePlan {
+        size,
+        old_k,
+        parts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_partition_the_file() {
+        for &(size, k) in &[(100u64, 3usize), (99, 10), (1, 1), (7, 7), (1000, 4)] {
+            let mut cursor = 0;
+            for j in 0..k {
+                let r = partition_range(size, k, j);
+                assert_eq!(r.start, cursor.min(size), "size {size} k {k} j {j}");
+                cursor = r.end;
+            }
+            assert_eq!(cursor, size);
+        }
+    }
+
+    #[test]
+    fn intersect_basics() {
+        let a = ByteRange { start: 0, end: 10 };
+        let b = ByteRange { start: 5, end: 15 };
+        assert_eq!(a.intersect(&b), ByteRange { start: 5, end: 10 });
+        let c = ByteRange { start: 20, end: 30 };
+        assert!(a.intersect(&c).is_empty());
+    }
+
+    #[test]
+    fn identity_adjustment_moves_nothing() {
+        let plan = plan_adjust(1000, &[2, 5, 7], 3, &[0.0; 10]);
+        assert_eq!(plan.network_bytes(), 0, "k'=k must be free");
+        assert_eq!(plan.new_servers(), vec![2, 5, 7]);
+    }
+
+    #[test]
+    fn doubling_moves_half_the_file() {
+        // k=2 → k=4: each holder keeps the first half of its partition and
+        // ships the second half elsewhere: exactly size/2 over the network.
+        let plan = plan_adjust(1000, &[0, 1], 4, &[0.0; 8]);
+        assert_eq!(plan.new_k(), 4);
+        assert_eq!(plan.network_bytes(), 500);
+        // Far below the reassembly cost.
+        assert!(plan.network_bytes() < plan.reassembly_bytes());
+        // Distinct servers.
+        let mut s = plan.new_servers();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn halving_moves_half_the_file() {
+        // k=4 → k=2: new partition 0 = old parts 0+1; holder of old 0
+        // keeps its half and pulls old 1. Network = size/2.
+        let plan = plan_adjust(1000, &[3, 4, 5, 6], 2, &[0.0; 8]);
+        assert_eq!(plan.network_bytes(), 500);
+        assert_eq!(plan.new_servers(), vec![3, 5]);
+    }
+
+    #[test]
+    fn pulls_cover_each_new_range_exactly() {
+        for &(size, old_k, new_k) in &[
+            (997u64, 3usize, 7usize),
+            (1000, 7, 3),
+            (12, 4, 5),
+            (100, 1, 10),
+            (100, 10, 1),
+        ] {
+            let old: Vec<usize> = (0..old_k).collect();
+            let plan = plan_adjust(size, &old, new_k, &[0.0; 16]);
+            for p in &plan.parts {
+                let total: u64 = p.pulls.iter().map(|x| x.len).sum();
+                assert_eq!(total, p.range.len(), "size {size} {old_k}→{new_k}");
+                // Pulls are contiguous and in order.
+                let mut cursor = p.range.start;
+                for pull in &p.pulls {
+                    let src = partition_range(size, old_k, pull.from_part as usize);
+                    assert_eq!(src.start + pull.offset_in_part, cursor);
+                    cursor += pull.len;
+                }
+                assert_eq!(cursor, p.range.end);
+            }
+        }
+    }
+
+    #[test]
+    fn online_beats_reassembly_for_moderate_changes() {
+        for &(old_k, new_k) in &[(4usize, 6usize), (6, 4), (10, 15), (8, 8), (2, 3)] {
+            let old: Vec<usize> = (0..old_k).collect();
+            let plan = plan_adjust(1_000_000, &old, new_k, &[0.0; 20]);
+            assert!(
+                plan.network_bytes() <= plan.reassembly_bytes(),
+                "{old_k}→{new_k}: online {} vs reassembly {}",
+                plan.network_bytes(),
+                plan.reassembly_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn overflow_servers_prefer_least_loaded() {
+        // Splitting 1 → 3 needs two fresh servers; they must be the least
+        // loaded unused ones.
+        let mut loads = vec![9.0; 6];
+        loads[2] = 1.0;
+        loads[4] = 0.5;
+        let plan = plan_adjust(999, &[0], 3, &loads);
+        let servers = plan.new_servers();
+        assert_eq!(servers[0], 0, "holder keeps the head");
+        assert!(servers.contains(&4) && servers.contains(&2));
+    }
+
+    #[test]
+    fn tiny_files_still_plan() {
+        let plan = plan_adjust(1, &[0], 3, &[0.0; 4]);
+        assert_eq!(plan.new_k(), 3);
+        // Only partition 0 has bytes.
+        assert_eq!(plan.parts[0].range.len(), 1);
+        assert_eq!(plan.parts[1].range.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct partitions")]
+    fn too_few_servers_rejected() {
+        let _ = plan_adjust(100, &[0], 5, &[0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate servers")]
+    fn duplicate_old_servers_rejected() {
+        let _ = plan_adjust(100, &[1, 1], 2, &[0.0; 3]);
+    }
+}

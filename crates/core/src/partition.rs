@@ -1,0 +1,227 @@
+//! Selective partition (paper Eq. 1).
+//!
+//! `k_i = ceil(α · L_i)`, clamped below by 1 (a file always exists as at
+//! least one partition). With this rule every partition carries load
+//! `L_i / k_i ≈ 1/α`, so partitions are interchangeable load units and
+//! *random* placement suffices for balance (§5.1) — the insight that lets
+//! SP-Cache drop both replicas and parity.
+
+use serde::{Deserialize, Serialize};
+
+use crate::file::{FileId, FileSet};
+
+/// The partition count for a single file: `max(1, ceil(α · load))`.
+///
+/// # Examples
+///
+/// ```
+/// use spcache_core::partition::partition_count;
+///
+/// assert_eq!(partition_count(0.0, 123.0), 1); // α=0 → never split
+/// assert_eq!(partition_count(0.5, 7.9), 4);   // ceil(3.95)
+/// assert_eq!(partition_count(1.0, 3.0), 3);
+/// ```
+#[inline]
+pub fn partition_count(alpha: f64, load: f64) -> usize {
+    debug_assert!(alpha >= 0.0 && load >= 0.0);
+    let k = (alpha * load).ceil();
+    if k < 1.0 {
+        1
+    } else {
+        k as usize
+    }
+}
+
+/// Partition counts for every file, additionally clamped to the number of
+/// servers (a file cannot occupy more servers than exist; the paper's
+/// Algorithm 1 starts the hottest file at `N/3` partitions, well below the
+/// clamp).
+pub fn partition_counts_clamped(files: &FileSet, alpha: f64, n_servers: usize) -> Vec<usize> {
+    assert!(n_servers > 0);
+    files
+        .partition_counts(alpha)
+        .into_iter()
+        .map(|k| k.min(n_servers))
+        .collect()
+}
+
+/// A complete partition assignment: for each file, the servers holding its
+/// partitions (partition `j` of file `i` lives on `map[i][j]`).
+///
+/// Invariant: within one file, servers are distinct (the paper: "no two
+/// partitions of a file are cached on the same server").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionMap {
+    servers_per_file: Vec<Vec<usize>>,
+    n_servers: usize,
+}
+
+impl PartitionMap {
+    /// Builds a map, validating the distinct-servers invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any file has zero partitions, a server index out of
+    /// range, or duplicate servers.
+    pub fn new(servers_per_file: Vec<Vec<usize>>, n_servers: usize) -> Self {
+        for (i, servers) in servers_per_file.iter().enumerate() {
+            assert!(!servers.is_empty(), "file {i} has no partitions");
+            let mut seen = vec![false; n_servers];
+            for &s in servers {
+                assert!(s < n_servers, "file {i}: server {s} out of range");
+                assert!(!seen[s], "file {i}: duplicate server {s}");
+                seen[s] = true;
+            }
+        }
+        PartitionMap {
+            servers_per_file,
+            n_servers,
+        }
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.servers_per_file.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.servers_per_file.is_empty()
+    }
+
+    /// Cluster size.
+    pub fn n_servers(&self) -> usize {
+        self.n_servers
+    }
+
+    /// Servers holding file `i`'s partitions.
+    pub fn servers_of(&self, i: FileId) -> &[usize] {
+        &self.servers_per_file[i]
+    }
+
+    /// Partition count `k_i`.
+    pub fn k_of(&self, i: FileId) -> usize {
+        self.servers_per_file[i].len()
+    }
+
+    /// All partition counts.
+    pub fn partition_counts(&self) -> Vec<usize> {
+        self.servers_per_file.iter().map(Vec::len).collect()
+    }
+
+    /// For each server, the files with a partition there (the `C_s` sets of
+    /// the queueing model).
+    pub fn files_per_server(&self) -> Vec<Vec<FileId>> {
+        let mut out = vec![Vec::new(); self.n_servers];
+        for (i, servers) in self.servers_per_file.iter().enumerate() {
+            for &s in servers {
+                out[s].push(i);
+            }
+        }
+        out
+    }
+
+    /// Number of partitions per server (placement balance check).
+    pub fn partitions_per_server(&self) -> Vec<usize> {
+        let mut out = vec![0usize; self.n_servers];
+        for servers in &self.servers_per_file {
+            for &s in servers {
+                out[s] += 1;
+            }
+        }
+        out
+    }
+
+    /// Replaces file `i`'s placement (used by the repartition executor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new placement violates the invariants.
+    pub fn set_servers_of(&mut self, i: FileId, servers: Vec<usize>) {
+        assert!(!servers.is_empty(), "file {i} must keep >= 1 partition");
+        let mut seen = vec![false; self.n_servers];
+        for &s in &servers {
+            assert!(s < self.n_servers, "server {s} out of range");
+            assert!(!seen[s], "duplicate server {s}");
+            seen[s] = true;
+        }
+        self.servers_per_file[i] = servers;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::FileSet;
+
+    #[test]
+    fn count_monotone_in_alpha() {
+        let load = 37.5;
+        let mut prev = 0;
+        for step in 0..100 {
+            let alpha = step as f64 * 0.05;
+            let k = partition_count(alpha, load);
+            assert!(k >= prev, "k must not decrease as alpha grows");
+            prev = k;
+        }
+    }
+
+    #[test]
+    fn count_monotone_in_load() {
+        let alpha = 0.7;
+        let mut prev = 0;
+        for load in 0..200 {
+            let k = partition_count(alpha, load as f64 * 0.5);
+            assert!(k >= prev);
+            prev = k;
+        }
+    }
+
+    #[test]
+    fn clamped_counts_respect_cluster_size() {
+        let fs = FileSet::uniform_size(1000.0, &[0.9, 0.1]);
+        let ks = partition_counts_clamped(&fs, 1.0, 30);
+        assert_eq!(ks[0], 30); // ceil(900) clamped
+        assert_eq!(ks[1], 30); // ceil(100) clamped
+        let ks = partition_counts_clamped(&fs, 0.01, 30);
+        assert_eq!(ks, vec![9, 1]);
+    }
+
+    #[test]
+    fn map_queries() {
+        let m = PartitionMap::new(vec![vec![0, 2], vec![1]], 3);
+        assert_eq!(m.k_of(0), 2);
+        assert_eq!(m.servers_of(1), &[1]);
+        assert_eq!(m.partition_counts(), vec![2, 1]);
+        assert_eq!(m.partitions_per_server(), vec![1, 1, 1]);
+        let fps = m.files_per_server();
+        assert_eq!(fps[0], vec![0]);
+        assert_eq!(fps[1], vec![1]);
+        assert_eq!(fps[2], vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate server")]
+    fn duplicate_server_rejected() {
+        let _ = PartitionMap::new(vec![vec![1, 1]], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let _ = PartitionMap::new(vec![vec![3]], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no partitions")]
+    fn empty_file_rejected() {
+        let _ = PartitionMap::new(vec![vec![]], 3);
+    }
+
+    #[test]
+    fn set_servers_replaces() {
+        let mut m = PartitionMap::new(vec![vec![0]], 4);
+        m.set_servers_of(0, vec![1, 2, 3]);
+        assert_eq!(m.k_of(0), 3);
+    }
+}

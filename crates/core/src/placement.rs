@@ -1,0 +1,292 @@
+//! Partition placement policies.
+//!
+//! SP-Cache's key simplification (§5.1/§6.3): because selective partition
+//! makes every partition carry the same load, *random* placement on
+//! distinct servers already balances the cluster — no placement
+//! optimization needed. The repartition path (Algorithm 2) additionally
+//! uses a greedy least-loaded placement for the files it moves. Round-robin
+//! and consistent hashing are provided as the §9 strawmen.
+
+use rand::Rng;
+
+use spcache_workload::dist::uniform_usize;
+
+use crate::file::FileSet;
+use crate::partition::{partition_counts_clamped, PartitionMap};
+
+/// Chooses `k` distinct servers out of `n` uniformly at random (partial
+/// Fisher–Yates over an index pool).
+///
+/// # Panics
+///
+/// Panics if `k > n` or `k == 0`.
+pub fn random_distinct<R: Rng + ?Sized>(k: usize, n: usize, rng: &mut R) -> Vec<usize> {
+    assert!(k > 0, "need at least one server");
+    assert!(k <= n, "cannot pick {k} distinct servers out of {n}");
+    // For small k relative to n, rejection sampling is cheaper than
+    // materializing 0..n; for large k, do a partial shuffle.
+    if k * 4 <= n {
+        let mut picked = Vec::with_capacity(k);
+        while picked.len() < k {
+            let s = uniform_usize(rng, n);
+            if !picked.contains(&s) {
+                picked.push(s);
+            }
+        }
+        picked
+    } else {
+        let mut pool: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + uniform_usize(rng, n - i);
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        pool
+    }
+}
+
+/// Chooses the `k` least-loaded servers (Algorithm 2's greedy step),
+/// breaking ties by lower index for determinism. `loads[s]` is any
+/// additive load measure (partition count or bytes).
+///
+/// # Panics
+///
+/// Panics if `k > loads.len()` or `k == 0`.
+pub fn least_loaded(k: usize, loads: &[f64]) -> Vec<usize> {
+    assert!(k > 0, "need at least one server");
+    assert!(k <= loads.len(), "not enough servers");
+    let mut idx: Vec<usize> = (0..loads.len()).collect();
+    idx.sort_by(|&a, &b| {
+        loads[a]
+            .partial_cmp(&loads[b])
+            .expect("no NaN loads")
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+/// Builds a full [`PartitionMap`] with random-distinct placement — the
+/// default SP-Cache layout (§5.1).
+pub fn random_partition_map<R: Rng + ?Sized>(
+    files: &FileSet,
+    alpha: f64,
+    n_servers: usize,
+    rng: &mut R,
+) -> PartitionMap {
+    let ks = partition_counts_clamped(files, alpha, n_servers);
+    let placements = ks
+        .iter()
+        .map(|&k| random_distinct(k, n_servers, rng))
+        .collect();
+    PartitionMap::new(placements, n_servers)
+}
+
+/// Round-robin placement: file `i`'s partitions land on consecutive
+/// servers starting at a rolling cursor. Simple, deterministic — and
+/// popularity-agnostic, which is exactly why it load-imbalances (§6.3).
+pub fn round_robin_partition_map(files: &FileSet, alpha: f64, n_servers: usize) -> PartitionMap {
+    let ks = partition_counts_clamped(files, alpha, n_servers);
+    let mut cursor = 0usize;
+    let placements = ks
+        .iter()
+        .map(|&k| {
+            let servers: Vec<usize> = (0..k).map(|j| (cursor + j) % n_servers).collect();
+            cursor = (cursor + k) % n_servers;
+            servers
+        })
+        .collect();
+    PartitionMap::new(placements, n_servers)
+}
+
+/// A consistent-hash ring with virtual nodes (the §9 "data placement"
+/// strawman). Files map to the first `k` *distinct* servers clockwise from
+/// their hash point.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(ring position, server)` sorted by position.
+    points: Vec<(u64, usize)>,
+    n_servers: usize,
+}
+
+impl HashRing {
+    /// Builds a ring with `vnodes` virtual nodes per server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_servers == 0` or `vnodes == 0`.
+    pub fn new(n_servers: usize, vnodes: usize) -> Self {
+        assert!(n_servers > 0 && vnodes > 0);
+        let mut points = Vec::with_capacity(n_servers * vnodes);
+        for s in 0..n_servers {
+            for v in 0..vnodes {
+                points.push((Self::hash(((s as u64) << 32) | v as u64), s));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, n_servers }
+    }
+
+    /// SplitMix64-style avalanche hash.
+    fn hash(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    /// The first `k` distinct servers clockwise from `key`'s hash point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n_servers`.
+    pub fn servers_for(&self, key: u64, k: usize) -> Vec<usize> {
+        assert!(k <= self.n_servers, "not enough servers on the ring");
+        let h = Self::hash(key);
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let mut picked = Vec::with_capacity(k);
+        let mut seen = vec![false; self.n_servers];
+        for off in 0..self.points.len() {
+            let (_, s) = self.points[(start + off) % self.points.len()];
+            if !seen[s] {
+                seen[s] = true;
+                picked.push(s);
+                if picked.len() == k {
+                    break;
+                }
+            }
+        }
+        picked
+    }
+
+    /// Builds a full [`PartitionMap`] for a file set.
+    pub fn partition_map(&self, files: &FileSet, alpha: f64) -> PartitionMap {
+        let ks = partition_counts_clamped(files, alpha, self.n_servers);
+        let placements = ks
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| self.servers_for(i as u64, k))
+            .collect();
+        PartitionMap::new(placements, self.n_servers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use spcache_sim::Xoshiro256StarStar;
+    use spcache_workload::zipf::zipf_popularities;
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn random_distinct_is_distinct() {
+        let mut r = rng(1);
+        for _ in 0..200 {
+            for &(k, n) in &[(1usize, 1usize), (3, 30), (29, 30), (30, 30), (5, 100)] {
+                let picked = random_distinct(k, n, &mut r);
+                assert_eq!(picked.len(), k);
+                let mut sorted = picked.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), k, "duplicates in {picked:?}");
+                assert!(picked.iter().all(|&s| s < n));
+            }
+        }
+    }
+
+    #[test]
+    fn random_distinct_is_roughly_uniform() {
+        let mut r = rng(2);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            for s in random_distinct(3, 10, &mut r) {
+                counts[s] += 1;
+            }
+        }
+        // Each server expects 6000 hits.
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                (5500..6500).contains(&c),
+                "server {s} hit {c} times, expected ~6000"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct servers")]
+    fn random_distinct_rejects_k_gt_n() {
+        let mut r = rng(3);
+        let _ = random_distinct(5, 4, &mut r);
+    }
+
+    #[test]
+    fn least_loaded_picks_minima() {
+        let loads = [5.0, 1.0, 3.0, 1.0, 9.0];
+        assert_eq!(least_loaded(2, &loads), vec![1, 3]); // ties by index
+        assert_eq!(least_loaded(3, &loads), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn random_map_balances_partition_counts() {
+        // Under Eq. 1 per-partition load is uniform, so random placement
+        // should give each server a similar number of partitions.
+        let pops = zipf_popularities(300, 1.05);
+        let files = FileSet::uniform_size(100e6, &pops);
+        let mut r = rng(4);
+        let map = random_partition_map(&files, 3e-8, 30, &mut r);
+        let pps = map.partitions_per_server();
+        let mean = pps.iter().sum::<usize>() as f64 / 30.0;
+        let max = *pps.iter().max().unwrap() as f64;
+        assert!(
+            max < mean * 1.8,
+            "max {max} vs mean {mean}: placement too skewed"
+        );
+    }
+
+    #[test]
+    fn round_robin_covers_servers_evenly() {
+        let files = FileSet::uniform_size(10.0, &vec![0.01; 100]);
+        let map = round_robin_partition_map(&files, 0.0, 10);
+        let pps = map.partitions_per_server();
+        assert!(pps.iter().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn hash_ring_deterministic_and_distinct() {
+        let ring = HashRing::new(20, 64);
+        let a = ring.servers_for(42, 5);
+        let b = ring.servers_for(42, 5);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5);
+    }
+
+    #[test]
+    fn hash_ring_spreads_keys() {
+        let ring = HashRing::new(10, 128);
+        let mut counts = [0usize; 10];
+        for key in 0..10_000u64 {
+            counts[ring.servers_for(key, 1)[0]] += 1;
+        }
+        // No server should be wildly over-represented (hashing is not
+        // perfect — that is the paper's point — but must be sane).
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max < 2 * min, "ring spread max {max} min {min}");
+    }
+
+    #[test]
+    fn hash_ring_partition_map_valid() {
+        let pops = zipf_popularities(50, 1.1);
+        let files = FileSet::uniform_size(40e6, &pops);
+        let ring = HashRing::new(30, 32);
+        let map = ring.partition_map(&files, 5e-8);
+        assert_eq!(map.len(), 50);
+    }
+}

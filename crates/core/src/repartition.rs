@@ -1,0 +1,432 @@
+//! Algorithm 2 — parallel repartition planning.
+//!
+//! Popularities drift, so SP-Cache periodically recomputes α and the
+//! partition counts, then re-balances. Two ideas keep this cheap (§6.2):
+//!
+//! 1. **Touch only what changed** — files whose `k_i` is unchanged stay
+//!    exactly where they are; their load is *recorded* so the greedy
+//!    placement of moved files accounts for it.
+//! 2. **Parallel execution on the servers** — each file that must move is
+//!    assigned to an *executor* server that already holds one of its
+//!    partitions (saving one network transfer of that partition); each
+//!    server repartitions a disjoint set of files, so executors work in
+//!    parallel and the wall-clock cost is the slowest server's share, not
+//!    the sum (Fig. 16's two-orders-of-magnitude speedup).
+
+use rand::Rng;
+
+use spcache_workload::dist::uniform_usize;
+
+use crate::file::{FileId, FileSet};
+use crate::partition::PartitionMap;
+use crate::placement::least_loaded;
+
+/// One file's repartition work order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepartitionJob {
+    /// File to reassemble and re-split.
+    pub file: FileId,
+    /// Server running the job (holds ≥ 1 old partition, so that partition
+    /// needs no network hop during reassembly).
+    pub executor: usize,
+    /// Old partition locations (the executor pulls the others).
+    pub old_servers: Vec<usize>,
+    /// New partition locations chosen greedily (least-loaded first).
+    pub new_servers: Vec<usize>,
+}
+
+impl RepartitionJob {
+    /// Bytes that must cross the network to execute this job for a file of
+    /// `size` bytes: pulling every old partition *not* already on the
+    /// executor, plus pushing every new partition destined elsewhere.
+    pub fn network_bytes(&self, size: f64) -> f64 {
+        let old_k = self.old_servers.len() as f64;
+        let pulls = self
+            .old_servers
+            .iter()
+            .filter(|&&s| s != self.executor)
+            .count() as f64;
+        let new_k = self.new_servers.len() as f64;
+        let pushes = self
+            .new_servers
+            .iter()
+            .filter(|&&s| s != self.executor)
+            .count() as f64;
+        size * (pulls / old_k) + size * (pushes / new_k)
+    }
+}
+
+/// The output of the planner.
+#[derive(Debug, Clone)]
+pub struct RepartitionPlan {
+    /// Work orders, one per file whose partition count changed.
+    pub jobs: Vec<RepartitionJob>,
+    /// The resulting partition map (unchanged files keep their placement).
+    pub new_map: PartitionMap,
+    /// Files left untouched.
+    pub unchanged: Vec<FileId>,
+}
+
+impl RepartitionPlan {
+    /// Fraction of files that had to move (Fig. 17's y-axis).
+    pub fn moved_fraction(&self) -> f64 {
+        let total = self.jobs.len() + self.unchanged.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.jobs.len() as f64 / total as f64
+        }
+    }
+
+    /// Total bytes crossing the network, given file sizes.
+    pub fn total_network_bytes(&self, files: &FileSet) -> f64 {
+        self.jobs
+            .iter()
+            .map(|j| j.network_bytes(files.get(j.file).size_bytes))
+            .sum()
+    }
+
+    /// Jobs grouped by executor — the disjoint per-server work sets that
+    /// run in parallel.
+    pub fn jobs_by_executor(&self, n_servers: usize) -> Vec<Vec<&RepartitionJob>> {
+        let mut out = vec![Vec::new(); n_servers];
+        for j in &self.jobs {
+            out[j.executor].push(j);
+        }
+        out
+    }
+
+    /// Wall-clock estimate of parallel execution: the slowest executor's
+    /// byte volume divided by `bandwidth`, i.e. `max_s Σ_{jobs on s} bytes / B`.
+    pub fn parallel_time_estimate(&self, files: &FileSet, n_servers: usize, bandwidth: f64) -> f64 {
+        assert!(bandwidth > 0.0);
+        let mut per_server = vec![0.0f64; n_servers];
+        for j in &self.jobs {
+            per_server[j.executor] += j.network_bytes(files.get(j.file).size_bytes);
+        }
+        per_server.iter().fold(0.0f64, |a, &b| a.max(b)) / bandwidth
+    }
+
+    /// Wall-clock estimate of the naive sequential scheme the paper
+    /// compares against: *every* file (changed or not) is pulled to the
+    /// master and redistributed in sequence over one `bandwidth` link.
+    pub fn sequential_time_estimate(&self, files: &FileSet, bandwidth: f64) -> f64 {
+        assert!(bandwidth > 0.0);
+        // Collect + redistribute = 2 transfers of every byte.
+        2.0 * files.total_bytes() / bandwidth
+    }
+}
+
+/// Runs Algorithm 2.
+///
+/// * `old_map` — current placement (defines `k'_i`),
+/// * `new_counts` — target `k_i` from the freshly tuned α,
+/// * `rng` — used only to pick the executor among a moved file's old
+///   servers (paper: "randomly selects a SP-Repartitioner in a cache
+///   server containing partitions of that file").
+///
+/// # Examples
+///
+/// ```
+/// use spcache_core::file::FileSet;
+/// use spcache_core::partition::PartitionMap;
+/// use spcache_core::repartition::plan_repartition;
+/// use spcache_sim::Xoshiro256StarStar;
+///
+/// let files = FileSet::uniform_size(50e6, &[0.8, 0.2]);
+/// let old = PartitionMap::new(vec![vec![0], vec![1]], 4);
+/// let mut rng = Xoshiro256StarStar::seed(1);
+/// // File 0 turned hot: split it 3 ways, leave file 1 alone.
+/// let plan = plan_repartition(&files, &old, &[3, 1], &mut rng);
+/// assert_eq!(plan.jobs.len(), 1);
+/// assert_eq!(plan.unchanged, vec![1]);
+/// assert_eq!(plan.new_map.k_of(0), 3);
+/// ```
+///
+/// # Panics
+///
+/// Panics if lengths mismatch or any target count exceeds the cluster
+/// size.
+pub fn plan_repartition<R: Rng + ?Sized>(
+    files: &FileSet,
+    old_map: &PartitionMap,
+    new_counts: &[usize],
+    rng: &mut R,
+) -> RepartitionPlan {
+    assert_eq!(files.len(), old_map.len(), "map length mismatch");
+    assert_eq!(files.len(), new_counts.len(), "counts length mismatch");
+    let n = old_map.n_servers();
+    assert!(
+        new_counts.iter().all(|&k| k >= 1 && k <= n),
+        "target partition counts must be in [1, N]"
+    );
+
+    // Lines 5–9: start from the load contributed by unchanged files.
+    // Load here is measured in expected bytes served: L_i / k_i per server.
+    let mut server_load = vec![0.0f64; n];
+    let mut unchanged = Vec::new();
+    let mut moved: Vec<FileId> = Vec::new();
+    for (i, meta) in files.iter() {
+        let k_old = old_map.k_of(i);
+        if k_old == new_counts[i] {
+            let per = meta.load() / k_old as f64;
+            for &s in old_map.servers_of(i) {
+                server_load[s] += per;
+            }
+            unchanged.push(i);
+        } else {
+            moved.push(i);
+        }
+    }
+
+    // Plan moved files hottest-first so the greedy placement spreads the
+    // heaviest loads before the slack fills up.
+    moved.sort_by(|&a, &b| {
+        files
+            .get(b)
+            .load()
+            .partial_cmp(&files.get(a).load())
+            .expect("no NaN loads")
+    });
+
+    let mut new_placements: Vec<Option<Vec<usize>>> = vec![None; files.len()];
+    for &i in &unchanged {
+        new_placements[i] = Some(old_map.servers_of(i).to_vec());
+    }
+
+    let mut jobs = Vec::with_capacity(moved.len());
+    for &i in &moved {
+        let k_new = new_counts[i];
+        // Lines 12–15: the k least-loaded servers, one partition each.
+        let targets = least_loaded(k_new, &server_load);
+        let per = files.get(i).load() / k_new as f64;
+        for &s in &targets {
+            server_load[s] += per;
+        }
+        // Executor: a random server holding one of the old partitions.
+        let old_servers = old_map.servers_of(i).to_vec();
+        let executor = old_servers[uniform_usize(rng, old_servers.len())];
+        jobs.push(RepartitionJob {
+            file: i,
+            executor,
+            old_servers,
+            new_servers: targets.clone(),
+        });
+        new_placements[i] = Some(targets);
+    }
+
+    let new_map = PartitionMap::new(
+        new_placements
+            .into_iter()
+            .map(|p| p.expect("every file placed"))
+            .collect(),
+        n,
+    );
+
+    RepartitionPlan {
+        jobs,
+        new_map,
+        unchanged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use spcache_metrics::LoadTracker;
+    use spcache_sim::Xoshiro256StarStar;
+    use spcache_workload::zipf::zipf_popularities;
+
+    use crate::placement::random_partition_map;
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn unchanged_files_stay_put() {
+        let files = FileSet::uniform_size(50e6, &[0.5, 0.3, 0.2]);
+        let old = PartitionMap::new(vec![vec![0, 1], vec![2], vec![3]], 4);
+        let mut r = rng(1);
+        let plan = plan_repartition(&files, &old, &[2, 1, 1], &mut r);
+        assert!(plan.jobs.is_empty());
+        assert_eq!(plan.unchanged, vec![0, 1, 2]);
+        assert_eq!(plan.new_map.servers_of(0), old.servers_of(0));
+        assert_eq!(plan.moved_fraction(), 0.0);
+    }
+
+    #[test]
+    fn changed_files_get_jobs_with_valid_executors() {
+        let files = FileSet::uniform_size(50e6, &[0.6, 0.4]);
+        let old = PartitionMap::new(vec![vec![0], vec![1]], 4);
+        let mut r = rng(2);
+        let plan = plan_repartition(&files, &old, &[3, 1], &mut r);
+        assert_eq!(plan.jobs.len(), 1);
+        let job = &plan.jobs[0];
+        assert_eq!(job.file, 0);
+        assert!(job.old_servers.contains(&job.executor));
+        assert_eq!(job.new_servers.len(), 3);
+        assert_eq!(plan.new_map.k_of(0), 3);
+        assert_eq!(plan.new_map.k_of(1), 1);
+    }
+
+    #[test]
+    fn greedy_placement_avoids_loaded_servers() {
+        // File 0 (unchanged, heavy) sits on server 0; the moved file must
+        // prefer the other servers.
+        let files = FileSet::uniform_size(100e6, &[0.9, 0.1]);
+        let old = PartitionMap::new(vec![vec![0], vec![0]], 4);
+        let mut r = rng(3);
+        let plan = plan_repartition(&files, &old, &[1, 2], &mut r);
+        let job = &plan.jobs[0];
+        assert_eq!(job.file, 1);
+        assert!(
+            !job.new_servers.contains(&0),
+            "moved file must avoid the hot server, got {:?}",
+            job.new_servers
+        );
+    }
+
+    #[test]
+    fn network_bytes_accounting() {
+        let job = RepartitionJob {
+            file: 0,
+            executor: 1,
+            old_servers: vec![0, 1],       // pulls half the file from 0
+            new_servers: vec![1, 2, 3],    // pushes two thirds out
+        };
+        let b = job.network_bytes(60.0);
+        // pulls: 1 of 2 partitions = 30; pushes: 2 of 3 partitions = 40.
+        assert!((b - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregation_job_network_bytes() {
+        // File merged from 2 partitions into 1 on the executor: pulls one
+        // old partition, pushes nothing.
+        let job = RepartitionJob {
+            file: 0,
+            executor: 0,
+            old_servers: vec![0, 3],
+            new_servers: vec![0],
+        };
+        assert!((job.network_bytes(80.0) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_beats_sequential_by_orders_of_magnitude() {
+        // 300 files under a Zipf shift: only the hot head moves, executors
+        // parallelize, and the estimate must beat the sequential scheme by
+        // >= 10x (the paper reports ~100x).
+        let n_files = 300;
+        let n_servers = 30;
+        let pops = zipf_popularities(n_files, 1.1);
+        let files = FileSet::uniform_size(50e6, &pops);
+        let alpha = 1e-7;
+        let mut r = rng(4);
+        let old = random_partition_map(&files, alpha, n_servers, &mut r);
+
+        // Popularity shift: reverse the ranks (drastic).
+        let mut shifted: Vec<f64> = pops.clone();
+        shifted.reverse();
+        let shifted_files = FileSet::uniform_size(50e6, &shifted);
+        let new_counts: Vec<usize> = shifted_files
+            .partition_counts(alpha)
+            .into_iter()
+            .map(|k| k.min(n_servers))
+            .collect();
+
+        let plan = plan_repartition(&shifted_files, &old, &new_counts, &mut r);
+        let bw = 125e6;
+        let par = plan.parallel_time_estimate(&shifted_files, n_servers, bw);
+        let seq = plan.sequential_time_estimate(&shifted_files, bw);
+        assert!(
+            seq / par.max(1e-9) > 10.0,
+            "parallel {par}s vs sequential {seq}s: speedup too small"
+        );
+    }
+
+    #[test]
+    fn moved_fraction_shrinks_with_population() {
+        // Fig. 17: with more files (same Zipf), a smaller fraction needs
+        // repartitioning after a shift, because the cold tail dominates.
+        let mut fractions = Vec::new();
+        for &n_files in &[100usize, 350] {
+            let pops = zipf_popularities(n_files, 1.1);
+            let files = FileSet::uniform_size(50e6, &pops);
+            let alpha = 2e-7;
+            let mut r = rng(5);
+            let old = random_partition_map(&files, alpha, 30, &mut r);
+            let mut shifted = pops.clone();
+            // Deterministic shuffle.
+            let mut sr = rng(99);
+            for i in (1..shifted.len()).rev() {
+                let j = spcache_workload::dist::uniform_usize(&mut sr, i + 1);
+                shifted.swap(i, j);
+            }
+            let sf = FileSet::uniform_size(50e6, &shifted);
+            let counts: Vec<usize> = sf
+                .partition_counts(alpha)
+                .into_iter()
+                .map(|k| k.min(30))
+                .collect();
+            let plan = plan_repartition(&sf, &old, &counts, &mut r);
+            fractions.push(plan.moved_fraction());
+        }
+        assert!(
+            fractions[1] <= fractions[0],
+            "moved fraction should shrink: {fractions:?}"
+        );
+    }
+
+    #[test]
+    fn load_balance_improves_after_greedy_plan() {
+        // Fig. 18's claim: greedy placement yields a balanced load.
+        let pops = zipf_popularities(200, 1.1);
+        let files = FileSet::uniform_size(50e6, &pops);
+        let mut r = rng(6);
+        // Old map: everything unsplit on few servers (bad balance).
+        let old = PartitionMap::new(
+            (0..200).map(|i| vec![i % 5]).collect::<Vec<_>>(),
+            30,
+        );
+        let alpha = 3e-7;
+        let counts: Vec<usize> = files
+            .partition_counts(alpha)
+            .into_iter()
+            .map(|k| k.min(30))
+            .collect();
+        let plan = plan_repartition(&files, &old, &counts, &mut r);
+
+        let eta = |map: &PartitionMap| {
+            let mut lt = LoadTracker::new(30);
+            for (i, meta) in files.iter() {
+                let per = meta.load() / map.k_of(i) as f64;
+                for &s in map.servers_of(i) {
+                    lt.add(s, per);
+                }
+            }
+            lt.imbalance_factor()
+        };
+        assert!(
+            eta(&plan.new_map) < eta(&old),
+            "eta must improve: {} -> {}",
+            eta(&old),
+            eta(&plan.new_map)
+        );
+    }
+
+    #[test]
+    fn jobs_by_executor_partitions_jobs() {
+        let files = FileSet::uniform_size(10e6, &zipf_popularities(40, 1.1));
+        let mut r = rng(7);
+        let old = random_partition_map(&files, 0.0, 10, &mut r); // all k=1
+        let counts: Vec<usize> = (0..40).map(|i| if i < 10 { 3 } else { 1 }).collect();
+        let plan = plan_repartition(&files, &old, &counts, &mut r);
+        assert_eq!(plan.jobs.len(), 10);
+        let grouped = plan.jobs_by_executor(10);
+        let total: usize = grouped.iter().map(Vec::len).sum();
+        assert_eq!(total, 10);
+    }
+}

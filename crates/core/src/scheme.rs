@@ -1,0 +1,388 @@
+//! The caching-scheme abstraction shared by SP-Cache and every baseline.
+//!
+//! A scheme answers three questions, and nothing else:
+//!
+//! 1. **Layout** — which servers cache which bytes of each file (including
+//!    any redundancy: replicas or parity shards),
+//! 2. **Read plan** — which cached chunks a read fetches, how many of the
+//!    fetches must complete before the file is ready (`wait_for < fetches`
+//!    models EC-Cache's late binding), and any post-fetch CPU cost
+//!    (decoding),
+//! 3. **Write plan** — which chunks a write produces and any pre-write CPU
+//!    cost (encoding).
+//!
+//! The event-driven simulator (`spcache-cluster`) and the real in-memory
+//! store (`spcache-store`) both execute these plans, so SP-Cache,
+//! EC-Cache, selective replication, simple partition and fixed-size
+//! chunking are all driven through one interface.
+
+use serde::{Deserialize, Serialize};
+use spcache_sim::Xoshiro256StarStar;
+
+use crate::file::{FileId, FileSet};
+
+/// One cached chunk: `bytes` of a file resident on `server`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Chunk {
+    /// Hosting server.
+    pub server: usize,
+    /// Chunk size in bytes.
+    pub bytes: f64,
+}
+
+/// Where one file's chunks live.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FileLayout {
+    /// Every chunk cached for this file, redundancy included.
+    pub chunks: Vec<Chunk>,
+}
+
+impl FileLayout {
+    /// Total cached bytes for this file (≥ the file size when the scheme
+    /// is redundant).
+    pub fn cached_bytes(&self) -> f64 {
+        self.chunks.iter().map(|c| c.bytes).sum()
+    }
+}
+
+/// The full cluster layout produced by a scheme.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Layout {
+    per_file: Vec<FileLayout>,
+    n_servers: usize,
+}
+
+impl Layout {
+    /// Wraps per-file layouts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any chunk references a server `>= n_servers`.
+    pub fn new(per_file: Vec<FileLayout>, n_servers: usize) -> Self {
+        for (i, fl) in per_file.iter().enumerate() {
+            assert!(!fl.chunks.is_empty(), "file {i} has no chunks");
+            for c in &fl.chunks {
+                assert!(c.server < n_servers, "file {i}: server out of range");
+                assert!(c.bytes > 0.0, "file {i}: non-positive chunk");
+            }
+        }
+        Layout {
+            per_file,
+            n_servers,
+        }
+    }
+
+    /// Number of files laid out.
+    pub fn len(&self) -> usize {
+        self.per_file.len()
+    }
+
+    /// Whether the layout is empty.
+    pub fn is_empty(&self) -> bool {
+        self.per_file.is_empty()
+    }
+
+    /// Cluster size.
+    pub fn n_servers(&self) -> usize {
+        self.n_servers
+    }
+
+    /// The layout of file `i`.
+    pub fn file(&self, i: FileId) -> &FileLayout {
+        &self.per_file[i]
+    }
+
+    /// Replaces file `i`'s layout (repartitioning).
+    pub fn set_file(&mut self, i: FileId, fl: FileLayout) {
+        assert!(!fl.chunks.is_empty());
+        for c in &fl.chunks {
+            assert!(c.server < self.n_servers);
+        }
+        self.per_file[i] = fl;
+    }
+
+    /// Total bytes cached cluster-wide (the memory-footprint metric; the
+    /// paper's headline is SP-Cache using 40% less than EC-Cache).
+    pub fn total_cached_bytes(&self) -> f64 {
+        self.per_file.iter().map(FileLayout::cached_bytes).sum()
+    }
+
+    /// Bytes cached per server.
+    pub fn bytes_per_server(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.n_servers];
+        for fl in &self.per_file {
+            for c in &fl.chunks {
+                out[c.server] += c.bytes;
+            }
+        }
+        out
+    }
+
+    /// Cache redundancy relative to the raw file bytes:
+    /// `cached/raw − 1` (0 for SP-Cache, 0.4 for (10,14) EC-Cache).
+    pub fn redundancy(&self, files: &FileSet) -> f64 {
+        self.total_cached_bytes() / files.total_bytes() - 1.0
+    }
+}
+
+/// One fetch of a planned read: the chunk plus its *stable identity* —
+/// the index into [`FileLayout::chunks`]. The identity is what cache-hit
+/// accounting keys on (EC-Cache fetches a different random shard subset on
+/// every read; without the index, the same shard would look like a
+/// different object each time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannedFetch {
+    /// Index of this chunk within the file's layout.
+    pub index: usize,
+    /// The chunk (server + bytes).
+    pub chunk: Chunk,
+}
+
+/// A planned read: fetch `fetches`, consider the file ready when
+/// `wait_for` of them have completed, then spend `post_cost` seconds of
+/// CPU (decode/reassembly).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadPlan {
+    /// Chunks to fetch in parallel.
+    pub fetches: Vec<PlannedFetch>,
+    /// How many fetches must finish (≤ `fetches.len()`); fewer models
+    /// late binding.
+    pub wait_for: usize,
+    /// Post-completion CPU seconds (EC decode; 0 for everything else).
+    pub post_cost: f64,
+}
+
+impl ReadPlan {
+    /// Plans a fetch of every chunk in `layout_chunks`, waiting for all —
+    /// the plain fork-join shared by SP-Cache, simple partition and
+    /// fixed-size chunking.
+    pub fn all_of(layout_chunks: &[Chunk]) -> Self {
+        ReadPlan {
+            fetches: layout_chunks
+                .iter()
+                .enumerate()
+                .map(|(index, &chunk)| PlannedFetch { index, chunk })
+                .collect(),
+            wait_for: layout_chunks.len(),
+            post_cost: 0.0,
+        }
+    }
+}
+
+impl ReadPlan {
+    /// Validates internal consistency.
+    pub fn validate(&self) {
+        assert!(!self.fetches.is_empty(), "read plan with no fetches");
+        assert!(
+            self.wait_for >= 1 && self.wait_for <= self.fetches.len(),
+            "wait_for out of range"
+        );
+        assert!(self.post_cost >= 0.0);
+    }
+}
+
+/// A planned write: spend `pre_cost` CPU seconds (encode), then write all
+/// chunks in parallel; the write completes when the slowest chunk lands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WritePlan {
+    /// Chunks to write in parallel.
+    pub writes: Vec<Chunk>,
+    /// Pre-write CPU seconds (EC encode; 0 for everything else).
+    pub pre_cost: f64,
+}
+
+impl WritePlan {
+    /// Total bytes pushed over the network.
+    pub fn total_bytes(&self) -> f64 {
+        self.writes.iter().map(|c| c.bytes).sum()
+    }
+}
+
+/// A cluster-caching scheme: SP-Cache or one of the baselines.
+///
+/// Implementations must be deterministic given the `rng` argument — the
+/// experiments rely on replayable runs.
+pub trait CachingScheme {
+    /// Human-readable name used in experiment output.
+    fn name(&self) -> String;
+
+    /// Lays out every file across `n_servers`.
+    fn build_layout(
+        &self,
+        files: &FileSet,
+        n_servers: usize,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Layout;
+
+    /// Plans one read of `file`.
+    fn read_plan(
+        &self,
+        file: FileId,
+        files: &FileSet,
+        layout: &Layout,
+        rng: &mut Xoshiro256StarStar,
+    ) -> ReadPlan;
+
+    /// Plans one write of `file`.
+    fn write_plan(
+        &self,
+        file: FileId,
+        files: &FileSet,
+        n_servers: usize,
+        rng: &mut Xoshiro256StarStar,
+    ) -> WritePlan;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout2() -> Layout {
+        Layout::new(
+            vec![
+                FileLayout {
+                    chunks: vec![
+                        Chunk {
+                            server: 0,
+                            bytes: 50.0,
+                        },
+                        Chunk {
+                            server: 1,
+                            bytes: 50.0,
+                        },
+                    ],
+                },
+                FileLayout {
+                    chunks: vec![Chunk {
+                        server: 2,
+                        bytes: 30.0,
+                    }],
+                },
+            ],
+            3,
+        )
+    }
+
+    #[test]
+    fn layout_accounting() {
+        let l = layout2();
+        assert_eq!(l.total_cached_bytes(), 130.0);
+        assert_eq!(l.bytes_per_server(), vec![50.0, 50.0, 30.0]);
+        assert_eq!(l.file(0).cached_bytes(), 100.0);
+    }
+
+    #[test]
+    fn redundancy_zero_for_exact_layout() {
+        let l = layout2();
+        let files = FileSet::from_parts(&[100.0, 30.0], &[0.5, 0.5]);
+        assert!(l.redundancy(&files).abs() < 1e-12);
+    }
+
+    #[test]
+    fn redundancy_positive_with_replicas() {
+        let l = Layout::new(
+            vec![FileLayout {
+                chunks: vec![
+                    Chunk {
+                        server: 0,
+                        bytes: 100.0,
+                    },
+                    Chunk {
+                        server: 1,
+                        bytes: 100.0,
+                    },
+                ],
+            }],
+            2,
+        );
+        let files = FileSet::from_parts(&[100.0], &[1.0]);
+        assert!((l.redundancy(&files) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_file_replaces_layout() {
+        let mut l = layout2();
+        l.set_file(
+            1,
+            FileLayout {
+                chunks: vec![Chunk {
+                    server: 0,
+                    bytes: 15.0,
+                }],
+            },
+        );
+        assert_eq!(l.file(1).chunks[0].server, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn layout_rejects_bad_server() {
+        let _ = Layout::new(
+            vec![FileLayout {
+                chunks: vec![Chunk {
+                    server: 5,
+                    bytes: 1.0,
+                }],
+            }],
+            3,
+        );
+    }
+
+    #[test]
+    fn read_plan_validation() {
+        let plan = ReadPlan::all_of(&[Chunk {
+            server: 0,
+            bytes: 1.0,
+        }]);
+        plan.validate();
+        assert_eq!(plan.wait_for, 1);
+        assert_eq!(plan.fetches[0].index, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wait_for out of range")]
+    fn read_plan_rejects_excess_wait() {
+        let mut plan = ReadPlan::all_of(&[Chunk {
+            server: 0,
+            bytes: 1.0,
+        }]);
+        plan.wait_for = 2;
+        plan.validate();
+    }
+
+    #[test]
+    fn all_of_preserves_chunk_identity() {
+        let chunks = [
+            Chunk {
+                server: 3,
+                bytes: 5.0,
+            },
+            Chunk {
+                server: 1,
+                bytes: 5.0,
+            },
+        ];
+        let plan = ReadPlan::all_of(&chunks);
+        assert_eq!(plan.fetches.len(), 2);
+        assert_eq!(plan.fetches[1].index, 1);
+        assert_eq!(plan.fetches[1].chunk.server, 1);
+    }
+
+    #[test]
+    fn write_plan_bytes() {
+        let plan = WritePlan {
+            writes: vec![
+                Chunk {
+                    server: 0,
+                    bytes: 10.0,
+                },
+                Chunk {
+                    server: 1,
+                    bytes: 10.0,
+                },
+            ],
+            pre_cost: 0.0,
+        };
+        assert_eq!(plan.total_bytes(), 20.0);
+    }
+}

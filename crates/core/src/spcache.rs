@@ -1,0 +1,287 @@
+//! The SP-Cache scheme: selective partition as a [`CachingScheme`].
+//!
+//! * **Layout** — file `i` is split into `k_i = ceil(α L_i)` equal
+//!   partitions on distinct random servers; no redundancy at all.
+//! * **Read** — fetch every partition in parallel, wait for all of them
+//!   (the fork-join), reassemble for free (a memcpy, no decode).
+//! * **Write** — a new file goes whole to one random server (§6.1: "cold
+//!   files dominate in population"); it gets split later when repartition
+//!   notices it turned hot.
+
+use spcache_sim::Xoshiro256StarStar;
+use spcache_workload::dist::uniform_usize;
+
+use crate::file::{FileId, FileSet};
+use crate::partition::partition_counts_clamped;
+use crate::placement::random_distinct;
+use crate::scheme::{CachingScheme, Chunk, FileLayout, Layout, ReadPlan, WritePlan};
+use crate::tuner::{tune_scale_factor_hetero, Tuned, TunerConfig};
+
+/// SP-Cache with a fixed scale factor α.
+#[derive(Debug, Clone)]
+pub struct SpCache {
+    alpha: f64,
+}
+
+impl SpCache {
+    /// A scheme with an explicit scale factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is negative or NaN.
+    pub fn with_alpha(alpha: f64) -> Self {
+        assert!(alpha >= 0.0 && !alpha.is_nan(), "invalid scale factor");
+        SpCache { alpha }
+    }
+
+    /// Runs Algorithm 1 and returns the tuned scheme together with the
+    /// tuning diagnostics.
+    pub fn tuned(
+        files: &FileSet,
+        n_servers: usize,
+        bandwidth: f64,
+        lambda_total: f64,
+        cfg: &TunerConfig,
+    ) -> (Self, Tuned) {
+        let tuned = tune_scale_factor_hetero(
+            files,
+            &vec![bandwidth; n_servers],
+            lambda_total,
+            cfg,
+        );
+        (SpCache { alpha: tuned.alpha }, tuned)
+    }
+
+    /// The configured scale factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The partition counts this scheme assigns, clamped to the cluster.
+    pub fn partition_counts(&self, files: &FileSet, n_servers: usize) -> Vec<usize> {
+        partition_counts_clamped(files, self.alpha, n_servers)
+    }
+}
+
+impl CachingScheme for SpCache {
+    fn name(&self) -> String {
+        format!("sp-cache(α={:.3e})", self.alpha)
+    }
+
+    fn build_layout(
+        &self,
+        files: &FileSet,
+        n_servers: usize,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Layout {
+        let ks = self.partition_counts(files, n_servers);
+        let per_file = files
+            .iter()
+            .zip(&ks)
+            .map(|((_, meta), &k)| {
+                let part = meta.size_bytes / k as f64;
+                let servers = random_distinct(k, n_servers, rng);
+                FileLayout {
+                    chunks: servers
+                        .into_iter()
+                        .map(|server| Chunk {
+                            server,
+                            bytes: part,
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        Layout::new(per_file, n_servers)
+    }
+
+    fn read_plan(
+        &self,
+        file: FileId,
+        _files: &FileSet,
+        layout: &Layout,
+        _rng: &mut Xoshiro256StarStar,
+    ) -> ReadPlan {
+        ReadPlan::all_of(&layout.file(file).chunks)
+    }
+
+    fn write_plan(
+        &self,
+        file: FileId,
+        files: &FileSet,
+        n_servers: usize,
+        rng: &mut Xoshiro256StarStar,
+    ) -> WritePlan {
+        // §6.1: whole file to one random server, no splitting on write.
+        WritePlan {
+            writes: vec![Chunk {
+                server: uniform_usize(rng, n_servers),
+                bytes: files.get(file).size_bytes,
+            }],
+            pre_cost: 0.0,
+        }
+    }
+}
+
+/// SP-Cache variant that *splits on write* using the provided popularity
+/// (used for the Fig. 22 write-latency comparison where SP-Cache "enforces
+/// file splitting upon write based on the provided file popularity").
+#[derive(Debug, Clone)]
+pub struct SpCacheSplitWrite {
+    inner: SpCache,
+}
+
+impl SpCacheSplitWrite {
+    /// Wraps an [`SpCache`] configuration.
+    pub fn new(alpha: f64) -> Self {
+        SpCacheSplitWrite {
+            inner: SpCache::with_alpha(alpha),
+        }
+    }
+}
+
+impl CachingScheme for SpCacheSplitWrite {
+    fn name(&self) -> String {
+        format!("sp-cache-split-write(α={:.3e})", self.inner.alpha)
+    }
+
+    fn build_layout(
+        &self,
+        files: &FileSet,
+        n_servers: usize,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Layout {
+        self.inner.build_layout(files, n_servers, rng)
+    }
+
+    fn read_plan(
+        &self,
+        file: FileId,
+        files: &FileSet,
+        layout: &Layout,
+        rng: &mut Xoshiro256StarStar,
+    ) -> ReadPlan {
+        self.inner.read_plan(file, files, layout, rng)
+    }
+
+    fn write_plan(
+        &self,
+        file: FileId,
+        files: &FileSet,
+        n_servers: usize,
+        rng: &mut Xoshiro256StarStar,
+    ) -> WritePlan {
+        let meta = files.get(file);
+        let k = crate::partition::partition_count(self.inner.alpha, meta.load()).min(n_servers);
+        let part = meta.size_bytes / k as f64;
+        let servers = random_distinct(k, n_servers, rng);
+        WritePlan {
+            writes: servers
+                .into_iter()
+                .map(|server| Chunk {
+                    server,
+                    bytes: part,
+                })
+                .collect(),
+            pre_cost: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use spcache_workload::zipf::zipf_popularities;
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(seed)
+    }
+
+    fn files() -> FileSet {
+        FileSet::uniform_size(100e6, &zipf_popularities(100, 1.05))
+    }
+
+    #[test]
+    fn layout_is_redundancy_free() {
+        let f = files();
+        let s = SpCache::with_alpha(1e-7);
+        let mut r = rng(1);
+        let layout = s.build_layout(&f, 30, &mut r);
+        assert!(layout.redundancy(&f).abs() < 1e-9);
+    }
+
+    #[test]
+    fn layout_partitions_match_eq1() {
+        let f = files();
+        let s = SpCache::with_alpha(1e-7);
+        let mut r = rng(2);
+        let layout = s.build_layout(&f, 30, &mut r);
+        let ks = s.partition_counts(&f, 30);
+        for (i, &k) in ks.iter().enumerate() {
+            assert_eq!(layout.file(i).chunks.len(), k, "file {i}");
+            // Equal-sized partitions summing to the file.
+            let total: f64 = layout.file(i).cached_bytes();
+            assert!((total - 100e6).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn read_plan_fetches_all_partitions() {
+        let f = files();
+        let s = SpCache::with_alpha(1e-7);
+        let mut r = rng(3);
+        let layout = s.build_layout(&f, 30, &mut r);
+        let plan = s.read_plan(0, &f, &layout, &mut r);
+        plan.validate();
+        assert_eq!(plan.fetches.len(), plan.wait_for);
+        assert_eq!(plan.post_cost, 0.0);
+        assert_eq!(plan.fetches.len(), layout.file(0).chunks.len());
+    }
+
+    #[test]
+    fn write_plan_is_single_whole_file() {
+        let f = files();
+        let s = SpCache::with_alpha(1e-7);
+        let mut r = rng(4);
+        let plan = s.write_plan(0, &f, 30, &mut r);
+        assert_eq!(plan.writes.len(), 1);
+        assert_eq!(plan.total_bytes(), 100e6);
+        assert_eq!(plan.pre_cost, 0.0);
+    }
+
+    #[test]
+    fn split_write_variant_splits_hot_files() {
+        let f = files();
+        let s = SpCacheSplitWrite::new(1e-7);
+        let mut r = rng(5);
+        let hot = s.write_plan(0, &f, 30, &mut r);
+        let cold = s.write_plan(99, &f, 30, &mut r);
+        assert!(hot.writes.len() > 1, "hot file should split on write");
+        assert_eq!(cold.writes.len(), 1, "cold file stays whole");
+        // Redundancy-free writes: total bytes = file size either way.
+        assert!((hot.total_bytes() - 100e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn tuned_constructor_produces_usable_scheme() {
+        let f = files();
+        let (scheme, tuned) = SpCache::tuned(&f, 30, 125e6, 8.0, &TunerConfig::default());
+        assert!(scheme.alpha() > 0.0);
+        assert!(tuned.bound.is_finite());
+        let mut r = rng(6);
+        let layout = scheme.build_layout(&f, 30, &mut r);
+        assert_eq!(layout.len(), 100);
+    }
+
+    #[test]
+    fn alpha_zero_caches_whole_files() {
+        let f = files();
+        let s = SpCache::with_alpha(0.0);
+        let mut r = rng(7);
+        let layout = s.build_layout(&f, 30, &mut r);
+        for i in 0..f.len() {
+            assert_eq!(layout.file(i).chunks.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Property-based tests of the core algorithms.
+
+use proptest::prelude::*;
+
+use rand::SeedableRng;
+use spcache_core::file::{FileMeta, FileSet};
+use spcache_core::forkjoin::{file_latency_bound, SolverConfig};
+use spcache_core::goodput::Goodput;
+use spcache_core::mg1::ClusterModel;
+use spcache_core::partition::{partition_counts_clamped, PartitionMap};
+use spcache_core::placement::{random_partition_map, HashRing};
+use spcache_core::repartition::plan_repartition;
+use spcache_core::scheme::CachingScheme;
+use spcache_core::variance::{sp_variance, sp_variance_monte_carlo};
+use spcache_core::SpCache;
+use spcache_sim::Xoshiro256StarStar;
+
+/// A strategy for small normalized popularity vectors.
+fn popularities(max_n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.01f64..1.0, 1..max_n).prop_map(|mut v| {
+        let total: f64 = v.iter().sum();
+        for x in &mut v {
+            *x /= total;
+        }
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eq. 9's objective is convex in z: the golden-section result beats
+    /// any probe point.
+    #[test]
+    fn bound_is_global_minimum(
+        moments in proptest::collection::vec((0.001f64..10.0, 0.0f64..100.0), 2..12),
+        probes in proptest::collection::vec(-50.0f64..50.0, 8),
+    ) {
+        let cfg = SolverConfig::default();
+        let bound = file_latency_bound(&moments, &cfg);
+        let objective = |z: f64| {
+            let mut acc = z;
+            for &(m, v) in &moments {
+                let d = m - z;
+                acc += 0.5 * (d + (d * d + v).sqrt());
+            }
+            acc
+        };
+        for &z in &probes {
+            prop_assert!(bound <= objective(z) + 1e-6,
+                "bound {} beaten at z={}: {}", bound, z, objective(z));
+        }
+    }
+
+    /// The bound dominates the max of means (a lower bound on E[max]).
+    #[test]
+    fn bound_dominates_max_mean(
+        moments in proptest::collection::vec((0.001f64..10.0, 0.0f64..100.0), 1..12),
+    ) {
+        let cfg = SolverConfig::default();
+        let bound = file_latency_bound(&moments, &cfg);
+        let max_mean = moments.iter().map(|&(m, _)| m).fold(f64::MIN, f64::max);
+        prop_assert!(bound >= max_mean - 1e-9);
+    }
+
+    /// Per-server utilization in the queueing model equals the exact sum
+    /// of per-class loads, and splitting never increases max utilization.
+    #[test]
+    fn mg1_utilization_consistent(
+        pops in popularities(20),
+        k_hot in 1usize..8,
+    ) {
+        let files = FileSet::uniform_size(10e6, &pops);
+        let n_servers = 8;
+        let rates = files.request_rates(4.0);
+        let alpha_none = 0.0;
+        let alpha_split = k_hot as f64 / files.max_load();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let map_a = random_partition_map(&files, alpha_none, n_servers, &mut rng);
+        let map_b = random_partition_map(&files, alpha_split, n_servers, &mut rng);
+        let bw = vec![100e6; n_servers];
+        let a = ClusterModel::build(&files, &rates, &map_a, &bw);
+        let b = ClusterModel::build(&files, &rates, &map_b, &bw);
+        // Total utilization (sum of rho) is invariant under splitting:
+        // the same bytes/sec must be served either way.
+        let total = |m: &ClusterModel| (0..n_servers).map(|s| m.server(s).rho).sum::<f64>();
+        prop_assert!((total(&a) - total(&b)).abs() < 1e-9,
+            "total rho changed: {} vs {}", total(&a), total(&b));
+    }
+
+    /// Clamped partition counts never exceed the cluster and respect the
+    /// per-file load ordering.
+    #[test]
+    fn clamped_counts_ordered_by_load(
+        pops in popularities(30),
+        alpha_scale in 0.0f64..3.0,
+        n_servers in 1usize..40,
+    ) {
+        let files = FileSet::uniform_size(50e6, &pops);
+        let alpha = alpha_scale / files.max_load().max(1.0);
+        let ks = partition_counts_clamped(&files, alpha, n_servers);
+        for (i, &k) in ks.iter().enumerate() {
+            prop_assert!(k >= 1 && k <= n_servers);
+            for (j, &k2) in ks.iter().enumerate() {
+                if files.get(i).load() >= files.get(j).load() {
+                    prop_assert!(k >= k2, "load order violated at {i},{j}");
+                }
+            }
+        }
+    }
+
+    /// SpCache layouts are always redundancy-free and valid.
+    #[test]
+    fn spcache_layout_invariants(
+        pops in popularities(25),
+        alpha_scale in 0.0f64..40.0,
+        seed in any::<u64>(),
+    ) {
+        let files = FileSet::uniform_size(10e6, &pops);
+        let n_servers = 10;
+        let alpha = alpha_scale / files.max_load().max(1.0);
+        let scheme = SpCache::with_alpha(alpha);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let layout = scheme.build_layout(&files, n_servers, &mut rng);
+        prop_assert!((layout.redundancy(&files)).abs() < 1e-9);
+        for i in 0..files.len() {
+            let chunks = &layout.file(i).chunks;
+            // Distinct servers.
+            let mut servers: Vec<usize> = chunks.iter().map(|c| c.server).collect();
+            servers.sort_unstable();
+            servers.dedup();
+            prop_assert_eq!(servers.len(), chunks.len());
+            // Chunks reassemble to the file size.
+            let total: f64 = chunks.iter().map(|c| c.bytes).sum();
+            prop_assert!((total - files.get(i).size_bytes).abs() < 1e-6);
+        }
+    }
+
+    /// Monte-Carlo and analytic SP variance agree on arbitrary workloads.
+    #[test]
+    fn variance_analytic_matches_mc(
+        pops in popularities(15),
+        k_hot in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let files = FileSet::uniform_size(100e6, &pops);
+        let n_servers = 12;
+        let alpha = k_hot as f64 / files.max_load();
+        let analytic = sp_variance(&files, alpha, n_servers);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let mc = sp_variance_monte_carlo(&files, alpha, n_servers, 30_000, &mut rng);
+        if analytic > 1e-6 {
+            prop_assert!((mc - analytic).abs() / analytic < 0.25,
+                "MC {} vs analytic {}", mc, analytic);
+        } else {
+            prop_assert!(mc.abs() < 1e-3);
+        }
+    }
+
+    /// Repartition plans: byte accounting is non-negative and zero only
+    /// for no-op plans.
+    #[test]
+    fn repartition_bytes_sane(
+        pops in popularities(20),
+        seed in any::<u64>(),
+        grow in 1usize..6,
+    ) {
+        let files = FileSet::uniform_size(20e6, &pops);
+        let n_servers = 10;
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let old = random_partition_map(&files, 0.0, n_servers, &mut rng);
+        let counts: Vec<usize> = (0..files.len()).map(|i| if i == 0 { grow } else { 1 }).collect();
+        let plan = plan_repartition(&files, &old, &counts, &mut rng);
+        let bytes = plan.total_network_bytes(&files);
+        prop_assert!(bytes >= 0.0);
+        if grow == 1 {
+            prop_assert_eq!(plan.jobs.len(), 0);
+            prop_assert_eq!(bytes, 0.0);
+        } else {
+            prop_assert_eq!(plan.jobs.len(), 1);
+            // Moving file 0 can never cost more than pulling + pushing it
+            // entirely.
+            prop_assert!(bytes <= 2.0 * files.get(0).size_bytes + 1e-6);
+        }
+    }
+
+    /// Goodput factors are always in (0, 1] and monotone.
+    #[test]
+    fn goodput_bounded_monotone(decay in 0.0f64..0.3, floor in 0.05f64..1.0, c in 1usize..500) {
+        let g = Goodput { decay, floor };
+        let f = g.factor(c);
+        prop_assert!(f > 0.0 && f <= 1.0);
+        prop_assert!(g.factor(c + 1) <= f);
+    }
+
+    /// Consistent hashing returns the same servers for the same key and
+    /// distinct servers for any k.
+    #[test]
+    fn hash_ring_properties(key in any::<u64>(), k in 1usize..10) {
+        let ring = HashRing::new(10, 32);
+        let a = ring.servers_for(key, k);
+        let b = ring.servers_for(key, k);
+        prop_assert_eq!(&a, &b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), k);
+    }
+
+    /// FileSet invariants survive arbitrary valid constructions.
+    #[test]
+    fn fileset_accounting(
+        sizes in proptest::collection::vec(1.0f64..1e9, 1..40),
+        seed in any::<u64>(),
+    ) {
+        let n = sizes.len();
+        let pops: Vec<f64> = {
+            // Deterministic pseudo-random popularity from the seed.
+            let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+            let raw: Vec<f64> = (0..n)
+                .map(|_| spcache_workload::dist::unit_f64(&mut rng) + 1e-3)
+                .collect();
+            let t: f64 = raw.iter().sum();
+            raw.into_iter().map(|x| x / t).collect()
+        };
+        let files = FileSet::from_parts(&sizes, &pops);
+        prop_assert!((files.total_bytes() - sizes.iter().sum::<f64>()).abs() < 1.0);
+        let max = files.max_load();
+        for (_, f) in files.iter() {
+            prop_assert!(f.load() <= max + 1e-9);
+        }
+        // PartitionMap from any clamped counts is valid.
+        let ks = partition_counts_clamped(&files, 1.0 / max, 7);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed ^ 1);
+        let placements: Vec<Vec<usize>> = ks
+            .iter()
+            .map(|&k| spcache_core::placement::random_distinct(k, 7, &mut rng))
+            .collect();
+        let map = PartitionMap::new(placements, 7);
+        prop_assert_eq!(map.partition_counts(), ks);
+    }
+}
+
+/// Non-proptest regression: FileMeta rejects NaN-ish invalid input.
+#[test]
+fn file_meta_validation() {
+    assert!(std::panic::catch_unwind(|| FileMeta::new(-1.0, 0.5)).is_err());
+    assert!(std::panic::catch_unwind(|| FileMeta::new(1.0, -0.1)).is_err());
+}

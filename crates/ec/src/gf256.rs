@@ -1,0 +1,340 @@
+//! Arithmetic in GF(2⁸).
+//!
+//! The field is GF(2)[x] / (x⁸+x⁴+x³+x²+1), i.e. reduction polynomial
+//! `0x11D` with generator `2` — the construction used by most storage
+//! erasure codes (ISA-L, Jerasure, Backblaze RS).
+//!
+//! Element addition is XOR; multiplication uses compile-time exp/log
+//! tables. The hot encode/decode path is not per-byte multiplication but
+//! the slice kernels [`mul_slice`] / [`mul_acc_slice`]: per coding row they
+//! stream over shard-sized byte slices. Two implementations are provided —
+//! a log/exp-table kernel and an ISA-L-style split-nibble kernel
+//! ([`mul_acc_slice_nibble`]) that replaces the log/exp indirection with
+//! two 16-entry product tables; the `rs_codec` bench compares them (the
+//! ablation listed in DESIGN.md §5).
+
+/// Reduction polynomial x⁸+x⁴+x³+x²+1 (the `0x1D` low byte).
+pub const POLY: u16 = 0x11D;
+
+/// exp/log tables, built at compile time.
+struct Tables {
+    exp: [u8; 512],
+    log: [u8; 256],
+}
+
+const fn build_tables() -> Tables {
+    let mut exp = [0u8; 512];
+    let mut log = [0u8; 256];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x as u8;
+        log[x as usize] = i as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= POLY;
+        }
+        i += 1;
+    }
+    // Duplicate the table so exp[log a + log b] needs no mod 255.
+    let mut j = 255;
+    while j < 512 {
+        exp[j] = exp[j - 255];
+        j += 1;
+    }
+    Tables { exp, log }
+}
+
+static TABLES: Tables = build_tables();
+
+/// Field addition (and subtraction): XOR.
+#[inline(always)]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Field multiplication via log/exp tables.
+#[inline(always)]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        TABLES.exp[TABLES.log[a as usize] as usize + TABLES.log[b as usize] as usize]
+    }
+}
+
+/// Multiplicative inverse.
+///
+/// # Panics
+///
+/// Panics on `a == 0` (zero has no inverse).
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "0 has no multiplicative inverse in GF(256)");
+    TABLES.exp[255 - TABLES.log[a as usize] as usize]
+}
+
+/// Field division `a / b`.
+///
+/// # Panics
+///
+/// Panics on division by zero.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    assert!(b != 0, "division by zero in GF(256)");
+    if a == 0 {
+        0
+    } else {
+        let la = TABLES.log[a as usize] as usize;
+        let lb = TABLES.log[b as usize] as usize;
+        TABLES.exp[la + 255 - lb]
+    }
+}
+
+/// `a^n` by repeated exp/log arithmetic.
+#[inline]
+pub fn pow(a: u8, n: u32) -> u8 {
+    if n == 0 {
+        return 1;
+    }
+    if a == 0 {
+        return 0;
+    }
+    let l = TABLES.log[a as usize] as u64 * n as u64 % 255;
+    TABLES.exp[l as usize]
+}
+
+/// The generator element 2^i.
+#[inline]
+pub fn exp2(i: usize) -> u8 {
+    TABLES.exp[i % 255]
+}
+
+/// `dst[i] = c * src[i]` — the row-initialization kernel.
+///
+/// # Panics
+///
+/// Panics if slice lengths differ.
+pub fn mul_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "shard length mismatch");
+    if c == 0 {
+        dst.fill(0);
+        return;
+    }
+    if c == 1 {
+        dst.copy_from_slice(src);
+        return;
+    }
+    let lc = TABLES.log[c as usize] as usize;
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = if s == 0 {
+            0
+        } else {
+            TABLES.exp[lc + TABLES.log[s as usize] as usize]
+        };
+    }
+}
+
+/// `dst[i] ^= c * src[i]` — the accumulate kernel dominating encode and
+/// decode time (one call per (coding row × shard) pair).
+///
+/// # Panics
+///
+/// Panics if slice lengths differ.
+pub fn mul_acc_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "shard length mismatch");
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+        return;
+    }
+    let lc = TABLES.log[c as usize] as usize;
+    for (d, &s) in dst.iter_mut().zip(src) {
+        if s != 0 {
+            *d ^= TABLES.exp[lc + TABLES.log[s as usize] as usize];
+        }
+    }
+}
+
+/// ISA-L-style split-nibble accumulate kernel: precomputes the 16 products
+/// of `c` with each low nibble and each (shifted) high nibble, then does two
+/// table lookups and one XOR per byte with no zero-test branch.
+pub fn mul_acc_slice_nibble(c: u8, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "shard length mismatch");
+    if c == 0 {
+        return;
+    }
+    let mut lo = [0u8; 16];
+    let mut hi = [0u8; 16];
+    for i in 0..16u8 {
+        lo[i as usize] = mul(c, i);
+        hi[i as usize] = mul(c, i << 4);
+    }
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d ^= lo[(s & 0x0F) as usize] ^ hi[(s >> 4) as usize];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_is_xor() {
+        assert_eq!(add(0b1010, 0b0110), 0b1100);
+        assert_eq!(add(7, 7), 0);
+    }
+
+    #[test]
+    fn mul_identity_and_zero() {
+        for a in 0..=255u8 {
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(1, a), a);
+            assert_eq!(mul(a, 0), 0);
+            assert_eq!(mul(0, a), 0);
+        }
+    }
+
+    #[test]
+    fn mul_matches_carryless_reference() {
+        // Reference: schoolbook carry-less multiply + reduction by 0x11D.
+        fn slow_mul(mut a: u8, b: u8) -> u8 {
+            let mut prod: u8 = 0;
+            let mut b = b;
+            for _ in 0..8 {
+                if b & 1 != 0 {
+                    prod ^= a;
+                }
+                let hi = a & 0x80 != 0;
+                a <<= 1;
+                if hi {
+                    a ^= (POLY & 0xFF) as u8;
+                }
+                b >>= 1;
+            }
+            prod
+        }
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(mul(a, b), slow_mul(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_is_commutative_and_associative() {
+        let samples = [0u8, 1, 2, 3, 17, 91, 128, 200, 255];
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(mul(a, b), mul(b, a));
+                for &c in &samples {
+                    assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributivity() {
+        let samples = [1u8, 2, 5, 77, 130, 254];
+        for &a in &samples {
+            for &b in &samples {
+                for &c in &samples {
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        for a in 1..=255u8 {
+            let ia = inv(a);
+            assert_eq!(mul(a, ia), 1, "a={a}");
+        }
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        for a in 0..=255u8 {
+            for b in 1..=255u8 {
+                assert_eq!(div(mul(a, b), b), a);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        div(3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no multiplicative inverse")]
+    fn inv_zero_panics() {
+        inv(0);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        for &a in &[2u8, 3, 29, 255] {
+            let mut acc = 1u8;
+            for n in 0..20 {
+                assert_eq!(pow(a, n), acc, "a={a} n={n}");
+                acc = mul(acc, a);
+            }
+        }
+        assert_eq!(pow(0, 0), 1);
+        assert_eq!(pow(0, 5), 0);
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        // 2 generates the multiplicative group: first 255 powers distinct.
+        let mut seen = [false; 256];
+        for i in 0..255 {
+            let v = exp2(i);
+            assert!(!seen[v as usize], "2^{i} repeats");
+            seen[v as usize] = true;
+        }
+        assert_eq!(exp2(255), 1); // wraps
+    }
+
+    #[test]
+    fn slice_kernels_agree() {
+        let src: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        for &c in &[0u8, 1, 2, 73, 255] {
+            let mut a = vec![0xAA; 1000];
+            let mut b = vec![0xAA; 1000];
+            mul_acc_slice(c, &src, &mut a);
+            mul_acc_slice_nibble(c, &src, &mut b);
+            assert_eq!(a, b, "c={c}");
+
+            let mut d = vec![0u8; 1000];
+            mul_slice(c, &src, &mut d);
+            let expect: Vec<u8> = src.iter().map(|&s| mul(c, s)).collect();
+            assert_eq!(d, expect, "c={c}");
+        }
+    }
+
+    #[test]
+    fn mul_slice_special_cases() {
+        let src = vec![9u8, 0, 255];
+        let mut dst = vec![1u8; 3];
+        mul_slice(0, &src, &mut dst);
+        assert_eq!(dst, vec![0, 0, 0]);
+        mul_slice(1, &src, &mut dst);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn slice_length_mismatch_panics() {
+        let mut d = vec![0u8; 2];
+        mul_slice(3, &[1, 2, 3], &mut d);
+    }
+}

@@ -1,0 +1,374 @@
+//! Dense matrices over GF(2⁸) with the constructions needed for
+//! systematic MDS erasure codes.
+
+use std::fmt;
+
+use crate::gf256;
+
+/// A row-major dense matrix over GF(2⁸).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>,
+}
+
+impl Matrix {
+    /// The all-zero `rows × cols` matrix.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1;
+        }
+        m
+    }
+
+    /// Builds from a row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<u8>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        assert!(rows > 0 && cols > 0);
+        Matrix { rows, cols, data }
+    }
+
+    /// A Vandermonde matrix: `V[i][j] = (i+1)^j` (rows indexed by distinct
+    /// evaluation points, so any `cols × cols` sub-block built from distinct
+    /// rows is invertible when points are distinct powers — used with the
+    /// systematic transform in [`Matrix::systematic_vandermonde`]).
+    pub fn vandermonde(rows: usize, cols: usize) -> Self {
+        assert!(rows <= 255, "at most 255 distinct evaluation points");
+        let mut m = Matrix::zero(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = gf256::pow((i + 1) as u8, j as u32);
+            }
+        }
+        m
+    }
+
+    /// A Cauchy matrix `C[i][j] = 1 / (x_i + y_j)` with
+    /// `x_i = i` and `y_j = rows + j` (all distinct, so every square
+    /// submatrix is invertible — the MDS property).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows + cols > 256` (not enough distinct field elements).
+    pub fn cauchy(rows: usize, cols: usize) -> Self {
+        assert!(rows + cols <= 256, "Cauchy needs rows+cols <= 256");
+        let mut m = Matrix::zero(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                let x = i as u8;
+                let y = (rows + j) as u8;
+                m[(i, j)] = gf256::inv(x ^ y);
+            }
+        }
+        m
+    }
+
+    /// The standard systematic MDS encoding matrix for a `(k, n)` code:
+    /// take the `n × k` Vandermonde matrix, multiply by the inverse of its
+    /// top `k × k` block. The result's top block is the identity (data
+    /// shards pass through) and any `k` rows remain invertible.
+    pub fn systematic_vandermonde(n: usize, k: usize) -> Self {
+        assert!(n >= k, "need n >= k");
+        let v = Matrix::vandermonde(n, k);
+        let top = v.submatrix_rows(&(0..k).collect::<Vec<_>>());
+        let top_inv = top.inverted().expect("Vandermonde top block is invertible");
+        v.mul(&top_inv)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// A view of row `r`.
+    pub fn row(&self, r: usize) -> &[u8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self × rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch in matrix mul");
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for l in 0..self.cols {
+                let a = self[(i, l)];
+                if a == 0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let b = rhs[(l, j)];
+                    if b != 0 {
+                        out[(i, j)] ^= gf256::mul(a, b);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Extracts the listed rows into a new matrix (used to build the decode
+    /// matrix from the surviving shard rows).
+    pub fn submatrix_rows(&self, rows: &[usize]) -> Matrix {
+        let mut out = Matrix::zero(rows.len(), self.cols);
+        for (i, &r) in rows.iter().enumerate() {
+            assert!(r < self.rows, "row index out of range");
+            let (dst_start, src_start) = (i * self.cols, r * self.cols);
+            out.data[dst_start..dst_start + self.cols]
+                .copy_from_slice(&self.data[src_start..src_start + self.cols]);
+        }
+        out
+    }
+
+    /// Gauss-Jordan inversion; `None` if singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn inverted(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "only square matrices invert");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+
+        for col in 0..n {
+            // Find a pivot.
+            let pivot = (col..n).find(|&r| a[(r, col)] != 0)?;
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            // Normalize the pivot row.
+            let p = a[(col, col)];
+            if p != 1 {
+                let pinv = gf256::inv(p);
+                a.scale_row(col, pinv);
+                inv.scale_row(col, pinv);
+            }
+            // Eliminate the column from all other rows.
+            for r in 0..n {
+                if r != col {
+                    let f = a[(r, col)];
+                    if f != 0 {
+                        a.add_scaled_row(col, r, f);
+                        inv.add_scaled_row(col, r, f);
+                    }
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    fn swap_rows(&mut self, r1: usize, r2: usize) {
+        if r1 == r2 {
+            return;
+        }
+        let (lo, hi) = if r1 < r2 { (r1, r2) } else { (r2, r1) };
+        let (head, tail) = self.data.split_at_mut(hi * self.cols);
+        head[lo * self.cols..(lo + 1) * self.cols].swap_with_slice(&mut tail[..self.cols]);
+    }
+
+    fn scale_row(&mut self, r: usize, c: u8) {
+        for v in &mut self.data[r * self.cols..(r + 1) * self.cols] {
+            *v = gf256::mul(*v, c);
+        }
+    }
+
+    /// `row[dst] ^= c * row[src]`.
+    fn add_scaled_row(&mut self, src: usize, dst: usize, c: u8) {
+        assert_ne!(src, dst);
+        let cols = self.cols;
+        let (s, d) = if src < dst {
+            let (head, tail) = self.data.split_at_mut(dst * cols);
+            (&head[src * cols..(src + 1) * cols], &mut tail[..cols])
+        } else {
+            let (head, tail) = self.data.split_at_mut(src * cols);
+            let d = &mut head[dst * cols..(dst + 1) * cols];
+            (&tail[..cols], d)
+        };
+        // Reuse the shard kernel — rows are just short slices.
+        gf256::mul_acc_slice(c, s, d);
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = u8;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &u8 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut u8 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            writeln!(f, "  {:3?}", self.row(r))?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_times_anything() {
+        let m = Matrix::from_vec(2, 3, vec![1, 2, 3, 4, 5, 6]);
+        let i = Matrix::identity(2);
+        assert_eq!(i.mul(&m), m);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let m = Matrix::from_vec(3, 3, vec![1, 2, 3, 4, 5, 6, 7, 8, 10]);
+        if let Some(inv) = m.inverted() {
+            assert_eq!(m.mul(&inv), Matrix::identity(3));
+            assert_eq!(inv.mul(&m), Matrix::identity(3));
+        }
+        // Cauchy blocks are always invertible — assert the roundtrip there.
+        let c = Matrix::cauchy(4, 4);
+        let ci = c.inverted().expect("Cauchy is invertible");
+        assert_eq!(c.mul(&ci), Matrix::identity(4));
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        // Two identical rows.
+        let m = Matrix::from_vec(2, 2, vec![1, 2, 1, 2]);
+        assert!(m.inverted().is_none());
+        let z = Matrix::zero(3, 3);
+        assert!(z.inverted().is_none());
+    }
+
+    #[test]
+    fn cauchy_every_square_submatrix_invertible() {
+        let c = Matrix::cauchy(6, 4);
+        // All 2x2 submatrices from distinct row/col pairs.
+        for r1 in 0..6 {
+            for r2 in (r1 + 1)..6 {
+                for c1 in 0..4 {
+                    for c2 in (c1 + 1)..4 {
+                        let m = Matrix::from_vec(
+                            2,
+                            2,
+                            vec![c[(r1, c1)], c[(r1, c2)], c[(r2, c1)], c[(r2, c2)]],
+                        );
+                        assert!(
+                            m.inverted().is_some(),
+                            "singular 2x2 at rows ({r1},{r2}) cols ({c1},{c2})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn systematic_vandermonde_top_is_identity() {
+        let m = Matrix::systematic_vandermonde(14, 10);
+        for i in 0..10 {
+            for j in 0..10 {
+                assert_eq!(m[(i, j)], u8::from(i == j), "at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn systematic_vandermonde_any_k_rows_invertible() {
+        let n = 8;
+        let k = 5;
+        let m = Matrix::systematic_vandermonde(n, k);
+        // Exhaustively test all C(8,5) = 56 row subsets.
+        let rows: Vec<usize> = (0..n).collect();
+        let mut combo = vec![0usize; k];
+        fn combos(
+            rows: &[usize],
+            k: usize,
+            start: usize,
+            combo: &mut Vec<usize>,
+            depth: usize,
+            m: &Matrix,
+            count: &mut usize,
+        ) {
+            if depth == k {
+                let sub = m.submatrix_rows(combo);
+                assert!(sub.inverted().is_some(), "rows {combo:?} singular");
+                *count += 1;
+                return;
+            }
+            for i in start..rows.len() {
+                combo[depth] = rows[i];
+                combos(rows, k, i + 1, combo, depth + 1, m, count);
+            }
+        }
+        let mut count = 0;
+        combos(&rows, k, 0, &mut combo, 0, &m, &mut count);
+        assert_eq!(count, 56);
+    }
+
+    #[test]
+    fn mul_dimensions() {
+        let a = Matrix::zero(2, 3);
+        let b = Matrix::zero(3, 4);
+        let c = a.mul(&b);
+        assert_eq!((c.rows(), c.cols()), (2, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mul_rejects_bad_dims() {
+        let a = Matrix::zero(2, 3);
+        let b = Matrix::zero(2, 3);
+        let _ = a.mul(&b);
+    }
+
+    #[test]
+    fn submatrix_rows_picks_rows() {
+        let m = Matrix::from_vec(3, 2, vec![1, 2, 3, 4, 5, 6]);
+        let s = m.submatrix_rows(&[2, 0]);
+        assert_eq!(s.row(0), &[5, 6]);
+        assert_eq!(s.row(1), &[1, 2]);
+    }
+
+    #[test]
+    fn swap_and_scale_row_helpers() {
+        let mut m = Matrix::from_vec(2, 2, vec![1, 2, 3, 4]);
+        m.swap_rows(0, 1);
+        assert_eq!(m.row(0), &[3, 4]);
+        m.swap_rows(1, 1); // no-op
+        assert_eq!(m.row(1), &[1, 2]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests of the GF(2⁸)/Reed–Solomon substrate.
+
+use proptest::prelude::*;
+
+use spcache_ec::gf256;
+use spcache_ec::{join_shards, split_into_shards, Matrix, ReedSolomon};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// GF(2⁸) is a field: check the axioms on arbitrary triples.
+    #[test]
+    fn field_axioms(a: u8, b: u8, c: u8) {
+        // Commutativity.
+        prop_assert_eq!(gf256::mul(a, b), gf256::mul(b, a));
+        prop_assert_eq!(gf256::add(a, b), gf256::add(b, a));
+        // Associativity.
+        prop_assert_eq!(
+            gf256::mul(gf256::mul(a, b), c),
+            gf256::mul(a, gf256::mul(b, c))
+        );
+        // Distributivity.
+        prop_assert_eq!(
+            gf256::mul(a, gf256::add(b, c)),
+            gf256::add(gf256::mul(a, b), gf256::mul(a, c))
+        );
+        // Inverses.
+        if b != 0 {
+            prop_assert_eq!(gf256::mul(gf256::div(a, b), b), a);
+        }
+    }
+
+    /// The two accumulate kernels agree on arbitrary inputs.
+    #[test]
+    fn kernels_agree(
+        c: u8,
+        src in proptest::collection::vec(any::<u8>(), 0..2048),
+        init: u8,
+    ) {
+        let mut a = vec![init; src.len()];
+        let mut b = vec![init; src.len()];
+        gf256::mul_acc_slice(c, &src, &mut a);
+        gf256::mul_acc_slice_nibble(c, &src, &mut b);
+        prop_assert_eq!(a, b);
+    }
+
+    /// mul_acc is its own inverse (char-2 field): applying twice restores.
+    #[test]
+    fn mul_acc_self_inverse(
+        c: u8,
+        src in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let orig: Vec<u8> = (0..src.len()).map(|i| (i % 251) as u8).collect();
+        let mut dst = orig.clone();
+        gf256::mul_acc_slice(c, &src, &mut dst);
+        gf256::mul_acc_slice(c, &src, &mut dst);
+        prop_assert_eq!(dst, orig);
+    }
+
+    /// Matrix inversion round-trips for random invertible matrices.
+    #[test]
+    fn matrix_inverse_roundtrip(
+        n in 1usize..6,
+        seed in proptest::collection::vec(any::<u8>(), 36),
+    ) {
+        let data: Vec<u8> = seed.into_iter().take(n * n).collect();
+        let m = Matrix::from_vec(n, n, data);
+        if let Some(inv) = m.inverted() {
+            prop_assert_eq!(m.mul(&inv), Matrix::identity(n));
+            prop_assert_eq!(inv.mul(&m), Matrix::identity(n));
+        }
+    }
+
+    /// Systematic encode leaves the data shards verbatim.
+    #[test]
+    fn encode_is_systematic(
+        data in proptest::collection::vec(any::<u8>(), 1..2000),
+        k in 1usize..6,
+        parity in 0usize..4,
+    ) {
+        let rs = ReedSolomon::new(k, k + parity);
+        let shards = rs.encode_bytes(&data);
+        let plain = split_into_shards(&data, k);
+        prop_assert_eq!(&shards[..k], &plain[..]);
+        prop_assert_eq!(rs.verify(&shards).unwrap(), true);
+    }
+
+    /// Corrupting any single byte of any shard fails verification
+    /// (when parity exists).
+    #[test]
+    fn verify_detects_any_single_corruption(
+        data in proptest::collection::vec(any::<u8>(), 8..512),
+        which_shard in 0usize..6,
+        which_byte in any::<u16>(),
+        flip in 1u8..,
+    ) {
+        let rs = ReedSolomon::new(4, 6);
+        let mut shards = rs.encode_bytes(&data);
+        let s = which_shard % shards.len();
+        let b = which_byte as usize % shards[s].len();
+        shards[s][b] ^= flip;
+        prop_assert_eq!(rs.verify(&shards).unwrap(), false);
+    }
+
+    /// Reconstruction restores parity shards too, not just data.
+    #[test]
+    fn reconstruct_restores_everything(
+        data in proptest::collection::vec(any::<u8>(), 1..1000),
+        drop_a in 0usize..7,
+        drop_b in 0usize..7,
+    ) {
+        let rs = ReedSolomon::new(5, 7);
+        let shards = rs.encode_bytes(&data);
+        let mut partial: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
+        partial[drop_a] = None;
+        partial[drop_b % 7] = None;
+        rs.reconstruct(&mut partial).unwrap();
+        for (i, s) in partial.iter().enumerate() {
+            prop_assert_eq!(s.as_ref().unwrap(), &shards[i], "shard {}", i);
+        }
+    }
+
+    /// join ∘ split = id even when asked for fewer bytes than stored.
+    #[test]
+    fn join_respects_length(
+        data in proptest::collection::vec(any::<u8>(), 0..1000),
+        k in 1usize..12,
+        take_frac in 0.0f64..1.0,
+    ) {
+        let shards = split_into_shards(&data, k);
+        let take = (data.len() as f64 * take_frac) as usize;
+        let joined = join_shards(&shards, take);
+        prop_assert_eq!(&joined[..], &data[..take]);
+    }
+}

@@ -1,0 +1,235 @@
+//! Logarithmically-bucketed histogram.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with geometrically growing buckets, suited to latency data
+/// spanning several orders of magnitude (ms → tens of seconds in Fig. 21).
+///
+/// Bucket `i` covers `[min * growth^i, min * growth^(i+1))`. Values below
+/// `min` land in an underflow bucket, values beyond the last bucket in an
+/// overflow bucket.
+///
+/// # Examples
+///
+/// ```
+/// use spcache_metrics::LogHistogram;
+///
+/// let mut h = LogHistogram::new(1e-3, 2.0, 20); // 1 ms .. ~1048 s
+/// h.record(0.5);
+/// h.record(0.5);
+/// h.record(10.0);
+/// assert_eq!(h.count(), 3);
+/// let (val, frac) = h.quantile(0.5);
+/// assert!(val > 0.2 && val < 1.0);
+/// assert!(frac >= 0.5);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogHistogram {
+    min: f64,
+    growth: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl LogHistogram {
+    /// Creates a histogram with `n` buckets starting at `min`, each
+    /// `growth`× wider than the last.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `min > 0`, `growth > 1` and `n > 0`.
+    pub fn new(min: f64, growth: f64, n: usize) -> Self {
+        assert!(min > 0.0, "min must be positive");
+        assert!(growth > 1.0, "growth must exceed 1");
+        assert!(n > 0, "need at least one bucket");
+        LogHistogram {
+            min,
+            growth,
+            buckets: vec![0; n],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Index of the bucket containing `x`, or None for under/overflow.
+    fn bucket_index(&self, x: f64) -> Option<usize> {
+        if x < self.min {
+            return None;
+        }
+        let idx = (x / self.min).ln() / self.growth.ln();
+        let idx = idx as usize; // floor for non-negative values
+        if idx < self.buckets.len() {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, x: f64) {
+        debug_assert!(!x.is_nan());
+        self.count += 1;
+        if x < self.min {
+            self.underflow += 1;
+        } else {
+            match self.bucket_index(x) {
+                Some(i) => self.buckets[i] += 1,
+                None => self.overflow += 1,
+            }
+        }
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Lower edge of bucket `i`.
+    pub fn bucket_lo(&self, i: usize) -> f64 {
+        self.min * self.growth.powi(i as i32)
+    }
+
+    /// `(bucket upper edge, cumulative fraction)` pairs — an empirical CDF.
+    pub fn cdf(&self) -> Vec<(f64, f64)> {
+        if self.count == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.buckets.len() + 1);
+        let mut cum = self.underflow;
+        out.push((self.min, cum as f64 / self.count as f64));
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum += b;
+            out.push((self.bucket_lo(i + 1), cum as f64 / self.count as f64));
+        }
+        out
+    }
+
+    /// Approximate `q`-quantile: returns `(bucket upper edge, cumulative
+    /// fraction at that edge)` for the first bucket whose cumulative
+    /// fraction reaches `q`.
+    pub fn quantile(&self, q: f64) -> (f64, f64) {
+        assert!((0.0..=1.0).contains(&q));
+        if self.count == 0 {
+            return (0.0, 0.0);
+        }
+        let target = q * self.count as f64;
+        let mut cum = self.underflow as f64;
+        if cum >= target {
+            return (self.min, cum / self.count as f64);
+        }
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum += b as f64;
+            if cum >= target {
+                return (self.bucket_lo(i + 1), cum / self.count as f64);
+            }
+        }
+        (f64::INFINITY, 1.0)
+    }
+
+    /// Merges another histogram with identical geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different `min`, `growth` or
+    /// bucket counts.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(self.min, other.min, "histogram geometry mismatch");
+        assert_eq!(self.growth, other.growth, "histogram geometry mismatch");
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "histogram geometry mismatch"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_expected_ranges() {
+        let h = LogHistogram::new(1.0, 2.0, 4); // [1,2) [2,4) [4,8) [8,16)
+        assert_eq!(h.bucket_index(1.0), Some(0));
+        assert_eq!(h.bucket_index(1.9), Some(0));
+        assert_eq!(h.bucket_index(2.0), Some(1));
+        assert_eq!(h.bucket_index(7.9), Some(2));
+        assert_eq!(h.bucket_index(8.0), Some(3));
+        assert_eq!(h.bucket_index(16.0), None); // overflow
+        assert_eq!(h.bucket_index(0.5), None); // underflow
+    }
+
+    #[test]
+    fn under_and_overflow_counted() {
+        let mut h = LogHistogram::new(1.0, 2.0, 2);
+        h.record(0.1);
+        h.record(100.0);
+        h.record(1.5);
+        assert_eq!(h.count(), 3);
+        let cdf = h.cdf();
+        // underflow fraction at the first edge.
+        assert!((cdf[0].1 - 1.0 / 3.0).abs() < 1e-12);
+        // all but overflow within the buckets.
+        assert!((cdf.last().unwrap().1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_brackets_true_value() {
+        let mut h = LogHistogram::new(0.001, 1.5, 40);
+        for i in 1..=1000 {
+            h.record(i as f64 / 100.0); // 0.01 .. 10.0
+        }
+        let (v50, f50) = h.quantile(0.5);
+        assert!(f50 >= 0.5);
+        // True median is 5.0; bucket edge must be within one growth factor.
+        assert!((5.0..=5.0 * 1.5).contains(&v50), "v50 = {v50}");
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = LogHistogram::new(1.0, 2.0, 4);
+        let mut b = LogHistogram::new(1.0, 2.0, 4);
+        a.record(1.5);
+        b.record(3.0);
+        b.record(0.5);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = LogHistogram::new(1.0, 2.0, 4);
+        let b = LogHistogram::new(1.0, 3.0, 4);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn empty_histogram_quantile() {
+        let h = LogHistogram::new(1.0, 2.0, 4);
+        assert_eq!(h.quantile(0.5), (0.0, 0.0));
+        assert!(h.cdf().is_empty());
+    }
+
+    #[test]
+    fn cdf_monotone_and_complete() {
+        let mut h = LogHistogram::new(0.01, 2.0, 16);
+        for i in 0..500 {
+            h.record(0.01 * 1.02f64.powi(i % 300));
+        }
+        let cdf = h.cdf();
+        for w in cdf.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Per-server load accounting and the imbalance factor (paper Eq. 15).
+
+use serde::{Deserialize, Serialize};
+
+/// Tracks the cumulative load (bytes read, or any additive quantity) served
+/// by each server in the cluster.
+///
+/// The paper's load-balancing metric is the *imbalance factor*
+/// `η = (L_max − L_avg) / L_avg` — 0 for perfect balance, larger is worse
+/// (Fig. 12 reports η = 0.18 for SP-Cache, 0.44 for EC-Cache and 1.18 for
+/// selective replication).
+///
+/// # Examples
+///
+/// ```
+/// use spcache_metrics::LoadTracker;
+///
+/// let mut lt = LoadTracker::new(4);
+/// lt.add(0, 100.0);
+/// lt.add(1, 100.0);
+/// lt.add(2, 100.0);
+/// lt.add(3, 100.0);
+/// assert_eq!(lt.imbalance_factor(), 0.0);
+/// lt.add(0, 400.0);
+/// assert!(lt.imbalance_factor() > 1.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadTracker {
+    loads: Vec<f64>,
+}
+
+impl LoadTracker {
+    /// A tracker for `n` servers, all starting at zero load.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one server");
+        LoadTracker {
+            loads: vec![0.0; n],
+        }
+    }
+
+    /// Adds `amount` of load to `server`.
+    pub fn add(&mut self, server: usize, amount: f64) {
+        debug_assert!(amount >= 0.0 && !amount.is_nan());
+        self.loads[server] += amount;
+    }
+
+    /// Number of servers tracked.
+    pub fn servers(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// The raw per-server loads.
+    pub fn loads(&self) -> &[f64] {
+        &self.loads
+    }
+
+    /// Maximum per-server load.
+    pub fn max(&self) -> f64 {
+        self.loads.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+    }
+
+    /// Mean per-server load.
+    pub fn mean(&self) -> f64 {
+        self.loads.iter().sum::<f64>() / self.loads.len() as f64
+    }
+
+    /// Imbalance factor `η = (L_max − L_avg) / L_avg` (Eq. 15). Returns 0
+    /// when the cluster has seen no load at all.
+    pub fn imbalance_factor(&self) -> f64 {
+        let avg = self.mean();
+        if avg == 0.0 {
+            0.0
+        } else {
+            (self.max() - avg) / avg
+        }
+    }
+
+    /// Population variance of the per-server load — the quantity bounded by
+    /// Theorem 1.
+    pub fn variance(&self) -> f64 {
+        let mean = self.mean();
+        self.loads.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / self.loads.len() as f64
+    }
+
+    /// Per-server loads sorted ascending, normalized by the mean — the
+    /// x-axis of the paper's load-distribution CDFs (Figs. 12 and 18).
+    pub fn normalized_sorted(&self) -> Vec<f64> {
+        let mean = self.mean();
+        let mut v: Vec<f64> = if mean == 0.0 {
+            vec![0.0; self.loads.len()]
+        } else {
+            self.loads.iter().map(|l| l / mean).collect()
+        };
+        v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN loads"));
+        v
+    }
+
+    /// Resets all loads to zero (start of a new measurement window).
+    pub fn reset(&mut self) {
+        self.loads.fill(0.0);
+    }
+
+    /// Merges loads from another tracker of the same size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if server counts differ.
+    pub fn merge(&mut self, other: &LoadTracker) {
+        assert_eq!(self.loads.len(), other.loads.len(), "server count mismatch");
+        for (a, b) in self.loads.iter_mut().zip(&other.loads) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_balanced_eta_zero() {
+        let mut lt = LoadTracker::new(8);
+        for s in 0..8 {
+            lt.add(s, 42.0);
+        }
+        assert_eq!(lt.imbalance_factor(), 0.0);
+        assert_eq!(lt.variance(), 0.0);
+    }
+
+    #[test]
+    fn single_hot_server() {
+        let mut lt = LoadTracker::new(4);
+        lt.add(0, 100.0);
+        // mean = 25, max = 100 → η = 3
+        assert!((lt.imbalance_factor() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_tracker_is_neutral() {
+        let lt = LoadTracker::new(3);
+        assert_eq!(lt.imbalance_factor(), 0.0);
+        assert_eq!(lt.normalized_sorted(), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn normalized_sorted_properties() {
+        let mut lt = LoadTracker::new(4);
+        lt.add(0, 10.0);
+        lt.add(1, 20.0);
+        lt.add(2, 30.0);
+        lt.add(3, 40.0);
+        let ns = lt.normalized_sorted();
+        // Sorted ascending, mean of normalized loads is 1.
+        assert!(ns.windows(2).all(|w| w[0] <= w[1]));
+        let mean: f64 = ns.iter().sum::<f64>() / ns.len() as f64;
+        assert!((mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_matches_direct() {
+        let mut lt = LoadTracker::new(3);
+        lt.add(0, 1.0);
+        lt.add(1, 2.0);
+        lt.add(2, 6.0);
+        // mean 3, deviations -2,-1,3 → var = (4+1+9)/3
+        assert!((lt.variance() - 14.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_and_merge() {
+        let mut a = LoadTracker::new(2);
+        a.add(0, 5.0);
+        a.reset();
+        assert_eq!(a.loads(), &[0.0, 0.0]);
+        let mut b = LoadTracker::new(2);
+        b.add(1, 7.0);
+        a.merge(&b);
+        assert_eq!(a.loads(), &[0.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "server count mismatch")]
+    fn merge_rejects_size_mismatch() {
+        let mut a = LoadTracker::new(2);
+        let b = LoadTracker::new(3);
+        a.merge(&b);
+    }
+}

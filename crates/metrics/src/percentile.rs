@@ -1,0 +1,384 @@
+//! Percentile estimation: exact (retained samples) and streaming (P²).
+
+use serde::{Deserialize, Serialize};
+
+/// A bag of retained samples with exact percentile queries.
+///
+/// The paper's tail-latency numbers are 95th percentiles over all reads in
+/// a run; run sizes here are at most a few million, so retaining samples is
+/// cheap and exact.
+///
+/// # Examples
+///
+/// ```
+/// use spcache_metrics::Samples;
+///
+/// let mut s = Samples::new();
+/// for i in 1..=100 {
+///     s.record(i as f64);
+/// }
+/// assert_eq!(s.percentile(50.0), 50.5); // interpolated median of 1..=100
+/// assert_eq!(s.percentile(100.0), 100.0);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Samples {
+    data: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// An empty sample bag.
+    pub fn new() -> Self {
+        Samples {
+            data: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Pre-allocates for `n` samples.
+    pub fn with_capacity(n: usize) -> Self {
+        Samples {
+            data: Vec::with_capacity(n),
+            sorted: true,
+        }
+    }
+
+    /// Builds from a vector of samples.
+    pub fn from_vec(data: Vec<f64>) -> Self {
+        Samples {
+            data,
+            sorted: false,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, x: f64) {
+        debug_assert!(!x.is_nan());
+        self.data.push(x);
+        self.sorted = false;
+    }
+
+    /// Appends all samples from `other`.
+    pub fn extend_from(&mut self, other: &Samples) {
+        self.data.extend_from_slice(&other.data);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the bag is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Arithmetic mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f64>() / self.data.len() as f64
+        }
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.data
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            self.sorted = true;
+        }
+    }
+
+    /// Exact `p`-th percentile (`0 ≤ p ≤ 100`) using nearest-rank with
+    /// linear interpolation; 0 when empty.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let n = self.data.len();
+        if n == 1 {
+            return self.data[0];
+        }
+        let rank = p / 100.0 * (n - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        self.data[lo] * (1.0 - frac) + self.data[hi] * frac
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&mut self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// The empirical CDF as `(value, fraction ≤ value)` pairs at `points`
+    /// evenly spaced quantiles (for plotting Fig. 21-style distributions).
+    pub fn cdf(&mut self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2);
+        if self.data.is_empty() {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let n = self.data.len();
+        (0..points)
+            .map(|i| {
+                let q = i as f64 / (points - 1) as f64;
+                let idx = ((q * (n - 1) as f64).round() as usize).min(n - 1);
+                (self.data[idx], (idx + 1) as f64 / n as f64)
+            })
+            .collect()
+    }
+
+    /// Immutable view of the raw samples (unsorted order not guaranteed).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+/// The P² (Jain & Chlamtac 1985) streaming quantile estimator: O(1) memory,
+/// one quantile per instance. Used where a simulation is too long to retain
+/// every latency sample.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights.
+    heights: [f64; 5],
+    /// Marker positions (1-based ranks).
+    pos: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments.
+    inc: [f64; 5],
+    count: usize,
+    init: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `q` in `(0, 1)`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1)");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            pos: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            inc: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            init: Vec::with_capacity(5),
+        }
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, x: f64) {
+        debug_assert!(!x.is_nan());
+        self.count += 1;
+        if self.init.len() < 5 {
+            self.init.push(x);
+            if self.init.len() == 5 {
+                self.init
+                    .sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+                for (h, v) in self.heights.iter_mut().zip(&self.init) {
+                    *h = *v;
+                }
+            }
+            return;
+        }
+
+        // Find the cell k containing x and update extreme heights.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            2
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if self.heights[i] <= x && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        for p in self.pos.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, i) in self.desired.iter_mut().zip(&self.inc) {
+            *d += i;
+        }
+
+        // Adjust interior markers with the parabolic (P²) formula, falling
+        // back to linear when the parabolic estimate leaves the bracket.
+        for i in 1..4 {
+            let d = self.desired[i] - self.pos[i];
+            let right = self.pos[i + 1] - self.pos[i];
+            let left = self.pos[i - 1] - self.pos[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let hp = self.parabolic(i, d);
+                let new_h = if self.heights[i - 1] < hp && hp < self.heights[i + 1] {
+                    hp
+                } else {
+                    self.linear(i, d)
+                };
+                self.heights[i] = new_h;
+                self.pos[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let p = &self.pos;
+        let h = &self.heights;
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.pos[j] - self.pos[i])
+    }
+
+    /// Current estimate of the quantile; exact for fewer than five samples.
+    pub fn value(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if self.init.len() < 5 {
+            // Exact small-sample quantile.
+            let mut v = self.init.clone();
+            v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            let rank = (self.q * (v.len() - 1) as f64).round() as usize;
+            return v[rank];
+        }
+        self.heights[2]
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_percentiles_small() {
+        let mut s = Samples::from_vec(vec![3.0, 1.0, 2.0]);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.median(), 2.0);
+        assert_eq!(s.percentile(100.0), 3.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let mut s = Samples::from_vec(vec![0.0, 10.0]);
+        assert_eq!(s.percentile(50.0), 5.0);
+        assert_eq!(s.percentile(25.0), 2.5);
+    }
+
+    #[test]
+    fn empty_samples_return_zero() {
+        let mut s = Samples::new();
+        assert_eq!(s.percentile(95.0), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.is_empty());
+        assert!(s.cdf(4).is_empty());
+    }
+
+    #[test]
+    fn record_after_query_resorts() {
+        let mut s = Samples::new();
+        s.record(5.0);
+        assert_eq!(s.median(), 5.0);
+        s.record(1.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+    }
+
+    #[test]
+    fn extend_merges() {
+        let mut a = Samples::from_vec(vec![1.0, 2.0]);
+        let b = Samples::from_vec(vec![3.0, 4.0]);
+        a.extend_from(&b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.percentile(100.0), 4.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut s = Samples::from_vec((0..1000).map(|i| (i as f64).sqrt()).collect());
+        let cdf = s.cdf(20);
+        assert_eq!(cdf.len(), 20);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0, "values must be non-decreasing");
+            assert!(w[0].1 <= w[1].1, "probabilities must be non-decreasing");
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p2_matches_exact_on_uniform() {
+        let mut est = P2Quantile::new(0.95);
+        let mut exact = Samples::new();
+        // Deterministic pseudo-uniform sequence.
+        let mut x = 0.5f64;
+        for _ in 0..20_000 {
+            x = (x * 1103515245.0 + 12345.0) % 1.0;
+            let v = x.abs();
+            est.record(v);
+            exact.record(v);
+        }
+        let e = exact.percentile(95.0);
+        assert!(
+            (est.value() - e).abs() < 0.02,
+            "p2 = {}, exact = {}",
+            est.value(),
+            e
+        );
+    }
+
+    #[test]
+    fn p2_small_sample_is_exact() {
+        let mut est = P2Quantile::new(0.5);
+        est.record(10.0);
+        est.record(20.0);
+        est.record(30.0);
+        assert_eq!(est.value(), 20.0);
+        assert_eq!(est.count(), 3);
+    }
+
+    #[test]
+    fn p2_handles_heavy_tail() {
+        let mut est = P2Quantile::new(0.5);
+        let mut exact = Samples::new();
+        for i in 1..10_000usize {
+            // Pareto-ish: occasional large values.
+            let v = if i % 100 == 0 { 1000.0 } else { (i % 17) as f64 };
+            est.record(v);
+            exact.record(v);
+        }
+        let e = exact.median();
+        assert!(
+            (est.value() - e).abs() <= 2.0,
+            "p2 median {} vs exact {}",
+            est.value(),
+            e
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn p2_rejects_bad_quantile() {
+        let _ = P2Quantile::new(1.0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Streaming summary statistics (Welford's online algorithm).
+
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable streaming mean / variance / extrema.
+///
+/// Used for every "mean read latency" point and every coefficient-of-
+/// variation (CV) entry in the paper's Tables 1–3. The CV — standard
+/// deviation over mean — is the paper's hot-spot indicator: CV > 1 means
+/// severe load imbalance.
+///
+/// # Examples
+///
+/// ```
+/// use spcache_metrics::Summary;
+///
+/// let mut s = Summary::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.count(), 4);
+/// assert!((s.variance() - 5.0 / 3.0).abs() < 1e-12); // sample variance
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    /// Sum of squared deviations from the running mean (Welford's M2).
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Builds a summary from a slice in one pass.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut s = Summary::new();
+        for &x in xs {
+            s.record(x);
+        }
+        s
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, x: f64) {
+        debug_assert!(!x.is_nan(), "cannot record NaN");
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Merges another summary into this one (parallel reduction), using the
+    /// Chan et al. pairwise update.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Unbiased sample variance; 0 with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population variance (divides by n); 0 when empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation `σ/μ` — the paper's hot-spot indicator
+    /// (CV > 1 ⇒ severe hot spots). Returns 0 for an empty or zero-mean
+    /// summary.
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / m
+        }
+    }
+
+    /// Smallest observation; +∞ when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; −∞ when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_neutral() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = Summary::new();
+        s.record(5.0);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 5.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.5).collect();
+        let s = Summary::from_slice(&xs);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((s.mean() - mean).abs() < 1e-9);
+        assert!((s.variance() - var).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64).sin() * 10.0 + 20.0).collect();
+        let (a, b) = xs.split_at(200);
+        let mut sa = Summary::from_slice(a);
+        let sb = Summary::from_slice(b);
+        sa.merge(&sb);
+        let whole = Summary::from_slice(&xs);
+        assert_eq!(sa.count(), whole.count());
+        assert!((sa.mean() - whole.mean()).abs() < 1e-9);
+        assert!((sa.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(sa.min(), whole.min());
+        assert_eq!(sa.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = Summary::from_slice(&[1.0, 2.0]);
+        let before = s.mean();
+        s.merge(&Summary::new());
+        assert_eq!(s.mean(), before);
+        assert_eq!(s.count(), 2);
+
+        let mut e = Summary::new();
+        e.merge(&Summary::from_slice(&[1.0, 2.0]));
+        assert_eq!(e.count(), 2);
+        assert_eq!(e.mean(), 1.5);
+    }
+
+    #[test]
+    fn cv_of_constant_data_is_zero() {
+        let s = Summary::from_slice(&[3.0; 50]);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn cv_detects_high_variance() {
+        // Mostly small values with one huge outlier — CV should exceed 1,
+        // like the paper's hot-spot latency distributions.
+        let mut xs = vec![1.0; 99];
+        xs.push(200.0);
+        let s = Summary::from_slice(&xs);
+        assert!(s.cv() > 1.0, "cv = {}", s.cv());
+    }
+
+    #[test]
+    fn numerically_stable_for_large_offsets() {
+        // Classic catastrophic-cancellation case for naive sum-of-squares.
+        let base = 1e9;
+        let xs: Vec<f64> = (0..100).map(|i| base + (i % 7) as f64).collect();
+        let s = Summary::from_slice(&xs);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / 99.0;
+        assert!((s.variance() - var).abs() / var < 1e-6);
+    }
+}

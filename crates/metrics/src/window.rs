@@ -1,0 +1,156 @@
+//! Fixed-window time series statistics.
+//!
+//! The burst experiments watch latency *over time* — a popularity burst
+//! degrades some windows, a rebalance restores them. [`WindowedStats`]
+//! buckets timestamped samples into fixed-width windows and reports
+//! per-window summaries.
+
+use serde::{Deserialize, Serialize};
+
+use crate::summary::Summary;
+
+/// Samples bucketed into fixed-width time windows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WindowedStats {
+    width: f64,
+    windows: Vec<Summary>,
+}
+
+impl WindowedStats {
+    /// Creates a series with windows of `width` seconds starting at t = 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive width.
+    pub fn new(width: f64) -> Self {
+        assert!(width > 0.0, "window width must be positive");
+        WindowedStats {
+            width,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Window width in seconds.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Records a sample at time `t` (seconds, ≥ 0).
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics on negative times.
+    pub fn record(&mut self, t: f64, value: f64) {
+        debug_assert!(t >= 0.0, "windowed stats start at t = 0");
+        let idx = (t / self.width) as usize;
+        if idx >= self.windows.len() {
+            self.windows.resize_with(idx + 1, Summary::new);
+        }
+        self.windows[idx].record(value);
+    }
+
+    /// Number of windows (including empty interior ones).
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The summary for window `i` (covering `[i·width, (i+1)·width)`).
+    pub fn window(&self, i: usize) -> &Summary {
+        &self.windows[i]
+    }
+
+    /// `(window start time, mean)` for every non-empty window.
+    pub fn means(&self) -> Vec<(f64, f64)> {
+        self.windows
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.count() > 0)
+            .map(|(i, s)| (i as f64 * self.width, s.mean()))
+            .collect()
+    }
+
+    /// The worst (highest-mean) non-empty window.
+    pub fn worst_window(&self) -> Option<(f64, f64)> {
+        self.means()
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN means"))
+    }
+
+    /// Mean over an inclusive window index range, pooling all samples.
+    pub fn pooled_mean(&self, from: usize, to: usize) -> f64 {
+        let mut total = Summary::new();
+        for w in self.windows.iter().take(to + 1).skip(from) {
+            total.merge(w);
+        }
+        total.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_land_in_the_right_window() {
+        let mut w = WindowedStats::new(10.0);
+        w.record(0.5, 1.0);
+        w.record(9.99, 3.0);
+        w.record(10.0, 100.0);
+        w.record(25.0, 50.0);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.window(0).count(), 2);
+        assert_eq!(w.window(0).mean(), 2.0);
+        assert_eq!(w.window(1).mean(), 100.0);
+        assert_eq!(w.window(2).mean(), 50.0);
+    }
+
+    #[test]
+    fn means_skip_empty_windows() {
+        let mut w = WindowedStats::new(1.0);
+        w.record(0.0, 1.0);
+        w.record(5.5, 2.0);
+        let means = w.means();
+        assert_eq!(means, vec![(0.0, 1.0), (5.0, 2.0)]);
+        assert_eq!(w.len(), 6);
+    }
+
+    #[test]
+    fn worst_window_finds_the_spike() {
+        let mut w = WindowedStats::new(10.0);
+        for t in 0..100 {
+            let spike = if (30..40).contains(&t) { 50.0 } else { 1.0 };
+            w.record(t as f64, spike);
+        }
+        let (start, mean) = w.worst_window().unwrap();
+        assert_eq!(start, 30.0);
+        assert_eq!(mean, 50.0);
+    }
+
+    #[test]
+    fn pooled_mean_spans_windows() {
+        let mut w = WindowedStats::new(1.0);
+        w.record(0.5, 2.0);
+        w.record(1.5, 4.0);
+        w.record(2.5, 6.0);
+        assert_eq!(w.pooled_mean(0, 2), 4.0);
+        assert_eq!(w.pooled_mean(1, 1), 4.0);
+    }
+
+    #[test]
+    fn empty_series() {
+        let w = WindowedStats::new(5.0);
+        assert!(w.is_empty());
+        assert!(w.worst_window().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_rejected() {
+        let _ = WindowedStats::new(0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! A classic event-driven single-server queue, used to **cross-validate**
+//! the analytic [`crate::FifoQueue`] shortcut.
+//!
+//! The cluster simulator feeds arrivals in global time order, which lets
+//! it replace per-job begin/end events with the O(1) `busy_until` update
+//! of `FifoQueue`. That equivalence is an invariant worth guarding, so
+//! this module keeps the textbook event-driven implementation around and
+//! the tests drive both with identical inputs and assert *exact*
+//! agreement.
+
+use crate::event::EventQueue;
+use crate::time::SimTime;
+
+/// Events of the single-server queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum QueueEvent {
+    /// Job `id` arrives (service time attached).
+    Arrival { id: usize, service: f64 },
+    /// The job in service completes.
+    Departure { id: usize },
+}
+
+/// Per-job measurements from the event-driven run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobRecord {
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// Service start.
+    pub start: SimTime,
+    /// Completion.
+    pub finish: SimTime,
+}
+
+/// Runs an event-driven single-server FIFO queue over `(arrival, service)`
+/// pairs (arrivals must be non-decreasing) and returns per-job records.
+///
+/// # Panics
+///
+/// Panics on out-of-order arrivals or negative service times.
+pub fn run_fifo_event_driven(jobs: &[(f64, f64)]) -> Vec<JobRecord> {
+    let mut queue: EventQueue<QueueEvent> = EventQueue::with_capacity(jobs.len() * 2);
+    let mut records: Vec<Option<JobRecord>> = vec![None; jobs.len()];
+    let mut waiting: std::collections::VecDeque<(usize, f64)> = Default::default();
+    let mut in_service: Option<usize> = None;
+
+    let mut prev = f64::NEG_INFINITY;
+    for (id, &(arrival, service)) in jobs.iter().enumerate() {
+        assert!(arrival >= prev, "arrivals must be time-ordered");
+        assert!(service >= 0.0, "negative service time");
+        prev = arrival;
+        queue.push(SimTime::from_secs(arrival), QueueEvent::Arrival { id, service });
+    }
+
+    while let Some((now, ev)) = queue.pop() {
+        match ev {
+            QueueEvent::Arrival { id, service } => {
+                records[id] = Some(JobRecord {
+                    arrival: now,
+                    start: now, // overwritten when service actually begins
+                    finish: now,
+                });
+                if in_service.is_none() {
+                    in_service = Some(id);
+                    let rec = records[id].as_mut().expect("just inserted");
+                    rec.start = now;
+                    rec.finish = now + service;
+                    queue.push(now + service, QueueEvent::Departure { id });
+                } else {
+                    waiting.push_back((id, service));
+                }
+            }
+            QueueEvent::Departure { id } => {
+                debug_assert_eq!(in_service, Some(id));
+                in_service = None;
+                if let Some((next, service)) = waiting.pop_front() {
+                    in_service = Some(next);
+                    let rec = records[next].as_mut().expect("arrived earlier");
+                    rec.start = now;
+                    rec.finish = now + service;
+                    queue.push(now + service, QueueEvent::Departure { id: next });
+                }
+            }
+        }
+    }
+
+    records
+        .into_iter()
+        .map(|r| r.expect("every job processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::FifoQueue;
+    use crate::rng::Xoshiro256StarStar;
+
+    /// Deterministic pseudo-random job streams.
+    fn job_stream(n: usize, seed: u64, rate: f64, mean_service: f64) -> Vec<(f64, f64)> {
+        let mut rng = Xoshiro256StarStar::seed(seed);
+        let mut t = 0.0;
+        (0..n)
+            .map(|_| {
+                t += -(1.0 - rng.next_f64()).ln() / rate;
+                let s = -(1.0 - rng.next_f64()).ln() * mean_service;
+                (t, s)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn event_driven_matches_analytic_exactly() {
+        for seed in 0..5 {
+            let jobs = job_stream(2_000, seed, 10.0, 0.08);
+            let records = run_fifo_event_driven(&jobs);
+            let mut q = FifoQueue::new();
+            for (rec, &(arrival, service)) in records.iter().zip(&jobs) {
+                let served = q.enqueue(SimTime::from_secs(arrival), service);
+                assert_eq!(rec.start, served.start, "seed {seed}");
+                assert_eq!(rec.finish, served.finish, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn mm1_mean_sojourn_matches_theory() {
+        // M/M/1 with rho = 0.8: E[T] = 1/(mu - lambda).
+        let lambda = 8.0;
+        let mu = 10.0;
+        let jobs = job_stream(200_000, 42, lambda, 1.0 / mu);
+        let records = run_fifo_event_driven(&jobs);
+        let mean: f64 = records
+            .iter()
+            .map(|r| r.finish - r.arrival)
+            .sum::<f64>()
+            / records.len() as f64;
+        let theory = 1.0 / (mu - lambda);
+        assert!(
+            (mean - theory).abs() / theory < 0.05,
+            "mean sojourn {mean} vs M/M/1 theory {theory}"
+        );
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let jobs = vec![(0.0, 5.0), (1.0, 0.1), (2.0, 0.1)];
+        let records = run_fifo_event_driven(&jobs);
+        // Despite shorter service, later arrivals finish later (FIFO).
+        assert!(records[0].finish < records[1].finish);
+        assert!(records[1].finish < records[2].finish);
+        assert_eq!(records[1].start.as_secs(), 5.0);
+    }
+
+    #[test]
+    fn idle_periods_are_skipped() {
+        let jobs = vec![(0.0, 1.0), (100.0, 1.0)];
+        let records = run_fifo_event_driven(&jobs);
+        assert_eq!(records[1].start.as_secs(), 100.0);
+        assert_eq!(records[1].finish.as_secs(), 101.0);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(run_fifo_event_driven(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_rejected() {
+        let _ = run_fifo_event_driven(&[(2.0, 1.0), (1.0, 1.0)]);
+    }
+}

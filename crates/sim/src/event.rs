@@ -1,0 +1,205 @@
+//! Deterministic time-ordered event queue.
+//!
+//! A thin wrapper over [`std::collections::BinaryHeap`] that orders events
+//! by time and breaks ties by insertion sequence, guaranteeing that two runs
+//! with identical inputs pop events in exactly the same order. Event
+//! payloads are an arbitrary type `E`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest time (and for
+        // equal times the lowest sequence number) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-heap of `(SimTime, E)` events.
+///
+/// # Examples
+///
+/// ```
+/// use spcache_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(2.0), "later");
+/// q.push(SimTime::from_secs(1.0), "sooner");
+/// assert_eq!(q.pop().unwrap().1, "sooner");
+/// assert_eq!(q.pop().unwrap().1, "later");
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with capacity for `n` events.
+    pub fn with_capacity(n: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(n),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at `time`. Events pushed at the same time pop in
+    /// push order (FIFO among ties).
+    pub fn push(&mut self, time: SimTime, payload: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// The time of the earliest pending event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drains events in time order while `pred(time)` holds, applying `f`.
+    ///
+    /// This is the main simulation loop helper: run everything scheduled up
+    /// to a horizon.
+    pub fn drain_while<P, F>(&mut self, mut pred: P, mut f: F)
+    where
+        P: FnMut(SimTime) -> bool,
+        F: FnMut(SimTime, E, &mut Self),
+    {
+        while let Some(t) = self.peek_time() {
+            if !pred(t) {
+                break;
+            }
+            let (t, ev) = self.pop().expect("peeked event must pop");
+            f(t, ev, self);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for &t in &[5.0, 1.0, 3.0, 2.0, 4.0] {
+            q.push(SimTime::from_secs(t), t as i32);
+        }
+        let mut out = Vec::new();
+        while let Some((_, v)) = q.pop() {
+            out.push(v);
+        }
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn ties_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1.0);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn drain_while_respects_horizon() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(SimTime::from_secs(i as f64), i);
+        }
+        let mut seen = Vec::new();
+        q.drain_while(
+            |t| t.as_secs() < 5.0,
+            |_, ev, _| {
+                seen.push(ev);
+            },
+        );
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.len(), 5);
+    }
+
+    #[test]
+    fn drain_while_can_reschedule() {
+        // A handler that spawns a follow-up event inside the horizon.
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, 0u32);
+        let mut count = 0;
+        q.drain_while(
+            |t| t.as_secs() < 10.0,
+            |t, ev, q| {
+                count += 1;
+                if ev < 3 {
+                    q.push(t + 1.0, ev + 1);
+                }
+            },
+        );
+        assert_eq!(count, 4); // 0,1,2,3
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(2.5), "x");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2.5)));
+        assert_eq!(q.pop().unwrap().0, SimTime::from_secs(2.5));
+        assert_eq!(q.peek_time(), None);
+    }
+}

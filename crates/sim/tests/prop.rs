@@ -1,0 +1,132 @@
+//! Property-based tests of the simulation kernel: the analytic FIFO
+//! shortcut must agree with the textbook event-driven queue on arbitrary
+//! job streams, and the RNG/event-heap invariants must hold.
+
+use proptest::prelude::*;
+
+use spcache_sim::engine::run_fifo_event_driven;
+use spcache_sim::{EventQueue, FifoQueue, SimTime, Xoshiro256StarStar};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Analytic FIFO and event-driven FIFO agree exactly on arbitrary
+    /// (gap, service) streams.
+    #[test]
+    fn fifo_implementations_agree(
+        jobs in proptest::collection::vec((0.0f64..5.0, 0.0f64..5.0), 0..200),
+    ) {
+        // Gaps → absolute arrival times.
+        let mut t = 0.0;
+        let jobs: Vec<(f64, f64)> = jobs
+            .into_iter()
+            .map(|(gap, service)| {
+                t += gap;
+                (t, service)
+            })
+            .collect();
+        let records = run_fifo_event_driven(&jobs);
+        let mut q = FifoQueue::new();
+        for (rec, &(arrival, service)) in records.iter().zip(&jobs) {
+            let served = q.enqueue(SimTime::from_secs(arrival), service);
+            prop_assert_eq!(rec.start, served.start);
+            prop_assert_eq!(rec.finish, served.finish);
+        }
+    }
+
+    /// FIFO sojourn times are non-negative; completions are ordered.
+    #[test]
+    fn fifo_completions_ordered(
+        jobs in proptest::collection::vec((0.0f64..2.0, 0.0f64..2.0), 1..100),
+    ) {
+        let mut t = 0.0;
+        let mut q = FifoQueue::new();
+        let mut prev_finish = f64::NEG_INFINITY;
+        for (gap, service) in jobs {
+            t += gap;
+            let served = q.enqueue(SimTime::from_secs(t), service);
+            prop_assert!(served.wait >= 0.0);
+            prop_assert!(served.finish.as_secs() >= served.start.as_secs());
+            prop_assert!(served.finish.as_secs() >= prev_finish, "FIFO order violated");
+            prev_finish = served.finish.as_secs();
+        }
+    }
+
+    /// The event heap pops in time order with FIFO tie-breaking.
+    #[test]
+    fn event_heap_ordering(times in proptest::collection::vec(0.0f64..100.0, 0..300)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_secs(t), i);
+        }
+        let mut last_time = f64::NEG_INFINITY;
+        let mut last_seq_at_time = 0usize;
+        while let Some((t, i)) = q.pop() {
+            prop_assert!(t.as_secs() >= last_time);
+            if t.as_secs() == last_time {
+                prop_assert!(i > last_seq_at_time, "ties must pop FIFO");
+            }
+            last_time = t.as_secs();
+            last_seq_at_time = i;
+        }
+    }
+
+    /// RNG streams from different seeds are uncorrelated enough to never
+    /// produce identical 8-draw prefixes, and f64 draws stay in [0, 1).
+    #[test]
+    fn rng_stream_properties(seed_a: u64, seed_b: u64) {
+        let mut a = Xoshiro256StarStar::seed(seed_a);
+        let mut b = Xoshiro256StarStar::seed(seed_b);
+        let pa: Vec<f64> = (0..8).map(|_| a.next_f64()).collect();
+        let pb: Vec<f64> = (0..8).map(|_| b.next_f64()).collect();
+        for &x in pa.iter().chain(&pb) {
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+        if seed_a != seed_b {
+            prop_assert_ne!(pa, pb, "distinct seeds produced identical prefixes");
+        } else {
+            prop_assert_eq!(pa, pb);
+        }
+    }
+
+    /// split() produces a child that replays the parent's old stream and a
+    /// parent that diverges from it.
+    #[test]
+    fn rng_split_semantics(seed: u64) {
+        let mut parent = Xoshiro256StarStar::seed(seed);
+        let mut replay = Xoshiro256StarStar::seed(seed);
+        let mut child = parent.split();
+        for _ in 0..32 {
+            prop_assert_eq!(child.next_f64(), replay.next_f64());
+        }
+        // Parent moved 2^128 ahead: first draws must differ from replay's
+        // continuation.
+        let p: Vec<u64> = (0..4).map(|_| {
+            use rand::Rng;
+            parent.next_u64()
+        }).collect();
+        let r: Vec<u64> = (0..4).map(|_| {
+            use rand::Rng;
+            replay.next_u64()
+        }).collect();
+        prop_assert_ne!(p, r);
+    }
+
+    /// Queue utilization accounting is exact.
+    #[test]
+    fn utilization_accounting(
+        jobs in proptest::collection::vec((0.1f64..1.0, 0.0f64..0.5), 1..50),
+    ) {
+        let mut q = FifoQueue::new();
+        let mut t = 0.0;
+        let mut total_service = 0.0;
+        for (gap, service) in jobs {
+            t += gap;
+            total_service += service;
+            q.enqueue(SimTime::from_secs(t), service);
+        }
+        prop_assert!((q.busy_time() - total_service).abs() < 1e-9);
+        let horizon = q.busy_until().as_secs().max(t);
+        prop_assert!(q.utilization(horizon) <= 1.0);
+    }
+}

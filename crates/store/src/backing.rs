@@ -1,0 +1,269 @@
+//! Fault tolerance via a backing under-store (the paper's §8 discussion).
+//!
+//! SP-Cache is redundancy-free, so a *failed* cache server loses
+//! partitions — by design. The paper's answer (§8) is Alluxio's layered
+//! storage: the cache periodically **checkpoints** files to a stable
+//! under-store (S3/HDFS, which replicate internally), and lost data is
+//! **recovered** from there on demand. This module provides that layer
+//! for the in-process store:
+//!
+//! * [`UnderStore`] — a thread-safe stand-in for the stable storage tier,
+//!   with a configurable per-byte read delay (disks are ~an order of
+//!   magnitude slower than the cache tier),
+//! * [`checkpoint`] — persist a cached file,
+//! * [`recover_file`] — re-split a checkpointed file onto live workers
+//!   and fix the metadata,
+//! * [`read_or_recover`] — the client-facing read path: serve from cache,
+//!   and on lost partitions transparently recover and retry.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use crate::client::Client;
+use crate::master::Master;
+use crate::rpc::StoreError;
+
+/// A stable storage tier holding whole-file copies.
+#[derive(Debug, Default)]
+pub struct UnderStore {
+    files: RwLock<HashMap<u64, Bytes>>,
+    /// Seconds of read delay per byte (0 for tests; ~1/60e6 for a
+    /// disk-like 60 MB/s tier).
+    read_delay_per_byte: f64,
+}
+
+impl UnderStore {
+    /// An under-store with no read delay.
+    pub fn new() -> Self {
+        UnderStore::default()
+    }
+
+    /// An under-store reading at `bytes_per_sec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive bandwidth.
+    pub fn with_bandwidth(bytes_per_sec: f64) -> Self {
+        assert!(bytes_per_sec > 0.0, "bandwidth must be positive");
+        UnderStore {
+            files: RwLock::new(HashMap::new()),
+            read_delay_per_byte: 1.0 / bytes_per_sec,
+        }
+    }
+
+    /// Persists (or overwrites) a file copy.
+    pub fn persist(&self, id: u64, data: Bytes) {
+        self.files.write().insert(id, data);
+    }
+
+    /// Loads a file copy, paying the configured read delay.
+    pub fn load(&self, id: u64) -> Option<Bytes> {
+        let data = self.files.read().get(&id).cloned()?;
+        if self.read_delay_per_byte > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(
+                data.len() as f64 * self.read_delay_per_byte,
+            ));
+        }
+        Some(data)
+    }
+
+    /// Whether a checkpoint exists.
+    pub fn contains(&self, id: u64) -> bool {
+        self.files.read().contains_key(&id)
+    }
+
+    /// Number of checkpointed files.
+    pub fn len(&self) -> usize {
+        self.files.read().len()
+    }
+
+    /// Whether the under-store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.read().is_empty()
+    }
+}
+
+/// Checkpoints one cached file into the under-store (Alluxio's periodic
+/// persistence). Reads through the cache without bumping popularity.
+///
+/// # Errors
+///
+/// Propagates read failures — a file with already-lost partitions cannot
+/// be checkpointed.
+pub fn checkpoint(client: &Client, under: &UnderStore, id: u64) -> Result<(), StoreError> {
+    let bytes = client.read_quiet(id)?;
+    under.persist(id, Bytes::from(bytes));
+    Ok(())
+}
+
+/// Recovers a lost file from the under-store: re-splits it into
+/// `new_servers.len()` partitions on the given (live) servers and swaps
+/// the metadata.
+///
+/// # Errors
+///
+/// [`StoreError::UnknownFile`] if no checkpoint exists; worker errors if
+/// a target is down too.
+pub fn recover_file(
+    client: &Client,
+    master: &Arc<Master>,
+    under: &UnderStore,
+    id: u64,
+    new_servers: &[usize],
+) -> Result<(), StoreError> {
+    assert!(!new_servers.is_empty(), "need at least one target server");
+    let data = under.load(id).ok_or(StoreError::UnknownFile(id))?;
+    // Drop stale metadata/partitions, then write fresh.
+    let _ = client.delete(id);
+    client.write(id, &data, new_servers)?;
+    // write() registers with the same id; make sure the master agrees.
+    debug_assert_eq!(master.peek(id)?.1, new_servers);
+    Ok(())
+}
+
+/// The fault-tolerant read path: try the cache; if a partition or worker
+/// is gone, recover from the under-store onto `fallback_servers` and
+/// serve the recovered bytes.
+///
+/// # Errors
+///
+/// Fails only when the file is neither cached nor checkpointed.
+pub fn read_or_recover(
+    client: &Client,
+    master: &Arc<Master>,
+    under: &UnderStore,
+    id: u64,
+    fallback_servers: &[usize],
+) -> Result<Vec<u8>, StoreError> {
+    match client.read(id) {
+        Ok(bytes) => Ok(bytes),
+        Err(StoreError::NotFound(_)) | Err(StoreError::WorkerDown(_)) => {
+            recover_file(client, master, under, id, fallback_servers)?;
+            client.read(id)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::StoreCluster;
+    use crate::config::StoreConfig;
+    use crate::rpc::{PartKey, WorkerRequest};
+    use crossbeam::channel::bounded;
+
+    fn payload(len: usize) -> Vec<u8> {
+        (0..len).map(|i| ((i * 97 + 5) % 256) as u8).collect()
+    }
+
+    /// Drops one partition directly at a worker (simulating data loss
+    /// without killing the thread).
+    fn lose_partition(cluster: &StoreCluster, server: usize, key: PartKey) {
+        let (tx, rx) = bounded(1);
+        cluster.worker_senders()[server]
+            .send(WorkerRequest::Delete { key, reply: tx })
+            .unwrap();
+        assert!(rx.recv().unwrap(), "partition was not resident");
+    }
+
+    #[test]
+    fn checkpoint_and_contains() {
+        let cluster = StoreCluster::spawn(StoreConfig::unthrottled(3));
+        let client = cluster.client();
+        let data = payload(4_000);
+        client.write(1, &data, &[0, 1]).unwrap();
+        let under = UnderStore::new();
+        checkpoint(&client, &under, 1).unwrap();
+        assert!(under.contains(1));
+        assert_eq!(under.load(1).unwrap(), Bytes::from(data));
+    }
+
+    #[test]
+    fn lost_partition_breaks_plain_reads() {
+        let cluster = StoreCluster::spawn(StoreConfig::unthrottled(3));
+        let client = cluster.client();
+        client.write(1, &payload(4_000), &[0, 1]).unwrap();
+        lose_partition(&cluster, 1, PartKey::new(1, 1));
+        assert!(matches!(
+            client.read(1),
+            Err(StoreError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn read_or_recover_restores_lost_partition() {
+        let cluster = StoreCluster::spawn(StoreConfig::unthrottled(4));
+        let client = cluster.client();
+        let data = payload(9_001);
+        client.write(1, &data, &[0, 1, 2]).unwrap();
+        let under = UnderStore::new();
+        checkpoint(&client, &under, 1).unwrap();
+
+        lose_partition(&cluster, 2, PartKey::new(1, 2));
+        let got = read_or_recover(&client, cluster.master(), &under, 1, &[0, 3]).unwrap();
+        assert_eq!(got, data);
+        // Subsequent plain reads work again from the new layout.
+        assert_eq!(client.read(1).unwrap(), data);
+        assert_eq!(cluster.master().peek(1).unwrap().1, vec![0, 3]);
+    }
+
+    #[test]
+    fn recovery_without_checkpoint_fails_cleanly() {
+        let cluster = StoreCluster::spawn(StoreConfig::unthrottled(2));
+        let client = cluster.client();
+        client.write(1, &payload(100), &[0]).unwrap();
+        lose_partition(&cluster, 0, PartKey::new(1, 0));
+        let under = UnderStore::new();
+        assert_eq!(
+            read_or_recover(&client, cluster.master(), &under, 1, &[1]).unwrap_err(),
+            StoreError::UnknownFile(1)
+        );
+    }
+
+    #[test]
+    fn dead_worker_recovery() {
+        let mut cluster = StoreCluster::spawn(StoreConfig::unthrottled(4));
+        let client = cluster.client();
+        let data = payload(6_000);
+        client.write(1, &data, &[0, 1]).unwrap();
+        let under = UnderStore::new();
+        checkpoint(&client, &under, 1).unwrap();
+
+        cluster.kill_worker(1);
+        assert!(matches!(client.read(1), Err(StoreError::WorkerDown(1))));
+        let got = read_or_recover(&client, cluster.master(), &under, 1, &[0, 2, 3]).unwrap();
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn recovery_honors_understore_bandwidth() {
+        let cluster = StoreCluster::spawn(StoreConfig::unthrottled(2));
+        let client = cluster.client();
+        let data = payload(1_000_000);
+        client.write(1, &data, &[0]).unwrap();
+        // Disk-like 10 MB/s under-store: loading 1 MB takes ~100 ms.
+        let under = UnderStore::with_bandwidth(10e6);
+        checkpoint(&client, &under, 1).unwrap();
+        let t0 = std::time::Instant::now();
+        assert!(under.load(1).is_some());
+        assert!(
+            t0.elapsed().as_secs_f64() >= 0.08,
+            "under-store read should be slow"
+        );
+    }
+
+    #[test]
+    fn checkpoint_does_not_count_as_access() {
+        let cluster = StoreCluster::spawn(StoreConfig::unthrottled(2));
+        let client = cluster.client();
+        client.write(1, &payload(100), &[0]).unwrap();
+        let under = UnderStore::new();
+        checkpoint(&client, &under, 1).unwrap();
+        assert_eq!(cluster.master().accesses(1), 0);
+    }
+}

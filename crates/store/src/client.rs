@@ -1,0 +1,248 @@
+//! The SP-Client: parallel fork-join reads and writes.
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Sender};
+use spcache_ec::{join_shards_bytes, split_into_shards};
+use std::sync::Arc;
+
+use crate::master::Master;
+use crate::rpc::{PartKey, StoreError, WorkerRequest};
+
+/// A client handle onto a running store cluster.
+///
+/// Cloning is cheap; each clone can issue requests concurrently.
+#[derive(Debug, Clone)]
+pub struct Client {
+    master: Arc<Master>,
+    workers: Vec<Sender<WorkerRequest>>,
+}
+
+impl Client {
+    /// Builds a client over the master and the worker channels.
+    pub fn new(master: Arc<Master>, workers: Vec<Sender<WorkerRequest>>) -> Self {
+        assert!(!workers.is_empty(), "need at least one worker");
+        Client { master, workers }
+    }
+
+    /// Number of workers visible to this client.
+    pub fn n_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The master (for metadata queries).
+    pub fn master(&self) -> &Arc<Master> {
+        &self.master
+    }
+
+    /// Writes a file split into `k` partitions on the given `servers`
+    /// (`servers.len() == k`, distinct). All partitions are pushed in
+    /// parallel; returns when the slowest lands (§6.1 writes whole files
+    /// with `k = 1`; the split-write mode of §7.8 passes larger `k`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates worker failures; metadata registration errors if the id
+    /// is taken.
+    pub fn write(&self, id: u64, data: &[u8], servers: &[usize]) -> Result<(), StoreError> {
+        assert!(!servers.is_empty(), "need at least one target server");
+        let k = servers.len();
+        let shards = split_into_shards(data, k);
+
+        // Fire all puts, then collect completions (parallel fan-out).
+        let mut pending = Vec::with_capacity(k);
+        for (j, (shard, &server)) in shards.into_iter().zip(servers).enumerate() {
+            let (tx, rx) = bounded(1);
+            self.workers[server]
+                .send(WorkerRequest::Put {
+                    key: PartKey::new(id, j as u32),
+                    data: Bytes::from(shard),
+                    reply: tx,
+                })
+                .map_err(|_| StoreError::WorkerDown(server))?;
+            pending.push((server, rx));
+        }
+        for (server, rx) in pending {
+            rx.recv().map_err(|_| StoreError::WorkerDown(server))??;
+        }
+        self.master.register(id, data.len(), servers.to_vec())
+    }
+
+    /// Reads a file: locates its partitions via the master (which counts
+    /// the access), fetches them all in parallel, and reassembles the
+    /// original bytes (the fork-join of Fig. 9a).
+    ///
+    /// # Errors
+    ///
+    /// Propagates unknown files, missing partitions and dead workers.
+    pub fn read(&self, id: u64) -> Result<Vec<u8>, StoreError> {
+        let (size, servers) = self.master.locate(id)?;
+        self.fetch_and_join(id, size, &servers)
+    }
+
+    /// Reads without bumping the popularity counter.
+    pub fn read_quiet(&self, id: u64) -> Result<Vec<u8>, StoreError> {
+        let (size, servers) = self.master.peek(id)?;
+        self.fetch_and_join(id, size, &servers)
+    }
+
+    fn fetch_and_join(
+        &self,
+        id: u64,
+        size: usize,
+        servers: &[usize],
+    ) -> Result<Vec<u8>, StoreError> {
+        let k = servers.len();
+        let mut pending = Vec::with_capacity(k);
+        for (j, &server) in servers.iter().enumerate() {
+            let (tx, rx) = bounded(1);
+            self.workers[server]
+                .send(WorkerRequest::Get {
+                    key: PartKey::new(id, j as u32),
+                    reply: tx,
+                })
+                .map_err(|_| StoreError::WorkerDown(server))?;
+            pending.push((server, rx));
+        }
+        let mut shards: Vec<Bytes> = Vec::with_capacity(k);
+        for (server, rx) in pending {
+            shards.push(rx.recv().map_err(|_| StoreError::WorkerDown(server))??);
+        }
+        Ok(join_shards_bytes(&shards, size))
+    }
+
+    /// Deletes a file's partitions and metadata; returns how many
+    /// partitions were actually resident.
+    pub fn delete(&self, id: u64) -> Result<usize, StoreError> {
+        let info = self
+            .master
+            .unregister(id)
+            .ok_or(StoreError::UnknownFile(id))?;
+        let mut removed = 0;
+        for (j, &server) in info.servers.iter().enumerate() {
+            let (tx, rx) = bounded(1);
+            if self.workers[server]
+                .send(WorkerRequest::Delete {
+                    key: PartKey::new(id, j as u32),
+                    reply: tx,
+                })
+                .is_ok()
+            {
+                if let Ok(true) = rx.recv() {
+                    removed += 1;
+                }
+            }
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StoreConfig;
+    use crate::cluster::StoreCluster;
+
+    fn payload(len: usize) -> Vec<u8> {
+        (0..len).map(|i| ((i * 31 + 7) % 256) as u8).collect()
+    }
+
+    #[test]
+    fn write_read_roundtrip_single_partition() {
+        let cluster = StoreCluster::spawn(StoreConfig::unthrottled(4));
+        let c = cluster.client();
+        let data = payload(10_000);
+        c.write(1, &data, &[2]).unwrap();
+        assert_eq!(c.read(1).unwrap(), data);
+    }
+
+    #[test]
+    fn write_read_roundtrip_partitioned() {
+        let cluster = StoreCluster::spawn(StoreConfig::unthrottled(8));
+        let c = cluster.client();
+        for (id, len, servers) in [
+            (1u64, 9_999usize, vec![0, 1, 2]),
+            (2, 10_000, vec![3, 4]),
+            (3, 1, vec![5]),
+            (4, 0, vec![6, 7]),
+        ] {
+            let data = payload(len);
+            c.write(id, &data, &servers).unwrap();
+            assert_eq!(c.read(id).unwrap(), data, "file {id}");
+        }
+    }
+
+    #[test]
+    fn read_unknown_file_errors() {
+        let cluster = StoreCluster::spawn(StoreConfig::unthrottled(2));
+        let c = cluster.client();
+        assert_eq!(c.read(42).unwrap_err(), StoreError::UnknownFile(42));
+    }
+
+    #[test]
+    fn duplicate_write_rejected() {
+        let cluster = StoreCluster::spawn(StoreConfig::unthrottled(2));
+        let c = cluster.client();
+        c.write(1, b"abc", &[0]).unwrap();
+        assert_eq!(
+            c.write(1, b"xyz", &[1]).unwrap_err(),
+            StoreError::AlreadyExists(1)
+        );
+    }
+
+    #[test]
+    fn reads_count_accesses_quiet_reads_do_not() {
+        let cluster = StoreCluster::spawn(StoreConfig::unthrottled(2));
+        let c = cluster.client();
+        c.write(1, b"abc", &[0]).unwrap();
+        let _ = c.read(1).unwrap();
+        let _ = c.read(1).unwrap();
+        let _ = c.read_quiet(1).unwrap();
+        assert_eq!(cluster.master().accesses(1), 2);
+    }
+
+    #[test]
+    fn delete_removes_partitions_and_metadata() {
+        let cluster = StoreCluster::spawn(StoreConfig::unthrottled(3));
+        let c = cluster.client();
+        c.write(1, &payload(300), &[0, 1, 2]).unwrap();
+        assert_eq!(c.delete(1).unwrap(), 3);
+        assert_eq!(c.read(1).unwrap_err(), StoreError::UnknownFile(1));
+    }
+
+    #[test]
+    fn parallel_reads_from_many_clients() {
+        let cluster = StoreCluster::spawn(StoreConfig::unthrottled(4));
+        let c = cluster.client();
+        let data = payload(40_000);
+        c.write(1, &data, &[0, 1, 2, 3]).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                let data = data.clone();
+                s.spawn(move || {
+                    for _ in 0..20 {
+                        assert_eq!(c.read(1).unwrap(), data);
+                    }
+                });
+            }
+        });
+        assert_eq!(cluster.master().accesses(1), 160);
+    }
+
+    #[test]
+    fn parallel_partition_read_is_faster_than_serial_transfer() {
+        // 4 MB at 20 MB/s would take 200 ms whole; split 4 ways across
+        // 4 throttled workers it should take ~50 ms + overhead.
+        let cluster = StoreCluster::spawn(StoreConfig::throttled(4, 20e6));
+        let c = cluster.client();
+        let data = payload(4_000_000);
+        c.write(1, &data, &[0, 1, 2, 3]).unwrap();
+        let t0 = std::time::Instant::now();
+        assert_eq!(c.read(1).unwrap(), data);
+        let split_time = t0.elapsed().as_secs_f64();
+        assert!(
+            split_time < 0.15,
+            "parallel read took {split_time}s, expected ~0.05s"
+        );
+    }
+}

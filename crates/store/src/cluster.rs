@@ -1,0 +1,129 @@
+//! Cluster assembly: master + worker threads + client factory.
+
+use std::sync::Arc;
+
+use crossbeam::channel::Sender;
+
+use crate::client::Client;
+use crate::config::StoreConfig;
+use crate::master::Master;
+use crate::rpc::{StoreError, WorkerRequest, WorkerStats};
+use crate::worker::{spawn_worker, WorkerHandle};
+
+/// A running in-process store cluster.
+///
+/// Dropping the cluster shuts every worker down.
+///
+/// # Examples
+///
+/// ```
+/// use spcache_store::{StoreCluster, StoreConfig};
+///
+/// let cluster = StoreCluster::spawn(StoreConfig::unthrottled(4));
+/// let client = cluster.client();
+/// client.write(1, b"selective partition", &[0, 2]).unwrap();
+/// assert_eq!(client.read(1).unwrap(), b"selective partition");
+/// ```
+#[derive(Debug)]
+pub struct StoreCluster {
+    master: Arc<Master>,
+    workers: Vec<WorkerHandle>,
+}
+
+impl StoreCluster {
+    /// Spawns `cfg.n_workers` worker threads and an empty master.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.n_workers == 0`.
+    pub fn spawn(cfg: StoreConfig) -> Self {
+        assert!(cfg.n_workers > 0, "need at least one worker");
+        let workers = (0..cfg.n_workers)
+            .map(|id| {
+                spawn_worker(
+                    id,
+                    cfg.bandwidth,
+                    cfg.stragglers.clone(),
+                    cfg.seed.wrapping_add(id as u64),
+                )
+            })
+            .collect();
+        StoreCluster {
+            master: Arc::new(Master::new()),
+            workers,
+        }
+    }
+
+    /// Number of workers.
+    pub fn n_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The metadata master.
+    pub fn master(&self) -> &Arc<Master> {
+        &self.master
+    }
+
+    /// The raw worker channels (used by the repartitioners).
+    pub fn worker_senders(&self) -> Vec<Sender<WorkerRequest>> {
+        self.workers.iter().map(|w| w.sender().clone()).collect()
+    }
+
+    /// Creates a client.
+    pub fn client(&self) -> Client {
+        Client::new(self.master.clone(), self.worker_senders())
+    }
+
+    /// Collects per-worker service counters.
+    pub fn worker_stats(&self) -> Result<Vec<WorkerStats>, StoreError> {
+        self.workers.iter().map(WorkerHandle::stats).collect()
+    }
+
+    /// Terminates one worker thread — a simulated machine failure. All
+    /// its cached partitions are lost; subsequent requests to it report
+    /// [`StoreError::WorkerDown`] (recoverable via
+    /// [`crate::backing::read_or_recover`] when checkpoints exist).
+    pub fn kill_worker(&mut self, id: usize) {
+        self.workers[id].shutdown();
+    }
+
+    /// Bytes served per worker — the load-distribution measurement used by
+    /// the store-level imbalance checks.
+    pub fn served_bytes(&self) -> Result<Vec<f64>, StoreError> {
+        Ok(self
+            .worker_stats()?
+            .into_iter()
+            .map(|s| s.bytes_served as f64)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_and_query_stats() {
+        let cluster = StoreCluster::spawn(StoreConfig::unthrottled(3));
+        assert_eq!(cluster.n_workers(), 3);
+        let stats = cluster.worker_stats().unwrap();
+        assert_eq!(stats.len(), 3);
+        assert!(stats.iter().all(|s| s.gets == 0));
+    }
+
+    #[test]
+    fn served_bytes_tracks_reads() {
+        let cluster = StoreCluster::spawn(StoreConfig::unthrottled(2));
+        let c = cluster.client();
+        c.write(1, &[7u8; 1000], &[0, 1]).unwrap();
+        let _ = c.read(1).unwrap();
+        let served = cluster.served_bytes().unwrap();
+        assert_eq!(served, vec![500.0, 500.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = StoreCluster::spawn(StoreConfig::unthrottled(0));
+    }
+}

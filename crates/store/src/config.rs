@@ -1,0 +1,67 @@
+//! Store configuration.
+
+use spcache_workload::StragglerModel;
+
+/// Static configuration of an in-process store cluster.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Number of worker (cache-server) threads.
+    pub n_workers: usize,
+    /// Emulated NIC bandwidth per worker, bytes/s (`f64::INFINITY` for
+    /// full speed — the default for unit tests).
+    pub bandwidth: f64,
+    /// Straggler injection applied per partition transfer.
+    pub stragglers: StragglerModel,
+    /// RNG seed for straggler draws.
+    pub seed: u64,
+}
+
+impl StoreConfig {
+    /// Full-speed cluster with `n_workers` workers (unit-test default).
+    pub fn unthrottled(n_workers: usize) -> Self {
+        StoreConfig {
+            n_workers,
+            bandwidth: f64::INFINITY,
+            stragglers: StragglerModel::none(),
+            seed: 1,
+        }
+    }
+
+    /// Throttled cluster: `bandwidth` bytes/s per worker (experiments).
+    pub fn throttled(n_workers: usize, bandwidth: f64) -> Self {
+        StoreConfig {
+            n_workers,
+            bandwidth,
+            stragglers: StragglerModel::none(),
+            seed: 1,
+        }
+    }
+
+    /// Sets the straggler model (builder style).
+    pub fn with_stragglers(mut self, s: StragglerModel) -> Self {
+        self.stragglers = s;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let c = StoreConfig::unthrottled(4);
+        assert_eq!(c.n_workers, 4);
+        assert!(c.bandwidth.is_infinite());
+        let t = StoreConfig::throttled(8, 50e6).with_seed(9);
+        assert_eq!(t.n_workers, 8);
+        assert_eq!(t.bandwidth, 50e6);
+        assert_eq!(t.seed, 9);
+    }
+}

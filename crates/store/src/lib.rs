@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! A real concurrent in-memory distributed cache — the repository's
+//! "Alluxio" substitute.
+//!
+//! Where `spcache-cluster` *simulates* latency, this crate actually moves
+//! bytes between threads, exercising the concurrent code paths the paper's
+//! implementation (§6) describes:
+//!
+//! * [`worker::Worker`] — one OS thread per cache server, owning a byte
+//!   store of partitions, a token-bucket NIC throttle and optional
+//!   straggler injection,
+//! * [`master::Master`] — the SP-Master: file metadata (partition count,
+//!   server list), access counting for popularity tracking, and the
+//!   Algorithm 1 tuning entry point,
+//! * [`client::Client`] — the SP-Client: parallel fork-join partition
+//!   reads over crossbeam channels with byte-exact reassembly, and
+//!   (optionally split) writes,
+//! * [`repartitioner::run_parallel`] — Algorithm 2's executors: each
+//!   worker repartitions a disjoint set of files in parallel
+//!   (vs [`repartitioner::run_sequential`], the strawman that collects
+//!   every file at one node — Fig. 16's comparison),
+//! * [`cluster::StoreCluster`] — wires it all together.
+
+pub mod backing;
+pub mod client;
+pub mod cluster;
+pub mod config;
+pub mod master;
+pub mod online;
+pub mod repartitioner;
+pub mod rpc;
+pub mod throttle;
+pub mod worker;
+
+pub use client::Client;
+pub use cluster::StoreCluster;
+pub use config::StoreConfig;
+pub use rpc::{PartKey, StoreError};

@@ -1,0 +1,321 @@
+//! The SP-Master: file metadata, access counting and rebalance planning.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+use spcache_core::file::{FileMeta, FileSet};
+use spcache_core::partition::PartitionMap;
+use spcache_core::repartition::{plan_repartition, RepartitionPlan};
+use spcache_core::tuner::{tune_scale_factor_hetero, Tuned, TunerConfig};
+use spcache_sim::Xoshiro256StarStar;
+
+use crate::rpc::StoreError;
+
+/// Metadata for one stored file.
+#[derive(Debug)]
+pub struct FileInfo {
+    /// File size in bytes.
+    pub size: usize,
+    /// Workers holding partition `j` at index `j`.
+    pub servers: Vec<usize>,
+    /// Access counter, bumped on every read (popularity tracking, §6.1).
+    pub accesses: AtomicU64,
+}
+
+impl FileInfo {
+    /// Partition count `k`.
+    pub fn k(&self) -> usize {
+        self.servers.len()
+    }
+}
+
+/// The metadata service.
+///
+/// Thread-safe: clients call [`Master::locate`] concurrently; the
+/// repartition coordinator takes the write lock only while swapping
+/// placements.
+#[derive(Debug, Default)]
+pub struct Master {
+    files: RwLock<HashMap<u64, FileInfo>>,
+}
+
+impl Master {
+    /// An empty master.
+    pub fn new() -> Self {
+        Master {
+            files: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Registers a new file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::AlreadyExists`] if the id is taken.
+    pub fn register(&self, id: u64, size: usize, servers: Vec<usize>) -> Result<(), StoreError> {
+        assert!(!servers.is_empty(), "file must have at least one partition");
+        let mut files = self.files.write();
+        if files.contains_key(&id) {
+            return Err(StoreError::AlreadyExists(id));
+        }
+        files.insert(
+            id,
+            FileInfo {
+                size,
+                servers,
+                accesses: AtomicU64::new(0),
+            },
+        );
+        Ok(())
+    }
+
+    /// Removes a file's metadata; returns its former info if present.
+    pub fn unregister(&self, id: u64) -> Option<FileInfo> {
+        self.files.write().remove(&id)
+    }
+
+    /// Looks up a file's partition servers and size, bumping its access
+    /// count (the read path, §6.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::UnknownFile`] if not registered.
+    pub fn locate(&self, id: u64) -> Result<(usize, Vec<usize>), StoreError> {
+        let files = self.files.read();
+        let info = files.get(&id).ok_or(StoreError::UnknownFile(id))?;
+        info.accesses.fetch_add(1, Ordering::Relaxed);
+        Ok((info.size, info.servers.clone()))
+    }
+
+    /// Like [`Master::locate`] but without counting an access (metadata
+    /// inspection).
+    pub fn peek(&self, id: u64) -> Result<(usize, Vec<usize>), StoreError> {
+        let files = self.files.read();
+        let info = files.get(&id).ok_or(StoreError::UnknownFile(id))?;
+        Ok((info.size, info.servers.clone()))
+    }
+
+    /// Number of registered files.
+    pub fn file_count(&self) -> usize {
+        self.files.read().len()
+    }
+
+    /// Access count of one file.
+    pub fn accesses(&self, id: u64) -> u64 {
+        self.files
+            .read()
+            .get(&id)
+            .map_or(0, |i| i.accesses.load(Ordering::Relaxed))
+    }
+
+    /// Resets all access counters (start of a new measurement window; the
+    /// paper repartitions every 12 h on the previous 24 h of counts).
+    pub fn reset_accesses(&self) {
+        for info in self.files.read().values() {
+            info.accesses.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// A snapshot `(ids, FileSet, PartitionMap)` of the current state with
+    /// popularity estimated from access counts (uniform when no accesses
+    /// were recorded yet). `n_workers` bounds the partition map.
+    pub fn snapshot(&self, n_workers: usize) -> (Vec<u64>, FileSet, PartitionMap) {
+        let files = self.files.read();
+        assert!(!files.is_empty(), "snapshot of an empty master");
+        let mut ids: Vec<u64> = files.keys().copied().collect();
+        ids.sort_unstable();
+        let total_acc: u64 = files
+            .values()
+            .map(|i| i.accesses.load(Ordering::Relaxed))
+            .sum();
+        let metas: Vec<FileMeta> = ids
+            .iter()
+            .map(|id| {
+                let info = &files[id];
+                let pop = if total_acc == 0 {
+                    1.0 / files.len() as f64
+                } else {
+                    info.accesses.load(Ordering::Relaxed) as f64 / total_acc as f64
+                };
+                // FileMeta requires a strictly positive popularity-free
+                // size; popularity 0 is fine.
+                FileMeta::new(info.size.max(1) as f64, pop)
+            })
+            .collect();
+        let placements: Vec<Vec<usize>> = ids.iter().map(|id| files[id].servers.clone()).collect();
+        (
+            ids,
+            FileSet::new(metas),
+            PartitionMap::new(placements, n_workers),
+        )
+    }
+
+    /// Plans a rebalance: runs Algorithm 1 on the observed popularity,
+    /// derives new partition counts, and runs Algorithm 2 against the
+    /// current placement. Returns `(ids, plan, tuned)`; apply with
+    /// [`Master::apply_placement`] after the repartitioners have moved
+    /// the bytes.
+    pub fn plan_rebalance(
+        &self,
+        n_workers: usize,
+        bandwidth: f64,
+        lambda_total: f64,
+        cfg: &TunerConfig,
+        seed: u64,
+    ) -> (Vec<u64>, RepartitionPlan, Tuned) {
+        let (ids, fileset, map) = self.snapshot(n_workers);
+        let tuned =
+            tune_scale_factor_hetero(&fileset, &vec![bandwidth; n_workers], lambda_total, cfg);
+        let new_counts: Vec<usize> = fileset
+            .partition_counts(tuned.alpha)
+            .into_iter()
+            .map(|k| k.min(n_workers))
+            .collect();
+        let mut rng = Xoshiro256StarStar::seed(seed);
+        let plan = plan_repartition(&fileset, &map, &new_counts, &mut rng);
+        (ids, plan, tuned)
+    }
+
+    /// Atomically installs a new placement for `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::UnknownFile`] if not registered.
+    pub fn apply_placement(&self, id: u64, servers: Vec<usize>) -> Result<(), StoreError> {
+        assert!(!servers.is_empty());
+        let mut files = self.files.write();
+        let info = files.get_mut(&id).ok_or(StoreError::UnknownFile(id))?;
+        info.servers = servers;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_locate_roundtrip() {
+        let m = Master::new();
+        m.register(7, 1000, vec![0, 2]).unwrap();
+        let (size, servers) = m.locate(7).unwrap();
+        assert_eq!(size, 1000);
+        assert_eq!(servers, vec![0, 2]);
+        assert_eq!(m.accesses(7), 1);
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let m = Master::new();
+        m.register(1, 10, vec![0]).unwrap();
+        assert_eq!(
+            m.register(1, 10, vec![1]),
+            Err(StoreError::AlreadyExists(1))
+        );
+    }
+
+    #[test]
+    fn unknown_file_errors() {
+        let m = Master::new();
+        assert_eq!(m.locate(5).unwrap_err(), StoreError::UnknownFile(5));
+        assert_eq!(m.peek(5).unwrap_err(), StoreError::UnknownFile(5));
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let m = Master::new();
+        m.register(1, 10, vec![0]).unwrap();
+        let _ = m.peek(1).unwrap();
+        assert_eq!(m.accesses(1), 0);
+    }
+
+    #[test]
+    fn access_counters_accumulate_and_reset() {
+        let m = Master::new();
+        m.register(1, 10, vec![0]).unwrap();
+        for _ in 0..5 {
+            let _ = m.locate(1);
+        }
+        assert_eq!(m.accesses(1), 5);
+        m.reset_accesses();
+        assert_eq!(m.accesses(1), 0);
+    }
+
+    #[test]
+    fn snapshot_estimates_popularity_from_accesses() {
+        let m = Master::new();
+        m.register(0, 100, vec![0]).unwrap();
+        m.register(1, 100, vec![1]).unwrap();
+        for _ in 0..9 {
+            let _ = m.locate(0);
+        }
+        let _ = m.locate(1);
+        let (ids, fs, map) = m.snapshot(4);
+        assert_eq!(ids, vec![0, 1]);
+        assert!((fs.get(0).popularity - 0.9).abs() < 1e-12);
+        assert!((fs.get(1).popularity - 0.1).abs() < 1e-12);
+        assert_eq!(map.k_of(0), 1);
+    }
+
+    #[test]
+    fn snapshot_uniform_when_no_accesses() {
+        let m = Master::new();
+        m.register(0, 100, vec![0]).unwrap();
+        m.register(1, 100, vec![1]).unwrap();
+        let (_, fs, _) = m.snapshot(2);
+        assert!((fs.get(0).popularity - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plan_rebalance_splits_hot_file() {
+        let m = Master::new();
+        for id in 0..20u64 {
+            m.register(id, 50_000_000, vec![(id as usize) % 10]).unwrap();
+        }
+        // File 3 becomes very hot.
+        for _ in 0..1000 {
+            let _ = m.locate(3);
+        }
+        for id in 0..20u64 {
+            let _ = m.locate(id);
+        }
+        let (ids, plan, tuned) = m.plan_rebalance(10, 125e6, 8.0, &TunerConfig::default(), 7);
+        assert!(tuned.alpha > 0.0);
+        let idx3 = ids.iter().position(|&i| i == 3).unwrap();
+        assert!(
+            plan.new_map.k_of(idx3) > 1,
+            "hot file should be split, got k = {}",
+            plan.new_map.k_of(idx3)
+        );
+    }
+
+    #[test]
+    fn apply_placement_swaps_servers() {
+        let m = Master::new();
+        m.register(1, 10, vec![0]).unwrap();
+        m.apply_placement(1, vec![1, 2]).unwrap();
+        assert_eq!(m.peek(1).unwrap().1, vec![1, 2]);
+        assert_eq!(
+            m.apply_placement(9, vec![0]),
+            Err(StoreError::UnknownFile(9))
+        );
+    }
+
+    #[test]
+    fn concurrent_locates_are_safe() {
+        let m = std::sync::Arc::new(Master::new());
+        m.register(1, 10, vec![0]).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        let _ = m.locate(1).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(m.accesses(1), 8000);
+    }
+}

@@ -1,0 +1,369 @@
+//! Algorithm 2's executors: move bytes according to a
+//! [`spcache_core::repartition::RepartitionPlan`].
+//!
+//! [`run_parallel`] is the paper's scheme (§6.2): each job runs on an
+//! executor thread standing in for the SP-Repartitioner of the worker that
+//! already holds one of the file's partitions; executors handle disjoint
+//! file sets concurrently. [`run_sequential`] is the strawman it is
+//! compared against in Fig. 16 — every file (changed or not) is collected
+//! and re-distributed one at a time through a single node.
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Sender};
+use spcache_core::repartition::{RepartitionJob, RepartitionPlan};
+use spcache_ec::{join_shards_bytes, split_into_shards};
+use std::sync::Arc;
+
+use crate::master::Master;
+use crate::rpc::{PartKey, StoreError, WorkerRequest};
+
+/// Executes one repartition job: pull old partitions, reassemble,
+/// re-split, push new partitions, delete old ones, and swap the metadata.
+fn execute_job(
+    job: &RepartitionJob,
+    file_id: u64,
+    master: &Master,
+    workers: &[Sender<WorkerRequest>],
+) -> Result<(), StoreError> {
+    let (size, _) = master.peek(file_id)?;
+
+    // Pull the old partitions (the executor's own partition needs no
+    // network hop in the real system; here every pull goes through the
+    // owning worker's throttle, which is also true of Alluxio's local
+    // short-circuit-free path).
+    let mut shards: Vec<Bytes> = Vec::with_capacity(job.old_servers.len());
+    for (j, &server) in job.old_servers.iter().enumerate() {
+        let (tx, rx) = bounded(1);
+        workers[server]
+            .send(WorkerRequest::Get {
+                key: PartKey::new(file_id, j as u32),
+                reply: tx,
+            })
+            .map_err(|_| StoreError::WorkerDown(server))?;
+        shards.push(rx.recv().map_err(|_| StoreError::WorkerDown(server))??);
+    }
+    let data = join_shards_bytes(&shards, size);
+
+    // Re-split and push to the new servers in parallel.
+    let new_shards = split_into_shards(&data, job.new_servers.len());
+    let mut pending = Vec::with_capacity(new_shards.len());
+    for (j, (shard, &server)) in new_shards.into_iter().zip(&job.new_servers).enumerate() {
+        let (tx, rx) = bounded(1);
+        workers[server]
+            .send(WorkerRequest::Put {
+                // Stage under a shifted partition index space? Not needed:
+                // old keys are (file, 0..k_old), new keys use the same
+                // space but we delete old keys afterwards, and any key
+                // overlap (same j, same server) is an overwrite with the
+                // correct new content.
+                key: PartKey::new(file_id, j as u32),
+                data: Bytes::from(shard),
+                reply: tx,
+            })
+            .map_err(|_| StoreError::WorkerDown(server))?;
+        pending.push((server, rx));
+    }
+    for (server, rx) in pending {
+        rx.recv().map_err(|_| StoreError::WorkerDown(server))??;
+    }
+
+    // Metadata swap, then garbage-collect stale old partitions (those not
+    // overwritten by a new one with the same (index, server)).
+    master.apply_placement(file_id, job.new_servers.clone())?;
+    for (j, &server) in job.old_servers.iter().enumerate() {
+        let still_valid = job
+            .new_servers
+            .get(j)
+            .is_some_and(|&new_server| new_server == server);
+        if !still_valid {
+            let (tx, rx) = bounded(1);
+            if workers[server]
+                .send(WorkerRequest::Delete {
+                    key: PartKey::new(file_id, j as u32),
+                    reply: tx,
+                })
+                .is_ok()
+            {
+                let _ = rx.recv();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs the plan with one executor thread per involved worker, each
+/// processing its disjoint job set (the parallel scheme of §6.2).
+/// `ids[i]` maps the plan's dense file indices to store file ids.
+///
+/// # Errors
+///
+/// Returns the first executor error encountered.
+pub fn run_parallel(
+    plan: &RepartitionPlan,
+    ids: &[u64],
+    master: &Arc<Master>,
+    workers: &[Sender<WorkerRequest>],
+) -> Result<(), StoreError> {
+    let by_executor = plan.jobs_by_executor(workers.len());
+    let results: Vec<Result<(), StoreError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = by_executor
+            .into_iter()
+            .filter(|jobs| !jobs.is_empty())
+            .map(|jobs| {
+                let master = Arc::clone(master);
+                s.spawn(move || {
+                    for job in jobs {
+                        execute_job(job, ids[job.file], &master, workers)?;
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("executor panicked"))
+            .collect()
+    });
+    results.into_iter().collect()
+}
+
+/// The naive strawman: a single thread collects **every** file (changed or
+/// not) and redistributes it sequentially — the paper measures this at two
+/// orders of magnitude slower (Fig. 16).
+///
+/// # Errors
+///
+/// Returns the first error encountered.
+pub fn run_sequential(
+    plan: &RepartitionPlan,
+    ids: &[u64],
+    master: &Arc<Master>,
+    workers: &[Sender<WorkerRequest>],
+) -> Result<(), StoreError> {
+    // Unchanged files are still collected and re-written in place (that is
+    // what makes the strawman slow).
+    for &i in &plan.unchanged {
+        let file_id = ids[i];
+        let (size, servers) = master.peek(file_id)?;
+        let mut shards: Vec<Bytes> = Vec::with_capacity(servers.len());
+        for (j, &server) in servers.iter().enumerate() {
+            let (tx, rx) = bounded(1);
+            workers[server]
+                .send(WorkerRequest::Get {
+                    key: PartKey::new(file_id, j as u32),
+                    reply: tx,
+                })
+                .map_err(|_| StoreError::WorkerDown(server))?;
+            shards.push(rx.recv().map_err(|_| StoreError::WorkerDown(server))??);
+        }
+        let data = join_shards_bytes(&shards, size);
+        for (j, (&server, shard)) in servers
+            .iter()
+            .zip(split_into_shards(&data, servers.len()))
+            .enumerate()
+        {
+            let (tx, rx) = bounded(1);
+            workers[server]
+                .send(WorkerRequest::Put {
+                    key: PartKey::new(file_id, j as u32),
+                    data: Bytes::from(shard),
+                    reply: tx,
+                })
+                .map_err(|_| StoreError::WorkerDown(server))?;
+            rx.recv().map_err(|_| StoreError::WorkerDown(server))??;
+        }
+    }
+    for job in &plan.jobs {
+        execute_job(job, ids[job.file], master, workers)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::StoreCluster;
+    use crate::config::StoreConfig;
+    use rand::SeedableRng;
+    use spcache_core::repartition::plan_repartition;
+    use spcache_sim::Xoshiro256StarStar;
+
+    fn payload(id: u64, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| ((i as u64 * 131 + id * 17 + 7) % 256) as u8)
+            .collect()
+    }
+
+    /// Builds a cluster with `n_files` single-partition files and returns
+    /// everything needed to plan against it.
+    fn seeded_cluster(
+        n_workers: usize,
+        n_files: u64,
+        file_len: usize,
+    ) -> (StoreCluster, Vec<Vec<u8>>) {
+        let cluster = StoreCluster::spawn(StoreConfig::unthrottled(n_workers));
+        let client = cluster.client();
+        let mut contents = Vec::new();
+        for id in 0..n_files {
+            let data = payload(id, file_len);
+            client
+                .write(id, &data, &[(id as usize) % n_workers])
+                .unwrap();
+            contents.push(data);
+        }
+        (cluster, contents)
+    }
+
+    #[test]
+    fn parallel_repartition_preserves_contents() {
+        let (cluster, contents) = seeded_cluster(6, 12, 5_000);
+        let client = cluster.client();
+        // Make files 0..3 hot.
+        for id in 0..3u64 {
+            for _ in 0..50 {
+                let _ = client.read(id).unwrap();
+            }
+        }
+        let (ids, plan, _) = cluster.master().plan_rebalance(
+            6,
+            f64::INFINITY.min(1e12),
+            8.0,
+            &spcache_core::tuner::TunerConfig::default(),
+            3,
+        );
+        assert!(!plan.jobs.is_empty(), "hot files should be repartitioned");
+        run_parallel(&plan, &ids, cluster.master(), &cluster.worker_senders()).unwrap();
+        for (id, data) in contents.iter().enumerate() {
+            assert_eq!(
+                client.read_quiet(id as u64).unwrap(),
+                *data,
+                "file {id} corrupted by repartition"
+            );
+        }
+        // Hot files really are split now.
+        assert!(cluster.master().peek(0).unwrap().1.len() > 1);
+    }
+
+    #[test]
+    fn sequential_repartition_preserves_contents() {
+        let (cluster, contents) = seeded_cluster(4, 8, 3_000);
+        let client = cluster.client();
+        for _ in 0..40 {
+            let _ = client.read(0).unwrap();
+        }
+        for id in 0..8u64 {
+            let _ = client.read(id).unwrap();
+        }
+        let (ids, plan, _) = cluster.master().plan_rebalance(
+            4,
+            1e12,
+            8.0,
+            &spcache_core::tuner::TunerConfig::default(),
+            5,
+        );
+        run_sequential(&plan, &ids, cluster.master(), &cluster.worker_senders()).unwrap();
+        for (id, data) in contents.iter().enumerate() {
+            assert_eq!(client.read_quiet(id as u64).unwrap(), *data, "file {id}");
+        }
+    }
+
+    #[test]
+    fn merge_job_back_to_single_partition() {
+        // A file split 3 ways merges back to 1 after going cold.
+        let cluster = StoreCluster::spawn(StoreConfig::unthrottled(4));
+        let client = cluster.client();
+        let data = payload(0, 9_001);
+        client.write(0, &data, &[0, 1, 2]).unwrap();
+        let (ids, fileset, map) = cluster.master().snapshot(4);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let plan = plan_repartition(&fileset, &map, &[1], &mut rng);
+        assert_eq!(plan.jobs.len(), 1);
+        run_parallel(&plan, &ids, cluster.master(), &cluster.worker_senders()).unwrap();
+        assert_eq!(cluster.master().peek(0).unwrap().1.len(), 1);
+        assert_eq!(client.read_quiet(0).unwrap(), data);
+    }
+
+    #[test]
+    fn stale_partitions_are_garbage_collected() {
+        let cluster = StoreCluster::spawn(StoreConfig::unthrottled(4));
+        let client = cluster.client();
+        client.write(0, &payload(0, 4_000), &[0, 1]).unwrap();
+        let (ids, fileset, map) = cluster.master().snapshot(4);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        let plan = plan_repartition(&fileset, &map, &[4], &mut rng);
+        run_parallel(&plan, &ids, cluster.master(), &cluster.worker_senders()).unwrap();
+        // Total resident partitions must equal the new k (no leftovers).
+        let total: usize = cluster
+            .worker_stats()
+            .unwrap()
+            .iter()
+            .map(|s| s.resident_parts)
+            .sum();
+        assert_eq!(total, 4, "stale partitions left behind");
+    }
+
+    #[test]
+    fn parallel_is_faster_than_sequential_under_throttling() {
+        // Fig. 16's shape: with throttled NICs and many files, the
+        // parallel scheme finishes much sooner than the collect-everything
+        // sequential scheme.
+        let n_workers = 8;
+        let cluster = StoreCluster::spawn(StoreConfig::throttled(n_workers, 200e6));
+        let client = cluster.client();
+        let n_files = 40u64;
+        let len = 200_000;
+        for id in 0..n_files {
+            client
+                .write(id, &payload(id, len), &[(id as usize) % n_workers])
+                .unwrap();
+        }
+        // Skewed accesses.
+        for id in 0..n_files {
+            let reps = if id < 4 { 60 } else { 1 };
+            for _ in 0..reps {
+                let _ = client.read(id).unwrap();
+            }
+        }
+        let (ids, plan, _) = cluster.master().plan_rebalance(
+            n_workers,
+            200e6,
+            8.0,
+            &spcache_core::tuner::TunerConfig::default(),
+            7,
+        );
+
+        let t0 = std::time::Instant::now();
+        run_parallel(&plan, &ids, cluster.master(), &cluster.worker_senders()).unwrap();
+        let par = t0.elapsed().as_secs_f64();
+
+        // Fresh identical cluster for the sequential run.
+        let cluster2 = StoreCluster::spawn(StoreConfig::throttled(n_workers, 200e6));
+        let client2 = cluster2.client();
+        for id in 0..n_files {
+            client2
+                .write(id, &payload(id, len), &[(id as usize) % n_workers])
+                .unwrap();
+        }
+        for id in 0..n_files {
+            let reps = if id < 4 { 60 } else { 1 };
+            for _ in 0..reps {
+                let _ = client2.read(id).unwrap();
+            }
+        }
+        let (ids2, plan2, _) = cluster2.master().plan_rebalance(
+            n_workers,
+            200e6,
+            8.0,
+            &spcache_core::tuner::TunerConfig::default(),
+            7,
+        );
+        let t1 = std::time::Instant::now();
+        run_sequential(&plan2, &ids2, cluster2.master(), &cluster2.worker_senders()).unwrap();
+        let seq = t1.elapsed().as_secs_f64();
+
+        assert!(
+            seq > par * 2.0,
+            "sequential {seq}s should be much slower than parallel {par}s"
+        );
+    }
+}

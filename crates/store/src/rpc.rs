@@ -1,0 +1,146 @@
+//! Message types between clients, workers and the master.
+//!
+//! Every interaction is a request enqueued on a worker's crossbeam channel
+//! with a one-shot reply channel — the in-process analogue of an RPC.
+
+use bytes::Bytes;
+use crossbeam::channel::Sender;
+
+/// Identifies one cached partition: `(file, partition index)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PartKey {
+    /// File identifier.
+    pub file: u64,
+    /// Partition index within the file (0-based).
+    pub part: u32,
+}
+
+impl PartKey {
+    /// Convenience constructor.
+    pub fn new(file: u64, part: u32) -> Self {
+        PartKey { file, part }
+    }
+}
+
+/// Errors surfaced to clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The partition is not resident on the addressed worker.
+    NotFound(PartKey),
+    /// The worker is gone (channel closed).
+    WorkerDown(usize),
+    /// The master has no metadata for this file.
+    UnknownFile(u64),
+    /// A file with this id already exists.
+    AlreadyExists(u64),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::NotFound(k) => write!(f, "partition {k:?} not found"),
+            StoreError::WorkerDown(w) => write!(f, "worker {w} is down"),
+            StoreError::UnknownFile(id) => write!(f, "unknown file {id}"),
+            StoreError::AlreadyExists(id) => write!(f, "file {id} already exists"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Per-worker service counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WorkerStats {
+    /// Bytes served by `Get` requests.
+    pub bytes_served: u64,
+    /// Bytes accepted by `Put` requests.
+    pub bytes_stored: u64,
+    /// Number of `Get` requests handled.
+    pub gets: u64,
+    /// Number of `Put` requests handled.
+    pub puts: u64,
+    /// Partitions currently resident.
+    pub resident_parts: usize,
+}
+
+/// A request to a worker thread.
+#[derive(Debug)]
+pub enum WorkerRequest {
+    /// Store a partition.
+    Put {
+        /// Partition key.
+        key: PartKey,
+        /// Partition bytes.
+        data: Bytes,
+        /// Completion signal.
+        reply: Sender<Result<(), StoreError>>,
+    },
+    /// Fetch a partition.
+    Get {
+        /// Partition key.
+        key: PartKey,
+        /// Reply with the bytes or `NotFound`.
+        reply: Sender<Result<Bytes, StoreError>>,
+    },
+    /// Fetch a byte sub-range of a partition (the online-adjustment path:
+    /// only the bytes that change servers cross the network).
+    GetRange {
+        /// Partition key.
+        key: PartKey,
+        /// Offset within the partition.
+        offset: u64,
+        /// Bytes wanted.
+        len: u64,
+        /// Reply with the slice or `NotFound`.
+        reply: Sender<Result<Bytes, StoreError>>,
+    },
+    /// Rename a resident partition key in place (no byte movement); used
+    /// to commit staged partitions. Replies `false` if `from` is absent.
+    Rename {
+        /// Current key.
+        from: PartKey,
+        /// New key (overwrites any existing entry).
+        to: PartKey,
+        /// Reply channel.
+        reply: Sender<bool>,
+    },
+    /// Drop a partition; replies whether it was resident.
+    Delete {
+        /// Partition key.
+        key: PartKey,
+        /// Reply channel.
+        reply: Sender<bool>,
+    },
+    /// Snapshot service counters.
+    Stats {
+        /// Reply channel.
+        reply: Sender<WorkerStats>,
+    },
+    /// Terminate the worker loop.
+    Shutdown,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partkey_ordering_and_hash() {
+        let a = PartKey::new(1, 0);
+        let b = PartKey::new(1, 1);
+        let c = PartKey::new(2, 0);
+        assert!(a < b && b < c);
+        let mut set = std::collections::HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&PartKey::new(1, 0)));
+        assert!(!set.contains(&b));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = StoreError::NotFound(PartKey::new(3, 1));
+        assert!(e.to_string().contains("not found"));
+        assert!(StoreError::WorkerDown(2).to_string().contains("worker 2"));
+        assert!(StoreError::UnknownFile(9).to_string().contains("9"));
+    }
+}

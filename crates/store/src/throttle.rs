@@ -1,0 +1,109 @@
+//! Token-bucket bandwidth throttling.
+//!
+//! Workers emulate a NIC of a configured bandwidth: before replying with
+//! `b` bytes, the worker sleeps until the bucket has accumulated `b`
+//! tokens. This is what turns the in-process store into a believable
+//! cluster — parallel partition reads genuinely overlap their "transfers"
+//! across worker threads, while one worker serving two clients halves
+//! each one's throughput.
+
+use std::time::{Duration, Instant};
+
+/// A token bucket paying out `rate` bytes per second.
+#[derive(Debug)]
+pub struct TokenBucket {
+    rate: f64,
+    /// Time at which all previously granted tokens are paid off.
+    paid_until: Instant,
+}
+
+impl TokenBucket {
+    /// A bucket with the given rate in bytes/s; `f64::INFINITY` disables
+    /// throttling.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive rate.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0, "rate must be positive");
+        TokenBucket {
+            rate,
+            paid_until: Instant::now(),
+        }
+    }
+
+    /// The configured rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Blocks until `bytes` of bandwidth have been "transferred".
+    ///
+    /// Consecutive calls serialize: the NIC streams one partition at a
+    /// time (matching the FIFO queue of the analytic model).
+    pub fn consume(&mut self, bytes: usize) {
+        if self.rate.is_infinite() {
+            return;
+        }
+        let cost = Duration::from_secs_f64(bytes as f64 / self.rate);
+        let now = Instant::now();
+        let start = if self.paid_until > now {
+            self.paid_until
+        } else {
+            now
+        };
+        self.paid_until = start + cost;
+        let wait = self.paid_until.saturating_duration_since(now);
+        if !wait.is_zero() {
+            std::thread::sleep(wait);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infinite_rate_never_sleeps() {
+        let mut tb = TokenBucket::new(f64::INFINITY);
+        let t0 = Instant::now();
+        tb.consume(usize::MAX / 2);
+        assert!(t0.elapsed() < Duration::from_millis(10));
+    }
+
+    #[test]
+    fn rate_is_enforced() {
+        // 10 MB/s, transfer 2 MB → ~200 ms.
+        let mut tb = TokenBucket::new(10e6);
+        let t0 = Instant::now();
+        tb.consume(2_000_000);
+        let dt = t0.elapsed().as_secs_f64();
+        assert!((0.18..0.4).contains(&dt), "took {dt}s, expected ~0.2s");
+    }
+
+    #[test]
+    fn consecutive_transfers_serialize() {
+        // Two 1 MB transfers at 10 MB/s → ~200 ms total.
+        let mut tb = TokenBucket::new(10e6);
+        let t0 = Instant::now();
+        tb.consume(1_000_000);
+        tb.consume(1_000_000);
+        let dt = t0.elapsed().as_secs_f64();
+        assert!(dt >= 0.18, "took {dt}s, expected >= 0.2s");
+    }
+
+    #[test]
+    fn zero_bytes_is_free() {
+        let mut tb = TokenBucket::new(1.0); // 1 byte/s
+        let t0 = Instant::now();
+        tb.consume(0);
+        assert!(t0.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = TokenBucket::new(0.0);
+    }
+}

@@ -1,0 +1,262 @@
+//! The worker (cache server) thread.
+
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use rand::SeedableRng;
+use spcache_sim::Xoshiro256StarStar;
+use spcache_workload::StragglerModel;
+
+use crate::rpc::{PartKey, StoreError, WorkerRequest, WorkerStats};
+use crate::throttle::TokenBucket;
+
+/// A handle to a running worker thread: its request channel and join
+/// handle.
+#[derive(Debug)]
+pub struct WorkerHandle {
+    /// Worker index within the cluster.
+    pub id: usize,
+    sender: Sender<WorkerRequest>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl WorkerHandle {
+    /// The worker's request channel.
+    pub fn sender(&self) -> &Sender<WorkerRequest> {
+        &self.sender
+    }
+
+    /// Synchronously fetches this worker's service counters.
+    pub fn stats(&self) -> Result<WorkerStats, StoreError> {
+        let (tx, rx) = bounded(1);
+        self.sender
+            .send(WorkerRequest::Stats { reply: tx })
+            .map_err(|_| StoreError::WorkerDown(self.id))?;
+        rx.recv().map_err(|_| StoreError::WorkerDown(self.id))
+    }
+
+    /// Requests shutdown and joins the thread.
+    pub fn shutdown(&mut self) {
+        let _ = self.sender.send(WorkerRequest::Shutdown);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for WorkerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Spawns a worker thread with the given NIC bandwidth and straggler
+/// model; returns its handle.
+pub fn spawn_worker(
+    id: usize,
+    bandwidth: f64,
+    stragglers: StragglerModel,
+    seed: u64,
+) -> WorkerHandle {
+    let (tx, rx) = crossbeam::channel::unbounded();
+    let join = std::thread::Builder::new()
+        .name(format!("spcache-worker-{id}"))
+        .spawn(move || worker_loop(rx, bandwidth, stragglers, seed))
+        .expect("failed to spawn worker thread");
+    WorkerHandle {
+        id,
+        sender: tx,
+        join: Some(join),
+    }
+}
+
+fn worker_loop(
+    rx: Receiver<WorkerRequest>,
+    bandwidth: f64,
+    stragglers: StragglerModel,
+    seed: u64,
+) {
+    let mut store: HashMap<PartKey, Bytes> = HashMap::new();
+    let mut nic = TokenBucket::new(bandwidth);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let mut stats = WorkerStats::default();
+
+    while let Ok(req) = rx.recv() {
+        match req {
+            WorkerRequest::Put { key, data, reply } => {
+                nic.consume(data.len());
+                stats.bytes_stored += data.len() as u64;
+                stats.puts += 1;
+                store.insert(key, data);
+                stats.resident_parts = store.len();
+                let _ = reply.send(Ok(()));
+            }
+            WorkerRequest::Get { key, reply } => {
+                stats.gets += 1;
+                match store.get(&key) {
+                    Some(data) => {
+                        // Emulate the transfer, with optional straggling
+                        // (the paper injects stragglers by sleeping the
+                        // server thread, §4.2).
+                        let factor = stragglers.draw_factor(&mut rng);
+                        nic.consume(data.len());
+                        if factor > 1.0 && bandwidth.is_finite() {
+                            let extra = data.len() as f64 / bandwidth * (factor - 1.0);
+                            std::thread::sleep(Duration::from_secs_f64(extra));
+                        }
+                        stats.bytes_served += data.len() as u64;
+                        let _ = reply.send(Ok(data.clone()));
+                    }
+                    None => {
+                        let _ = reply.send(Err(StoreError::NotFound(key)));
+                    }
+                }
+            }
+            WorkerRequest::GetRange {
+                key,
+                offset,
+                len,
+                reply,
+            } => {
+                stats.gets += 1;
+                match store.get(&key) {
+                    Some(data) => {
+                        let start = (offset as usize).min(data.len());
+                        let end = (start + len as usize).min(data.len());
+                        let slice = data.slice(start..end);
+                        let factor = stragglers.draw_factor(&mut rng);
+                        nic.consume(slice.len());
+                        if factor > 1.0 && bandwidth.is_finite() {
+                            let extra =
+                                slice.len() as f64 / bandwidth * (factor - 1.0);
+                            std::thread::sleep(Duration::from_secs_f64(extra));
+                        }
+                        stats.bytes_served += slice.len() as u64;
+                        let _ = reply.send(Ok(slice));
+                    }
+                    None => {
+                        let _ = reply.send(Err(StoreError::NotFound(key)));
+                    }
+                }
+            }
+            WorkerRequest::Rename { from, to, reply } => {
+                let moved = match store.remove(&from) {
+                    Some(data) => {
+                        store.insert(to, data);
+                        true
+                    }
+                    None => false,
+                };
+                stats.resident_parts = store.len();
+                let _ = reply.send(moved);
+            }
+            WorkerRequest::Delete { key, reply } => {
+                let removed = store.remove(&key).is_some();
+                stats.resident_parts = store.len();
+                let _ = reply.send(removed);
+            }
+            WorkerRequest::Stats { reply } => {
+                stats.resident_parts = store.len();
+                let _ = reply.send(stats);
+            }
+            WorkerRequest::Shutdown => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn put(h: &WorkerHandle, key: PartKey, data: &[u8]) {
+        let (tx, rx) = bounded(1);
+        h.sender()
+            .send(WorkerRequest::Put {
+                key,
+                data: Bytes::copy_from_slice(data),
+                reply: tx,
+            })
+            .unwrap();
+        rx.recv().unwrap().unwrap();
+    }
+
+    fn get(h: &WorkerHandle, key: PartKey) -> Result<Bytes, StoreError> {
+        let (tx, rx) = bounded(1);
+        h.sender()
+            .send(WorkerRequest::Get { key, reply: tx })
+            .unwrap();
+        rx.recv().unwrap()
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let h = spawn_worker(0, f64::INFINITY, StragglerModel::none(), 1);
+        put(&h, PartKey::new(1, 0), b"hello");
+        assert_eq!(get(&h, PartKey::new(1, 0)).unwrap().as_ref(), b"hello");
+    }
+
+    #[test]
+    fn get_missing_returns_not_found() {
+        let h = spawn_worker(0, f64::INFINITY, StragglerModel::none(), 1);
+        assert_eq!(
+            get(&h, PartKey::new(9, 9)),
+            Err(StoreError::NotFound(PartKey::new(9, 9)))
+        );
+    }
+
+    #[test]
+    fn delete_removes() {
+        let h = spawn_worker(0, f64::INFINITY, StragglerModel::none(), 1);
+        put(&h, PartKey::new(1, 0), b"x");
+        let (tx, rx) = bounded(1);
+        h.sender()
+            .send(WorkerRequest::Delete {
+                key: PartKey::new(1, 0),
+                reply: tx,
+            })
+            .unwrap();
+        assert!(rx.recv().unwrap());
+        assert!(get(&h, PartKey::new(1, 0)).is_err());
+    }
+
+    #[test]
+    fn stats_track_traffic() {
+        let h = spawn_worker(0, f64::INFINITY, StragglerModel::none(), 1);
+        put(&h, PartKey::new(1, 0), &[0u8; 100]);
+        put(&h, PartKey::new(1, 1), &[0u8; 50]);
+        let _ = get(&h, PartKey::new(1, 0));
+        let s = h.stats().unwrap();
+        assert_eq!(s.bytes_stored, 150);
+        assert_eq!(s.bytes_served, 100);
+        assert_eq!(s.puts, 2);
+        assert_eq!(s.gets, 1);
+        assert_eq!(s.resident_parts, 2);
+    }
+
+    #[test]
+    fn throttled_worker_takes_time() {
+        let h = spawn_worker(0, 10e6, StragglerModel::none(), 1);
+        put(&h, PartKey::new(1, 0), &[0u8; 1_000_000]);
+        let t0 = std::time::Instant::now();
+        let _ = get(&h, PartKey::new(1, 0)).unwrap();
+        let dt = t0.elapsed().as_secs_f64();
+        assert!(dt >= 0.08, "1 MB at 10 MB/s should take ~0.1s, took {dt}");
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly() {
+        let mut h = spawn_worker(0, f64::INFINITY, StragglerModel::none(), 1);
+        put(&h, PartKey::new(1, 0), b"x");
+        h.shutdown();
+        // Channel closed now.
+        let (tx, rx) = bounded(1);
+        let send = h.sender().send(WorkerRequest::Get {
+            key: PartKey::new(1, 0),
+            reply: tx,
+        });
+        assert!(send.is_err() || rx.recv().is_err());
+    }
+}

@@ -1,0 +1,185 @@
+//! Integration tests combining the §8 extensions: online adjustment,
+//! checkpointing/recovery and the regular repartition path interacting on
+//! one cluster.
+
+use rand::SeedableRng;
+use spcache_core::online::plan_adjust;
+use spcache_core::tuner::TunerConfig;
+use spcache_sim::Xoshiro256StarStar;
+use spcache_store::backing::{checkpoint, read_or_recover, UnderStore};
+use spcache_store::online::execute_adjust;
+use spcache_store::repartitioner::run_parallel;
+use spcache_store::rpc::StoreError;
+use spcache_store::{StoreCluster, StoreConfig};
+use spcache_workload::dist::uniform_usize;
+
+fn payload(id: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| ((i as u64 * 53 + id * 13 + 3) % 256) as u8)
+        .collect()
+}
+
+#[test]
+fn online_adjust_then_periodic_repartition() {
+    // An online burst reaction must not confuse the later periodic
+    // Algorithm-2 pass.
+    let n_workers = 8;
+    let cluster = StoreCluster::spawn(StoreConfig::unthrottled(n_workers));
+    let client = cluster.client();
+    let len = 24_000;
+    for id in 0..16u64 {
+        client
+            .write(id, &payload(id, len), &[(id as usize) % n_workers])
+            .unwrap();
+    }
+
+    // Burst on file 3 → online split to 5.
+    let (_, servers) = cluster.master().peek(3).unwrap();
+    let plan = plan_adjust(len as u64, &servers, 5, &vec![0.0; n_workers]);
+    execute_adjust(3, &plan, cluster.master(), &cluster.worker_senders()).unwrap();
+    assert_eq!(cluster.master().peek(3).unwrap().1.len(), 5);
+
+    // Accesses skew toward other files; periodic repartition runs.
+    for id in 0..16u64 {
+        let reps = if id == 0 { 100 } else { 2 };
+        for _ in 0..reps {
+            client.read(id).unwrap();
+        }
+    }
+    let (ids, rp, _) =
+        cluster
+            .master()
+            .plan_rebalance(n_workers, 1e9, 8.0, &TunerConfig::default(), 3);
+    run_parallel(&rp, &ids, cluster.master(), &cluster.worker_senders()).unwrap();
+
+    // Everything still byte-exact, including the online-adjusted file.
+    for id in 0..16u64 {
+        assert_eq!(client.read_quiet(id).unwrap(), payload(id, len), "file {id}");
+    }
+}
+
+#[test]
+fn checkpoint_survives_online_adjustment() {
+    let cluster = StoreCluster::spawn(StoreConfig::unthrottled(6));
+    let client = cluster.client();
+    let len = 18_000;
+    client.write(1, &payload(1, len), &[0, 1]).unwrap();
+    let under = UnderStore::new();
+    checkpoint(&client, &under, 1).unwrap();
+
+    // Adjust 2 → 5, then lose a partition of the NEW layout.
+    let plan = plan_adjust(len as u64, &[0, 1], 5, &[0.0; 6]);
+    execute_adjust(1, &plan, cluster.master(), &cluster.worker_senders()).unwrap();
+    let (tx, rx) = crossbeam::channel::bounded(1);
+    cluster.worker_senders()[plan.new_servers()[3]]
+        .send(spcache_store::rpc::WorkerRequest::Delete {
+            key: spcache_store::rpc::PartKey::new(1, 3),
+            reply: tx,
+        })
+        .unwrap();
+    assert!(rx.recv().unwrap());
+
+    // Recovery still serves the original bytes.
+    let got = read_or_recover(&client, cluster.master(), &under, 1, &[2, 4]).unwrap();
+    assert_eq!(got, payload(1, len));
+}
+
+#[test]
+fn recovery_then_online_adjust() {
+    let mut cluster = StoreCluster::spawn(StoreConfig::unthrottled(6));
+    let client = cluster.client();
+    let len = 12_000;
+    client.write(1, &payload(1, len), &[0, 1, 2]).unwrap();
+    let under = UnderStore::new();
+    checkpoint(&client, &under, 1).unwrap();
+
+    cluster.kill_worker(1);
+    assert!(matches!(client.read(1), Err(StoreError::WorkerDown(1))));
+    read_or_recover(&client, cluster.master(), &under, 1, &[0, 3]).unwrap();
+
+    // The recovered file can be adjusted online like any other.
+    let (_, servers) = cluster.master().peek(1).unwrap();
+    assert_eq!(servers, vec![0, 3]);
+    let plan = plan_adjust(len as u64, &servers, 4, &[0.0, 9.0, 0.0, 0.0, 0.0, 0.0]);
+    // The dead worker 1 must not be chosen — it has load 9.0 in the hint,
+    // but more importantly the planner only picks from loads we pass;
+    // give it infinite load to exclude it outright.
+    let mut loads = vec![0.0; 6];
+    loads[1] = f64::INFINITY;
+    let plan = if plan.new_servers().contains(&1) {
+        plan_adjust(len as u64, &servers, 4, &loads)
+    } else {
+        plan
+    };
+    execute_adjust(1, &plan, cluster.master(), &cluster.worker_senders()).unwrap();
+    assert_eq!(client.read_quiet(1).unwrap(), payload(1, len));
+}
+
+#[test]
+fn randomized_lifecycle_fuzz() {
+    // A deterministic fuzz: interleave writes, reads, online adjustments
+    // and repartitions; every read must always be byte-exact.
+    let n_workers = 6;
+    let cluster = StoreCluster::spawn(StoreConfig::unthrottled(n_workers));
+    let client = cluster.client();
+    let len = 6_000;
+    let mut rng = Xoshiro256StarStar::seed_from_u64(99);
+    let n_files = 12u64;
+    for id in 0..n_files {
+        client
+            .write(id, &payload(id, len), &[(id as usize) % n_workers])
+            .unwrap();
+    }
+
+    for step in 0..60 {
+        match uniform_usize(&mut rng, 4) {
+            0 => {
+                // Random read.
+                let id = uniform_usize(&mut rng, n_files as usize) as u64;
+                assert_eq!(client.read(id).unwrap(), payload(id, len), "step {step}");
+            }
+            1 => {
+                // Online adjust a random file to a random k.
+                let id = uniform_usize(&mut rng, n_files as usize) as u64;
+                let (_, servers) = cluster.master().peek(id).unwrap();
+                let k = 1 + uniform_usize(&mut rng, n_workers);
+                let plan = plan_adjust(len as u64, &servers, k, &vec![0.0; n_workers]);
+                execute_adjust(id, &plan, cluster.master(), &cluster.worker_senders())
+                    .unwrap();
+            }
+            2 => {
+                // Burst of reads to skew popularity.
+                let id = uniform_usize(&mut rng, n_files as usize) as u64;
+                for _ in 0..20 {
+                    client.read(id).unwrap();
+                }
+            }
+            _ => {
+                // Periodic repartition.
+                let (ids, plan, _) = cluster.master().plan_rebalance(
+                    n_workers,
+                    1e9,
+                    8.0,
+                    &TunerConfig::default(),
+                    step as u64,
+                );
+                run_parallel(&plan, &ids, cluster.master(), &cluster.worker_senders())
+                    .unwrap();
+            }
+        }
+    }
+    for id in 0..n_files {
+        assert_eq!(client.read_quiet(id).unwrap(), payload(id, len), "final {id}");
+    }
+    // Bookkeeping: resident partitions equal the metadata's Σ k_i.
+    let expected: usize = (0..n_files)
+        .map(|id| cluster.master().peek(id).unwrap().1.len())
+        .sum();
+    let resident: usize = cluster
+        .worker_stats()
+        .unwrap()
+        .iter()
+        .map(|s| s.resident_parts)
+        .sum();
+    assert_eq!(resident, expected);
+}

@@ -1,0 +1,72 @@
+//! Property-based tests of the in-process store.
+
+use proptest::prelude::*;
+
+use spcache_core::online::plan_adjust;
+use spcache_store::online::execute_adjust;
+use spcache_store::{StoreCluster, StoreConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Write/read round-trips are byte-exact for arbitrary payloads and
+    /// partition counts.
+    #[test]
+    fn write_read_roundtrip(
+        data in proptest::collection::vec(any::<u8>(), 0..8_192),
+        k in 1usize..6,
+    ) {
+        let cluster = StoreCluster::spawn(StoreConfig::unthrottled(6));
+        let client = cluster.client();
+        let servers: Vec<usize> = (0..k).collect();
+        client.write(1, &data, &servers).unwrap();
+        prop_assert_eq!(client.read(1).unwrap(), data);
+    }
+
+    /// Any sequence of online adjustments preserves the bytes and the
+    /// resident-partition bookkeeping.
+    #[test]
+    fn online_adjust_sequences_preserve_bytes(
+        data in proptest::collection::vec(any::<u8>(), 1..4_096),
+        ks in proptest::collection::vec(1usize..8, 1..5),
+    ) {
+        let n_workers = 8;
+        let cluster = StoreCluster::spawn(StoreConfig::unthrottled(n_workers));
+        let client = cluster.client();
+        client.write(1, &data, &[0]).unwrap();
+        for &k in &ks {
+            let (_, servers) = cluster.master().peek(1).unwrap();
+            let plan = plan_adjust(data.len() as u64, &servers, k, &vec![0.0; n_workers]);
+            execute_adjust(1, &plan, cluster.master(), &cluster.worker_senders()).unwrap();
+            prop_assert_eq!(&client.read_quiet(1).unwrap(), &data);
+            prop_assert_eq!(cluster.master().peek(1).unwrap().1.len(), k);
+        }
+        let resident: usize = cluster
+            .worker_stats()
+            .unwrap()
+            .iter()
+            .map(|s| s.resident_parts)
+            .sum();
+        prop_assert_eq!(resident, *ks.last().unwrap());
+    }
+
+    /// Deletes always clear exactly the file's partitions.
+    #[test]
+    fn delete_clears_everything(
+        data in proptest::collection::vec(any::<u8>(), 1..2_048),
+        k in 1usize..5,
+    ) {
+        let cluster = StoreCluster::spawn(StoreConfig::unthrottled(5));
+        let client = cluster.client();
+        let servers: Vec<usize> = (0..k).collect();
+        client.write(1, &data, &servers).unwrap();
+        prop_assert_eq!(client.delete(1).unwrap(), k);
+        let resident: usize = cluster
+            .worker_stats()
+            .unwrap()
+            .iter()
+            .map(|s| s.resident_parts)
+            .sum();
+        prop_assert_eq!(resident, 0);
+    }
+}

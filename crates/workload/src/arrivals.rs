@@ -1,0 +1,277 @@
+//! Request arrival processes.
+//!
+//! The paper's EC2 experiments use independent Poisson clients
+//! ([`PoissonProcess`]); the trace-driven simulation (§7.7) replays the
+//! Google cluster job-submission sequence, which is *bursty*, not Poisson.
+//! [`MmppProcess`] — a two-state Markov-modulated Poisson process — is the
+//! standard synthetic stand-in for such burstiness: a "calm" state with a
+//! low rate and a "burst" state with a high rate, with exponential
+//! sojourns.
+
+use rand::Rng;
+
+use crate::dist::{bernoulli, exponential};
+
+/// An open-loop Poisson arrival process with the given rate (events/s).
+///
+/// Implemented as an iterator over absolute arrival times.
+///
+/// # Examples
+///
+/// ```
+/// use spcache_workload::PoissonProcess;
+/// use rand::SeedableRng;
+/// use spcache_sim::Xoshiro256StarStar;
+///
+/// let rng = Xoshiro256StarStar::seed_from_u64(1);
+/// let arrivals: Vec<f64> = PoissonProcess::new(10.0, rng).take(100).collect();
+/// assert_eq!(arrivals.len(), 100);
+/// assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoissonProcess<R> {
+    rate: f64,
+    now: f64,
+    rng: R,
+}
+
+impl<R: Rng> PoissonProcess<R> {
+    /// Creates a process with `rate` arrivals per second starting at t = 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate > 0`.
+    pub fn new(rate: f64, rng: R) -> Self {
+        assert!(rate > 0.0, "arrival rate must be positive");
+        PoissonProcess {
+            rate,
+            now: 0.0,
+            rng,
+        }
+    }
+
+    /// The configured rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl<R: Rng> Iterator for PoissonProcess<R> {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        self.now += exponential(&mut self.rng, self.rate);
+        Some(self.now)
+    }
+}
+
+/// A two-state Markov-modulated Poisson process.
+///
+/// State 0 ("calm") emits at `rate_calm`, state 1 ("burst") at
+/// `rate_burst`; the process flips state after exponential sojourns with
+/// means `mean_calm` and `mean_burst` seconds. Long-run average rate is the
+/// sojourn-weighted mean of the two rates.
+#[derive(Debug, Clone)]
+pub struct MmppProcess<R> {
+    rate_calm: f64,
+    rate_burst: f64,
+    mean_calm: f64,
+    mean_burst: f64,
+    now: f64,
+    state_burst: bool,
+    state_ends: f64,
+    rng: R,
+}
+
+impl<R: Rng> MmppProcess<R> {
+    /// Creates the process; starts in the calm state at t = 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all rates and sojourn means are positive.
+    pub fn new(rate_calm: f64, rate_burst: f64, mean_calm: f64, mean_burst: f64, mut rng: R) -> Self {
+        assert!(rate_calm > 0.0 && rate_burst > 0.0, "rates must be positive");
+        assert!(
+            mean_calm > 0.0 && mean_burst > 0.0,
+            "sojourn means must be positive"
+        );
+        let first_sojourn = exponential(&mut rng, 1.0 / mean_calm);
+        MmppProcess {
+            rate_calm,
+            rate_burst,
+            mean_calm,
+            mean_burst,
+            now: 0.0,
+            state_burst: false,
+            state_ends: first_sojourn,
+            rng,
+        }
+    }
+
+    /// A convenience constructor roughly calibrated to the Google-trace
+    /// burstiness used in §7.7: bursts run at `burstiness ×` the base rate
+    /// and cover ~20% of time, keeping the requested long-run average.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `avg_rate > 0` and `burstiness > 1`.
+    pub fn bursty(avg_rate: f64, burstiness: f64, rng: R) -> Self {
+        assert!(avg_rate > 0.0, "rate must be positive");
+        assert!(burstiness > 1.0, "burstiness must exceed 1");
+        // Fraction of time in burst state.
+        let f = 0.2;
+        // Solve rate_calm so that (1-f)*rc + f*rb = avg with rb = burstiness*rc.
+        let rc = avg_rate / ((1.0 - f) + f * burstiness);
+        let rb = burstiness * rc;
+        MmppProcess::new(rc, rb, 8.0, 2.0, rng)
+    }
+
+    /// Long-run average rate implied by the configuration.
+    pub fn average_rate(&self) -> f64 {
+        let total = self.mean_calm + self.mean_burst;
+        (self.rate_calm * self.mean_calm + self.rate_burst * self.mean_burst) / total
+    }
+
+    fn current_rate(&self) -> f64 {
+        if self.state_burst {
+            self.rate_burst
+        } else {
+            self.rate_calm
+        }
+    }
+}
+
+impl<R: Rng> Iterator for MmppProcess<R> {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        loop {
+            let rate = self.current_rate();
+            let gap = exponential(&mut self.rng, rate);
+            let candidate = self.now + gap;
+            if candidate <= self.state_ends {
+                self.now = candidate;
+                return Some(candidate);
+            }
+            // Cross into the next state: discard the candidate (memoryless)
+            // and restart the clock at the state boundary.
+            self.now = self.state_ends;
+            self.state_burst = !self.state_burst;
+            let mean = if self.state_burst {
+                self.mean_burst
+            } else {
+                self.mean_calm
+            };
+            self.state_ends = self.now + exponential(&mut self.rng, 1.0 / mean);
+        }
+    }
+}
+
+/// Merges several arrival streams (e.g. 20 independent Poisson clients)
+/// into one globally time-ordered stream tagged with the source index.
+pub fn merge_arrivals(streams: Vec<Vec<f64>>) -> Vec<(f64, usize)> {
+    let mut all: Vec<(f64, usize)> = streams
+        .iter()
+        .enumerate()
+        .flat_map(|(i, s)| s.iter().map(move |&t| (t, i)))
+        .collect();
+    all.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN times"));
+    all
+}
+
+/// Thinning helper: keeps each arrival independently with probability `p`
+/// (used to subsample traces).
+pub fn thin<R: Rng>(arrivals: &[f64], p: f64, rng: &mut R) -> Vec<f64> {
+    arrivals
+        .iter()
+        .copied()
+        .filter(|_| bernoulli(rng, p))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use spcache_sim::Xoshiro256StarStar;
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn poisson_rate_is_respected() {
+        let mut p = PoissonProcess::new(5.0, rng(1));
+        let mut last = 0.0;
+        let n = 50_000;
+        for _ in 0..n {
+            last = p.next().unwrap();
+        }
+        let empirical = n as f64 / last;
+        assert!((empirical - 5.0).abs() < 0.1, "rate {empirical}");
+    }
+
+    #[test]
+    fn poisson_interarrivals_memoryless() {
+        // CV of exponential inter-arrivals is 1.
+        let mut p = PoissonProcess::new(2.0, rng(2));
+        let times: Vec<f64> = (&mut p).take(20_000).collect();
+        let gaps: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.05, "cv {cv}");
+    }
+
+    #[test]
+    fn mmpp_average_rate() {
+        let m = MmppProcess::new(1.0, 10.0, 8.0, 2.0, rng(3));
+        let expect = m.average_rate();
+        let times: Vec<f64> = m.take(100_000).collect();
+        let empirical = times.len() as f64 / times.last().unwrap();
+        assert!(
+            (empirical - expect).abs() / expect < 0.1,
+            "empirical {empirical} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_poisson() {
+        // Inter-arrival CV > 1 distinguishes MMPP from Poisson.
+        let m = MmppProcess::bursty(5.0, 10.0, rng(4));
+        let times: Vec<f64> = m.take(50_000).collect();
+        let gaps: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!(cv > 1.1, "MMPP cv {cv} should exceed Poisson's 1.0");
+    }
+
+    #[test]
+    fn mmpp_times_strictly_increase() {
+        let m = MmppProcess::bursty(3.0, 8.0, rng(5));
+        let times: Vec<f64> = m.take(10_000).collect();
+        assert!(times.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn merge_orders_and_tags() {
+        let merged = merge_arrivals(vec![vec![1.0, 3.0], vec![2.0]]);
+        assert_eq!(merged, vec![(1.0, 0), (2.0, 1), (3.0, 0)]);
+    }
+
+    #[test]
+    fn thinning_preserves_rate_fraction() {
+        let mut r = rng(6);
+        let arrivals: Vec<f64> = PoissonProcess::new(10.0, rng(7)).take(50_000).collect();
+        let kept = thin(&arrivals, 0.3, &mut r);
+        let frac = kept.len() as f64 / arrivals.len() as f64;
+        assert!((frac - 0.3).abs() < 0.02, "kept fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn poisson_rejects_zero_rate() {
+        let _ = PoissonProcess::new(0.0, rng(8));
+    }
+}

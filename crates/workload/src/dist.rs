@@ -1,0 +1,260 @@
+//! Elementary random samplers built directly on [`rand::Rng`].
+//!
+//! Only the distributions the paper's workloads need are implemented, from
+//! first principles (inverse-CDF or Box–Muller), so the only external
+//! dependency is a uniform bit source.
+
+use rand::Rng;
+
+/// Draws a uniform `f64` in `[0, 1)` from any `Rng` using the top 53 bits.
+#[inline]
+pub fn unit_f64<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform in `[lo, hi)`.
+#[inline]
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    debug_assert!(hi >= lo);
+    lo + unit_f64(rng) * (hi - lo)
+}
+
+/// Uniform integer in `[0, n)` via rejection-free multiply-shift (bias is
+/// negligible for n ≪ 2⁶⁴; adequate for workload sampling).
+#[inline]
+pub fn uniform_usize<R: Rng + ?Sized>(rng: &mut R, n: usize) -> usize {
+    debug_assert!(n > 0);
+    ((rng.next_u64() as u128 * n as u128) >> 64) as usize
+}
+
+/// Bernoulli trial with success probability `p`.
+#[inline]
+pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    unit_f64(rng) < p
+}
+
+/// Exponential with the given `rate` (mean `1/rate`), by inverse CDF.
+///
+/// The paper models partition transfer delays as exponential with mean
+/// `S_i / (k_i · B_s)` (Section 5.3).
+#[inline]
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0);
+    // 1 - U in (0, 1] avoids ln(0).
+    -(1.0 - unit_f64(rng)).ln() / rate
+}
+
+/// Standard normal via Box–Muller (one value; the pair's second half is
+/// discarded for simplicity — workload generation is not the hot path).
+#[inline]
+pub fn std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = (1.0 - unit_f64(rng)).max(f64::MIN_POSITIVE);
+    let u2 = unit_f64(rng);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Log-normal with location `mu` and scale `sigma` (of the underlying
+/// normal). Used for file-size synthesis.
+#[inline]
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * std_normal(rng)).exp()
+}
+
+/// Pareto with scale `x_min` and shape `alpha` (heavy tail for straggler
+/// slowdowns and file sizes).
+#[inline]
+pub fn pareto<R: Rng + ?Sized>(rng: &mut R, x_min: f64, alpha: f64) -> f64 {
+    debug_assert!(x_min > 0.0 && alpha > 0.0);
+    x_min / (1.0 - unit_f64(rng)).powf(1.0 / alpha)
+}
+
+/// A discrete distribution over `values` with the given `weights`,
+/// sampled by linear CDF walk (small supports only).
+#[derive(Debug, Clone)]
+pub struct Discrete {
+    values: Vec<f64>,
+    cdf: Vec<f64>,
+}
+
+impl Discrete {
+    /// Builds from `(value, weight)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty or weights are non-positive.
+    pub fn new(pairs: &[(f64, f64)]) -> Self {
+        assert!(!pairs.is_empty(), "discrete distribution needs support");
+        let total: f64 = pairs.iter().map(|&(_, w)| w).sum();
+        assert!(total > 0.0, "weights must sum to a positive value");
+        let mut cdf = Vec::with_capacity(pairs.len());
+        let mut acc = 0.0;
+        for &(_, w) in pairs {
+            assert!(w >= 0.0, "negative weight");
+            acc += w / total;
+            cdf.push(acc);
+        }
+        // Guard against rounding: the last entry must reach 1.
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        Discrete {
+            values: pairs.iter().map(|&(v, _)| v).collect(),
+            cdf,
+        }
+    }
+
+    /// Draws one value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = unit_f64(rng);
+        let idx = self
+            .cdf
+            .iter()
+            .position(|&c| u < c)
+            .unwrap_or(self.cdf.len() - 1);
+        self.values[idx]
+    }
+
+    /// The `(value, probability)` support of the distribution, in
+    /// construction order.
+    pub fn support(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        let mut prev = 0.0;
+        self.values.iter().zip(&self.cdf).map(move |(&v, &c)| {
+            let p = c - prev;
+            prev = c;
+            (v, p)
+        })
+    }
+
+    /// The expectation of the distribution.
+    pub fn mean(&self) -> f64 {
+        let mut prev = 0.0;
+        let mut mean = 0.0;
+        for (v, &c) in self.values.iter().zip(&self.cdf) {
+            mean += v * (c - prev);
+            prev = c;
+        }
+        mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use spcache_sim::Xoshiro256StarStar;
+
+    fn rng() -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn unit_f64_bounds_and_mean() {
+        let mut r = rng();
+        let mut sum = 0.0;
+        for _ in 0..20_000 {
+            let x = unit_f64(&mut r);
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / 20_000.0 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn uniform_usize_covers_range() {
+        let mut r = rng();
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[uniform_usize(&mut r, 10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut r = rng();
+        let rate = 4.0;
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut r, rate)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(exponential(&mut r, 0.1) > 0.0);
+        }
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut r = rng();
+        let hits = (0..100_000).filter(|_| bernoulli(&mut r, 0.05)).count();
+        let f = hits as f64 / 100_000.0;
+        assert!((f - 0.05).abs() < 0.005, "freq {f}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| std_normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_median() {
+        let mut r = rng();
+        let mut xs: Vec<f64> = (0..20_001).map(|_| log_normal(&mut r, 2.0, 0.5)).collect();
+        xs.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[10_000];
+        // Median of LogNormal(mu, sigma) is e^mu.
+        assert!((median - 2.0f64.exp()).abs() / 2.0f64.exp() < 0.05);
+    }
+
+    #[test]
+    fn pareto_respects_minimum() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(pareto(&mut r, 2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed() {
+        let mut r = rng();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| pareto(&mut r, 1.0, 1.16)).collect();
+        let max = xs.iter().cloned().fold(0.0, f64::max);
+        // With alpha close to 1 the max should be far above the median.
+        assert!(max > 100.0, "max {max}");
+    }
+
+    #[test]
+    fn discrete_sampling_matches_weights() {
+        let d = Discrete::new(&[(1.0, 1.0), (2.0, 2.0), (3.0, 1.0)]);
+        let mut r = rng();
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            let v = d.sample(&mut r);
+            counts[v as usize - 1] += 1;
+        }
+        let f1 = counts[0] as f64 / 40_000.0;
+        let f2 = counts[1] as f64 / 40_000.0;
+        assert!((f1 - 0.25).abs() < 0.01);
+        assert!((f2 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn discrete_mean() {
+        let d = Discrete::new(&[(2.0, 1.0), (4.0, 1.0)]);
+        assert!((d.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs support")]
+    fn discrete_rejects_empty() {
+        let _ = Discrete::new(&[]);
+    }
+}

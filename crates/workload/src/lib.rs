@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Workload generation for the SP-Cache experiments.
+//!
+//! The paper's evaluation drives the cache cluster with:
+//!
+//! * **Zipf file popularity** (exponent 1.05–1.1) — [`zipf`],
+//! * **Poisson read arrivals** per client, and a bursty non-Poisson
+//!   process standing in for the Google-trace job-submission sequence —
+//!   [`arrivals`],
+//! * **Yahoo!-like file populations** (78% cold files accessed < 10 times,
+//!   2% hot ≥ 100, hot files 15–30× larger; Fig. 1) — [`yahoo`],
+//! * **Injected stragglers** following the Microsoft Bing profile
+//!   (5% probability, heavy-tailed slowdown) — [`stragglers`],
+//! * elementary samplers (exponential, log-normal, Pareto, discrete) built
+//!   directly on `rand::Rng` — [`dist`],
+//! * popularity assignment and the rank-shuffle *popularity shift* used in
+//!   the repartition experiments — [`popularity`].
+
+pub mod arrivals;
+pub mod dist;
+pub mod popularity;
+pub mod spec;
+pub mod stragglers;
+pub mod yahoo;
+pub mod zipf;
+
+pub use arrivals::{MmppProcess, PoissonProcess};
+pub use popularity::PopularityModel;
+pub use stragglers::StragglerModel;
+pub use zipf::{zipf_popularities, ZipfSampler};

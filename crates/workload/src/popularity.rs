@@ -1,0 +1,179 @@
+//! File popularity assignment and the popularity-shift generator.
+//!
+//! The repartition experiments (§7.4) shift popularity by "randomly
+//! shuffling the popularity ranks of all files (under the same Zipf
+//! distribution)" — deliberately more drastic than real clusters, where
+//! ~40% of files stay hot across days.
+
+use rand::Rng;
+
+use crate::dist::uniform_usize;
+use crate::zipf::zipf_popularities;
+
+/// A popularity assignment: which file holds which Zipf rank.
+///
+/// `popularity(i)` is the access probability of file `i`; internally the
+/// model stores a permutation `rank_of[i]` into a fixed Zipf table, so a
+/// *shift* is just a re-shuffle of the permutation.
+#[derive(Debug, Clone)]
+pub struct PopularityModel {
+    /// Zipf probabilities by rank (rank 0 hottest).
+    by_rank: Vec<f64>,
+    /// rank_of[file] = rank currently held by that file.
+    rank_of: Vec<usize>,
+}
+
+impl PopularityModel {
+    /// `n` files with Zipf(`exponent`) popularity; file `i` initially holds
+    /// rank `i` (file 0 is the hottest).
+    pub fn zipf(n: usize, exponent: f64) -> Self {
+        PopularityModel {
+            by_rank: zipf_popularities(n, exponent),
+            rank_of: (0..n).collect(),
+        }
+    }
+
+    /// Builds from explicit per-rank probabilities (normalized by caller
+    /// or not — queries renormalize nothing, so pass a distribution).
+    pub fn from_rank_probabilities(by_rank: Vec<f64>) -> Self {
+        assert!(!by_rank.is_empty());
+        let n = by_rank.len();
+        PopularityModel {
+            by_rank,
+            rank_of: (0..n).collect(),
+        }
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.rank_of.len()
+    }
+
+    /// Whether the model is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.rank_of.is_empty()
+    }
+
+    /// Access probability of file `i`.
+    pub fn popularity(&self, i: usize) -> f64 {
+        self.by_rank[self.rank_of[i]]
+    }
+
+    /// Current rank held by file `i` (0 = hottest).
+    pub fn rank(&self, i: usize) -> usize {
+        self.rank_of[i]
+    }
+
+    /// The full per-file popularity vector.
+    pub fn popularities(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.popularity(i)).collect()
+    }
+
+    /// Per-file request rates given an aggregate rate `lambda` (req/s):
+    /// `λ_i = P_i · Λ` (paper Eq. 4 inverted).
+    pub fn request_rates(&self, lambda: f64) -> Vec<f64> {
+        assert!(lambda >= 0.0);
+        (0..self.len())
+            .map(|i| self.popularity(i) * lambda)
+            .collect()
+    }
+
+    /// Randomly shuffles which file holds which rank — the §7.4
+    /// popularity shift (Fisher–Yates).
+    pub fn shift<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let n = self.rank_of.len();
+        for i in (1..n).rev() {
+            let j = uniform_usize(rng, i + 1);
+            self.rank_of.swap(i, j);
+        }
+    }
+
+    /// Fraction of files whose rank changed between `self` and `other`
+    /// (useful to sanity-check shift drasticness).
+    pub fn rank_change_fraction(&self, other: &PopularityModel) -> f64 {
+        assert_eq!(self.len(), other.len());
+        let changed = self
+            .rank_of
+            .iter()
+            .zip(&other.rank_of)
+            .filter(|(a, b)| a != b)
+            .count();
+        changed as f64 / self.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use spcache_sim::Xoshiro256StarStar;
+
+    #[test]
+    fn initial_assignment_is_identity() {
+        let m = PopularityModel::zipf(10, 1.1);
+        for i in 0..10 {
+            assert_eq!(m.rank(i), i);
+        }
+        assert!(m.popularity(0) > m.popularity(9));
+    }
+
+    #[test]
+    fn popularities_sum_to_one() {
+        let m = PopularityModel::zipf(100, 1.05);
+        assert!((m.popularities().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn request_rates_scale_with_lambda() {
+        let m = PopularityModel::zipf(10, 1.0);
+        let rates = m.request_rates(8.0);
+        assert!((rates.iter().sum::<f64>() - 8.0).abs() < 1e-9);
+        assert!(rates[0] > rates[9]);
+    }
+
+    #[test]
+    fn shift_preserves_distribution() {
+        let mut m = PopularityModel::zipf(50, 1.1);
+        let before: f64 = m.popularities().iter().sum();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        m.shift(&mut rng);
+        let after: f64 = m.popularities().iter().sum();
+        assert!((before - after).abs() < 1e-9);
+        // Same multiset of probabilities.
+        let mut a = m.popularities();
+        let mut b = PopularityModel::zipf(50, 1.1).popularities();
+        a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shift_actually_shuffles() {
+        let original = PopularityModel::zipf(200, 1.1);
+        let mut shifted = original.clone();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        shifted.shift(&mut rng);
+        // With 200 files, essentially all ranks should move.
+        assert!(original.rank_change_fraction(&shifted) > 0.9);
+    }
+
+    #[test]
+    fn shift_is_deterministic_per_seed() {
+        let mut a = PopularityModel::zipf(30, 1.1);
+        let mut b = PopularityModel::zipf(30, 1.1);
+        let mut ra = Xoshiro256StarStar::seed_from_u64(3);
+        let mut rb = Xoshiro256StarStar::seed_from_u64(3);
+        a.shift(&mut ra);
+        b.shift(&mut rb);
+        assert_eq!(a.rank_change_fraction(&b), 0.0);
+    }
+
+    #[test]
+    fn from_explicit_probabilities() {
+        let m = PopularityModel::from_rank_probabilities(vec![0.7, 0.2, 0.1]);
+        assert_eq!(m.popularity(0), 0.7);
+        assert_eq!(m.len(), 3);
+    }
+}

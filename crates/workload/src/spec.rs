@@ -1,0 +1,256 @@
+//! Plain-text workload specifications — bring your own trace.
+//!
+//! The experiments in this repository synthesize workloads, but a
+//! downstream user will want to replay a real trace. [`WorkloadSpec`] is
+//! a minimal, dependency-free text format for that:
+//!
+//! ```text
+//! # spcache workload v1
+//! file <size_bytes> <popularity>
+//! file <size_bytes> <popularity>
+//! ...
+//! req <time_secs> <file_index>
+//! req <time_secs> <file_index>
+//! ...
+//! ```
+//!
+//! Lines starting with `#` are comments; popularities are normalized on
+//! load; request times must be non-decreasing and file indices in range.
+
+use std::fmt::Write as _;
+
+/// One file's static description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FileSpec {
+    /// Size in bytes.
+    pub size_bytes: f64,
+    /// Relative popularity weight (normalized on load).
+    pub popularity: f64,
+}
+
+/// A parsed workload: files plus a time-ordered request trace.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WorkloadSpec {
+    /// File table.
+    pub files: Vec<FileSpec>,
+    /// `(arrival time, file index)` pairs, non-decreasing in time.
+    pub requests: Vec<(f64, usize)>,
+}
+
+/// Errors from parsing a workload spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A line had the wrong shape; carries the 1-based line number.
+    Malformed(usize),
+    /// A request referenced a file index out of range.
+    BadFileIndex(usize),
+    /// Request times went backwards.
+    OutOfOrder(usize),
+    /// No files were declared.
+    NoFiles,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Malformed(line) => write!(f, "malformed line {line}"),
+            SpecError::BadFileIndex(line) => write!(f, "bad file index at line {line}"),
+            SpecError::OutOfOrder(line) => write!(f, "requests out of order at line {line}"),
+            SpecError::NoFiles => write!(f, "spec declares no files"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl WorkloadSpec {
+    /// Parses the text format described in the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Reports the first malformed line, bad index, time inversion, or an
+    /// empty file table.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        let mut spec = WorkloadSpec::default();
+        let mut last_t = f64::NEG_INFINITY;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("file") => {
+                    let size: f64 = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or(SpecError::Malformed(lineno))?;
+                    let pop: f64 = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or(SpecError::Malformed(lineno))?;
+                    if size <= 0.0 || pop < 0.0 || parts.next().is_some() {
+                        return Err(SpecError::Malformed(lineno));
+                    }
+                    spec.files.push(FileSpec {
+                        size_bytes: size,
+                        popularity: pop,
+                    });
+                }
+                Some("req") => {
+                    let t: f64 = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or(SpecError::Malformed(lineno))?;
+                    let file: usize = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or(SpecError::Malformed(lineno))?;
+                    if parts.next().is_some() || !t.is_finite() {
+                        return Err(SpecError::Malformed(lineno));
+                    }
+                    if file >= spec.files.len() {
+                        return Err(SpecError::BadFileIndex(lineno));
+                    }
+                    if t < last_t {
+                        return Err(SpecError::OutOfOrder(lineno));
+                    }
+                    last_t = t;
+                    spec.requests.push((t, file));
+                }
+                _ => return Err(SpecError::Malformed(lineno)),
+            }
+        }
+        if spec.files.is_empty() {
+            return Err(SpecError::NoFiles);
+        }
+        Ok(spec)
+    }
+
+    /// Emits the text format (round-trips through [`WorkloadSpec::parse`]).
+    pub fn emit(&self) -> String {
+        let mut out = String::from("# spcache workload v1\n");
+        for f in &self.files {
+            writeln!(out, "file {} {}", f.size_bytes, f.popularity).expect("string write");
+        }
+        for &(t, file) in &self.requests {
+            writeln!(out, "req {t} {file}").expect("string write");
+        }
+        out
+    }
+
+    /// The popularity vector, normalized to sum to 1 (uniform if all
+    /// weights are zero).
+    pub fn normalized_popularities(&self) -> Vec<f64> {
+        let total: f64 = self.files.iter().map(|f| f.popularity).sum();
+        if total <= 0.0 {
+            return vec![1.0 / self.files.len() as f64; self.files.len()];
+        }
+        self.files.iter().map(|f| f.popularity / total).collect()
+    }
+
+    /// File sizes in declaration order.
+    pub fn sizes(&self) -> Vec<f64> {
+        self.files.iter().map(|f| f.size_bytes).collect()
+    }
+
+    /// Empirical aggregate request rate of the trace (0 when degenerate).
+    pub fn trace_rate(&self) -> f64 {
+        match (self.requests.first(), self.requests.last()) {
+            (Some(&(t0, _)), Some(&(t1, _))) if t1 > t0 => {
+                self.requests.len() as f64 / (t1 - t0)
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# spcache workload v1
+file 1000000 0.6
+file 2000000 0.4
+
+req 0.0 0
+req 0.5 1
+req 1.25 0
+";
+
+    #[test]
+    fn parses_the_sample() {
+        let spec = WorkloadSpec::parse(SAMPLE).unwrap();
+        assert_eq!(spec.files.len(), 2);
+        assert_eq!(spec.requests.len(), 3);
+        assert_eq!(spec.requests[1], (0.5, 1));
+        assert_eq!(spec.sizes(), vec![1e6, 2e6]);
+        let p = spec.normalized_popularities();
+        assert!((p[0] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let spec = WorkloadSpec::parse(SAMPLE).unwrap();
+        let again = WorkloadSpec::parse(&spec.emit()).unwrap();
+        assert_eq!(spec, again);
+    }
+
+    #[test]
+    fn trace_rate() {
+        let spec = WorkloadSpec::parse(SAMPLE).unwrap();
+        assert!((spec.trace_rate() - 3.0 / 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let spec = WorkloadSpec::parse("# x\n\nfile 10 1\n# y\nreq 0 0\n").unwrap();
+        assert_eq!(spec.files.len(), 1);
+        assert_eq!(spec.requests.len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        assert_eq!(
+            WorkloadSpec::parse("file 10\n"),
+            Err(SpecError::Malformed(1))
+        );
+        assert_eq!(
+            WorkloadSpec::parse("file 10 1\nbogus\n"),
+            Err(SpecError::Malformed(2))
+        );
+        assert_eq!(
+            WorkloadSpec::parse("file 10 1 extra\n"),
+            Err(SpecError::Malformed(1))
+        );
+    }
+
+    #[test]
+    fn bad_index_and_order_detected() {
+        assert_eq!(
+            WorkloadSpec::parse("file 10 1\nreq 0 5\n"),
+            Err(SpecError::BadFileIndex(2))
+        );
+        assert_eq!(
+            WorkloadSpec::parse("file 10 1\nreq 1 0\nreq 0.5 0\n"),
+            Err(SpecError::OutOfOrder(3))
+        );
+    }
+
+    #[test]
+    fn empty_spec_rejected() {
+        assert_eq!(WorkloadSpec::parse("# nothing\n"), Err(SpecError::NoFiles));
+        assert_eq!(
+            WorkloadSpec::parse("file 0 1\n"),
+            Err(SpecError::Malformed(1))
+        );
+    }
+
+    #[test]
+    fn zero_popularity_falls_back_to_uniform() {
+        let spec = WorkloadSpec::parse("file 10 0\nfile 20 0\n").unwrap();
+        assert_eq!(spec.normalized_popularities(), vec![0.5, 0.5]);
+    }
+}

@@ -1,0 +1,262 @@
+//! Straggler injection model.
+//!
+//! §4.2 / §7.5 of the paper inject stragglers by slowing each partition
+//! read with probability 0.05, with a delay factor "randomly drawn from
+//! the distribution profiled in the Microsoft Bing cluster trace"
+//! (Mantri, OSDI'10). Mantri reports a heavy-tailed slowdown: most
+//! stragglers are 1.2–2× slower, with a tail out to ~10×. We encode that
+//! profile as a small discrete distribution with decaying weights and a
+//! conditional mean of ≈ 2×.
+
+use rand::Rng;
+
+use crate::dist::{bernoulli, Discrete};
+
+/// The Bing/Mantri-like slowdown profile: `(factor, weight)` pairs.
+/// Mantri reports most stragglers at 1.2–2× with a tail to ~10×; the
+/// weights below give a conditional mean slowdown of ≈ 2×.
+const BING_PROFILE: &[(f64, f64)] = &[
+    (1.2, 0.35),
+    (1.5, 0.30),
+    (2.0, 0.17),
+    (3.0, 0.10),
+    (5.0, 0.05),
+    (8.0, 0.02),
+    (10.0, 0.01),
+];
+
+/// Injects stragglers: with probability `prob`, a service time is
+/// multiplied by a slowdown factor drawn from a heavy-tailed profile.
+///
+/// # Examples
+///
+/// ```
+/// use spcache_workload::StragglerModel;
+/// use rand::SeedableRng;
+/// use spcache_sim::Xoshiro256StarStar;
+///
+/// let model = StragglerModel::bing(0.05);
+/// let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+/// let t = model.apply(1.0, &mut rng);
+/// assert!(t >= 1.0); // never speeds anything up
+/// ```
+#[derive(Debug, Clone)]
+pub struct StragglerModel {
+    prob: f64,
+    slowdown: Discrete,
+}
+
+impl StragglerModel {
+    /// A model with straggler probability `prob` and the Bing-like
+    /// heavy-tailed slowdown profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= prob <= 1`.
+    pub fn bing(prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "probability out of range");
+        StragglerModel {
+            prob,
+            slowdown: Discrete::new(BING_PROFILE),
+        }
+    }
+
+    /// A model that never straggles (the "w/o stragglers" curves).
+    pub fn none() -> Self {
+        StragglerModel {
+            prob: 0.0,
+            slowdown: Discrete::new(&[(1.0, 1.0)]),
+        }
+    }
+
+    /// A model with a custom slowdown profile.
+    pub fn custom(prob: f64, profile: &[(f64, f64)]) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "probability out of range");
+        StragglerModel {
+            prob,
+            slowdown: Discrete::new(profile),
+        }
+    }
+
+    /// The straggler probability.
+    pub fn probability(&self) -> f64 {
+        self.prob
+    }
+
+    /// Expected multiplicative inflation of a service time under this
+    /// model: `1 + prob · (E[slowdown] − 1)`.
+    pub fn expected_inflation(&self) -> f64 {
+        1.0 + self.prob * (self.slowdown.mean() - 1.0)
+    }
+
+    /// Expected **maximum** slowdown factor over `k` independent partition
+    /// reads: `E[max(F_1 … F_k)]` where each `F_j` is 1 with probability
+    /// `1 − p` and drawn from the profile otherwise.
+    ///
+    /// This is the analytic straggler-exposure term a fork-join read of
+    /// `k` partitions faces — exactly the "too many partitions are
+    /// susceptible to stragglers" cost the paper's Algorithm 1 balances
+    /// against load spreading. Computed exactly from the discrete CDF:
+    /// `E[max] = Σ_v v · (F(v)^k − F(v⁻)^k)`.
+    pub fn expected_max_factor(&self, k: usize) -> f64 {
+        assert!(k >= 1);
+        if self.prob == 0.0 {
+            return 1.0;
+        }
+        // Combined distribution: 1.0 w.p. (1 − p), profile value v w.p.
+        // p·w(v). Support is sorted ascending with 1.0 first (all profile
+        // factors exceed 1).
+        let mut values = vec![1.0];
+        let mut probs = vec![1.0 - self.prob];
+        for (v, w) in self.slowdown.support() {
+            values.push(v);
+            probs.push(self.prob * w);
+        }
+        let mut expect = 0.0;
+        let mut cdf_prev: f64 = 0.0;
+        for (v, p) in values.iter().zip(&probs) {
+            let cdf = (cdf_prev + p).min(1.0);
+            expect += v * (cdf.powi(k as i32) - cdf_prev.powi(k as i32));
+            cdf_prev = cdf;
+        }
+        expect
+    }
+
+    /// Applies the model to one service time.
+    pub fn apply<R: Rng + ?Sized>(&self, service: f64, rng: &mut R) -> f64 {
+        if self.prob > 0.0 && bernoulli(rng, self.prob) {
+            service * self.slowdown.sample(rng)
+        } else {
+            service
+        }
+    }
+
+    /// Draws only the slowdown factor (1.0 when not straggling); useful
+    /// when the caller wants to log straggler occurrences.
+    pub fn draw_factor<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.prob > 0.0 && bernoulli(rng, self.prob) {
+            self.slowdown.sample(rng)
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use spcache_sim::Xoshiro256StarStar;
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn none_model_is_identity() {
+        let m = StragglerModel::none();
+        let mut r = rng(1);
+        for i in 1..100 {
+            let s = i as f64 * 0.1;
+            assert_eq!(m.apply(s, &mut r), s);
+        }
+        assert_eq!(m.expected_inflation(), 1.0);
+    }
+
+    #[test]
+    fn straggler_frequency_matches_probability() {
+        let m = StragglerModel::bing(0.05);
+        let mut r = rng(2);
+        let n = 100_000;
+        let stragglers = (0..n).filter(|_| m.draw_factor(&mut r) > 1.0).count();
+        let f = stragglers as f64 / n as f64;
+        assert!((f - 0.05).abs() < 0.005, "freq {f}");
+    }
+
+    #[test]
+    fn slowdowns_within_profile_range() {
+        let m = StragglerModel::bing(1.0); // always straggle
+        let mut r = rng(3);
+        for _ in 0..10_000 {
+            let f = m.draw_factor(&mut r);
+            assert!((1.2..=10.0).contains(&f), "factor {f}");
+        }
+    }
+
+    #[test]
+    fn expected_inflation_is_modest_at_5_percent() {
+        let m = StragglerModel::bing(0.05);
+        let infl = m.expected_inflation();
+        // Mean slowdown ~2.0 → inflation ~1.05.
+        assert!(infl > 1.02 && infl < 1.10, "inflation {infl}");
+    }
+
+    #[test]
+    fn empirical_inflation_matches_expected() {
+        let m = StragglerModel::bing(0.05);
+        let mut r = rng(4);
+        let n = 200_000;
+        let total: f64 = (0..n).map(|_| m.apply(1.0, &mut r)).sum();
+        let empirical = total / n as f64;
+        assert!(
+            (empirical - m.expected_inflation()).abs() < 0.02,
+            "empirical {empirical} vs {}",
+            m.expected_inflation()
+        );
+    }
+
+    #[test]
+    fn custom_profile() {
+        let m = StragglerModel::custom(1.0, &[(4.0, 1.0)]);
+        let mut r = rng(5);
+        assert_eq!(m.apply(2.0, &mut r), 8.0);
+    }
+
+    #[test]
+    fn expected_max_factor_monotone_in_k() {
+        let m = StragglerModel::bing(0.05);
+        let mut prev = 0.0;
+        for k in 1..=40 {
+            let e = m.expected_max_factor(k);
+            assert!(e >= prev, "E[max] must grow with k");
+            assert!((1.0..=10.0).contains(&e));
+            prev = e;
+        }
+        // k = 1 is just the single-draw expectation.
+        assert!((m.expected_max_factor(1) - m.expected_inflation()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_max_factor_matches_monte_carlo() {
+        let m = StragglerModel::bing(0.05);
+        let mut r = rng(11);
+        for k in [4usize, 15] {
+            let n = 40_000;
+            let mut total = 0.0;
+            for _ in 0..n {
+                let mut mx: f64 = 1.0;
+                for _ in 0..k {
+                    mx = mx.max(m.draw_factor(&mut r));
+                }
+                total += mx;
+            }
+            let mc = total / n as f64;
+            let analytic = m.expected_max_factor(k);
+            assert!(
+                (mc - analytic).abs() < 0.05,
+                "k={k}: MC {mc} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn none_model_max_factor_is_one() {
+        assert_eq!(StragglerModel::none().expected_max_factor(30), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_probability_rejected() {
+        let _ = StragglerModel::bing(1.5);
+    }
+}

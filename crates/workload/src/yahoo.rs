@@ -1,0 +1,213 @@
+//! Synthetic Yahoo!-trace file populations.
+//!
+//! The paper's Fig. 1 summarizes two months of accesses to 40 M files in a
+//! Yahoo! cluster:
+//!
+//! * ~78% of files are *cold* (fewer than 10 accesses),
+//! * only ~2% are *hot* (≥ 100 accesses),
+//! * hot files are 15–30× larger than cold ones (hundreds of MB vs ~10 MB).
+//!
+//! The real Webscope trace is not redistributable, so this module
+//! synthesizes populations matching those marginals: access counts follow
+//! a discrete Pareto-like tail calibrated to the cold/hot fractions, and
+//! sizes are log-normal with a popularity-dependent scale. The trace-driven
+//! simulation (§7.7) additionally assumes "a larger file is more popular",
+//! which [`generate_trace_files`] enforces by sorting.
+
+use rand::Rng;
+
+use crate::dist::{log_normal, pareto, unit_f64};
+
+/// One file in a synthetic Yahoo-like population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceFile {
+    /// Total access count over the trace window.
+    pub access_count: u64,
+    /// File size in bytes.
+    pub size_bytes: f64,
+}
+
+/// Access-count buckets used by Fig. 1's x-axis.
+pub const COUNT_BUCKETS: &[(u64, u64)] = &[
+    (0, 10),
+    (10, 100),
+    (100, 1_000),
+    (1_000, u64::MAX),
+];
+
+/// Generates `n` files with Yahoo-like access-count and size marginals.
+///
+/// Access counts: `floor(Pareto(x_min = 1, α = 1.18)) − 1`, which yields
+/// ≈ 78% of draws below 10 and ≈ 2% at or above 100 — matching Fig. 1.
+/// Sizes: log-normal around 10 MB for cold files, scaled up continuously
+/// with log₁₀(count) so hot files land 15–30× larger.
+pub fn generate_files<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<TraceFile> {
+    assert!(n > 0);
+    (0..n)
+        .map(|_| {
+            let access_count = sample_access_count(rng);
+            let size_bytes = sample_size(access_count, rng);
+            TraceFile {
+                access_count,
+                size_bytes,
+            }
+        })
+        .collect()
+}
+
+/// Draws one access count from the calibrated heavy-tailed distribution:
+///
+/// * with probability 0.78 — cold, uniform in `0..10`,
+/// * otherwise — `Pareto(x_min = 10, α = 1.04)`, giving
+///   `P(count ≥ 100) = 0.22 · 10^(−1.04) ≈ 0.02` as in Fig. 1.
+pub fn sample_access_count<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+    if unit_f64(rng) < 0.78 {
+        (unit_f64(rng) * 10.0) as u64
+    } else {
+        pareto(rng, 10.0, 1.04).min(1e7) as u64
+    }
+}
+
+/// Size model: cold ≈ 10 MB log-normal; the multiplier ramps from 1× below
+/// 10 accesses to 25× at ≥ 1000 accesses, reproducing the 15–30× hot/cold
+/// size ratio of Fig. 1.
+pub fn sample_size<R: Rng + ?Sized>(access_count: u64, rng: &mut R) -> f64 {
+    let base = log_normal(rng, (10.0f64 * 1e6).ln(), 0.6);
+    // log10(count) mapped so <10 → 0, 1000 → 1.
+    let heat = (((access_count as f64 + 1.0).log10() - 1.0) / 1.5).clamp(0.0, 1.0);
+    let multiplier = 1.0 + 24.0 * heat; // 1x (cold) .. 25x (hot)
+    base * multiplier
+}
+
+/// Summary of a population, matching Fig. 1's two series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Fraction of files in each [`COUNT_BUCKETS`] bucket.
+    pub count_fractions: Vec<f64>,
+    /// Mean file size (bytes) in each bucket.
+    pub mean_sizes: Vec<f64>,
+}
+
+/// Computes Fig. 1's statistics for a population.
+pub fn stats(files: &[TraceFile]) -> TraceStats {
+    let mut count_fractions = Vec::with_capacity(COUNT_BUCKETS.len());
+    let mut mean_sizes = Vec::with_capacity(COUNT_BUCKETS.len());
+    for &(lo, hi) in COUNT_BUCKETS {
+        let bucket: Vec<&TraceFile> = files
+            .iter()
+            .filter(|f| f.access_count >= lo && f.access_count < hi)
+            .collect();
+        count_fractions.push(bucket.len() as f64 / files.len() as f64);
+        mean_sizes.push(if bucket.is_empty() {
+            0.0
+        } else {
+            bucket.iter().map(|f| f.size_bytes).sum::<f64>() / bucket.len() as f64
+        });
+    }
+    TraceStats {
+        count_fractions,
+        mean_sizes,
+    }
+}
+
+/// Generates the §7.7 trace-simulation population: `n` files with Yahoo
+/// sizes where **popularity rank follows size** (largest file = rank 0,
+/// i.e. most popular), returning sizes ordered by popularity rank.
+pub fn generate_trace_files<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<f64> {
+    let mut sizes: Vec<f64> = generate_files(n, rng)
+        .into_iter()
+        .map(|f| f.size_bytes)
+        .collect();
+    // Most popular = largest (paper: "a larger file is more popular").
+    sizes.sort_unstable_by(|a, b| b.partial_cmp(a).expect("no NaN sizes"));
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use spcache_sim::Xoshiro256StarStar;
+
+    fn rng(seed: u64) -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn cold_and_hot_fractions_match_fig1() {
+        let mut r = rng(1);
+        let files = generate_files(100_000, &mut r);
+        let s = stats(&files);
+        let cold = s.count_fractions[0];
+        let hot: f64 = s.count_fractions[2] + s.count_fractions[3];
+        assert!(
+            (0.70..=0.85).contains(&cold),
+            "cold fraction {cold} out of Fig.1 band"
+        );
+        assert!(
+            (0.01..=0.05).contains(&hot),
+            "hot fraction {hot} out of Fig.1 band"
+        );
+    }
+
+    #[test]
+    fn hot_files_are_much_larger() {
+        let mut r = rng(2);
+        let files = generate_files(100_000, &mut r);
+        let s = stats(&files);
+        let cold_size = s.mean_sizes[0];
+        let hot_size = s.mean_sizes[2];
+        let ratio = hot_size / cold_size;
+        assert!(
+            (5.0..=40.0).contains(&ratio),
+            "hot/cold size ratio {ratio} outside the paper's 15-30x band (with slack)"
+        );
+    }
+
+    #[test]
+    fn sizes_are_positive_and_plausible() {
+        let mut r = rng(3);
+        for f in generate_files(10_000, &mut r) {
+            assert!(f.size_bytes > 0.0);
+            assert!(f.size_bytes < 1e12, "size {} implausible", f.size_bytes);
+        }
+    }
+
+    #[test]
+    fn stats_fractions_sum_to_one() {
+        let mut r = rng(4);
+        let files = generate_files(5_000, &mut r);
+        let s = stats(&files);
+        assert!((s.count_fractions.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_files_sorted_descending() {
+        let mut r = rng(5);
+        let sizes = generate_trace_files(3_000, &mut r);
+        assert_eq!(sizes.len(), 3_000);
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_files(100, &mut rng(6));
+        let b = generate_files(100, &mut rng(6));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_bucket_mean_size_is_zero() {
+        // A tiny all-cold population: hot buckets must report 0 mean size.
+        let files = vec![
+            TraceFile {
+                access_count: 1,
+                size_bytes: 1e6,
+            };
+            10
+        ];
+        let s = stats(&files);
+        assert_eq!(s.mean_sizes[2], 0.0);
+        assert_eq!(s.mean_sizes[3], 0.0);
+    }
+}

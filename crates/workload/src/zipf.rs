@@ -1,0 +1,189 @@
+//! Zipf popularity distributions.
+//!
+//! File popularity in production clusters is Zipf-like (paper §2.2): the
+//! probability of accessing the rank-`r` file is `r^{-s} / H_{N,s}` where
+//! `H_{N,s}` is the generalized harmonic number. The paper uses exponents
+//! 1.05 and 1.1 ("high skewness").
+
+use rand::Rng;
+
+use crate::dist::unit_f64;
+
+/// Normalized Zipf popularities for ranks `1..=n`: element `i` is the
+/// access probability of the `(i+1)`-th most popular file.
+///
+/// # Examples
+///
+/// ```
+/// use spcache_workload::zipf::zipf_popularities;
+///
+/// let p = zipf_popularities(100, 1.1);
+/// assert_eq!(p.len(), 100);
+/// assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// assert!(p[0] > p[50]); // monotone decreasing in rank
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `exponent` is negative/NaN.
+pub fn zipf_popularities(n: usize, exponent: f64) -> Vec<f64> {
+    assert!(n > 0, "need at least one file");
+    assert!(
+        exponent >= 0.0 && !exponent.is_nan(),
+        "exponent must be non-negative"
+    );
+    let mut p: Vec<f64> = (1..=n).map(|r| (r as f64).powf(-exponent)).collect();
+    let total: f64 = p.iter().sum();
+    for v in &mut p {
+        *v /= total;
+    }
+    p
+}
+
+/// Samples ranks from a Zipf distribution by inverse-CDF binary search over
+/// the precomputed cumulative popularity table. O(log n) per draw, exact.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with the given exponent.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        let p = zipf_popularities(n, exponent);
+        Self::from_popularities(&p)
+    }
+
+    /// Builds a sampler from an arbitrary (not necessarily Zipf) popularity
+    /// vector; popularities are normalized internally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pops` is empty or sums to zero.
+    pub fn from_popularities(pops: &[f64]) -> Self {
+        assert!(!pops.is_empty(), "empty popularity vector");
+        let total: f64 = pops.iter().sum();
+        assert!(total > 0.0, "popularities must sum to a positive value");
+        let mut cdf = Vec::with_capacity(pops.len());
+        let mut acc = 0.0;
+        for &p in pops {
+            assert!(p >= 0.0, "negative popularity");
+            acc += p / total;
+            cdf.push(acc);
+        }
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler has no ranks (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a 0-based rank (0 = most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u = unit_f64(rng);
+        // partition_point returns the count of elements <= u, i.e. the
+        // first index with cdf > u.
+        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use spcache_sim::Xoshiro256StarStar;
+
+    #[test]
+    fn popularities_normalized_and_sorted() {
+        let p = zipf_popularities(1000, 1.05);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let p = zipf_popularities(10, 0.0);
+        for &v in &p {
+            assert!((v - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn higher_exponent_is_more_skewed() {
+        let p1 = zipf_popularities(100, 0.8);
+        let p2 = zipf_popularities(100, 1.4);
+        assert!(p2[0] > p1[0]);
+        assert!(p2[99] < p1[99]);
+    }
+
+    #[test]
+    fn single_file_gets_everything() {
+        let p = zipf_popularities(1, 1.1);
+        assert_eq!(p, vec![1.0]);
+        let s = ZipfSampler::new(1, 1.1);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0);
+        assert_eq!(s.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn sampler_frequencies_match_popularities() {
+        let n = 50;
+        let exp = 1.1;
+        let pops = zipf_popularities(n, exp);
+        let s = ZipfSampler::new(n, exp);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+        let draws = 200_000;
+        let mut counts = vec![0usize; n];
+        for _ in 0..draws {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        for i in [0usize, 1, 5, 20] {
+            let f = counts[i] as f64 / draws as f64;
+            assert!(
+                (f - pops[i]).abs() < 0.01,
+                "rank {i}: freq {f} vs pop {}",
+                pops[i]
+            );
+        }
+    }
+
+    #[test]
+    fn sampler_from_custom_popularities() {
+        let s = ZipfSampler::from_popularities(&[0.0, 3.0, 1.0]);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[0], 0, "zero-popularity rank must never sample");
+        assert!(counts[1] > counts[2]);
+    }
+
+    #[test]
+    fn sample_never_out_of_bounds() {
+        let s = ZipfSampler::new(3, 2.0);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(9);
+        for _ in 0..10_000 {
+            assert!(s.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one file")]
+    fn zero_files_rejected() {
+        let _ = zipf_popularities(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive value")]
+    fn zero_mass_rejected() {
+        let _ = ZipfSampler::from_popularities(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests of the workload generators.
+
+use proptest::prelude::*;
+
+use rand::SeedableRng;
+use spcache_sim::Xoshiro256StarStar;
+use spcache_workload::arrivals::{merge_arrivals, MmppProcess, PoissonProcess};
+use spcache_workload::dist::{exponential, pareto, uniform_usize, Discrete};
+use spcache_workload::yahoo;
+use spcache_workload::zipf::{zipf_popularities, ZipfSampler};
+use spcache_workload::{PopularityModel, StragglerModel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Zipf popularities are a probability distribution, decreasing in
+    /// rank for any exponent.
+    #[test]
+    fn zipf_is_a_distribution(n in 1usize..5_000, exponent in 0.0f64..3.0) {
+        let p = zipf_popularities(n, exponent);
+        prop_assert_eq!(p.len(), n);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.windows(2).all(|w| w[0] >= w[1]));
+        prop_assert!(p.iter().all(|&x| x > 0.0));
+    }
+
+    /// Sampled ranks are always in range; rank 0 is sampled at least as
+    /// often as rank n-1 over a long run.
+    #[test]
+    fn zipf_sampler_in_range(n in 2usize..200, seed: u64) {
+        let s = ZipfSampler::new(n, 1.1);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let mut first = 0usize;
+        let mut last = 0usize;
+        for _ in 0..2_000 {
+            let r = s.sample(&mut rng);
+            prop_assert!(r < n);
+            if r == 0 { first += 1; }
+            if r == n - 1 { last += 1; }
+        }
+        prop_assert!(first >= last, "rank 0 ({first}) must dominate rank n-1 ({last})");
+    }
+
+    /// Poisson arrivals are strictly increasing and positive.
+    #[test]
+    fn poisson_strictly_increasing(rate in 0.1f64..100.0, seed: u64) {
+        let rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let times: Vec<f64> = PoissonProcess::new(rate, rng).take(200).collect();
+        prop_assert!(times[0] > 0.0);
+        prop_assert!(times.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    /// MMPP arrivals are increasing and roughly hit the configured
+    /// average rate.
+    #[test]
+    fn mmpp_rate_sane(avg in 1.0f64..20.0, burst in 1.5f64..20.0, seed: u64) {
+        let rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let m = MmppProcess::bursty(avg, burst, rng);
+        let expect = m.average_rate();
+        prop_assert!((expect - avg).abs() / avg < 1e-9, "constructor must hit the average");
+        // Long window: the n/T estimator needs many calm/burst cycles
+        // before it concentrates (bursts hold ~80% of events).
+        let times: Vec<f64> = m.take(30_000).collect();
+        prop_assert!(times.windows(2).all(|w| w[1] > w[0]));
+        let empirical = times.len() as f64 / times.last().unwrap();
+        prop_assert!((empirical - avg).abs() / avg < 0.5, "rate {empirical} vs {avg}");
+    }
+
+    /// merge_arrivals produces a time-ordered tagged stream containing
+    /// every input event exactly once.
+    #[test]
+    fn merge_is_order_preserving(
+        streams in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..100.0, 0..30),
+            0..5,
+        ),
+    ) {
+        let sorted: Vec<Vec<f64>> = streams
+            .into_iter()
+            .map(|mut s| {
+                s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                s
+            })
+            .collect();
+        let total: usize = sorted.iter().map(Vec::len).sum();
+        let merged = merge_arrivals(sorted.clone());
+        prop_assert_eq!(merged.len(), total);
+        prop_assert!(merged.windows(2).all(|w| w[0].0 <= w[1].0));
+        for (t, src) in &merged {
+            prop_assert!(sorted[*src].contains(t));
+        }
+    }
+
+    /// Samplers never leave their supports.
+    #[test]
+    fn dist_supports(seed: u64, rate in 0.01f64..100.0, xmin in 0.1f64..10.0) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(exponential(&mut rng, rate) > 0.0);
+            prop_assert!(pareto(&mut rng, xmin, 1.2) >= xmin);
+            prop_assert!(uniform_usize(&mut rng, 17) < 17);
+        }
+    }
+
+    /// Discrete distributions sample only their support values and mean()
+    /// lies within [min, max].
+    #[test]
+    fn discrete_support_and_mean(
+        pairs in proptest::collection::vec((0.0f64..100.0, 0.01f64..10.0), 1..10),
+        seed: u64,
+    ) {
+        let d = Discrete::new(&pairs);
+        let values: Vec<f64> = pairs.iter().map(|&(v, _)| v).collect();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        for _ in 0..200 {
+            let x = d.sample(&mut rng);
+            prop_assert!(values.contains(&x));
+        }
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(d.mean() >= lo - 1e-9 && d.mean() <= hi + 1e-9);
+    }
+
+    /// Straggler E[max-of-k] is monotone in both k and p, bounded by the
+    /// profile's extremes.
+    #[test]
+    fn straggler_max_factor_monotone(p1 in 0.0f64..0.5, dp in 0.0f64..0.5, k in 1usize..40) {
+        let a = StragglerModel::bing(p1);
+        let b = StragglerModel::bing((p1 + dp).min(1.0));
+        prop_assert!(b.expected_max_factor(k) >= a.expected_max_factor(k) - 1e-12);
+        prop_assert!(a.expected_max_factor(k + 1) >= a.expected_max_factor(k) - 1e-12);
+        prop_assert!(a.expected_max_factor(k) >= 1.0);
+        prop_assert!(a.expected_max_factor(k) <= 10.0);
+    }
+
+    /// Popularity shifts permute (never change) the rank multiset, and a
+    /// rank permutation is a bijection.
+    #[test]
+    fn shift_is_a_permutation(n in 2usize..300, seed: u64) {
+        let mut m = PopularityModel::zipf(n, 1.1);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        m.shift(&mut rng);
+        let mut ranks: Vec<usize> = (0..n).map(|i| m.rank(i)).collect();
+        ranks.sort_unstable();
+        let expect: Vec<usize> = (0..n).collect();
+        prop_assert_eq!(ranks, expect);
+        prop_assert!((m.popularities().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    /// Yahoo populations always have positive sizes and non-negative
+    /// counts; trace files are sorted descending.
+    #[test]
+    fn yahoo_population_sane(n in 1usize..2_000, seed: u64) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let files = yahoo::generate_files(n, &mut rng);
+        prop_assert_eq!(files.len(), n);
+        prop_assert!(files.iter().all(|f| f.size_bytes > 0.0));
+        let sizes = yahoo::generate_trace_files(n, &mut rng);
+        prop_assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+    }
+}

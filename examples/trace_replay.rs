@@ -1,0 +1,81 @@
+//! Trace replay: drive the cluster simulator with a synthetic Yahoo!-like
+//! population and a bursty (Google-trace-like) arrival process, the §7.7
+//! trace-driven methodology.
+//!
+//! ```bash
+//! cargo run --release --example trace_replay
+//! ```
+
+use rand::SeedableRng;
+use spcache::baselines::EcCache;
+use spcache::cluster::engine::simulate_reads;
+use spcache::cluster::{ClusterConfig, ReadWorkload};
+use spcache::core::tuner::TunerConfig;
+use spcache::core::{FileSet, SpCache};
+use spcache::sim::Xoshiro256StarStar;
+use spcache::workload::yahoo;
+use spcache::workload::zipf::zipf_popularities;
+use spcache::workload::StragglerModel;
+
+fn main() {
+    // 1. Synthesize a Yahoo-like population: heavy-tailed access counts,
+    //    hot files much larger than cold ones (Fig. 1).
+    let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+    let n_files = 2_000;
+    let sizes: Vec<f64> = yahoo::generate_trace_files(n_files, &mut rng)
+        .into_iter()
+        .map(|s| s.clamp(1e6, 500e6))
+        .collect();
+    let population = yahoo::generate_files(n_files, &mut rng);
+    let stats = yahoo::stats(&population);
+    println!(
+        "population: {n_files} files; {:.0}% cold (<10 accesses), {:.1}% hot (>=100)",
+        stats.count_fractions[0] * 100.0,
+        (stats.count_fractions[2] + stats.count_fractions[3]) * 100.0
+    );
+
+    // Larger file = more popular (§7.7).
+    let files = FileSet::from_parts(&sizes, &zipf_popularities(n_files, 1.1));
+    println!(
+        "total bytes {:.1} GB, largest file {:.0} MB",
+        files.total_bytes() / 1e9,
+        sizes[0] / 1e6
+    );
+
+    // 2. Cluster with stragglers and a finite cache budget.
+    let cfg = ClusterConfig::ec2_default()
+        .with_cache_capacity(files.total_bytes() / 25.0)
+        .with_stragglers(StragglerModel::bing(0.05));
+
+    // 3. Bursty arrivals standing in for the Google submission sequence.
+    let mean_req_bytes: f64 = files
+        .iter()
+        .map(|(_, f)| f.popularity * f.size_bytes)
+        .sum();
+    let rate = 0.5 * cfg.n_servers as f64 * cfg.bandwidth / mean_req_bytes;
+    println!("replaying bursty arrivals at {rate:.1} req/s average ...\n");
+    let workload = ReadWorkload::bursty(&files, rate, 8.0, 10_000, 99);
+
+    // 4. SP-Cache (tuned, straggler-aware) vs EC-Cache on the same trace.
+    let tuner = TunerConfig {
+        stragglers: StragglerModel::bing(0.05),
+        ..TunerConfig::default()
+    };
+    let (sp, _) = SpCache::tuned(&files, cfg.n_servers, cfg.bandwidth, rate, &tuner);
+    let ec = EcCache::paper_config();
+
+    for (name, res) in [
+        ("SP-Cache", simulate_reads(&sp, &files, &workload, &cfg)),
+        ("EC-Cache", simulate_reads(&ec, &files, &workload, &cfg)),
+    ] {
+        let mut r = res;
+        println!(
+            "{name:<10} mean {:>6.2}s  p50 {:>6.2}s  p95 {:>7.2}s  hit ratio {:>5.1}%  η {:.2}",
+            r.mean_latency(),
+            r.latencies.percentile(50.0),
+            r.p95_latency(),
+            r.hit_ratio * 100.0,
+            r.imbalance_factor(),
+        );
+    }
+}

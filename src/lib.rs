@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # SP-Cache
+//!
+//! A from-scratch Rust reproduction of **"SP-Cache: Load-Balanced,
+//! Redundancy-Free Cluster Caching with Selective Partition"**
+//! (Yu, Wang, Huang, Zhang, Letaief — SC 2018 / IEEE TPDS 2019).
+//!
+//! This façade crate re-exports the whole workspace:
+//!
+//! * [`core`] — the paper's contribution: selective partition, the fork-join
+//!   latency upper bound, Algorithm 1 (scale-factor search) and Algorithm 2
+//!   (parallel repartition planning).
+//! * [`baselines`] — EC-Cache, selective replication, simple partition and
+//!   fixed-size chunking, all behind one [`core::scheme::CachingScheme`]
+//!   abstraction.
+//! * [`cluster`] — an event-driven cluster-cache simulator (the "EC2
+//!   deployment" substitute) with M/G/1 server queues, a goodput/incast
+//!   network model, straggler injection and LRU cache management.
+//! * [`store`] — a real concurrent in-memory distributed cache (the
+//!   "Alluxio" substitute): master, worker threads holding byte partitions,
+//!   parallel fork-join client reads and parallel repartitioners.
+//! * [`ec`] — GF(2⁸) + systematic Reed–Solomon coding (EC-Cache substrate).
+//! * [`workload`] — Zipf popularity, Yahoo-like trace synthesis, Poisson and
+//!   bursty (MMPP) arrivals, straggler models.
+//! * [`metrics`] — streaming statistics, percentiles, CV, imbalance factor.
+//! * [`sim`] — the deterministic discrete-event kernel.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use spcache::core::{FileMeta, FileSet, tuner};
+//! use spcache::workload::zipf::zipf_popularities;
+//!
+//! // 100 files of 100 MB with Zipf(1.05) popularity on 30 servers.
+//! let pops = zipf_popularities(100, 1.05);
+//! let files = FileSet::new(
+//!     pops.iter().map(|&p| FileMeta::new(100.0 * 1e6, p)).collect(),
+//! );
+//! let tuned = tuner::tune_scale_factor(&files, 30, 1e9, &tuner::TunerConfig::default());
+//! // Selective partition: the hotter the file, the finer it is split.
+//! let ks = files.partition_counts(tuned.alpha);
+//! assert!(ks[0] > *ks.last().unwrap());
+//! assert!(ks[0] > 1);
+//! ```
+
+pub use spcache_baselines as baselines;
+pub use spcache_cluster as cluster;
+pub use spcache_core as core;
+pub use spcache_ec as ec;
+pub use spcache_metrics as metrics;
+pub use spcache_sim as sim;
+pub use spcache_store as store;
+pub use spcache_workload as workload;

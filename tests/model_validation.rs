@@ -1,0 +1,103 @@
+//! Numerical validation: the cluster simulator must agree with the M/G/1
+//! (Pollaczek–Khinchin) analytic model in the regimes where the model is
+//! exact — the foundation everything else is built on.
+
+use spcache::cluster::engine::simulate_reads;
+use spcache::cluster::{ClusterConfig, GoodputModel, ReadWorkload};
+use spcache::core::mg1::ClusterModel;
+use spcache::core::partition::PartitionMap;
+use spcache::core::{FileSet, SpCache};
+use spcache::workload::StragglerModel;
+
+/// Single file, single server, exponential service: the simulated mean
+/// sojourn must match M/M/1's `1/(μ − λ)` closely.
+#[test]
+fn simulator_matches_mm1_closed_form() {
+    // 100 MB at 125 MB/s → 0.8 s service; λ = 0.75/s → ρ = 0.6.
+    let files = FileSet::uniform_size(100e6, &[1.0]);
+    let lambda = 0.75;
+    let mut cfg = ClusterConfig::ec2_default();
+    cfg.n_servers = 1;
+    cfg.goodput = GoodputModel::ideal();
+    cfg.stragglers = StragglerModel::none();
+    let scheme = SpCache::with_alpha(0.0);
+
+    // Average over several long runs to tame M/M/1's heavy autocorrelation
+    // at ρ = 0.6.
+    let mut mean = 0.0;
+    let runs = 4;
+    for seed in 0..runs {
+        let workload = ReadWorkload::poisson(&files, lambda, 60_000, seed);
+        let res = simulate_reads(&scheme, &files, &workload, &cfg.clone().with_seed(seed));
+        mean += res.summary.mean();
+    }
+    mean /= runs as f64;
+
+    let mu = 125e6 / 100e6; // 1.25 services/s
+    let theory = 1.0 / (mu - lambda); // 2.0 s
+    assert!(
+        (mean - theory).abs() / theory < 0.08,
+        "simulated M/M/1 mean {mean} vs theory {theory}"
+    );
+}
+
+/// Multi-class single server: the simulated mean waiting time must match
+/// the P-K formula `λ Γ² / (2 (1 − ρ))` plus the class's service time.
+#[test]
+fn simulator_matches_pollaczek_khinchin_two_classes() {
+    // Two files of different sizes on one server.
+    let files = FileSet::from_parts(&[100e6, 25e6], &[0.4, 0.6]);
+    let lambda = 1.6; // ρ = 1.6 × (0.4·0.8 + 0.6·0.2) = 0.704
+    let mut cfg = ClusterConfig::ec2_default();
+    cfg.n_servers = 1;
+    cfg.goodput = GoodputModel::ideal();
+    let scheme = SpCache::with_alpha(0.0);
+
+    let mut sim_mean = 0.0;
+    let runs = 4;
+    for seed in 10..10 + runs {
+        let workload = ReadWorkload::poisson(&files, lambda, 60_000, seed);
+        let res = simulate_reads(&scheme, &files, &workload, &cfg.clone().with_seed(seed));
+        sim_mean += res.summary.mean();
+    }
+    sim_mean /= runs as f64;
+
+    // Analytic: popularity-weighted mean sojourn from the mg1 module.
+    let map = PartitionMap::new(vec![vec![0], vec![0]], 1);
+    let rates = files.request_rates(lambda);
+    let model = ClusterModel::build(&files, &rates, &map, &[125e6]);
+    assert!(model.all_stable());
+    let mut analytic = 0.0;
+    for (i, meta) in files.iter() {
+        let (mean_q, _) = model.sojourn_moments(&files, &map, i)[0];
+        analytic += meta.popularity * mean_q;
+    }
+    assert!(
+        (sim_mean - analytic).abs() / analytic < 0.08,
+        "simulated two-class mean {sim_mean} vs P-K {analytic}"
+    );
+}
+
+/// Fork-join over idle servers: with deterministic service the read
+/// latency equals exactly the client floor (no queueing, no jitter).
+#[test]
+fn fork_join_floor_is_exact_when_idle() {
+    use spcache::cluster::config::ServiceModel;
+    let files = FileSet::uniform_size(80e6, &[1.0]);
+    let cfg = ClusterConfig::ec2_default()
+        .with_service(ServiceModel::Deterministic)
+        .with_seed(3);
+    let k = 8;
+    let scheme = SpCache::with_alpha(k as f64 / files.max_load());
+    // One slow read at a time: arrivals 100 s apart.
+    let trace: Vec<(f64, usize)> = (0..50).map(|i| (i as f64 * 100.0, 0)).collect();
+    let workload = ReadWorkload::from_trace(trace);
+    let res = simulate_reads(&scheme, &files, &workload, &cfg);
+    let expect = 80e6 / (cfg.bandwidth * cfg.goodput.factor(k));
+    for &l in res.latencies.as_slice() {
+        assert!(
+            (l - expect).abs() < 1e-9,
+            "idle fork-join read {l} should equal the floor {expect}"
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Cross-crate property-based tests (proptest): the invariants DESIGN.md
+//! §6 promises.
+
+use proptest::prelude::*;
+
+use rand::SeedableRng;
+use spcache::core::placement::{least_loaded, random_distinct};
+use spcache::core::repartition::plan_repartition;
+use spcache::core::{partition_count, FileSet};
+use spcache::ec::{join_shards, split_into_shards, ReedSolomon};
+use spcache::metrics::{LoadTracker, Samples, Summary};
+use spcache::sim::Xoshiro256StarStar;
+use spcache::workload::zipf::zipf_popularities;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Reed–Solomon reconstructs the original bytes from *any* k-subset.
+    #[test]
+    fn rs_roundtrip_any_erasure_pattern(
+        data in proptest::collection::vec(any::<u8>(), 1..4096),
+        k in 1usize..8,
+        extra in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let n = k + extra;
+        let rs = ReedSolomon::new(k, n);
+        let shards = rs.encode_bytes(&data);
+        prop_assert_eq!(shards.len(), n);
+
+        // Drop a random max-size erasure set.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let mut partial: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        let drop = spcache::core::placement::random_distinct(extra.max(1).min(n), n, &mut rng);
+        for &d in drop.iter().take(extra) {
+            partial[d] = None;
+        }
+        let rec = rs.reconstruct_data(&mut partial).unwrap();
+        prop_assert_eq!(&rec[..data.len()], &data[..]);
+    }
+
+    /// Splitting and joining is the identity for every (len, k).
+    #[test]
+    fn split_join_identity(
+        data in proptest::collection::vec(any::<u8>(), 0..10_000),
+        k in 1usize..40,
+    ) {
+        let shards = split_into_shards(&data, k);
+        prop_assert_eq!(shards.len(), k);
+        // Equal-size shards.
+        let len0 = shards[0].len();
+        prop_assert!(shards.iter().all(|s| s.len() == len0));
+        prop_assert_eq!(join_shards(&shards, data.len()), data);
+    }
+
+    /// Eq. 1 is monotone in both α and load, and never returns 0.
+    #[test]
+    fn partition_count_monotone(
+        alpha in 0.0f64..10.0,
+        load in 0.0f64..1e9,
+        bump in 0.0f64..1.0,
+    ) {
+        let k = partition_count(alpha, load);
+        prop_assert!(k >= 1);
+        prop_assert!(partition_count(alpha + bump, load) >= k);
+        prop_assert!(partition_count(alpha, load * (1.0 + bump)) >= k);
+    }
+
+    /// Random placement always yields distinct in-range servers.
+    #[test]
+    fn placement_distinct_and_in_range(
+        k in 1usize..32,
+        extra in 0usize..100,
+        seed in any::<u64>(),
+    ) {
+        let n = k + extra;
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let servers = random_distinct(k, n, &mut rng);
+        prop_assert_eq!(servers.len(), k);
+        let mut sorted = servers.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), k, "duplicates in {:?}", servers);
+        prop_assert!(servers.iter().all(|&s| s < n));
+    }
+
+    /// The greedy picks exactly the k smallest loads.
+    #[test]
+    fn least_loaded_is_minimal(
+        loads in proptest::collection::vec(0.0f64..100.0, 1..50),
+        k_frac in 0.0f64..1.0,
+    ) {
+        let k = ((loads.len() as f64 * k_frac) as usize).clamp(1, loads.len());
+        let picked = least_loaded(k, &loads);
+        let max_picked = picked.iter().map(|&i| loads[i]).fold(f64::MIN, f64::max);
+        let mut rest: Vec<f64> = (0..loads.len())
+            .filter(|i| !picked.contains(i))
+            .map(|i| loads[i])
+            .collect();
+        rest.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if let Some(&min_rest) = rest.first() {
+            prop_assert!(max_picked <= min_rest);
+        }
+    }
+
+    /// Algorithm 2 conserves files: unchanged + moved = all, the new map
+    /// honors the requested counts, and executors hold an old partition.
+    #[test]
+    fn repartition_plan_conserves(
+        n_files in 2usize..60,
+        exponent in 0.5f64..1.5,
+        seed in any::<u64>(),
+    ) {
+        let n_servers = 12;
+        let pops = zipf_popularities(n_files, exponent);
+        let files = FileSet::uniform_size(10e6, &pops);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let old = spcache::core::placement::random_partition_map(
+            &files, 2e-7, n_servers, &mut rng,
+        );
+        // Arbitrary new counts in range.
+        let new_counts: Vec<usize> = (0..n_files)
+            .map(|i| 1 + (seed as usize + i * 7) % n_servers)
+            .collect();
+        let plan = plan_repartition(&files, &old, &new_counts, &mut rng);
+        prop_assert_eq!(plan.jobs.len() + plan.unchanged.len(), n_files);
+        for (i, &k) in new_counts.iter().enumerate() {
+            prop_assert_eq!(plan.new_map.k_of(i), k, "file {}", i);
+        }
+        for job in &plan.jobs {
+            prop_assert!(job.old_servers.contains(&job.executor));
+            prop_assert!(job.network_bytes(10e6) >= 0.0);
+        }
+        for &i in &plan.unchanged {
+            prop_assert_eq!(plan.new_map.servers_of(i), old.servers_of(i));
+        }
+    }
+
+    /// Welford summary matches the two-pass reference on arbitrary data.
+    #[test]
+    fn summary_matches_two_pass(xs in proptest::collection::vec(-1e6f64..1e6, 2..300)) {
+        let s = Summary::from_slice(&xs);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.variance() - var).abs() <= 1e-6 * (1.0 + var.abs()));
+    }
+
+    /// Percentiles are monotone in p and bracketed by min/max.
+    #[test]
+    fn percentiles_monotone(xs in proptest::collection::vec(-1e3f64..1e3, 1..200)) {
+        let mut s = Samples::from_vec(xs.clone());
+        let p25 = s.percentile(25.0);
+        let p50 = s.percentile(50.0);
+        let p95 = s.percentile(95.0);
+        prop_assert!(p25 <= p50 && p50 <= p95);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p25 >= min && p95 <= max);
+    }
+
+    /// η is zero iff all loads are equal, and scale-invariant.
+    #[test]
+    fn imbalance_factor_properties(
+        loads in proptest::collection::vec(0.1f64..1e3, 2..40),
+        scale in 0.1f64..100.0,
+    ) {
+        let mut a = LoadTracker::new(loads.len());
+        let mut b = LoadTracker::new(loads.len());
+        for (i, &l) in loads.iter().enumerate() {
+            a.add(i, l);
+            b.add(i, l * scale);
+        }
+        prop_assert!((a.imbalance_factor() - b.imbalance_factor()).abs() < 1e-9);
+        prop_assert!(a.imbalance_factor() >= 0.0);
+    }
+}

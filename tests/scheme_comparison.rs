@@ -1,0 +1,172 @@
+//! Integration tests for the paper's headline claims, run through the
+//! façade crate on the event-driven simulator.
+
+use spcache::baselines::{EcCache, FixedChunking, SelectiveReplication, SimplePartition};
+use spcache::cluster::runner::compare_schemes;
+use spcache::cluster::ClusterConfig;
+use spcache::core::tuner::TunerConfig;
+use spcache::core::{FileSet, SpCache};
+use spcache::workload::zipf::zipf_popularities;
+use spcache::workload::StragglerModel;
+
+fn paper_files() -> FileSet {
+    FileSet::uniform_size(100e6, &zipf_popularities(500, 1.05))
+}
+
+fn congested_cfg() -> ClusterConfig {
+    ClusterConfig::ec2_default().with_bandwidth(100e6)
+}
+
+fn tuned(files: &FileSet, cfg: &ClusterConfig, rate: f64) -> SpCache {
+    SpCache::tuned(files, cfg.n_servers, cfg.bandwidth, rate, &TunerConfig::default()).0
+}
+
+#[test]
+fn headline_sp_beats_ec_and_sr_with_less_memory() {
+    let files = paper_files();
+    let cfg = congested_cfg();
+    let sp = tuned(&files, &cfg, 18.0);
+    let ec = EcCache::paper_config();
+    let sr = SelectiveReplication::paper_config();
+    let stats = compare_schemes(&[&sp, &ec, &sr], &files, 18.0, 10_000, &cfg);
+
+    // Mean & tail ordering (Fig. 13).
+    assert!(stats[0].mean < stats[1].mean, "SP must beat EC in mean");
+    assert!(stats[1].mean < stats[2].mean, "EC must beat SR in mean");
+    assert!(stats[0].p95 <= stats[1].p95 * 1.05, "SP tail must not lose to EC");
+    // Memory (the "40% less" headline).
+    assert!(
+        stats[0].layout_bytes < 0.75 * stats[1].layout_bytes,
+        "SP must use much less memory than EC"
+    );
+    // Load balance ordering (Fig. 12).
+    assert!(stats[0].eta < stats[1].eta && stats[1].eta < stats[2].eta);
+}
+
+#[test]
+fn congestion_separates_schemes_as_rate_grows() {
+    let files = paper_files();
+    let cfg = congested_cfg();
+    let sp = tuned(&files, &cfg, 18.0);
+    let ec = EcCache::paper_config();
+    let lo = compare_schemes(&[&sp, &ec], &files, 6.0, 8_000, &cfg);
+    let hi = compare_schemes(&[&sp, &ec], &files, 22.0, 8_000, &cfg);
+    let gain_lo = (lo[1].mean - lo[0].mean) / lo[1].mean;
+    let gain_hi = (hi[1].mean - hi[0].mean) / hi[1].mean;
+    assert!(
+        gain_hi > gain_lo,
+        "SP's advantage must grow with load: {gain_lo:.2} → {gain_hi:.2}"
+    );
+    // SP stays nearly flat across the sweep (its selling point).
+    assert!(
+        hi[0].mean < lo[0].mean * 1.5,
+        "SP latency should stay almost flat: {} → {}",
+        lo[0].mean,
+        hi[0].mean
+    );
+}
+
+#[test]
+fn selective_beats_uniform_partition() {
+    // SP-Cache vs simple partition with the same *average* parallelism:
+    // selectivity must not lose, and wins on tail under load.
+    let files = paper_files();
+    let cfg = congested_cfg();
+    let sp = tuned(&files, &cfg, 18.0);
+    let ks = sp.partition_counts(&files, cfg.n_servers);
+    let avg_k = (ks.iter().sum::<usize>() as f64 / ks.len() as f64).round() as usize;
+    let uniform = SimplePartition::new(avg_k.max(1));
+    let stats = compare_schemes(&[&sp, &uniform], &files, 20.0, 10_000, &cfg);
+    assert!(
+        stats[0].mean <= stats[1].mean * 1.05,
+        "selective {} vs uniform {}",
+        stats[0].mean,
+        stats[1].mean
+    );
+}
+
+#[test]
+fn big_chunks_cannot_dissolve_hot_spots() {
+    let files = paper_files();
+    let cfg = congested_cfg();
+    let sp = tuned(&files, &cfg, 18.0);
+    let big = FixedChunking::megabytes(64.0); // 2 chunks per 100 MB file
+    let stats = compare_schemes(&[&sp, &big], &files, 20.0, 10_000, &cfg);
+    assert!(
+        stats[1].mean > 1.5 * stats[0].mean,
+        "big chunks should hot-spot: SP {} vs 64MB {}",
+        stats[0].mean,
+        stats[1].mean
+    );
+}
+
+#[test]
+fn sp_wins_under_stragglers_at_high_load() {
+    let files = paper_files();
+    let cfg = congested_cfg().with_stragglers(StragglerModel::bing(0.05));
+    let tuner = TunerConfig {
+        stragglers: StragglerModel::bing(0.05),
+        ..TunerConfig::default()
+    };
+    let (sp, _) = SpCache::tuned(&files, cfg.n_servers, cfg.bandwidth, 22.0, &tuner);
+    let ec = EcCache::paper_config();
+    let sr = SelectiveReplication::paper_config();
+    let stats = compare_schemes(&[&sp, &ec, &sr], &files, 22.0, 10_000, &cfg);
+    assert!(
+        stats[0].mean < stats[1].mean && stats[0].mean < stats[2].mean,
+        "SP must win under stragglers at high load: {} vs EC {} vs SR {}",
+        stats[0].mean,
+        stats[1].mean,
+        stats[2].mean
+    );
+}
+
+#[test]
+fn hit_ratio_ordering_under_throttled_budget() {
+    let files = paper_files();
+    let raw = files.total_bytes();
+    let cfg = congested_cfg().with_cache_capacity(raw * 0.5 / 30.0);
+    let sp = tuned(&files, &cfg, 10.0);
+    let ec = EcCache::paper_config();
+    let sr = SelectiveReplication::paper_config();
+    let stats = compare_schemes(&[&sp, &ec, &sr], &files, 10.0, 10_000, &cfg);
+    assert!(
+        stats[0].hit_ratio > stats[1].hit_ratio,
+        "SP hit {} must beat EC {}",
+        stats[0].hit_ratio,
+        stats[1].hit_ratio
+    );
+    assert!(
+        stats[1].hit_ratio > stats[2].hit_ratio,
+        "EC hit {} must beat SR {}",
+        stats[1].hit_ratio,
+        stats[2].hit_ratio
+    );
+}
+
+#[test]
+fn write_latency_ordering_matches_fig22() {
+    use spcache::cluster::engine::simulate_writes;
+    use spcache::core::scheme::CachingScheme;
+    use spcache::core::spcache::SpCacheSplitWrite;
+
+    let files = FileSet::from_parts(&[200e6], &[1.0]);
+    let cfg = ClusterConfig::ec2_default();
+    let sp = SpCacheSplitWrite::new(20.0 / files.max_load());
+    let ec = EcCache::paper_config();
+    let sr = SelectiveReplication::new(1.0, 4);
+    let schemes: [&dyn CachingScheme; 3] = [&sp, &ec, &sr];
+    let writes = vec![0usize; 50];
+    let means: Vec<f64> = schemes
+        .iter()
+        .map(|s| simulate_writes(*s, &files, &writes, &cfg).mean())
+        .collect();
+    assert!(means[0] < means[1], "SP writes {} vs EC {}", means[0], means[1]);
+    assert!(means[1] < means[2], "EC writes {} vs SR {}", means[1], means[2]);
+    // SR pushes 4 full copies: ~4x SP's bytes (paper: 3.71x slower).
+    assert!(
+        means[2] / means[0] > 2.5,
+        "SR/SP write ratio {:.2} too small",
+        means[2] / means[0]
+    );
+}
