@@ -100,9 +100,26 @@ pub fn checkpoint(client: &Client, under: &UnderStore, id: u64) -> Result<(), St
     Ok(())
 }
 
+/// Picks `k` distinct recovery targets from the (sorted, ascending)
+/// `live` worker list, rotated by the file id so concurrent recoveries
+/// spread across the fleet instead of piling onto the lowest-indexed
+/// live servers. `k` is clamped to `live.len()`, so two partitions of
+/// one file never land on the same server.
+pub fn recovery_targets(live: &[usize], k: usize, id: u64) -> Vec<usize> {
+    assert!(!live.is_empty(), "no live workers to recover onto");
+    let k = k.clamp(1, live.len());
+    let offset = (id % live.len() as u64) as usize;
+    (0..k).map(|i| live[(offset + i) % live.len()]).collect()
+}
+
 /// Recovers a lost file from the under-store: re-splits it into
-/// `new_servers.len()` partitions on the given (live) servers and swaps
-/// the metadata.
+/// `new_servers.len()` partitions on the given (live) servers, swaps the
+/// metadata, then garbage-collects partitions of the old layout.
+///
+/// The swap is failure-safe: new partitions are fully pushed **before**
+/// the metadata changes, so an error part-way (e.g. a recovery target
+/// dying too) leaves the old placement — degraded but registered —
+/// intact for another attempt.
 ///
 /// # Errors
 ///
@@ -117,12 +134,48 @@ pub fn recover_file(
 ) -> Result<(), StoreError> {
     assert!(!new_servers.is_empty(), "need at least one target server");
     let data = under.load(id).ok_or(StoreError::UnknownFile(id))?;
-    // Drop stale metadata/partitions, then write fresh.
-    let _ = client.delete(id);
-    client.write(id, &data, new_servers)?;
-    // write() registers with the same id; make sure the master agrees.
-    debug_assert_eq!(master.peek(id)?.1, new_servers);
+    let (_, old_servers) = master.peek(id)?;
+    client.push_partitions(id, &data, new_servers)?;
+    master.apply_placement(id, new_servers.to_vec())?;
+    // GC partitions of the old layout that the new one did not
+    // overwrite (same index on the same server). Dead holders are
+    // skipped silently — their copies died with them.
+    for (j, &server) in old_servers.iter().enumerate() {
+        let kept = new_servers.get(j).is_some_and(|&s| s == server);
+        if !kept {
+            client.discard_partition(server, crate::rpc::PartKey::new(id, j as u32));
+        }
+    }
     Ok(())
+}
+
+/// Scans the master for degraded files (a partition on a dead worker)
+/// and recovers each from the under-store onto live servers. Files
+/// without a checkpoint are left degraded and reported back.
+///
+/// Returns `(healed, unrecoverable)` file id lists.
+pub fn heal_degraded(
+    client: &Client,
+    master: &Arc<Master>,
+    under: &UnderStore,
+    n_workers: usize,
+) -> (Vec<u64>, Vec<u64>) {
+    let live = master.live_workers(n_workers);
+    let mut healed = Vec::new();
+    let mut unrecoverable = Vec::new();
+    for id in master.degraded_files() {
+        if live.is_empty() || !under.contains(id) {
+            unrecoverable.push(id);
+            continue;
+        }
+        let k = master.peek(id).map(|(_, s)| s.len()).unwrap_or(1);
+        let targets = recovery_targets(&live, k, id);
+        match recover_file(client, master, under, id, &targets) {
+            Ok(()) => healed.push(id),
+            Err(_) => unrecoverable.push(id),
+        }
+    }
+    (healed, unrecoverable)
 }
 
 /// The fault-tolerant read path: try the cache; if a partition or worker
@@ -255,6 +308,67 @@ mod tests {
             t0.elapsed().as_secs_f64() >= 0.08,
             "under-store read should be slow"
         );
+    }
+
+    #[test]
+    fn recovery_targets_are_distinct_and_rotated() {
+        let live = vec![0, 2, 3, 5];
+        for id in 0..20u64 {
+            for k in 1..=6 {
+                let t = recovery_targets(&live, k, id);
+                assert_eq!(t.len(), k.min(live.len()));
+                let mut uniq = t.clone();
+                uniq.sort_unstable();
+                uniq.dedup();
+                assert_eq!(uniq.len(), t.len(), "duplicate target for id {id} k {k}");
+                assert!(t.iter().all(|s| live.contains(s)));
+            }
+        }
+        // Rotation spreads the first target across the fleet.
+        assert_ne!(recovery_targets(&live, 1, 0), recovery_targets(&live, 1, 1));
+    }
+
+    #[test]
+    fn failed_recovery_leaves_metadata_intact() {
+        let mut cluster = StoreCluster::spawn(StoreConfig::unthrottled(3));
+        let client = cluster.client();
+        let data = payload(2_000);
+        client.write(1, &data, &[0, 1]).unwrap();
+        let under = UnderStore::new();
+        checkpoint(&client, &under, 1).unwrap();
+        cluster.kill_worker(2);
+        // Recovery targeting the dead worker fails...
+        assert!(recover_file(&client, cluster.master(), &under, 1, &[2]).is_err());
+        // ...but the file stays registered with its old placement.
+        assert_eq!(cluster.master().peek(1).unwrap().1, vec![0, 1]);
+        assert_eq!(client.read_quiet(1).unwrap(), data);
+    }
+
+    #[test]
+    fn heal_degraded_recovers_checkpointed_files_onto_live_workers() {
+        let mut cluster = StoreCluster::spawn(StoreConfig::unthrottled(4));
+        let client = cluster.client();
+        let data1 = payload(5_000);
+        let data2 = payload(1_234);
+        client.write(1, &data1, &[0, 1]).unwrap();
+        client.write(2, &data2, &[1]).unwrap();
+        client.write(3, &payload(100), &[1]).unwrap(); // never checkpointed
+        let under = UnderStore::new();
+        checkpoint(&client, &under, 1).unwrap();
+        checkpoint(&client, &under, 2).unwrap();
+
+        cluster.kill_worker(1);
+        let (healed, unrecoverable) =
+            heal_degraded(&client, cluster.master(), &under, 4);
+        assert_eq!(healed, vec![1, 2]);
+        assert_eq!(unrecoverable, vec![3]);
+        assert_eq!(client.read_quiet(1).unwrap(), data1);
+        assert_eq!(client.read_quiet(2).unwrap(), data2);
+        // Healed placements avoid the dead worker.
+        for id in [1u64, 2] {
+            let (_, servers) = cluster.master().peek(id).unwrap();
+            assert!(servers.iter().all(|&s| s != 1), "file {id} on dead worker");
+        }
     }
 
     #[test]

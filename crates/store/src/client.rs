@@ -1,27 +1,75 @@
-//! The SP-Client: parallel fork-join reads and writes.
+//! The SP-Client: parallel fork-join reads and writes, with a robust
+//! read path (deadlines, bounded retry, hedged under-store reads).
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use spcache_core::online::partition_range;
 use spcache_ec::{join_shards_bytes, split_into_shards};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
+use crate::backing::UnderStore;
+use crate::config::{HedgePolicy, RetryPolicy};
 use crate::master::Master;
 use crate::rpc::{PartKey, StoreError, WorkerRequest};
 
 /// A client handle onto a running store cluster.
 ///
 /// Cloning is cheap; each clone can issue requests concurrently.
+///
+/// Reads are **robust**: every partition fetch carries a deadline, a
+/// failed read is retried with exponential backoff after re-locating the
+/// file (and, when an under-store is attached, after recovering lost
+/// partitions onto live workers), and with [`HedgePolicy`] enabled a
+/// straggling partition is hedged by reading its byte range from the
+/// under-store checkpoint — the late-binding trick of EC-Cache, adapted
+/// to a redundancy-free cache where the checkpoint is the only second
+/// copy.
 #[derive(Debug, Clone)]
 pub struct Client {
     master: Arc<Master>,
     workers: Vec<Sender<WorkerRequest>>,
+    retry: RetryPolicy,
+    hedge: HedgePolicy,
+    under: Option<Arc<UnderStore>>,
+    hedged_fetches: Arc<AtomicU64>,
 }
 
 impl Client {
-    /// Builds a client over the master and the worker channels.
+    /// Builds a client over the master and the worker channels, with a
+    /// single-attempt [`RetryPolicy::none`] and hedging disabled (the
+    /// seed behaviour).
     pub fn new(master: Arc<Master>, workers: Vec<Sender<WorkerRequest>>) -> Self {
         assert!(!workers.is_empty(), "need at least one worker");
-        Client { master, workers }
+        Client {
+            master,
+            workers,
+            retry: RetryPolicy::none(),
+            hedge: HedgePolicy::disabled(),
+            under: None,
+            hedged_fetches: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Sets the retry policy (builder style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the hedge policy (builder style). Hedging only fires when an
+    /// under-store is attached too.
+    pub fn with_hedge(mut self, hedge: HedgePolicy) -> Self {
+        self.hedge = hedge;
+        self
+    }
+
+    /// Attaches the under-store used for hedged reads and read-path
+    /// recovery.
+    pub fn with_under_store(mut self, under: Arc<UnderStore>) -> Self {
+        self.under = Some(under);
+        self
     }
 
     /// Number of workers visible to this client.
@@ -34,6 +82,12 @@ impl Client {
         &self.master
     }
 
+    /// How many partition fetches were served from the under-store by
+    /// the hedging path (across all clones of this client).
+    pub fn hedged_fetches(&self) -> u64 {
+        self.hedged_fetches.load(Ordering::Relaxed)
+    }
+
     /// Writes a file split into `k` partitions on the given `servers`
     /// (`servers.len() == k`, distinct). All partitions are pushed in
     /// parallel; returns when the slowest lands (§6.1 writes whole files
@@ -44,6 +98,20 @@ impl Client {
     /// Propagates worker failures; metadata registration errors if the id
     /// is taken.
     pub fn write(&self, id: u64, data: &[u8], servers: &[usize]) -> Result<(), StoreError> {
+        self.push_partitions(id, data, servers)?;
+        self.master.register(id, data.len(), servers.to_vec())
+    }
+
+    /// Pushes `data` re-split into `servers.len()` partitions under this
+    /// file's keys without touching metadata — the building block shared
+    /// by [`Client::write`] and under-store recovery
+    /// ([`crate::backing::recover_file`]).
+    pub(crate) fn push_partitions(
+        &self,
+        id: u64,
+        data: &[u8],
+        servers: &[usize],
+    ) -> Result<(), StoreError> {
         assert!(!servers.is_empty(), "need at least one target server");
         let k = servers.len();
         let shards = split_into_shards(data, k);
@@ -58,33 +126,92 @@ impl Client {
                     data: Bytes::from(shard),
                     reply: tx,
                 })
-                .map_err(|_| StoreError::WorkerDown(server))?;
+                .map_err(|_| self.worker_down(server))?;
             pending.push((server, rx));
         }
         for (server, rx) in pending {
-            rx.recv().map_err(|_| StoreError::WorkerDown(server))??;
+            self.await_reply(server, &rx, self.retry.deadline)??;
         }
-        self.master.register(id, data.len(), servers.to_vec())
+        Ok(())
+    }
+
+    /// Best-effort partition drop on one worker (recovery GC); errors
+    /// and dead workers are ignored.
+    pub(crate) fn discard_partition(&self, server: usize, key: PartKey) {
+        let (tx, rx) = bounded(1);
+        if self.workers[server]
+            .send(WorkerRequest::Delete { key, reply: tx })
+            .is_ok()
+        {
+            let _ = rx.recv_timeout(self.retry.deadline);
+        }
     }
 
     /// Reads a file: locates its partitions via the master (which counts
     /// the access), fetches them all in parallel, and reassembles the
-    /// original bytes (the fork-join of Fig. 9a).
+    /// original bytes (the fork-join of Fig. 9a). Failed attempts are
+    /// retried per the [`RetryPolicy`], recovering from the under-store
+    /// when one is attached.
     ///
     /// # Errors
     ///
-    /// Propagates unknown files, missing partitions and dead workers.
+    /// Propagates unknown files, and — once retries are exhausted —
+    /// missing partitions, timeouts and dead workers.
     pub fn read(&self, id: u64) -> Result<Vec<u8>, StoreError> {
-        let (size, servers) = self.master.locate(id)?;
-        self.fetch_and_join(id, size, &servers)
+        self.read_robust(id, true)
     }
 
     /// Reads without bumping the popularity counter.
     pub fn read_quiet(&self, id: u64) -> Result<Vec<u8>, StoreError> {
-        let (size, servers) = self.master.peek(id)?;
-        self.fetch_and_join(id, size, &servers)
+        self.read_robust(id, false)
     }
 
+    fn read_robust(&self, id: u64, count_access: bool) -> Result<Vec<u8>, StoreError> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            // Re-locate every attempt: recovery and repartition both
+            // change the placement under us.
+            let located = if count_access && attempt == 1 {
+                self.master.locate(id)
+            } else {
+                self.master.peek(id)
+            };
+            let (size, servers) = located?;
+            let err = match self.fetch_and_join(id, size, &servers) {
+                Ok(bytes) => return Ok(bytes),
+                Err(e) => e,
+            };
+            if !err.is_retryable() || attempt >= self.retry.max_attempts {
+                return Err(err);
+            }
+            // Heal before retrying: recover the file from the
+            // under-store onto live workers, so the next attempt reads
+            // a fresh placement instead of the same hole.
+            if let Some(under) = &self.under {
+                if under.contains(id) {
+                    let live = self.master.live_workers(self.workers.len());
+                    if !live.is_empty() {
+                        let targets =
+                            crate::backing::recovery_targets(&live, servers.len(), id);
+                        let _ = crate::backing::recover_file(
+                            self,
+                            &self.master,
+                            under,
+                            id,
+                            &targets,
+                        );
+                    }
+                }
+            }
+            let backoff = self.retry.base_backoff * 2u32.saturating_pow(attempt - 1);
+            if backoff > Duration::ZERO {
+                std::thread::sleep(backoff);
+            }
+        }
+    }
+
+    /// One fork-join attempt against a fixed placement.
     fn fetch_and_join(
         &self,
         id: u64,
@@ -100,14 +227,91 @@ impl Client {
                     key: PartKey::new(id, j as u32),
                     reply: tx,
                 })
-                .map_err(|_| StoreError::WorkerDown(server))?;
+                .map_err(|_| self.worker_down(server))?;
             pending.push((server, rx));
         }
         let mut shards: Vec<Bytes> = Vec::with_capacity(k);
-        for (server, rx) in pending {
-            shards.push(rx.recv().map_err(|_| StoreError::WorkerDown(server))??);
+        for (j, (server, rx)) in pending.into_iter().enumerate() {
+            shards.push(self.fetch_partition(id, size, k, j, server, rx)?);
         }
         Ok(join_shards_bytes(&shards, size))
+    }
+
+    /// Awaits one partition reply, hedging to the under-store after the
+    /// straggler threshold when enabled.
+    fn fetch_partition(
+        &self,
+        id: u64,
+        size: usize,
+        k: usize,
+        j: usize,
+        server: usize,
+        rx: Receiver<Result<Bytes, StoreError>>,
+    ) -> Result<Bytes, StoreError> {
+        let deadline = self.retry.deadline;
+        let hedge_after = self.hedge.straggler_threshold.min(deadline);
+        let hedging = self.hedge.enabled && self.under.is_some();
+        let first_wait = if hedging { hedge_after } else { deadline };
+
+        match rx.recv_timeout(first_wait) {
+            Ok(reply) => {
+                self.master.mark_alive(server);
+                reply
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(self.worker_down(server)),
+            Err(RecvTimeoutError::Timeout) if hedging => {
+                // Late binding: try the under-store copy of exactly this
+                // partition's byte range; fall back to waiting out the
+                // rest of the deadline if there is no checkpoint.
+                let under = self.under.as_ref().expect("hedging requires under-store");
+                if let Some(data) = under.load(id) {
+                    self.master.suspect(server);
+                    self.hedged_fetches.fetch_add(1, Ordering::Relaxed);
+                    let range = partition_range(size as u64, k, j);
+                    return Ok(Bytes::from(
+                        data[range.start as usize..range.end as usize].to_vec(),
+                    ));
+                }
+                match rx.recv_timeout(deadline.saturating_sub(hedge_after)) {
+                    Ok(reply) => {
+                        self.master.mark_alive(server);
+                        reply
+                    }
+                    Err(RecvTimeoutError::Disconnected) => Err(self.worker_down(server)),
+                    Err(RecvTimeoutError::Timeout) => Err(self.timeout(server)),
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => Err(self.timeout(server)),
+        }
+    }
+
+    /// Records a closed channel (definitive death) and returns the error.
+    fn worker_down(&self, server: usize) -> StoreError {
+        self.master.mark_dead(server);
+        StoreError::WorkerDown(server)
+    }
+
+    /// Records a timeout (suspicion, not proof of death) and returns the
+    /// error.
+    fn timeout(&self, server: usize) -> StoreError {
+        self.master.suspect(server);
+        StoreError::Timeout(server)
+    }
+
+    fn await_reply<T>(
+        &self,
+        server: usize,
+        rx: &Receiver<T>,
+        deadline: Duration,
+    ) -> Result<T, StoreError> {
+        match rx.recv_timeout(deadline) {
+            Ok(v) => {
+                self.master.mark_alive(server);
+                Ok(v)
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(self.worker_down(server)),
+            Err(RecvTimeoutError::Timeout) => Err(self.timeout(server)),
+        }
     }
 
     /// Deletes a file's partitions and metadata; returns how many
@@ -127,7 +331,7 @@ impl Client {
                 })
                 .is_ok()
             {
-                if let Ok(true) = rx.recv() {
+                if let Ok(true) = rx.recv_timeout(self.retry.deadline) {
                     removed += 1;
                 }
             }
@@ -139,8 +343,9 @@ impl Client {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::StoreConfig;
     use crate::cluster::StoreCluster;
+    use crate::config::StoreConfig;
+    use crate::fault::FaultPlan;
 
     fn payload(len: usize) -> Vec<u8> {
         (0..len).map(|i| ((i * 31 + 7) % 256) as u8).collect()
@@ -244,5 +449,83 @@ mod tests {
             split_time < 0.15,
             "parallel read took {split_time}s, expected ~0.05s"
         );
+    }
+
+    #[test]
+    fn deadline_turns_hang_into_timeout() {
+        // Worker 0 hangs for 500 ms on its second data-path op; a 50 ms
+        // deadline surfaces Timeout instead of blocking.
+        let cfg = StoreConfig::unthrottled(2)
+            .with_faults(FaultPlan::none().hang(0, 1, Duration::from_millis(500)))
+            .with_retry(RetryPolicy::none().with_deadline(Duration::from_millis(50)));
+        let cluster = StoreCluster::spawn(cfg);
+        let c = cluster.client();
+        c.write(1, &payload(100), &[0]).unwrap();
+        assert_eq!(c.read(1).unwrap_err(), StoreError::Timeout(0));
+        // The worker recovers after the hang; a later read succeeds.
+        std::thread::sleep(Duration::from_millis(500));
+        assert_eq!(c.read(1).unwrap(), payload(100));
+    }
+
+    #[test]
+    fn lost_reply_surfaces_as_worker_down_and_marks_suspicion() {
+        let cfg = StoreConfig::unthrottled(2)
+            .with_faults(FaultPlan::none().lose_reply(0, 1))
+            .with_retry(RetryPolicy {
+                max_attempts: 2,
+                base_backoff: Duration::ZERO,
+                deadline: Duration::from_millis(200),
+            });
+        let cluster = StoreCluster::spawn(cfg);
+        let c = cluster.client();
+        c.write(1, &payload(64), &[0]).unwrap();
+        // First read's reply is lost; the retry succeeds.
+        assert_eq!(c.read(1).unwrap(), payload(64));
+    }
+
+    #[test]
+    fn retry_reads_through_crash_with_under_store() {
+        let cfg = StoreConfig::unthrottled(4)
+            .with_faults(FaultPlan::none().crash(1, 2))
+            .with_retry(RetryPolicy {
+                max_attempts: 4,
+                base_backoff: Duration::from_millis(1),
+                deadline: Duration::from_millis(200),
+            });
+        let cluster = StoreCluster::spawn(cfg);
+        let under = Arc::new(UnderStore::new());
+        let c = cluster.client().with_under_store(under.clone());
+        let data = payload(9_000);
+        c.write(1, &data, &[0, 1]).unwrap(); // worker 1 op 0 (put)
+        crate::backing::checkpoint(&c, &under, 1).unwrap(); // worker 1 op 1 (get)
+        // Next get on worker 1 is op 2 → crash. The retry heals from the
+        // under-store onto live workers and succeeds byte-exactly.
+        assert_eq!(c.read(1).unwrap(), data);
+        assert!(!cluster.master().is_alive(1));
+        let (_, servers) = cluster.master().peek(1).unwrap();
+        assert!(servers.iter().all(|&s| s != 1), "healed onto dead worker");
+    }
+
+    #[test]
+    fn hedged_read_serves_straggler_from_under_store() {
+        // Worker 0 hangs for 300 ms; the hedge threshold is 20 ms, so
+        // the partition is served from the checkpoint instead.
+        let cfg = StoreConfig::unthrottled(2)
+            .with_faults(FaultPlan::none().hang(0, 2, Duration::from_millis(300)))
+            .with_retry(RetryPolicy::none().with_deadline(Duration::from_secs(2)))
+            .with_hedge(HedgePolicy::after(Duration::from_millis(20)));
+        let cluster = StoreCluster::spawn(cfg);
+        let under = Arc::new(UnderStore::new());
+        let c = cluster.client().with_under_store(under.clone());
+        let data = payload(5_000);
+        c.write(1, &data, &[0, 1]).unwrap(); // op 0 on both
+        crate::backing::checkpoint(&c, &under, 1).unwrap(); // op 1 on both
+        let t0 = std::time::Instant::now();
+        assert_eq!(c.read(1).unwrap(), data); // op 2: worker 0 hangs
+        assert!(
+            t0.elapsed() < Duration::from_millis(250),
+            "hedge should beat the 300 ms hang"
+        );
+        assert_eq!(c.hedged_fetches(), 1);
     }
 }

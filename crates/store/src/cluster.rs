@@ -1,14 +1,16 @@
 //! Cluster assembly: master + worker threads + client factory.
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use crossbeam::channel::Sender;
+use crossbeam::channel::{bounded, Sender};
 
 use crate::client::Client;
 use crate::config::StoreConfig;
+use crate::fault::FaultLog;
 use crate::master::Master;
 use crate::rpc::{StoreError, WorkerRequest, WorkerStats};
-use crate::worker::{spawn_worker, WorkerHandle};
+use crate::worker::{spawn_worker_with_faults, WorkerHandle};
 
 /// A running in-process store cluster.
 ///
@@ -28,29 +30,40 @@ use crate::worker::{spawn_worker, WorkerHandle};
 pub struct StoreCluster {
     master: Arc<Master>,
     workers: Vec<WorkerHandle>,
+    fault_log: Arc<FaultLog>,
+    cfg: StoreConfig,
 }
 
 impl StoreCluster {
-    /// Spawns `cfg.n_workers` worker threads and an empty master.
+    /// Spawns `cfg.n_workers` worker threads and an empty master. Each
+    /// worker receives its slice of `cfg.faults`; fired faults land in
+    /// the shared [`StoreCluster::fault_log`].
     ///
     /// # Panics
     ///
     /// Panics if `cfg.n_workers == 0`.
     pub fn spawn(cfg: StoreConfig) -> Self {
         assert!(cfg.n_workers > 0, "need at least one worker");
+        let fault_log = Arc::new(FaultLog::new());
         let workers = (0..cfg.n_workers)
             .map(|id| {
-                spawn_worker(
+                spawn_worker_with_faults(
                     id,
                     cfg.bandwidth,
                     cfg.stragglers.clone(),
                     cfg.seed.wrapping_add(id as u64),
+                    cfg.faults.script_for(id),
+                    Arc::clone(&fault_log),
                 )
             })
             .collect();
+        let master = Arc::new(Master::new());
+        master.ensure_workers(cfg.n_workers);
         StoreCluster {
-            master: Arc::new(Master::new()),
+            master,
             workers,
+            fault_log,
+            cfg,
         }
     }
 
@@ -64,27 +77,69 @@ impl StoreCluster {
         &self.master
     }
 
+    /// The record of injected faults that have fired so far.
+    pub fn fault_log(&self) -> &Arc<FaultLog> {
+        &self.fault_log
+    }
+
     /// The raw worker channels (used by the repartitioners).
     pub fn worker_senders(&self) -> Vec<Sender<WorkerRequest>> {
         self.workers.iter().map(|w| w.sender().clone()).collect()
     }
 
-    /// Creates a client.
+    /// Creates a client carrying the cluster's retry and hedge policies.
     pub fn client(&self) -> Client {
         Client::new(self.master.clone(), self.worker_senders())
+            .with_retry(self.cfg.retry)
+            .with_hedge(self.cfg.hedge)
     }
 
-    /// Collects per-worker service counters.
+    /// Collects per-worker service counters. Dead workers report
+    /// defaults (a killed machine has no counters to offer).
     pub fn worker_stats(&self) -> Result<Vec<WorkerStats>, StoreError> {
-        self.workers.iter().map(WorkerHandle::stats).collect()
+        Ok(self
+            .workers
+            .iter()
+            .map(|w| w.stats().unwrap_or_default())
+            .collect())
+    }
+
+    /// Pings every worker with `timeout`, updating the master's health
+    /// table from the outcome; returns the live worker ids. This is the
+    /// heartbeat sweep a real SP-Master would run periodically.
+    pub fn probe_liveness(&self, timeout: Duration) -> Vec<usize> {
+        let mut live = Vec::new();
+        let probes: Vec<_> = self
+            .workers
+            .iter()
+            .map(|w| {
+                let (tx, rx) = bounded(1);
+                let sent = w
+                    .sender()
+                    .send(WorkerRequest::Ping { reply: tx })
+                    .is_ok();
+                (w.id, sent, rx)
+            })
+            .collect();
+        for (id, sent, rx) in probes {
+            if sent && rx.recv_timeout(timeout).is_ok() {
+                self.master.mark_alive(id);
+                live.push(id);
+            } else {
+                self.master.mark_dead(id);
+            }
+        }
+        live
     }
 
     /// Terminates one worker thread — a simulated machine failure. All
     /// its cached partitions are lost; subsequent requests to it report
     /// [`StoreError::WorkerDown`] (recoverable via
-    /// [`crate::backing::read_or_recover`] when checkpoints exist).
+    /// [`crate::backing::read_or_recover`] when checkpoints exist). The
+    /// master learns of the death immediately.
     pub fn kill_worker(&mut self, id: usize) {
         self.workers[id].shutdown();
+        self.master.mark_dead(id);
     }
 
     /// Bytes served per worker — the load-distribution measurement used by
@@ -101,6 +156,7 @@ impl StoreCluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
 
     #[test]
     fn spawn_and_query_stats() {
@@ -125,5 +181,38 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         let _ = StoreCluster::spawn(StoreConfig::unthrottled(0));
+    }
+
+    #[test]
+    fn probe_liveness_tracks_kill() {
+        let mut cluster = StoreCluster::spawn(StoreConfig::unthrottled(3));
+        assert_eq!(
+            cluster.probe_liveness(Duration::from_millis(200)),
+            vec![0, 1, 2]
+        );
+        cluster.kill_worker(1);
+        assert_eq!(
+            cluster.probe_liveness(Duration::from_millis(200)),
+            vec![0, 2]
+        );
+        assert!(!cluster.master().is_alive(1));
+        assert!(cluster.master().is_alive(0));
+        assert!(cluster.master().heartbeats(0) >= 2);
+    }
+
+    #[test]
+    fn scripted_crash_fires_and_is_logged() {
+        let cfg = StoreConfig::unthrottled(2)
+            .with_faults(FaultPlan::none().crash(1, 1));
+        let cluster = StoreCluster::spawn(cfg);
+        let c = cluster.client();
+        c.write(1, &[1u8; 100], &[1]).unwrap(); // op 0
+        // Op 1 triggers the crash; the read fails.
+        assert!(c.read(1).is_err());
+        let log = cluster.fault_log().snapshot();
+        assert_eq!(log.len(), 1);
+        assert_eq!((log[0].worker, log[0].op), (1, 1));
+        // Worker 0 unaffected.
+        assert_eq!(cluster.probe_liveness(Duration::from_millis(200)), vec![0]);
     }
 }

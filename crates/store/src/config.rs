@@ -1,6 +1,93 @@
 //! Store configuration.
 
+use std::time::Duration;
+
 use spcache_workload::StragglerModel;
+
+use crate::fault::FaultPlan;
+
+/// Client-side retry behaviour for reads (the robust read path).
+///
+/// Each attempt re-locates the file through the master, so a retry after
+/// an under-store recovery observes the healed placement. Backoff is
+/// exponential: attempt `i` (1-based) sleeps `base_backoff * 2^(i-1)`
+/// before retrying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total read attempts (1 = no retries).
+    pub max_attempts: u32,
+    /// First backoff; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Per-partition reply deadline. A worker that does not answer
+    /// within this window counts as timed out (it may be hung, not
+    /// dead — the master tracks the distinction via suspicion counts).
+    pub deadline: Duration,
+}
+
+impl RetryPolicy {
+    /// A single attempt with a generous deadline — the seed behaviour.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            deadline: Duration::from_secs(30),
+        }
+    }
+
+    /// Sets the per-partition deadline (builder style).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts, 5 ms initial backoff, 2 s partition deadline.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(5),
+            deadline: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Hedged-request mode: EC-Cache's late binding adapted to a
+/// redundancy-free cache. There is no replica to duplicate the fetch to,
+/// so after `straggler_threshold` of silence the client reads the
+/// partition's byte range from the under-store checkpoint instead and
+/// uses whichever copy it has first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HedgePolicy {
+    /// Whether hedging is active (needs an attached under-store).
+    pub enabled: bool,
+    /// Silence after which the hedge fires.
+    pub straggler_threshold: Duration,
+}
+
+impl HedgePolicy {
+    /// Hedging off (the default).
+    pub fn disabled() -> Self {
+        HedgePolicy {
+            enabled: false,
+            straggler_threshold: Duration::from_millis(50),
+        }
+    }
+
+    /// Hedging after `threshold` of per-partition silence.
+    pub fn after(threshold: Duration) -> Self {
+        HedgePolicy {
+            enabled: true,
+            straggler_threshold: threshold,
+        }
+    }
+}
+
+impl Default for HedgePolicy {
+    fn default() -> Self {
+        HedgePolicy::disabled()
+    }
+}
 
 /// Static configuration of an in-process store cluster.
 #[derive(Debug, Clone)]
@@ -14,6 +101,13 @@ pub struct StoreConfig {
     pub stragglers: StragglerModel,
     /// RNG seed for straggler draws.
     pub seed: u64,
+    /// Scripted faults injected into the workers (empty by default).
+    pub faults: FaultPlan,
+    /// Read retry policy handed to clients created via
+    /// [`crate::cluster::StoreCluster::client`].
+    pub retry: RetryPolicy,
+    /// Hedged-read policy handed to clients.
+    pub hedge: HedgePolicy,
 }
 
 impl StoreConfig {
@@ -24,16 +118,17 @@ impl StoreConfig {
             bandwidth: f64::INFINITY,
             stragglers: StragglerModel::none(),
             seed: 1,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::none(),
+            hedge: HedgePolicy::disabled(),
         }
     }
 
     /// Throttled cluster: `bandwidth` bytes/s per worker (experiments).
     pub fn throttled(n_workers: usize, bandwidth: f64) -> Self {
         StoreConfig {
-            n_workers,
             bandwidth,
-            stragglers: StragglerModel::none(),
-            seed: 1,
+            ..StoreConfig::unthrottled(n_workers)
         }
     }
 
@@ -48,6 +143,24 @@ impl StoreConfig {
         self.seed = seed;
         self
     }
+
+    /// Sets the fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the client retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the client hedge policy.
+    pub fn with_hedge(mut self, hedge: HedgePolicy) -> Self {
+        self.hedge = hedge;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -59,9 +172,30 @@ mod tests {
         let c = StoreConfig::unthrottled(4);
         assert_eq!(c.n_workers, 4);
         assert!(c.bandwidth.is_infinite());
+        assert!(c.faults.is_empty());
         let t = StoreConfig::throttled(8, 50e6).with_seed(9);
         assert_eq!(t.n_workers, 8);
         assert_eq!(t.bandwidth, 50e6);
         assert_eq!(t.seed, 9);
+    }
+
+    #[test]
+    fn fault_and_policy_builders() {
+        let c = StoreConfig::unthrottled(2)
+            .with_faults(FaultPlan::none().crash(0, 3))
+            .with_retry(RetryPolicy::default())
+            .with_hedge(HedgePolicy::after(Duration::from_millis(10)));
+        assert_eq!(c.faults.events().len(), 1);
+        assert_eq!(c.retry.max_attempts, 4);
+        assert!(c.hedge.enabled);
+    }
+
+    #[test]
+    fn retry_policy_none_is_single_attempt() {
+        let r = RetryPolicy::none();
+        assert_eq!(r.max_attempts, 1);
+        assert_eq!(r.base_backoff, Duration::ZERO);
+        let r = r.with_deadline(Duration::from_millis(100));
+        assert_eq!(r.deadline, Duration::from_millis(100));
     }
 }

@@ -20,12 +20,18 @@
 //!   worker repartitions a disjoint set of files in parallel
 //!   (vs [`repartitioner::run_sequential`], the strawman that collects
 //!   every file at one node — Fig. 16's comparison),
-//! * [`cluster::StoreCluster`] — wires it all together.
+//! * [`cluster::StoreCluster`] — wires it all together,
+//! * [`fault`] — deterministic fault injection (scripted crashes, hangs,
+//!   partition drops, lost replies) driving the robust read path:
+//!   per-partition deadlines, bounded retry with under-store recovery,
+//!   and hedged reads (EC-Cache late binding against the checkpoint
+//!   tier, since a redundancy-free cache has no replica to race).
 
 pub mod backing;
 pub mod client;
 pub mod cluster;
 pub mod config;
+pub mod fault;
 pub mod master;
 pub mod online;
 pub mod repartitioner;
@@ -35,5 +41,6 @@ pub mod worker;
 
 pub use client::Client;
 pub use cluster::StoreCluster;
-pub use config::StoreConfig;
+pub use config::{HedgePolicy, RetryPolicy, StoreConfig};
+pub use fault::{FaultAction, FaultEvent, FaultLog, FaultPlan, FaultRecord};
 pub use rpc::{PartKey, StoreError};

@@ -30,22 +30,126 @@ impl FileInfo {
     }
 }
 
+/// Consecutive timeouts after which a suspected worker is declared dead.
+const SUSPICION_THRESHOLD: u32 = 3;
+
+/// Liveness bookkeeping for the worker fleet.
+#[derive(Debug, Default)]
+struct Health {
+    /// `alive[w]` — whether worker `w` is believed up. Workers the
+    /// master has never heard about are presumed alive.
+    alive: Vec<bool>,
+    /// Consecutive timeout count per worker; reset on any sign of life.
+    suspicion: Vec<u32>,
+    /// Heartbeats (successful pings / replies) observed per worker.
+    last_seen: Vec<u64>,
+}
+
+impl Health {
+    fn ensure(&mut self, n: usize) {
+        if self.alive.len() < n {
+            self.alive.resize(n, true);
+            self.suspicion.resize(n, 0);
+            self.last_seen.resize(n, 0);
+        }
+    }
+}
+
 /// The metadata service.
 ///
 /// Thread-safe: clients call [`Master::locate`] concurrently; the
 /// repartition coordinator takes the write lock only while swapping
 /// placements.
+///
+/// Besides file metadata the master tracks **worker health**: clients
+/// and repartitioners report timeouts ([`Master::suspect`]) and closed
+/// channels ([`Master::mark_dead`]), and every placement decision
+/// ([`Master::plan_rebalance`], recovery target selection) draws only
+/// from [`Master::live_workers`].
 #[derive(Debug, Default)]
 pub struct Master {
     files: RwLock<HashMap<u64, FileInfo>>,
+    health: RwLock<Health>,
 }
 
 impl Master {
     /// An empty master.
     pub fn new() -> Self {
-        Master {
-            files: RwLock::new(HashMap::new()),
+        Master::default()
+    }
+
+    /// Pre-sizes the health table for a fleet of `n` workers, all
+    /// presumed alive. Called by the cluster at spawn; growing later
+    /// (on first mention of a higher worker id) is also fine.
+    pub fn ensure_workers(&self, n: usize) {
+        self.health.write().ensure(n);
+    }
+
+    /// Records a sign of life from worker `w` (heartbeat reply or any
+    /// successful response): clears suspicion and revives the worker.
+    pub fn mark_alive(&self, w: usize) {
+        let mut h = self.health.write();
+        h.ensure(w + 1);
+        h.alive[w] = true;
+        h.suspicion[w] = 0;
+        h.last_seen[w] += 1;
+    }
+
+    /// Declares worker `w` dead (its request channel is closed — the
+    /// definitive signal in this in-process cluster).
+    pub fn mark_dead(&self, w: usize) {
+        let mut h = self.health.write();
+        h.ensure(w + 1);
+        h.alive[w] = false;
+    }
+
+    /// Records a timeout against worker `w` (it may be hung rather than
+    /// dead). After [`SUSPICION_THRESHOLD`] consecutive timeouts the
+    /// worker is declared dead. Returns the updated suspicion count.
+    pub fn suspect(&self, w: usize) -> u32 {
+        let mut h = self.health.write();
+        h.ensure(w + 1);
+        h.suspicion[w] += 1;
+        if h.suspicion[w] >= SUSPICION_THRESHOLD {
+            h.alive[w] = false;
         }
+        h.suspicion[w]
+    }
+
+    /// Whether worker `w` is believed alive (unknown workers are).
+    pub fn is_alive(&self, w: usize) -> bool {
+        self.health.read().alive.get(w).copied().unwrap_or(true)
+    }
+
+    /// Heartbeats observed from worker `w`.
+    pub fn heartbeats(&self, w: usize) -> u64 {
+        self.health.read().last_seen.get(w).copied().unwrap_or(0)
+    }
+
+    /// The live subset of workers `0..n`, ascending.
+    pub fn live_workers(&self, n: usize) -> Vec<usize> {
+        let h = self.health.read();
+        (0..n)
+            .filter(|&w| h.alive.get(w).copied().unwrap_or(true))
+            .collect()
+    }
+
+    /// Ids of files with at least one partition on a dead worker — the
+    /// candidates for under-store recovery.
+    pub fn degraded_files(&self) -> Vec<u64> {
+        let files = self.files.read();
+        let h = self.health.read();
+        let mut ids: Vec<u64> = files
+            .iter()
+            .filter(|(_, info)| {
+                info.servers
+                    .iter()
+                    .any(|&s| !h.alive.get(s).copied().unwrap_or(true))
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Registers a new file.
@@ -165,16 +269,34 @@ impl Master {
         seed: u64,
     ) -> (Vec<u64>, RepartitionPlan, Tuned) {
         let (ids, fileset, map) = self.snapshot(n_workers);
+        let live = self.live_workers(n_workers);
+        assert!(!live.is_empty(), "no live workers to plan against");
         let tuned =
             tune_scale_factor_hetero(&fileset, &vec![bandwidth; n_workers], lambda_total, cfg);
+        // A file cannot be split across more servers than are alive.
         let new_counts: Vec<usize> = fileset
             .partition_counts(tuned.alpha)
             .into_iter()
-            .map(|k| k.min(n_workers))
+            .map(|k| k.min(live.len()))
             .collect();
         let mut rng = Xoshiro256StarStar::seed(seed);
-        let plan = plan_repartition(&fileset, &map, &new_counts, &mut rng);
+        let mut plan = plan_repartition(&fileset, &map, &new_counts, &mut rng);
+        if live.len() < n_workers {
+            remap_dead_targets(&mut plan, &live);
+        }
         (ids, plan, tuned)
+    }
+
+    /// Returns every registered file id with its current servers
+    /// (sorted by id) — the health scan used by recovery.
+    pub fn placements(&self) -> Vec<(u64, Vec<usize>)> {
+        let files = self.files.read();
+        let mut out: Vec<(u64, Vec<usize>)> = files
+            .iter()
+            .map(|(&id, info)| (id, info.servers.clone()))
+            .collect();
+        out.sort_unstable_by_key(|&(id, _)| id);
+        out
     }
 
     /// Atomically installs a new placement for `id`.
@@ -188,6 +310,40 @@ impl Master {
         let info = files.get_mut(&id).ok_or(StoreError::UnknownFile(id))?;
         info.servers = servers;
         Ok(())
+    }
+}
+
+/// Rewrites a repartition plan so no job targets a dead worker: every
+/// dead target is replaced by the lowest-indexed live worker not already
+/// serving another partition of the same file, preserving the
+/// distinct-server invariant. Deterministic (no RNG), so replanning
+/// after the same failure yields the same placement.
+///
+/// # Panics
+///
+/// Panics if a job needs more targets than there are live workers —
+/// callers must clamp partition counts to the live fleet first (as
+/// [`Master::plan_rebalance`] does).
+pub fn remap_dead_targets(plan: &mut RepartitionPlan, live: &[usize]) {
+    let is_live = |w: usize| live.binary_search(&w).is_ok();
+    for job in &mut plan.jobs {
+        assert!(
+            job.new_servers.len() <= live.len(),
+            "job wants {} targets but only {} workers are alive",
+            job.new_servers.len(),
+            live.len()
+        );
+        for i in 0..job.new_servers.len() {
+            if is_live(job.new_servers[i]) {
+                continue;
+            }
+            let replacement = live
+                .iter()
+                .copied()
+                .find(|w| !job.new_servers.contains(w))
+                .expect("live fleet exhausted despite clamp");
+            job.new_servers[i] = replacement;
+        }
     }
 }
 
@@ -299,6 +455,77 @@ mod tests {
         assert_eq!(
             m.apply_placement(9, vec![0]),
             Err(StoreError::UnknownFile(9))
+        );
+    }
+
+    #[test]
+    fn health_suspicion_threshold_kills_and_mark_alive_revives() {
+        let m = Master::new();
+        m.ensure_workers(3);
+        assert!(m.is_alive(1));
+        assert_eq!(m.suspect(1), 1);
+        assert_eq!(m.suspect(1), 2);
+        assert!(m.is_alive(1), "two timeouts are not death");
+        assert_eq!(m.suspect(1), 3);
+        assert!(!m.is_alive(1), "third consecutive timeout is");
+        m.mark_alive(1);
+        assert!(m.is_alive(1));
+        assert_eq!(m.suspect(1), 1, "suspicion was reset");
+        assert_eq!(m.live_workers(3), vec![0, 1, 2]);
+        m.mark_dead(0);
+        assert_eq!(m.live_workers(3), vec![1, 2]);
+        assert!(m.is_alive(7), "unknown workers are presumed alive");
+    }
+
+    #[test]
+    fn degraded_files_flags_files_on_dead_workers() {
+        let m = Master::new();
+        m.ensure_workers(4);
+        m.register(1, 10, vec![0, 1]).unwrap();
+        m.register(2, 10, vec![2]).unwrap();
+        m.register(3, 10, vec![3, 1]).unwrap();
+        assert!(m.degraded_files().is_empty());
+        m.mark_dead(1);
+        assert_eq!(m.degraded_files(), vec![1, 3]);
+    }
+
+    #[test]
+    fn plan_rebalance_avoids_dead_targets() {
+        let m = Master::new();
+        m.ensure_workers(10);
+        for id in 0..20u64 {
+            m.register(id, 50_000_000, vec![(id as usize) % 10]).unwrap();
+        }
+        for _ in 0..1000 {
+            let _ = m.locate(3);
+        }
+        for id in 0..20u64 {
+            let _ = m.locate(id);
+        }
+        m.mark_dead(4);
+        m.mark_dead(7);
+        let (_, plan, _) = m.plan_rebalance(10, 125e6, 8.0, &TunerConfig::default(), 7);
+        for job in &plan.jobs {
+            assert!(
+                job.new_servers.iter().all(|&s| s != 4 && s != 7),
+                "job targets a dead worker: {:?}",
+                job.new_servers
+            );
+            let mut uniq = job.new_servers.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), job.new_servers.len(), "duplicate targets");
+        }
+    }
+
+    #[test]
+    fn placements_lists_all_files() {
+        let m = Master::new();
+        m.register(2, 10, vec![1]).unwrap();
+        m.register(1, 20, vec![0, 2]).unwrap();
+        assert_eq!(
+            m.placements(),
+            vec![(1, vec![0, 2]), (2, vec![1])]
         );
     }
 

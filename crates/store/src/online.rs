@@ -12,16 +12,25 @@
 //!    metadata is swapped.
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
 use spcache_core::online::OnlinePlan;
 use std::sync::Arc;
+use std::time::Duration;
 
 use crate::master::Master;
-use crate::rpc::{PartKey, StoreError, WorkerRequest};
+use crate::rpc::{PartKey, StoreError, WorkerRequest, STAGE_BIT};
 
-/// Staged-key marker: partition indices with this bit set are invisible
-/// to normal reads (clients only address indices < 2³¹).
-const STAGE_BIT: u32 = 1 << 31;
+/// Upper bound on any single worker wait during an adjustment, so a
+/// worker dying mid-build cannot hang the executor.
+const ADJUST_DEADLINE: Duration = Duration::from_secs(5);
+
+fn await_reply<T>(rx: &crossbeam::channel::Receiver<T>, server: usize) -> Result<T, StoreError> {
+    match rx.recv_timeout(ADJUST_DEADLINE) {
+        Ok(v) => Ok(v),
+        Err(RecvTimeoutError::Disconnected) => Err(StoreError::WorkerDown(server)),
+        Err(RecvTimeoutError::Timeout) => Err(StoreError::Timeout(server)),
+    }
+}
 
 fn get_range(
     workers: &[Sender<WorkerRequest>],
@@ -39,7 +48,7 @@ fn get_range(
             reply: tx,
         })
         .map_err(|_| StoreError::WorkerDown(server))?;
-    rx.recv().map_err(|_| StoreError::WorkerDown(server))?
+    await_reply(&rx, server)?
 }
 
 /// Builds one new partition on its target worker under the staged key.
@@ -68,7 +77,7 @@ fn build_partition(
             reply: tx,
         })
         .map_err(|_| StoreError::WorkerDown(part.server))?;
-    rx.recv().map_err(|_| StoreError::WorkerDown(part.server))?
+    await_reply(&rx, part.server)?
 }
 
 /// Executes an online adjustment for `file`: builds staged partitions in
@@ -76,9 +85,11 @@ fn build_partition(
 ///
 /// # Errors
 ///
-/// Returns the first worker/metadata error. Before the commit phase the
-/// original layout is untouched, so a build-phase error leaves the file
-/// fully readable.
+/// Returns the first worker/metadata error. Dead workers among the
+/// plan's pull sources or build targets are rejected up front with
+/// [`StoreError::WorkerDown`] — the caller should replan against the
+/// live fleet. Before the commit phase the original layout is
+/// untouched, so a build-phase error leaves the file fully readable.
 pub fn execute_adjust(
     file: u64,
     plan: &OnlinePlan,
@@ -91,6 +102,19 @@ pub fn execute_adjust(
         plan.old_k,
         "plan was made for a different layout"
     );
+    // Refuse plans that touch dead workers: an adjustment (unlike a
+    // recovery) has no second copy to rebuild from, so targets and
+    // sources must all be live before any byte moves.
+    for part in &plan.parts {
+        if !master.is_alive(part.server) {
+            return Err(StoreError::WorkerDown(part.server));
+        }
+        for pull in &part.pulls {
+            if !master.is_alive(pull.from_server) {
+                return Err(StoreError::WorkerDown(pull.from_server));
+            }
+        }
+    }
 
     // Phase 1: build, parallel across target servers.
     let results: Vec<Result<(), StoreError>> = std::thread::scope(|s| {
@@ -116,7 +140,7 @@ pub fn execute_adjust(
             })
             .is_ok()
         {
-            let _ = rx.recv();
+            let _ = rx.recv_timeout(ADJUST_DEADLINE);
         }
     }
     for part in &plan.parts {
@@ -128,7 +152,7 @@ pub fn execute_adjust(
                 reply: tx,
             })
             .map_err(|_| StoreError::WorkerDown(part.server))?;
-        let renamed = rx.recv().map_err(|_| StoreError::WorkerDown(part.server))?;
+        let renamed = await_reply(&rx, part.server)?;
         assert!(renamed, "staged partition vanished before commit");
     }
     master.apply_placement(file, plan.new_servers())

@@ -9,16 +9,72 @@
 //! and re-distributed one at a time through a single node.
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
 use spcache_core::repartition::{RepartitionJob, RepartitionPlan};
 use spcache_ec::{join_shards_bytes, split_into_shards};
 use std::sync::Arc;
+use std::time::Duration;
 
 use crate::master::Master;
 use crate::rpc::{PartKey, StoreError, WorkerRequest};
 
+/// How long an executor waits on any single worker reply before giving
+/// the worker up as hung. Bounds every blocking call in a job, so a
+/// worker dying (or hanging) mid-repartition can never deadlock the
+/// executor fleet.
+const EXECUTOR_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Awaits one executor-side reply with the deadline, updating the
+/// master's health table from the outcome.
+fn await_executor_reply<T>(
+    master: &Master,
+    server: usize,
+    rx: &crossbeam::channel::Receiver<T>,
+) -> Result<T, StoreError> {
+    match rx.recv_timeout(EXECUTOR_DEADLINE) {
+        Ok(v) => Ok(v),
+        Err(RecvTimeoutError::Disconnected) => {
+            master.mark_dead(server);
+            Err(StoreError::WorkerDown(server))
+        }
+        Err(RecvTimeoutError::Timeout) => {
+            master.suspect(server);
+            Err(StoreError::Timeout(server))
+        }
+    }
+}
+
+/// Pushes one shard to `server`, synchronously.
+fn push_shard(
+    master: &Master,
+    workers: &[Sender<WorkerRequest>],
+    server: usize,
+    key: PartKey,
+    shard: Bytes,
+) -> Result<(), StoreError> {
+    let (tx, rx) = bounded(1);
+    workers[server]
+        .send(WorkerRequest::Put {
+            key,
+            data: shard,
+            reply: tx,
+        })
+        .map_err(|_| {
+            master.mark_dead(server);
+            StoreError::WorkerDown(server)
+        })?;
+    await_executor_reply(master, server, &rx)?
+}
+
 /// Executes one repartition job: pull old partitions, reassemble,
 /// re-split, push new partitions, delete old ones, and swap the metadata.
+///
+/// Target workers that die mid-job are skipped: their shard is re-pushed
+/// to the lowest-indexed live worker not already holding a partition of
+/// this file, and the metadata swap records the substitute. Source
+/// failures (an old partition's holder is gone) abort the job with the
+/// old placement untouched — the file is degraded and must heal through
+/// the under-store, since this cache keeps no second copy.
 fn execute_job(
     job: &RepartitionJob,
     file_id: u64,
@@ -39,83 +95,174 @@ fn execute_job(
                 key: PartKey::new(file_id, j as u32),
                 reply: tx,
             })
-            .map_err(|_| StoreError::WorkerDown(server))?;
-        shards.push(rx.recv().map_err(|_| StoreError::WorkerDown(server))??);
+            .map_err(|_| {
+                master.mark_dead(server);
+                StoreError::WorkerDown(server)
+            })?;
+        shards.push(await_executor_reply(master, server, &rx)??);
     }
     let data = join_shards_bytes(&shards, size);
 
-    // Re-split and push to the new servers in parallel.
-    let new_shards = split_into_shards(&data, job.new_servers.len());
-    let mut pending = Vec::with_capacity(new_shards.len());
-    for (j, (shard, &server)) in new_shards.into_iter().zip(&job.new_servers).enumerate() {
-        let (tx, rx) = bounded(1);
-        workers[server]
-            .send(WorkerRequest::Put {
-                // Stage under a shifted partition index space? Not needed:
-                // old keys are (file, 0..k_old), new keys use the same
-                // space but we delete old keys afterwards, and any key
-                // overlap (same j, same server) is an overwrite with the
-                // correct new content.
-                key: PartKey::new(file_id, j as u32),
-                data: Bytes::from(shard),
-                reply: tx,
-            })
-            .map_err(|_| StoreError::WorkerDown(server))?;
-        pending.push((server, rx));
-    }
-    for (server, rx) in pending {
-        rx.recv().map_err(|_| StoreError::WorkerDown(server))??;
-    }
-
-    // Metadata swap, then garbage-collect stale old partitions (those not
-    // overwritten by a new one with the same (index, server)).
-    master.apply_placement(file_id, job.new_servers.clone())?;
-    for (j, &server) in job.old_servers.iter().enumerate() {
-        let still_valid = job
-            .new_servers
-            .get(j)
-            .is_some_and(|&new_server| new_server == server);
-        if !still_valid {
-            let (tx, rx) = bounded(1);
-            if workers[server]
-                .send(WorkerRequest::Delete {
-                    key: PartKey::new(file_id, j as u32),
-                    reply: tx,
-                })
-                .is_ok()
-            {
-                let _ = rx.recv();
+    // Targets may have died since planning; replace dead ones up front,
+    // keeping the distinct-server invariant within the file.
+    let mut targets = job.new_servers.clone();
+    let substitute_targets = |targets: &mut Vec<usize>, failed: Option<usize>| {
+        let live = master.live_workers(workers.len());
+        for i in 0..targets.len() {
+            let dead = Some(targets[i]) == failed || !master.is_alive(targets[i]);
+            if dead {
+                if let Some(sub) = live
+                    .iter()
+                    .copied()
+                    .find(|w| Some(*w) != failed && !targets.contains(w))
+                {
+                    targets[i] = sub;
+                }
+                // No substitute available: leave it and let the push
+                // surface the error.
             }
         }
+    };
+    substitute_targets(&mut targets, None);
+
+    // Re-split and push to the target servers in parallel under STAGED
+    // keys: nothing in the readable (unstaged) key space changes until
+    // commit, so a job aborted here leaves the old layout intact and
+    // the file readable. A target failing mid-push gets its shard
+    // re-routed to a substitute.
+    let new_shards: Vec<Bytes> = split_into_shards(&data, targets.len())
+        .into_iter()
+        .map(Bytes::from)
+        .collect();
+    let push_result = (|| {
+        let mut pending = Vec::with_capacity(new_shards.len());
+        for j in 0..new_shards.len() {
+            let server = targets[j];
+            let key = PartKey::new(file_id, j as u32).staged();
+            let (tx, rx) = bounded(1);
+            match workers[server].send(WorkerRequest::Put {
+                key,
+                data: new_shards[j].clone(),
+                reply: tx,
+            }) {
+                Ok(()) => pending.push((j, server, rx)),
+                Err(_) => {
+                    master.mark_dead(server);
+                    substitute_targets(&mut targets, Some(server));
+                    if targets[j] == server {
+                        return Err(StoreError::WorkerDown(server));
+                    }
+                    push_shard(master, workers, targets[j], key, new_shards[j].clone())?;
+                }
+            }
+        }
+        for (j, server, rx) in pending {
+            if let Err(e) = await_executor_reply(master, server, &rx).and_then(|r| r) {
+                match e {
+                    StoreError::WorkerDown(_) | StoreError::Timeout(_) => {
+                        substitute_targets(&mut targets, Some(server));
+                        if targets[j] == server {
+                            return Err(e); // no live substitute left
+                        }
+                        push_shard(
+                            master,
+                            workers,
+                            targets[j],
+                            PartKey::new(file_id, j as u32).staged(),
+                            new_shards[j].clone(),
+                        )?;
+                    }
+                    other => return Err(other),
+                }
+            }
+        }
+        Ok(())
+    })();
+    if let Err(e) = push_result {
+        // Abort: clear any staged keys (best effort) and leave the old
+        // layout — still fully readable — in place.
+        for (j, &server) in targets.iter().enumerate() {
+            client_side_discard(workers, server, PartKey::new(file_id, j as u32).staged());
+        }
+        return Err(e);
     }
-    Ok(())
+
+    // Commit: drop old keys, unstage new ones, swap the metadata. (Same
+    // sequence as the online adjuster; a target dying inside this window
+    // leaves the file degraded, which the under-store heal repairs.)
+    for (j, &server) in job.old_servers.iter().enumerate() {
+        client_side_discard(workers, server, PartKey::new(file_id, j as u32));
+    }
+    for (j, &server) in targets.iter().enumerate() {
+        let key = PartKey::new(file_id, j as u32);
+        let (tx, rx) = bounded(1);
+        workers[server]
+            .send(WorkerRequest::Rename {
+                from: key.staged(),
+                to: key,
+                reply: tx,
+            })
+            .map_err(|_| {
+                master.mark_dead(server);
+                StoreError::WorkerDown(server)
+            })?;
+        let renamed = await_executor_reply(master, server, &rx)?;
+        debug_assert!(renamed, "staged partition vanished before commit");
+    }
+    master.apply_placement(file_id, targets)
+}
+
+/// Best-effort delete of one key; errors and dead workers are ignored.
+fn client_side_discard(workers: &[Sender<WorkerRequest>], server: usize, key: PartKey) {
+    let (tx, rx) = bounded(1);
+    if workers[server]
+        .send(WorkerRequest::Delete { key, reply: tx })
+        .is_ok()
+    {
+        let _ = rx.recv_timeout(EXECUTOR_DEADLINE);
+    }
 }
 
 /// Runs the plan with one executor thread per involved worker, each
 /// processing its disjoint job set (the parallel scheme of §6.2).
 /// `ids[i]` maps the plan's dense file indices to store file ids.
 ///
+/// Jobs that hit a dead or hung worker are **skipped**, not fatal: a
+/// dead target is substituted inside [`execute_job`], and a dead source
+/// leaves the file degraded (recoverable only through the under-store).
+/// Every blocking wait is bounded by [`EXECUTOR_DEADLINE`], so a worker
+/// dying mid-repartition cannot deadlock the sweep. Skipped file ids
+/// are returned.
+///
 /// # Errors
 ///
-/// Returns the first executor error encountered.
+/// Returns the first non-availability executor error (metadata
+/// inconsistencies and the like).
 pub fn run_parallel(
     plan: &RepartitionPlan,
     ids: &[u64],
     master: &Arc<Master>,
     workers: &[Sender<WorkerRequest>],
-) -> Result<(), StoreError> {
+) -> Result<Vec<u64>, StoreError> {
     let by_executor = plan.jobs_by_executor(workers.len());
-    let results: Vec<Result<(), StoreError>> = std::thread::scope(|s| {
+    let results: Vec<Result<Vec<u64>, StoreError>> = std::thread::scope(|s| {
         let handles: Vec<_> = by_executor
             .into_iter()
             .filter(|jobs| !jobs.is_empty())
             .map(|jobs| {
                 let master = Arc::clone(master);
                 s.spawn(move || {
+                    let mut skipped = Vec::new();
                     for job in jobs {
-                        execute_job(job, ids[job.file], &master, workers)?;
+                        match execute_job(job, ids[job.file], &master, workers) {
+                            Ok(()) => {}
+                            Err(StoreError::WorkerDown(_)) | Err(StoreError::Timeout(_)) => {
+                                skipped.push(ids[job.file]);
+                            }
+                            Err(e) => return Err(e),
+                        }
                     }
-                    Ok(())
+                    Ok(skipped)
                 })
             })
             .collect();
@@ -124,7 +271,12 @@ pub fn run_parallel(
             .map(|h| h.join().expect("executor panicked"))
             .collect()
     });
-    results.into_iter().collect()
+    let mut skipped = Vec::new();
+    for r in results {
+        skipped.extend(r?);
+    }
+    skipped.sort_unstable();
+    Ok(skipped)
 }
 
 /// The naive strawman: a single thread collects **every** file (changed or
@@ -300,6 +452,84 @@ mod tests {
             .map(|s| s.resident_parts)
             .sum();
         assert_eq!(total, 4, "stale partitions left behind");
+    }
+
+    /// Hand-builds a plan splitting `file` from `old` onto `new` so the
+    /// tests control exactly which workers are targeted.
+    fn manual_plan(old: Vec<usize>, new: Vec<usize>, n_workers: usize) -> RepartitionPlan {
+        use spcache_core::partition::PartitionMap;
+        RepartitionPlan {
+            jobs: vec![spcache_core::repartition::RepartitionJob {
+                file: 0,
+                executor: old[0],
+                old_servers: old,
+                new_servers: new.clone(),
+            }],
+            new_map: PartitionMap::new(vec![new], n_workers),
+            unchanged: vec![],
+        }
+    }
+
+    #[test]
+    fn known_dead_target_is_substituted_before_push() {
+        let mut cluster = StoreCluster::spawn(StoreConfig::unthrottled(5));
+        let client = cluster.client();
+        let data = payload(0, 8_000);
+        client.write(0, &data, &[0]).unwrap();
+        cluster.kill_worker(3); // master knows
+        let plan = manual_plan(vec![0], vec![1, 2, 3], 5);
+        let skipped =
+            run_parallel(&plan, &[0], cluster.master(), &cluster.worker_senders()).unwrap();
+        assert!(skipped.is_empty(), "dead target should be substituted");
+        let (_, servers) = cluster.master().peek(0).unwrap();
+        assert_eq!(servers.len(), 3);
+        assert!(servers.iter().all(|&s| s != 3), "placed on dead worker");
+        assert_eq!(client.read_quiet(0).unwrap(), data);
+    }
+
+    #[test]
+    fn unannounced_target_death_mid_repartition_is_remapped_not_deadlocked() {
+        // Worker 3 crashes on its first data-path request — which is the
+        // repartitioner's staged push, so the death is discovered
+        // mid-job. The executor must detect it (bounded wait), mark it
+        // dead, re-route the shard to worker 4 and commit.
+        let cfg = StoreConfig::unthrottled(5)
+            .with_faults(crate::fault::FaultPlan::none().crash(3, 0));
+        let cluster = StoreCluster::spawn(cfg);
+        let client = cluster.client();
+        let data = payload(0, 8_000);
+        client.write(0, &data, &[0]).unwrap();
+        let plan = manual_plan(vec![0], vec![1, 2, 3], 5);
+        let t0 = std::time::Instant::now();
+        let skipped =
+            run_parallel(&plan, &[0], cluster.master(), &cluster.worker_senders()).unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "repartition must not hang on a dead target"
+        );
+        assert!(skipped.is_empty());
+        assert!(!cluster.master().is_alive(3), "death went unnoticed");
+        let (_, servers) = cluster.master().peek(0).unwrap();
+        assert!(servers.iter().all(|&s| s != 3));
+        assert_eq!(client.read_quiet(0).unwrap(), data);
+    }
+
+    #[test]
+    fn no_live_substitute_skips_job_and_keeps_file_readable() {
+        // Both non-source workers die; the job cannot be placed and must
+        // be skipped with the original layout untouched.
+        let mut cluster = StoreCluster::spawn(StoreConfig::unthrottled(3));
+        let client = cluster.client();
+        let data = payload(0, 4_000);
+        client.write(0, &data, &[0]).unwrap();
+        cluster.kill_worker(1);
+        cluster.kill_worker(2);
+        let plan = manual_plan(vec![0], vec![1, 2], 3);
+        let skipped =
+            run_parallel(&plan, &[0], cluster.master(), &cluster.worker_senders()).unwrap();
+        assert_eq!(skipped, vec![0], "unplaceable job should be reported");
+        assert_eq!(cluster.master().peek(0).unwrap().1, vec![0]);
+        assert_eq!(client.read_quiet(0).unwrap(), data, "old layout corrupted");
     }
 
     #[test]

@@ -20,7 +20,19 @@ impl PartKey {
     pub fn new(file: u64, part: u32) -> Self {
         PartKey { file, part }
     }
+
+    /// The staged twin of this key (see [`STAGE_BIT`]).
+    pub fn staged(self) -> PartKey {
+        PartKey::new(self.file, self.part | STAGE_BIT)
+    }
 }
+
+/// Staged-key marker: partition indices with this bit set are invisible
+/// to normal reads (clients only address indices < 2³¹). The online
+/// adjuster and the repartitioner both build new layouts under staged
+/// keys and commit them with a rename, so an executor failing mid-build
+/// never corrupts the readable layout.
+pub const STAGE_BIT: u32 = 1 << 31;
 
 /// Errors surfaced to clients.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,6 +45,20 @@ pub enum StoreError {
     UnknownFile(u64),
     /// A file with this id already exists.
     AlreadyExists(u64),
+    /// The worker did not answer within the read deadline (hung or
+    /// overloaded; the worker may still be alive).
+    Timeout(usize),
+}
+
+impl StoreError {
+    /// Whether a retry (after re-locating and possibly recovering from
+    /// the under-store) could succeed. Metadata errors are permanent.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            StoreError::NotFound(_) | StoreError::WorkerDown(_) | StoreError::Timeout(_)
+        )
+    }
 }
 
 impl std::fmt::Display for StoreError {
@@ -42,6 +68,7 @@ impl std::fmt::Display for StoreError {
             StoreError::WorkerDown(w) => write!(f, "worker {w} is down"),
             StoreError::UnknownFile(id) => write!(f, "unknown file {id}"),
             StoreError::AlreadyExists(id) => write!(f, "file {id} already exists"),
+            StoreError::Timeout(w) => write!(f, "worker {w} timed out"),
         }
     }
 }
@@ -115,6 +142,13 @@ pub enum WorkerRequest {
     Stats {
         /// Reply channel.
         reply: Sender<WorkerStats>,
+    },
+    /// Liveness probe: the worker echoes its id. Does not advance the
+    /// fault-injection op counter, so health checks never perturb a
+    /// scripted fault sequence.
+    Ping {
+        /// Reply channel (receives the worker id).
+        reply: Sender<usize>,
     },
     /// Terminate the worker loop.
     Shutdown,

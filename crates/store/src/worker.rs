@@ -1,6 +1,7 @@
 //! The worker (cache server) thread.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -10,6 +11,7 @@ use rand::SeedableRng;
 use spcache_sim::Xoshiro256StarStar;
 use spcache_workload::StragglerModel;
 
+use crate::fault::{FaultAction, FaultLog, WorkerScript};
 use crate::rpc::{PartKey, StoreError, WorkerRequest, WorkerStats};
 use crate::throttle::TokenBucket;
 
@@ -61,10 +63,31 @@ pub fn spawn_worker(
     stragglers: StragglerModel,
     seed: u64,
 ) -> WorkerHandle {
+    spawn_worker_with_faults(
+        id,
+        bandwidth,
+        stragglers,
+        seed,
+        WorkerScript::empty(),
+        Arc::new(FaultLog::new()),
+    )
+}
+
+/// Spawns a worker that consults `script` before serving each data-path
+/// request, recording fired faults into the shared `log`
+/// (see [`crate::fault`]).
+pub fn spawn_worker_with_faults(
+    id: usize,
+    bandwidth: f64,
+    stragglers: StragglerModel,
+    seed: u64,
+    script: WorkerScript,
+    log: Arc<FaultLog>,
+) -> WorkerHandle {
     let (tx, rx) = crossbeam::channel::unbounded();
     let join = std::thread::Builder::new()
         .name(format!("spcache-worker-{id}"))
-        .spawn(move || worker_loop(rx, bandwidth, stragglers, seed))
+        .spawn(move || worker_loop(id, rx, bandwidth, stragglers, seed, script, log))
         .expect("failed to spawn worker thread");
     WorkerHandle {
         id,
@@ -73,18 +96,64 @@ pub fn spawn_worker(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
+    id: usize,
     rx: Receiver<WorkerRequest>,
     bandwidth: f64,
     stragglers: StragglerModel,
     seed: u64,
+    mut script: WorkerScript,
+    log: Arc<FaultLog>,
 ) {
     let mut store: HashMap<PartKey, Bytes> = HashMap::new();
     let mut nic = TokenBucket::new(bandwidth);
     let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
     let mut stats = WorkerStats::default();
+    // Data-path op counter: faults trigger on this index. Control
+    // requests (Stats, Ping, Shutdown) do not advance it, so monitoring
+    // traffic never shifts a scripted fault.
+    let mut op: u64 = 0;
 
     while let Ok(req) = rx.recv() {
+        // Control-plane requests bypass fault injection entirely.
+        let req = match req {
+            WorkerRequest::Stats { reply } => {
+                stats.resident_parts = store.len();
+                let _ = reply.send(stats);
+                continue;
+            }
+            WorkerRequest::Ping { reply } => {
+                let _ = reply.send(id);
+                continue;
+            }
+            WorkerRequest::Shutdown => break,
+            data_path => data_path,
+        };
+
+        // Consult the fault script for this op. Drops and hangs apply
+        // before serving; LoseReply suppresses the reply; Crash kills
+        // the worker with the request unanswered (the dropped reply
+        // sender disconnects the waiting client).
+        let mut lose_reply = false;
+        let mut crash = false;
+        for action in script.fire(op) {
+            log.record(id, op, action.clone());
+            match action {
+                FaultAction::Crash => crash = true,
+                FaultAction::Hang(pause) => std::thread::sleep(pause),
+                FaultAction::DropPartition(key) => {
+                    store.remove(&key);
+                }
+                FaultAction::LoseReply => lose_reply = true,
+            }
+        }
+        if crash {
+            break;
+        }
+        op += 1;
+        let req = if lose_reply { disarm_reply(req) } else { req };
+
         match req {
             WorkerRequest::Put { key, data, reply } => {
                 nic.consume(data.len());
@@ -158,12 +227,43 @@ fn worker_loop(
                 stats.resident_parts = store.len();
                 let _ = reply.send(removed);
             }
-            WorkerRequest::Stats { reply } => {
-                stats.resident_parts = store.len();
-                let _ = reply.send(stats);
-            }
-            WorkerRequest::Shutdown => break,
+            // Control requests (Stats, Ping, Shutdown) were handled
+            // before fault injection.
+            _ => {}
         }
+    }
+}
+
+/// Replaces a request's reply sender with one whose receiver is already
+/// dropped: the request is served normally but the reply vanishes (the
+/// `LoseReply` fault). The waiting client observes a disconnect.
+fn disarm_reply(req: WorkerRequest) -> WorkerRequest {
+    fn dead<T>() -> Sender<T> {
+        let (tx, _rx) = bounded(1);
+        tx
+    }
+    match req {
+        WorkerRequest::Put { key, data, .. } => WorkerRequest::Put {
+            key,
+            data,
+            reply: dead(),
+        },
+        WorkerRequest::Get { key, .. } => WorkerRequest::Get { key, reply: dead() },
+        WorkerRequest::GetRange {
+            key, offset, len, ..
+        } => WorkerRequest::GetRange {
+            key,
+            offset,
+            len,
+            reply: dead(),
+        },
+        WorkerRequest::Rename { from, to, .. } => WorkerRequest::Rename {
+            from,
+            to,
+            reply: dead(),
+        },
+        WorkerRequest::Delete { key, .. } => WorkerRequest::Delete { key, reply: dead() },
+        other => other,
     }
 }
 

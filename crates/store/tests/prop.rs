@@ -2,9 +2,58 @@
 
 use proptest::prelude::*;
 
+use std::sync::Arc;
+use std::time::Duration;
+
 use spcache_core::online::plan_adjust;
+use spcache_store::backing::{checkpoint, recovery_targets, UnderStore};
+use spcache_store::fault::FaultRecord;
 use spcache_store::online::execute_adjust;
-use spcache_store::{StoreCluster, StoreConfig};
+use spcache_store::rpc::StoreError;
+use spcache_store::{FaultPlan, RetryPolicy, StoreCluster, StoreConfig};
+
+/// One read outcome, comparable across runs.
+type Outcome = Result<usize, StoreError>;
+
+/// Everything observable from one faulted run: injected-event log,
+/// per-operation outcomes, final placements.
+type RunTrace = (Vec<FaultRecord>, Vec<Outcome>, Vec<(u64, Vec<usize>)>);
+
+/// Runs a fixed workload under `plan` and returns everything observable:
+/// the injected-event log, per-operation outcomes and final placements.
+fn run_faulted(plan: &FaultPlan, n_workers: usize, n_files: u64) -> RunTrace {
+    let cfg = StoreConfig::unthrottled(n_workers)
+        .with_faults(plan.clone())
+        .with_retry(RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            deadline: Duration::from_secs(2),
+        });
+    let cluster = StoreCluster::spawn(cfg);
+    let under = Arc::new(UnderStore::new());
+    let client = cluster.client().with_under_store(Arc::clone(&under));
+    let mut outcomes = Vec::new();
+
+    // Setup is itself exposed to the plan (triggers may fire during the
+    // writes), so record its outcomes instead of unwrapping.
+    for id in 0..n_files {
+        let data: Vec<u8> = (0..1_024).map(|i| ((i + id as usize) % 256) as u8).collect();
+        let servers = vec![id as usize % n_workers, (id as usize + 1) % n_workers];
+        let wrote = client.write(id, &data, &servers);
+        outcomes.push(wrote.map(|()| 0));
+        if outcomes.last().unwrap().is_ok() {
+            outcomes.push(checkpoint(&client, &under, id).map(|()| 0));
+        }
+    }
+    // Three sweeps over every file: faults fire underneath, retries and
+    // under-store recovery heal what they can.
+    for _ in 0..3 {
+        for id in 0..n_files {
+            outcomes.push(client.read_quiet(id).map(|b| b.len()));
+        }
+    }
+    (cluster.fault_log().snapshot(), outcomes, cluster.master().placements())
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -68,5 +117,47 @@ proptest! {
             .map(|s| s.resident_parts)
             .sum();
         prop_assert_eq!(resident, 0);
+    }
+
+    /// The chaos harness is deterministic: the same `(seed, shape)`
+    /// yields the same plan, and running the same plan twice yields the
+    /// identical injected-event log, operation outcomes and final
+    /// placements — the contract that makes chaos failures replayable.
+    #[test]
+    fn same_seed_and_plan_reproduce_identical_runs(
+        seed in 0u64..10_000,
+        n_events in 1usize..5,
+    ) {
+        let n_workers = 4;
+        let files: Vec<u64> = (0..6).collect();
+        let plan = FaultPlan::random(seed, n_workers, n_events, 40, &files);
+        prop_assert_eq!(&plan, &FaultPlan::random(seed, n_workers, n_events, 40, &files));
+
+        let (log_a, out_a, place_a) = run_faulted(&plan, n_workers, 6);
+        let (log_b, out_b, place_b) = run_faulted(&plan, n_workers, 6);
+        prop_assert_eq!(log_a, log_b, "event logs diverged for seed {}", seed);
+        prop_assert_eq!(out_a, out_b, "outcomes diverged for seed {}", seed);
+        prop_assert_eq!(place_a, place_b, "placements diverged for seed {}", seed);
+    }
+
+    /// Recovery placement never doubles up: the targets chosen for a
+    /// healed file are distinct live servers, so no two partitions of
+    /// one file land on the same worker.
+    #[test]
+    fn recovery_targets_are_distinct_live_servers(
+        raw_live in proptest::collection::vec(0usize..16, 1..10),
+        k in 1usize..12,
+        id in any::<u64>(),
+    ) {
+        let mut live = raw_live;
+        live.sort_unstable();
+        live.dedup();
+        let targets = recovery_targets(&live, k, id);
+        prop_assert_eq!(targets.len(), k.clamp(1, live.len()));
+        let mut seen = std::collections::HashSet::new();
+        for &t in &targets {
+            prop_assert!(live.contains(&t), "target {} is not a live worker", t);
+            prop_assert!(seen.insert(t), "target {} chosen twice for one file", t);
+        }
     }
 }

@@ -1,0 +1,150 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides a cheaply cloneable, sliceable, immutable byte buffer with the
+//! subset of the real `Bytes` API the workspace uses. Clones and slices
+//! share one reference-counted allocation, so the store's workers can hand
+//! out partition views without copying — the property the real crate is
+//! used for.
+
+use std::ops::{Deref, Range};
+use std::sync::Arc;
+
+/// A cheaply cloneable, contiguous, immutable slice of memory.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies `data` into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// A sub-view sharing the same allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(range.start <= range.end, "slice range inverted");
+        assert!(range.end <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::from(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(s: &str) -> Self {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self[..] == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slices_share_memory() {
+        let b = Bytes::from((0u8..100).collect::<Vec<_>>());
+        let s = b.slice(10..20);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s[0], 10);
+        assert_eq!(s.as_ref(), &(10u8..20).collect::<Vec<_>>()[..]);
+    }
+
+    #[test]
+    fn equality_is_by_content() {
+        assert_eq!(Bytes::from(vec![1, 2, 3]), Bytes::copy_from_slice(&[1, 2, 3]));
+        assert_eq!(Bytes::from(vec![1, 2, 3]).slice(1..3), Bytes::from(vec![2, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_slice_panics() {
+        let _ = Bytes::from(vec![1, 2]).slice(0..3);
+    }
+}

@@ -1,0 +1,276 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Runs each benchmark a small, fixed number of iterations with
+//! wall-clock timing and prints a one-line mean per benchmark — enough
+//! for `cargo bench` to produce comparable numbers in the sandbox, and
+//! for bench targets to compile under `cargo test`. No statistics,
+//! warm-up control, plots or baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Label of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Units processed per iteration, used to report a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Abstract elements per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup; the shim always re-runs setup per
+/// iteration regardless.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Setup runs before every routine invocation.
+    PerIteration,
+    /// Small batches (treated as `PerIteration` by the shim).
+    SmallInput,
+    /// Large batches (treated as `PerIteration` by the shim).
+    LargeInput,
+}
+
+/// Passed to benchmark closures; drives the measured iterations.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is not
+    /// measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+fn report(group: &str, id: &str, b: &Bencher, throughput: Option<Throughput>) {
+    if b.iters == 0 {
+        println!("bench {group}/{id}: no iterations");
+        return;
+    }
+    let per_iter = b.total.as_secs_f64() / b.iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => format!(
+            " ({:.1} MB/s)",
+            n as f64 / per_iter / 1e6
+        ),
+        Some(Throughput::Elements(n)) => format!(" ({:.0} elem/s)", n as f64 / per_iter),
+        None => String::new(),
+    };
+    println!(
+        "bench {group}/{id}: {:.3} ms/iter over {} iters{rate}",
+        per_iter * 1e3,
+        b.iters
+    );
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many iterations each benchmark runs (criterion's sample
+    /// count; the shim uses it directly as the iteration count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Upper bound on measurement time — accepted and ignored.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(&self.name, &id.id, &b, self.throughput);
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.id, &b, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let name = id.id.clone();
+        self.benchmark_group(name).bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_machinery_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3).throughput(Throughput::Bytes(8));
+        let mut runs = 0;
+        g.bench_with_input(BenchmarkId::from_parameter(1), &7u64, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            });
+        });
+        g.finish();
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut c = Criterion::default();
+        let mut setups = 0;
+        c.benchmark_group("shim2").sample_size(4).bench_function("b", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![0u8; 8]
+                },
+                |v| v.len(),
+                BatchSize::PerIteration,
+            );
+        });
+        assert_eq!(setups, 4);
+    }
+}

@@ -1,0 +1,84 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the *exact* slice of the rand 0.10 API it consumes: the fallible
+//! [`rand_core::TryRng`] trait that generators implement, the infallible
+//! [`Rng`] facade supplied by a blanket impl, and [`SeedableRng`]. All
+//! actual generator state lives in `spcache-sim` (`Xoshiro256StarStar`),
+//! which only needs these traits as integration points, so no sampling
+//! distributions or OS entropy sources are required here.
+
+/// Core generator traits (mirrors `rand::rand_core`).
+pub mod rand_core {
+    /// A fallible random number generator.
+    ///
+    /// Implementors with `Error = Infallible` automatically receive the
+    /// ergonomic [`crate::Rng`] facade via a blanket impl, matching the
+    /// rand 0.10 design.
+    pub trait TryRng {
+        /// Error produced by a failed draw.
+        type Error;
+
+        /// Draws the next `u32`.
+        fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+
+        /// Draws the next `u64`.
+        fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+
+        /// Fills `dest` with random bytes.
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error>;
+    }
+}
+
+/// An infallible random number generator.
+pub trait Rng {
+    /// Draws the next `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Draws the next `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<T> Rng for T
+where
+    T: rand_core::TryRng<Error = core::convert::Infallible>,
+{
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        match self.try_next_u32() {
+            Ok(v) => v,
+            Err(e) => match e {},
+        }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        match self.try_next_u64() {
+            Ok(v) => v,
+            Err(e) => match e {},
+        }
+    }
+
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        match self.try_fill_bytes(dest) {
+            Ok(()) => {}
+            Err(e) => match e {},
+        }
+    }
+}
+
+/// A generator that can be instantiated from a seed.
+pub trait SeedableRng: Sized {
+    /// Seed material.
+    type Seed;
+
+    /// Builds a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds a generator from a single `u64` (convenience entry point).
+    fn seed_from_u64(state: u64) -> Self;
+}

@@ -1,0 +1,21 @@
+//! No-op derive macros backing the offline `serde` shim.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on analysis structs so
+//! experiment results *can* be exported, but nothing in-tree serializes
+//! them (there is no `serde_json` either). The offline shim therefore
+//! accepts the derives and expands to nothing — the types compile, and the
+//! day a real serializer is needed the shim is swapped for real serde.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits no code.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits no code.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

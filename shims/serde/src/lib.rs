@@ -1,0 +1,16 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace only *declares* serializability (`#[derive(Serialize,
+//! Deserialize)]` on metrics and plan types); no code path serializes
+//! anything. This shim supplies the two derive macros (which expand to
+//! nothing — see `spcache-serde-derive`) plus empty marker traits under
+//! the same names so `use serde::{Serialize, Deserialize}` keeps
+//! resolving in both the type and macro namespaces.
+
+pub use spcache_serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the shim).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the shim).
+pub trait Deserialize<'de> {}
