@@ -14,6 +14,7 @@
 //! Faster pass:    add `--quick`.
 
 pub mod experiments;
+pub mod perf;
 pub mod table;
 
 /// Experiment scale: `quick` shrinks request counts ~10× for smoke runs.

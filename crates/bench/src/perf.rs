@@ -1,0 +1,569 @@
+//! Reproducible performance harness for the real store's data path.
+//!
+//! Drives the in-process [`StoreCluster`] over a grid of
+//! `file size × k × NIC rate` points and, at each point, measures every
+//! data-path variant side by side:
+//!
+//! * `legacy_read` / `legacy_write` — a faithful re-implementation of the
+//!   **pre-select, copying** seed data path (in-order `recv_timeout`
+//!   join over the reply channels, intermediate shard vector, final
+//!   concat copy; zero-padded per-shard `to_vec` copies on write). It is
+//!   rebuilt here from the store's public RPC surface so the production
+//!   client stays clean while every future PR can still measure itself
+//!   against the original baseline.
+//! * `read` — the production select-driven join materializing a
+//!   contiguous buffer ([`spcache_store::Client::read`], one copy).
+//! * `read_scattered` — the production zero-copy join
+//!   ([`spcache_store::Client::read_scattered`], no copies).
+//! * `write` / `write_bytes` — the one-copy and zero-copy write paths.
+//!
+//! Per point and variant it reports reads (or writes) per second, bytes
+//! moved, and p50/p95/p99 latency, and emits a schema-stable
+//! `BENCH_store.json` (see [`SCHEMA`]) so perf is tracked across PRs.
+//! [`validate_report_json`] is the CI smoke check over that file.
+
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Sender};
+use spcache_ec::{join_shards_bytes, split_into_shards};
+use spcache_metrics::Samples;
+use spcache_store::rpc::{PartKey, WorkerRequest};
+use spcache_store::{StoreCluster, StoreConfig, StoreError};
+
+/// Schema identifier stamped into the emitted JSON; bump on breaking
+/// layout changes so downstream tooling can dispatch.
+pub const SCHEMA: &str = "spcache-bench-store/v1";
+
+/// One cell of the measurement grid.
+#[derive(Debug, Clone, Copy)]
+pub struct GridPoint {
+    /// File size in bytes.
+    pub file_bytes: usize,
+    /// Partition count.
+    pub k: usize,
+    /// Worker (cache server) count.
+    pub workers: usize,
+    /// Emulated NIC bandwidth in bytes/s (`f64::INFINITY` = unthrottled).
+    pub nic_bytes_per_sec: f64,
+    /// Timed iterations per variant.
+    pub iters: usize,
+}
+
+impl GridPoint {
+    /// Human-readable point label, e.g. `64MB_k16_w8_unthrottled`.
+    pub fn label(&self) -> String {
+        let nic = if self.nic_bytes_per_sec.is_infinite() {
+            "unthrottled".to_string()
+        } else {
+            format!("{:.0}MBps", self.nic_bytes_per_sec / 1e6)
+        };
+        format!(
+            "{}MB_k{}_w{}_{}",
+            self.file_bytes / (1 << 20),
+            self.k,
+            self.workers,
+            nic
+        )
+    }
+}
+
+/// Latency/throughput measurements of one data-path variant at one point.
+#[derive(Debug, Clone)]
+pub struct VariantResult {
+    /// Variant name (`legacy_read`, `read`, `read_scattered`, …).
+    pub variant: String,
+    /// Operations per second over the timed iterations.
+    pub ops_per_sec: f64,
+    /// Payload bytes moved per second.
+    pub mbytes_per_sec: f64,
+    /// Median latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Total payload bytes moved.
+    pub bytes_moved: u64,
+}
+
+/// All variant measurements at one grid point.
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// The grid cell measured.
+    pub point: GridPoint,
+    /// Per-variant results.
+    pub variants: Vec<VariantResult>,
+    /// Read throughput of the zero-copy select-driven path over the
+    /// legacy path (`read_scattered / legacy_read`).
+    pub read_speedup_scattered: f64,
+    /// Read throughput of the contiguous select-driven path over the
+    /// legacy path (`read / legacy_read`).
+    pub read_speedup_contiguous: f64,
+    /// Write throughput of the zero-copy path over the legacy path
+    /// (`write_bytes / legacy_write`).
+    pub write_speedup: f64,
+}
+
+/// A full harness run.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Grid-point results in grid order.
+    pub points: Vec<PointResult>,
+    /// Whether this was the `--quick` grid.
+    pub quick: bool,
+}
+
+/// The default measurement grid. `quick` shrinks it to one small point
+/// for CI smoke runs; the full grid includes the headline point
+/// (64 MB files, k = 16, 8 workers, unthrottled) plus size/k/NIC sweeps.
+pub fn default_grid(quick: bool) -> Vec<GridPoint> {
+    if quick {
+        return vec![GridPoint {
+            file_bytes: 4 << 20,
+            k: 4,
+            workers: 4,
+            nic_bytes_per_sec: f64::INFINITY,
+            iters: 5,
+        }];
+    }
+    let mut grid = Vec::new();
+    // Headline: the acceptance point.
+    grid.push(GridPoint {
+        file_bytes: 64 << 20,
+        k: 16,
+        workers: 8,
+        nic_bytes_per_sec: f64::INFINITY,
+        iters: 12,
+    });
+    // Size sweep at k = 8.
+    for &mb in &[16usize, 64] {
+        grid.push(GridPoint {
+            file_bytes: mb << 20,
+            k: 8,
+            workers: 8,
+            nic_bytes_per_sec: f64::INFINITY,
+            iters: 12,
+        });
+    }
+    // k sweep at 16 MB.
+    grid.push(GridPoint {
+        file_bytes: 16 << 20,
+        k: 4,
+        workers: 8,
+        nic_bytes_per_sec: f64::INFINITY,
+        iters: 12,
+    });
+    // One throttled point: 10 Gb/s NICs, where transfer time dominates
+    // and the copy savings shrink — the honest lower bound.
+    grid.push(GridPoint {
+        file_bytes: 16 << 20,
+        k: 8,
+        workers: 8,
+        nic_bytes_per_sec: 1.25e9,
+        iters: 8,
+    });
+    grid
+}
+
+/// Deterministic but non-trivial payload.
+fn payload(len: usize) -> Vec<u8> {
+    (0..len).map(|i| ((i * 31 + 7) % 256) as u8).collect()
+}
+
+/// Distinct-as-possible placement of `k` partitions over `workers`.
+fn placement(k: usize, workers: usize) -> Vec<usize> {
+    (0..k).map(|j| j % workers).collect()
+}
+
+// ---------------------------------------------------------------------
+// The legacy (seed) data path, re-implemented over the raw RPC surface.
+// ---------------------------------------------------------------------
+
+/// The seed write path: zero-padded `split_into_shards` (one full copy),
+/// `Bytes::from` per shard (a second copy), in-order reply collection.
+fn legacy_write(
+    workers: &[Sender<WorkerRequest>],
+    id: u64,
+    data: &[u8],
+    servers: &[usize],
+) -> Result<(), StoreError> {
+    let shards = split_into_shards(data, servers.len());
+    let mut pending = Vec::with_capacity(servers.len());
+    for (j, (shard, &server)) in shards.into_iter().zip(servers).enumerate() {
+        let (tx, rx) = bounded(1);
+        workers[server]
+            .send(WorkerRequest::Put {
+                key: PartKey::new(id, j as u32),
+                data: Bytes::from(shard),
+                reply: tx,
+            })
+            .map_err(|_| StoreError::WorkerDown(server))?;
+        pending.push((server, rx));
+    }
+    for (server, rx) in pending {
+        rx.recv_timeout(Duration::from_secs(30))
+            .map_err(|_| StoreError::WorkerDown(server))??;
+    }
+    Ok(())
+}
+
+/// The seed read path: fire all gets, then await replies **in index
+/// order** with a fresh per-partition deadline each, collect them into an
+/// intermediate shard vector, and concat-copy at the end.
+fn legacy_read(
+    workers: &[Sender<WorkerRequest>],
+    id: u64,
+    size: usize,
+    servers: &[usize],
+) -> Result<Vec<u8>, StoreError> {
+    let k = servers.len();
+    let mut pending = Vec::with_capacity(k);
+    for (j, &server) in servers.iter().enumerate() {
+        let (tx, rx) = bounded(1);
+        workers[server]
+            .send(WorkerRequest::Get {
+                key: PartKey::new(id, j as u32),
+                reply: tx,
+            })
+            .map_err(|_| StoreError::WorkerDown(server))?;
+        pending.push((server, rx));
+    }
+    let mut shards: Vec<Bytes> = Vec::with_capacity(k);
+    for (server, rx) in pending {
+        shards.push(
+            rx.recv_timeout(Duration::from_secs(30))
+                .map_err(|_| StoreError::WorkerDown(server))??,
+        );
+    }
+    Ok(join_shards_bytes(&shards, size))
+}
+
+// ---------------------------------------------------------------------
+// Measurement machinery.
+// ---------------------------------------------------------------------
+
+fn measure(
+    variant: &str,
+    point: &GridPoint,
+    mut op: impl FnMut() -> usize,
+) -> VariantResult {
+    // One warm-up iteration (populates caches, faults in pages).
+    let _ = op();
+    let mut lat = Samples::with_capacity(point.iters);
+    let mut bytes_moved = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..point.iters {
+        let it = Instant::now();
+        bytes_moved += op() as u64;
+        lat.record(it.elapsed().as_secs_f64() * 1e3);
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    VariantResult {
+        variant: variant.to_string(),
+        ops_per_sec: point.iters as f64 / wall,
+        mbytes_per_sec: bytes_moved as f64 / wall / 1e6,
+        p50_ms: lat.percentile(50.0),
+        p95_ms: lat.percentile(95.0),
+        p99_ms: lat.percentile(99.0),
+        bytes_moved,
+    }
+}
+
+/// Measures every data-path variant at one grid point.
+pub fn run_point(point: GridPoint) -> PointResult {
+    let data = payload(point.file_bytes);
+    let servers = placement(point.k, point.workers);
+    let cfg = if point.nic_bytes_per_sec.is_infinite() {
+        StoreConfig::unthrottled(point.workers)
+    } else {
+        StoreConfig::throttled(point.workers, point.nic_bytes_per_sec)
+    };
+    let cluster = StoreCluster::spawn(cfg);
+    let client = cluster.client();
+    let senders = cluster.worker_senders();
+    let shared = Bytes::from(data.clone());
+
+    let mut variants = Vec::new();
+
+    // Write paths: write under a fresh id each iteration, deleting after
+    // so the footprint stays bounded. Deletion time is inside the timed
+    // window for all three variants equally.
+    let mut next_id = 1_000_000u64;
+    variants.push(measure("legacy_write", &point, || {
+        next_id += 1;
+        legacy_write(&senders, next_id, &data, &servers).expect("legacy write");
+        for (j, &s) in servers.iter().enumerate() {
+            let (tx, rx) = bounded(1);
+            let _ = senders[s].send(WorkerRequest::Delete {
+                key: PartKey::new(next_id, j as u32),
+                reply: tx,
+            });
+            let _ = rx.recv_timeout(Duration::from_secs(5));
+        }
+        data.len()
+    }));
+    variants.push(measure("write", &point, || {
+        next_id += 1;
+        client.write(next_id, &data, &servers).expect("write");
+        client.delete(next_id).expect("delete");
+        data.len()
+    }));
+    variants.push(measure("write_bytes", &point, || {
+        next_id += 1;
+        client
+            .write_bytes(next_id, shared.clone(), &servers)
+            .expect("write_bytes");
+        client.delete(next_id).expect("delete");
+        data.len()
+    }));
+
+    // Read paths, all against the same resident file.
+    client.write_bytes(1, shared.clone(), &servers).expect("seed write");
+    variants.push(measure("legacy_read", &point, || {
+        legacy_read(&senders, 1, data.len(), &servers)
+            .expect("legacy read")
+            .len()
+    }));
+    variants.push(measure("read", &point, || {
+        client.read_quiet(1).expect("read").len()
+    }));
+    variants.push(measure("read_scattered", &point, || {
+        let f = client.read_scattered(1).expect("read_scattered");
+        f.size()
+    }));
+
+    let thpt = |name: &str| {
+        variants
+            .iter()
+            .find(|v| v.variant == name)
+            .map(|v| v.mbytes_per_sec)
+            .unwrap_or(f64::NAN)
+    };
+    PointResult {
+        read_speedup_scattered: thpt("read_scattered") / thpt("legacy_read"),
+        read_speedup_contiguous: thpt("read") / thpt("legacy_read"),
+        write_speedup: thpt("write_bytes") / thpt("legacy_write"),
+        point,
+        variants,
+    }
+}
+
+/// Runs the whole grid, logging progress to stderr.
+pub fn run_grid(grid: &[GridPoint], quick: bool) -> PerfReport {
+    let mut points = Vec::with_capacity(grid.len());
+    for &point in grid {
+        eprintln!("[perf] measuring {} ...", point.label());
+        let t0 = Instant::now();
+        let result = run_point(point);
+        eprintln!(
+            "[perf]   {}: read ×{:.2} (contiguous ×{:.2}), write ×{:.2} vs legacy \
+             [{:.1}s]",
+            point.label(),
+            result.read_speedup_scattered,
+            result.read_speedup_contiguous,
+            result.write_speedup,
+            t0.elapsed().as_secs_f64(),
+        );
+        points.push(result);
+    }
+    PerfReport { points, quick }
+}
+
+// ---------------------------------------------------------------------
+// Schema-stable JSON emission + validation (no serde needed: the format
+// is hand-rolled and hand-checked so CI can smoke-test it offline).
+// ---------------------------------------------------------------------
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else if x.is_infinite() && x > 0.0 {
+        // NIC rate ∞ = unthrottled; encoded as null.
+        "null".to_string()
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders the report as schema-stable JSON (key order fixed).
+pub fn report_to_json(report: &PerfReport, machine: &str) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str(&format!("  \"machine\": \"{}\",\n", machine.replace('"', "'")));
+    out.push_str(&format!("  \"quick\": {},\n", report.quick));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in report.points.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"label\": \"{}\",\n", p.point.label()));
+        out.push_str(&format!("      \"file_bytes\": {},\n", p.point.file_bytes));
+        out.push_str(&format!("      \"k\": {},\n", p.point.k));
+        out.push_str(&format!("      \"workers\": {},\n", p.point.workers));
+        out.push_str(&format!(
+            "      \"nic_bytes_per_sec\": {},\n",
+            json_f64(p.point.nic_bytes_per_sec)
+        ));
+        out.push_str(&format!("      \"iters\": {},\n", p.point.iters));
+        out.push_str(&format!(
+            "      \"read_speedup_scattered\": {},\n",
+            json_f64(p.read_speedup_scattered)
+        ));
+        out.push_str(&format!(
+            "      \"read_speedup_contiguous\": {},\n",
+            json_f64(p.read_speedup_contiguous)
+        ));
+        out.push_str(&format!(
+            "      \"write_speedup\": {},\n",
+            json_f64(p.write_speedup)
+        ));
+        out.push_str("      \"variants\": [\n");
+        for (j, v) in p.variants.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"variant\": \"{}\", \"ops_per_sec\": {}, \
+                 \"mbytes_per_sec\": {}, \"p50_ms\": {}, \"p95_ms\": {}, \
+                 \"p99_ms\": {}, \"bytes_moved\": {}}}{}\n",
+                v.variant,
+                json_f64(v.ops_per_sec),
+                json_f64(v.mbytes_per_sec),
+                json_f64(v.p50_ms),
+                json_f64(v.p95_ms),
+                json_f64(v.p99_ms),
+                v.bytes_moved,
+                if j + 1 < p.variants.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < report.points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Validates an emitted `BENCH_store.json`: the schema marker and every
+/// required key must be present, and every number attached to a required
+/// metric key must parse as a finite, strictly positive `f64`. This is
+/// the CI bench-smoke check, so it accepts exactly what
+/// [`report_to_json`] writes and nothing sloppier.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation found.
+pub fn validate_report_json(json: &str) -> Result<(), String> {
+    if !json.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return Err(format!("missing or wrong schema marker (want {SCHEMA})"));
+    }
+    for key in [
+        "\"machine\"",
+        "\"points\"",
+        "\"label\"",
+        "\"file_bytes\"",
+        "\"k\"",
+        "\"workers\"",
+        "\"iters\"",
+        "\"read_speedup_scattered\"",
+        "\"read_speedup_contiguous\"",
+        "\"write_speedup\"",
+        "\"variants\"",
+        "\"ops_per_sec\"",
+        "\"mbytes_per_sec\"",
+        "\"p50_ms\"",
+        "\"p95_ms\"",
+        "\"p99_ms\"",
+        "\"bytes_moved\"",
+    ] {
+        if !json.contains(key) {
+            return Err(format!("required key {key} absent"));
+        }
+    }
+    // Every metric value must be a finite positive number.
+    for metric in [
+        "\"ops_per_sec\": ",
+        "\"mbytes_per_sec\": ",
+        "\"p50_ms\": ",
+        "\"p95_ms\": ",
+        "\"p99_ms\": ",
+        "\"read_speedup_scattered\": ",
+        "\"read_speedup_contiguous\": ",
+        "\"write_speedup\": ",
+    ] {
+        for (found, chunk) in json.match_indices(metric) {
+            let rest = &json[found + metric.len()..];
+            let end = rest
+                .find([',', '}', '\n'])
+                .unwrap_or(rest.len());
+            let token = rest[..end].trim();
+            let value: f64 = token
+                .parse()
+                .map_err(|_| format!("{chunk}: unparseable number {token:?}"))?;
+            if !value.is_finite() || value <= 0.0 {
+                return Err(format!("{chunk}: non-finite or non-positive value {value}"));
+            }
+        }
+    }
+    // The variant set must be complete in every point.
+    for variant in [
+        "legacy_write",
+        "write",
+        "write_bytes",
+        "legacy_read",
+        "read",
+        "read_scattered",
+    ] {
+        if !json.contains(&format!("\"variant\": \"{variant}\"")) {
+            return Err(format!("variant {variant} missing from report"));
+        }
+    }
+    Ok(())
+}
+
+/// A one-line machine descriptor for the report header.
+pub fn machine_descriptor() -> String {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
+    format!("{} {} / {cpus} cpus", std::env::consts::OS, std::env::consts::ARCH)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_grid_runs_and_emits_valid_json() {
+        let grid = default_grid(true);
+        let report = run_grid(&grid, true);
+        assert_eq!(report.points.len(), 1);
+        let json = report_to_json(&report, &machine_descriptor());
+        validate_report_json(&json).expect("emitted JSON must validate");
+    }
+
+    #[test]
+    fn validation_rejects_broken_reports() {
+        assert!(validate_report_json("{}").is_err());
+        let grid = default_grid(true);
+        let report = run_grid(&grid, true);
+        let json = report_to_json(&report, "test");
+        // Corrupt a metric into a NaN.
+        let bad = json.replacen("\"p50_ms\": ", "\"p50_ms\": NaN, \"x\": ", 1);
+        assert!(validate_report_json(&bad).is_err());
+        let bad = json.replace(&format!("\"schema\": \"{SCHEMA}\""), "\"schema\": \"other\"");
+        assert!(validate_report_json(&bad).is_err());
+    }
+
+    #[test]
+    fn legacy_paths_are_byte_exact() {
+        let cluster = StoreCluster::spawn(StoreConfig::unthrottled(4));
+        let senders = cluster.worker_senders();
+        let data = payload(100_001);
+        let servers = placement(8, 4);
+        legacy_write(&senders, 9, &data, &servers).unwrap();
+        cluster.master().register(9, data.len(), servers.clone()).unwrap();
+        assert_eq!(legacy_read(&senders, 9, data.len(), &servers).unwrap(), data);
+        // And the production client reads the legacy layout fine.
+        assert_eq!(cluster.client().read_quiet(9).unwrap(), data);
+    }
+}

@@ -26,4 +26,4 @@ pub mod matrix;
 pub mod rs;
 
 pub use matrix::Matrix;
-pub use rs::{join_shards, join_shards_bytes, split_into_shards, ReedSolomon};
+pub use rs::{join_shards, join_shards_bytes, split_into_shards, split_shards_bytes, ReedSolomon};

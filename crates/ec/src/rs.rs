@@ -258,6 +258,29 @@ pub fn split_into_shards(data: &[u8], k: usize) -> Vec<Vec<u8>> {
     shards
 }
 
+/// Zero-copy partitioner: slices one backing [`Bytes`] buffer into `k`
+/// partition *views* sharing its allocation — no bytes move. The layout
+/// matches [`split_into_shards`] (equal `ceil(len/k)` slots) except that
+/// the tail partition is left short instead of zero-padded, exactly the
+/// byte ranges `spcache_core::online::partition_range` describes.
+/// [`join_shards_bytes`] reassembles either layout (it truncates at the
+/// original length).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn split_shards_bytes(data: &Bytes, k: usize) -> Vec<Bytes> {
+    assert!(k > 0, "cannot split into zero shards");
+    let slot = data.len().div_ceil(k).max(1);
+    (0..k)
+        .map(|i| {
+            let start = (i * slot).min(data.len());
+            let end = ((i + 1) * slot).min(data.len());
+            data.slice(start..end)
+        })
+        .collect()
+}
+
 /// Joins `k` shards back into a file of `original_len` bytes (dropping the
 /// padding `split_into_shards` added).
 ///

@@ -1,9 +1,12 @@
 //! Property-based tests of the GF(2⁸)/Reed–Solomon substrate.
 
+use bytes::Bytes;
 use proptest::prelude::*;
 
 use spcache_ec::gf256;
-use spcache_ec::{join_shards, split_into_shards, Matrix, ReedSolomon};
+use spcache_ec::{
+    join_shards, join_shards_bytes, split_into_shards, split_shards_bytes, Matrix, ReedSolomon,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -131,5 +134,36 @@ proptest! {
         let take = (data.len() as f64 * take_frac) as usize;
         let joined = join_shards(&shards, take);
         prop_assert_eq!(&joined[..], &data[..take]);
+    }
+
+    /// Zero-copy split: every shard is a view *inside* the original
+    /// backing allocation (checked by pointer range), the shard lengths
+    /// tile the input exactly, and join restores the bytes — for
+    /// arbitrary (ragged) sizes and partition counts, including
+    /// `len % k != 0`, `len < k` and `len == 0`.
+    #[test]
+    fn split_bytes_shares_allocation_and_roundtrips(
+        data in proptest::collection::vec(any::<u8>(), 0..4096),
+        k in 1usize..12,
+    ) {
+        let backing = Bytes::from(data.clone());
+        let base = backing.as_ptr() as usize;
+        let limit = base + backing.len();
+        let shards = split_shards_bytes(&backing, k);
+        prop_assert_eq!(shards.len(), k);
+        let mut total = 0usize;
+        for shard in &shards {
+            total += shard.len();
+            if !shard.is_empty() {
+                let p = shard.as_ptr() as usize;
+                prop_assert!(
+                    p >= base && p + shard.len() <= limit,
+                    "shard bytes live outside the original allocation \
+                     (copied, not sliced)"
+                );
+            }
+        }
+        prop_assert_eq!(total, data.len());
+        prop_assert_eq!(join_shards_bytes(&shards, data.len()), data);
     }
 }

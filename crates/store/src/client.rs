@@ -1,13 +1,14 @@
-//! The SP-Client: parallel fork-join reads and writes, with a robust
-//! read path (deadlines, bounded retry, hedged under-store reads).
+//! The SP-Client: parallel fork-join reads and writes, with a robust,
+//! zero-copy, select-driven data path (single per-read deadline, bounded
+//! retry, hedged under-store range reads).
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Select, Sender, TryRecvError};
 use spcache_core::online::partition_range;
-use spcache_ec::{join_shards_bytes, split_into_shards};
+use spcache_ec::split_shards_bytes;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::backing::UnderStore;
 use crate::config::{HedgePolicy, RetryPolicy};
@@ -18,14 +19,28 @@ use crate::rpc::{PartKey, StoreError, WorkerRequest};
 ///
 /// Cloning is cheap; each clone can issue requests concurrently.
 ///
-/// Reads are **robust**: every partition fetch carries a deadline, a
-/// failed read is retried with exponential backoff after re-locating the
-/// file (and, when an under-store is attached, after recovering lost
-/// partitions onto live workers), and with [`HedgePolicy`] enabled a
-/// straggling partition is hedged by reading its byte range from the
-/// under-store checkpoint — the late-binding trick of EC-Cache, adapted
-/// to a redundancy-free cache where the checkpoint is the only second
-/// copy.
+/// Reads are **robust** and **out-of-order**: all `k` partition fetches
+/// are issued at once and their replies consumed as they land via a
+/// ready-set [`Select`] over the reply channels — no partition waits
+/// behind a slower, lower-indexed one. One [`RetryPolicy::deadline`]
+/// covers the whole read attempt (the fork-join of Fig. 9a really is
+/// bounded by its slowest partition, not by `k` stacked timeouts). A
+/// failed attempt is retried with exponential backoff after re-locating
+/// the file (and, when an under-store is attached, after recovering lost
+/// partitions onto live workers). With [`HedgePolicy`] enabled, the hedge
+/// timer fires once per read for the *actual* stragglers: every partition
+/// still outstanding at the threshold is served from its exact byte range
+/// in the under-store checkpoint ([`UnderStore::load_range`]) — the
+/// late-binding trick of EC-Cache, adapted to a redundancy-free cache
+/// where the checkpoint is the only second copy.
+///
+/// Reads are also **zero-copy** up to the final assembly:
+/// [`Client::write_bytes`] slices one backing buffer into partition
+/// views, workers store and reply with views of that same allocation,
+/// and [`Client::read_scattered`] hands those views back without ever
+/// materializing a contiguous copy. [`Client::read`] performs exactly
+/// one copy: each reply is scattered directly into its offset of a
+/// single preallocated output buffer as it arrives.
 #[derive(Debug, Clone)]
 pub struct Client {
     master: Arc<Master>,
@@ -34,6 +49,7 @@ pub struct Client {
     hedge: HedgePolicy,
     under: Option<Arc<UnderStore>>,
     hedged_fetches: Arc<AtomicU64>,
+    hedged_bytes: Arc<AtomicU64>,
 }
 
 impl Client {
@@ -49,6 +65,7 @@ impl Client {
             hedge: HedgePolicy::disabled(),
             under: None,
             hedged_fetches: Arc::new(AtomicU64::new(0)),
+            hedged_bytes: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -88,49 +105,76 @@ impl Client {
         self.hedged_fetches.load(Ordering::Relaxed)
     }
 
+    /// How many bytes the hedging path actually pulled from the
+    /// under-store (ranged reads — one straggling partition costs its
+    /// partition's bytes, never the whole file).
+    pub fn hedged_bytes(&self) -> u64 {
+        self.hedged_bytes.load(Ordering::Relaxed)
+    }
+
     /// Writes a file split into `k` partitions on the given `servers`
-    /// (`servers.len() == k`, distinct). All partitions are pushed in
-    /// parallel; returns when the slowest lands (§6.1 writes whole files
-    /// with `k = 1`; the split-write mode of §7.8 passes larger `k`).
+    /// (`servers.len() == k`). All partitions are pushed in parallel;
+    /// returns when the slowest lands (§6.1 writes whole files with
+    /// `k = 1`; the split-write mode of §7.8 passes larger `k`).
+    ///
+    /// Copies `data` once into a shared buffer; use
+    /// [`Client::write_bytes`] to skip even that copy.
     ///
     /// # Errors
     ///
     /// Propagates worker failures; metadata registration errors if the id
     /// is taken.
     pub fn write(&self, id: u64, data: &[u8], servers: &[usize]) -> Result<(), StoreError> {
-        self.push_partitions(id, data, servers)?;
-        self.master.register(id, data.len(), servers.to_vec())
+        self.write_bytes(id, Bytes::copy_from_slice(data), servers)
     }
 
-    /// Pushes `data` re-split into `servers.len()` partitions under this
-    /// file's keys without touching metadata — the building block shared
-    /// by [`Client::write`] and under-store recovery
-    /// ([`crate::backing::recover_file`]).
+    /// Zero-copy write: `data`'s backing allocation is sliced into
+    /// per-partition views that the workers store directly — no byte is
+    /// copied anywhere on the write path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates worker failures; metadata registration errors if the id
+    /// is taken.
+    pub fn write_bytes(&self, id: u64, data: Bytes, servers: &[usize]) -> Result<(), StoreError> {
+        let size = data.len();
+        self.push_partitions(id, &data, servers)?;
+        self.master.register(id, size, servers.to_vec())
+    }
+
+    /// Pushes `data` re-split into `servers.len()` partition views under
+    /// this file's keys without touching metadata — the building block
+    /// shared by [`Client::write_bytes`] and under-store recovery
+    /// ([`crate::backing::recover_file`]). The views share `data`'s
+    /// allocation (see [`split_shards_bytes`]).
     pub(crate) fn push_partitions(
         &self,
         id: u64,
-        data: &[u8],
+        data: &Bytes,
         servers: &[usize],
     ) -> Result<(), StoreError> {
         assert!(!servers.is_empty(), "need at least one target server");
-        let k = servers.len();
-        let shards = split_into_shards(data, k);
+        let shards = split_shards_bytes(data, servers.len());
 
-        // Fire all puts, then collect completions (parallel fan-out).
-        let mut pending = Vec::with_capacity(k);
+        // Fire all puts, then collect completions under one shared
+        // deadline (parallel fan-out: the write is bounded by its slowest
+        // partition, not by the sum of per-partition waits).
+        let mut pending = Vec::with_capacity(servers.len());
         for (j, (shard, &server)) in shards.into_iter().zip(servers).enumerate() {
             let (tx, rx) = bounded(1);
             self.workers[server]
                 .send(WorkerRequest::Put {
                     key: PartKey::new(id, j as u32),
-                    data: Bytes::from(shard),
+                    data: shard,
                     reply: tx,
                 })
                 .map_err(|_| self.worker_down(server))?;
             pending.push((server, rx));
         }
+        let deadline = Instant::now() + self.retry.deadline;
         for (server, rx) in pending {
-            self.await_reply(server, &rx, self.retry.deadline)??;
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            self.await_reply(server, &rx, remaining)??;
         }
         Ok(())
     }
@@ -148,25 +192,44 @@ impl Client {
     }
 
     /// Reads a file: locates its partitions via the master (which counts
-    /// the access), fetches them all in parallel, and reassembles the
-    /// original bytes (the fork-join of Fig. 9a). Failed attempts are
-    /// retried per the [`RetryPolicy`], recovering from the under-store
-    /// when one is attached.
+    /// the access), fetches them all in parallel, and scatters each reply
+    /// into its offset of one preallocated buffer (the fork-join of
+    /// Fig. 9a, out of order). Failed attempts are retried per the
+    /// [`RetryPolicy`], recovering from the under-store when one is
+    /// attached.
     ///
     /// # Errors
     ///
     /// Propagates unknown files, and — once retries are exhausted —
     /// missing partitions, timeouts and dead workers.
     pub fn read(&self, id: u64) -> Result<Vec<u8>, StoreError> {
-        self.read_robust(id, true)
+        self.read_robust(id, true).map(gather)
     }
 
     /// Reads without bumping the popularity counter.
     pub fn read_quiet(&self, id: u64) -> Result<Vec<u8>, StoreError> {
-        self.read_robust(id, false)
+        self.read_robust(id, false).map(gather)
     }
 
-    fn read_robust(&self, id: u64, count_access: bool) -> Result<Vec<u8>, StoreError> {
+    /// Zero-copy read: returns the file as its in-index-order partition
+    /// views, sharing the workers' cached allocations — no byte is copied
+    /// on the way out. Consumers that stream (checksum, socket `writev`,
+    /// re-partitioning) never need the contiguous copy [`Client::read`]
+    /// materializes. Counts an access like [`Client::read`].
+    ///
+    /// The concatenation of the views, truncated to the file's size, is
+    /// the file's content (legacy padded tails are trimmed by
+    /// [`ScatteredFile::to_vec`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Client::read`].
+    pub fn read_scattered(&self, id: u64) -> Result<ScatteredFile, StoreError> {
+        self.read_robust(id, true)
+    }
+
+    /// One robust read: locate → fetch-all-partitions → retry/heal loop.
+    fn read_robust(&self, id: u64, count_access: bool) -> Result<ScatteredFile, StoreError> {
         let mut attempt = 0u32;
         loop {
             attempt += 1;
@@ -178,8 +241,8 @@ impl Client {
                 self.master.peek(id)
             };
             let (size, servers) = located?;
-            let err = match self.fetch_and_join(id, size, &servers) {
-                Ok(bytes) => return Ok(bytes),
+            let err = match self.fetch_scattered(id, size, &servers) {
+                Ok(parts) => return Ok(ScatteredFile { size, parts }),
                 Err(e) => e,
             };
             if !err.is_retryable() || attempt >= self.retry.max_attempts {
@@ -211,15 +274,27 @@ impl Client {
         }
     }
 
-    /// One fork-join attempt against a fixed placement.
-    fn fetch_and_join(
+    /// One fork-join attempt against a fixed placement: fire all `k`
+    /// fetches, then consume replies **as they land** via a ready-set
+    /// select over the reply channels, under a **single deadline** for
+    /// the whole attempt.
+    ///
+    /// When hedging is armed, one hedge timer covers the read: at the
+    /// straggler threshold, every partition still outstanding — i.e. the
+    /// actual stragglers, whatever their index — is served from its byte
+    /// range in the under-store checkpoint instead.
+    fn fetch_scattered(
         &self,
         id: u64,
         size: usize,
         servers: &[usize],
-    ) -> Result<Vec<u8>, StoreError> {
+    ) -> Result<Vec<Bytes>, StoreError> {
         let k = servers.len();
-        let mut pending = Vec::with_capacity(k);
+        let start = Instant::now();
+        let deadline = start + self.retry.deadline;
+
+        // Fork: issue every partition fetch up front.
+        let mut replies = Vec::with_capacity(k);
         for (j, &server) in servers.iter().enumerate() {
             let (tx, rx) = bounded(1);
             self.workers[server]
@@ -228,61 +303,77 @@ impl Client {
                     reply: tx,
                 })
                 .map_err(|_| self.worker_down(server))?;
-            pending.push((server, rx));
+            replies.push(rx);
         }
-        let mut shards: Vec<Bytes> = Vec::with_capacity(k);
-        for (j, (server, rx)) in pending.into_iter().enumerate() {
-            shards.push(self.fetch_partition(id, size, k, j, server, rx)?);
-        }
-        Ok(join_shards_bytes(&shards, size))
-    }
 
-    /// Awaits one partition reply, hedging to the under-store after the
-    /// straggler threshold when enabled.
-    fn fetch_partition(
-        &self,
-        id: u64,
-        size: usize,
-        k: usize,
-        j: usize,
-        server: usize,
-        rx: Receiver<Result<Bytes, StoreError>>,
-    ) -> Result<Bytes, StoreError> {
-        let deadline = self.retry.deadline;
-        let hedge_after = self.hedge.straggler_threshold.min(deadline);
         let hedging = self.hedge.enabled && self.under.is_some();
-        let first_wait = if hedging { hedge_after } else { deadline };
+        let mut hedge_at = if hedging {
+            Some(start + self.hedge.straggler_threshold.min(self.retry.deadline))
+        } else {
+            None
+        };
 
-        match rx.recv_timeout(first_wait) {
-            Ok(reply) => {
-                self.master.mark_alive(server);
-                reply
-            }
-            Err(RecvTimeoutError::Disconnected) => Err(self.worker_down(server)),
-            Err(RecvTimeoutError::Timeout) if hedging => {
-                // Late binding: try the under-store copy of exactly this
-                // partition's byte range; fall back to waiting out the
-                // rest of the deadline if there is no checkpoint.
-                let under = self.under.as_ref().expect("hedging requires under-store");
-                if let Some(data) = under.load(id) {
-                    self.master.suspect(server);
-                    self.hedged_fetches.fetch_add(1, Ordering::Relaxed);
-                    let range = partition_range(size as u64, k, j);
-                    return Ok(Bytes::from(
-                        data[range.start as usize..range.end as usize].to_vec(),
-                    ));
+        // Join: a ready-set wait over all outstanding reply channels.
+        let mut parts: Vec<Option<Bytes>> = (0..k).map(|_| None).collect();
+        let mut remaining = k;
+        while remaining > 0 {
+            let wait_until = hedge_at.map_or(deadline, |h| h.min(deadline));
+            let mut sel = Select::new();
+            let mut outstanding = Vec::with_capacity(remaining);
+            for (j, rx) in replies.iter().enumerate() {
+                if parts[j].is_none() {
+                    outstanding.push(j);
+                    sel.recv(rx);
                 }
-                match rx.recv_timeout(deadline.saturating_sub(hedge_after)) {
-                    Ok(reply) => {
-                        self.master.mark_alive(server);
-                        reply
+            }
+            match sel.ready_deadline(wait_until) {
+                Ok(i) => {
+                    let j = outstanding[i];
+                    match replies[j].try_recv() {
+                        Ok(reply) => {
+                            self.master.mark_alive(servers[j]);
+                            parts[j] = Some(reply?);
+                            remaining -= 1;
+                        }
+                        Err(TryRecvError::Disconnected) => {
+                            return Err(self.worker_down(servers[j]));
+                        }
+                        // Spurious readiness; go wait again.
+                        Err(TryRecvError::Empty) => {}
                     }
-                    Err(RecvTimeoutError::Disconnected) => Err(self.worker_down(server)),
-                    Err(RecvTimeoutError::Timeout) => Err(self.timeout(server)),
+                }
+                Err(_) if hedge_at.is_some_and(|h| h < deadline) => {
+                    // Hedge timer fired before the deadline: late-bind
+                    // every partition still outstanding to its exact byte
+                    // range in the under-store checkpoint. If there is no
+                    // checkpoint, disarm the hedge and wait out the rest
+                    // of the deadline.
+                    hedge_at = None;
+                    let under = self.under.as_ref().expect("hedging requires under-store");
+                    for &j in &outstanding {
+                        let range = partition_range(size as u64, k, j);
+                        let Some(data) = under.load_range(id, range.start, range.len())
+                        else {
+                            break;
+                        };
+                        self.master.suspect(servers[j]);
+                        self.hedged_fetches.fetch_add(1, Ordering::Relaxed);
+                        self.hedged_bytes
+                            .fetch_add(data.len() as u64, Ordering::Relaxed);
+                        parts[j] = Some(data);
+                        remaining -= 1;
+                    }
+                }
+                Err(_) => {
+                    // The read deadline expired with partitions missing:
+                    // the slowest partition really is the read's fate
+                    // (Eq. 9). Suspect and report its actual holder.
+                    let straggler = servers[outstanding[0]];
+                    return Err(self.timeout(straggler));
                 }
             }
-            Err(RecvTimeoutError::Timeout) => Err(self.timeout(server)),
         }
+        Ok(parts.into_iter().map(|p| p.expect("all joined")).collect())
     }
 
     /// Records a closed channel (definitive death) and returns the error.
@@ -340,6 +431,56 @@ impl Client {
     }
 }
 
+/// A file read without reassembly: its size and partition views in index
+/// order, each sharing the worker's cached allocation.
+#[derive(Debug, Clone)]
+pub struct ScatteredFile {
+    size: usize,
+    parts: Vec<Bytes>,
+}
+
+impl ScatteredFile {
+    /// Logical file size in bytes (the views may carry legacy padding
+    /// beyond it).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The partition views in index order.
+    pub fn parts(&self) -> &[Bytes] {
+        &self.parts
+    }
+
+    /// Materializes the contiguous file content (one copy).
+    pub fn to_vec(&self) -> Vec<u8> {
+        gather(self.clone())
+    }
+}
+
+/// Scatters partition views into one preallocated contiguous buffer —
+/// the single copy of the read path. Each partition lands at its
+/// `partition_range` offset; legacy zero-padded tails are trimmed.
+fn gather(file: ScatteredFile) -> Vec<u8> {
+    let size = file.size;
+    let k = file.parts.len();
+    // Parts arrive in index order over contiguous ranges, so a
+    // sequential append fills the buffer without the upfront zeroing a
+    // positioned scatter into `vec![0; size]` would pay.
+    let mut out = Vec::with_capacity(size);
+    for (j, part) in file.parts.iter().enumerate() {
+        let range = partition_range(size as u64, k, j);
+        let want = (range.end - range.start) as usize;
+        let take = want.min(part.len());
+        out.extend_from_slice(&part[..take]);
+        // A short part (never produced by the current write paths, but
+        // tolerated) leaves its tail zeroed rather than shifting later
+        // partitions out of place.
+        out.resize(out.len() + (want - take), 0);
+    }
+    debug_assert_eq!(out.len(), size);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,6 +514,25 @@ mod tests {
             let data = payload(len);
             c.write(id, &data, &servers).unwrap();
             assert_eq!(c.read(id).unwrap(), data, "file {id}");
+        }
+    }
+
+    #[test]
+    fn scattered_read_shares_the_written_allocation() {
+        // write_bytes → worker store → reply: one allocation end to end.
+        let cluster = StoreCluster::spawn(StoreConfig::unthrottled(4));
+        let c = cluster.client();
+        let file = Bytes::from(payload(10_000));
+        c.write_bytes(1, file.clone(), &[0, 1, 2]).unwrap();
+        let scattered = c.read_scattered(1).unwrap();
+        assert_eq!(scattered.to_vec(), payload(10_000));
+        let base = file.as_ptr() as usize;
+        for part in scattered.parts() {
+            let p = part.as_ptr() as usize;
+            assert!(
+                p >= base && p + part.len() <= base + file.len(),
+                "partition view escaped the file's allocation"
+            );
         }
     }
 
@@ -468,6 +628,35 @@ mod tests {
     }
 
     #[test]
+    fn one_deadline_covers_the_whole_read_attempt() {
+        // k = 8 partitions, the *last* one straggling 400 ms past a
+        // 150 ms deadline. The select-driven join times out after ~one
+        // deadline, naming the actual straggler — under the old in-order
+        // join each healthy lower index could consume a fresh deadline
+        // (up to 8 × 150 ms) before the straggler was even examined.
+        let k = 8;
+        let hang = Duration::from_millis(400);
+        let deadline = Duration::from_millis(150);
+        let cfg = StoreConfig::unthrottled(k)
+            // Worker 7 serves (put, checkpoint-less) op 0 = its put, so
+            // op 1 is its first read.
+            .with_faults(FaultPlan::none().hang(7, 1, hang))
+            .with_retry(RetryPolicy::none().with_deadline(deadline));
+        let cluster = StoreCluster::spawn(cfg);
+        let c = cluster.client();
+        let servers: Vec<usize> = (0..k).collect();
+        c.write(1, &payload(64 * k), &servers).unwrap();
+        let t0 = Instant::now();
+        assert_eq!(c.read(1).unwrap_err(), StoreError::Timeout(7));
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed >= deadline && elapsed < deadline * 2,
+            "k={k} read with one straggler took {elapsed:?}; the deadline \
+             is per read attempt, not per partition (~{deadline:?} expected)"
+        );
+    }
+
+    #[test]
     fn lost_reply_surfaces_as_worker_down_and_marks_suspicion() {
         let cfg = StoreConfig::unthrottled(2)
             .with_faults(FaultPlan::none().lose_reply(0, 1))
@@ -527,5 +716,38 @@ mod tests {
             "hedge should beat the 300 ms hang"
         );
         assert_eq!(c.hedged_fetches(), 1);
+        // Partition 0 of a 5000-byte file split 2 ways is 2500 bytes —
+        // the hedge pulled exactly that range, not the whole file.
+        assert_eq!(c.hedged_bytes(), 2_500);
+    }
+
+    #[test]
+    fn hedge_fires_for_the_actual_slowest_partition() {
+        // k = 4; the straggler is partition 2 (not the first index). The
+        // hedge must serve exactly that partition from the checkpoint:
+        // one hedged fetch, of exactly partition 2's byte count.
+        let k = 4;
+        let straggler = 2usize;
+        let cfg = StoreConfig::unthrottled(k)
+            // Worker 2's ops: 0 = put, 1 = checkpoint get, 2 = the read.
+            .with_faults(FaultPlan::none().hang(straggler, 2, Duration::from_millis(300)))
+            .with_retry(RetryPolicy::none().with_deadline(Duration::from_secs(2)))
+            .with_hedge(HedgePolicy::after(Duration::from_millis(25)));
+        let cluster = StoreCluster::spawn(cfg);
+        let under = Arc::new(UnderStore::new());
+        let c = cluster.client().with_under_store(under.clone());
+        let data = payload(10_000);
+        let servers: Vec<usize> = (0..k).collect();
+        c.write(1, &data, &servers).unwrap();
+        crate::backing::checkpoint(&c, &under, 1).unwrap();
+        let t0 = Instant::now();
+        assert_eq!(c.read(1).unwrap(), data);
+        assert!(
+            t0.elapsed() < Duration::from_millis(250),
+            "hedge should beat the 300 ms hang"
+        );
+        assert_eq!(c.hedged_fetches(), 1, "exactly the straggler was hedged");
+        let range = partition_range(data.len() as u64, k, straggler);
+        assert_eq!(c.hedged_bytes(), range.len());
     }
 }

@@ -18,9 +18,14 @@ pub struct RetryPolicy {
     pub max_attempts: u32,
     /// First backoff; doubles per attempt.
     pub base_backoff: Duration,
-    /// Per-partition reply deadline. A worker that does not answer
-    /// within this window counts as timed out (it may be hung, not
-    /// dead — the master tracks the distinction via suspicion counts).
+    /// Deadline for one whole **read attempt** (or one write fan-out) —
+    /// *not* per partition. All `k` partition fetches of a fork-join read
+    /// run under this single window: the select-driven join consumes
+    /// replies as they land, so a `k = 8` read with one straggler fails
+    /// (or hedges) after ~one deadline, never eight. A worker whose reply
+    /// is still outstanding when the window closes counts as timed out
+    /// (it may be hung, not dead — the master tracks the distinction via
+    /// suspicion counts).
     pub deadline: Duration,
 }
 

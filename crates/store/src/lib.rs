@@ -39,7 +39,7 @@ pub mod rpc;
 pub mod throttle;
 pub mod worker;
 
-pub use client::Client;
+pub use client::{Client, ScatteredFile};
 pub use cluster::StoreCluster;
 pub use config::{HedgePolicy, RetryPolicy, StoreConfig};
 pub use fault::{FaultAction, FaultEvent, FaultLog, FaultPlan, FaultRecord};

@@ -11,7 +11,7 @@
 use bytes::Bytes;
 use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
 use spcache_core::repartition::{RepartitionJob, RepartitionPlan};
-use spcache_ec::{join_shards_bytes, split_into_shards};
+use spcache_ec::{join_shards_bytes, split_shards_bytes};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -130,10 +130,8 @@ fn execute_job(
     // commit, so a job aborted here leaves the old layout intact and
     // the file readable. A target failing mid-push gets its shard
     // re-routed to a substitute.
-    let new_shards: Vec<Bytes> = split_into_shards(&data, targets.len())
-        .into_iter()
-        .map(Bytes::from)
-        .collect();
+    let data = Bytes::from(data);
+    let new_shards: Vec<Bytes> = split_shards_bytes(&data, targets.len());
     let push_result = (|| {
         let mut pending = Vec::with_capacity(new_shards.len());
         for j in 0..new_shards.len() {
@@ -308,17 +306,17 @@ pub fn run_sequential(
                 .map_err(|_| StoreError::WorkerDown(server))?;
             shards.push(rx.recv().map_err(|_| StoreError::WorkerDown(server))??);
         }
-        let data = join_shards_bytes(&shards, size);
+        let data = Bytes::from(join_shards_bytes(&shards, size));
         for (j, (&server, shard)) in servers
             .iter()
-            .zip(split_into_shards(&data, servers.len()))
+            .zip(split_shards_bytes(&data, servers.len()))
             .enumerate()
         {
             let (tx, rx) = bounded(1);
             workers[server]
                 .send(WorkerRequest::Put {
                     key: PartKey::new(file_id, j as u32),
-                    data: Bytes::from(shard),
+                    data: shard,
                     reply: tx,
                 })
                 .map_err(|_| StoreError::WorkerDown(server))?;

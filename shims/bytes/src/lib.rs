@@ -23,9 +23,14 @@ impl Bytes {
         Bytes::default()
     }
 
-    /// Copies `data` into a new buffer.
+    /// Copies `data` into a new buffer (one copy: straight into the
+    /// shared allocation, no intermediate `Vec`).
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes::from(data.to_vec())
+        Bytes {
+            data: Arc::from(data),
+            start: 0,
+            end: data.len(),
+        }
     }
 
     /// Length in bytes.
