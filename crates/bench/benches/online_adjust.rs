@@ -56,8 +56,8 @@ fn bench_execution(c: &mut Criterion) {
                         execute_adjust(
                             1,
                             &plan,
-                            cluster.master(),
-                            &cluster.worker_senders(),
+                            cluster.master().as_ref(),
+                            cluster.transport().as_ref(),
                         )
                         .unwrap();
                         black_box(cluster)

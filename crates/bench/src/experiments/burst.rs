@@ -86,7 +86,7 @@ pub fn ext_burst_reaction(scale: Scale) {
     let served = cluster.served_bytes().expect("stats");
     let plan = plan_adjust(file_bytes as u64, &servers, 6, &served);
     let adjust_t0 = Instant::now();
-    execute_adjust(burst_file, &plan, cluster.master(), &cluster.worker_senders())
+    execute_adjust(burst_file, &plan, cluster.master().as_ref(), cluster.transport().as_ref())
         .expect("online adjust");
     let adjust_secs = adjust_t0.elapsed().as_secs_f64();
 

@@ -33,7 +33,7 @@ pub fn ext_online_adjustment(scale: Scale) {
         let plan = plan_adjust(file_bytes as u64, &servers, new_k, &vec![0.0; n_workers]);
         let served_before: f64 = cluster.served_bytes().expect("stats").iter().sum();
         let t0 = std::time::Instant::now();
-        execute_adjust(1, &plan, cluster.master(), &cluster.worker_senders())
+        execute_adjust(1, &plan, cluster.master().as_ref(), cluster.transport().as_ref())
             .expect("online adjust");
         let online_time = t0.elapsed().as_secs_f64();
         let moved: f64 =

@@ -89,8 +89,8 @@ pub fn fig16_repartition_time(scale: Scale) {
         run_parallel(
             &setup.plan,
             &setup.ids,
-            setup.cluster.master(),
-            &setup.cluster.worker_senders(),
+            setup.cluster.master().as_ref(),
+            setup.cluster.transport().as_ref(),
         )
         .expect("parallel repartition");
         let par = t0.elapsed().as_secs_f64();
@@ -101,8 +101,8 @@ pub fn fig16_repartition_time(scale: Scale) {
         run_sequential(
             &setup.plan,
             &setup.ids,
-            setup.cluster.master(),
-            &setup.cluster.worker_senders(),
+            setup.cluster.master().as_ref(),
+            setup.cluster.transport().as_ref(),
         )
         .expect("sequential repartition");
         let seq = t0.elapsed().as_secs_f64();

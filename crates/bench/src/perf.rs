@@ -16,6 +16,12 @@
 //! * `read_scattered` — the production zero-copy join
 //!   ([`spcache_store::Client::read_scattered`], no copies).
 //! * `write` / `write_bytes` — the one-copy and zero-copy write paths.
+//! * `tcp_write` / `tcp_read` / `tcp_read_scattered` — the same
+//!   production client driven over a real loopback-TCP cluster
+//!   ([`spcache_net::TcpCluster`]): every byte crosses a socket and the
+//!   wire codec, so these rows price the transport itself. The
+//!   `tcp_read_slowdown` / `tcp_write_slowdown` ratios summarize that
+//!   cost against the in-process rows.
 //!
 //! Per point and variant it reports reads (or writes) per second, bytes
 //! moved, and p50/p95/p99 latency, and emits a schema-stable
@@ -25,15 +31,17 @@
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, Sender};
 use spcache_ec::{join_shards_bytes, split_into_shards};
 use spcache_metrics::Samples;
-use spcache_store::rpc::{PartKey, WorkerRequest};
+use spcache_store::rpc::{PartKey, Request};
+use spcache_store::transport::Transport;
 use spcache_store::{StoreCluster, StoreConfig, StoreError};
 
 /// Schema identifier stamped into the emitted JSON; bump on breaking
-/// layout changes so downstream tooling can dispatch.
-pub const SCHEMA: &str = "spcache-bench-store/v1";
+/// layout changes so downstream tooling can dispatch. v2 adds the
+/// loopback-TCP variants (`tcp_write`, `tcp_read`, `tcp_read_scattered`)
+/// and the `tcp_read_slowdown` / `tcp_write_slowdown` point summaries.
+pub const SCHEMA: &str = "spcache-bench-store/v2";
 
 /// One cell of the measurement grid.
 #[derive(Debug, Clone, Copy)]
@@ -103,6 +111,12 @@ pub struct PointResult {
     /// Write throughput of the zero-copy path over the legacy path
     /// (`write_bytes / legacy_write`).
     pub write_speedup: f64,
+    /// Wire cost of a read: in-process contiguous read throughput over
+    /// loopback-TCP read throughput (`read / tcp_read`; > 1 means the
+    /// socket path is slower).
+    pub tcp_read_slowdown: f64,
+    /// Wire cost of a write (`write / tcp_write`).
+    pub tcp_write_slowdown: f64,
 }
 
 /// A full harness run.
@@ -183,7 +197,7 @@ fn placement(k: usize, workers: usize) -> Vec<usize> {
 /// The seed write path: zero-padded `split_into_shards` (one full copy),
 /// `Bytes::from` per shard (a second copy), in-order reply collection.
 fn legacy_write(
-    workers: &[Sender<WorkerRequest>],
+    transport: &dyn Transport,
     id: u64,
     data: &[u8],
     servers: &[usize],
@@ -191,19 +205,19 @@ fn legacy_write(
     let shards = split_into_shards(data, servers.len());
     let mut pending = Vec::with_capacity(servers.len());
     for (j, (shard, &server)) in shards.into_iter().zip(servers).enumerate() {
-        let (tx, rx) = bounded(1);
-        workers[server]
-            .send(WorkerRequest::Put {
+        let rx = transport.submit(
+            server,
+            Request::Put {
                 key: PartKey::new(id, j as u32),
                 data: Bytes::from(shard),
-                reply: tx,
-            })
-            .map_err(|_| StoreError::WorkerDown(server))?;
+            },
+        )?;
         pending.push((server, rx));
     }
     for (server, rx) in pending {
         rx.recv_timeout(Duration::from_secs(30))
-            .map_err(|_| StoreError::WorkerDown(server))??;
+            .map_err(|_| StoreError::WorkerDown(server))?
+            .unit()?;
     }
     Ok(())
 }
@@ -212,7 +226,7 @@ fn legacy_write(
 /// order** with a fresh per-partition deadline each, collect them into an
 /// intermediate shard vector, and concat-copy at the end.
 fn legacy_read(
-    workers: &[Sender<WorkerRequest>],
+    transport: &dyn Transport,
     id: u64,
     size: usize,
     servers: &[usize],
@@ -220,20 +234,20 @@ fn legacy_read(
     let k = servers.len();
     let mut pending = Vec::with_capacity(k);
     for (j, &server) in servers.iter().enumerate() {
-        let (tx, rx) = bounded(1);
-        workers[server]
-            .send(WorkerRequest::Get {
+        let rx = transport.submit(
+            server,
+            Request::Get {
                 key: PartKey::new(id, j as u32),
-                reply: tx,
-            })
-            .map_err(|_| StoreError::WorkerDown(server))?;
+            },
+        )?;
         pending.push((server, rx));
     }
     let mut shards: Vec<Bytes> = Vec::with_capacity(k);
     for (server, rx) in pending {
         shards.push(
             rx.recv_timeout(Duration::from_secs(30))
-                .map_err(|_| StoreError::WorkerDown(server))??,
+                .map_err(|_| StoreError::WorkerDown(server))?
+                .bytes()?,
         );
     }
     Ok(join_shards_bytes(&shards, size))
@@ -281,7 +295,7 @@ pub fn run_point(point: GridPoint) -> PointResult {
     };
     let cluster = StoreCluster::spawn(cfg);
     let client = cluster.client();
-    let senders = cluster.worker_senders();
+    let transport = cluster.transport().clone();
     let shared = Bytes::from(data.clone());
 
     let mut variants = Vec::new();
@@ -292,14 +306,15 @@ pub fn run_point(point: GridPoint) -> PointResult {
     let mut next_id = 1_000_000u64;
     variants.push(measure("legacy_write", &point, || {
         next_id += 1;
-        legacy_write(&senders, next_id, &data, &servers).expect("legacy write");
+        legacy_write(transport.as_ref(), next_id, &data, &servers).expect("legacy write");
         for (j, &s) in servers.iter().enumerate() {
-            let (tx, rx) = bounded(1);
-            let _ = senders[s].send(WorkerRequest::Delete {
-                key: PartKey::new(next_id, j as u32),
-                reply: tx,
-            });
-            let _ = rx.recv_timeout(Duration::from_secs(5));
+            let _ = transport.call(
+                s,
+                Request::Delete {
+                    key: PartKey::new(next_id, j as u32),
+                },
+                Duration::from_secs(5),
+            );
         }
         data.len()
     }));
@@ -321,7 +336,7 @@ pub fn run_point(point: GridPoint) -> PointResult {
     // Read paths, all against the same resident file.
     client.write_bytes(1, shared.clone(), &servers).expect("seed write");
     variants.push(measure("legacy_read", &point, || {
-        legacy_read(&senders, 1, data.len(), &servers)
+        legacy_read(transport.as_ref(), 1, data.len(), &servers)
             .expect("legacy read")
             .len()
     }));
@@ -332,6 +347,32 @@ pub fn run_point(point: GridPoint) -> PointResult {
         let f = client.read_scattered(1).expect("read_scattered");
         f.size()
     }));
+
+    // The same production client over real loopback sockets: a separate
+    // TcpCluster with the identical worker configuration, so the delta
+    // against `write`/`read` is purely the wire (codec + TCP + demux).
+    let tcp_cfg = if point.nic_bytes_per_sec.is_infinite() {
+        StoreConfig::unthrottled(point.workers)
+    } else {
+        StoreConfig::throttled(point.workers, point.nic_bytes_per_sec)
+    };
+    let tcp = spcache_net::TcpCluster::spawn(tcp_cfg);
+    let tcp_client = tcp.client();
+    variants.push(measure("tcp_write", &point, || {
+        next_id += 1;
+        tcp_client.write(next_id, &data, &servers).expect("tcp write");
+        tcp_client.delete(next_id).expect("tcp delete");
+        data.len()
+    }));
+    tcp_client.write_bytes(1, shared.clone(), &servers).expect("tcp seed write");
+    variants.push(measure("tcp_read", &point, || {
+        tcp_client.read_quiet(1).expect("tcp read").len()
+    }));
+    variants.push(measure("tcp_read_scattered", &point, || {
+        let f = tcp_client.read_scattered(1).expect("tcp read_scattered");
+        f.size()
+    }));
+    tcp.shutdown();
 
     let thpt = |name: &str| {
         variants
@@ -344,6 +385,8 @@ pub fn run_point(point: GridPoint) -> PointResult {
         read_speedup_scattered: thpt("read_scattered") / thpt("legacy_read"),
         read_speedup_contiguous: thpt("read") / thpt("legacy_read"),
         write_speedup: thpt("write_bytes") / thpt("legacy_write"),
+        tcp_read_slowdown: thpt("read") / thpt("tcp_read"),
+        tcp_write_slowdown: thpt("write") / thpt("tcp_write"),
         point,
         variants,
     }
@@ -417,6 +460,14 @@ pub fn report_to_json(report: &PerfReport, machine: &str) -> String {
             "      \"write_speedup\": {},\n",
             json_f64(p.write_speedup)
         ));
+        out.push_str(&format!(
+            "      \"tcp_read_slowdown\": {},\n",
+            json_f64(p.tcp_read_slowdown)
+        ));
+        out.push_str(&format!(
+            "      \"tcp_write_slowdown\": {},\n",
+            json_f64(p.tcp_write_slowdown)
+        ));
         out.push_str("      \"variants\": [\n");
         for (j, v) in p.variants.iter().enumerate() {
             out.push_str(&format!(
@@ -467,6 +518,8 @@ pub fn validate_report_json(json: &str) -> Result<(), String> {
         "\"read_speedup_scattered\"",
         "\"read_speedup_contiguous\"",
         "\"write_speedup\"",
+        "\"tcp_read_slowdown\"",
+        "\"tcp_write_slowdown\"",
         "\"variants\"",
         "\"ops_per_sec\"",
         "\"mbytes_per_sec\"",
@@ -489,6 +542,8 @@ pub fn validate_report_json(json: &str) -> Result<(), String> {
         "\"read_speedup_scattered\": ",
         "\"read_speedup_contiguous\": ",
         "\"write_speedup\": ",
+        "\"tcp_read_slowdown\": ",
+        "\"tcp_write_slowdown\": ",
     ] {
         for (found, chunk) in json.match_indices(metric) {
             let rest = &json[found + metric.len()..];
@@ -512,6 +567,9 @@ pub fn validate_report_json(json: &str) -> Result<(), String> {
         "legacy_read",
         "read",
         "read_scattered",
+        "tcp_write",
+        "tcp_read",
+        "tcp_read_scattered",
     ] {
         if !json.contains(&format!("\"variant\": \"{variant}\"")) {
             return Err(format!("variant {variant} missing from report"));
@@ -557,12 +615,15 @@ mod tests {
     #[test]
     fn legacy_paths_are_byte_exact() {
         let cluster = StoreCluster::spawn(StoreConfig::unthrottled(4));
-        let senders = cluster.worker_senders();
+        let transport = cluster.transport().clone();
         let data = payload(100_001);
         let servers = placement(8, 4);
-        legacy_write(&senders, 9, &data, &servers).unwrap();
+        legacy_write(transport.as_ref(), 9, &data, &servers).unwrap();
         cluster.master().register(9, data.len(), servers.clone()).unwrap();
-        assert_eq!(legacy_read(&senders, 9, data.len(), &servers).unwrap(), data);
+        assert_eq!(
+            legacy_read(transport.as_ref(), 9, data.len(), &servers).unwrap(),
+            data
+        );
         // And the production client reads the legacy layout fine.
         assert_eq!(cluster.client().read_quiet(9).unwrap(), data);
     }

@@ -1,0 +1,88 @@
+//! `spcached` — the store's network daemon.
+//!
+//! ```text
+//! spcached worker --id N --bind ADDR [--seed S] [--bandwidth B]
+//! spcached master --bind ADDR --workers ADDR1,ADDR2,...
+//! ```
+//!
+//! Both roles print `LISTEN <addr>` on stdout once bound (port 0 picks
+//! an ephemeral port), then serve until they receive a shutdown RPC.
+
+use spcache_net::{MasterServer, WorkerServer};
+use spcache_store::fault::FaultLog;
+use spcache_store::master::Master;
+use spcache_store::StoreConfig;
+use std::net::SocketAddr;
+use std::process::exit;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  spcached worker --id N --bind ADDR [--seed S] [--bandwidth B]\n  \
+         spcached master --bind ADDR --workers ADDR1,ADDR2,..."
+    );
+    exit(2);
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse<T: std::str::FromStr>(what: &str, v: &str) -> T {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("spcached: bad value for {what}: {v:?}");
+        exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("worker") => run_worker(&args[1..]),
+        Some("master") => run_master(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn run_worker(args: &[String]) {
+    let id: usize = parse("--id", &flag_value(args, "--id").unwrap_or_else(|| usage()));
+    let bind = flag_value(args, "--bind").unwrap_or_else(|| usage());
+    let mut cfg = StoreConfig::unthrottled(id + 1);
+    if let Some(seed) = flag_value(args, "--seed") {
+        cfg.seed = parse("--seed", &seed);
+    }
+    if let Some(bw) = flag_value(args, "--bandwidth") {
+        cfg.bandwidth = parse("--bandwidth", &bw);
+    }
+    let server = WorkerServer::spawn(id, &bind, &cfg, Arc::new(FaultLog::new()))
+        .unwrap_or_else(|e| {
+            eprintln!("spcached: cannot bind {bind}: {e}");
+            exit(1);
+        });
+    println!("LISTEN {}", server.addr());
+    server.join();
+}
+
+fn run_master(args: &[String]) {
+    let bind = flag_value(args, "--bind").unwrap_or_else(|| usage());
+    let workers_arg = flag_value(args, "--workers").unwrap_or_else(|| usage());
+    let worker_addrs: Vec<SocketAddr> = workers_arg
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| parse("--workers", s))
+        .collect();
+    if worker_addrs.is_empty() {
+        usage();
+    }
+    let master = Arc::new(Master::new());
+    master.ensure_workers(worker_addrs.len());
+    let server = MasterServer::spawn(master, &bind, worker_addrs).unwrap_or_else(|e| {
+        eprintln!("spcached: cannot bind {bind}: {e}");
+        exit(1);
+    });
+    println!("LISTEN {}", server.addr());
+    server.join();
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! `spcache-net`: a real TCP wire protocol and transport for the store.
+//!
+//! The store crate's data and control planes are pure data
+//! ([`spcache_store::rpc::Request`] / [`Reply`] and the
+//! [`spcache_store::master::MetaService`] trait) behind the
+//! [`spcache_store::transport::Transport`] abstraction. This crate puts
+//! them on sockets:
+//!
+//! * [`frame`] — the length-prefixed binary codec (hand-rolled on
+//!   [`bytes::Bytes`], zero-copy on receive; DESIGN.md §4.10),
+//! * [`tcp::TcpTransport`] — the client side: one pooled connection per
+//!   worker with per-connection request-id multiplexing and
+//!   `RetryPolicy`-derived socket deadlines,
+//! * [`server::WorkerServer`] — the `spcached` worker: a TCP front end
+//!   over the store's channel worker, including wire-level fault
+//!   injection (dropped connections, delayed and truncated frames) and
+//!   graceful drain-then-exit shutdown,
+//! * [`master_net`] — the master protocol: [`master_net::MasterServer`]
+//!   serving metadata plus a one-RPC cluster `Rebalance`, and
+//!   [`master_net::MasterClient`], a wire-backed `MetaService`,
+//! * [`loopback::TcpCluster`] — everything wired together over
+//!   127.0.0.1 for tests and benchmarks, interchangeable with the
+//!   in-process `StoreCluster`,
+//! * the `spcached` binary — `spcached worker|master` for real
+//!   multi-process deployments (see the README quickstart).
+//!
+//! [`Reply`]: spcache_store::rpc::Reply
+
+pub mod frame;
+pub mod loopback;
+pub mod master_net;
+pub mod server;
+pub mod tcp;
+
+pub use loopback::TcpCluster;
+pub use master_net::{MasterClient, MasterServer};
+pub use server::WorkerServer;
+pub use tcp::TcpTransport;

@@ -1,0 +1,151 @@
+//! A full store cluster over loopback TCP: N [`WorkerServer`]s, a
+//! [`MasterServer`] and a wire [`Client`] — the drop-in twin of the
+//! in-process `StoreCluster`, with every byte crossing a real socket.
+
+use spcache_store::client::Client;
+use spcache_store::fault::FaultLog;
+use spcache_store::master::Master;
+use spcache_store::rpc::{Request, StoreError, WorkerStats};
+use spcache_store::transport::Transport;
+use spcache_store::StoreConfig;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::master_net::{MasterClient, MasterServer};
+use crate::server::WorkerServer;
+use crate::tcp::TcpTransport;
+
+/// A running loopback-TCP store cluster.
+///
+/// # Examples
+///
+/// ```
+/// use spcache_net::TcpCluster;
+/// use spcache_store::StoreConfig;
+///
+/// let cluster = TcpCluster::spawn(StoreConfig::unthrottled(3));
+/// let client = cluster.client();
+/// client.write(1, b"over real sockets", &[0, 2]).unwrap();
+/// assert_eq!(client.read(1).unwrap(), b"over real sockets");
+/// cluster.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct TcpCluster {
+    workers: Vec<WorkerServer>,
+    master_server: MasterServer,
+    transport: Arc<TcpTransport>,
+    fault_log: Arc<FaultLog>,
+    cfg: StoreConfig,
+}
+
+impl TcpCluster {
+    /// Spawns `cfg.n_workers` worker servers and a master server, all on
+    /// ephemeral loopback ports. Worker threads get the data half of
+    /// `cfg.faults`, the servers the wire half; both log into
+    /// [`TcpCluster::fault_log`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.n_workers == 0` or a listener cannot bind.
+    pub fn spawn(cfg: StoreConfig) -> Self {
+        assert!(cfg.n_workers > 0, "need at least one worker");
+        let fault_log = Arc::new(FaultLog::new());
+        let workers: Vec<WorkerServer> = (0..cfg.n_workers)
+            .map(|id| {
+                WorkerServer::spawn(id, "127.0.0.1:0", &cfg, Arc::clone(&fault_log))
+                    .expect("bind worker listener")
+            })
+            .collect();
+        let addrs: Vec<SocketAddr> = workers.iter().map(WorkerServer::addr).collect();
+        let master = Arc::new(Master::new());
+        master.ensure_workers(cfg.n_workers);
+        let master_server = MasterServer::spawn(master, "127.0.0.1:0", addrs.clone())
+            .expect("bind master listener");
+        let transport =
+            Arc::new(TcpTransport::connect(addrs).with_deadline(cfg.retry.deadline));
+        TcpCluster {
+            workers,
+            master_server,
+            transport,
+            fault_log,
+            cfg,
+        }
+    }
+
+    /// Number of workers.
+    pub fn n_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Worker listen addresses, in index order.
+    pub fn worker_addrs(&self) -> Vec<SocketAddr> {
+        self.workers.iter().map(WorkerServer::addr).collect()
+    }
+
+    /// The master's listen address.
+    pub fn master_addr(&self) -> SocketAddr {
+        self.master_server.addr()
+    }
+
+    /// The in-process [`Master`] behind the master server — the same
+    /// instance the wire mutates, so tests can assert on metadata
+    /// without another RPC layer.
+    pub fn master(&self) -> &Arc<Master> {
+        self.master_server.master()
+    }
+
+    /// The record of injected faults that have fired so far.
+    pub fn fault_log(&self) -> &Arc<FaultLog> {
+        &self.fault_log
+    }
+
+    /// The shared worker transport.
+    pub fn transport(&self) -> &Arc<TcpTransport> {
+        &self.transport
+    }
+
+    /// A fresh wire-backed [`MasterClient`] for this cluster's master.
+    pub fn master_client(&self) -> MasterClient {
+        MasterClient::connect(self.master_server.addr()).with_deadline(self.cfg.retry.deadline)
+    }
+
+    /// Creates a client whose metadata *and* data paths both run over
+    /// TCP, carrying the cluster's retry and hedge policies.
+    pub fn client(&self) -> Client {
+        Client::new(Arc::new(self.master_client()), self.transport.clone())
+            .with_retry(self.cfg.retry)
+            .with_hedge(self.cfg.hedge)
+    }
+
+    /// Collects per-worker service counters over the wire. Workers that
+    /// fail to answer report defaults.
+    pub fn worker_stats(&self) -> Result<Vec<WorkerStats>, StoreError> {
+        Ok(self
+            .workers
+            .iter()
+            .map(|w| {
+                self.transport
+                    .call(w.id(), Request::Stats, Duration::from_secs(5))
+                    .and_then(|r| r.stats())
+                    .unwrap_or_default()
+            })
+            .collect())
+    }
+
+    /// Gracefully stops the whole cluster: each worker drains its queue
+    /// and exits (over the wire), then the master server closes.
+    pub fn shutdown(self) {
+        for w in &self.workers {
+            let _ = self
+                .transport
+                .call(w.id(), Request::Shutdown, Duration::from_secs(10));
+        }
+        let client = self.master_client();
+        let _ = client.shutdown_server();
+        for w in self.workers {
+            w.join();
+        }
+        self.master_server.join();
+    }
+}

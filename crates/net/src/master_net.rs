@@ -1,0 +1,685 @@
+//! Master wire protocol: [`MasterServer`] exposes a [`Master`] over
+//! TCP; [`MasterClient`] implements [`MetaService`] against it.
+//!
+//! Same frame layout as the worker protocol (see [`crate::frame`]), in
+//! a disjoint opcode space (`0x81..` requests / `0xC1..` replies) so a
+//! client dialed into the wrong port fails with a codec error instead
+//! of silently misreading messages.
+//!
+//! Metadata calls are small and synchronous, so the client keeps one
+//! pooled connection and runs strict request→reply on it (no
+//! multiplexing needed). Health-table updates (`mark_alive`,
+//! `mark_dead`, `suspect`) are best-effort by contract: if the master
+//! is unreachable they degrade to no-ops rather than failing the data
+//! path that triggered them.
+//!
+//! The server additionally understands `Rebalance`: the master plans
+//! against its metadata (Algorithm 1 + 2 planning) and runs the
+//! repartition over its *own* [`TcpTransport`] to the workers, so one
+//! RPC drives a whole cluster rebalance — the deployment shape of the
+//! paper's SP-Master.
+
+use parking_lot::Mutex;
+use spcache_core::tuner::TunerConfig;
+use spcache_store::master::{Master, MetaService};
+use spcache_store::repartitioner::run_parallel;
+use spcache_store::rpc::{StoreError, MASTER_ENDPOINT};
+use std::io::{self, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::frame::{read_frame, write_frame, Frame, FrameBuilder};
+use crate::tcp::TcpTransport;
+
+// Master-protocol opcodes.
+const MOP_REGISTER: u8 = 0x81;
+const MOP_UNREGISTER: u8 = 0x82;
+const MOP_LOCATE: u8 = 0x83;
+const MOP_PEEK: u8 = 0x84;
+const MOP_APPLY_PLACEMENT: u8 = 0x85;
+const MOP_MARK_ALIVE: u8 = 0x86;
+const MOP_MARK_DEAD: u8 = 0x87;
+const MOP_SUSPECT: u8 = 0x88;
+const MOP_IS_ALIVE: u8 = 0x89;
+const MOP_LIVE_WORKERS: u8 = 0x8A;
+const MOP_DEGRADED: u8 = 0x8B;
+const MOP_REBALANCE: u8 = 0x8C;
+const MOP_SHUTDOWN: u8 = 0x8D;
+const MOP_R_DONE: u8 = 0xC1;
+const MOP_R_INFO: u8 = 0xC2;
+const MOP_R_MAYBE: u8 = 0xC3;
+const MOP_R_COUNT: u8 = 0xC4;
+const MOP_R_FLAG: u8 = 0xC5;
+const MOP_R_WORKERS: u8 = 0xC6;
+const MOP_R_FILES: u8 = 0xC7;
+const MOP_R_REBALANCED: u8 = 0xC8;
+const MOP_R_ERR: u8 = 0xC9;
+
+fn codec(msg: impl Into<String>) -> StoreError {
+    StoreError::Codec(msg.into())
+}
+
+/// Pure-data form of one metadata request (the master protocol's
+/// counterpart of [`spcache_store::rpc::Request`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetaRequest {
+    /// `MetaService::register`.
+    Register {
+        /// File id.
+        id: u64,
+        /// File size in bytes.
+        size: u64,
+        /// Placement (one server per partition).
+        servers: Vec<usize>,
+    },
+    /// `MetaService::unregister_file`.
+    Unregister {
+        /// File id.
+        id: u64,
+    },
+    /// `MetaService::locate` (counts an access).
+    Locate {
+        /// File id.
+        id: u64,
+    },
+    /// `MetaService::peek` (no access count).
+    Peek {
+        /// File id.
+        id: u64,
+    },
+    /// `MetaService::apply_placement`.
+    ApplyPlacement {
+        /// File id.
+        id: u64,
+        /// New placement.
+        servers: Vec<usize>,
+    },
+    /// `MetaService::mark_alive`.
+    MarkAlive {
+        /// Worker index.
+        w: u64,
+    },
+    /// `MetaService::mark_dead`.
+    MarkDead {
+        /// Worker index.
+        w: u64,
+    },
+    /// `MetaService::suspect`.
+    Suspect {
+        /// Worker index.
+        w: u64,
+    },
+    /// `MetaService::is_alive`.
+    IsAlive {
+        /// Worker index.
+        w: u64,
+    },
+    /// `MetaService::live_workers`.
+    LiveWorkers {
+        /// Fleet size.
+        n: u64,
+    },
+    /// `MetaService::degraded_files`.
+    Degraded,
+    /// Plan a rebalance (Algorithm 1 + 2) and execute it over the
+    /// master's worker transport.
+    Rebalance {
+        /// Per-worker NIC bandwidth, bytes/s.
+        bandwidth: f64,
+        /// Total arrival rate for the tuner.
+        lambda: f64,
+        /// Partition-placement RNG seed.
+        seed: u64,
+    },
+    /// Stop the master server.
+    Shutdown,
+}
+
+/// Pure-data form of one metadata reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetaReply {
+    /// Success without payload.
+    Done,
+    /// `(size, servers)` lookup result.
+    Info {
+        /// File size in bytes.
+        size: u64,
+        /// Placement.
+        servers: Vec<usize>,
+    },
+    /// Optional `(size, servers)` (unregister of a possibly-unknown id).
+    Maybe(Option<(u64, Vec<usize>)>),
+    /// Suspicion count.
+    Count(u32),
+    /// Boolean outcome.
+    Flag(bool),
+    /// Worker-index list.
+    Workers(Vec<usize>),
+    /// File-id list.
+    Files(Vec<u64>),
+    /// Rebalance outcome: `(files_repartitioned, skipped_file_ids)`.
+    Rebalanced {
+        /// Number of files the plan moved.
+        moved: u64,
+        /// Files skipped because a worker was unavailable.
+        skipped: Vec<u64>,
+    },
+    /// The request failed.
+    Err(StoreError),
+}
+
+/// Encodes one metadata request into a wire frame.
+pub fn encode_meta_request(req: &MetaRequest, req_id: u64) -> Vec<u8> {
+    match req {
+        MetaRequest::Register { id, size, servers } => FrameBuilder::new(MOP_REGISTER, req_id)
+            .u64(*id)
+            .u64(*size)
+            .usize_list(servers)
+            .finish(),
+        MetaRequest::Unregister { id } => {
+            FrameBuilder::new(MOP_UNREGISTER, req_id).u64(*id).finish()
+        }
+        MetaRequest::Locate { id } => FrameBuilder::new(MOP_LOCATE, req_id).u64(*id).finish(),
+        MetaRequest::Peek { id } => FrameBuilder::new(MOP_PEEK, req_id).u64(*id).finish(),
+        MetaRequest::ApplyPlacement { id, servers } => {
+            FrameBuilder::new(MOP_APPLY_PLACEMENT, req_id)
+                .u64(*id)
+                .usize_list(servers)
+                .finish()
+        }
+        MetaRequest::MarkAlive { w } => FrameBuilder::new(MOP_MARK_ALIVE, req_id).u64(*w).finish(),
+        MetaRequest::MarkDead { w } => FrameBuilder::new(MOP_MARK_DEAD, req_id).u64(*w).finish(),
+        MetaRequest::Suspect { w } => FrameBuilder::new(MOP_SUSPECT, req_id).u64(*w).finish(),
+        MetaRequest::IsAlive { w } => FrameBuilder::new(MOP_IS_ALIVE, req_id).u64(*w).finish(),
+        MetaRequest::LiveWorkers { n } => {
+            FrameBuilder::new(MOP_LIVE_WORKERS, req_id).u64(*n).finish()
+        }
+        MetaRequest::Degraded => FrameBuilder::new(MOP_DEGRADED, req_id).finish(),
+        MetaRequest::Rebalance {
+            bandwidth,
+            lambda,
+            seed,
+        } => FrameBuilder::new(MOP_REBALANCE, req_id)
+            .f64(*bandwidth)
+            .f64(*lambda)
+            .u64(*seed)
+            .finish(),
+        MetaRequest::Shutdown => FrameBuilder::new(MOP_SHUTDOWN, req_id).finish(),
+    }
+}
+
+/// Decodes a metadata request frame.
+///
+/// # Errors
+///
+/// [`StoreError::Codec`] on malformed input.
+pub fn decode_meta_request(frame: &Frame) -> Result<MetaRequest, StoreError> {
+    let mut c = frame.body_cursor();
+    let req = match frame.opcode {
+        MOP_REGISTER => MetaRequest::Register {
+            id: c.u64()?,
+            size: c.u64()?,
+            servers: c.usize_list()?,
+        },
+        MOP_UNREGISTER => MetaRequest::Unregister { id: c.u64()? },
+        MOP_LOCATE => MetaRequest::Locate { id: c.u64()? },
+        MOP_PEEK => MetaRequest::Peek { id: c.u64()? },
+        MOP_APPLY_PLACEMENT => MetaRequest::ApplyPlacement {
+            id: c.u64()?,
+            servers: c.usize_list()?,
+        },
+        MOP_MARK_ALIVE => MetaRequest::MarkAlive { w: c.u64()? },
+        MOP_MARK_DEAD => MetaRequest::MarkDead { w: c.u64()? },
+        MOP_SUSPECT => MetaRequest::Suspect { w: c.u64()? },
+        MOP_IS_ALIVE => MetaRequest::IsAlive { w: c.u64()? },
+        MOP_LIVE_WORKERS => MetaRequest::LiveWorkers { n: c.u64()? },
+        MOP_DEGRADED => MetaRequest::Degraded,
+        MOP_REBALANCE => MetaRequest::Rebalance {
+            bandwidth: c.f64()?,
+            lambda: c.f64()?,
+            seed: c.u64()?,
+        },
+        MOP_SHUTDOWN => MetaRequest::Shutdown,
+        op => return Err(codec(format!("unknown meta request opcode {op:#04x}"))),
+    };
+    c.finish()?;
+    Ok(req)
+}
+
+/// Encodes one metadata reply into a wire frame.
+pub fn encode_meta_reply(reply: &MetaReply, req_id: u64) -> Vec<u8> {
+    match reply {
+        MetaReply::Done => FrameBuilder::new(MOP_R_DONE, req_id).finish(),
+        MetaReply::Info { size, servers } => FrameBuilder::new(MOP_R_INFO, req_id)
+            .u64(*size)
+            .usize_list(servers)
+            .finish(),
+        MetaReply::Maybe(opt) => {
+            let b = FrameBuilder::new(MOP_R_MAYBE, req_id);
+            match opt {
+                None => b.u8(0).finish(),
+                Some((size, servers)) => b.u8(1).u64(*size).usize_list(servers).finish(),
+            }
+        }
+        MetaReply::Count(n) => FrameBuilder::new(MOP_R_COUNT, req_id).u32(*n).finish(),
+        MetaReply::Flag(f) => FrameBuilder::new(MOP_R_FLAG, req_id).u8(*f as u8).finish(),
+        MetaReply::Workers(w) => FrameBuilder::new(MOP_R_WORKERS, req_id)
+            .usize_list(w)
+            .finish(),
+        MetaReply::Files(f) => FrameBuilder::new(MOP_R_FILES, req_id).u64_list(f).finish(),
+        MetaReply::Rebalanced { moved, skipped } => FrameBuilder::new(MOP_R_REBALANCED, req_id)
+            .u64(*moved)
+            .u64_list(skipped)
+            .finish(),
+        MetaReply::Err(e) => crate::frame::encode_err_frame(MOP_R_ERR, req_id, e),
+    }
+}
+
+/// Decodes a metadata reply frame.
+///
+/// # Errors
+///
+/// [`StoreError::Codec`] on malformed input.
+pub fn decode_meta_reply(frame: &Frame) -> Result<MetaReply, StoreError> {
+    let mut c = frame.body_cursor();
+    let reply = match frame.opcode {
+        MOP_R_DONE => MetaReply::Done,
+        MOP_R_INFO => MetaReply::Info {
+            size: c.u64()?,
+            servers: c.usize_list()?,
+        },
+        MOP_R_MAYBE => match c.u8()? {
+            0 => MetaReply::Maybe(None),
+            1 => MetaReply::Maybe(Some((c.u64()?, c.usize_list()?))),
+            t => return Err(codec(format!("bad option tag {t}"))),
+        },
+        MOP_R_COUNT => MetaReply::Count(c.u32()?),
+        MOP_R_FLAG => MetaReply::Flag(c.u8()? != 0),
+        MOP_R_WORKERS => MetaReply::Workers(c.usize_list()?),
+        MOP_R_FILES => MetaReply::Files(c.u64_list()?),
+        MOP_R_REBALANCED => MetaReply::Rebalanced {
+            moved: c.u64()?,
+            skipped: c.u64_list()?,
+        },
+        MOP_R_ERR => MetaReply::Err(c.store_error()?),
+        op => return Err(codec(format!("unknown meta reply opcode {op:#04x}"))),
+    };
+    c.finish()?;
+    Ok(reply)
+}
+
+/// A running master server. The in-process [`Master`] it serves remains
+/// directly inspectable through [`MasterServer::master`].
+#[derive(Debug)]
+pub struct MasterServer {
+    master: Arc<Master>,
+    addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl MasterServer {
+    /// Serves `master` on `bind` (port 0 for ephemeral). `worker_addrs`
+    /// is the fleet the `Rebalance` RPC repartitions over; pass the
+    /// workers' listen addresses in index order.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors binding the listener.
+    pub fn spawn(
+        master: Arc<Master>,
+        bind: &str,
+        worker_addrs: Vec<SocketAddr>,
+    ) -> io::Result<MasterServer> {
+        let listener = TcpListener::bind(bind)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_master = Arc::clone(&master);
+        let acceptor = std::thread::Builder::new()
+            .name("spcache-master-accept".into())
+            .spawn(move || {
+                loop {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            if stop.load(Ordering::SeqCst) {
+                                return;
+                            }
+                            let _ = stream.set_nodelay(true);
+                            let m = Arc::clone(&accept_master);
+                            let stop = Arc::clone(&stop);
+                            let workers = worker_addrs.clone();
+                            let _ = std::thread::Builder::new()
+                                .name("spcache-master-conn".into())
+                                .spawn(move || serve_meta_conn(stream, &m, &workers, &stop, addr));
+                        }
+                        Err(_) => {
+                            if stop.load(Ordering::SeqCst) {
+                                return;
+                            }
+                        }
+                    }
+                }
+            })
+            .expect("spawn master acceptor");
+        Ok(MasterServer {
+            master,
+            addr,
+            threads: vec![acceptor],
+        })
+    }
+
+    /// The address the server listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served metadata master (same instance the wire mutates).
+    pub fn master(&self) -> &Arc<Master> {
+        &self.master
+    }
+
+    /// Waits for the acceptor to exit (after a `Shutdown` request).
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Serves one metadata connection, strict request→reply.
+fn serve_meta_conn(
+    stream: TcpStream,
+    master: &Arc<Master>,
+    worker_addrs: &[SocketAddr],
+    stop: &Arc<AtomicBool>,
+    addr: SocketAddr,
+) {
+    let mut reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let buf = match read_frame(&mut reader) {
+            Ok(Some(buf)) => buf,
+            Ok(None) | Err(_) => return,
+        };
+        let (req_id, req) = match Frame::parse(buf).and_then(|f| {
+            let req = decode_meta_request(&f)?;
+            Ok((f.req_id, req))
+        }) {
+            Ok(ok) => ok,
+            Err(e) => {
+                let _ = write_frame(&mut writer, &encode_meta_reply(&MetaReply::Err(e), 0));
+                return;
+            }
+        };
+        let shutdown = matches!(req, MetaRequest::Shutdown);
+        let reply = serve_meta(master, worker_addrs, req);
+        if write_frame(&mut writer, &encode_meta_reply(&reply, req_id)).is_err() {
+            return;
+        }
+        if shutdown {
+            stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+            return;
+        }
+    }
+}
+
+fn serve_meta(master: &Arc<Master>, worker_addrs: &[SocketAddr], req: MetaRequest) -> MetaReply {
+    match req {
+        MetaRequest::Register { id, size, servers } => {
+            match MetaService::register(master.as_ref(), id, size as usize, servers) {
+                Ok(()) => MetaReply::Done,
+                Err(e) => MetaReply::Err(e),
+            }
+        }
+        MetaRequest::Unregister { id } => MetaReply::Maybe(
+            master
+                .unregister_file(id)
+                .map(|(size, servers)| (size as u64, servers)),
+        ),
+        MetaRequest::Locate { id } => match master.locate(id) {
+            Ok((size, servers)) => MetaReply::Info {
+                size: size as u64,
+                servers,
+            },
+            Err(e) => MetaReply::Err(e),
+        },
+        MetaRequest::Peek { id } => match MetaService::peek(master.as_ref(), id) {
+            Ok((size, servers)) => MetaReply::Info {
+                size: size as u64,
+                servers,
+            },
+            Err(e) => MetaReply::Err(e),
+        },
+        MetaRequest::ApplyPlacement { id, servers } => {
+            match MetaService::apply_placement(master.as_ref(), id, servers) {
+                Ok(()) => MetaReply::Done,
+                Err(e) => MetaReply::Err(e),
+            }
+        }
+        MetaRequest::MarkAlive { w } => {
+            master.mark_alive(w as usize);
+            MetaReply::Done
+        }
+        MetaRequest::MarkDead { w } => {
+            master.mark_dead(w as usize);
+            MetaReply::Done
+        }
+        MetaRequest::Suspect { w } => MetaReply::Count(master.suspect(w as usize)),
+        MetaRequest::IsAlive { w } => MetaReply::Flag(master.is_alive(w as usize)),
+        MetaRequest::LiveWorkers { n } => MetaReply::Workers(master.live_workers(n as usize)),
+        MetaRequest::Degraded => MetaReply::Files(master.degraded_files()),
+        MetaRequest::Rebalance {
+            bandwidth,
+            lambda,
+            seed,
+        } => {
+            let n = worker_addrs.len();
+            let (ids, plan, _) =
+                master.plan_rebalance(n, bandwidth, lambda, &TunerConfig::default(), seed);
+            let moved = plan.jobs.len() as u64;
+            let transport = TcpTransport::connect(worker_addrs.to_vec());
+            match run_parallel(&plan, &ids, master.as_ref(), &transport) {
+                Ok(skipped) => MetaReply::Rebalanced { moved, skipped },
+                Err(e) => MetaReply::Err(e),
+            }
+        }
+        MetaRequest::Shutdown => MetaReply::Done,
+    }
+}
+
+/// A [`MetaService`] implementation speaking the master wire protocol.
+#[derive(Debug)]
+pub struct MasterClient {
+    addr: SocketAddr,
+    conn: Mutex<Option<TcpStream>>,
+    next_id: std::sync::atomic::AtomicU64,
+    deadline: Duration,
+}
+
+impl MasterClient {
+    /// A client for the master at `addr`, with the default 5 s deadline.
+    pub fn connect(addr: SocketAddr) -> Self {
+        MasterClient {
+            addr,
+            conn: Mutex::new(None),
+            next_id: std::sync::atomic::AtomicU64::new(1),
+            deadline: Duration::from_secs(5),
+        }
+    }
+
+    /// Sets the socket deadline (builder style).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline.max(Duration::from_millis(1));
+        self
+    }
+
+    /// One synchronous request→reply exchange. Any transport failure
+    /// maps to [`StoreError::Io`] against [`MASTER_ENDPOINT`] and drops
+    /// the pooled connection so the next call redials.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on transport failure, [`StoreError::Codec`]
+    /// on malformed replies, plus whatever error the master returns.
+    pub fn roundtrip(&self, req: &MetaRequest) -> Result<MetaReply, StoreError> {
+        let mut slot = self.conn.lock();
+        if slot.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.deadline)
+                .map_err(|_| StoreError::Io(MASTER_ENDPOINT))?;
+            let _ = stream.set_nodelay(true);
+            stream
+                .set_read_timeout(Some(self.deadline))
+                .and_then(|()| stream.set_write_timeout(Some(self.deadline)))
+                .map_err(|_| StoreError::Io(MASTER_ENDPOINT))?;
+            *slot = Some(stream);
+        }
+        let stream = slot.as_mut().expect("connection just ensured");
+        let req_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let exchange = (|| -> Result<MetaReply, StoreError> {
+            write_frame(stream, &encode_meta_request(req, req_id))
+                .map_err(|_| StoreError::Io(MASTER_ENDPOINT))?;
+            let buf = read_frame(stream)
+                .map_err(|_| StoreError::Io(MASTER_ENDPOINT))?
+                .ok_or(StoreError::Io(MASTER_ENDPOINT))?;
+            let frame = Frame::parse(buf)?;
+            if frame.req_id != req_id {
+                return Err(codec(format!(
+                    "reply id {} does not match request id {req_id}",
+                    frame.req_id
+                )));
+            }
+            decode_meta_reply(&frame)
+        })();
+        if exchange.is_err() {
+            // Poisoned stream (I/O failure or framing loss): redial next
+            // call.
+            if let Some(s) = slot.take() {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        exchange
+    }
+
+    fn expect_done(&self, req: &MetaRequest) -> Result<(), StoreError> {
+        match self.roundtrip(req)? {
+            MetaReply::Done => Ok(()),
+            MetaReply::Err(e) => Err(e),
+            other => Err(codec(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    fn expect_info(&self, req: &MetaRequest) -> Result<(usize, Vec<usize>), StoreError> {
+        match self.roundtrip(req)? {
+            MetaReply::Info { size, servers } => Ok((size as usize, servers)),
+            MetaReply::Err(e) => Err(e),
+            other => Err(codec(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Asks the master to plan and execute a cluster rebalance; returns
+    /// `(files_moved, skipped_file_ids)`.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or the first non-availability executor error.
+    pub fn rebalance(
+        &self,
+        bandwidth: f64,
+        lambda: f64,
+        seed: u64,
+    ) -> Result<(u64, Vec<u64>), StoreError> {
+        match self.roundtrip(&MetaRequest::Rebalance {
+            bandwidth,
+            lambda,
+            seed,
+        })? {
+            MetaReply::Rebalanced { moved, skipped } => Ok((moved, skipped)),
+            MetaReply::Err(e) => Err(e),
+            other => Err(codec(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Asks the master server to stop accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors reaching the master.
+    pub fn shutdown_server(&self) -> Result<(), StoreError> {
+        self.expect_done(&MetaRequest::Shutdown)
+    }
+}
+
+impl MetaService for MasterClient {
+    fn register(&self, id: u64, size: usize, servers: Vec<usize>) -> Result<(), StoreError> {
+        self.expect_done(&MetaRequest::Register {
+            id,
+            size: size as u64,
+            servers,
+        })
+    }
+
+    fn unregister_file(&self, id: u64) -> Option<(usize, Vec<usize>)> {
+        match self.roundtrip(&MetaRequest::Unregister { id }) {
+            Ok(MetaReply::Maybe(opt)) => opt.map(|(size, servers)| (size as usize, servers)),
+            _ => None,
+        }
+    }
+
+    fn locate(&self, id: u64) -> Result<(usize, Vec<usize>), StoreError> {
+        self.expect_info(&MetaRequest::Locate { id })
+    }
+
+    fn peek(&self, id: u64) -> Result<(usize, Vec<usize>), StoreError> {
+        self.expect_info(&MetaRequest::Peek { id })
+    }
+
+    fn apply_placement(&self, id: u64, servers: Vec<usize>) -> Result<(), StoreError> {
+        self.expect_done(&MetaRequest::ApplyPlacement { id, servers })
+    }
+
+    fn mark_alive(&self, w: usize) {
+        let _ = self.roundtrip(&MetaRequest::MarkAlive { w: w as u64 });
+    }
+
+    fn mark_dead(&self, w: usize) {
+        let _ = self.roundtrip(&MetaRequest::MarkDead { w: w as u64 });
+    }
+
+    fn suspect(&self, w: usize) -> u32 {
+        match self.roundtrip(&MetaRequest::Suspect { w: w as u64 }) {
+            Ok(MetaReply::Count(n)) => n,
+            _ => 0,
+        }
+    }
+
+    fn is_alive(&self, w: usize) -> bool {
+        match self.roundtrip(&MetaRequest::IsAlive { w: w as u64 }) {
+            Ok(MetaReply::Flag(f)) => f,
+            // Unreachable master: assume alive and let the data path
+            // discover the truth, rather than spuriously excluding
+            // healthy workers.
+            _ => true,
+        }
+    }
+
+    fn live_workers(&self, n: usize) -> Vec<usize> {
+        match self.roundtrip(&MetaRequest::LiveWorkers { n: n as u64 }) {
+            Ok(MetaReply::Workers(w)) => w,
+            _ => (0..n).collect(),
+        }
+    }
+
+    fn degraded_files(&self) -> Vec<u64> {
+        match self.roundtrip(&MetaRequest::Degraded) {
+            Ok(MetaReply::Files(f)) => f,
+            _ => Vec::new(),
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! `spcached` worker server: a TCP front end over the store's channel
+//! worker.
+//!
+//! Threading model (chosen for *deterministic op order*, which the
+//! fault-injection scripts key on):
+//!
+//! * an **acceptor** thread takes connections,
+//! * one **reader** thread per connection parses request frames
+//!   (zero-copy payloads) and feeds them into a single service queue,
+//! * one **service** thread pops that queue in arrival order, consults
+//!   the worker's *wire* fault script, and forwards each request to the
+//!   channel worker — so the worker observes exactly one global request
+//!   order and the Nth data request over TCP is the same Nth data
+//!   request an in-process run would count,
+//! * one short-lived **replier** per request awaits the worker's answer
+//!   and writes the reply frame back on the request's connection.
+//!   Because clients demultiplex by `req_id`, replies need no ordering
+//!   and a slow request never blocks the replies behind it.
+//!
+//! Wire faults fire here, not in the worker (which runs only the data
+//! half of the script):
+//!
+//! * `DropConnection` — the request is served, then the connection is
+//!   closed without the reply frame,
+//! * `TruncateFrame` — half the reply frame is written, then the
+//!   connection is closed,
+//! * `DelayFrame` — the reply frame is written after the pause.
+//!
+//! Graceful shutdown: a `Shutdown` request drains through the same
+//! queue, so everything submitted before it is already forwarded (and
+//! the worker itself serves FIFO before acknowledging). The ack frame
+//! goes out, the listener closes, the worker thread is joined.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use spcache_store::fault::{FaultAction, FaultLog, WorkerScript};
+use spcache_store::rpc::{Envelope, Reply, Request, StoreError};
+use spcache_store::worker::spawn_worker_with_faults;
+use spcache_store::StoreConfig;
+use std::io::{self, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::frame::{decode_request, encode_reply, read_frame, write_frame, Frame};
+
+/// How long the service side waits on the channel worker before treating
+/// a request as unanswerable. A `LoseReply` data fault looks exactly
+/// like this — the replier then sends *nothing*, so the remote client
+/// times out just as an in-process client would.
+const FORWARD_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Write half of one client connection, shared between repliers.
+#[derive(Debug)]
+struct ConnWriter {
+    stream: Mutex<BufWriter<TcpStream>>,
+}
+
+impl ConnWriter {
+    /// Writes one whole frame atomically with respect to other repliers.
+    fn write(&self, frame: &[u8]) -> io::Result<()> {
+        write_frame(&mut *self.stream.lock(), frame)
+    }
+
+    /// Writes a prefix of `frame` (a deliberately cut-off message), then
+    /// closes the connection.
+    fn write_truncated(&self, frame: &[u8]) {
+        let mut s = self.stream.lock();
+        let _ = s.write_all(&frame[..frame.len() / 2]);
+        let _ = s.flush();
+        let _ = s.get_ref().shutdown(std::net::Shutdown::Both);
+    }
+
+    fn close(&self) {
+        let _ = self.stream.lock().get_ref().shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// One unit of work for the service thread.
+struct Job {
+    req: Request,
+    req_id: u64,
+    conn: Arc<ConnWriter>,
+}
+
+/// A running worker server. Dropping it abandons the threads; call
+/// [`WorkerServer::join`] after a graceful shutdown for a clean exit.
+#[derive(Debug)]
+pub struct WorkerServer {
+    id: usize,
+    addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl WorkerServer {
+    /// Spawns worker `id` of a cluster described by `cfg`, listening on
+    /// `bind` (use port 0 for an ephemeral port; the chosen address is
+    /// [`WorkerServer::addr`]). The worker thread receives the *data*
+    /// half of `cfg.faults`; the wire half fires in this server. Both
+    /// log into `fault_log`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors binding the listener.
+    pub fn spawn(
+        id: usize,
+        bind: &str,
+        cfg: &StoreConfig,
+        fault_log: Arc<FaultLog>,
+    ) -> io::Result<WorkerServer> {
+        let listener = TcpListener::bind(bind)?;
+        let addr = listener.local_addr()?;
+        let worker = spawn_worker_with_faults(
+            id,
+            cfg.bandwidth,
+            cfg.stragglers.clone(),
+            cfg.seed.wrapping_add(id as u64),
+            cfg.faults.data_script_for(id),
+            Arc::clone(&fault_log),
+        );
+        let wire_script = cfg.faults.wire_script_for(id);
+
+        let (job_tx, job_rx) = unbounded::<Job>();
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let job_tx = job_tx.clone();
+            std::thread::Builder::new()
+                .name(format!("spcached-{id}-accept"))
+                .spawn(move || accept_loop(&listener, &job_tx, &stop))
+                .expect("spawn acceptor")
+        };
+
+        let service = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name(format!("spcached-{id}-service"))
+                .spawn(move || {
+                    service_loop(id, addr, &job_rx, worker, wire_script, &fault_log, &stop);
+                })
+                .expect("spawn service thread")
+        };
+
+        Ok(WorkerServer {
+            id,
+            addr,
+            threads: vec![acceptor, service],
+        })
+    }
+
+    /// Worker index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The address the server listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the server threads to finish (they exit after a
+    /// `Shutdown` request has been served).
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, job_tx: &Sender<Job>, stop: &Arc<AtomicBool>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stop.load(Ordering::SeqCst) {
+                    return; // woken up by the shutdown dial
+                }
+                let _ = stream.set_nodelay(true);
+                let writer = match stream.try_clone() {
+                    Ok(w) => Arc::new(ConnWriter {
+                        stream: Mutex::new(BufWriter::new(w)),
+                    }),
+                    Err(_) => continue,
+                };
+                let job_tx = job_tx.clone();
+                let _ = std::thread::Builder::new()
+                    .name("spcached-conn".into())
+                    .spawn(move || conn_reader(stream, &writer, &job_tx));
+            }
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Parses request frames off one connection into the service queue.
+fn conn_reader(mut stream: TcpStream, writer: &Arc<ConnWriter>, job_tx: &Sender<Job>) {
+    loop {
+        match read_frame(&mut stream) {
+            Ok(Some(buf)) => {
+                let (req_id, req) = match Frame::parse(buf).and_then(|f| {
+                    let req = decode_request(&f)?;
+                    Ok((f.req_id, req))
+                }) {
+                    Ok(ok) => ok,
+                    Err(e) => {
+                        // Protocol violation: answer (best effort, the
+                        // req_id may be unknowable) and cut the
+                        // connection — framing can no longer be trusted.
+                        let _ = writer.write(&encode_reply(&Reply::Err(e), 0));
+                        writer.close();
+                        return;
+                    }
+                };
+                if job_tx
+                    .send(Job {
+                        req,
+                        req_id,
+                        conn: Arc::clone(writer),
+                    })
+                    .is_err()
+                {
+                    // Service thread is gone (post-shutdown).
+                    writer.close();
+                    return;
+                }
+            }
+            Ok(None) | Err(_) => return, // peer closed or died
+        }
+    }
+}
+
+/// The single-threaded request forwarder; owns the wire fault script
+/// and the worker's sender half.
+fn service_loop(
+    id: usize,
+    addr: SocketAddr,
+    jobs: &Receiver<Job>,
+    mut worker: spcache_store::worker::WorkerHandle,
+    mut wire_script: WorkerScript,
+    fault_log: &Arc<FaultLog>,
+    stop: &Arc<AtomicBool>,
+) {
+    let mut op: u64 = 0;
+    while let Ok(Job { req, req_id, conn }) = jobs.recv() {
+        if matches!(req, Request::Shutdown) {
+            // Everything queued before this job has already been
+            // forwarded; the worker drains FIFO and acks.
+            let done = forward(&worker, Request::Shutdown);
+            let ack = match done.and_then(|rx| rx.recv_timeout(FORWARD_DEADLINE).ok()) {
+                Some(reply) => reply,
+                None => Reply::Err(StoreError::WorkerDown(id)),
+            };
+            let _ = conn.write(&encode_reply(&ack, req_id));
+            stop.store(true, Ordering::SeqCst);
+            // Wake the acceptor so it observes the flag and drops the
+            // listener.
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+            worker.shutdown();
+            return;
+        }
+
+        // Control requests bypass fault injection and op counting —
+        // mirrored from the in-process worker loop.
+        let mut delay = Duration::ZERO;
+        let mut drop_conn = false;
+        let mut truncate = false;
+        if !req.is_control() {
+            for action in wire_script.fire(op) {
+                fault_log.record(id, op, action.clone());
+                match action {
+                    FaultAction::DropConnection => drop_conn = true,
+                    FaultAction::TruncateFrame => truncate = true,
+                    FaultAction::DelayFrame(pause) => delay += pause,
+                    // Data actions never reach a wire script.
+                    _ => unreachable!("data fault in wire script"),
+                }
+            }
+            op += 1;
+        }
+
+        let Some(rx) = forward(&worker, req) else {
+            // Worker thread is gone: every further request gets a
+            // definitive WorkerDown, same as a closed channel in-process.
+            let _ = conn.write(&encode_reply(
+                &Reply::Err(StoreError::WorkerDown(id)),
+                req_id,
+            ));
+            continue;
+        };
+
+        // Detached replier: awaits the worker and writes the reply with
+        // the scripted wire behaviour applied.
+        let worker_id = id;
+        let _ = std::thread::Builder::new()
+            .name(format!("spcached-{id}-reply"))
+            .spawn(move || {
+                let reply = match rx.recv_timeout(FORWARD_DEADLINE) {
+                    Ok(reply) => reply,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        // Worker crashed mid-request (Crash fault): tell
+                        // the client definitively.
+                        let _ = conn.write(&encode_reply(
+                            &Reply::Err(StoreError::WorkerDown(worker_id)),
+                            req_id,
+                        ));
+                        return;
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        // The worker swallowed the reply (LoseReply) or
+                        // is hanging far past the deadline. Send nothing:
+                        // the remote client times out, exactly like an
+                        // in-process client facing LoseReply.
+                        return;
+                    }
+                };
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                if drop_conn {
+                    conn.close();
+                    return;
+                }
+                let frame = encode_reply(&reply, req_id);
+                if truncate {
+                    conn.write_truncated(&frame);
+                } else {
+                    let _ = conn.write(&frame);
+                }
+            });
+    }
+}
+
+/// Sends one request into the channel worker; `None` when the worker
+/// thread has exited.
+fn forward(
+    worker: &spcache_store::worker::WorkerHandle,
+    req: Request,
+) -> Option<Receiver<Reply>> {
+    let (tx, rx) = crossbeam::channel::bounded(1);
+    worker
+        .sender()
+        .send(Envelope { req, reply: tx })
+        .ok()
+        .map(|()| rx)
+}

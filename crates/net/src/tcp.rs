@@ -1,0 +1,303 @@
+//! Client-side TCP transport: [`TcpTransport`] implements the store's
+//! [`Transport`] trait over real sockets.
+//!
+//! One connection per worker, lazily established and pooled. Each
+//! in-flight request gets a fresh `req_id`; a per-connection reader
+//! thread demultiplexes reply frames back to the waiting
+//! [`Receiver`]s, so any number of requests overlap on one socket and
+//! replies may arrive out of order (the fork-join read path depends on
+//! this).
+//!
+//! Failure mapping (the wire-level half of the retry story):
+//!
+//! * connect/write/read failure, connection reset, a frame cut off
+//!   mid-stream → [`StoreError::Io`] — *retryable*; the remote may be
+//!   healthy and a reconnect can succeed,
+//! * protocol violation in a reply → [`StoreError::Codec`] — permanent,
+//! * no reply within the deadline → the caller's `recv_timeout` yields
+//!   [`StoreError::Timeout`] exactly as with the in-process channel
+//!   transport.
+//!
+//! The configured [`deadline`](TcpTransport::with_deadline) (take it
+//! from `RetryPolicy::deadline`) maps onto the sockets: it bounds
+//! connection establishment, every blocking write, and the reader
+//! thread's poll interval; entries that outlive `2 * deadline` without
+//! a reply are reaped with [`StoreError::Timeout`] so the pending map
+//! cannot grow without bound.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use spcache_store::rpc::{Reply, Request, StoreError};
+use spcache_store::transport::Transport;
+use std::collections::HashMap;
+use std::io::{self, BufWriter};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::frame::{decode_reply, encode_request, read_frame, write_frame, Frame};
+
+/// Requests waiting for their reply frame, keyed by `req_id`. Shared
+/// between submitters and the connection's reader thread.
+type PendingMap = Arc<Mutex<HashMap<u64, (Instant, Sender<Reply>)>>>;
+
+/// One live connection to a worker.
+#[derive(Debug)]
+struct Conn {
+    writer: BufWriter<TcpStream>,
+    pending: PendingMap,
+}
+
+impl Conn {
+    /// Fails every in-flight request with `err` (connection death).
+    fn fail_all(pending: &PendingMap, err: &StoreError) {
+        for (_, (_, tx)) in pending.lock().drain() {
+            let _ = tx.send(Reply::Err(err.clone()));
+        }
+    }
+}
+
+/// Per-worker connection slot.
+#[derive(Debug)]
+struct Peer {
+    addr: SocketAddr,
+    conn: Mutex<Option<Conn>>,
+}
+
+/// A [`Transport`] over real TCP connections, one per worker.
+#[derive(Debug)]
+pub struct TcpTransport {
+    peers: Vec<Peer>,
+    next_id: AtomicU64,
+    deadline: Duration,
+}
+
+impl TcpTransport {
+    /// A transport speaking to workers at `addrs` (worker `i` ↔
+    /// `addrs[i]`), with the default 5 s deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addrs` is empty.
+    pub fn connect(addrs: Vec<SocketAddr>) -> Self {
+        assert!(!addrs.is_empty(), "need at least one worker address");
+        TcpTransport {
+            peers: addrs
+                .into_iter()
+                .map(|addr| Peer {
+                    addr,
+                    conn: Mutex::new(None),
+                })
+                .collect(),
+            next_id: AtomicU64::new(1),
+            deadline: Duration::from_secs(5),
+        }
+    }
+
+    /// Sets the socket deadline (builder style). Pass the client's
+    /// `RetryPolicy::deadline` so wire-level waits and the retry loop
+    /// agree on what "too slow" means.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline.max(Duration::from_millis(1));
+        self
+    }
+
+    /// The worker address list.
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.peers.iter().map(|p| p.addr).collect()
+    }
+
+    /// Establishes a connection to `worker` and spawns its reader
+    /// thread.
+    fn dial(&self, worker: usize) -> io::Result<Conn> {
+        let peer = &self.peers[worker];
+        let stream = TcpStream::connect_timeout(&peer.addr, self.deadline)?;
+        stream.set_nodelay(true)?;
+        stream.set_write_timeout(Some(self.deadline))?;
+        let pending: PendingMap = Arc::new(Mutex::new(HashMap::new()));
+        let reader = stream.try_clone()?;
+        // The reader polls at the deadline so it can reap abandoned
+        // entries even when the server goes silent without closing.
+        reader.set_read_timeout(Some(self.deadline))?;
+        let reader_pending = Arc::clone(&pending);
+        let reap_after = self.deadline * 2;
+        std::thread::Builder::new()
+            .name(format!("spcache-net-rx-{worker}"))
+            .spawn(move || reader_loop(reader, &reader_pending, worker, reap_after))
+            .expect("spawn reader thread");
+        Ok(Conn {
+            writer: BufWriter::new(stream),
+            pending,
+        })
+    }
+}
+
+/// Demultiplexes reply frames into the pending map until the connection
+/// dies, then fails whatever is still in flight.
+fn reader_loop(mut stream: TcpStream, pending: &PendingMap, worker: usize, reap_after: Duration) {
+    let death = loop {
+        match read_frame(&mut stream) {
+            Ok(Some(buf)) => {
+                let reply = match Frame::parse(buf) {
+                    Ok(frame) => match decode_reply(&frame) {
+                        Ok(reply) => {
+                            if let Some((_, tx)) = pending.lock().remove(&frame.req_id) {
+                                let _ = tx.send(reply);
+                            }
+                            continue;
+                        }
+                        Err(e) => e,
+                    },
+                    Err(e) => e,
+                };
+                // A malformed reply poisons the whole stream (framing is
+                // lost); surface the codec error and drop the connection.
+                break reply;
+            }
+            Ok(None) => break StoreError::Io(worker),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle tick: reap requests nobody will answer.
+                let now = Instant::now();
+                pending.lock().retain(|_, (t0, tx)| {
+                    if now.duration_since(*t0) > reap_after {
+                        let _ = tx.send(Reply::Err(StoreError::Timeout(worker)));
+                        false
+                    } else {
+                        true
+                    }
+                });
+                // A dropped writer half means the transport is gone and
+                // this thread should die with it.
+                if Arc::strong_count(pending) == 1 && pending.lock().is_empty() {
+                    break StoreError::Io(worker);
+                }
+            }
+            Err(_) => break StoreError::Io(worker),
+        }
+    };
+    Conn::fail_all(pending, &death);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+impl Transport for TcpTransport {
+    fn n_workers(&self) -> usize {
+        self.peers.len()
+    }
+
+    fn submit(&self, worker: usize, req: Request) -> Result<Receiver<Reply>, StoreError> {
+        assert!(worker < self.peers.len(), "worker index out of range");
+        let mut slot = self.peers[worker].conn.lock();
+        if slot.is_none() {
+            match self.dial(worker) {
+                Ok(conn) => *slot = Some(conn),
+                Err(_) => return Err(StoreError::Io(worker)),
+            }
+        }
+        let conn = slot.as_mut().expect("connection just ensured");
+        let req_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded(1);
+        conn.pending.lock().insert(req_id, (Instant::now(), tx));
+        let wire = encode_request(&req, req_id);
+        if let Err(_e) = write_frame(&mut conn.writer, &wire) {
+            // Connection is broken: fail everything on it (including the
+            // entry just inserted) and clear the slot so the next submit
+            // redials.
+            let dead = slot.take().expect("connection present");
+            let _ = dead.writer.get_ref().shutdown(std::net::Shutdown::Both);
+            Conn::fail_all(&dead.pending, &StoreError::Io(worker));
+            return Err(StoreError::Io(worker));
+        }
+        Ok(rx)
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        // Shut the sockets down so reader threads observe EOF and exit
+        // instead of lingering on a blocking read.
+        for peer in &self.peers {
+            if let Some(conn) = peer.conn.lock().take() {
+                let _ = conn.writer.get_ref().shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spcache_store::rpc::PartKey;
+    use std::net::TcpListener;
+
+    #[test]
+    fn refused_connection_is_retryable_io() {
+        // Bind-then-drop guarantees a port nobody listens on.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let t = TcpTransport::connect(vec![addr]).with_deadline(Duration::from_millis(200));
+        let err = t
+            .submit(0, Request::Get { key: PartKey::new(1, 0) })
+            .expect_err("must fail");
+        assert_eq!(err, StoreError::Io(0));
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn server_closing_mid_request_fails_pending_with_io() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            // Read the request frame, then slam the connection shut
+            // without replying.
+            let mut s = stream.try_clone().unwrap();
+            let _ = read_frame(&mut s);
+            drop(stream);
+        });
+        let t = TcpTransport::connect(vec![addr]).with_deadline(Duration::from_millis(300));
+        let rx = t
+            .submit(0, Request::Get { key: PartKey::new(1, 0) })
+            .unwrap();
+        let reply = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(reply, Reply::Err(StoreError::Io(0)));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn garbage_reply_surfaces_codec_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let _ = read_frame(&mut stream);
+            // A frame with a bogus version byte.
+            let mut evil = vec![];
+            evil.extend_from_slice(&10u32.to_le_bytes());
+            evil.extend_from_slice(&[0xBA; 10]);
+            use std::io::Write;
+            stream.write_all(&evil).unwrap();
+            stream.flush().unwrap();
+            // Hold the connection open long enough for the client to
+            // parse the garbage.
+            std::thread::sleep(Duration::from_millis(200));
+        });
+        let t = TcpTransport::connect(vec![addr]).with_deadline(Duration::from_millis(300));
+        let rx = t.submit(0, Request::Ping).unwrap();
+        let reply = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let Reply::Err(e) = reply else {
+            panic!("expected error, got {reply:?}")
+        };
+        assert!(matches!(e, StoreError::Codec(_)), "got {e:?}");
+        assert!(!e.is_retryable(), "codec violations must be permanent");
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,288 @@
+//! Property tests of the wire codec: every message round-trips through
+//! its frame byte-for-byte, and *no* corruption of those bytes — flips,
+//! cuts, length lies — can make the decoder panic or over-read.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use spcache_net::frame::{
+    decode_reply, decode_request, encode_reply, encode_request, read_frame, Frame, HEADER_LEN,
+};
+use spcache_net::master_net::{
+    decode_meta_reply, decode_meta_request, encode_meta_reply, encode_meta_request, MetaReply,
+    MetaRequest,
+};
+use spcache_store::rpc::{PartKey, Reply, Request, StoreError, WorkerStats};
+
+/// Strips the 4-byte length prefix off an `encode_*` result, yielding
+/// the frame buffer `read_frame` would hand to `Frame::parse`.
+fn strip_prefix(wire: Vec<u8>) -> Bytes {
+    Bytes::from(wire[4..].to_vec())
+}
+
+/// Decodes one encoded frame back into a `Request`.
+fn req_roundtrip(req: &Request, req_id: u64) -> (u64, Request) {
+    let frame = Frame::parse(strip_prefix(encode_request(req, req_id))).expect("parse");
+    let decoded = decode_request(&frame).expect("decode");
+    (frame.req_id, decoded)
+}
+
+fn reply_roundtrip(reply: &Reply, req_id: u64) -> (u64, Reply) {
+    let frame = Frame::parse(strip_prefix(encode_reply(reply, req_id))).expect("parse");
+    let decoded = decode_reply(&frame).expect("decode");
+    (frame.req_id, decoded)
+}
+
+/// Builds a key exercising the edges the codec must preserve: part
+/// indices up to `u32::MAX` and the staged bit.
+fn key_from(file: u64, part: u32, staged: bool) -> PartKey {
+    let k = PartKey::new(file, part);
+    if staged {
+        k.staged()
+    } else {
+        k
+    }
+}
+
+proptest! {
+    #[test]
+    fn put_roundtrips_ragged_sizes(
+        file in 0u64..u64::MAX,
+        part in 0u32..=u32::MAX,
+        staged: bool,
+        req_id in 0u64..u64::MAX,
+        data in proptest::collection::vec(0u8..=255, 0..4_096),
+    ) {
+        let key = key_from(file, part, staged);
+        let req = Request::Put { key, data: Bytes::from(data.clone()) };
+        let (rid, decoded) = req_roundtrip(&req, req_id);
+        prop_assert_eq!(rid, req_id);
+        match decoded {
+            Request::Put { key: k, data: d } => {
+                prop_assert_eq!(k, key);
+                prop_assert_eq!(&d[..], &data[..]);
+            }
+            other => prop_assert!(false, "wrong variant: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn control_requests_roundtrip(
+        file in 0u64..u64::MAX,
+        part in 0u32..=u32::MAX,
+        staged: bool,
+        offset in 0u64..u64::MAX,
+        len in 0u64..u64::MAX,
+        req_id in 0u64..u64::MAX,
+    ) {
+        let key = key_from(file, part, staged);
+        let to = key_from(file.wrapping_add(1), part ^ 1, !staged);
+        for req in [
+            Request::Get { key },
+            Request::GetRange { key, offset, len },
+            Request::Rename { from: key, to },
+            Request::Delete { key },
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+        ] {
+            let (rid, decoded) = req_roundtrip(&req, req_id);
+            prop_assert_eq!(rid, req_id);
+            prop_assert_eq!(decoded, req);
+        }
+    }
+
+    #[test]
+    fn replies_roundtrip(
+        file in 0u64..u64::MAX,
+        part in 0u32..=u32::MAX,
+        w in 0usize..1_000_000,
+        flag: bool,
+        req_id in 0u64..u64::MAX,
+        data in proptest::collection::vec(0u8..=255, 0..2_048),
+        served in 0u64..u64::MAX,
+        bytes_out in 0u64..u64::MAX,
+    ) {
+        let key = key_from(file, part, true);
+        for reply in [
+            Reply::Done,
+            Reply::Data(Bytes::from(data.clone())),
+            Reply::Flag(flag),
+            Reply::Stats(WorkerStats {
+                bytes_served: served,
+                bytes_stored: bytes_out,
+                gets: served / 2,
+                puts: served / 3,
+                resident_parts: w,
+            }),
+            Reply::Pong(w),
+            Reply::Err(StoreError::NotFound(key)),
+            Reply::Err(StoreError::WorkerDown(w)),
+            Reply::Err(StoreError::UnknownFile(file)),
+            Reply::Err(StoreError::AlreadyExists(file)),
+            Reply::Err(StoreError::Timeout(w)),
+            Reply::Err(StoreError::Io(w)),
+            Reply::Err(StoreError::Codec(format!("bad byte {part}"))),
+        ] {
+            let (rid, decoded) = reply_roundtrip(&reply, req_id);
+            prop_assert_eq!(rid, req_id);
+            prop_assert_eq!(decoded, reply);
+        }
+    }
+
+    #[test]
+    fn meta_messages_roundtrip(
+        file in 0u64..u64::MAX,
+        size in 0u64..u64::MAX,
+        w in 0usize..1_000_000,
+        n in 0u64..10_000,
+        flag: bool,
+        req_id in 0u64..u64::MAX,
+        servers in proptest::collection::vec(0usize..64, 0..12),
+        files in proptest::collection::vec(0u64..u64::MAX, 0..12),
+        bandwidth in 0f64..1e12,
+        lambda in 0f64..1e9,
+        seed in 0u64..u64::MAX,
+    ) {
+        for req in [
+            MetaRequest::Register { id: file, size, servers: servers.clone() },
+            MetaRequest::Unregister { id: file },
+            MetaRequest::Locate { id: file },
+            MetaRequest::Peek { id: file },
+            MetaRequest::ApplyPlacement { id: file, servers: servers.clone() },
+            MetaRequest::MarkAlive { w: w as u64 },
+            MetaRequest::MarkDead { w: w as u64 },
+            MetaRequest::Suspect { w: w as u64 },
+            MetaRequest::IsAlive { w: w as u64 },
+            MetaRequest::LiveWorkers { n },
+            MetaRequest::Degraded,
+            MetaRequest::Rebalance { bandwidth, lambda, seed },
+            MetaRequest::Shutdown,
+        ] {
+            let frame =
+                Frame::parse(strip_prefix(encode_meta_request(&req, req_id))).expect("parse");
+            prop_assert_eq!(frame.req_id, req_id);
+            prop_assert_eq!(decode_meta_request(&frame).expect("decode"), req);
+        }
+        for reply in [
+            MetaReply::Done,
+            MetaReply::Info { size, servers: servers.clone() },
+            MetaReply::Maybe(None),
+            MetaReply::Maybe(Some((size, servers.clone()))),
+            MetaReply::Count(n as u32),
+            MetaReply::Flag(flag),
+            MetaReply::Workers(servers.clone()),
+            MetaReply::Files(files.clone()),
+            MetaReply::Rebalanced { moved: n, skipped: files.clone() },
+            MetaReply::Err(StoreError::UnknownFile(file)),
+        ] {
+            let frame =
+                Frame::parse(strip_prefix(encode_meta_reply(&reply, req_id))).expect("parse");
+            prop_assert_eq!(frame.req_id, req_id);
+            prop_assert_eq!(decode_meta_reply(&frame).expect("decode"), reply);
+        }
+    }
+
+    /// Any single-byte corruption of a valid frame must decode cleanly,
+    /// error out, or fail to parse — never panic, never read outside the
+    /// buffer (the `Bytes` shim bounds-checks every slice).
+    #[test]
+    fn flipped_bytes_never_panic(
+        file in 0u64..u64::MAX,
+        part in 0u32..=u32::MAX,
+        req_id in 0u64..u64::MAX,
+        data in proptest::collection::vec(0u8..=255, 0..512),
+        pos_seed in 0usize..usize::MAX,
+        flip in 1u8..=255,
+    ) {
+        let wire =
+            encode_request(&Request::Put { key: PartKey::new(file, part), data: Bytes::from(data) }, req_id);
+        let mut bytes = wire[4..].to_vec();
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= flip;
+        if let Ok(frame) = Frame::parse(Bytes::from(bytes)) {
+            let _ = decode_request(&frame); // must not panic
+            let _ = decode_reply(&frame);
+            let _ = decode_meta_request(&frame);
+            let _ = decode_meta_reply(&frame);
+        }
+    }
+
+    /// A connection cut anywhere inside a frame must surface as an I/O
+    /// error from `read_frame` — the length prefix makes truncation
+    /// detectable *before* the decoder ever sees short bytes. (Payloads
+    /// are the frame remainder, so this is the only truncation guard.)
+    #[test]
+    fn truncated_streams_are_io_errors(
+        file in 0u64..u64::MAX,
+        part in 0u32..=u32::MAX,
+        req_id in 0u64..u64::MAX,
+        data in proptest::collection::vec(0u8..=255, 1..512),
+        cut_seed in 0usize..usize::MAX,
+    ) {
+        let wire =
+            encode_request(&Request::Put { key: PartKey::new(file, part), data: Bytes::from(data) }, req_id);
+        // Cut strictly inside the message (cut = 0 is a clean close,
+        // covered by the unit tests as `Ok(None)`).
+        let cut = 1 + cut_seed % (wire.len() - 1);
+        let mut stream = std::io::Cursor::new(wire[..cut].to_vec());
+        let got = read_frame(&mut stream);
+        prop_assert!(got.is_err(), "cut at {} of {} accepted: {:?}", cut, wire.len(), got);
+    }
+
+    /// Truncation *below the header* is also rejected at the parse
+    /// layer, for receivers handed a raw short buffer.
+    #[test]
+    fn short_buffers_fail_parse(
+        req_id in 0u64..u64::MAX,
+        cut in 0usize..HEADER_LEN,
+    ) {
+        let wire = encode_request(&Request::Ping, req_id);
+        let short = wire[4..4 + cut].to_vec();
+        match Frame::parse(Bytes::from(short)) {
+            Err(StoreError::Codec(_)) => {}
+            other => prop_assert!(false, "short header accepted: {:?}", other),
+        }
+    }
+
+    /// `read_frame` against a stream whose *length prefix lies* (larger
+    /// than the payload, or absurdly large) returns an error — it never
+    /// blocks forever on this finite input and never allocates the lie.
+    #[test]
+    fn lying_length_prefix_is_io_error(
+        declared in 10u32..u32::MAX,
+        actual in 0usize..64,
+    ) {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&declared.to_le_bytes());
+        stream.extend_from_slice(&vec![0u8; actual]);
+        let mut r = std::io::Cursor::new(stream);
+        // Either InvalidData (over MAX_FRAME) or UnexpectedEof (honest
+        // lengths with missing bytes).
+        prop_assert!(read_frame(&mut r).is_err());
+    }
+}
+
+/// Deterministic edge cases worth pinning outside the generators.
+#[test]
+fn codec_edges() {
+    // Size-0 payload.
+    let (_, decoded) = req_roundtrip(
+        &Request::Put {
+            key: PartKey::new(0, 0),
+            data: Bytes::from(Vec::new()),
+        },
+        0,
+    );
+    assert!(matches!(decoded, Request::Put { data, .. } if data.is_empty()));
+
+    // Max u32 part index survives, staged and plain.
+    let k = PartKey::new(u64::MAX, u32::MAX);
+    let (_, decoded) = req_roundtrip(&Request::Get { key: k.staged() }, u64::MAX);
+    assert_eq!(decoded, Request::Get { key: k.staged() });
+
+    // The empty buffer and a bare header are rejected, not panics.
+    assert!(Frame::parse(Bytes::from(Vec::new())).is_err());
+    let bare = encode_request(&Request::Ping, 7);
+    assert_eq!(bare.len(), HEADER_LEN + 4); // length prefix + header, no body
+    assert!(Frame::parse(Bytes::from(bare[4..4 + HEADER_LEN - 1].to_vec())).is_err());
+}

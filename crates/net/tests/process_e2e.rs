@@ -1,0 +1,147 @@
+//! Smoke test of the real `spcached` binaries: a master and four
+//! workers as separate OS processes on loopback, driven by a wire
+//! client — write, read, repartition, byte-exact, graceful shutdown.
+
+use spcache_net::{MasterClient, TcpTransport};
+use spcache_store::client::Client;
+use spcache_store::rpc::Request;
+use spcache_store::transport::Transport;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const N_WORKERS: usize = 4;
+const N_FILES: u64 = 6;
+const FILE_LEN: usize = 40_000;
+
+/// A child `spcached` plus the address it printed. Killed on drop so a
+/// panicking test never leaks daemons (a leaked child also inherits the
+/// harness's stdout pipe and wedges `cargo test`'s output capture).
+struct Daemon {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_daemon(args: &[&str]) -> Daemon {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_spcached"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn spcached");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read LISTEN line");
+    let addr = line
+        .trim()
+        .strip_prefix("LISTEN ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+        .parse()
+        .expect("parse listen addr");
+    Daemon { child, addr }
+}
+
+/// Waits for a daemon to exit on its own, failing the test if
+/// `deadline` passes — the drop guard then reaps it.
+fn await_exit(daemon: &mut Daemon, what: &str, deadline: Duration) {
+    let t0 = Instant::now();
+    loop {
+        match daemon.child.try_wait().expect("try_wait") {
+            Some(status) => {
+                assert!(status.success(), "{what} exited with {status}");
+                return;
+            }
+            None => {
+                assert!(
+                    t0.elapsed() <= deadline,
+                    "{what} did not exit within {deadline:?} after shutdown"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+fn payload(id: u64, len: usize) -> Vec<u8> {
+    (0..len).map(|i| ((i * 131 + id as usize * 17 + 3) % 256) as u8).collect()
+}
+
+#[test]
+fn real_processes_serve_a_cluster() {
+    let mut workers: Vec<Daemon> = (0..N_WORKERS)
+        .map(|id| {
+            spawn_daemon(&[
+                "worker",
+                "--id",
+                &id.to_string(),
+                "--bind",
+                "127.0.0.1:0",
+                "--seed",
+                "7",
+            ])
+        })
+        .collect();
+    let worker_addrs: Vec<SocketAddr> = workers.iter().map(|d| d.addr).collect();
+    let workers_flag = worker_addrs
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut master = spawn_daemon(&["master", "--bind", "127.0.0.1:0", "--workers", &workers_flag]);
+
+    let transport = Arc::new(TcpTransport::connect(worker_addrs));
+    let meta = Arc::new(MasterClient::connect(master.addr));
+    let client = Client::new(meta.clone(), transport.clone());
+
+    // Large files, all crowded onto worker 0; repeated reads build the
+    // access counts the repartition tuner keys on.
+    for id in 0..N_FILES {
+        client.write(id, &payload(id, FILE_LEN), &[0]).unwrap();
+    }
+    for sweep in 0..5 {
+        for id in 0..N_FILES {
+            assert_eq!(
+                client.read(id).unwrap(),
+                payload(id, FILE_LEN),
+                "sweep {sweep} file {id} corrupted over the wire"
+            );
+        }
+    }
+
+    // One RPC repartitions the crowded cluster; the master process runs
+    // Algorithm 1+2 against the worker processes itself.
+    let (moved, skipped) = meta.rebalance(1e9, 100.0, 42).unwrap();
+    assert!(moved > 0, "crowded placement must move files");
+    assert!(skipped.is_empty(), "healthy cluster, nothing skipped");
+    for id in 0..N_FILES {
+        assert_eq!(
+            client.read(id).unwrap(),
+            payload(id, FILE_LEN),
+            "file {id} corrupted by repartition"
+        );
+    }
+
+    // Graceful teardown, workers first, then the master.
+    for w in 0..N_WORKERS {
+        transport
+            .call(w, Request::Shutdown, Duration::from_secs(10))
+            .unwrap()
+            .unit()
+            .unwrap();
+    }
+    meta.shutdown_server().unwrap();
+    for (w, d) in workers.iter_mut().enumerate() {
+        await_exit(d, &format!("worker {w}"), Duration::from_secs(10));
+    }
+    await_exit(&mut master, "master", Duration::from_secs(10));
+}

@@ -17,14 +17,13 @@
 //!   and on lost partitions transparently recover and retry.
 
 use std::collections::HashMap;
-use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
 use parking_lot::RwLock;
 
 use crate::client::Client;
-use crate::master::Master;
+use crate::master::MetaService;
 use crate::rpc::StoreError;
 
 /// A stable storage tier holding whole-file copies.
@@ -146,7 +145,7 @@ pub fn recovery_targets(live: &[usize], k: usize, id: u64) -> Vec<usize> {
 /// a target is down too.
 pub fn recover_file(
     client: &Client,
-    master: &Arc<Master>,
+    master: &dyn MetaService,
     under: &UnderStore,
     id: u64,
     new_servers: &[usize],
@@ -175,7 +174,7 @@ pub fn recover_file(
 /// Returns `(healed, unrecoverable)` file id lists.
 pub fn heal_degraded(
     client: &Client,
-    master: &Arc<Master>,
+    master: &dyn MetaService,
     under: &UnderStore,
     n_workers: usize,
 ) -> (Vec<u64>, Vec<u64>) {
@@ -206,7 +205,7 @@ pub fn heal_degraded(
 /// Fails only when the file is neither cached nor checkpointed.
 pub fn read_or_recover(
     client: &Client,
-    master: &Arc<Master>,
+    master: &dyn MetaService,
     under: &UnderStore,
     id: u64,
     fallback_servers: &[usize],
@@ -226,8 +225,9 @@ mod tests {
     use super::*;
     use crate::cluster::StoreCluster;
     use crate::config::StoreConfig;
-    use crate::rpc::{PartKey, WorkerRequest};
-    use crossbeam::channel::bounded;
+    use crate::rpc::{PartKey, Reply, Request};
+    use crate::transport::Transport;
+    use std::time::Duration;
 
     fn payload(len: usize) -> Vec<u8> {
         (0..len).map(|i| ((i * 97 + 5) % 256) as u8).collect()
@@ -236,11 +236,11 @@ mod tests {
     /// Drops one partition directly at a worker (simulating data loss
     /// without killing the thread).
     fn lose_partition(cluster: &StoreCluster, server: usize, key: PartKey) {
-        let (tx, rx) = bounded(1);
-        cluster.worker_senders()[server]
-            .send(WorkerRequest::Delete { key, reply: tx })
+        let reply = cluster
+            .transport()
+            .call(server, Request::Delete { key }, Duration::from_secs(5))
             .unwrap();
-        assert!(rx.recv().unwrap(), "partition was not resident");
+        assert_eq!(reply, Reply::Flag(true), "partition was not resident");
     }
 
     #[test]
@@ -277,7 +277,7 @@ mod tests {
         checkpoint(&client, &under, 1).unwrap();
 
         lose_partition(&cluster, 2, PartKey::new(1, 2));
-        let got = read_or_recover(&client, cluster.master(), &under, 1, &[0, 3]).unwrap();
+        let got = read_or_recover(&client, cluster.master().as_ref(), &under, 1, &[0, 3]).unwrap();
         assert_eq!(got, data);
         // Subsequent plain reads work again from the new layout.
         assert_eq!(client.read(1).unwrap(), data);
@@ -292,7 +292,7 @@ mod tests {
         lose_partition(&cluster, 0, PartKey::new(1, 0));
         let under = UnderStore::new();
         assert_eq!(
-            read_or_recover(&client, cluster.master(), &under, 1, &[1]).unwrap_err(),
+            read_or_recover(&client, cluster.master().as_ref(), &under, 1, &[1]).unwrap_err(),
             StoreError::UnknownFile(1)
         );
     }
@@ -308,7 +308,7 @@ mod tests {
 
         cluster.kill_worker(1);
         assert!(matches!(client.read(1), Err(StoreError::WorkerDown(1))));
-        let got = read_or_recover(&client, cluster.master(), &under, 1, &[0, 2, 3]).unwrap();
+        let got = read_or_recover(&client, cluster.master().as_ref(), &under, 1, &[0, 2, 3]).unwrap();
         assert_eq!(got, data);
     }
 
@@ -357,7 +357,7 @@ mod tests {
         checkpoint(&client, &under, 1).unwrap();
         cluster.kill_worker(2);
         // Recovery targeting the dead worker fails...
-        assert!(recover_file(&client, cluster.master(), &under, 1, &[2]).is_err());
+        assert!(recover_file(&client, cluster.master().as_ref(), &under, 1, &[2]).is_err());
         // ...but the file stays registered with its old placement.
         assert_eq!(cluster.master().peek(1).unwrap().1, vec![0, 1]);
         assert_eq!(client.read_quiet(1).unwrap(), data);
@@ -378,7 +378,7 @@ mod tests {
 
         cluster.kill_worker(1);
         let (healed, unrecoverable) =
-            heal_degraded(&client, cluster.master(), &under, 4);
+            heal_degraded(&client, cluster.master().as_ref(), &under, 4);
         assert_eq!(healed, vec![1, 2]);
         assert_eq!(unrecoverable, vec![3]);
         assert_eq!(client.read_quiet(1).unwrap(), data1);

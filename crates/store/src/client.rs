@@ -3,7 +3,7 @@
 //! retry, hedged under-store range reads).
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Select, Sender, TryRecvError};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Select, TryRecvError};
 use spcache_core::online::partition_range;
 use spcache_ec::split_shards_bytes;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -12,12 +12,19 @@ use std::time::{Duration, Instant};
 
 use crate::backing::UnderStore;
 use crate::config::{HedgePolicy, RetryPolicy};
-use crate::master::Master;
-use crate::rpc::{PartKey, StoreError, WorkerRequest};
+use crate::master::MetaService;
+use crate::rpc::{PartKey, Reply, Request, StoreError};
+use crate::transport::Transport;
 
 /// A client handle onto a running store cluster.
 ///
 /// Cloning is cheap; each clone can issue requests concurrently.
+///
+/// The client is **transport-agnostic**: it talks to workers through a
+/// [`Transport`] (in-process channels or `spcache-net`'s TCP framing)
+/// and to its master through a [`MetaService`] (the in-process
+/// [`crate::master::Master`] or a wire master client) — the read/write
+/// logic below is byte-identical over both.
 ///
 /// Reads are **robust** and **out-of-order**: all `k` partition fetches
 /// are issued at once and their replies consumed as they land via a
@@ -43,8 +50,8 @@ use crate::rpc::{PartKey, StoreError, WorkerRequest};
 /// single preallocated output buffer as it arrives.
 #[derive(Debug, Clone)]
 pub struct Client {
-    master: Arc<Master>,
-    workers: Vec<Sender<WorkerRequest>>,
+    master: Arc<dyn MetaService>,
+    transport: Arc<dyn Transport>,
     retry: RetryPolicy,
     hedge: HedgePolicy,
     under: Option<Arc<UnderStore>>,
@@ -53,14 +60,14 @@ pub struct Client {
 }
 
 impl Client {
-    /// Builds a client over the master and the worker channels, with a
-    /// single-attempt [`RetryPolicy::none`] and hedging disabled (the
-    /// seed behaviour).
-    pub fn new(master: Arc<Master>, workers: Vec<Sender<WorkerRequest>>) -> Self {
-        assert!(!workers.is_empty(), "need at least one worker");
+    /// Builds a client over a metadata service and a worker transport,
+    /// with a single-attempt [`RetryPolicy::none`] and hedging disabled
+    /// (the seed behaviour).
+    pub fn new(master: Arc<dyn MetaService>, transport: Arc<dyn Transport>) -> Self {
+        assert!(transport.n_workers() > 0, "need at least one worker");
         Client {
             master,
-            workers,
+            transport,
             retry: RetryPolicy::none(),
             hedge: HedgePolicy::disabled(),
             under: None,
@@ -91,12 +98,17 @@ impl Client {
 
     /// Number of workers visible to this client.
     pub fn n_workers(&self) -> usize {
-        self.workers.len()
+        self.transport.n_workers()
     }
 
-    /// The master (for metadata queries).
-    pub fn master(&self) -> &Arc<Master> {
+    /// The metadata service (for metadata queries).
+    pub fn master(&self) -> &Arc<dyn MetaService> {
         &self.master
+    }
+
+    /// The worker transport.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
     }
 
     /// How many partition fetches were served from the under-store by
@@ -161,20 +173,19 @@ impl Client {
         // partition, not by the sum of per-partition waits).
         let mut pending = Vec::with_capacity(servers.len());
         for (j, (shard, &server)) in shards.into_iter().zip(servers).enumerate() {
-            let (tx, rx) = bounded(1);
-            self.workers[server]
-                .send(WorkerRequest::Put {
+            let rx = self.submit(
+                server,
+                Request::Put {
                     key: PartKey::new(id, j as u32),
                     data: shard,
-                    reply: tx,
-                })
-                .map_err(|_| self.worker_down(server))?;
+                },
+            )?;
             pending.push((server, rx));
         }
         let deadline = Instant::now() + self.retry.deadline;
         for (server, rx) in pending {
             let remaining = deadline.saturating_duration_since(Instant::now());
-            self.await_reply(server, &rx, remaining)??;
+            self.await_reply(server, &rx, remaining)?.unit()?;
         }
         Ok(())
     }
@@ -182,11 +193,7 @@ impl Client {
     /// Best-effort partition drop on one worker (recovery GC); errors
     /// and dead workers are ignored.
     pub(crate) fn discard_partition(&self, server: usize, key: PartKey) {
-        let (tx, rx) = bounded(1);
-        if self.workers[server]
-            .send(WorkerRequest::Delete { key, reply: tx })
-            .is_ok()
-        {
+        if let Ok(rx) = self.transport.submit(server, Request::Delete { key }) {
             let _ = rx.recv_timeout(self.retry.deadline);
         }
     }
@@ -201,7 +208,8 @@ impl Client {
     /// # Errors
     ///
     /// Propagates unknown files, and — once retries are exhausted —
-    /// missing partitions, timeouts and dead workers.
+    /// missing partitions, timeouts, transport I/O failures and dead
+    /// workers.
     pub fn read(&self, id: u64) -> Result<Vec<u8>, StoreError> {
         self.read_robust(id, true).map(gather)
     }
@@ -253,13 +261,13 @@ impl Client {
             // a fresh placement instead of the same hole.
             if let Some(under) = &self.under {
                 if under.contains(id) {
-                    let live = self.master.live_workers(self.workers.len());
+                    let live = self.master.live_workers(self.transport.n_workers());
                     if !live.is_empty() {
                         let targets =
                             crate::backing::recovery_targets(&live, servers.len(), id);
                         let _ = crate::backing::recover_file(
                             self,
-                            &self.master,
+                            self.master.as_ref(),
                             under,
                             id,
                             &targets,
@@ -296,13 +304,12 @@ impl Client {
         // Fork: issue every partition fetch up front.
         let mut replies = Vec::with_capacity(k);
         for (j, &server) in servers.iter().enumerate() {
-            let (tx, rx) = bounded(1);
-            self.workers[server]
-                .send(WorkerRequest::Get {
+            let rx = self.submit(
+                server,
+                Request::Get {
                     key: PartKey::new(id, j as u32),
-                    reply: tx,
-                })
-                .map_err(|_| self.worker_down(server))?;
+                },
+            )?;
             replies.push(rx);
         }
 
@@ -331,8 +338,7 @@ impl Client {
                     let j = outstanding[i];
                     match replies[j].try_recv() {
                         Ok(reply) => {
-                            self.master.mark_alive(servers[j]);
-                            parts[j] = Some(reply?);
+                            parts[j] = Some(self.absorb_reply(servers[j], reply)?.bytes()?);
                             remaining -= 1;
                         }
                         Err(TryRecvError::Disconnected) => {
@@ -376,6 +382,53 @@ impl Client {
         Ok(parts.into_iter().map(|p| p.expect("all joined")).collect())
     }
 
+    /// Submits one request, folding a submission failure into the health
+    /// table (a closed channel is definitive death; a socket error is
+    /// suspicion-worthy but survivable).
+    fn submit(&self, server: usize, req: Request) -> Result<Receiver<Reply>, StoreError> {
+        self.transport.submit(server, req).inspect_err(|e| {
+            self.note_error(e);
+        })
+    }
+
+    /// Folds an error's health signal into the master's table. Endpoint
+    /// indices outside the worker fleet (e.g. the master sentinel used by
+    /// wire transports) carry no worker-health signal and are ignored.
+    fn note_error(&self, e: &StoreError) {
+        match e {
+            StoreError::WorkerDown(w) if *w < self.transport.n_workers() => {
+                self.master.mark_dead(*w);
+            }
+            StoreError::Timeout(w) | StoreError::Io(w)
+                if *w < self.transport.n_workers() =>
+            {
+                self.master.suspect(*w);
+            }
+            _ => {}
+        }
+    }
+
+    /// Interprets one landed reply from `server` for the health table:
+    /// an application-level error (e.g. `NotFound`) is still a live
+    /// worker answering, but a transport error a wire transport folded
+    /// into the reply stream (`Io`/`Timeout`) is not a sign of life.
+    fn absorb_reply(&self, server: usize, reply: Reply) -> Result<Reply, StoreError> {
+        match reply {
+            Reply::Err(e @ (StoreError::Io(_) | StoreError::Timeout(_) | StoreError::WorkerDown(_))) => {
+                self.note_error(&e);
+                Err(e)
+            }
+            Reply::Err(e) => {
+                self.master.mark_alive(server);
+                Err(e)
+            }
+            ok => {
+                self.master.mark_alive(server);
+                Ok(ok)
+            }
+        }
+    }
+
     /// Records a closed channel (definitive death) and returns the error.
     fn worker_down(&self, server: usize) -> StoreError {
         self.master.mark_dead(server);
@@ -389,17 +442,14 @@ impl Client {
         StoreError::Timeout(server)
     }
 
-    fn await_reply<T>(
+    fn await_reply(
         &self,
         server: usize,
-        rx: &Receiver<T>,
+        rx: &Receiver<Reply>,
         deadline: Duration,
-    ) -> Result<T, StoreError> {
+    ) -> Result<Reply, StoreError> {
         match rx.recv_timeout(deadline) {
-            Ok(v) => {
-                self.master.mark_alive(server);
-                Ok(v)
-            }
+            Ok(reply) => self.absorb_reply(server, reply),
             Err(RecvTimeoutError::Disconnected) => Err(self.worker_down(server)),
             Err(RecvTimeoutError::Timeout) => Err(self.timeout(server)),
         }
@@ -408,21 +458,19 @@ impl Client {
     /// Deletes a file's partitions and metadata; returns how many
     /// partitions were actually resident.
     pub fn delete(&self, id: u64) -> Result<usize, StoreError> {
-        let info = self
+        let (_, servers) = self
             .master
-            .unregister(id)
+            .unregister_file(id)
             .ok_or(StoreError::UnknownFile(id))?;
         let mut removed = 0;
-        for (j, &server) in info.servers.iter().enumerate() {
-            let (tx, rx) = bounded(1);
-            if self.workers[server]
-                .send(WorkerRequest::Delete {
+        for (j, &server) in servers.iter().enumerate() {
+            if let Ok(rx) = self.transport.submit(
+                server,
+                Request::Delete {
                     key: PartKey::new(id, j as u32),
-                    reply: tx,
-                })
-                .is_ok()
-            {
-                if let Ok(true) = rx.recv_timeout(self.retry.deadline) {
+                },
+            ) {
+                if let Ok(Reply::Flag(true)) = rx.recv_timeout(self.retry.deadline) {
                     removed += 1;
                 }
             }
@@ -693,6 +741,51 @@ mod tests {
         assert!(!cluster.master().is_alive(1));
         let (_, servers) = cluster.master().peek(1).unwrap();
         assert!(servers.iter().all(|&s| s != 1), "healed onto dead worker");
+    }
+
+    #[test]
+    fn io_error_replies_feed_suspicion_and_retry() {
+        // A transport that answers every get with Err(Io) until attempt
+        // 3: the client must classify Io as retryable, suspect the
+        // worker, and keep retrying through the heal path.
+        #[derive(Debug)]
+        struct Flaky {
+            inner: Arc<dyn Transport>,
+            failures: AtomicU64,
+        }
+        impl Transport for Flaky {
+            fn n_workers(&self) -> usize {
+                self.inner.n_workers()
+            }
+            fn submit(
+                &self,
+                worker: usize,
+                req: Request,
+            ) -> Result<Receiver<Reply>, StoreError> {
+                if matches!(req, Request::Get { .. })
+                    && self.failures.fetch_add(1, Ordering::Relaxed) < 2
+                {
+                    let (tx, rx) = crossbeam::channel::bounded(1);
+                    let _ = tx.send(Reply::Err(StoreError::Io(worker)));
+                    return Ok(rx);
+                }
+                self.inner.submit(worker, req)
+            }
+        }
+        let cluster = StoreCluster::spawn(StoreConfig::unthrottled(2));
+        let flaky = Arc::new(Flaky {
+            inner: cluster.transport().clone(),
+            failures: AtomicU64::new(0),
+        });
+        let c = Client::new(cluster.master().clone(), flaky).with_retry(RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::ZERO,
+            deadline: Duration::from_millis(200),
+        });
+        c.write(1, &payload(128), &[0]).unwrap();
+        assert_eq!(c.read(1).unwrap(), payload(128));
+        // Two Io errors → two suspicion marks, but not death (threshold 3).
+        assert!(cluster.master().is_alive(0));
     }
 
     #[test]

@@ -3,13 +3,12 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{bounded, Sender};
-
 use crate::client::Client;
 use crate::config::StoreConfig;
 use crate::fault::FaultLog;
 use crate::master::Master;
-use crate::rpc::{StoreError, WorkerRequest, WorkerStats};
+use crate::rpc::{Request, StoreError, WorkerStats};
+use crate::transport::{ChannelTransport, Transport};
 use crate::worker::{spawn_worker_with_faults, WorkerHandle};
 
 /// A running in-process store cluster.
@@ -30,6 +29,7 @@ use crate::worker::{spawn_worker_with_faults, WorkerHandle};
 pub struct StoreCluster {
     master: Arc<Master>,
     workers: Vec<WorkerHandle>,
+    transport: Arc<ChannelTransport>,
     fault_log: Arc<FaultLog>,
     cfg: StoreConfig,
 }
@@ -45,7 +45,7 @@ impl StoreCluster {
     pub fn spawn(cfg: StoreConfig) -> Self {
         assert!(cfg.n_workers > 0, "need at least one worker");
         let fault_log = Arc::new(FaultLog::new());
-        let workers = (0..cfg.n_workers)
+        let workers: Vec<WorkerHandle> = (0..cfg.n_workers)
             .map(|id| {
                 spawn_worker_with_faults(
                     id,
@@ -57,11 +57,15 @@ impl StoreCluster {
                 )
             })
             .collect();
+        let transport = Arc::new(ChannelTransport::new(
+            workers.iter().map(|w| w.sender().clone()).collect(),
+        ));
         let master = Arc::new(Master::new());
         master.ensure_workers(cfg.n_workers);
         StoreCluster {
             master,
             workers,
+            transport,
             fault_log,
             cfg,
         }
@@ -82,14 +86,16 @@ impl StoreCluster {
         &self.fault_log
     }
 
-    /// The raw worker channels (used by the repartitioners).
-    pub fn worker_senders(&self) -> Vec<Sender<WorkerRequest>> {
-        self.workers.iter().map(|w| w.sender().clone()).collect()
+    /// The in-process channel transport over this cluster's workers
+    /// (used by the repartitioners and by tests that poke workers
+    /// directly).
+    pub fn transport(&self) -> &Arc<ChannelTransport> {
+        &self.transport
     }
 
     /// Creates a client carrying the cluster's retry and hedge policies.
     pub fn client(&self) -> Client {
-        Client::new(self.master.clone(), self.worker_senders())
+        Client::new(self.master.clone(), self.transport.clone())
             .with_retry(self.cfg.retry)
             .with_hedge(self.cfg.hedge)
     }
@@ -112,17 +118,12 @@ impl StoreCluster {
         let probes: Vec<_> = self
             .workers
             .iter()
-            .map(|w| {
-                let (tx, rx) = bounded(1);
-                let sent = w
-                    .sender()
-                    .send(WorkerRequest::Ping { reply: tx })
-                    .is_ok();
-                (w.id, sent, rx)
-            })
+            .map(|w| (w.id, self.transport.submit(w.id, Request::Ping)))
             .collect();
-        for (id, sent, rx) in probes {
-            if sent && rx.recv_timeout(timeout).is_ok() {
+        for (id, probe) in probes {
+            let alive = probe
+                .is_ok_and(|rx| matches!(rx.recv_timeout(timeout), Ok(crate::rpc::Reply::Pong(_))));
+            if alive {
                 self.master.mark_alive(id);
                 live.push(id);
             } else {

@@ -46,6 +46,39 @@ pub enum FaultAction {
     /// The request is served (side effects happen) but the reply never
     /// leaves the worker — a one-way partition between worker and client.
     LoseReply,
+    /// **Wire fault.** The request is served but the connection carrying
+    /// it is closed before the reply frame is written. Over TCP the
+    /// client sees a reset ([`crate::rpc::StoreError::Io`], retryable);
+    /// the in-process transport approximates it as a lost reply.
+    DropConnection,
+    /// **Wire fault.** The reply frame is held back for the given
+    /// duration before hitting the socket — switch congestion or a slow
+    /// NIC. Readers with deadlines may time out even though the worker
+    /// served promptly.
+    DelayFrame(Duration),
+    /// **Wire fault.** Only a prefix of the reply frame is written
+    /// before the connection drops — the classic torn TCP segment. The
+    /// client's decoder must surface an incomplete frame as a retryable
+    /// I/O error, never as bytes. In-process this degrades to a lost
+    /// reply.
+    TruncateFrame,
+}
+
+impl FaultAction {
+    /// Whether this fault lives in the transport (connection/frame)
+    /// rather than in the worker itself. Wire faults are injected by the
+    /// TCP server's framing layer; the in-process transport has no
+    /// frames, so its workers *approximate* them (see
+    /// [`crate::worker`]) while logging the original action — the fault
+    /// log of a seeded run stays identical across transports.
+    pub fn is_wire(&self) -> bool {
+        matches!(
+            self,
+            FaultAction::DropConnection
+                | FaultAction::DelayFrame(_)
+                | FaultAction::TruncateFrame
+        )
+    }
 }
 
 /// One scripted fault: `action` fires when `worker` dequeues its `op`-th
@@ -109,6 +142,22 @@ impl FaultPlan {
         self.with_event(worker, op, FaultAction::LoseReply)
     }
 
+    /// Serves `worker`'s `op`-th request but drops the connection before
+    /// the reply frame leaves.
+    pub fn drop_connection(self, worker: usize, op: u64) -> Self {
+        self.with_event(worker, op, FaultAction::DropConnection)
+    }
+
+    /// Delays `worker`'s `op`-th reply frame by `pause`.
+    pub fn delay_frame(self, worker: usize, op: u64, pause: Duration) -> Self {
+        self.with_event(worker, op, FaultAction::DelayFrame(pause))
+    }
+
+    /// Truncates `worker`'s `op`-th reply frame mid-write.
+    pub fn truncate_frame(self, worker: usize, op: u64) -> Self {
+        self.with_event(worker, op, FaultAction::TruncateFrame)
+    }
+
     /// Generates a random plan from a seed — the chaos-test entry point.
     ///
     /// Draws `n_events` events against `n_workers` workers, each firing
@@ -147,6 +196,33 @@ impl FaultPlan {
             .events
             .iter()
             .filter(|e| e.worker == worker)
+            .map(|e| (e.op, e.action.clone()))
+            .collect();
+        events.sort_by_key(|&(op, _)| op);
+        WorkerScript { events, cursor: 0 }
+    }
+
+    /// Worker `w`'s **non-wire** events only — what the worker thread of
+    /// a TCP server consumes (its framing layer injects the wire half via
+    /// [`FaultPlan::wire_script_for`]). Trigger indices are shared: both
+    /// scripts count the same data-path op stream, so a plan fires
+    /// identically whether a worker sits behind a channel or a socket.
+    pub fn data_script_for(&self, worker: usize) -> WorkerScript {
+        self.filtered_script(worker, false)
+    }
+
+    /// Worker `w`'s **wire** events only (see
+    /// [`FaultAction::is_wire`]) — consumed by the TCP server's framing
+    /// layer.
+    pub fn wire_script_for(&self, worker: usize) -> WorkerScript {
+        self.filtered_script(worker, true)
+    }
+
+    fn filtered_script(&self, worker: usize, wire: bool) -> WorkerScript {
+        let mut events: Vec<(u64, FaultAction)> = self
+            .events
+            .iter()
+            .filter(|e| e.worker == worker && e.action.is_wire() == wire)
             .map(|e| (e.op, e.action.clone()))
             .collect();
         events.sort_by_key(|&(op, _)| op);
@@ -298,6 +374,42 @@ mod tests {
             .events()
             .iter()
             .all(|e| !matches!(e.action, FaultAction::DropPartition(_))));
+    }
+
+    #[test]
+    fn wire_and_data_scripts_partition_the_plan() {
+        let plan = FaultPlan::none()
+            .crash(0, 5)
+            .drop_connection(0, 2)
+            .delay_frame(0, 3, Duration::from_millis(4))
+            .truncate_frame(0, 7)
+            .lose_reply(0, 1);
+        let mut data = plan.data_script_for(0);
+        let mut wire = plan.wire_script_for(0);
+        assert_eq!(
+            data.fire(100),
+            vec![FaultAction::LoseReply, FaultAction::Crash]
+        );
+        assert_eq!(
+            wire.fire(100),
+            vec![
+                FaultAction::DropConnection,
+                FaultAction::DelayFrame(Duration::from_millis(4)),
+                FaultAction::TruncateFrame,
+            ]
+        );
+        // The combined script carries everything, in op order.
+        let mut all = plan.script_for(0);
+        assert_eq!(all.fire(100).len(), 5);
+    }
+
+    #[test]
+    fn wire_classification() {
+        assert!(FaultAction::DropConnection.is_wire());
+        assert!(FaultAction::DelayFrame(Duration::ZERO).is_wire());
+        assert!(FaultAction::TruncateFrame.is_wire());
+        assert!(!FaultAction::Crash.is_wire());
+        assert!(!FaultAction::LoseReply.is_wire());
     }
 
     #[test]

@@ -37,10 +37,13 @@ pub mod online;
 pub mod repartitioner;
 pub mod rpc;
 pub mod throttle;
+pub mod transport;
 pub mod worker;
 
 pub use client::{Client, ScatteredFile};
 pub use cluster::StoreCluster;
 pub use config::{HedgePolicy, RetryPolicy, StoreConfig};
 pub use fault::{FaultAction, FaultEvent, FaultLog, FaultPlan, FaultRecord};
-pub use rpc::{PartKey, StoreError};
+pub use master::{Master, MetaService};
+pub use rpc::{Envelope, PartKey, Reply, Request, StoreError, WorkerStats, MASTER_ENDPOINT};
+pub use transport::{ChannelTransport, Transport};

@@ -313,6 +313,116 @@ impl Master {
     }
 }
 
+/// The metadata-plane surface a client needs from its master: file
+/// registration and lookup, placement swaps, and worker-health
+/// reporting.
+///
+/// Two implementations exist: [`Master`] itself (the in-process
+/// metadata service, also what a master *server* wraps) and
+/// `spcache_net::MasterClient` (the same calls framed onto a TCP
+/// connection). The client and the under-store recovery path are
+/// written against this trait, so they work identically in both
+/// deployments.
+pub trait MetaService: Send + Sync + std::fmt::Debug {
+    /// Registers a new file (see [`Master::register`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::AlreadyExists`] if the id is taken; transport
+    /// errors over the wire.
+    fn register(&self, id: u64, size: usize, servers: Vec<usize>) -> Result<(), StoreError>;
+
+    /// Removes a file's metadata, returning its former `(size, servers)`
+    /// if it was registered.
+    fn unregister_file(&self, id: u64) -> Option<(usize, Vec<usize>)>;
+
+    /// Looks up `(size, servers)`, counting an access.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownFile`]; transport errors over the wire.
+    fn locate(&self, id: u64) -> Result<(usize, Vec<usize>), StoreError>;
+
+    /// Looks up `(size, servers)` without counting an access.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownFile`]; transport errors over the wire.
+    fn peek(&self, id: u64) -> Result<(usize, Vec<usize>), StoreError>;
+
+    /// Atomically installs a new placement for `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownFile`]; transport errors over the wire.
+    fn apply_placement(&self, id: u64, servers: Vec<usize>) -> Result<(), StoreError>;
+
+    /// Reports a sign of life from worker `w`.
+    fn mark_alive(&self, w: usize);
+
+    /// Declares worker `w` dead.
+    fn mark_dead(&self, w: usize);
+
+    /// Reports a timeout against worker `w`; returns the suspicion
+    /// count (0 when the report could not be delivered).
+    fn suspect(&self, w: usize) -> u32;
+
+    /// Whether worker `w` is believed alive.
+    fn is_alive(&self, w: usize) -> bool;
+
+    /// The live subset of workers `0..n`, ascending.
+    fn live_workers(&self, n: usize) -> Vec<usize>;
+
+    /// Files with at least one partition on a dead worker.
+    fn degraded_files(&self) -> Vec<u64>;
+}
+
+impl MetaService for Master {
+    fn register(&self, id: u64, size: usize, servers: Vec<usize>) -> Result<(), StoreError> {
+        Master::register(self, id, size, servers)
+    }
+
+    fn unregister_file(&self, id: u64) -> Option<(usize, Vec<usize>)> {
+        Master::unregister(self, id).map(|info| (info.size, info.servers))
+    }
+
+    fn locate(&self, id: u64) -> Result<(usize, Vec<usize>), StoreError> {
+        Master::locate(self, id)
+    }
+
+    fn peek(&self, id: u64) -> Result<(usize, Vec<usize>), StoreError> {
+        Master::peek(self, id)
+    }
+
+    fn apply_placement(&self, id: u64, servers: Vec<usize>) -> Result<(), StoreError> {
+        Master::apply_placement(self, id, servers)
+    }
+
+    fn mark_alive(&self, w: usize) {
+        Master::mark_alive(self, w)
+    }
+
+    fn mark_dead(&self, w: usize) {
+        Master::mark_dead(self, w)
+    }
+
+    fn suspect(&self, w: usize) -> u32 {
+        Master::suspect(self, w)
+    }
+
+    fn is_alive(&self, w: usize) -> bool {
+        Master::is_alive(self, w)
+    }
+
+    fn live_workers(&self, n: usize) -> Vec<usize> {
+        Master::live_workers(self, n)
+    }
+
+    fn degraded_files(&self) -> Vec<u64> {
+        Master::degraded_files(self)
+    }
+}
+
 /// Rewrites a repartition plan so no job targets a dead worker: every
 /// dead target is replaced by the lowest-indexed live worker not already
 /// serving another partition of the same file, preserving the

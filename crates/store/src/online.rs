@@ -10,74 +10,67 @@
 //! 2. **Commit** — old keys are deleted, staged keys are renamed to their
 //!    final indices (an in-worker HashMap move, no bytes), and the master
 //!    metadata is swapped.
+//!
+//! Like the repartitioner, the adjuster speaks only through a
+//! [`Transport`], so it works identically over in-process channels and
+//! TCP.
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
+use crossbeam::channel::RecvTimeoutError;
 use spcache_core::online::OnlinePlan;
-use std::sync::Arc;
 use std::time::Duration;
 
-use crate::master::Master;
-use crate::rpc::{PartKey, StoreError, WorkerRequest, STAGE_BIT};
+use crate::master::MetaService;
+use crate::rpc::{PartKey, Reply, Request, StoreError};
+use crate::transport::Transport;
 
 /// Upper bound on any single worker wait during an adjustment, so a
 /// worker dying mid-build cannot hang the executor.
 const ADJUST_DEADLINE: Duration = Duration::from_secs(5);
 
-fn await_reply<T>(rx: &crossbeam::channel::Receiver<T>, server: usize) -> Result<T, StoreError> {
+/// One synchronous worker call with the adjuster's deadline. Unlike the
+/// client this does no health bookkeeping: adjustments pre-check
+/// liveness and treat any failure as fatal to the (replannable) job.
+fn call(transport: &dyn Transport, server: usize, req: Request) -> Result<Reply, StoreError> {
+    let rx = transport.submit(server, req)?;
     match rx.recv_timeout(ADJUST_DEADLINE) {
-        Ok(v) => Ok(v),
+        Ok(Reply::Err(e)) => Err(e),
+        Ok(reply) => Ok(reply),
         Err(RecvTimeoutError::Disconnected) => Err(StoreError::WorkerDown(server)),
         Err(RecvTimeoutError::Timeout) => Err(StoreError::Timeout(server)),
     }
-}
-
-fn get_range(
-    workers: &[Sender<WorkerRequest>],
-    server: usize,
-    key: PartKey,
-    offset: u64,
-    len: u64,
-) -> Result<Bytes, StoreError> {
-    let (tx, rx) = bounded(1);
-    workers[server]
-        .send(WorkerRequest::GetRange {
-            key,
-            offset,
-            len,
-            reply: tx,
-        })
-        .map_err(|_| StoreError::WorkerDown(server))?;
-    await_reply(&rx, server)?
 }
 
 /// Builds one new partition on its target worker under the staged key.
 fn build_partition(
     file: u64,
     part: &spcache_core::online::NewPartition,
-    workers: &[Sender<WorkerRequest>],
+    transport: &dyn Transport,
 ) -> Result<(), StoreError> {
     let mut buf = Vec::with_capacity(part.range.len() as usize);
     for pull in &part.pulls {
-        let bytes = get_range(
-            workers,
+        let bytes = call(
+            transport,
             pull.from_server,
-            PartKey::new(file, pull.from_part),
-            pull.offset_in_part,
-            pull.len,
-        )?;
+            Request::GetRange {
+                key: PartKey::new(file, pull.from_part),
+                offset: pull.offset_in_part,
+                len: pull.len,
+            },
+        )?
+        .bytes()?;
         debug_assert_eq!(bytes.len() as u64, pull.len, "short range read");
         buf.extend_from_slice(&bytes);
     }
-    let (tx, rx) = bounded(1);
-    workers[part.server]
-        .send(WorkerRequest::Put {
-            key: PartKey::new(file, part.index | STAGE_BIT),
+    call(
+        transport,
+        part.server,
+        Request::Put {
+            key: PartKey::new(file, part.index).staged(),
             data: Bytes::from(buf),
-            reply: tx,
-        })
-        .map_err(|_| StoreError::WorkerDown(part.server))?;
-    await_reply(&rx, part.server)?
+        },
+    )?
+    .unit()
 }
 
 /// Executes an online adjustment for `file`: builds staged partitions in
@@ -93,8 +86,8 @@ fn build_partition(
 pub fn execute_adjust(
     file: u64,
     plan: &OnlinePlan,
-    master: &Arc<Master>,
-    workers: &[Sender<WorkerRequest>],
+    master: &dyn MetaService,
+    transport: &dyn Transport,
 ) -> Result<(), StoreError> {
     let (_, old_servers) = master.peek(file)?;
     assert_eq!(
@@ -120,9 +113,7 @@ pub fn execute_adjust(
     let results: Vec<Result<(), StoreError>> = std::thread::scope(|s| {
         plan.parts
             .iter()
-            .map(|part| {
-                s.spawn(move || build_partition(file, part, workers))
-            })
+            .map(|part| s.spawn(move || build_partition(file, part, transport)))
             .collect::<Vec<_>>()
             .into_iter()
             .map(|h| h.join().expect("build thread panicked"))
@@ -132,27 +123,26 @@ pub fn execute_adjust(
 
     // Phase 2: commit — drop old keys, unstage new ones, swap metadata.
     for (j, &server) in old_servers.iter().enumerate() {
-        let (tx, rx) = bounded(1);
-        if workers[server]
-            .send(WorkerRequest::Delete {
+        if let Ok(rx) = transport.submit(
+            server,
+            Request::Delete {
                 key: PartKey::new(file, j as u32),
-                reply: tx,
-            })
-            .is_ok()
-        {
+            },
+        ) {
             let _ = rx.recv_timeout(ADJUST_DEADLINE);
         }
     }
     for part in &plan.parts {
-        let (tx, rx) = bounded(1);
-        workers[part.server]
-            .send(WorkerRequest::Rename {
-                from: PartKey::new(file, part.index | STAGE_BIT),
-                to: PartKey::new(file, part.index),
-                reply: tx,
-            })
-            .map_err(|_| StoreError::WorkerDown(part.server))?;
-        let renamed = await_reply(&rx, part.server)?;
+        let key = PartKey::new(file, part.index);
+        let renamed = call(
+            transport,
+            part.server,
+            Request::Rename {
+                from: key.staged(),
+                to: key,
+            },
+        )?
+        .flag()?;
         assert!(renamed, "staged partition vanished before commit");
     }
     master.apply_placement(file, plan.new_servers())
@@ -181,7 +171,13 @@ mod tests {
         client.write(1, &data, initial).unwrap();
 
         let plan = plan_adjust(len as u64, initial, new_k, &loads(n_workers));
-        execute_adjust(1, &plan, cluster.master(), &cluster.worker_senders()).unwrap();
+        execute_adjust(
+            1,
+            &plan,
+            cluster.master().as_ref(),
+            cluster.transport().as_ref(),
+        )
+        .unwrap();
 
         let (_, servers) = cluster.master().peek(1).unwrap();
         assert_eq!(servers.len(), new_k);
@@ -220,7 +216,13 @@ mod tests {
         client.write(1, &data, &[1, 3]).unwrap();
         let plan = plan_adjust(5_000, &[1, 3], 2, &loads(4));
         assert_eq!(plan.network_bytes(), 0);
-        execute_adjust(1, &plan, cluster.master(), &cluster.worker_senders()).unwrap();
+        execute_adjust(
+            1,
+            &plan,
+            cluster.master().as_ref(),
+            cluster.transport().as_ref(),
+        )
+        .unwrap();
         assert_eq!(client.read_quiet(1).unwrap(), data);
         assert_eq!(cluster.master().peek(1).unwrap().1, vec![1, 3]);
     }
@@ -237,7 +239,13 @@ mod tests {
         for &k in &seq {
             let (_, servers) = cluster.master().peek(1).unwrap();
             let plan = plan_adjust(len as u64, &servers, k, &loads(n_workers));
-            execute_adjust(1, &plan, cluster.master(), &cluster.worker_senders()).unwrap();
+            execute_adjust(
+                1,
+                &plan,
+                cluster.master().as_ref(),
+                cluster.transport().as_ref(),
+            )
+            .unwrap();
             assert_eq!(client.read_quiet(1).unwrap(), data, "after k={k}");
             assert_eq!(cluster.master().peek(1).unwrap().1.len(), k);
         }
@@ -254,7 +262,13 @@ mod tests {
         client.write(1, &payload(len), &[0, 1, 2, 3]).unwrap();
         let served_before: f64 = cluster.served_bytes().unwrap().iter().sum();
         let plan = plan_adjust(len as u64, &[0, 1, 2, 3], 6, &loads(n_workers));
-        execute_adjust(1, &plan, cluster.master(), &cluster.worker_senders()).unwrap();
+        execute_adjust(
+            1,
+            &plan,
+            cluster.master().as_ref(),
+            cluster.transport().as_ref(),
+        )
+        .unwrap();
         let served_after: f64 = cluster.served_bytes().unwrap().iter().sum();
         let moved = served_after - served_before;
         assert!(

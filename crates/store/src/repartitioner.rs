@@ -7,16 +7,20 @@
 //! file sets concurrently. [`run_sequential`] is the strawman it is
 //! compared against in Fig. 16 — every file (changed or not) is collected
 //! and re-distributed one at a time through a single node.
+//!
+//! Executors are transport-agnostic: every byte moves through a
+//! [`Transport`], so the same code repartitions an in-process cluster
+//! and a fleet of `spcached` processes over TCP.
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError};
 use spcache_core::repartition::{RepartitionJob, RepartitionPlan};
 use spcache_ec::{join_shards_bytes, split_shards_bytes};
-use std::sync::Arc;
 use std::time::Duration;
 
-use crate::master::Master;
-use crate::rpc::{PartKey, StoreError, WorkerRequest};
+use crate::master::MetaService;
+use crate::rpc::{PartKey, Reply, Request, StoreError};
+use crate::transport::Transport;
 
 /// How long an executor waits on any single worker reply before giving
 /// the worker up as hung. Bounds every blocking call in a job, so a
@@ -24,15 +28,35 @@ use crate::rpc::{PartKey, StoreError, WorkerRequest};
 /// executor fleet.
 const EXECUTOR_DEADLINE: Duration = Duration::from_secs(5);
 
+/// Whether an error means "this worker is unavailable" (dead, hung, or
+/// unreachable) as opposed to a logic/metadata problem.
+fn is_availability(e: &StoreError) -> bool {
+    matches!(
+        e,
+        StoreError::WorkerDown(_) | StoreError::Timeout(_) | StoreError::Io(_)
+    )
+}
+
 /// Awaits one executor-side reply with the deadline, updating the
 /// master's health table from the outcome.
-fn await_executor_reply<T>(
-    master: &Master,
+fn await_executor_reply(
+    master: &dyn MetaService,
     server: usize,
-    rx: &crossbeam::channel::Receiver<T>,
-) -> Result<T, StoreError> {
+    rx: &Receiver<Reply>,
+) -> Result<Reply, StoreError> {
     match rx.recv_timeout(EXECUTOR_DEADLINE) {
-        Ok(v) => Ok(v),
+        Ok(Reply::Err(e)) => {
+            if is_availability(&e) {
+                master.suspect(server);
+            } else {
+                master.mark_alive(server);
+            }
+            Err(e)
+        }
+        Ok(reply) => {
+            master.mark_alive(server);
+            Ok(reply)
+        }
         Err(RecvTimeoutError::Disconnected) => {
             master.mark_dead(server);
             Err(StoreError::WorkerDown(server))
@@ -44,26 +68,34 @@ fn await_executor_reply<T>(
     }
 }
 
+/// One synchronous executor-side call with health bookkeeping.
+fn call(
+    master: &dyn MetaService,
+    transport: &dyn Transport,
+    server: usize,
+    req: Request,
+) -> Result<Reply, StoreError> {
+    let rx = transport.submit(server, req).inspect_err(|e| {
+        match e {
+            StoreError::WorkerDown(_) => master.mark_dead(server),
+            StoreError::Io(_) | StoreError::Timeout(_) => {
+                master.suspect(server);
+            }
+            _ => {}
+        }
+    })?;
+    await_executor_reply(master, server, &rx)
+}
+
 /// Pushes one shard to `server`, synchronously.
 fn push_shard(
-    master: &Master,
-    workers: &[Sender<WorkerRequest>],
+    master: &dyn MetaService,
+    transport: &dyn Transport,
     server: usize,
     key: PartKey,
     shard: Bytes,
 ) -> Result<(), StoreError> {
-    let (tx, rx) = bounded(1);
-    workers[server]
-        .send(WorkerRequest::Put {
-            key,
-            data: shard,
-            reply: tx,
-        })
-        .map_err(|_| {
-            master.mark_dead(server);
-            StoreError::WorkerDown(server)
-        })?;
-    await_executor_reply(master, server, &rx)?
+    call(master, transport, server, Request::Put { key, data: shard })?.unit()
 }
 
 /// Executes one repartition job: pull old partitions, reassemble,
@@ -78,8 +110,8 @@ fn push_shard(
 fn execute_job(
     job: &RepartitionJob,
     file_id: u64,
-    master: &Master,
-    workers: &[Sender<WorkerRequest>],
+    master: &dyn MetaService,
+    transport: &dyn Transport,
 ) -> Result<(), StoreError> {
     let (size, _) = master.peek(file_id)?;
 
@@ -89,17 +121,10 @@ fn execute_job(
     // short-circuit-free path).
     let mut shards: Vec<Bytes> = Vec::with_capacity(job.old_servers.len());
     for (j, &server) in job.old_servers.iter().enumerate() {
-        let (tx, rx) = bounded(1);
-        workers[server]
-            .send(WorkerRequest::Get {
-                key: PartKey::new(file_id, j as u32),
-                reply: tx,
-            })
-            .map_err(|_| {
-                master.mark_dead(server);
-                StoreError::WorkerDown(server)
-            })?;
-        shards.push(await_executor_reply(master, server, &rx)??);
+        let req = Request::Get {
+            key: PartKey::new(file_id, j as u32),
+        };
+        shards.push(call(master, transport, server, req)?.bytes()?);
     }
     let data = join_shards_bytes(&shards, size);
 
@@ -107,7 +132,7 @@ fn execute_job(
     // keeping the distinct-server invariant within the file.
     let mut targets = job.new_servers.clone();
     let substitute_targets = |targets: &mut Vec<usize>, failed: Option<usize>| {
-        let live = master.live_workers(workers.len());
+        let live = master.live_workers(transport.n_workers());
         for i in 0..targets.len() {
             let dead = Some(targets[i]) == failed || !master.is_alive(targets[i]);
             if dead {
@@ -137,40 +162,40 @@ fn execute_job(
         for j in 0..new_shards.len() {
             let server = targets[j];
             let key = PartKey::new(file_id, j as u32).staged();
-            let (tx, rx) = bounded(1);
-            match workers[server].send(WorkerRequest::Put {
-                key,
-                data: new_shards[j].clone(),
-                reply: tx,
-            }) {
-                Ok(()) => pending.push((j, server, rx)),
+            match transport.submit(
+                server,
+                Request::Put {
+                    key,
+                    data: new_shards[j].clone(),
+                },
+            ) {
+                Ok(rx) => pending.push((j, server, rx)),
                 Err(_) => {
                     master.mark_dead(server);
                     substitute_targets(&mut targets, Some(server));
                     if targets[j] == server {
                         return Err(StoreError::WorkerDown(server));
                     }
-                    push_shard(master, workers, targets[j], key, new_shards[j].clone())?;
+                    push_shard(master, transport, targets[j], key, new_shards[j].clone())?;
                 }
             }
         }
         for (j, server, rx) in pending {
-            if let Err(e) = await_executor_reply(master, server, &rx).and_then(|r| r) {
-                match e {
-                    StoreError::WorkerDown(_) | StoreError::Timeout(_) => {
-                        substitute_targets(&mut targets, Some(server));
-                        if targets[j] == server {
-                            return Err(e); // no live substitute left
-                        }
-                        push_shard(
-                            master,
-                            workers,
-                            targets[j],
-                            PartKey::new(file_id, j as u32).staged(),
-                            new_shards[j].clone(),
-                        )?;
+            if let Err(e) = await_executor_reply(master, server, &rx).and_then(Reply::unit) {
+                if is_availability(&e) {
+                    substitute_targets(&mut targets, Some(server));
+                    if targets[j] == server {
+                        return Err(e); // no live substitute left
                     }
-                    other => return Err(other),
+                    push_shard(
+                        master,
+                        transport,
+                        targets[j],
+                        PartKey::new(file_id, j as u32).staged(),
+                        new_shards[j].clone(),
+                    )?;
+                } else {
+                    return Err(e);
                 }
             }
         }
@@ -180,7 +205,7 @@ fn execute_job(
         // Abort: clear any staged keys (best effort) and leave the old
         // layout — still fully readable — in place.
         for (j, &server) in targets.iter().enumerate() {
-            client_side_discard(workers, server, PartKey::new(file_id, j as u32).staged());
+            discard(transport, server, PartKey::new(file_id, j as u32).staged());
         }
         return Err(e);
     }
@@ -189,34 +214,28 @@ fn execute_job(
     // sequence as the online adjuster; a target dying inside this window
     // leaves the file degraded, which the under-store heal repairs.)
     for (j, &server) in job.old_servers.iter().enumerate() {
-        client_side_discard(workers, server, PartKey::new(file_id, j as u32));
+        discard(transport, server, PartKey::new(file_id, j as u32));
     }
     for (j, &server) in targets.iter().enumerate() {
         let key = PartKey::new(file_id, j as u32);
-        let (tx, rx) = bounded(1);
-        workers[server]
-            .send(WorkerRequest::Rename {
+        let renamed = call(
+            master,
+            transport,
+            server,
+            Request::Rename {
                 from: key.staged(),
                 to: key,
-                reply: tx,
-            })
-            .map_err(|_| {
-                master.mark_dead(server);
-                StoreError::WorkerDown(server)
-            })?;
-        let renamed = await_executor_reply(master, server, &rx)?;
+            },
+        )?
+        .flag()?;
         debug_assert!(renamed, "staged partition vanished before commit");
     }
     master.apply_placement(file_id, targets)
 }
 
 /// Best-effort delete of one key; errors and dead workers are ignored.
-fn client_side_discard(workers: &[Sender<WorkerRequest>], server: usize, key: PartKey) {
-    let (tx, rx) = bounded(1);
-    if workers[server]
-        .send(WorkerRequest::Delete { key, reply: tx })
-        .is_ok()
-    {
+fn discard(transport: &dyn Transport, server: usize, key: PartKey) {
+    if let Ok(rx) = transport.submit(server, Request::Delete { key }) {
         let _ = rx.recv_timeout(EXECUTOR_DEADLINE);
     }
 }
@@ -239,22 +258,21 @@ fn client_side_discard(workers: &[Sender<WorkerRequest>], server: usize, key: Pa
 pub fn run_parallel(
     plan: &RepartitionPlan,
     ids: &[u64],
-    master: &Arc<Master>,
-    workers: &[Sender<WorkerRequest>],
+    master: &dyn MetaService,
+    transport: &dyn Transport,
 ) -> Result<Vec<u64>, StoreError> {
-    let by_executor = plan.jobs_by_executor(workers.len());
+    let by_executor = plan.jobs_by_executor(transport.n_workers());
     let results: Vec<Result<Vec<u64>, StoreError>> = std::thread::scope(|s| {
         let handles: Vec<_> = by_executor
             .into_iter()
             .filter(|jobs| !jobs.is_empty())
             .map(|jobs| {
-                let master = Arc::clone(master);
                 s.spawn(move || {
                     let mut skipped = Vec::new();
                     for job in jobs {
-                        match execute_job(job, ids[job.file], &master, workers) {
+                        match execute_job(job, ids[job.file], master, transport) {
                             Ok(()) => {}
-                            Err(StoreError::WorkerDown(_)) | Err(StoreError::Timeout(_)) => {
+                            Err(e) if is_availability(&e) => {
                                 skipped.push(ids[job.file]);
                             }
                             Err(e) => return Err(e),
@@ -287,8 +305,8 @@ pub fn run_parallel(
 pub fn run_sequential(
     plan: &RepartitionPlan,
     ids: &[u64],
-    master: &Arc<Master>,
-    workers: &[Sender<WorkerRequest>],
+    master: &dyn MetaService,
+    transport: &dyn Transport,
 ) -> Result<(), StoreError> {
     // Unchanged files are still collected and re-written in place (that is
     // what makes the strawman slow).
@@ -297,14 +315,10 @@ pub fn run_sequential(
         let (size, servers) = master.peek(file_id)?;
         let mut shards: Vec<Bytes> = Vec::with_capacity(servers.len());
         for (j, &server) in servers.iter().enumerate() {
-            let (tx, rx) = bounded(1);
-            workers[server]
-                .send(WorkerRequest::Get {
-                    key: PartKey::new(file_id, j as u32),
-                    reply: tx,
-                })
-                .map_err(|_| StoreError::WorkerDown(server))?;
-            shards.push(rx.recv().map_err(|_| StoreError::WorkerDown(server))??);
+            let req = Request::Get {
+                key: PartKey::new(file_id, j as u32),
+            };
+            shards.push(call(master, transport, server, req)?.bytes()?);
         }
         let data = Bytes::from(join_shards_bytes(&shards, size));
         for (j, (&server, shard)) in servers
@@ -312,19 +326,17 @@ pub fn run_sequential(
             .zip(split_shards_bytes(&data, servers.len()))
             .enumerate()
         {
-            let (tx, rx) = bounded(1);
-            workers[server]
-                .send(WorkerRequest::Put {
-                    key: PartKey::new(file_id, j as u32),
-                    data: shard,
-                    reply: tx,
-                })
-                .map_err(|_| StoreError::WorkerDown(server))?;
-            rx.recv().map_err(|_| StoreError::WorkerDown(server))??;
+            push_shard(
+                master,
+                transport,
+                server,
+                PartKey::new(file_id, j as u32),
+                shard,
+            )?;
         }
     }
     for job in &plan.jobs {
-        execute_job(job, ids[job.file], master, workers)?;
+        execute_job(job, ids[job.file], master, transport)?;
     }
     Ok(())
 }
@@ -382,7 +394,7 @@ mod tests {
             3,
         );
         assert!(!plan.jobs.is_empty(), "hot files should be repartitioned");
-        run_parallel(&plan, &ids, cluster.master(), &cluster.worker_senders()).unwrap();
+        run_parallel(&plan, &ids, cluster.master().as_ref(), cluster.transport().as_ref()).unwrap();
         for (id, data) in contents.iter().enumerate() {
             assert_eq!(
                 client.read_quiet(id as u64).unwrap(),
@@ -411,7 +423,8 @@ mod tests {
             &spcache_core::tuner::TunerConfig::default(),
             5,
         );
-        run_sequential(&plan, &ids, cluster.master(), &cluster.worker_senders()).unwrap();
+        run_sequential(&plan, &ids, cluster.master().as_ref(), cluster.transport().as_ref())
+            .unwrap();
         for (id, data) in contents.iter().enumerate() {
             assert_eq!(client.read_quiet(id as u64).unwrap(), *data, "file {id}");
         }
@@ -428,7 +441,7 @@ mod tests {
         let mut rng = Xoshiro256StarStar::seed_from_u64(1);
         let plan = plan_repartition(&fileset, &map, &[1], &mut rng);
         assert_eq!(plan.jobs.len(), 1);
-        run_parallel(&plan, &ids, cluster.master(), &cluster.worker_senders()).unwrap();
+        run_parallel(&plan, &ids, cluster.master().as_ref(), cluster.transport().as_ref()).unwrap();
         assert_eq!(cluster.master().peek(0).unwrap().1.len(), 1);
         assert_eq!(client.read_quiet(0).unwrap(), data);
     }
@@ -441,7 +454,7 @@ mod tests {
         let (ids, fileset, map) = cluster.master().snapshot(4);
         let mut rng = Xoshiro256StarStar::seed_from_u64(2);
         let plan = plan_repartition(&fileset, &map, &[4], &mut rng);
-        run_parallel(&plan, &ids, cluster.master(), &cluster.worker_senders()).unwrap();
+        run_parallel(&plan, &ids, cluster.master().as_ref(), cluster.transport().as_ref()).unwrap();
         // Total resident partitions must equal the new k (no leftovers).
         let total: usize = cluster
             .worker_stats()
@@ -477,7 +490,8 @@ mod tests {
         cluster.kill_worker(3); // master knows
         let plan = manual_plan(vec![0], vec![1, 2, 3], 5);
         let skipped =
-            run_parallel(&plan, &[0], cluster.master(), &cluster.worker_senders()).unwrap();
+            run_parallel(&plan, &[0], cluster.master().as_ref(), cluster.transport().as_ref())
+                .unwrap();
         assert!(skipped.is_empty(), "dead target should be substituted");
         let (_, servers) = cluster.master().peek(0).unwrap();
         assert_eq!(servers.len(), 3);
@@ -500,7 +514,8 @@ mod tests {
         let plan = manual_plan(vec![0], vec![1, 2, 3], 5);
         let t0 = std::time::Instant::now();
         let skipped =
-            run_parallel(&plan, &[0], cluster.master(), &cluster.worker_senders()).unwrap();
+            run_parallel(&plan, &[0], cluster.master().as_ref(), cluster.transport().as_ref())
+                .unwrap();
         assert!(
             t0.elapsed() < Duration::from_secs(30),
             "repartition must not hang on a dead target"
@@ -524,7 +539,8 @@ mod tests {
         cluster.kill_worker(2);
         let plan = manual_plan(vec![0], vec![1, 2], 3);
         let skipped =
-            run_parallel(&plan, &[0], cluster.master(), &cluster.worker_senders()).unwrap();
+            run_parallel(&plan, &[0], cluster.master().as_ref(), cluster.transport().as_ref())
+                .unwrap();
         assert_eq!(skipped, vec![0], "unplaceable job should be reported");
         assert_eq!(cluster.master().peek(0).unwrap().1, vec![0]);
         assert_eq!(client.read_quiet(0).unwrap(), data, "old layout corrupted");
@@ -561,7 +577,7 @@ mod tests {
         );
 
         let t0 = std::time::Instant::now();
-        run_parallel(&plan, &ids, cluster.master(), &cluster.worker_senders()).unwrap();
+        run_parallel(&plan, &ids, cluster.master().as_ref(), cluster.transport().as_ref()).unwrap();
         let par = t0.elapsed().as_secs_f64();
 
         // Fresh identical cluster for the sequential run.
@@ -586,7 +602,8 @@ mod tests {
             7,
         );
         let t1 = std::time::Instant::now();
-        run_sequential(&plan2, &ids2, cluster2.master(), &cluster2.worker_senders()).unwrap();
+        run_sequential(&plan2, &ids2, cluster2.master().as_ref(), cluster2.transport().as_ref())
+            .unwrap();
         let seq = t1.elapsed().as_secs_f64();
 
         assert!(

@@ -1,7 +1,11 @@
 //! Message types between clients, workers and the master.
 //!
-//! Every interaction is a request enqueued on a worker's crossbeam channel
-//! with a one-shot reply channel — the in-process analogue of an RPC.
+//! The request/reply surface is **pure data** ([`Request`], [`Reply`]):
+//! no channels, no callbacks — so the same messages can cross an
+//! in-process channel or be framed onto a TCP socket by `spcache-net`
+//! without translation. A transport pairs a [`Request`] with a reply
+//! route; the in-process form is an [`Envelope`] carrying a one-shot
+//! crossbeam sender.
 
 use bytes::Bytes;
 use crossbeam::channel::Sender;
@@ -39,7 +43,8 @@ pub const STAGE_BIT: u32 = 1 << 31;
 pub enum StoreError {
     /// The partition is not resident on the addressed worker.
     NotFound(PartKey),
-    /// The worker is gone (channel closed).
+    /// The worker is gone (channel closed / connection refused after the
+    /// listener shut down).
     WorkerDown(usize),
     /// The master has no metadata for this file.
     UnknownFile(u64),
@@ -48,18 +53,46 @@ pub enum StoreError {
     /// The worker did not answer within the read deadline (hung or
     /// overloaded; the worker may still be alive).
     Timeout(usize),
+    /// Transport-level I/O failure reaching endpoint `w` (connection
+    /// refused or reset, broken pipe, a frame cut off mid-stream). The
+    /// remote may be perfectly healthy — retrying after re-locating can
+    /// succeed, so this is classified retryable.
+    Io(usize),
+    /// Wire-protocol violation (bad version byte, unknown opcode,
+    /// malformed frame). Permanent: resending the same bytes would
+    /// produce the same violation.
+    Codec(String),
 }
 
 impl StoreError {
     /// Whether a retry (after re-locating and possibly recovering from
-    /// the under-store) could succeed. Metadata errors are permanent.
+    /// the under-store) could succeed. Metadata errors and protocol
+    /// violations are permanent; availability and transport-I/O errors
+    /// (connection reset/refused) are retryable.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            StoreError::NotFound(_) | StoreError::WorkerDown(_) | StoreError::Timeout(_)
+            StoreError::NotFound(_)
+                | StoreError::WorkerDown(_)
+                | StoreError::Timeout(_)
+                | StoreError::Io(_)
         )
     }
+
+    /// The worker/endpoint index this error implicates, if any.
+    /// Endpoints at [`MASTER_ENDPOINT`] (or beyond the fleet) are
+    /// reported but must not be fed into the worker health table.
+    pub fn endpoint(&self) -> Option<usize> {
+        match self {
+            StoreError::WorkerDown(w) | StoreError::Timeout(w) | StoreError::Io(w) => Some(*w),
+            _ => None,
+        }
+    }
 }
+
+/// Sentinel endpoint index used by transports for errors talking to the
+/// master (which has no slot in the worker health table).
+pub const MASTER_ENDPOINT: usize = usize::MAX;
 
 impl std::fmt::Display for StoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -69,6 +102,11 @@ impl std::fmt::Display for StoreError {
             StoreError::UnknownFile(id) => write!(f, "unknown file {id}"),
             StoreError::AlreadyExists(id) => write!(f, "file {id} already exists"),
             StoreError::Timeout(w) => write!(f, "worker {w} timed out"),
+            StoreError::Io(w) if *w == MASTER_ENDPOINT => {
+                write!(f, "i/o failure reaching the master")
+            }
+            StoreError::Io(w) => write!(f, "i/o failure reaching worker {w}"),
+            StoreError::Codec(msg) => write!(f, "wire protocol violation: {msg}"),
         }
     }
 }
@@ -76,7 +114,7 @@ impl std::fmt::Display for StoreError {
 impl std::error::Error for StoreError {}
 
 /// Per-worker service counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WorkerStats {
     /// Bytes served by `Get` requests.
     pub bytes_served: u64,
@@ -90,24 +128,24 @@ pub struct WorkerStats {
     pub resident_parts: usize,
 }
 
-/// A request to a worker thread.
-#[derive(Debug)]
-pub enum WorkerRequest {
+/// A request to a worker — pure data, identical over every transport.
+///
+/// `Stats`, `Ping` and `Shutdown` are control-plane: they bypass fault
+/// injection and do not advance the worker's data-path op counter, so
+/// monitoring traffic never perturbs a scripted fault sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
     /// Store a partition.
     Put {
         /// Partition key.
         key: PartKey,
         /// Partition bytes.
         data: Bytes,
-        /// Completion signal.
-        reply: Sender<Result<(), StoreError>>,
     },
     /// Fetch a partition.
     Get {
         /// Partition key.
         key: PartKey,
-        /// Reply with the bytes or `NotFound`.
-        reply: Sender<Result<Bytes, StoreError>>,
     },
     /// Fetch a byte sub-range of a partition (the online-adjustment path:
     /// only the bytes that change servers cross the network).
@@ -118,40 +156,142 @@ pub enum WorkerRequest {
         offset: u64,
         /// Bytes wanted.
         len: u64,
-        /// Reply with the slice or `NotFound`.
-        reply: Sender<Result<Bytes, StoreError>>,
     },
     /// Rename a resident partition key in place (no byte movement); used
-    /// to commit staged partitions. Replies `false` if `from` is absent.
+    /// to commit staged partitions. Replies `Flag(false)` if `from` is
+    /// absent.
     Rename {
         /// Current key.
         from: PartKey,
         /// New key (overwrites any existing entry).
         to: PartKey,
-        /// Reply channel.
-        reply: Sender<bool>,
     },
     /// Drop a partition; replies whether it was resident.
     Delete {
         /// Partition key.
         key: PartKey,
-        /// Reply channel.
-        reply: Sender<bool>,
     },
     /// Snapshot service counters.
-    Stats {
-        /// Reply channel.
-        reply: Sender<WorkerStats>,
-    },
-    /// Liveness probe: the worker echoes its id. Does not advance the
-    /// fault-injection op counter, so health checks never perturb a
-    /// scripted fault sequence.
-    Ping {
-        /// Reply channel (receives the worker id).
-        reply: Sender<usize>,
-    },
-    /// Terminate the worker loop.
+    Stats,
+    /// Liveness probe: the worker echoes its id.
+    Ping,
+    /// Graceful termination: the worker finishes every request queued
+    /// before this one (FIFO drain), acknowledges with [`Reply::Done`],
+    /// and exits. A TCP server closes its listener after the ack.
     Shutdown,
+}
+
+impl Request {
+    /// Whether the request is control-plane (`Stats`/`Ping`/`Shutdown`):
+    /// exempt from fault injection and op counting on every transport.
+    pub fn is_control(&self) -> bool {
+        matches!(self, Request::Stats | Request::Ping | Request::Shutdown)
+    }
+}
+
+/// A worker's answer — pure data, one uniform type per transport stream
+/// so fork-join readers can select over many outstanding replies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Success without payload (`Put`, `Shutdown` ack).
+    Done,
+    /// Payload bytes (`Get`, `GetRange`). Over TCP the view borrows the
+    /// receive frame's buffer (zero-copy).
+    Data(Bytes),
+    /// Boolean outcome (`Rename`: moved, `Delete`: was resident).
+    Flag(bool),
+    /// Service counters (`Stats`).
+    Stats(WorkerStats),
+    /// Liveness echo (`Ping`): the worker id.
+    Pong(usize),
+    /// The request failed.
+    Err(StoreError),
+}
+
+impl Reply {
+    /// Interprets the reply as a unit result (`Put`/`Shutdown`).
+    ///
+    /// # Errors
+    ///
+    /// The carried error, or [`StoreError::Codec`] on a mismatched
+    /// variant (a protocol violation over the wire).
+    pub fn unit(self) -> Result<(), StoreError> {
+        match self {
+            Reply::Done => Ok(()),
+            Reply::Err(e) => Err(e),
+            other => Err(unexpected("Done", &other)),
+        }
+    }
+
+    /// Interprets the reply as payload bytes (`Get`/`GetRange`).
+    ///
+    /// # Errors
+    ///
+    /// The carried error, or [`StoreError::Codec`] on a mismatched
+    /// variant.
+    pub fn bytes(self) -> Result<Bytes, StoreError> {
+        match self {
+            Reply::Data(b) => Ok(b),
+            Reply::Err(e) => Err(e),
+            other => Err(unexpected("Data", &other)),
+        }
+    }
+
+    /// Interprets the reply as a boolean outcome (`Rename`/`Delete`).
+    ///
+    /// # Errors
+    ///
+    /// The carried error, or [`StoreError::Codec`] on a mismatched
+    /// variant.
+    pub fn flag(self) -> Result<bool, StoreError> {
+        match self {
+            Reply::Flag(b) => Ok(b),
+            Reply::Err(e) => Err(e),
+            other => Err(unexpected("Flag", &other)),
+        }
+    }
+
+    /// Interprets the reply as service counters (`Stats`).
+    ///
+    /// # Errors
+    ///
+    /// The carried error, or [`StoreError::Codec`] on a mismatched
+    /// variant.
+    pub fn stats(self) -> Result<WorkerStats, StoreError> {
+        match self {
+            Reply::Stats(s) => Ok(s),
+            Reply::Err(e) => Err(e),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Interprets the reply as a liveness echo (`Ping`).
+    ///
+    /// # Errors
+    ///
+    /// The carried error, or [`StoreError::Codec`] on a mismatched
+    /// variant.
+    pub fn pong(self) -> Result<usize, StoreError> {
+        match self {
+            Reply::Pong(w) => Ok(w),
+            Reply::Err(e) => Err(e),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+}
+
+fn unexpected(want: &str, got: &Reply) -> StoreError {
+    StoreError::Codec(format!("expected {want} reply, got {got:?}"))
+}
+
+/// One in-flight request on the in-process channel transport: the
+/// request plus its one-shot reply route.
+#[derive(Debug)]
+pub struct Envelope {
+    /// The request.
+    pub req: Request,
+    /// Where the single [`Reply`] goes.
+    pub reply: Sender<Reply>,
 }
 
 #[cfg(test)]
@@ -176,5 +316,52 @@ mod tests {
         assert!(e.to_string().contains("not found"));
         assert!(StoreError::WorkerDown(2).to_string().contains("worker 2"));
         assert!(StoreError::UnknownFile(9).to_string().contains("9"));
+        assert!(StoreError::Io(4).to_string().contains("worker 4"));
+        assert!(StoreError::Io(MASTER_ENDPOINT).to_string().contains("master"));
+        assert!(StoreError::Codec("bad version".into())
+            .to_string()
+            .contains("bad version"));
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(StoreError::NotFound(PartKey::new(1, 0)).is_retryable());
+        assert!(StoreError::WorkerDown(0).is_retryable());
+        assert!(StoreError::Timeout(0).is_retryable());
+        // Connection reset / refused are transient: retryable.
+        assert!(StoreError::Io(0).is_retryable());
+        // Metadata and protocol violations are permanent.
+        assert!(!StoreError::UnknownFile(1).is_retryable());
+        assert!(!StoreError::AlreadyExists(1).is_retryable());
+        assert!(!StoreError::Codec("bad opcode".into()).is_retryable());
+    }
+
+    #[test]
+    fn endpoint_extraction() {
+        assert_eq!(StoreError::Io(3).endpoint(), Some(3));
+        assert_eq!(StoreError::Timeout(1).endpoint(), Some(1));
+        assert_eq!(StoreError::UnknownFile(1).endpoint(), None);
+    }
+
+    #[test]
+    fn reply_accessors_enforce_variants() {
+        assert!(Reply::Done.unit().is_ok());
+        assert_eq!(Reply::Flag(true).flag(), Ok(true));
+        assert_eq!(Reply::Pong(7).pong(), Ok(7));
+        assert!(matches!(
+            Reply::Done.bytes(),
+            Err(StoreError::Codec(_))
+        ));
+        let e = StoreError::NotFound(PartKey::new(1, 2));
+        assert_eq!(Reply::Err(e.clone()).bytes(), Err(e));
+    }
+
+    #[test]
+    fn control_plane_classification() {
+        assert!(Request::Stats.is_control());
+        assert!(Request::Ping.is_control());
+        assert!(Request::Shutdown.is_control());
+        assert!(!Request::Get { key: PartKey::new(1, 0) }.is_control());
+        assert!(!Request::Delete { key: PartKey::new(1, 0) }.is_control());
     }
 }

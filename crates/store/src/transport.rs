@@ -1,0 +1,139 @@
+//! The transport abstraction between clients/executors and workers.
+//!
+//! Every data-plane interaction with a worker goes through
+//! [`Transport`]: submit a pure-data [`Request`] to worker `w`, get back
+//! a one-shot channel the single [`Reply`] will arrive on. The fork-join
+//! read path selects over many such channels at once, so the trait
+//! deliberately returns the receiver instead of blocking — a transport
+//! is a request router, not an RPC stub.
+//!
+//! Two implementations exist:
+//!
+//! * [`ChannelTransport`] (here) — the in-process path: each worker is a
+//!   thread behind a crossbeam channel. Submission failure means the
+//!   worker thread is gone, which in-process is *definitive* death
+//!   ([`StoreError::WorkerDown`]).
+//! * `spcache_net::TcpTransport` — real sockets with length-prefixed
+//!   frames and per-connection request-id multiplexing. Submission
+//!   failure there is an I/O error ([`StoreError::Io`]): the remote may
+//!   well be alive, so the error is retryable and feeds suspicion rather
+//!   than a death certificate.
+
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+
+use crate::rpc::{Envelope, Reply, Request, StoreError};
+
+/// A route to a fleet of workers.
+pub trait Transport: Send + Sync + std::fmt::Debug {
+    /// Number of workers addressable through this transport.
+    fn n_workers(&self) -> usize;
+
+    /// Submits `req` to worker `worker`, returning the channel its
+    /// [`Reply`] will arrive on. The call only queues the request; the
+    /// caller decides how long to wait (and whether to select over many
+    /// receivers).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::WorkerDown`] when the in-process channel is closed;
+    /// [`StoreError::Io`] when a socket transport cannot reach the
+    /// worker.
+    fn submit(&self, worker: usize, req: Request) -> Result<Receiver<Reply>, StoreError>;
+
+    /// Convenience blocking call: submit and wait up to `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Submission errors; [`StoreError::Timeout`] when no reply lands in
+    /// time; [`StoreError::WorkerDown`] when the reply route dies
+    /// unanswered (in-process: the worker dropped the reply sender).
+    fn call(&self, worker: usize, req: Request, timeout: Duration) -> Result<Reply, StoreError> {
+        let rx = self.submit(worker, req)?;
+        match rx.recv_timeout(timeout) {
+            Ok(reply) => Ok(reply),
+            Err(RecvTimeoutError::Disconnected) => Err(StoreError::WorkerDown(worker)),
+            Err(RecvTimeoutError::Timeout) => Err(StoreError::Timeout(worker)),
+        }
+    }
+}
+
+/// The in-process transport: one crossbeam channel per worker thread.
+///
+/// This is the seed system's data path, unchanged in behaviour — only
+/// moved behind the [`Transport`] trait so the TCP transport can slot in
+/// beside it.
+#[derive(Debug, Clone)]
+pub struct ChannelTransport {
+    senders: Vec<Sender<Envelope>>,
+}
+
+impl ChannelTransport {
+    /// Wraps the per-worker request channels.
+    pub fn new(senders: Vec<Sender<Envelope>>) -> Self {
+        assert!(!senders.is_empty(), "need at least one worker");
+        ChannelTransport { senders }
+    }
+
+    /// The raw channel to one worker (tests that poke workers directly).
+    pub fn sender(&self, worker: usize) -> &Sender<Envelope> {
+        &self.senders[worker]
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn n_workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    fn submit(&self, worker: usize, req: Request) -> Result<Receiver<Reply>, StoreError> {
+        let (tx, rx) = bounded(1);
+        self.senders[worker]
+            .send(Envelope { req, reply: tx })
+            .map_err(|_| StoreError::WorkerDown(worker))?;
+        Ok(rx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_to_closed_channel_is_worker_down() {
+        let (tx, rx) = crossbeam::channel::unbounded::<Envelope>();
+        drop(rx);
+        let t = ChannelTransport::new(vec![tx]);
+        assert_eq!(
+            t.submit(0, Request::Ping).unwrap_err(),
+            StoreError::WorkerDown(0)
+        );
+    }
+
+    #[test]
+    fn call_round_trips_through_a_responder() {
+        let (tx, rx) = crossbeam::channel::unbounded::<Envelope>();
+        std::thread::spawn(move || {
+            while let Ok(env) = rx.recv() {
+                let _ = env.reply.send(Reply::Pong(3));
+            }
+        });
+        let t = ChannelTransport::new(vec![tx]);
+        let reply = t.call(0, Request::Ping, Duration::from_secs(1)).unwrap();
+        assert_eq!(reply.pong().unwrap(), 3);
+    }
+
+    #[test]
+    fn call_times_out_when_nobody_answers() {
+        let (tx, _rx) = crossbeam::channel::unbounded::<Envelope>();
+        // Keep _rx alive so the channel stays open but unserved.
+        let t = ChannelTransport::new(vec![tx]);
+        assert_eq!(
+            t.call(0, Request::Ping, Duration::from_millis(20))
+                .unwrap_err(),
+            StoreError::Timeout(0)
+        );
+        drop(_rx);
+    }
+}

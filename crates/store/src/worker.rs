@@ -1,4 +1,11 @@
 //! The worker (cache server) thread.
+//!
+//! A worker owns its partition map and serves pure-data [`Request`]s
+//! arriving as [`Envelope`]s, computing one [`Reply`] per request and
+//! sending it through the envelope's one-shot channel. The same serve
+//! loop backs both transports: the in-process [`crate::transport::ChannelTransport`]
+//! feeds it directly, and `spcache-net`'s TCP server forwards decoded
+//! frames into it one at a time.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -12,7 +19,7 @@ use spcache_sim::Xoshiro256StarStar;
 use spcache_workload::StragglerModel;
 
 use crate::fault::{FaultAction, FaultLog, WorkerScript};
-use crate::rpc::{PartKey, StoreError, WorkerRequest, WorkerStats};
+use crate::rpc::{Envelope, PartKey, Reply, Request, StoreError, WorkerStats};
 use crate::throttle::TokenBucket;
 
 /// A handle to a running worker thread: its request channel and join
@@ -21,13 +28,13 @@ use crate::throttle::TokenBucket;
 pub struct WorkerHandle {
     /// Worker index within the cluster.
     pub id: usize,
-    sender: Sender<WorkerRequest>,
+    sender: Sender<Envelope>,
     join: Option<JoinHandle<()>>,
 }
 
 impl WorkerHandle {
     /// The worker's request channel.
-    pub fn sender(&self) -> &Sender<WorkerRequest> {
+    pub fn sender(&self) -> &Sender<Envelope> {
         &self.sender
     }
 
@@ -35,14 +42,30 @@ impl WorkerHandle {
     pub fn stats(&self) -> Result<WorkerStats, StoreError> {
         let (tx, rx) = bounded(1);
         self.sender
-            .send(WorkerRequest::Stats { reply: tx })
+            .send(Envelope {
+                req: Request::Stats,
+                reply: tx,
+            })
             .map_err(|_| StoreError::WorkerDown(self.id))?;
-        rx.recv().map_err(|_| StoreError::WorkerDown(self.id))
+        rx.recv()
+            .map_err(|_| StoreError::WorkerDown(self.id))?
+            .stats()
     }
 
-    /// Requests shutdown and joins the thread.
+    /// Requests shutdown and joins the thread. The worker drains its
+    /// queue up to the shutdown request (FIFO), acknowledges, and exits.
     pub fn shutdown(&mut self) {
-        let _ = self.sender.send(WorkerRequest::Shutdown);
+        let (tx, rx) = bounded(1);
+        if self
+            .sender
+            .send(Envelope {
+                req: Request::Shutdown,
+                reply: tx,
+            })
+            .is_ok()
+        {
+            let _ = rx.recv();
+        }
         if let Some(j) = self.join.take() {
             let _ = j.join();
         }
@@ -99,7 +122,7 @@ pub fn spawn_worker_with_faults(
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
     id: usize,
-    rx: Receiver<WorkerRequest>,
+    rx: Receiver<Envelope>,
     bandwidth: f64,
     stragglers: StragglerModel,
     seed: u64,
@@ -115,28 +138,37 @@ fn worker_loop(
     // traffic never shifts a scripted fault.
     let mut op: u64 = 0;
 
-    while let Ok(req) = rx.recv() {
+    while let Ok(Envelope { req, reply }) = rx.recv() {
         // Control-plane requests bypass fault injection entirely.
-        let req = match req {
-            WorkerRequest::Stats { reply } => {
+        match req {
+            Request::Stats => {
                 stats.resident_parts = store.len();
-                let _ = reply.send(stats);
+                let _ = reply.send(Reply::Stats(stats));
                 continue;
             }
-            WorkerRequest::Ping { reply } => {
-                let _ = reply.send(id);
+            Request::Ping => {
+                let _ = reply.send(Reply::Pong(id));
                 continue;
             }
-            WorkerRequest::Shutdown => break,
-            data_path => data_path,
-        };
+            Request::Shutdown => {
+                // Graceful drain: everything queued before this envelope
+                // has already been served (FIFO). Acknowledge, then exit.
+                let _ = reply.send(Reply::Done);
+                break;
+            }
+            _ => {}
+        }
 
         // Consult the fault script for this op. Drops and hangs apply
         // before serving; LoseReply suppresses the reply; Crash kills
         // the worker with the request unanswered (the dropped reply
-        // sender disconnects the waiting client).
+        // sender disconnects the waiting client). Wire faults have no
+        // frames to act on in-process, so they degrade to the nearest
+        // channel-visible effect — but the *original* action is logged,
+        // keeping seeded fault logs identical across transports.
         let mut lose_reply = false;
         let mut crash = false;
+        let mut delay = Duration::ZERO;
         for action in script.fire(op) {
             log.record(id, op, action.clone());
             match action {
@@ -146,124 +178,106 @@ fn worker_loop(
                     store.remove(&key);
                 }
                 FaultAction::LoseReply => lose_reply = true,
+                // A dropped connection or torn frame never delivers the
+                // reply: in-process that is exactly a lost reply.
+                FaultAction::DropConnection | FaultAction::TruncateFrame => lose_reply = true,
+                FaultAction::DelayFrame(pause) => delay += pause,
             }
         }
         if crash {
             break;
         }
         op += 1;
-        let req = if lose_reply { disarm_reply(req) } else { req };
 
-        match req {
-            WorkerRequest::Put { key, data, reply } => {
-                nic.consume(data.len());
-                stats.bytes_stored += data.len() as u64;
-                stats.puts += 1;
-                store.insert(key, data);
-                stats.resident_parts = store.len();
-                let _ = reply.send(Ok(()));
-            }
-            WorkerRequest::Get { key, reply } => {
-                stats.gets += 1;
-                match store.get(&key) {
-                    Some(data) => {
-                        // Emulate the transfer, with optional straggling
-                        // (the paper injects stragglers by sleeping the
-                        // server thread, §4.2).
-                        let factor = stragglers.draw_factor(&mut rng);
-                        nic.consume(data.len());
-                        if factor > 1.0 && bandwidth.is_finite() {
-                            let extra = data.len() as f64 / bandwidth * (factor - 1.0);
-                            std::thread::sleep(Duration::from_secs_f64(extra));
-                        }
-                        stats.bytes_served += data.len() as u64;
-                        let _ = reply.send(Ok(data.clone()));
-                    }
-                    None => {
-                        let _ = reply.send(Err(StoreError::NotFound(key)));
-                    }
-                }
-            }
-            WorkerRequest::GetRange {
-                key,
-                offset,
-                len,
-                reply,
-            } => {
-                stats.gets += 1;
-                match store.get(&key) {
-                    Some(data) => {
-                        let start = (offset as usize).min(data.len());
-                        let end = (start + len as usize).min(data.len());
-                        let slice = data.slice(start..end);
-                        let factor = stragglers.draw_factor(&mut rng);
-                        nic.consume(slice.len());
-                        if factor > 1.0 && bandwidth.is_finite() {
-                            let extra =
-                                slice.len() as f64 / bandwidth * (factor - 1.0);
-                            std::thread::sleep(Duration::from_secs_f64(extra));
-                        }
-                        stats.bytes_served += slice.len() as u64;
-                        let _ = reply.send(Ok(slice));
-                    }
-                    None => {
-                        let _ = reply.send(Err(StoreError::NotFound(key)));
-                    }
-                }
-            }
-            WorkerRequest::Rename { from, to, reply } => {
-                let moved = match store.remove(&from) {
-                    Some(data) => {
-                        store.insert(to, data);
-                        true
-                    }
-                    None => false,
-                };
-                stats.resident_parts = store.len();
-                let _ = reply.send(moved);
-            }
-            WorkerRequest::Delete { key, reply } => {
-                let removed = store.remove(&key).is_some();
-                stats.resident_parts = store.len();
-                let _ = reply.send(removed);
-            }
-            // Control requests (Stats, Ping, Shutdown) were handled
-            // before fault injection.
-            _ => {}
+        let out = serve(req, &mut store, &mut stats, &mut nic, &stragglers, &mut rng, bandwidth);
+        if delay > Duration::ZERO {
+            std::thread::sleep(delay);
         }
+        if !lose_reply {
+            let _ = reply.send(out);
+        }
+        // else: the envelope's sender drops unsent — the waiting client
+        // observes a disconnect, like a reply lost on the wire.
     }
 }
 
-/// Replaces a request's reply sender with one whose receiver is already
-/// dropped: the request is served normally but the reply vanishes (the
-/// `LoseReply` fault). The waiting client observes a disconnect.
-fn disarm_reply(req: WorkerRequest) -> WorkerRequest {
-    fn dead<T>() -> Sender<T> {
-        let (tx, _rx) = bounded(1);
-        tx
-    }
+/// Serves one data-path request against the worker's partition map.
+fn serve(
+    req: Request,
+    store: &mut HashMap<PartKey, Bytes>,
+    stats: &mut WorkerStats,
+    nic: &mut TokenBucket,
+    stragglers: &StragglerModel,
+    rng: &mut Xoshiro256StarStar,
+    bandwidth: f64,
+) -> Reply {
     match req {
-        WorkerRequest::Put { key, data, .. } => WorkerRequest::Put {
-            key,
-            data,
-            reply: dead(),
-        },
-        WorkerRequest::Get { key, .. } => WorkerRequest::Get { key, reply: dead() },
-        WorkerRequest::GetRange {
-            key, offset, len, ..
-        } => WorkerRequest::GetRange {
-            key,
-            offset,
-            len,
-            reply: dead(),
-        },
-        WorkerRequest::Rename { from, to, .. } => WorkerRequest::Rename {
-            from,
-            to,
-            reply: dead(),
-        },
-        WorkerRequest::Delete { key, .. } => WorkerRequest::Delete { key, reply: dead() },
-        other => other,
+        Request::Put { key, data } => {
+            nic.consume(data.len());
+            stats.bytes_stored += data.len() as u64;
+            stats.puts += 1;
+            store.insert(key, data);
+            stats.resident_parts = store.len();
+            Reply::Done
+        }
+        Request::Get { key } => {
+            stats.gets += 1;
+            match store.get(&key) {
+                Some(data) => {
+                    // Emulate the transfer, with optional straggling
+                    // (the paper injects stragglers by sleeping the
+                    // server thread, §4.2).
+                    let factor = stragglers.draw_factor(rng);
+                    nic.consume(data.len());
+                    if factor > 1.0 && bandwidth.is_finite() {
+                        let extra = data.len() as f64 / bandwidth * (factor - 1.0);
+                        std::thread::sleep(Duration::from_secs_f64(extra));
+                    }
+                    stats.bytes_served += data.len() as u64;
+                    Reply::Data(data.clone())
+                }
+                None => Reply::Err(StoreError::NotFound(key)),
+            }
+        }
+        Request::GetRange { key, offset, len } => {
+            stats.gets += 1;
+            match store.get(&key) {
+                Some(data) => {
+                    let start = (offset as usize).min(data.len());
+                    let end = (start + len as usize).min(data.len());
+                    let slice = data.slice(start..end);
+                    let factor = stragglers.draw_factor(rng);
+                    nic.consume(slice.len());
+                    if factor > 1.0 && bandwidth.is_finite() {
+                        let extra = slice.len() as f64 / bandwidth * (factor - 1.0);
+                        std::thread::sleep(Duration::from_secs_f64(extra));
+                    }
+                    stats.bytes_served += slice.len() as u64;
+                    Reply::Data(slice)
+                }
+                None => Reply::Err(StoreError::NotFound(key)),
+            }
+        }
+        Request::Rename { from, to } => {
+            let moved = match store.remove(&from) {
+                Some(data) => {
+                    store.insert(to, data);
+                    true
+                }
+                None => false,
+            };
+            stats.resident_parts = store.len();
+            Reply::Flag(moved)
+        }
+        Request::Delete { key } => {
+            let removed = store.remove(&key).is_some();
+            stats.resident_parts = store.len();
+            Reply::Flag(removed)
+        }
+        // Control requests were handled before fault injection.
+        Request::Stats | Request::Ping | Request::Shutdown => {
+            unreachable!("control requests are served before the data path")
+        }
     }
 }
 
@@ -271,24 +285,26 @@ fn disarm_reply(req: WorkerRequest) -> WorkerRequest {
 mod tests {
     use super::*;
 
-    fn put(h: &WorkerHandle, key: PartKey, data: &[u8]) {
+    fn call(h: &WorkerHandle, req: Request) -> Reply {
         let (tx, rx) = bounded(1);
-        h.sender()
-            .send(WorkerRequest::Put {
+        h.sender().send(Envelope { req, reply: tx }).unwrap();
+        rx.recv().unwrap()
+    }
+
+    fn put(h: &WorkerHandle, key: PartKey, data: &[u8]) {
+        call(
+            h,
+            Request::Put {
                 key,
                 data: Bytes::copy_from_slice(data),
-                reply: tx,
-            })
-            .unwrap();
-        rx.recv().unwrap().unwrap();
+            },
+        )
+        .unit()
+        .unwrap();
     }
 
     fn get(h: &WorkerHandle, key: PartKey) -> Result<Bytes, StoreError> {
-        let (tx, rx) = bounded(1);
-        h.sender()
-            .send(WorkerRequest::Get { key, reply: tx })
-            .unwrap();
-        rx.recv().unwrap()
+        call(h, Request::Get { key }).bytes()
     }
 
     #[test]
@@ -311,14 +327,9 @@ mod tests {
     fn delete_removes() {
         let h = spawn_worker(0, f64::INFINITY, StragglerModel::none(), 1);
         put(&h, PartKey::new(1, 0), b"x");
-        let (tx, rx) = bounded(1);
-        h.sender()
-            .send(WorkerRequest::Delete {
-                key: PartKey::new(1, 0),
-                reply: tx,
-            })
-            .unwrap();
-        assert!(rx.recv().unwrap());
+        assert!(call(&h, Request::Delete { key: PartKey::new(1, 0) })
+            .flag()
+            .unwrap());
         assert!(get(&h, PartKey::new(1, 0)).is_err());
     }
 
@@ -347,16 +358,95 @@ mod tests {
     }
 
     #[test]
-    fn shutdown_joins_cleanly() {
+    fn shutdown_is_acknowledged_and_joins_cleanly() {
         let mut h = spawn_worker(0, f64::INFINITY, StragglerModel::none(), 1);
         put(&h, PartKey::new(1, 0), b"x");
-        h.shutdown();
-        // Channel closed now.
         let (tx, rx) = bounded(1);
-        let send = h.sender().send(WorkerRequest::Get {
-            key: PartKey::new(1, 0),
+        h.sender()
+            .send(Envelope {
+                req: Request::Shutdown,
+                reply: tx,
+            })
+            .unwrap();
+        assert_eq!(rx.recv().unwrap(), Reply::Done, "shutdown is acked");
+        h.shutdown(); // idempotent: channel already closed
+        let (tx, rx) = bounded(1);
+        let send = h.sender().send(Envelope {
+            req: Request::Get {
+                key: PartKey::new(1, 0),
+            },
             reply: tx,
         });
         assert!(send.is_err() || rx.recv().is_err());
+    }
+
+    #[test]
+    fn shutdown_drains_queued_requests_first() {
+        // Requests enqueued before the shutdown envelope are all served
+        // (FIFO drain) — nothing in flight is lost.
+        let h = spawn_worker(0, f64::INFINITY, StragglerModel::none(), 1);
+        let mut gets = Vec::new();
+        put(&h, PartKey::new(1, 0), b"drain");
+        for _ in 0..16 {
+            let (tx, rx) = bounded(1);
+            h.sender()
+                .send(Envelope {
+                    req: Request::Get {
+                        key: PartKey::new(1, 0),
+                    },
+                    reply: tx,
+                })
+                .unwrap();
+            gets.push(rx);
+        }
+        let (tx, rx) = bounded(1);
+        h.sender()
+            .send(Envelope {
+                req: Request::Shutdown,
+                reply: tx,
+            })
+            .unwrap();
+        for g in gets {
+            assert_eq!(g.recv().unwrap().bytes().unwrap().as_ref(), b"drain");
+        }
+        assert_eq!(rx.recv().unwrap(), Reply::Done);
+    }
+
+    #[test]
+    fn wire_faults_degrade_to_lost_or_delayed_replies_in_process() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan::none()
+            .drop_connection(0, 1)
+            .delay_frame(0, 2, Duration::from_millis(60));
+        let log = Arc::new(FaultLog::new());
+        let h = spawn_worker_with_faults(
+            0,
+            f64::INFINITY,
+            StragglerModel::none(),
+            1,
+            plan.script_for(0),
+            Arc::clone(&log),
+        );
+        put(&h, PartKey::new(1, 0), b"w"); // op 0
+        // Op 1: DropConnection ≈ lost reply → receiver disconnects.
+        let (tx, rx) = bounded(1);
+        h.sender()
+            .send(Envelope {
+                req: Request::Get {
+                    key: PartKey::new(1, 0),
+                },
+                reply: tx,
+            })
+            .unwrap();
+        assert!(rx.recv().is_err(), "reply should be lost");
+        // Op 2: DelayFrame stalls the reply ~60 ms but it does arrive.
+        let t0 = std::time::Instant::now();
+        assert_eq!(get(&h, PartKey::new(1, 0)).unwrap().as_ref(), b"w");
+        assert!(t0.elapsed() >= Duration::from_millis(50));
+        // The log carries the original wire actions.
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].action, FaultAction::DropConnection);
+        assert_eq!(snap[1].action, FaultAction::DelayFrame(Duration::from_millis(60)));
     }
 }

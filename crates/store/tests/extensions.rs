@@ -10,6 +10,7 @@ use spcache_store::backing::{checkpoint, read_or_recover, UnderStore};
 use spcache_store::online::execute_adjust;
 use spcache_store::repartitioner::run_parallel;
 use spcache_store::rpc::StoreError;
+use spcache_store::transport::Transport;
 use spcache_store::{StoreCluster, StoreConfig};
 use spcache_workload::dist::uniform_usize;
 
@@ -36,7 +37,7 @@ fn online_adjust_then_periodic_repartition() {
     // Burst on file 3 → online split to 5.
     let (_, servers) = cluster.master().peek(3).unwrap();
     let plan = plan_adjust(len as u64, &servers, 5, &vec![0.0; n_workers]);
-    execute_adjust(3, &plan, cluster.master(), &cluster.worker_senders()).unwrap();
+    execute_adjust(3, &plan, cluster.master().as_ref(), cluster.transport().as_ref()).unwrap();
     assert_eq!(cluster.master().peek(3).unwrap().1.len(), 5);
 
     // Accesses skew toward other files; periodic repartition runs.
@@ -50,7 +51,7 @@ fn online_adjust_then_periodic_repartition() {
         cluster
             .master()
             .plan_rebalance(n_workers, 1e9, 8.0, &TunerConfig::default(), 3);
-    run_parallel(&rp, &ids, cluster.master(), &cluster.worker_senders()).unwrap();
+    run_parallel(&rp, &ids, cluster.master().as_ref(), cluster.transport().as_ref()).unwrap();
 
     // Everything still byte-exact, including the online-adjusted file.
     for id in 0..16u64 {
@@ -69,18 +70,21 @@ fn checkpoint_survives_online_adjustment() {
 
     // Adjust 2 → 5, then lose a partition of the NEW layout.
     let plan = plan_adjust(len as u64, &[0, 1], 5, &[0.0; 6]);
-    execute_adjust(1, &plan, cluster.master(), &cluster.worker_senders()).unwrap();
-    let (tx, rx) = crossbeam::channel::bounded(1);
-    cluster.worker_senders()[plan.new_servers()[3]]
-        .send(spcache_store::rpc::WorkerRequest::Delete {
-            key: spcache_store::rpc::PartKey::new(1, 3),
-            reply: tx,
-        })
+    execute_adjust(1, &plan, cluster.master().as_ref(), cluster.transport().as_ref()).unwrap();
+    let reply = cluster
+        .transport()
+        .call(
+            plan.new_servers()[3],
+            spcache_store::Request::Delete {
+                key: spcache_store::PartKey::new(1, 3),
+            },
+            std::time::Duration::from_secs(5),
+        )
         .unwrap();
-    assert!(rx.recv().unwrap());
+    assert_eq!(reply, spcache_store::Reply::Flag(true));
 
     // Recovery still serves the original bytes.
-    let got = read_or_recover(&client, cluster.master(), &under, 1, &[2, 4]).unwrap();
+    let got = read_or_recover(&client, cluster.master().as_ref(), &under, 1, &[2, 4]).unwrap();
     assert_eq!(got, payload(1, len));
 }
 
@@ -95,7 +99,7 @@ fn recovery_then_online_adjust() {
 
     cluster.kill_worker(1);
     assert!(matches!(client.read(1), Err(StoreError::WorkerDown(1))));
-    read_or_recover(&client, cluster.master(), &under, 1, &[0, 3]).unwrap();
+    read_or_recover(&client, cluster.master().as_ref(), &under, 1, &[0, 3]).unwrap();
 
     // The recovered file can be adjusted online like any other.
     let (_, servers) = cluster.master().peek(1).unwrap();
@@ -111,7 +115,7 @@ fn recovery_then_online_adjust() {
     } else {
         plan
     };
-    execute_adjust(1, &plan, cluster.master(), &cluster.worker_senders()).unwrap();
+    execute_adjust(1, &plan, cluster.master().as_ref(), cluster.transport().as_ref()).unwrap();
     assert_eq!(client.read_quiet(1).unwrap(), payload(1, len));
 }
 
@@ -144,7 +148,7 @@ fn randomized_lifecycle_fuzz() {
                 let (_, servers) = cluster.master().peek(id).unwrap();
                 let k = 1 + uniform_usize(&mut rng, n_workers);
                 let plan = plan_adjust(len as u64, &servers, k, &vec![0.0; n_workers]);
-                execute_adjust(id, &plan, cluster.master(), &cluster.worker_senders())
+                execute_adjust(id, &plan, cluster.master().as_ref(), cluster.transport().as_ref())
                     .unwrap();
             }
             2 => {
@@ -163,7 +167,7 @@ fn randomized_lifecycle_fuzz() {
                     &TunerConfig::default(),
                     step as u64,
                 );
-                run_parallel(&plan, &ids, cluster.master(), &cluster.worker_senders())
+                run_parallel(&plan, &ids, cluster.master().as_ref(), cluster.transport().as_ref())
                     .unwrap();
             }
         }

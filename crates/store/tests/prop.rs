@@ -90,7 +90,7 @@ proptest! {
         for &k in &ks {
             let (_, servers) = cluster.master().peek(1).unwrap();
             let plan = plan_adjust(data.len() as u64, &servers, k, &vec![0.0; n_workers]);
-            execute_adjust(1, &plan, cluster.master(), &cluster.worker_senders()).unwrap();
+            execute_adjust(1, &plan, cluster.master().as_ref(), cluster.transport().as_ref()).unwrap();
             prop_assert_eq!(&client.read_quiet(1).unwrap(), &data);
             prop_assert_eq!(cluster.master().peek(1).unwrap().1.len(), k);
         }

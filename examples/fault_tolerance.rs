@@ -35,7 +35,7 @@ fn main() {
 
     // The fault-tolerant read path recovers from the under-store.
     let t0 = std::time::Instant::now();
-    let recovered = read_or_recover(&client, cluster.master(), &under, 1, &[0, 1, 3, 5])
+    let recovered = read_or_recover(&client, cluster.master().as_ref(), &under, 1, &[0, 1, 3, 5])
         .expect("recovery");
     println!(
         "read_or_recover restored file 1 in {:.3}s ({} bytes, byte-exact: {})",

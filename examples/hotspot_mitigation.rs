@@ -76,7 +76,7 @@ fn main() {
         plan.moved_fraction() * 100.0
     );
     let t0 = std::time::Instant::now();
-    run_parallel(&plan, &ids, cluster.master(), &cluster.worker_senders()).expect("repartition");
+    run_parallel(&plan, &ids, cluster.master().as_ref(), cluster.transport().as_ref()).expect("repartition");
     println!("  parallel repartition finished in {:.3}s", t0.elapsed().as_secs_f64());
     let hottest = ids
         .iter()

@@ -79,7 +79,7 @@ fn main() {
     );
     let ids: Vec<u64> = (0..N_FILES as u64).collect();
     let t0 = std::time::Instant::now();
-    run_parallel(&plan, &ids, cluster.master(), &cluster.worker_senders()).expect("parallel");
+    run_parallel(&plan, &ids, cluster.master().as_ref(), cluster.transport().as_ref()).expect("parallel");
     let par = t0.elapsed().as_secs_f64();
     println!("parallel repartition (per-worker executors): {par:.3}s");
 
@@ -87,7 +87,7 @@ fn main() {
     let (cluster2, map2) = build(&original, 1);
     let plan2 = plan_repartition(&shifted_files, &map2, &counts, &mut rng);
     let t0 = std::time::Instant::now();
-    run_sequential(&plan2, &ids, cluster2.master(), &cluster2.worker_senders()).expect("sequential");
+    run_sequential(&plan2, &ids, cluster2.master().as_ref(), cluster2.transport().as_ref()).expect("sequential");
     let seq = t0.elapsed().as_secs_f64();
     println!("sequential strawman (collect everything at one node): {seq:.3}s");
     println!("\nspeedup: {:.0}x (paper: two orders of magnitude at EC2 scale)", seq / par.max(1e-9));

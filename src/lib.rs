@@ -49,6 +49,7 @@ pub use spcache_cluster as cluster;
 pub use spcache_core as core;
 pub use spcache_ec as ec;
 pub use spcache_metrics as metrics;
+pub use spcache_net as net;
 pub use spcache_sim as sim;
 pub use spcache_store as store;
 pub use spcache_workload as workload;

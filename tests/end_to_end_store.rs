@@ -48,7 +48,7 @@ fn full_lifecycle_write_read_rebalance_read() {
         !plan.jobs.is_empty(),
         "skewed accesses must trigger repartitioning"
     );
-    run_parallel(&plan, &ids, cluster.master(), &cluster.worker_senders()).unwrap();
+    run_parallel(&plan, &ids, cluster.master().as_ref(), cluster.transport().as_ref()).unwrap();
 
     // The hottest file is split; every file still reads byte-for-byte.
     let hottest_k = cluster.master().peek(0).unwrap().1.len();
@@ -93,7 +93,7 @@ fn rebalance_spreads_served_load() {
         cluster
             .master()
             .plan_rebalance(n_workers, 1e9, 8.0, &TunerConfig::default(), 10);
-    run_parallel(&plan, &ids, cluster.master(), &cluster.worker_senders()).unwrap();
+    run_parallel(&plan, &ids, cluster.master().as_ref(), cluster.transport().as_ref()).unwrap();
 
     // Drive the same skew again; load must now hit multiple workers.
     for _ in 0..500 {
@@ -145,7 +145,7 @@ fn concurrent_clients_with_repartition_running() {
             }
             ok
         });
-        run_parallel(&plan, &ids, cluster.master(), &cluster.worker_senders()).unwrap();
+        run_parallel(&plan, &ids, cluster.master().as_ref(), cluster.transport().as_ref()).unwrap();
         let ok = reader.join().unwrap();
         assert!(ok > 0, "no read succeeded during repartition");
     });
