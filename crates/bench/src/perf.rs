@@ -22,6 +22,13 @@
 //!   wire codec, so these rows price the transport itself. The
 //!   `tcp_read_slowdown` / `tcp_write_slowdown` ratios summarize that
 //!   cost against the in-process rows.
+//! * `recovery` — time-to-heal of the supervisor's proactive sweep
+//!   (DESIGN.md §4.11): a worker holding a partition of each of
+//!   [`RECOVERY_FILES`] files is killed, and the timed window covers one
+//!   [`spcache_store::SupervisorCore::sweep`] re-materializing all of
+//!   them from the under-store onto the survivors. Setup (writes,
+//!   checkpoints, death detection) stays outside the window; one op =
+//!   one sweep, and `mbytes_per_sec` is healed payload per second.
 //!
 //! Per point and variant it reports reads (or writes) per second, bytes
 //! moved, and p50/p95/p99 latency, and emits a schema-stable
@@ -41,7 +48,13 @@ use spcache_store::{StoreCluster, StoreConfig, StoreError};
 /// layout changes so downstream tooling can dispatch. v2 adds the
 /// loopback-TCP variants (`tcp_write`, `tcp_read`, `tcp_read_scattered`)
 /// and the `tcp_read_slowdown` / `tcp_write_slowdown` point summaries.
-pub const SCHEMA: &str = "spcache-bench-store/v2";
+/// v3 adds the `recovery` variant (supervisor sweep time-to-heal).
+pub const SCHEMA: &str = "spcache-bench-store/v3";
+
+/// Files the `recovery` variant loses per sweep: every one holds a
+/// partition on the killed worker, so one sweep re-materializes
+/// `RECOVERY_FILES × file_bytes` of payload.
+pub const RECOVERY_FILES: u64 = 3;
 
 /// One cell of the measurement grid.
 #[derive(Debug, Clone, Copy)]
@@ -284,6 +297,68 @@ fn measure(
     }
 }
 
+/// Measures the supervisor's time-to-heal at one grid point: spawn a
+/// supervised cluster, load [`RECOVERY_FILES`] files whose placements
+/// all include worker 0, checkpoint them, kill worker 0 and let the
+/// probe notice — then time exactly one recovery sweep. The first
+/// (warm-up) iteration is discarded, mirroring [`measure`].
+fn measure_recovery(point: &GridPoint, shared: &Bytes) -> VariantResult {
+    use spcache_store::backing::{checkpoint, UnderStore};
+    use spcache_store::SupervisorConfig;
+    use std::sync::Arc;
+
+    let servers = placement(point.k, point.workers);
+    let mut lat = Samples::with_capacity(point.iters);
+    let mut bytes_moved = 0u64;
+    let mut wall = 0.0f64;
+    for iter in 0..=point.iters {
+        let base = if point.nic_bytes_per_sec.is_infinite() {
+            StoreConfig::unthrottled(point.workers)
+        } else {
+            StoreConfig::throttled(point.workers, point.nic_bytes_per_sec)
+        };
+        let cfg = base.with_supervisor(
+            SupervisorConfig::enabled()
+                .with_interval(Duration::ZERO)
+                .with_probe_timeout(Duration::from_millis(500)),
+        );
+        let under = Arc::new(UnderStore::new());
+        let mut cluster = StoreCluster::spawn_with_under_store(cfg, Some(Arc::clone(&under)));
+        let core = cluster.supervisor().expect("supervised cluster").core().clone();
+        core.tick(); // adopt the fleet at epoch 1
+        let client = cluster.client();
+        for id in 0..RECOVERY_FILES {
+            client.write_bytes(id, shared.clone(), &servers).expect("recovery seed write");
+            checkpoint(&client, &under, id).expect("recovery checkpoint");
+        }
+        cluster.kill_worker(0);
+        core.probe(); // death detection, outside the timed window
+        let t = Instant::now();
+        let rec = core.sweep().expect("dead worker must leave degraded files");
+        let dt = t.elapsed();
+        assert_eq!(
+            rec.healed.len() as u64,
+            RECOVERY_FILES,
+            "sweep must heal every lost file: {rec:?}"
+        );
+        if iter == 0 {
+            continue; // warm-up
+        }
+        lat.record(dt.as_secs_f64() * 1e3);
+        bytes_moved += RECOVERY_FILES * point.file_bytes as u64;
+        wall += dt.as_secs_f64();
+    }
+    VariantResult {
+        variant: "recovery".to_string(),
+        ops_per_sec: point.iters as f64 / wall,
+        mbytes_per_sec: bytes_moved as f64 / wall / 1e6,
+        p50_ms: lat.percentile(50.0),
+        p95_ms: lat.percentile(95.0),
+        p99_ms: lat.percentile(99.0),
+        bytes_moved,
+    }
+}
+
 /// Measures every data-path variant at one grid point.
 pub fn run_point(point: GridPoint) -> PointResult {
     let data = payload(point.file_bytes);
@@ -373,6 +448,9 @@ pub fn run_point(point: GridPoint) -> PointResult {
         f.size()
     }));
     tcp.shutdown();
+
+    // Time-to-heal of the supervisor's recovery sweep.
+    variants.push(measure_recovery(&point, &shared));
 
     let thpt = |name: &str| {
         variants
@@ -570,6 +648,7 @@ pub fn validate_report_json(json: &str) -> Result<(), String> {
         "tcp_write",
         "tcp_read",
         "tcp_read_scattered",
+        "recovery",
     ] {
         if !json.contains(&format!("\"variant\": \"{variant}\"")) {
             return Err(format!("variant {variant} missing from report"));

@@ -3,23 +3,34 @@
 //! ```text
 //! spcached worker --id N --bind ADDR [--seed S] [--bandwidth B]
 //! spcached master --bind ADDR --workers ADDR1,ADDR2,...
+//!                 [--no-supervisor] [--heartbeat-ms MS]
 //! ```
 //!
 //! Both roles print `LISTEN <addr>` on stdout once bound (port 0 picks
 //! an ephemeral port), then serve until they receive a shutdown RPC.
+//!
+//! Master mode runs the self-healing supervisor loop (DESIGN.md §4.11)
+//! **by default**: it heartbeats the worker fleet, fences crash-restarted
+//! workers with fresh epochs and marks lost partitions degraded.
+//! `--no-supervisor` disables it entirely; `--heartbeat-ms` tunes the
+//! probe cadence (default 100).
 
 use spcache_net::{MasterServer, WorkerServer};
 use spcache_store::fault::FaultLog;
 use spcache_store::master::Master;
-use spcache_store::StoreConfig;
+use spcache_store::supervisor::{Supervisor, SupervisorCore};
+use spcache_store::transport::Transport;
+use spcache_store::{StoreConfig, SupervisorConfig};
 use std::net::SocketAddr;
 use std::process::exit;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  spcached worker --id N --bind ADDR [--seed S] [--bandwidth B]\n  \
-         spcached master --bind ADDR --workers ADDR1,ADDR2,..."
+         spcached master --bind ADDR --workers ADDR1,ADDR2,... \
+         [--no-supervisor] [--heartbeat-ms MS]"
     );
     exit(2);
 }
@@ -79,9 +90,27 @@ fn run_master(args: &[String]) {
     }
     let master = Arc::new(Master::new());
     master.ensure_workers(worker_addrs.len());
-    let server = MasterServer::spawn(master, &bind, worker_addrs).unwrap_or_else(|e| {
-        eprintln!("spcached: cannot bind {bind}: {e}");
-        exit(1);
+    let server = MasterServer::spawn(master.clone(), &bind, worker_addrs.clone())
+        .unwrap_or_else(|e| {
+            eprintln!("spcached: cannot bind {bind}: {e}");
+            exit(1);
+        });
+    // The supervisor is ON by default in master mode; `--no-supervisor`
+    // gives the exact pre-supervisor behaviour (manual liveness only).
+    let _supervisor = (!args.iter().any(|a| a == "--no-supervisor")).then(|| {
+        let mut sup = SupervisorConfig::enabled();
+        if let Some(ms) = flag_value(args, "--heartbeat-ms") {
+            sup = sup.with_interval(Duration::from_millis(parse("--heartbeat-ms", &ms)));
+        }
+        let transport: Arc<dyn Transport> =
+            Arc::new(spcache_net::TcpTransport::connect(worker_addrs));
+        Supervisor::spawn(SupervisorCore::new(
+            master,
+            transport,
+            None, // no under-store to sweep from; detection + fencing only
+            sup,
+            spcache_store::RetryPolicy::default(),
+        ))
     });
     println!("LISTEN {}", server.addr());
     server.join();

@@ -52,6 +52,8 @@ pub(crate) const OP_DELETE: u8 = 0x05;
 pub(crate) const OP_STATS: u8 = 0x06;
 pub(crate) const OP_PING: u8 = 0x07;
 pub(crate) const OP_SHUTDOWN: u8 = 0x08;
+pub(crate) const OP_FENCED: u8 = 0x09;
+pub(crate) const OP_SET_EPOCH: u8 = 0x0A;
 pub(crate) const OP_R_DONE: u8 = 0x41;
 pub(crate) const OP_R_DATA: u8 = 0x42;
 pub(crate) const OP_R_FLAG: u8 = 0x43;
@@ -67,6 +69,8 @@ const ERR_ALREADY_EXISTS: u8 = 4;
 const ERR_TIMEOUT: u8 = 5;
 const ERR_IO: u8 = 6;
 const ERR_CODEC: u8 = 7;
+const ERR_STALE_EPOCH: u8 = 8;
+const ERR_DEGRADED: u8 = 9;
 
 fn codec(msg: impl Into<String>) -> StoreError {
     StoreError::Codec(msg.into())
@@ -298,6 +302,14 @@ pub fn encode_request(req: &Request, req_id: u64) -> Vec<u8> {
         Request::Stats => FrameBuilder::new(OP_STATS, req_id).finish(),
         Request::Ping => FrameBuilder::new(OP_PING, req_id).finish(),
         Request::Shutdown => FrameBuilder::new(OP_SHUTDOWN, req_id).finish(),
+        Request::SetEpoch(e) => FrameBuilder::new(OP_SET_EPOCH, req_id).u64(*e).finish(),
+        // The fenced body embeds the inner request as a headered frame
+        // minus its length prefix (version | opcode | req_id | body), so
+        // the inner message reuses the whole codec unchanged.
+        Request::Fenced { epoch, inner } => FrameBuilder::new(OP_FENCED, req_id)
+            .u64(*epoch)
+            .bytes(&encode_request(inner, req_id)[4..])
+            .finish(),
     }
 }
 
@@ -330,6 +342,23 @@ pub fn decode_request(frame: &Frame) -> Result<Request, StoreError> {
         OP_STATS => Request::Stats,
         OP_PING => Request::Ping,
         OP_SHUTDOWN => Request::Shutdown,
+        OP_SET_EPOCH => Request::SetEpoch(c.u64()?),
+        OP_FENCED => {
+            let epoch = c.u64()?;
+            let inner = Frame::parse(c.rest())?;
+            if inner.opcode == OP_FENCED {
+                // One fence per request; unbounded nesting would let a
+                // hostile frame drive decode recursion arbitrarily deep.
+                return Err(codec("nested fenced request"));
+            }
+            if inner.req_id != frame.req_id {
+                return Err(codec("fenced inner req_id mismatch"));
+            }
+            Request::Fenced {
+                epoch,
+                inner: Box::new(decode_request(&inner)?),
+            }
+        }
         op => return Err(codec(format!("unknown request opcode {op:#04x}"))),
     };
     c.finish()?;
@@ -345,6 +374,8 @@ fn encode_err(b: FrameBuilder, e: &StoreError) -> FrameBuilder {
         StoreError::Timeout(w) => b.u8(ERR_TIMEOUT).u64(*w as u64),
         StoreError::Io(w) => b.u8(ERR_IO).u64(*w as u64),
         StoreError::Codec(msg) => b.u8(ERR_CODEC).string(msg),
+        StoreError::StaleEpoch(w) => b.u8(ERR_STALE_EPOCH).u64(*w as u64),
+        StoreError::Degraded(id) => b.u8(ERR_DEGRADED).u64(*id),
     }
 }
 
@@ -370,6 +401,8 @@ fn decode_err(c: &mut Cursor) -> Result<StoreError, StoreError> {
         ERR_TIMEOUT => StoreError::Timeout(c.u64()? as usize),
         ERR_IO => StoreError::Io(c.u64()? as usize),
         ERR_CODEC => StoreError::Codec(c.string()?),
+        ERR_STALE_EPOCH => StoreError::StaleEpoch(c.u64()? as usize),
+        ERR_DEGRADED => StoreError::Degraded(c.u64()?),
         k => return Err(codec(format!("unknown error kind {k}"))),
     })
 }
@@ -387,7 +420,10 @@ pub fn encode_reply(reply: &Reply, req_id: u64) -> Vec<u8> {
             .u64(s.puts)
             .u64(s.resident_parts as u64)
             .finish(),
-        Reply::Pong(id) => FrameBuilder::new(OP_R_PONG, req_id).u64(*id as u64).finish(),
+        Reply::Pong { worker, epoch } => FrameBuilder::new(OP_R_PONG, req_id)
+            .u64(*worker as u64)
+            .u64(*epoch)
+            .finish(),
         Reply::Err(e) => encode_err_frame(OP_R_ERR, req_id, e),
     }
 }
@@ -412,7 +448,10 @@ pub fn decode_reply(frame: &Frame) -> Result<Reply, StoreError> {
             puts: c.u64()?,
             resident_parts: c.u64()? as usize,
         }),
-        OP_R_PONG => Reply::Pong(c.u64()? as usize),
+        OP_R_PONG => Reply::Pong {
+            worker: c.u64()? as usize,
+            epoch: c.u64()?,
+        },
         OP_R_ERR => Reply::Err(decode_err(&mut c)?),
         op => return Err(codec(format!("unknown reply opcode {op:#04x}"))),
     };
@@ -514,6 +553,37 @@ mod tests {
         roundtrip_req(Request::Stats);
         roundtrip_req(Request::Ping);
         roundtrip_req(Request::Shutdown);
+        roundtrip_req(Request::SetEpoch(0));
+        roundtrip_req(Request::SetEpoch(u64::MAX));
+        roundtrip_req(Request::Fenced {
+            epoch: 7,
+            inner: Box::new(Request::Get {
+                key: PartKey::new(4, 2),
+            }),
+        });
+        roundtrip_req(Request::Fenced {
+            epoch: u64::MAX,
+            inner: Box::new(Request::Put {
+                key: PartKey::new(9, 0),
+                data: Bytes::from(vec![5, 6, 7]),
+            }),
+        });
+    }
+
+    #[test]
+    fn nested_fenced_request_rejected() {
+        let wire = encode_request(
+            &Request::Fenced {
+                epoch: 1,
+                inner: Box::new(Request::Fenced {
+                    epoch: 2,
+                    inner: Box::new(Request::Ping),
+                }),
+            },
+            5,
+        );
+        let frame = Frame::parse(Bytes::from(wire[4..].to_vec())).unwrap();
+        assert!(matches!(decode_request(&frame), Err(StoreError::Codec(_))));
     }
 
     #[test]
@@ -523,7 +593,14 @@ mod tests {
         roundtrip_reply(Reply::Data(Bytes::from(vec![9u8; 1000])));
         roundtrip_reply(Reply::Flag(true));
         roundtrip_reply(Reply::Flag(false));
-        roundtrip_reply(Reply::Pong(31));
+        roundtrip_reply(Reply::Pong {
+            worker: 31,
+            epoch: 0,
+        });
+        roundtrip_reply(Reply::Pong {
+            worker: 0,
+            epoch: u64::MAX,
+        });
         roundtrip_reply(Reply::Stats(WorkerStats {
             bytes_served: 1,
             bytes_stored: 2,
@@ -538,6 +615,8 @@ mod tests {
         roundtrip_reply(Reply::Err(StoreError::Timeout(0)));
         roundtrip_reply(Reply::Err(StoreError::Io(usize::MAX)));
         roundtrip_reply(Reply::Err(StoreError::Codec("bad".into())));
+        roundtrip_reply(Reply::Err(StoreError::StaleEpoch(3)));
+        roundtrip_reply(Reply::Err(StoreError::Degraded(u64::MAX)));
     }
 
     #[test]

@@ -2,10 +2,12 @@
 //! [`MasterServer`] and a wire [`Client`] — the drop-in twin of the
 //! in-process `StoreCluster`, with every byte crossing a real socket.
 
+use spcache_store::backing::UnderStore;
 use spcache_store::client::Client;
 use spcache_store::fault::FaultLog;
 use spcache_store::master::Master;
 use spcache_store::rpc::{Request, StoreError, WorkerStats};
+use spcache_store::supervisor::{Supervisor, SupervisorCore};
 use spcache_store::transport::Transport;
 use spcache_store::StoreConfig;
 use std::net::SocketAddr;
@@ -32,10 +34,14 @@ use crate::tcp::TcpTransport;
 /// ```
 #[derive(Debug)]
 pub struct TcpCluster {
+    // Declared first so it drops (stopping its heartbeat thread) before
+    // the worker servers go away — mirrors `StoreCluster`.
+    supervisor: Option<Supervisor>,
     workers: Vec<WorkerServer>,
     master_server: MasterServer,
     transport: Arc<TcpTransport>,
     fault_log: Arc<FaultLog>,
+    under: Option<Arc<UnderStore>>,
     cfg: StoreConfig,
 }
 
@@ -49,6 +55,19 @@ impl TcpCluster {
     ///
     /// Panics if `cfg.n_workers == 0` or a listener cannot bind.
     pub fn spawn(cfg: StoreConfig) -> Self {
+        TcpCluster::spawn_with_under_store(cfg, None)
+    }
+
+    /// Like [`TcpCluster::spawn`], with a backing under-store the
+    /// supervisor's recovery sweep (and clients created via
+    /// [`TcpCluster::client`]) heal from. When `cfg.supervisor.enabled`,
+    /// the [`Supervisor`] runs master-side over this cluster's own wire
+    /// transport — the deployment shape of `spcached master`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.n_workers == 0` or a listener cannot bind.
+    pub fn spawn_with_under_store(cfg: StoreConfig, under: Option<Arc<UnderStore>>) -> Self {
         assert!(cfg.n_workers > 0, "need at least one worker");
         let fault_log = Arc::new(FaultLog::new());
         let workers: Vec<WorkerServer> = (0..cfg.n_workers)
@@ -60,15 +79,32 @@ impl TcpCluster {
         let addrs: Vec<SocketAddr> = workers.iter().map(WorkerServer::addr).collect();
         let master = Arc::new(Master::new());
         master.ensure_workers(cfg.n_workers);
-        let master_server = MasterServer::spawn(master, "127.0.0.1:0", addrs.clone())
-            .expect("bind master listener");
+        let master_server = MasterServer::spawn_with_deadline(
+            master.clone(),
+            "127.0.0.1:0",
+            addrs.clone(),
+            cfg.executor_deadline,
+        )
+        .expect("bind master listener");
         let transport =
             Arc::new(TcpTransport::connect(addrs).with_deadline(cfg.retry.deadline));
+        let supervisor = cfg.supervisor.enabled.then(|| {
+            let t: Arc<dyn Transport> = transport.clone();
+            Supervisor::spawn(SupervisorCore::new(
+                master,
+                t,
+                under.clone(),
+                cfg.supervisor,
+                cfg.retry,
+            ))
+        });
         TcpCluster {
+            supervisor,
             workers,
             master_server,
             transport,
             fault_log,
+            under,
             cfg,
         }
     }
@@ -105,17 +141,36 @@ impl TcpCluster {
         &self.transport
     }
 
+    /// The supervisor, when `cfg.supervisor.enabled` spawned one.
+    pub fn supervisor(&self) -> Option<&Supervisor> {
+        self.supervisor.as_ref()
+    }
+
+    /// The attached under-store, when the cluster was spawned with one.
+    pub fn under_store(&self) -> Option<&Arc<UnderStore>> {
+        self.under.as_ref()
+    }
+
     /// A fresh wire-backed [`MasterClient`] for this cluster's master.
     pub fn master_client(&self) -> MasterClient {
         MasterClient::connect(self.master_server.addr()).with_deadline(self.cfg.retry.deadline)
     }
 
     /// Creates a client whose metadata *and* data paths both run over
-    /// TCP, carrying the cluster's retry and hedge policies.
+    /// TCP, carrying the cluster's retry and hedge policies. Under a
+    /// supervisor the client is additionally **fenced** and applies the
+    /// configured degraded-mode admission policy; the cluster's
+    /// under-store, if any, is attached for read-path healing.
     pub fn client(&self) -> Client {
-        Client::new(Arc::new(self.master_client()), self.transport.clone())
+        let mut c = Client::new(Arc::new(self.master_client()), self.transport.clone())
             .with_retry(self.cfg.retry)
             .with_hedge(self.cfg.hedge)
+            .with_fencing(self.cfg.supervisor.enabled)
+            .with_degraded_policy(self.cfg.supervisor.degraded);
+        if let Some(under) = &self.under {
+            c = c.with_under_store(under.clone());
+        }
+        c
     }
 
     /// Collects per-worker service counters over the wire. Workers that
@@ -133,9 +188,14 @@ impl TcpCluster {
             .collect())
     }
 
-    /// Gracefully stops the whole cluster: each worker drains its queue
-    /// and exits (over the wire), then the master server closes.
-    pub fn shutdown(self) {
+    /// Gracefully stops the whole cluster: the supervisor halts first
+    /// (so it cannot mis-record the drain as deaths), then each worker
+    /// drains its queue and exits (over the wire), then the master
+    /// server closes.
+    pub fn shutdown(mut self) {
+        if let Some(mut s) = self.supervisor.take() {
+            s.stop();
+        }
         for w in &self.workers {
             let _ = self
                 .transport

@@ -22,7 +22,7 @@
 use parking_lot::Mutex;
 use spcache_core::tuner::TunerConfig;
 use spcache_store::master::{Master, MetaService};
-use spcache_store::repartitioner::run_parallel;
+use spcache_store::repartitioner::{run_parallel_with_deadline, DEFAULT_EXECUTOR_DEADLINE};
 use spcache_store::rpc::{StoreError, MASTER_ENDPOINT};
 use std::io::{self, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -48,6 +48,10 @@ const MOP_LIVE_WORKERS: u8 = 0x8A;
 const MOP_DEGRADED: u8 = 0x8B;
 const MOP_REBALANCE: u8 = 0x8C;
 const MOP_SHUTDOWN: u8 = 0x8D;
+const MOP_WORKER_EPOCHS: u8 = 0x8E;
+const MOP_REGISTER_WORKER: u8 = 0x8F;
+const MOP_BEGIN_REPAIR: u8 = 0x90;
+const MOP_END_REPAIR: u8 = 0x91;
 const MOP_R_DONE: u8 = 0xC1;
 const MOP_R_INFO: u8 = 0xC2;
 const MOP_R_MAYBE: u8 = 0xC3;
@@ -57,6 +61,8 @@ const MOP_R_WORKERS: u8 = 0xC6;
 const MOP_R_FILES: u8 = 0xC7;
 const MOP_R_REBALANCED: u8 = 0xC8;
 const MOP_R_ERR: u8 = 0xC9;
+const MOP_R_EPOCHS: u8 = 0xCA;
+const MOP_R_EPOCH: u8 = 0xCB;
 
 fn codec(msg: impl Into<String>) -> StoreError {
     StoreError::Codec(msg.into())
@@ -134,6 +140,26 @@ pub enum MetaRequest {
         /// Partition-placement RNG seed.
         seed: u64,
     },
+    /// `MetaService::worker_epochs`.
+    WorkerEpochs {
+        /// Fleet size.
+        n: u64,
+    },
+    /// `MetaService::register_worker` (the crash-restart rejoin path).
+    RegisterWorker {
+        /// Worker index.
+        w: u64,
+    },
+    /// `MetaService::begin_repair`.
+    BeginRepair {
+        /// File id.
+        id: u64,
+    },
+    /// `MetaService::end_repair`.
+    EndRepair {
+        /// File id.
+        id: u64,
+    },
     /// Stop the master server.
     Shutdown,
 }
@@ -160,6 +186,10 @@ pub enum MetaReply {
     Workers(Vec<usize>),
     /// File-id list.
     Files(Vec<u64>),
+    /// Fencing epoch table.
+    Epochs(Vec<u64>),
+    /// One granted fencing epoch.
+    Epoch(u64),
     /// Rebalance outcome: `(files_repartitioned, skipped_file_ids)`.
     Rebalanced {
         /// Number of files the plan moved.
@@ -207,6 +237,18 @@ pub fn encode_meta_request(req: &MetaRequest, req_id: u64) -> Vec<u8> {
             .f64(*lambda)
             .u64(*seed)
             .finish(),
+        MetaRequest::WorkerEpochs { n } => {
+            FrameBuilder::new(MOP_WORKER_EPOCHS, req_id).u64(*n).finish()
+        }
+        MetaRequest::RegisterWorker { w } => {
+            FrameBuilder::new(MOP_REGISTER_WORKER, req_id).u64(*w).finish()
+        }
+        MetaRequest::BeginRepair { id } => {
+            FrameBuilder::new(MOP_BEGIN_REPAIR, req_id).u64(*id).finish()
+        }
+        MetaRequest::EndRepair { id } => {
+            FrameBuilder::new(MOP_END_REPAIR, req_id).u64(*id).finish()
+        }
         MetaRequest::Shutdown => FrameBuilder::new(MOP_SHUTDOWN, req_id).finish(),
     }
 }
@@ -242,6 +284,10 @@ pub fn decode_meta_request(frame: &Frame) -> Result<MetaRequest, StoreError> {
             lambda: c.f64()?,
             seed: c.u64()?,
         },
+        MOP_WORKER_EPOCHS => MetaRequest::WorkerEpochs { n: c.u64()? },
+        MOP_REGISTER_WORKER => MetaRequest::RegisterWorker { w: c.u64()? },
+        MOP_BEGIN_REPAIR => MetaRequest::BeginRepair { id: c.u64()? },
+        MOP_END_REPAIR => MetaRequest::EndRepair { id: c.u64()? },
         MOP_SHUTDOWN => MetaRequest::Shutdown,
         op => return Err(codec(format!("unknown meta request opcode {op:#04x}"))),
     };
@@ -270,6 +316,8 @@ pub fn encode_meta_reply(reply: &MetaReply, req_id: u64) -> Vec<u8> {
             .usize_list(w)
             .finish(),
         MetaReply::Files(f) => FrameBuilder::new(MOP_R_FILES, req_id).u64_list(f).finish(),
+        MetaReply::Epochs(e) => FrameBuilder::new(MOP_R_EPOCHS, req_id).u64_list(e).finish(),
+        MetaReply::Epoch(e) => FrameBuilder::new(MOP_R_EPOCH, req_id).u64(*e).finish(),
         MetaReply::Rebalanced { moved, skipped } => FrameBuilder::new(MOP_R_REBALANCED, req_id)
             .u64(*moved)
             .u64_list(skipped)
@@ -300,6 +348,8 @@ pub fn decode_meta_reply(frame: &Frame) -> Result<MetaReply, StoreError> {
         MOP_R_FLAG => MetaReply::Flag(c.u8()? != 0),
         MOP_R_WORKERS => MetaReply::Workers(c.usize_list()?),
         MOP_R_FILES => MetaReply::Files(c.u64_list()?),
+        MOP_R_EPOCHS => MetaReply::Epochs(c.u64_list()?),
+        MOP_R_EPOCH => MetaReply::Epoch(c.u64()?),
         MOP_R_REBALANCED => MetaReply::Rebalanced {
             moved: c.u64()?,
             skipped: c.u64_list()?,
@@ -333,6 +383,22 @@ impl MasterServer {
         bind: &str,
         worker_addrs: Vec<SocketAddr>,
     ) -> io::Result<MasterServer> {
+        MasterServer::spawn_with_deadline(master, bind, worker_addrs, DEFAULT_EXECUTOR_DEADLINE)
+    }
+
+    /// [`MasterServer::spawn`] with an explicit per-reply executor
+    /// deadline for the `Rebalance` RPC (normally
+    /// [`spcache_store::StoreConfig::executor_deadline`]).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors binding the listener.
+    pub fn spawn_with_deadline(
+        master: Arc<Master>,
+        bind: &str,
+        worker_addrs: Vec<SocketAddr>,
+        executor_deadline: Duration,
+    ) -> io::Result<MasterServer> {
         let listener = TcpListener::bind(bind)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -352,7 +418,16 @@ impl MasterServer {
                             let workers = worker_addrs.clone();
                             let _ = std::thread::Builder::new()
                                 .name("spcache-master-conn".into())
-                                .spawn(move || serve_meta_conn(stream, &m, &workers, &stop, addr));
+                                .spawn(move || {
+                                    serve_meta_conn(
+                                        stream,
+                                        &m,
+                                        &workers,
+                                        &stop,
+                                        addr,
+                                        executor_deadline,
+                                    );
+                                });
                         }
                         Err(_) => {
                             if stop.load(Ordering::SeqCst) {
@@ -395,6 +470,7 @@ fn serve_meta_conn(
     worker_addrs: &[SocketAddr],
     stop: &Arc<AtomicBool>,
     addr: SocketAddr,
+    executor_deadline: Duration,
 ) {
     let mut reader = match stream.try_clone() {
         Ok(r) => r,
@@ -417,7 +493,7 @@ fn serve_meta_conn(
             }
         };
         let shutdown = matches!(req, MetaRequest::Shutdown);
-        let reply = serve_meta(master, worker_addrs, req);
+        let reply = serve_meta(master, worker_addrs, req, executor_deadline);
         if write_frame(&mut writer, &encode_meta_reply(&reply, req_id)).is_err() {
             return;
         }
@@ -429,7 +505,12 @@ fn serve_meta_conn(
     }
 }
 
-fn serve_meta(master: &Arc<Master>, worker_addrs: &[SocketAddr], req: MetaRequest) -> MetaReply {
+fn serve_meta(
+    master: &Arc<Master>,
+    worker_addrs: &[SocketAddr],
+    req: MetaRequest,
+    executor_deadline: Duration,
+) -> MetaReply {
     match req {
         MetaRequest::Register { id, size, servers } => {
             match MetaService::register(master.as_ref(), id, size as usize, servers) {
@@ -474,6 +555,15 @@ fn serve_meta(master: &Arc<Master>, worker_addrs: &[SocketAddr], req: MetaReques
         MetaRequest::IsAlive { w } => MetaReply::Flag(master.is_alive(w as usize)),
         MetaRequest::LiveWorkers { n } => MetaReply::Workers(master.live_workers(n as usize)),
         MetaRequest::Degraded => MetaReply::Files(master.degraded_files()),
+        MetaRequest::WorkerEpochs { n } => MetaReply::Epochs(master.worker_epochs(n as usize)),
+        MetaRequest::RegisterWorker { w } => {
+            MetaReply::Epoch(master.register_worker(w as usize))
+        }
+        MetaRequest::BeginRepair { id } => MetaReply::Flag(master.begin_repair(id)),
+        MetaRequest::EndRepair { id } => {
+            master.end_repair(id);
+            MetaReply::Done
+        }
         MetaRequest::Rebalance {
             bandwidth,
             lambda,
@@ -484,7 +574,13 @@ fn serve_meta(master: &Arc<Master>, worker_addrs: &[SocketAddr], req: MetaReques
                 master.plan_rebalance(n, bandwidth, lambda, &TunerConfig::default(), seed);
             let moved = plan.jobs.len() as u64;
             let transport = TcpTransport::connect(worker_addrs.to_vec());
-            match run_parallel(&plan, &ids, master.as_ref(), &transport) {
+            match run_parallel_with_deadline(
+                &plan,
+                &ids,
+                master.as_ref(),
+                &transport,
+                executor_deadline,
+            ) {
                 Ok(skipped) => MetaReply::Rebalanced { moved, skipped },
                 Err(e) => MetaReply::Err(e),
             }
@@ -681,5 +777,37 @@ impl MetaService for MasterClient {
             Ok(MetaReply::Files(f)) => f,
             _ => Vec::new(),
         }
+    }
+
+    fn worker_epochs(&self, n: usize) -> Vec<u64> {
+        match self.roundtrip(&MetaRequest::WorkerEpochs { n: n as u64 }) {
+            Ok(MetaReply::Epochs(e)) => e,
+            // Unreachable master: an empty table means "unknown — do not
+            // fence", so clients keep serving instead of bouncing
+            // everything on a guessed epoch.
+            _ => Vec::new(),
+        }
+    }
+
+    fn register_worker(&self, w: usize) -> u64 {
+        match self.roundtrip(&MetaRequest::RegisterWorker { w: w as u64 }) {
+            Ok(MetaReply::Epoch(e)) => e,
+            // 0 is never a granted epoch, so a failed grant is visible
+            // to the caller (the supervisor retries next tick).
+            _ => 0,
+        }
+    }
+
+    fn begin_repair(&self, id: u64) -> bool {
+        match self.roundtrip(&MetaRequest::BeginRepair { id }) {
+            Ok(MetaReply::Flag(f)) => f,
+            // Availability over strict dedup: an unreachable master must
+            // not block the heal that would end the outage.
+            _ => true,
+        }
+    }
+
+    fn end_repair(&self, id: u64) {
+        let _ = self.roundtrip(&MetaRequest::EndRepair { id });
     }
 }

@@ -35,7 +35,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use spcache_store::fault::{FaultAction, FaultLog, WorkerScript};
 use spcache_store::rpc::{Envelope, Reply, Request, StoreError};
-use spcache_store::worker::spawn_worker_with_faults;
+use spcache_store::worker::spawn_worker_with_scripts;
 use spcache_store::StoreConfig;
 use std::io::{self, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -112,12 +112,13 @@ impl WorkerServer {
     ) -> io::Result<WorkerServer> {
         let listener = TcpListener::bind(bind)?;
         let addr = listener.local_addr()?;
-        let worker = spawn_worker_with_faults(
+        let worker = spawn_worker_with_scripts(
             id,
             cfg.bandwidth,
             cfg.stragglers.clone(),
             cfg.seed.wrapping_add(id as u64),
             cfg.faults.data_script_for(id),
+            cfg.faults.heartbeat_script_for(id),
             Arc::clone(&fault_log),
         );
         let wire_script = cfg.faults.wire_script_for(id);

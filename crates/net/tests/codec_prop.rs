@@ -84,6 +84,11 @@ proptest! {
             Request::Stats,
             Request::Ping,
             Request::Shutdown,
+            Request::SetEpoch(offset),
+            Request::Fenced {
+                epoch: len,
+                inner: Box::new(Request::Get { key }),
+            },
         ] {
             let (rid, decoded) = req_roundtrip(&req, req_id);
             prop_assert_eq!(rid, req_id);
@@ -114,7 +119,7 @@ proptest! {
                 puts: served / 3,
                 resident_parts: w,
             }),
-            Reply::Pong(w),
+            Reply::Pong { worker: w, epoch: served },
             Reply::Err(StoreError::NotFound(key)),
             Reply::Err(StoreError::WorkerDown(w)),
             Reply::Err(StoreError::UnknownFile(file)),
@@ -122,6 +127,8 @@ proptest! {
             Reply::Err(StoreError::Timeout(w)),
             Reply::Err(StoreError::Io(w)),
             Reply::Err(StoreError::Codec(format!("bad byte {part}"))),
+            Reply::Err(StoreError::StaleEpoch(w)),
+            Reply::Err(StoreError::Degraded(file)),
         ] {
             let (rid, decoded) = reply_roundtrip(&reply, req_id);
             prop_assert_eq!(rid, req_id);
@@ -156,6 +163,10 @@ proptest! {
             MetaRequest::LiveWorkers { n },
             MetaRequest::Degraded,
             MetaRequest::Rebalance { bandwidth, lambda, seed },
+            MetaRequest::WorkerEpochs { n },
+            MetaRequest::RegisterWorker { w: w as u64 },
+            MetaRequest::BeginRepair { id: file },
+            MetaRequest::EndRepair { id: file },
             MetaRequest::Shutdown,
         ] {
             let frame =
@@ -173,6 +184,8 @@ proptest! {
             MetaReply::Workers(servers.clone()),
             MetaReply::Files(files.clone()),
             MetaReply::Rebalanced { moved: n, skipped: files.clone() },
+            MetaReply::Epochs(files.clone()),
+            MetaReply::Epoch(size),
             MetaReply::Err(StoreError::UnknownFile(file)),
         ] {
             let frame =

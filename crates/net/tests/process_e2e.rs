@@ -4,7 +4,8 @@
 
 use spcache_net::{MasterClient, TcpTransport};
 use spcache_store::client::Client;
-use spcache_store::rpc::Request;
+use spcache_store::master::MetaService;
+use spcache_store::rpc::{PartKey, Reply, Request, StoreError};
 use spcache_store::transport::Transport;
 use std::io::{BufRead, BufReader};
 use std::net::SocketAddr;
@@ -72,6 +73,46 @@ fn await_exit(daemon: &mut Daemon, what: &str, deadline: Duration) {
     }
 }
 
+/// Spawns a daemon that may transiently fail to bind (a just-killed
+/// predecessor's port): retries until the `LISTEN` banner appears or
+/// `deadline` passes.
+fn respawn_daemon(args: &[&str], deadline: Duration) -> Daemon {
+    let t0 = Instant::now();
+    loop {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_spcached"))
+            .args(args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn spcached");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut line = String::new();
+        let _ = BufReader::new(stdout).read_line(&mut line);
+        if let Some(addr) = line.trim().strip_prefix("LISTEN ") {
+            return Daemon {
+                child,
+                addr: addr.parse().expect("parse listen addr"),
+            };
+        }
+        let _ = child.kill();
+        let _ = child.wait();
+        assert!(
+            t0.elapsed() <= deadline,
+            "daemon {args:?} failed to rebind within {deadline:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Polls `cond` until it holds, failing the test after `deadline`.
+fn await_until(what: &str, deadline: Duration, mut cond: impl FnMut() -> bool) {
+    let t0 = Instant::now();
+    while !cond() {
+        assert!(t0.elapsed() <= deadline, "{what} did not happen within {deadline:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
 fn payload(id: u64, len: usize) -> Vec<u8> {
     (0..len).map(|i| ((i * 131 + id as usize * 17 + 3) % 256) as u8).collect()
 }
@@ -133,6 +174,123 @@ fn real_processes_serve_a_cluster() {
 
     // Graceful teardown, workers first, then the master.
     for w in 0..N_WORKERS {
+        transport
+            .call(w, Request::Shutdown, Duration::from_secs(10))
+            .unwrap()
+            .unit()
+            .unwrap();
+    }
+    meta.shutdown_server().unwrap();
+    for (w, d) in workers.iter_mut().enumerate() {
+        await_exit(d, &format!("worker {w}"), Duration::from_secs(10));
+    }
+    await_exit(&mut master, "master", Duration::from_secs(10));
+}
+
+/// The supervisor's kill-9 story at the OS-process level: SIGKILL a
+/// worker daemon mid-flight, watch the master's heartbeat loop declare
+/// it dead and bump its fencing epoch, restart it on the same port, and
+/// watch it get re-adopted with a *fresh* epoch. Requests fenced with
+/// any pre-crash epoch must bounce forever; the re-registered successor
+/// serves normally.
+#[test]
+fn kill_nine_and_restart_reregisters_with_a_fresh_epoch() {
+    const VICTIM: usize = 1;
+    let mut workers: Vec<Daemon> = (0..2)
+        .map(|id| spawn_daemon(&["worker", "--id", &id.to_string(), "--bind", "127.0.0.1:0"]))
+        .collect();
+    let worker_addrs: Vec<SocketAddr> = workers.iter().map(|d| d.addr).collect();
+    let workers_flag = worker_addrs
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut master = spawn_daemon(&[
+        "master",
+        "--bind",
+        "127.0.0.1:0",
+        "--workers",
+        &workers_flag,
+        "--heartbeat-ms",
+        "20",
+    ]);
+
+    let transport = Arc::new(TcpTransport::connect(worker_addrs.clone()));
+    let meta = Arc::new(MasterClient::connect(master.addr));
+    let client = Client::new(meta.clone(), transport.clone());
+
+    // The heartbeat loop adopts the fleet: everyone reaches epoch 1.
+    await_until("fleet registration", Duration::from_secs(10), || {
+        meta.worker_epochs(2) == vec![1, 1]
+    });
+    client.write(1, &payload(1, FILE_LEN), &[0, VICTIM]).unwrap();
+    assert_eq!(client.read(1).unwrap(), payload(1, FILE_LEN));
+
+    // SIGKILL the victim: no goodbye, no flush — the failure detector
+    // must notice on its own, kill it on the master and fence its epoch.
+    workers[VICTIM].child.kill().expect("SIGKILL worker");
+    let victim_addr = workers[VICTIM].addr.to_string();
+    await_until("death detection", Duration::from_secs(10), || {
+        !meta.is_alive(VICTIM) && meta.worker_epochs(2)[VICTIM] >= 2
+    });
+    let dead_epoch = meta.worker_epochs(2)[VICTIM];
+
+    // Restart on the same port (the successor of a kill-9'd daemon
+    // inherits its address). The supervisor re-adopts it with a fresh
+    // epoch strictly above every pre-crash grant.
+    workers[VICTIM] = respawn_daemon(
+        &["worker", "--id", &VICTIM.to_string(), "--bind", &victim_addr],
+        Duration::from_secs(10),
+    );
+    await_until("re-registration", Duration::from_secs(10), || {
+        meta.is_alive(VICTIM) && meta.worker_epochs(2)[VICTIM] > dead_epoch
+    });
+    let fresh_epoch = meta.worker_epochs(2)[VICTIM];
+    // Wait for the fencing grant to be *installed* on the worker, not
+    // just recorded on the master.
+    await_until("epoch install", Duration::from_secs(10), || {
+        transport
+            .call(VICTIM, Request::Ping, Duration::from_secs(2))
+            .and_then(Reply::pong_epoch)
+            .map(|(_, e)| e == fresh_epoch)
+            .unwrap_or(false)
+    });
+
+    // Every pre-crash epoch is fenced out forever: a zombie client (or a
+    // zombie worker replaying its old grant) can neither read nor write.
+    let key = PartKey::new(9, 0);
+    for stale in 1..fresh_epoch {
+        for req in [
+            Request::Get { key },
+            Request::Put { key, data: payload(9, 64).into() },
+        ] {
+            match transport.call(VICTIM, req.fenced(stale), Duration::from_secs(2)).unwrap() {
+                Reply::Err(StoreError::StaleEpoch(w)) => assert_eq!(w, VICTIM),
+                other => panic!("stale epoch {stale} not fenced: {other:?}"),
+            }
+        }
+    }
+    // The current grant is accepted — the successor serves.
+    transport
+        .call(
+            VICTIM,
+            Request::Put { key, data: payload(9, 64).into() }.fenced(fresh_epoch),
+            Duration::from_secs(2),
+        )
+        .unwrap()
+        .unit()
+        .unwrap();
+    match transport.call(VICTIM, Request::Get { key }.fenced(fresh_epoch), Duration::from_secs(2)) {
+        Ok(Reply::Data(d)) => assert_eq!(&d[..], &payload(9, 64)[..]),
+        other => panic!("re-registered worker refused a fenced read: {other:?}"),
+    }
+
+    // The cluster converged: fresh writes through the ordinary client
+    // path land on the successor and read back byte-exact.
+    client.write(2, &payload(2, FILE_LEN), &[VICTIM, 0]).unwrap();
+    assert_eq!(client.read(2).unwrap(), payload(2, FILE_LEN));
+
+    for w in 0..2 {
         transport
             .call(w, Request::Shutdown, Duration::from_secs(10))
             .unwrap()

@@ -139,10 +139,18 @@ pub fn recovery_targets(live: &[usize], k: usize, id: u64) -> Vec<usize> {
 /// dying too) leaves the old placement — degraded but registered —
 /// intact for another attempt.
 ///
+/// Every heal first acquires the file's repair slot in the master's
+/// registry ([`MetaService::begin_repair`]) and releases it on exit —
+/// the single dedup point shared by the supervisor's sweep, the
+/// client's lazy retry heal, and [`heal_degraded`]. A file is never
+/// healed twice concurrently.
+///
 /// # Errors
 ///
-/// [`StoreError::UnknownFile`] if no checkpoint exists; worker errors if
-/// a target is down too.
+/// [`StoreError::Degraded`] when another repair of this file is already
+/// in flight (not retryable — wait it out or shed the op);
+/// [`StoreError::UnknownFile`] if no checkpoint exists; worker errors
+/// if a target is down too.
 pub fn recover_file(
     client: &Client,
     master: &dyn MetaService,
@@ -151,25 +159,35 @@ pub fn recover_file(
     new_servers: &[usize],
 ) -> Result<(), StoreError> {
     assert!(!new_servers.is_empty(), "need at least one target server");
-    let data = under.load(id).ok_or(StoreError::UnknownFile(id))?;
-    let (_, old_servers) = master.peek(id)?;
-    client.push_partitions(id, &data, new_servers)?;
-    master.apply_placement(id, new_servers.to_vec())?;
-    // GC partitions of the old layout that the new one did not
-    // overwrite (same index on the same server). Dead holders are
-    // skipped silently — their copies died with them.
-    for (j, &server) in old_servers.iter().enumerate() {
-        let kept = new_servers.get(j).is_some_and(|&s| s == server);
-        if !kept {
-            client.discard_partition(server, crate::rpc::PartKey::new(id, j as u32));
-        }
+    if !master.begin_repair(id) {
+        return Err(StoreError::Degraded(id));
     }
-    Ok(())
+    let result = (|| {
+        let data = under.load(id).ok_or(StoreError::UnknownFile(id))?;
+        let (_, old_servers) = master.peek(id)?;
+        client.push_partitions(id, &data, new_servers)?;
+        master.apply_placement(id, new_servers.to_vec())?;
+        // GC partitions of the old layout that the new one did not
+        // overwrite (same index on the same server). Dead holders are
+        // skipped silently — their copies died with them.
+        for (j, &server) in old_servers.iter().enumerate() {
+            let kept = new_servers.get(j).is_some_and(|&s| s == server);
+            if !kept {
+                client.discard_partition(server, crate::rpc::PartKey::new(id, j as u32));
+            }
+        }
+        Ok(())
+    })();
+    master.end_repair(id);
+    result
 }
 
 /// Scans the master for degraded files (a partition on a dead worker)
 /// and recovers each from the under-store onto live servers. Files
-/// without a checkpoint are left degraded and reported back.
+/// without a checkpoint are left degraded and reported back; files
+/// whose repair slot is held elsewhere (an in-flight sweep or lazy
+/// heal) are skipped silently — they are someone else's heal, not a
+/// failure.
 ///
 /// Returns `(healed, unrecoverable)` file id lists.
 pub fn heal_degraded(
@@ -190,6 +208,7 @@ pub fn heal_degraded(
         let targets = recovery_targets(&live, k, id);
         match recover_file(client, master, under, id, &targets) {
             Ok(()) => healed.push(id),
+            Err(StoreError::Degraded(_)) => {}
             Err(_) => unrecoverable.push(id),
         }
     }
@@ -198,11 +217,15 @@ pub fn heal_degraded(
 
 /// The fault-tolerant read path: try the cache; if a partition or worker
 /// is gone, recover from the under-store onto `fallback_servers` and
-/// serve the recovered bytes.
+/// serve the recovered bytes. When another repair of the file is
+/// already in flight, waits (bounded) for it to land and re-reads
+/// instead of healing twice.
 ///
 /// # Errors
 ///
-/// Fails only when the file is neither cached nor checkpointed.
+/// Fails only when the file is neither cached nor checkpointed, or when
+/// an in-flight repair does not land within the bounded wait
+/// ([`StoreError::Degraded`]).
 pub fn read_or_recover(
     client: &Client,
     master: &dyn MetaService,
@@ -213,7 +236,21 @@ pub fn read_or_recover(
     match client.read(id) {
         Ok(bytes) => Ok(bytes),
         Err(StoreError::NotFound(_)) | Err(StoreError::WorkerDown(_)) => {
-            recover_file(client, master, under, id, fallback_servers)?;
+            match recover_file(client, master, under, id, fallback_servers) {
+                Ok(()) => {}
+                Err(StoreError::Degraded(_)) => {
+                    // Someone else is healing this file; poll for their
+                    // repair to land instead of duplicating it.
+                    for _ in 0..50 {
+                        std::thread::sleep(Duration::from_millis(10));
+                        if let Ok(bytes) = client.read(id) {
+                            return Ok(bytes);
+                        }
+                    }
+                    return Err(StoreError::Degraded(id));
+                }
+                Err(e) => return Err(e),
+            }
             client.read(id)
         }
         Err(e) => Err(e),

@@ -4,6 +4,7 @@
 
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Select, TryRecvError};
+use parking_lot::Mutex;
 use spcache_core::online::partition_range;
 use spcache_ec::split_shards_bytes;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -11,7 +12,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::backing::UnderStore;
-use crate::config::{HedgePolicy, RetryPolicy};
+use crate::config::{DegradedPolicy, HedgePolicy, RetryPolicy};
 use crate::master::MetaService;
 use crate::rpc::{PartKey, Reply, Request, StoreError};
 use crate::transport::Transport;
@@ -57,6 +58,16 @@ pub struct Client {
     under: Option<Arc<UnderStore>>,
     hedged_fetches: Arc<AtomicU64>,
     hedged_bytes: Arc<AtomicU64>,
+    /// Whether data requests are stamped with the target worker's
+    /// fencing epoch (see [`Request::fenced`]); off by default — an
+    /// unfenced client is wire-identical to the pre-supervisor store.
+    fenced: bool,
+    /// Admission policy for operations on files whose repair is in
+    /// flight elsewhere.
+    degraded: DegradedPolicy,
+    /// Cached per-worker epoch table, shared across clones; refreshed
+    /// from the master whenever a worker bounces a stale stamp.
+    epochs: Arc<Mutex<Vec<u64>>>,
 }
 
 impl Client {
@@ -73,12 +84,35 @@ impl Client {
             under: None,
             hedged_fetches: Arc::new(AtomicU64::new(0)),
             hedged_bytes: Arc::new(AtomicU64::new(0)),
+            fenced: false,
+            degraded: DegradedPolicy::Queue,
+            epochs: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
     /// Sets the retry policy (builder style).
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Enables (or disables) epoch fencing: every data request carries
+    /// the target worker's registration epoch, so a crash-restarted
+    /// zombie can never serve it (builder style). Requires a supervisor
+    /// (or manual registration) granting epochs — against an
+    /// all-epoch-0 fleet the stamps are elided and behaviour is
+    /// unchanged.
+    pub fn with_fencing(mut self, fenced: bool) -> Self {
+        self.fenced = fenced;
+        self
+    }
+
+    /// Sets the degraded-mode admission policy (builder style):
+    /// [`DegradedPolicy::Queue`] keeps retrying while a repair is in
+    /// flight elsewhere; [`DegradedPolicy::FastFail`] surfaces
+    /// [`StoreError::Degraded`] immediately.
+    pub fn with_degraded_policy(mut self, policy: DegradedPolicy) -> Self {
+        self.degraded = policy;
         self
     }
 
@@ -258,20 +292,29 @@ impl Client {
             }
             // Heal before retrying: recover the file from the
             // under-store onto live workers, so the next attempt reads
-            // a fresh placement instead of the same hole.
+            // a fresh placement instead of the same hole. A denied
+            // repair slot means someone else (the supervisor's sweep or
+            // another client) is already healing this file — under
+            // `FastFail` that sheds the operation immediately, under
+            // `Queue` the retry loop simply waits the repair out.
             if let Some(under) = &self.under {
                 if under.contains(id) {
                     let live = self.master.live_workers(self.transport.n_workers());
                     if !live.is_empty() {
                         let targets =
                             crate::backing::recovery_targets(&live, servers.len(), id);
-                        let _ = crate::backing::recover_file(
+                        let healed = crate::backing::recover_file(
                             self,
                             self.master.as_ref(),
                             under,
                             id,
                             &targets,
                         );
+                        if matches!(healed, Err(StoreError::Degraded(_)))
+                            && self.degraded == DegradedPolicy::FastFail
+                        {
+                            return Err(StoreError::Degraded(id));
+                        }
                     }
                 }
             }
@@ -382,13 +425,36 @@ impl Client {
         Ok(parts.into_iter().map(|p| p.expect("all joined")).collect())
     }
 
-    /// Submits one request, folding a submission failure into the health
-    /// table (a closed channel is definitive death; a socket error is
-    /// suspicion-worthy but survivable).
+    /// Submits one request — stamped with the target's fencing epoch
+    /// when fencing is on — folding a submission failure into the
+    /// health table (a closed channel is definitive death; a socket
+    /// error is suspicion-worthy but survivable).
     fn submit(&self, server: usize, req: Request) -> Result<Receiver<Reply>, StoreError> {
+        let req = if self.fenced {
+            req.fenced(self.epoch_of(server))
+        } else {
+            req
+        };
         self.transport.submit(server, req).inspect_err(|e| {
             self.note_error(e);
         })
+    }
+
+    /// The cached fencing epoch of `server`, fetching the table from
+    /// the master while no worker has been granted one yet (0 = don't
+    /// stamp). The cache refreshes on every stale-epoch bounce.
+    fn epoch_of(&self, server: usize) -> u64 {
+        let mut cache = self.epochs.lock();
+        if cache.iter().all(|&e| e == 0) {
+            *cache = self.master.worker_epochs(self.transport.n_workers());
+        }
+        cache.get(server).copied().unwrap_or(0)
+    }
+
+    /// Re-fetches the epoch table — a worker just bounced one of our
+    /// stamps, so the fleet registered past our cache.
+    fn refresh_epochs(&self) {
+        *self.epochs.lock() = self.master.worker_epochs(self.transport.n_workers());
     }
 
     /// Folds an error's health signal into the master's table. Endpoint
@@ -416,6 +482,14 @@ impl Client {
         match reply {
             Reply::Err(e @ (StoreError::Io(_) | StoreError::Timeout(_) | StoreError::WorkerDown(_))) => {
                 self.note_error(&e);
+                Err(e)
+            }
+            Reply::Err(e @ StoreError::StaleEpoch(_)) => {
+                // The worker answered — it is alive — but our stamp (or
+                // its registration) is out of date. Refresh the epoch
+                // cache so the retry stamps current grants.
+                self.master.mark_alive(server);
+                self.refresh_epochs();
                 Err(e)
             }
             Reply::Err(e) => {

@@ -3,13 +3,15 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use crate::backing::UnderStore;
 use crate::client::Client;
 use crate::config::StoreConfig;
 use crate::fault::FaultLog;
 use crate::master::Master;
 use crate::rpc::{Request, StoreError, WorkerStats};
+use crate::supervisor::{Supervisor, SupervisorCore};
 use crate::transport::{ChannelTransport, Transport};
-use crate::worker::{spawn_worker_with_faults, WorkerHandle};
+use crate::worker::{spawn_worker_with_scripts, WorkerHandle};
 
 /// A running in-process store cluster.
 ///
@@ -27,32 +29,53 @@ use crate::worker::{spawn_worker_with_faults, WorkerHandle};
 /// ```
 #[derive(Debug)]
 pub struct StoreCluster {
+    // Declared first so it drops (stopping its heartbeat thread) before
+    // the workers shut down — a supervisor outliving its fleet would
+    // mis-record every worker as newly dead on the way out.
+    supervisor: Option<Supervisor>,
     master: Arc<Master>,
     workers: Vec<WorkerHandle>,
     transport: Arc<ChannelTransport>,
     fault_log: Arc<FaultLog>,
+    under: Option<Arc<UnderStore>>,
     cfg: StoreConfig,
 }
 
 impl StoreCluster {
     /// Spawns `cfg.n_workers` worker threads and an empty master. Each
     /// worker receives its slice of `cfg.faults`; fired faults land in
-    /// the shared [`StoreCluster::fault_log`].
+    /// the shared [`StoreCluster::fault_log`]. When
+    /// `cfg.supervisor.enabled`, a [`Supervisor`] runs over the cluster
+    /// (without an under-store it detects failures and fences epochs
+    /// but cannot sweep — use [`StoreCluster::spawn_with_under_store`]
+    /// for the full self-healing loop).
     ///
     /// # Panics
     ///
     /// Panics if `cfg.n_workers == 0`.
     pub fn spawn(cfg: StoreConfig) -> Self {
+        StoreCluster::spawn_with_under_store(cfg, None)
+    }
+
+    /// Like [`StoreCluster::spawn`], with a backing under-store that the
+    /// supervisor's recovery sweep (and clients created via
+    /// [`StoreCluster::client`]) heal from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.n_workers == 0`.
+    pub fn spawn_with_under_store(cfg: StoreConfig, under: Option<Arc<UnderStore>>) -> Self {
         assert!(cfg.n_workers > 0, "need at least one worker");
         let fault_log = Arc::new(FaultLog::new());
         let workers: Vec<WorkerHandle> = (0..cfg.n_workers)
             .map(|id| {
-                spawn_worker_with_faults(
+                spawn_worker_with_scripts(
                     id,
                     cfg.bandwidth,
                     cfg.stragglers.clone(),
                     cfg.seed.wrapping_add(id as u64),
                     cfg.faults.script_for(id),
+                    cfg.faults.heartbeat_script_for(id),
                     Arc::clone(&fault_log),
                 )
             })
@@ -62,11 +85,23 @@ impl StoreCluster {
         ));
         let master = Arc::new(Master::new());
         master.ensure_workers(cfg.n_workers);
+        let supervisor = cfg.supervisor.enabled.then(|| {
+            let t: Arc<dyn Transport> = transport.clone();
+            Supervisor::spawn(SupervisorCore::new(
+                master.clone(),
+                t,
+                under.clone(),
+                cfg.supervisor,
+                cfg.retry,
+            ))
+        });
         StoreCluster {
+            supervisor,
             master,
             workers,
             transport,
             fault_log,
+            under,
             cfg,
         }
     }
@@ -93,11 +128,31 @@ impl StoreCluster {
         &self.transport
     }
 
+    /// The supervisor, when `cfg.supervisor.enabled` spawned one.
+    pub fn supervisor(&self) -> Option<&Supervisor> {
+        self.supervisor.as_ref()
+    }
+
+    /// The attached under-store, when the cluster was spawned with one.
+    pub fn under_store(&self) -> Option<&Arc<UnderStore>> {
+        self.under.as_ref()
+    }
+
     /// Creates a client carrying the cluster's retry and hedge policies.
+    /// Under a supervisor the client is additionally **fenced** (stamps
+    /// registration epochs onto data requests) and applies the
+    /// configured degraded-mode admission policy; the cluster's
+    /// under-store, if any, is attached for read-path healing.
     pub fn client(&self) -> Client {
-        Client::new(self.master.clone(), self.transport.clone())
+        let mut c = Client::new(self.master.clone(), self.transport.clone())
             .with_retry(self.cfg.retry)
             .with_hedge(self.cfg.hedge)
+            .with_fencing(self.cfg.supervisor.enabled)
+            .with_degraded_policy(self.cfg.supervisor.degraded);
+        if let Some(under) = &self.under {
+            c = c.with_under_store(under.clone());
+        }
+        c
     }
 
     /// Collects per-worker service counters. Dead workers report
@@ -122,7 +177,9 @@ impl StoreCluster {
             .collect();
         for (id, probe) in probes {
             let alive = probe
-                .is_ok_and(|rx| matches!(rx.recv_timeout(timeout), Ok(crate::rpc::Reply::Pong(_))));
+                .is_ok_and(|rx| {
+                    matches!(rx.recv_timeout(timeout), Ok(crate::rpc::Reply::Pong { .. }))
+                });
             if alive {
                 self.master.mark_alive(id);
                 live.push(id);

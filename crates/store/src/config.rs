@@ -94,6 +94,101 @@ impl Default for HedgePolicy {
     }
 }
 
+/// What a supervised client does with an operation on a file whose
+/// recovery is currently in flight elsewhere (sweep or another client's
+/// lazy repair).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedPolicy {
+    /// Keep the operation in the retry loop (bounded by the client's
+    /// [`RetryPolicy`]): back off and re-locate until the repair lands
+    /// or the retry budget runs out. The default.
+    Queue,
+    /// Fail the operation immediately with
+    /// [`crate::rpc::StoreError::Degraded`] so callers can shed load
+    /// instead of stampeding the under-store.
+    FastFail,
+}
+
+/// Configuration of the master-side supervisor: the autonomous
+/// heartbeat → suspicion → death → recovery-sweep loop (DESIGN.md
+/// §4.11). Disabled by default — with `enabled == false` nothing is
+/// spawned and the store behaves exactly as it did without a
+/// supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Whether a supervisor runs at all.
+    pub enabled: bool,
+    /// Period between heartbeat rounds. `Duration::ZERO` spawns the
+    /// supervisor without a background thread: ticks only happen when
+    /// driven explicitly (deterministic tests).
+    pub heartbeat_interval: Duration,
+    /// How long one `Ping` may take before it counts as a miss.
+    pub probe_timeout: Duration,
+    /// Consecutive misses after which a suspect worker is declared
+    /// dead (the master's suspicion ladder threshold).
+    pub suspicion_threshold: u32,
+    /// Admission policy for operations on files whose repair is in
+    /// flight.
+    pub degraded: DegradedPolicy,
+}
+
+impl SupervisorConfig {
+    /// Supervisor off — zero behavior change.
+    pub fn disabled() -> Self {
+        SupervisorConfig {
+            enabled: false,
+            heartbeat_interval: Duration::from_millis(100),
+            probe_timeout: Duration::from_millis(50),
+            suspicion_threshold: 3,
+            degraded: DegradedPolicy::Queue,
+        }
+    }
+
+    /// Supervisor on with the default cadence (100 ms heartbeats, 50 ms
+    /// probe timeout, 3-miss suspicion ladder, queueing admission).
+    pub fn enabled() -> Self {
+        SupervisorConfig {
+            enabled: true,
+            ..SupervisorConfig::disabled()
+        }
+    }
+
+    /// Sets the heartbeat period (builder style). `Duration::ZERO`
+    /// means manual ticks only.
+    #[must_use]
+    pub fn with_interval(mut self, interval: Duration) -> Self {
+        self.heartbeat_interval = interval;
+        self
+    }
+
+    /// Sets the per-probe timeout (builder style).
+    #[must_use]
+    pub fn with_probe_timeout(mut self, timeout: Duration) -> Self {
+        self.probe_timeout = timeout;
+        self
+    }
+
+    /// Sets the suspicion threshold (builder style).
+    #[must_use]
+    pub fn with_threshold(mut self, threshold: u32) -> Self {
+        self.suspicion_threshold = threshold.max(1);
+        self
+    }
+
+    /// Sets the degraded-mode admission policy (builder style).
+    #[must_use]
+    pub fn with_degraded(mut self, policy: DegradedPolicy) -> Self {
+        self.degraded = policy;
+        self
+    }
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig::disabled()
+    }
+}
+
 /// Static configuration of an in-process store cluster.
 #[derive(Debug, Clone)]
 pub struct StoreConfig {
@@ -113,6 +208,14 @@ pub struct StoreConfig {
     pub retry: RetryPolicy,
     /// Hedged-read policy handed to clients.
     pub hedge: HedgePolicy,
+    /// Master-side supervisor (heartbeats, epoch fencing, recovery
+    /// sweeps). Off by default.
+    pub supervisor: SupervisorConfig,
+    /// Deadline for one repartition-executor exchange (pull / staged
+    /// push / commit step) — `repartitioner`'s former hardcoded 5 s,
+    /// now tunable so chaos tests and the recovery sweep can tighten
+    /// it.
+    pub executor_deadline: Duration,
 }
 
 impl StoreConfig {
@@ -126,6 +229,8 @@ impl StoreConfig {
             faults: FaultPlan::none(),
             retry: RetryPolicy::none(),
             hedge: HedgePolicy::disabled(),
+            supervisor: SupervisorConfig::disabled(),
+            executor_deadline: Duration::from_secs(5),
         }
     }
 
@@ -166,6 +271,18 @@ impl StoreConfig {
         self.hedge = hedge;
         self
     }
+
+    /// Sets the supervisor configuration.
+    pub fn with_supervisor(mut self, supervisor: SupervisorConfig) -> Self {
+        self.supervisor = supervisor;
+        self
+    }
+
+    /// Sets the repartition-executor deadline.
+    pub fn with_executor_deadline(mut self, deadline: Duration) -> Self {
+        self.executor_deadline = deadline.max(Duration::from_millis(1));
+        self
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +310,27 @@ mod tests {
         assert_eq!(c.faults.events().len(), 1);
         assert_eq!(c.retry.max_attempts, 4);
         assert!(c.hedge.enabled);
+    }
+
+    #[test]
+    fn supervisor_defaults_are_off_and_builders_apply() {
+        let c = StoreConfig::unthrottled(4);
+        assert!(!c.supervisor.enabled, "supervisor must default off");
+        assert_eq!(c.executor_deadline, Duration::from_secs(5));
+        let c = c
+            .with_supervisor(
+                SupervisorConfig::enabled()
+                    .with_interval(Duration::from_millis(20))
+                    .with_probe_timeout(Duration::from_millis(10))
+                    .with_threshold(2)
+                    .with_degraded(DegradedPolicy::FastFail),
+            )
+            .with_executor_deadline(Duration::from_millis(500));
+        assert!(c.supervisor.enabled);
+        assert_eq!(c.supervisor.heartbeat_interval, Duration::from_millis(20));
+        assert_eq!(c.supervisor.suspicion_threshold, 2);
+        assert_eq!(c.supervisor.degraded, DegradedPolicy::FastFail);
+        assert_eq!(c.executor_deadline, Duration::from_millis(500));
     }
 
     #[test]

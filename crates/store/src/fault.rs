@@ -62,6 +62,24 @@ pub enum FaultAction {
     /// I/O error, never as bytes. In-process this degrades to a lost
     /// reply.
     TruncateFrame,
+    /// **Heartbeat fault.** The worker swallows one supervisor `Ping`:
+    /// the probe times out and the suspicion ladder advances, but the
+    /// worker keeps serving data traffic — a one-way control-plane
+    /// partition. Trigger indices count *pings received*, not data ops
+    /// (see [`FaultPlan::heartbeat_script_for`]).
+    DropHeartbeat,
+    /// The worker "crashes and restarts" in place: its cached partitions
+    /// vanish and its registered epoch resets to the unregistered
+    /// sentinel (0), but the thread keeps serving — modelling a fast
+    /// process restart with a cold cache. Until the supervisor re-adopts
+    /// it (new epoch via `Register` + `SetEpoch`), fenced clients bounce
+    /// off it with stale-epoch errors.
+    CrashRestart,
+    /// The worker answers one data-path request with a stale-epoch
+    /// rejection regardless of the stamped epoch — a zombie that missed
+    /// its own fencing, or a delayed delivery racing a re-registration.
+    /// Clients must treat it as retryable and refresh their epoch cache.
+    StaleEpochDelivery,
 }
 
 impl FaultAction {
@@ -78,6 +96,15 @@ impl FaultAction {
                 | FaultAction::DelayFrame(_)
                 | FaultAction::TruncateFrame
         )
+    }
+
+    /// Whether this fault triggers on the heartbeat (ping) stream rather
+    /// than the data-path op stream. Heartbeat faults live in their own
+    /// script ([`FaultPlan::heartbeat_script_for`]) with their own
+    /// counter, so scripting one can never shift the op indices of data
+    /// or wire faults.
+    pub fn is_heartbeat(&self) -> bool {
+        matches!(self, FaultAction::DropHeartbeat)
     }
 }
 
@@ -158,6 +185,24 @@ impl FaultPlan {
         self.with_event(worker, op, FaultAction::TruncateFrame)
     }
 
+    /// Swallows `worker`'s `nth_ping`-th supervisor heartbeat (0-based,
+    /// counted over pings received — not data ops).
+    pub fn drop_heartbeat(self, worker: usize, nth_ping: u64) -> Self {
+        self.with_event(worker, nth_ping, FaultAction::DropHeartbeat)
+    }
+
+    /// Crash-restarts `worker` in place at its `op`-th data-path
+    /// request: cache cleared, epoch reset to 0, thread keeps serving.
+    pub fn crash_restart(self, worker: usize, op: u64) -> Self {
+        self.with_event(worker, op, FaultAction::CrashRestart)
+    }
+
+    /// Makes `worker` bounce its `op`-th data-path request with a
+    /// stale-epoch rejection.
+    pub fn stale_epoch(self, worker: usize, op: u64) -> Self {
+        self.with_event(worker, op, FaultAction::StaleEpochDelivery)
+    }
+
     /// Generates a random plan from a seed — the chaos-test entry point.
     ///
     /// Draws `n_events` events against `n_workers` workers, each firing
@@ -188,25 +233,28 @@ impl FaultPlan {
         plan
     }
 
-    /// Extracts worker `w`'s slice of the plan, ordered by trigger op
-    /// (ties keep plan order, so `DropPartition` scripted before `Crash`
-    /// at the same op fires first).
+    /// Extracts worker `w`'s op-indexed slice of the plan (wire *and*
+    /// worker faults; heartbeat faults are excluded — they count pings,
+    /// not ops, and live in [`FaultPlan::heartbeat_script_for`]),
+    /// ordered by trigger op (ties keep plan order, so `DropPartition`
+    /// scripted before `Crash` at the same op fires first).
     pub fn script_for(&self, worker: usize) -> WorkerScript {
         let mut events: Vec<(u64, FaultAction)> = self
             .events
             .iter()
-            .filter(|e| e.worker == worker)
+            .filter(|e| e.worker == worker && !e.action.is_heartbeat())
             .map(|e| (e.op, e.action.clone()))
             .collect();
         events.sort_by_key(|&(op, _)| op);
         WorkerScript { events, cursor: 0 }
     }
 
-    /// Worker `w`'s **non-wire** events only — what the worker thread of
-    /// a TCP server consumes (its framing layer injects the wire half via
-    /// [`FaultPlan::wire_script_for`]). Trigger indices are shared: both
-    /// scripts count the same data-path op stream, so a plan fires
-    /// identically whether a worker sits behind a channel or a socket.
+    /// Worker `w`'s **non-wire** op-indexed events only — what the
+    /// worker thread of a TCP server consumes (its framing layer injects
+    /// the wire half via [`FaultPlan::wire_script_for`]). Trigger
+    /// indices are shared: both scripts count the same data-path op
+    /// stream, so a plan fires identically whether a worker sits behind
+    /// a channel or a socket.
     pub fn data_script_for(&self, worker: usize) -> WorkerScript {
         self.filtered_script(worker, false)
     }
@@ -218,11 +266,27 @@ impl FaultPlan {
         self.filtered_script(worker, true)
     }
 
+    /// Worker `w`'s **heartbeat** events only, indexed over the pings it
+    /// receives (a separate counter from data ops — supervisor cadence
+    /// can change without shifting any scripted data fault).
+    pub fn heartbeat_script_for(&self, worker: usize) -> WorkerScript {
+        let mut events: Vec<(u64, FaultAction)> = self
+            .events
+            .iter()
+            .filter(|e| e.worker == worker && e.action.is_heartbeat())
+            .map(|e| (e.op, e.action.clone()))
+            .collect();
+        events.sort_by_key(|&(op, _)| op);
+        WorkerScript { events, cursor: 0 }
+    }
+
     fn filtered_script(&self, worker: usize, wire: bool) -> WorkerScript {
         let mut events: Vec<(u64, FaultAction)> = self
             .events
             .iter()
-            .filter(|e| e.worker == worker && e.action.is_wire() == wire)
+            .filter(|e| {
+                e.worker == worker && !e.action.is_heartbeat() && e.action.is_wire() == wire
+            })
             .map(|e| (e.op, e.action.clone()))
             .collect();
         events.sort_by_key(|&(op, _)| op);
@@ -410,6 +474,58 @@ mod tests {
         assert!(FaultAction::TruncateFrame.is_wire());
         assert!(!FaultAction::Crash.is_wire());
         assert!(!FaultAction::LoseReply.is_wire());
+        assert!(!FaultAction::DropHeartbeat.is_wire());
+        assert!(!FaultAction::CrashRestart.is_wire());
+        assert!(!FaultAction::StaleEpochDelivery.is_wire());
+    }
+
+    #[test]
+    fn heartbeat_classification() {
+        assert!(FaultAction::DropHeartbeat.is_heartbeat());
+        assert!(!FaultAction::CrashRestart.is_heartbeat());
+        assert!(!FaultAction::StaleEpochDelivery.is_heartbeat());
+        assert!(!FaultAction::Crash.is_heartbeat());
+        assert!(!FaultAction::DropConnection.is_heartbeat());
+    }
+
+    #[test]
+    fn heartbeat_script_is_disjoint_from_op_scripts() {
+        let plan = FaultPlan::none()
+            .drop_heartbeat(0, 1)
+            .crash_restart(0, 4)
+            .stale_epoch(0, 2)
+            .drop_heartbeat(0, 0)
+            .drop_connection(0, 3)
+            .lose_reply(0, 5);
+        // Heartbeat script sees only the ping-indexed drops, sorted.
+        let mut hb = plan.heartbeat_script_for(0);
+        assert_eq!(
+            hb.fire(100),
+            vec![FaultAction::DropHeartbeat, FaultAction::DropHeartbeat]
+        );
+        // The combined op script excludes heartbeats entirely.
+        let mut all = plan.script_for(0);
+        assert_eq!(
+            all.fire(100),
+            vec![
+                FaultAction::StaleEpochDelivery,
+                FaultAction::DropConnection,
+                FaultAction::CrashRestart,
+                FaultAction::LoseReply,
+            ]
+        );
+        // Data/wire split also excludes heartbeats.
+        let mut data = plan.data_script_for(0);
+        assert_eq!(
+            data.fire(100),
+            vec![
+                FaultAction::StaleEpochDelivery,
+                FaultAction::CrashRestart,
+                FaultAction::LoseReply,
+            ]
+        );
+        let mut wire = plan.wire_script_for(0);
+        assert_eq!(wire.fire(100), vec![FaultAction::DropConnection]);
     }
 
     #[test]

@@ -36,14 +36,16 @@ pub mod master;
 pub mod online;
 pub mod repartitioner;
 pub mod rpc;
+pub mod supervisor;
 pub mod throttle;
 pub mod transport;
 pub mod worker;
 
 pub use client::{Client, ScatteredFile};
 pub use cluster::StoreCluster;
-pub use config::{HedgePolicy, RetryPolicy, StoreConfig};
+pub use config::{DegradedPolicy, HedgePolicy, RetryPolicy, StoreConfig, SupervisorConfig};
 pub use fault::{FaultAction, FaultEvent, FaultLog, FaultPlan, FaultRecord};
 pub use master::{Master, MetaService};
 pub use rpc::{Envelope, PartKey, Reply, Request, StoreError, WorkerStats, MASTER_ENDPOINT};
+pub use supervisor::{Supervisor, SupervisorCore, SweepLog, SweepRecord};
 pub use transport::{ChannelTransport, Transport};

@@ -1,9 +1,9 @@
 //! The SP-Master: file metadata, access counting and rebalance planning.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use spcache_core::file::{FileMeta, FileSet};
 use spcache_core::partition::PartitionMap;
 use spcache_core::repartition::{plan_repartition, RepartitionPlan};
@@ -30,7 +30,8 @@ impl FileInfo {
     }
 }
 
-/// Consecutive timeouts after which a suspected worker is declared dead.
+/// Default consecutive-timeout count after which a suspected worker is
+/// declared dead; override with [`Master::set_suspicion_threshold`].
 const SUSPICION_THRESHOLD: u32 = 3;
 
 /// Liveness bookkeeping for the worker fleet.
@@ -43,6 +44,11 @@ struct Health {
     suspicion: Vec<u32>,
     /// Heartbeats (successful pings / replies) observed per worker.
     last_seen: Vec<u64>,
+    /// Fencing epoch per worker. 0 = never registered. Bumped once on
+    /// every alive→dead transition and once more at each registration,
+    /// so a worker's pre-crash epoch can never equal any epoch granted
+    /// after its death.
+    epochs: Vec<u64>,
 }
 
 impl Health {
@@ -51,6 +57,7 @@ impl Health {
             self.alive.resize(n, true);
             self.suspicion.resize(n, 0);
             self.last_seen.resize(n, 0);
+            self.epochs.resize(n, 0);
         }
     }
 }
@@ -66,16 +73,43 @@ impl Health {
 /// channels ([`Master::mark_dead`]), and every placement decision
 /// ([`Master::plan_rebalance`], recovery target selection) draws only
 /// from [`Master::live_workers`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Master {
     files: RwLock<HashMap<u64, FileInfo>>,
     health: RwLock<Health>,
+    /// Suspicion-ladder death threshold (see [`Master::suspect`]).
+    threshold: AtomicU32,
+    /// Files whose under-store repair is currently in flight — the
+    /// sweep/lazy-repair dedup registry (DESIGN.md §4.11).
+    repairing: Mutex<HashSet<u64>>,
+    /// Every file id that ever acquired a repair slot, in acquisition
+    /// order; tests derive per-file repair counts from this to assert
+    /// zero duplicate heals.
+    repair_log: Mutex<Vec<u64>>,
+}
+
+impl Default for Master {
+    fn default() -> Self {
+        Master {
+            files: RwLock::default(),
+            health: RwLock::default(),
+            threshold: AtomicU32::new(SUSPICION_THRESHOLD),
+            repairing: Mutex::new(HashSet::new()),
+            repair_log: Mutex::new(Vec::new()),
+        }
+    }
 }
 
 impl Master {
     /// An empty master.
     pub fn new() -> Self {
         Master::default()
+    }
+
+    /// Overrides the suspicion-ladder death threshold (default 3
+    /// consecutive timeouts). Clamped to at least 1.
+    pub fn set_suspicion_threshold(&self, threshold: u32) {
+        self.threshold.store(threshold.max(1), Ordering::Relaxed);
     }
 
     /// Pre-sizes the health table for a fleet of `n` workers, all
@@ -96,24 +130,86 @@ impl Master {
     }
 
     /// Declares worker `w` dead (its request channel is closed — the
-    /// definitive signal in this in-process cluster).
+    /// definitive signal in this in-process cluster). The first
+    /// alive→dead transition bumps the worker's fencing epoch, so any
+    /// epoch the worker was granted before its death is now stale.
     pub fn mark_dead(&self, w: usize) {
         let mut h = self.health.write();
         h.ensure(w + 1);
+        if h.alive[w] {
+            h.epochs[w] += 1;
+        }
         h.alive[w] = false;
     }
 
     /// Records a timeout against worker `w` (it may be hung rather than
-    /// dead). After [`SUSPICION_THRESHOLD`] consecutive timeouts the
-    /// worker is declared dead. Returns the updated suspicion count.
+    /// dead). After the configured threshold of consecutive timeouts
+    /// (default 3, see [`Master::set_suspicion_threshold`]) the worker
+    /// is declared dead. Returns the updated suspicion count.
     pub fn suspect(&self, w: usize) -> u32 {
+        let threshold = self.threshold.load(Ordering::Relaxed);
         let mut h = self.health.write();
         h.ensure(w + 1);
         h.suspicion[w] += 1;
-        if h.suspicion[w] >= SUSPICION_THRESHOLD {
+        if h.suspicion[w] >= threshold {
+            if h.alive[w] {
+                h.epochs[w] += 1;
+            }
             h.alive[w] = false;
         }
         h.suspicion[w]
+    }
+
+    /// Grants worker `w` a fresh fencing epoch and revives it — the
+    /// rejoin path for a crash-restarted (or newly adopted) worker.
+    /// Returns the granted epoch; the caller must install it on the
+    /// worker (`Request::SetEpoch`) before routing fenced traffic to
+    /// it.
+    pub fn register_worker(&self, w: usize) -> u64 {
+        let mut h = self.health.write();
+        h.ensure(w + 1);
+        h.epochs[w] += 1;
+        h.alive[w] = true;
+        h.suspicion[w] = 0;
+        h.epochs[w]
+    }
+
+    /// The fencing epoch table for workers `0..n` (0 = never
+    /// registered).
+    pub fn worker_epochs(&self, n: usize) -> Vec<u64> {
+        let h = self.health.read();
+        (0..n).map(|w| h.epochs.get(w).copied().unwrap_or(0)).collect()
+    }
+
+    /// Tries to acquire the repair slot for file `id`. Returns `false`
+    /// if a repair is already in flight — the caller must NOT heal the
+    /// file (the sweep/lazy-repair dedup contract). On `true` the
+    /// caller owns the slot and must release it with
+    /// [`Master::end_repair`] when the repair completes or aborts.
+    pub fn begin_repair(&self, id: u64) -> bool {
+        let acquired = self.repairing.lock().insert(id);
+        if acquired {
+            self.repair_log.lock().push(id);
+        }
+        acquired
+    }
+
+    /// Releases the repair slot for file `id`.
+    pub fn end_repair(&self, id: u64) {
+        self.repairing.lock().remove(&id);
+    }
+
+    /// Whether a repair of `id` is currently in flight.
+    pub fn repairing(&self, id: u64) -> bool {
+        self.repairing.lock().contains(&id)
+    }
+
+    /// Every repair-slot acquisition so far, in order. Each entry is
+    /// one actual heal attempt; a file appearing twice means it was
+    /// healed twice (sequentially — concurrent duplicates are
+    /// impossible by construction).
+    pub fn repair_history(&self) -> Vec<u64> {
+        self.repair_log.lock().clone()
     }
 
     /// Whether worker `w` is believed alive (unknown workers are).
@@ -375,6 +471,24 @@ pub trait MetaService: Send + Sync + std::fmt::Debug {
 
     /// Files with at least one partition on a dead worker.
     fn degraded_files(&self) -> Vec<u64>;
+
+    /// The fencing epoch table for workers `0..n` (0 = unregistered;
+    /// an empty vector over the wire means "unknown — do not fence").
+    fn worker_epochs(&self, n: usize) -> Vec<u64>;
+
+    /// Grants worker `w` a fresh fencing epoch and revives it (the
+    /// rejoin path). Returns the granted epoch, or 0 when the grant
+    /// could not be delivered over the wire.
+    fn register_worker(&self, w: usize) -> u64;
+
+    /// Tries to acquire the repair slot for file `id` (sweep/lazy
+    /// dedup). `false` = a repair is already in flight, do not heal.
+    /// Implementations that cannot reach the master answer `true`
+    /// (availability over strict dedup).
+    fn begin_repair(&self, id: u64) -> bool;
+
+    /// Releases the repair slot for file `id`.
+    fn end_repair(&self, id: u64);
 }
 
 impl MetaService for Master {
@@ -420,6 +534,22 @@ impl MetaService for Master {
 
     fn degraded_files(&self) -> Vec<u64> {
         Master::degraded_files(self)
+    }
+
+    fn worker_epochs(&self, n: usize) -> Vec<u64> {
+        Master::worker_epochs(self, n)
+    }
+
+    fn register_worker(&self, w: usize) -> u64 {
+        Master::register_worker(self, w)
+    }
+
+    fn begin_repair(&self, id: u64) -> bool {
+        Master::begin_repair(self, id)
+    }
+
+    fn end_repair(&self, id: u64) {
+        Master::end_repair(self, id)
     }
 }
 
@@ -585,6 +715,58 @@ mod tests {
         m.mark_dead(0);
         assert_eq!(m.live_workers(3), vec![1, 2]);
         assert!(m.is_alive(7), "unknown workers are presumed alive");
+    }
+
+    #[test]
+    fn epochs_fence_death_and_registration() {
+        let m = Master::new();
+        m.ensure_workers(3);
+        assert_eq!(m.worker_epochs(3), vec![0, 0, 0]);
+        // Registration grants the first epoch.
+        assert_eq!(m.register_worker(0), 1);
+        assert_eq!(m.register_worker(1), 1);
+        // Death bumps the epoch exactly once, even under repeated
+        // mark_dead calls from many error paths.
+        m.mark_dead(1);
+        m.mark_dead(1);
+        m.mark_dead(1);
+        assert_eq!(m.worker_epochs(3), vec![1, 2, 0]);
+        // The rejoin grants a fresh epoch strictly above every epoch
+        // the crashed incarnation could hold, and revives the worker.
+        assert!(!m.is_alive(1));
+        assert_eq!(m.register_worker(1), 3);
+        assert!(m.is_alive(1));
+        // Suspicion-ladder death also fences.
+        m.set_suspicion_threshold(2);
+        m.suspect(0);
+        m.suspect(0);
+        assert!(!m.is_alive(0));
+        assert_eq!(m.worker_epochs(3), vec![2, 3, 0]);
+    }
+
+    #[test]
+    fn configurable_suspicion_threshold() {
+        let m = Master::new();
+        m.ensure_workers(2);
+        m.set_suspicion_threshold(1);
+        m.suspect(0);
+        assert!(!m.is_alive(0), "threshold 1 kills on the first miss");
+        assert!(m.is_alive(1));
+    }
+
+    #[test]
+    fn repair_registry_dedups_concurrent_heals() {
+        let m = Master::new();
+        assert!(m.begin_repair(7), "first acquisition wins");
+        assert!(!m.begin_repair(7), "in-flight repair blocks a second");
+        assert!(m.repairing(7));
+        assert!(m.begin_repair(8), "other files are independent");
+        m.end_repair(7);
+        assert!(!m.repairing(7));
+        assert!(m.begin_repair(7), "released slot can be re-acquired");
+        // Only actual acquisitions are logged — the blocked attempt is
+        // not a heal.
+        assert_eq!(m.repair_history(), vec![7, 8, 7]);
     }
 
     #[test]

@@ -22,11 +22,13 @@ use crate::master::MetaService;
 use crate::rpc::{PartKey, Reply, Request, StoreError};
 use crate::transport::Transport;
 
-/// How long an executor waits on any single worker reply before giving
-/// the worker up as hung. Bounds every blocking call in a job, so a
-/// worker dying (or hanging) mid-repartition can never deadlock the
-/// executor fleet.
-const EXECUTOR_DEADLINE: Duration = Duration::from_secs(5);
+/// Default for how long an executor waits on any single worker reply
+/// before giving the worker up as hung. Bounds every blocking call in a
+/// job, so a worker dying (or hanging) mid-repartition can never
+/// deadlock the executor fleet. Override per-cluster with
+/// [`crate::config::StoreConfig::with_executor_deadline`] and the
+/// `*_with_deadline` entry points.
+pub const DEFAULT_EXECUTOR_DEADLINE: Duration = Duration::from_secs(5);
 
 /// Whether an error means "this worker is unavailable" (dead, hung, or
 /// unreachable) as opposed to a logic/metadata problem.
@@ -43,8 +45,9 @@ fn await_executor_reply(
     master: &dyn MetaService,
     server: usize,
     rx: &Receiver<Reply>,
+    deadline: Duration,
 ) -> Result<Reply, StoreError> {
-    match rx.recv_timeout(EXECUTOR_DEADLINE) {
+    match rx.recv_timeout(deadline) {
         Ok(Reply::Err(e)) => {
             if is_availability(&e) {
                 master.suspect(server);
@@ -74,6 +77,7 @@ fn call(
     transport: &dyn Transport,
     server: usize,
     req: Request,
+    deadline: Duration,
 ) -> Result<Reply, StoreError> {
     let rx = transport.submit(server, req).inspect_err(|e| {
         match e {
@@ -84,7 +88,7 @@ fn call(
             _ => {}
         }
     })?;
-    await_executor_reply(master, server, &rx)
+    await_executor_reply(master, server, &rx, deadline)
 }
 
 /// Pushes one shard to `server`, synchronously.
@@ -94,8 +98,16 @@ fn push_shard(
     server: usize,
     key: PartKey,
     shard: Bytes,
+    deadline: Duration,
 ) -> Result<(), StoreError> {
-    call(master, transport, server, Request::Put { key, data: shard })?.unit()
+    call(
+        master,
+        transport,
+        server,
+        Request::Put { key, data: shard },
+        deadline,
+    )?
+    .unit()
 }
 
 /// Executes one repartition job: pull old partitions, reassemble,
@@ -112,6 +124,7 @@ fn execute_job(
     file_id: u64,
     master: &dyn MetaService,
     transport: &dyn Transport,
+    deadline: Duration,
 ) -> Result<(), StoreError> {
     let (size, _) = master.peek(file_id)?;
 
@@ -124,7 +137,7 @@ fn execute_job(
         let req = Request::Get {
             key: PartKey::new(file_id, j as u32),
         };
-        shards.push(call(master, transport, server, req)?.bytes()?);
+        shards.push(call(master, transport, server, req, deadline)?.bytes()?);
     }
     let data = join_shards_bytes(&shards, size);
 
@@ -176,12 +189,21 @@ fn execute_job(
                     if targets[j] == server {
                         return Err(StoreError::WorkerDown(server));
                     }
-                    push_shard(master, transport, targets[j], key, new_shards[j].clone())?;
+                    push_shard(
+                        master,
+                        transport,
+                        targets[j],
+                        key,
+                        new_shards[j].clone(),
+                        deadline,
+                    )?;
                 }
             }
         }
         for (j, server, rx) in pending {
-            if let Err(e) = await_executor_reply(master, server, &rx).and_then(Reply::unit) {
+            if let Err(e) =
+                await_executor_reply(master, server, &rx, deadline).and_then(Reply::unit)
+            {
                 if is_availability(&e) {
                     substitute_targets(&mut targets, Some(server));
                     if targets[j] == server {
@@ -193,6 +215,7 @@ fn execute_job(
                         targets[j],
                         PartKey::new(file_id, j as u32).staged(),
                         new_shards[j].clone(),
+                        deadline,
                     )?;
                 } else {
                     return Err(e);
@@ -205,7 +228,12 @@ fn execute_job(
         // Abort: clear any staged keys (best effort) and leave the old
         // layout — still fully readable — in place.
         for (j, &server) in targets.iter().enumerate() {
-            discard(transport, server, PartKey::new(file_id, j as u32).staged());
+            discard(
+                transport,
+                server,
+                PartKey::new(file_id, j as u32).staged(),
+                deadline,
+            );
         }
         return Err(e);
     }
@@ -214,7 +242,7 @@ fn execute_job(
     // sequence as the online adjuster; a target dying inside this window
     // leaves the file degraded, which the under-store heal repairs.)
     for (j, &server) in job.old_servers.iter().enumerate() {
-        discard(transport, server, PartKey::new(file_id, j as u32));
+        discard(transport, server, PartKey::new(file_id, j as u32), deadline);
     }
     for (j, &server) in targets.iter().enumerate() {
         let key = PartKey::new(file_id, j as u32);
@@ -226,6 +254,7 @@ fn execute_job(
                 from: key.staged(),
                 to: key,
             },
+            deadline,
         )?
         .flag()?;
         debug_assert!(renamed, "staged partition vanished before commit");
@@ -234,9 +263,9 @@ fn execute_job(
 }
 
 /// Best-effort delete of one key; errors and dead workers are ignored.
-fn discard(transport: &dyn Transport, server: usize, key: PartKey) {
+fn discard(transport: &dyn Transport, server: usize, key: PartKey, deadline: Duration) {
     if let Ok(rx) = transport.submit(server, Request::Delete { key }) {
-        let _ = rx.recv_timeout(EXECUTOR_DEADLINE);
+        let _ = rx.recv_timeout(deadline);
     }
 }
 
@@ -247,7 +276,8 @@ fn discard(transport: &dyn Transport, server: usize, key: PartKey) {
 /// Jobs that hit a dead or hung worker are **skipped**, not fatal: a
 /// dead target is substituted inside [`execute_job`], and a dead source
 /// leaves the file degraded (recoverable only through the under-store).
-/// Every blocking wait is bounded by [`EXECUTOR_DEADLINE`], so a worker
+/// Every blocking wait is bounded by the executor deadline
+/// ([`DEFAULT_EXECUTOR_DEADLINE`] unless overridden), so a worker
 /// dying mid-repartition cannot deadlock the sweep. Skipped file ids
 /// are returned.
 ///
@@ -261,6 +291,23 @@ pub fn run_parallel(
     master: &dyn MetaService,
     transport: &dyn Transport,
 ) -> Result<Vec<u64>, StoreError> {
+    run_parallel_with_deadline(plan, ids, master, transport, DEFAULT_EXECUTOR_DEADLINE)
+}
+
+/// [`run_parallel`] with an explicit per-reply executor deadline
+/// (normally [`crate::config::StoreConfig::executor_deadline`]).
+///
+/// # Errors
+///
+/// Returns the first non-availability executor error (metadata
+/// inconsistencies and the like).
+pub fn run_parallel_with_deadline(
+    plan: &RepartitionPlan,
+    ids: &[u64],
+    master: &dyn MetaService,
+    transport: &dyn Transport,
+    deadline: Duration,
+) -> Result<Vec<u64>, StoreError> {
     let by_executor = plan.jobs_by_executor(transport.n_workers());
     let results: Vec<Result<Vec<u64>, StoreError>> = std::thread::scope(|s| {
         let handles: Vec<_> = by_executor
@@ -270,7 +317,7 @@ pub fn run_parallel(
                 s.spawn(move || {
                     let mut skipped = Vec::new();
                     for job in jobs {
-                        match execute_job(job, ids[job.file], master, transport) {
+                        match execute_job(job, ids[job.file], master, transport, deadline) {
                             Ok(()) => {}
                             Err(e) if is_availability(&e) => {
                                 skipped.push(ids[job.file]);
@@ -308,6 +355,21 @@ pub fn run_sequential(
     master: &dyn MetaService,
     transport: &dyn Transport,
 ) -> Result<(), StoreError> {
+    run_sequential_with_deadline(plan, ids, master, transport, DEFAULT_EXECUTOR_DEADLINE)
+}
+
+/// [`run_sequential`] with an explicit per-reply executor deadline.
+///
+/// # Errors
+///
+/// Returns the first error encountered.
+pub fn run_sequential_with_deadline(
+    plan: &RepartitionPlan,
+    ids: &[u64],
+    master: &dyn MetaService,
+    transport: &dyn Transport,
+    deadline: Duration,
+) -> Result<(), StoreError> {
     // Unchanged files are still collected and re-written in place (that is
     // what makes the strawman slow).
     for &i in &plan.unchanged {
@@ -318,7 +380,7 @@ pub fn run_sequential(
             let req = Request::Get {
                 key: PartKey::new(file_id, j as u32),
             };
-            shards.push(call(master, transport, server, req)?.bytes()?);
+            shards.push(call(master, transport, server, req, deadline)?.bytes()?);
         }
         let data = Bytes::from(join_shards_bytes(&shards, size));
         for (j, (&server, shard)) in servers
@@ -332,11 +394,12 @@ pub fn run_sequential(
                 server,
                 PartKey::new(file_id, j as u32),
                 shard,
+                deadline,
             )?;
         }
     }
     for job in &plan.jobs {
-        execute_job(job, ids[job.file], master, transport)?;
+        execute_job(job, ids[job.file], master, transport, deadline)?;
     }
     Ok(())
 }
@@ -525,6 +588,39 @@ mod tests {
         let (_, servers) = cluster.master().peek(0).unwrap();
         assert!(servers.iter().all(|&s| s != 3));
         assert_eq!(client.read_quiet(0).unwrap(), data);
+    }
+
+    #[test]
+    fn configured_deadline_bounds_waits_on_hung_sources() {
+        // Worker 0 (the only source) hangs for 3 s on its first data
+        // request. With a 50 ms executor deadline the pull must be
+        // abandoned in well under a second — proof the deadline is
+        // threaded through, not the 5 s default.
+        let cfg = StoreConfig::unthrottled(3)
+            .with_faults(crate::fault::FaultPlan::none().hang(0, 0, Duration::from_secs(3)));
+        let cluster = StoreCluster::spawn(cfg);
+        let client = cluster.client();
+        // Bypass the faulted data path for setup: write before spawning
+        // faults would still hit op 0, so write through worker 1 instead
+        // and plan a job sourced at the hung worker 0 artificially.
+        client.write(0, &payload(0, 2_000), &[1]).unwrap();
+        // Source the job at worker 0, which holds nothing and hangs.
+        let plan = manual_plan(vec![0], vec![1, 2], 3);
+        let t0 = std::time::Instant::now();
+        let skipped = run_parallel_with_deadline(
+            &plan,
+            &[0],
+            cluster.master().as_ref(),
+            cluster.transport().as_ref(),
+            Duration::from_millis(50),
+        )
+        .unwrap();
+        assert_eq!(skipped, vec![0], "hung source should skip the job");
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "deadline not applied: waited {:?}",
+            t0.elapsed()
+        );
     }
 
     #[test]

@@ -62,6 +62,19 @@ pub enum StoreError {
     /// malformed frame). Permanent: resending the same bytes would
     /// produce the same violation.
     Codec(String),
+    /// An epoch-fenced request and the worker's registered epoch
+    /// disagree: either the client stamped an epoch the worker has
+    /// outlived (client metadata stale — refresh and retry) or the
+    /// worker itself is a fenced zombie that must not serve. Retryable:
+    /// refreshing the epoch table from the master resolves the
+    /// client-side case, and the zombie case heals through recovery.
+    StaleEpoch(usize),
+    /// The file is degraded and its recovery is already in flight
+    /// elsewhere (sweep or another client's lazy repair); the operation
+    /// was shed under [`crate::config::DegradedPolicy::FastFail`].
+    /// Not retryable *by the issuing client's inner loop* — callers
+    /// decide whether to come back after the repair lands.
+    Degraded(u64),
 }
 
 impl StoreError {
@@ -76,6 +89,7 @@ impl StoreError {
                 | StoreError::WorkerDown(_)
                 | StoreError::Timeout(_)
                 | StoreError::Io(_)
+                | StoreError::StaleEpoch(_)
         )
     }
 
@@ -84,7 +98,10 @@ impl StoreError {
     /// reported but must not be fed into the worker health table.
     pub fn endpoint(&self) -> Option<usize> {
         match self {
-            StoreError::WorkerDown(w) | StoreError::Timeout(w) | StoreError::Io(w) => Some(*w),
+            StoreError::WorkerDown(w)
+            | StoreError::Timeout(w)
+            | StoreError::Io(w)
+            | StoreError::StaleEpoch(w) => Some(*w),
             _ => None,
         }
     }
@@ -107,6 +124,10 @@ impl std::fmt::Display for StoreError {
             }
             StoreError::Io(w) => write!(f, "i/o failure reaching worker {w}"),
             StoreError::Codec(msg) => write!(f, "wire protocol violation: {msg}"),
+            StoreError::StaleEpoch(w) => write!(f, "stale epoch fencing worker {w}"),
+            StoreError::Degraded(id) => {
+                write!(f, "file {id} is degraded with recovery in flight")
+            }
         }
     }
 }
@@ -173,19 +194,54 @@ pub enum Request {
     },
     /// Snapshot service counters.
     Stats,
-    /// Liveness probe: the worker echoes its id.
+    /// Liveness probe: the worker echoes its id and its current epoch.
     Ping,
     /// Graceful termination: the worker finishes every request queued
     /// before this one (FIFO drain), acknowledges with [`Reply::Done`],
     /// and exits. A TCP server closes its listener after the ack.
     Shutdown,
+    /// Control-plane epoch grant: the supervisor installs the epoch the
+    /// master assigned at registration. The worker adopts it and echoes
+    /// it in every subsequent `Pong`.
+    SetEpoch(u64),
+    /// An epoch-fenced data request: the client stamps the epoch it
+    /// believes the worker holds (from the master's epoch table). A
+    /// worker whose own epoch differs answers
+    /// [`StoreError::StaleEpoch`] instead of serving — a fenced zombie
+    /// can neither serve pre-crash partitions nor absorb writes meant
+    /// for its successor. `epoch == 0` is never stamped (0 means
+    /// "unregistered").
+    Fenced {
+        /// The epoch the client expects the worker to hold.
+        epoch: u64,
+        /// The wrapped data-path request (never control-plane).
+        inner: Box<Request>,
+    },
 }
 
 impl Request {
-    /// Whether the request is control-plane (`Stats`/`Ping`/`Shutdown`):
-    /// exempt from fault injection and op counting on every transport.
+    /// Whether the request is control-plane
+    /// (`Stats`/`Ping`/`Shutdown`/`SetEpoch`): exempt from fault
+    /// injection and op counting on every transport.
     pub fn is_control(&self) -> bool {
-        matches!(self, Request::Stats | Request::Ping | Request::Shutdown)
+        match self {
+            Request::Stats | Request::Ping | Request::Shutdown | Request::SetEpoch(_) => true,
+            Request::Fenced { inner, .. } => inner.is_control(),
+            _ => false,
+        }
+    }
+
+    /// Wraps a data request in an epoch fence (no-op for `epoch == 0`,
+    /// the "epoch unknown" sentinel, and for control requests).
+    pub fn fenced(self, epoch: u64) -> Request {
+        if epoch == 0 || self.is_control() {
+            self
+        } else {
+            Request::Fenced {
+                epoch,
+                inner: Box::new(self),
+            }
+        }
     }
 }
 
@@ -202,8 +258,14 @@ pub enum Reply {
     Flag(bool),
     /// Service counters (`Stats`).
     Stats(WorkerStats),
-    /// Liveness echo (`Ping`): the worker id.
-    Pong(usize),
+    /// Liveness echo (`Ping`): the worker id and its current epoch
+    /// (0 = not yet registered with the master).
+    Pong {
+        /// The worker id.
+        worker: usize,
+        /// The worker's current epoch.
+        epoch: u64,
+    },
     /// The request failed.
     Err(StoreError),
 }
@@ -272,8 +334,18 @@ impl Reply {
     /// The carried error, or [`StoreError::Codec`] on a mismatched
     /// variant.
     pub fn pong(self) -> Result<usize, StoreError> {
+        self.pong_epoch().map(|(w, _)| w)
+    }
+
+    /// Interprets the reply as a liveness echo with the worker's epoch.
+    ///
+    /// # Errors
+    ///
+    /// The carried error, or [`StoreError::Codec`] on a mismatched
+    /// variant.
+    pub fn pong_epoch(self) -> Result<(usize, u64), StoreError> {
         match self {
-            Reply::Pong(w) => Ok(w),
+            Reply::Pong { worker, epoch } => Ok((worker, epoch)),
             Reply::Err(e) => Err(e),
             other => Err(unexpected("Pong", &other)),
         }
@@ -321,6 +393,8 @@ mod tests {
         assert!(StoreError::Codec("bad version".into())
             .to_string()
             .contains("bad version"));
+        assert!(StoreError::StaleEpoch(3).to_string().contains("worker 3"));
+        assert!(StoreError::Degraded(5).to_string().contains("file 5"));
     }
 
     #[test]
@@ -330,10 +404,14 @@ mod tests {
         assert!(StoreError::Timeout(0).is_retryable());
         // Connection reset / refused are transient: retryable.
         assert!(StoreError::Io(0).is_retryable());
+        // A stale epoch resolves by refreshing the epoch table.
+        assert!(StoreError::StaleEpoch(0).is_retryable());
         // Metadata and protocol violations are permanent.
         assert!(!StoreError::UnknownFile(1).is_retryable());
         assert!(!StoreError::AlreadyExists(1).is_retryable());
         assert!(!StoreError::Codec("bad opcode".into()).is_retryable());
+        // Fast-fail shedding is a terminal answer for this attempt.
+        assert!(!StoreError::Degraded(1).is_retryable());
     }
 
     #[test]
@@ -347,7 +425,11 @@ mod tests {
     fn reply_accessors_enforce_variants() {
         assert!(Reply::Done.unit().is_ok());
         assert_eq!(Reply::Flag(true).flag(), Ok(true));
-        assert_eq!(Reply::Pong(7).pong(), Ok(7));
+        assert_eq!(Reply::Pong { worker: 7, epoch: 2 }.pong(), Ok(7));
+        assert_eq!(
+            Reply::Pong { worker: 7, epoch: 2 }.pong_epoch(),
+            Ok((7, 2))
+        );
         assert!(matches!(
             Reply::Done.bytes(),
             Err(StoreError::Codec(_))
@@ -361,7 +443,23 @@ mod tests {
         assert!(Request::Stats.is_control());
         assert!(Request::Ping.is_control());
         assert!(Request::Shutdown.is_control());
+        assert!(Request::SetEpoch(3).is_control());
         assert!(!Request::Get { key: PartKey::new(1, 0) }.is_control());
         assert!(!Request::Delete { key: PartKey::new(1, 0) }.is_control());
+        // A fence around a data request stays data-plane.
+        assert!(!Request::Get { key: PartKey::new(1, 0) }.fenced(2).is_control());
+    }
+
+    #[test]
+    fn fencing_wraps_only_data_requests_with_known_epochs() {
+        let get = Request::Get { key: PartKey::new(1, 0) };
+        assert!(matches!(
+            get.clone().fenced(4),
+            Request::Fenced { epoch: 4, .. }
+        ));
+        // Epoch 0 means "unknown": no fence, wire-identical to PR 3.
+        assert_eq!(get.clone().fenced(0), get);
+        // Control requests are never fenced.
+        assert_eq!(Request::Ping.fenced(4), Request::Ping);
     }
 }

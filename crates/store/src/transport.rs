@@ -116,7 +116,7 @@ mod tests {
         let (tx, rx) = crossbeam::channel::unbounded::<Envelope>();
         std::thread::spawn(move || {
             while let Ok(env) = rx.recv() {
-                let _ = env.reply.send(Reply::Pong(3));
+                let _ = env.reply.send(Reply::Pong { worker: 3, epoch: 0 });
             }
         });
         let t = ChannelTransport::new(vec![tx]);

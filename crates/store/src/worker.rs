@@ -107,10 +107,38 @@ pub fn spawn_worker_with_faults(
     script: WorkerScript,
     log: Arc<FaultLog>,
 ) -> WorkerHandle {
+    spawn_worker_with_scripts(
+        id,
+        bandwidth,
+        stragglers,
+        seed,
+        script,
+        WorkerScript::empty(),
+        log,
+    )
+}
+
+/// Spawns a worker with both fault scripts: `script` fires on the
+/// data-path op counter, `heartbeat_script` on the ping counter (see
+/// [`crate::fault::FaultPlan::heartbeat_script_for`]). The two counters
+/// are independent, so supervisor cadence never shifts a scripted data
+/// fault and vice versa.
+#[allow(clippy::too_many_arguments)]
+pub fn spawn_worker_with_scripts(
+    id: usize,
+    bandwidth: f64,
+    stragglers: StragglerModel,
+    seed: u64,
+    script: WorkerScript,
+    heartbeat_script: WorkerScript,
+    log: Arc<FaultLog>,
+) -> WorkerHandle {
     let (tx, rx) = crossbeam::channel::unbounded();
     let join = std::thread::Builder::new()
         .name(format!("spcache-worker-{id}"))
-        .spawn(move || worker_loop(id, rx, bandwidth, stragglers, seed, script, log))
+        .spawn(move || {
+            worker_loop(id, rx, bandwidth, stragglers, seed, script, heartbeat_script, log)
+        })
         .expect("failed to spawn worker thread");
     WorkerHandle {
         id,
@@ -127,6 +155,7 @@ fn worker_loop(
     stragglers: StragglerModel,
     seed: u64,
     mut script: WorkerScript,
+    mut heartbeat_script: WorkerScript,
     log: Arc<FaultLog>,
 ) {
     let mut store: HashMap<PartKey, Bytes> = HashMap::new();
@@ -134,12 +163,24 @@ fn worker_loop(
     let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
     let mut stats = WorkerStats::default();
     // Data-path op counter: faults trigger on this index. Control
-    // requests (Stats, Ping, Shutdown) do not advance it, so monitoring
-    // traffic never shifts a scripted fault.
+    // requests (Stats, Ping, SetEpoch, Shutdown) do not advance it, so
+    // monitoring traffic never shifts a scripted fault.
     let mut op: u64 = 0;
+    // Heartbeat (ping) counter — the separate trigger stream for
+    // DropHeartbeat faults.
+    let mut pings: u64 = 0;
+    // The epoch granted by the master at registration. 0 = unregistered:
+    // a fresh or crash-restarted worker bounces every fenced request
+    // until the supervisor adopts it with `SetEpoch`.
+    let mut epoch: u64 = 0;
+    // Reply senders of swallowed heartbeats, kept alive so the probing
+    // supervisor observes a *timeout* (→ suspicion ladder), not a
+    // disconnect (→ immediate death).
+    let mut swallowed_pings: Vec<crossbeam::channel::Sender<Reply>> = Vec::new();
 
     while let Ok(Envelope { req, reply }) = rx.recv() {
-        // Control-plane requests bypass fault injection entirely.
+        // Control-plane requests bypass fault injection entirely —
+        // except Ping, which consults the dedicated heartbeat script.
         match req {
             Request::Stats => {
                 stats.resident_parts = store.len();
@@ -147,7 +188,25 @@ fn worker_loop(
                 continue;
             }
             Request::Ping => {
-                let _ = reply.send(Reply::Pong(id));
+                let this_ping = pings;
+                pings += 1;
+                let mut dropped = false;
+                for action in heartbeat_script.fire(this_ping) {
+                    log.record(id, this_ping, action.clone());
+                    if matches!(action, FaultAction::DropHeartbeat) {
+                        dropped = true;
+                    }
+                }
+                if dropped {
+                    swallowed_pings.push(reply);
+                } else {
+                    let _ = reply.send(Reply::Pong { worker: id, epoch });
+                }
+                continue;
+            }
+            Request::SetEpoch(e) => {
+                epoch = e;
+                let _ = reply.send(Reply::Done);
                 continue;
             }
             Request::Shutdown => {
@@ -168,6 +227,7 @@ fn worker_loop(
         // keeping seeded fault logs identical across transports.
         let mut lose_reply = false;
         let mut crash = false;
+        let mut bounce_stale = false;
         let mut delay = Duration::ZERO;
         for action in script.fire(op) {
             log.record(id, op, action.clone());
@@ -182,6 +242,18 @@ fn worker_loop(
                 // reply: in-process that is exactly a lost reply.
                 FaultAction::DropConnection | FaultAction::TruncateFrame => lose_reply = true,
                 FaultAction::DelayFrame(pause) => delay += pause,
+                // Fast restart with a cold cache: everything cached is
+                // gone and the registration epoch resets; the thread
+                // keeps serving as the "restarted process".
+                FaultAction::CrashRestart => {
+                    store.clear();
+                    stats.resident_parts = 0;
+                    epoch = 0;
+                }
+                FaultAction::StaleEpochDelivery => bounce_stale = true,
+                // Heartbeat faults never appear in op-indexed scripts
+                // (FaultPlan::script_for filters them out).
+                FaultAction::DropHeartbeat => {}
             }
         }
         if crash {
@@ -189,7 +261,22 @@ fn worker_loop(
         }
         op += 1;
 
-        let out = serve(req, &mut store, &mut stats, &mut nic, &stragglers, &mut rng, bandwidth);
+        // Epoch fencing runs *after* fault injection and the op-counter
+        // bump, so a bounced request advances the counter identically on
+        // both transports and scripted faults stay aligned.
+        let fenced_mismatch = matches!(
+            &req,
+            Request::Fenced { epoch: stamped, .. } if *stamped != epoch
+        );
+        let out = if bounce_stale || fenced_mismatch {
+            Reply::Err(StoreError::StaleEpoch(id))
+        } else {
+            let req = match req {
+                Request::Fenced { inner, .. } => *inner,
+                r => r,
+            };
+            serve(req, &mut store, &mut stats, &mut nic, &stragglers, &mut rng, bandwidth)
+        };
         if delay > Duration::ZERO {
             std::thread::sleep(delay);
         }
@@ -274,8 +361,13 @@ fn serve(
             stats.resident_parts = store.len();
             Reply::Flag(removed)
         }
-        // Control requests were handled before fault injection.
-        Request::Stats | Request::Ping | Request::Shutdown => {
+        // Control requests were handled before fault injection, and
+        // Fenced wrappers are unwrapped before serve().
+        Request::Stats
+        | Request::Ping
+        | Request::SetEpoch(_)
+        | Request::Shutdown
+        | Request::Fenced { .. } => {
             unreachable!("control requests are served before the data path")
         }
     }
@@ -381,6 +473,38 @@ mod tests {
     }
 
     #[test]
+    fn second_queued_shutdown_disconnects_instead_of_hanging() {
+        // The double-shutdown race: a server front end forwards a
+        // Shutdown and, once acked, calls `WorkerHandle::shutdown`,
+        // which queues a *second* Shutdown envelope. The worker loop
+        // breaks on the first without serving the second — the queued
+        // envelope (and the reply sender inside it) must be destroyed
+        // with the worker's receiver so the second waiter observes a
+        // disconnect, never an indefinite block.
+        let h = spawn_worker(0, f64::INFINITY, StragglerModel::none(), 1);
+        let (tx1, rx1) = bounded(1);
+        let (tx2, rx2) = bounded(1);
+        h.sender()
+            .send(Envelope { req: Request::Shutdown, reply: tx1 })
+            .unwrap();
+        // The worker may already have served the first Shutdown and
+        // dropped its receiver — then this send fails outright, which is
+        // the same observable: the second waiter is told "disconnected"
+        // instead of blocking forever.
+        let second = h.sender().send(Envelope { req: Request::Shutdown, reply: tx2 });
+        assert_eq!(rx1.recv_timeout(Duration::from_secs(5)).unwrap(), Reply::Done);
+        if second.is_ok() {
+            assert!(
+                matches!(
+                    rx2.recv_timeout(Duration::from_secs(5)),
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected)
+                ),
+                "unserved shutdown must disconnect, not hang"
+            );
+        }
+    }
+
+    #[test]
     fn shutdown_drains_queued_requests_first() {
         // Requests enqueued before the shutdown envelope are all served
         // (FIFO drain) — nothing in flight is lost.
@@ -448,5 +572,119 @@ mod tests {
         assert_eq!(snap.len(), 2);
         assert_eq!(snap[0].action, FaultAction::DropConnection);
         assert_eq!(snap[1].action, FaultAction::DelayFrame(Duration::from_millis(60)));
+    }
+
+    #[test]
+    fn epoch_fencing_bounces_mismatched_stamps() {
+        let h = spawn_worker(3, f64::INFINITY, StragglerModel::none(), 1);
+        // Unregistered worker reports epoch 0 and serves unfenced traffic.
+        assert_eq!(call(&h, Request::Ping).pong_epoch().unwrap(), (3, 0));
+        put(&h, PartKey::new(1, 0), b"pre");
+        // Fenced request against epoch-0 worker bounces.
+        let fenced = Request::Get {
+            key: PartKey::new(1, 0),
+        }
+        .fenced(5);
+        assert_eq!(
+            call(&h, fenced).bytes(),
+            Err(StoreError::StaleEpoch(3))
+        );
+        // Adopt the worker at epoch 5: the same fenced request now serves.
+        assert_eq!(call(&h, Request::SetEpoch(5)), Reply::Done);
+        assert_eq!(call(&h, Request::Ping).pong_epoch().unwrap(), (3, 5));
+        let fenced = Request::Get {
+            key: PartKey::new(1, 0),
+        }
+        .fenced(5);
+        assert_eq!(call(&h, fenced).bytes().unwrap().as_ref(), b"pre");
+        // A stale stamp (pre-death epoch) is rejected after re-adoption.
+        assert_eq!(call(&h, Request::SetEpoch(6)), Reply::Done);
+        let stale = Request::Get {
+            key: PartKey::new(1, 0),
+        }
+        .fenced(5);
+        assert_eq!(call(&h, stale).bytes(), Err(StoreError::StaleEpoch(3)));
+    }
+
+    #[test]
+    fn crash_restart_clears_cache_and_resets_epoch() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan::none().crash_restart(0, 2);
+        let log = Arc::new(FaultLog::new());
+        let h = spawn_worker_with_faults(
+            0,
+            f64::INFINITY,
+            StragglerModel::none(),
+            1,
+            plan.script_for(0),
+            Arc::clone(&log),
+        );
+        assert_eq!(call(&h, Request::SetEpoch(4)), Reply::Done);
+        put(&h, PartKey::new(1, 0), b"gone"); // op 0
+        put(&h, PartKey::new(1, 1), b"gone"); // op 1
+        // Op 2 fires CrashRestart before serving: cache wiped, epoch 0,
+        // and the request that triggered it is served on the cold cache.
+        assert_eq!(
+            get(&h, PartKey::new(1, 0)),
+            Err(StoreError::NotFound(PartKey::new(1, 0)))
+        );
+        assert_eq!(call(&h, Request::Ping).pong_epoch().unwrap(), (0, 0));
+        // Fenced traffic bounces until a new SetEpoch adopts it.
+        let fenced = Request::Get {
+            key: PartKey::new(1, 1),
+        }
+        .fenced(4);
+        assert_eq!(call(&h, fenced).bytes(), Err(StoreError::StaleEpoch(0)));
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].action, FaultAction::CrashRestart);
+        assert_eq!(snap[0].op, 2);
+    }
+
+    #[test]
+    fn dropped_heartbeat_times_out_without_disconnecting() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan::none().drop_heartbeat(0, 1).stale_epoch(0, 0);
+        let log = Arc::new(FaultLog::new());
+        let h = spawn_worker_with_scripts(
+            0,
+            f64::INFINITY,
+            StragglerModel::none(),
+            1,
+            plan.data_script_for(0),
+            plan.heartbeat_script_for(0),
+            Arc::clone(&log),
+        );
+        // Ping 0 answers normally.
+        assert_eq!(call(&h, Request::Ping).pong_epoch().unwrap(), (0, 0));
+        // Ping 1 is swallowed: the probe *times out* (sender stays alive
+        // → no disconnect), modelling a lost heartbeat, not a death.
+        let (tx, rx) = bounded(1);
+        h.sender()
+            .send(Envelope {
+                req: Request::Ping,
+                reply: tx,
+            })
+            .unwrap();
+        assert!(
+            rx.recv_timeout(Duration::from_millis(40)).is_err(),
+            "swallowed ping must not be answered"
+        );
+        // Ping 2 answers again — the worker is alive throughout.
+        assert_eq!(call(&h, Request::Ping).pong_epoch().unwrap(), (0, 0));
+        // Data op 0 bounces with StaleEpochDelivery; the ping counter
+        // and op counter are independent streams.
+        assert_eq!(
+            get(&h, PartKey::new(9, 9)),
+            Err(StoreError::StaleEpoch(0))
+        );
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(snap
+            .iter()
+            .any(|r| r.action == FaultAction::DropHeartbeat && r.op == 1));
+        assert!(snap
+            .iter()
+            .any(|r| r.action == FaultAction::StaleEpochDelivery && r.op == 0));
     }
 }

@@ -185,7 +185,19 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.core.lock().receiver_alive = false;
+            // Match real crossbeam: dropping the receiver discards every
+            // queued message. Anything nested inside them (e.g. a reply
+            // `Sender` in a queued request envelope) is dropped too, so
+            // parties blocked on those nested channels observe a
+            // disconnect instead of waiting forever. The messages are
+            // dropped *outside* the lock — their `Drop` impls may take
+            // other channel locks.
+            let discarded = {
+                let mut inner = self.core.lock();
+                inner.receiver_alive = false;
+                std::mem::take(&mut inner.queue)
+            };
+            drop(discarded);
         }
     }
 
@@ -510,6 +522,23 @@ mod tests {
         let mut got: Vec<u64> = rx.iter().collect();
         got.sort_unstable();
         assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn receiver_drop_discards_queued_messages() {
+        // Crossbeam semantics: dropping the receiver destroys what was
+        // queued. A reply sender nested in a queued message must
+        // disconnect its receiver — the pattern behind request
+        // envelopes whose serving loop exits with requests still queued.
+        let (tx, rx) = unbounded();
+        let (reply_tx, reply_rx) = bounded::<u8>(1);
+        tx.send(reply_tx).unwrap();
+        drop(rx);
+        assert_eq!(
+            reply_rx.recv_timeout(Duration::from_secs(5)).unwrap_err(),
+            RecvTimeoutError::Disconnected,
+            "queued reply sender must be dropped with the receiver"
+        );
     }
 
     #[test]
