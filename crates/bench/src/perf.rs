@@ -49,7 +49,9 @@ use spcache_store::{StoreCluster, StoreConfig, StoreError};
 /// loopback-TCP variants (`tcp_write`, `tcp_read`, `tcp_read_scattered`)
 /// and the `tcp_read_slowdown` / `tcp_write_slowdown` point summaries.
 /// v3 adds the `recovery` variant (supervisor sweep time-to-heal).
-pub const SCHEMA: &str = "spcache-bench-store/v3";
+/// v4 adds the `tcp_scattered_slowdown` point summary (wire cost of the
+/// zero-copy read path, priced by the readiness-driven event loop).
+pub const SCHEMA: &str = "spcache-bench-store/v4";
 
 /// Files the `recovery` variant loses per sweep: every one holds a
 /// partition on the killed worker, so one sweep re-materializes
@@ -130,6 +132,10 @@ pub struct PointResult {
     pub tcp_read_slowdown: f64,
     /// Wire cost of a write (`write / tcp_write`).
     pub tcp_write_slowdown: f64,
+    /// Wire cost of the zero-copy read path
+    /// (`read_scattered / tcp_read_scattered`): how much the socket +
+    /// codec round trip costs when neither side copies payload bytes.
+    pub tcp_scattered_slowdown: f64,
 }
 
 /// A full harness run.
@@ -465,6 +471,7 @@ pub fn run_point(point: GridPoint) -> PointResult {
         write_speedup: thpt("write_bytes") / thpt("legacy_write"),
         tcp_read_slowdown: thpt("read") / thpt("tcp_read"),
         tcp_write_slowdown: thpt("write") / thpt("tcp_write"),
+        tcp_scattered_slowdown: thpt("read_scattered") / thpt("tcp_read_scattered"),
         point,
         variants,
     }
@@ -546,6 +553,10 @@ pub fn report_to_json(report: &PerfReport, machine: &str) -> String {
             "      \"tcp_write_slowdown\": {},\n",
             json_f64(p.tcp_write_slowdown)
         ));
+        out.push_str(&format!(
+            "      \"tcp_scattered_slowdown\": {},\n",
+            json_f64(p.tcp_scattered_slowdown)
+        ));
         out.push_str("      \"variants\": [\n");
         for (j, v) in p.variants.iter().enumerate() {
             out.push_str(&format!(
@@ -598,6 +609,7 @@ pub fn validate_report_json(json: &str) -> Result<(), String> {
         "\"write_speedup\"",
         "\"tcp_read_slowdown\"",
         "\"tcp_write_slowdown\"",
+        "\"tcp_scattered_slowdown\"",
         "\"variants\"",
         "\"ops_per_sec\"",
         "\"mbytes_per_sec\"",
@@ -622,6 +634,7 @@ pub fn validate_report_json(json: &str) -> Result<(), String> {
         "\"write_speedup\": ",
         "\"tcp_read_slowdown\": ",
         "\"tcp_write_slowdown\": ",
+        "\"tcp_scattered_slowdown\": ",
     ] {
         for (found, chunk) in json.match_indices(metric) {
             let rest = &json[found + metric.len()..];
@@ -668,9 +681,21 @@ pub fn machine_descriptor() -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// The harness times wall clock, so tests that spin up clusters must
+    /// not share the machine with each other — the test runner's default
+    /// parallelism would turn scheduler contention into phantom
+    /// regressions on small CI boxes.
+    static TIMING: Mutex<()> = Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        TIMING.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     #[test]
     fn quick_grid_runs_and_emits_valid_json() {
+        let _serial = serial();
         let grid = default_grid(true);
         let report = run_grid(&grid, true);
         assert_eq!(report.points.len(), 1);
@@ -680,6 +705,7 @@ mod tests {
 
     #[test]
     fn validation_rejects_broken_reports() {
+        let _serial = serial();
         assert!(validate_report_json("{}").is_err());
         let grid = default_grid(true);
         let report = run_grid(&grid, true);
@@ -689,6 +715,62 @@ mod tests {
         assert!(validate_report_json(&bad).is_err());
         let bad = json.replace(&format!("\"schema\": \"{SCHEMA}\""), "\"schema\": \"other\"");
         assert!(validate_report_json(&bad).is_err());
+    }
+
+    /// Tier-1 regression gate for the contiguous read path: `read` must
+    /// stay within 10% of `legacy_read`. The scatter-on-arrival sink
+    /// overlaps the single materializing copy with the network wait, so
+    /// a healthy build clears 0.9 easily — but only once files are big
+    /// enough that copy time dominates the select-join's fixed per-op
+    /// overhead, hence a 16 MB gate point rather than the 4 MB quick
+    /// point (where both builds sit near ×0.7 by design).
+    ///
+    /// Measured as an interleaved A/B rather than via [`run_point`]: the
+    /// two variants alternate iteration by iteration inside one cluster,
+    /// so scheduler noise from sibling tests lands on both sides of the
+    /// ratio equally. Best-of-3 over whole loops keeps one unlucky
+    /// window from flaking the gate.
+    #[test]
+    fn contiguous_read_does_not_regress_against_legacy() {
+        let _serial = serial();
+        let point = GridPoint {
+            file_bytes: 16 << 20,
+            k: 8,
+            workers: 4,
+            nic_bytes_per_sec: f64::INFINITY,
+            iters: 8,
+        };
+        let data = payload(point.file_bytes);
+        let servers = placement(point.k, point.workers);
+        let cluster = StoreCluster::spawn(StoreConfig::unthrottled(point.workers));
+        let client = cluster.client();
+        let transport = cluster.transport().clone();
+        client
+            .write_bytes(1, Bytes::from(data.clone()), &servers)
+            .expect("gate seed write");
+
+        let speedup_once = || {
+            // Warm both paths (page faults, lazily-grown buffers).
+            legacy_read(transport.as_ref(), 1, data.len(), &servers).expect("warm legacy");
+            client.read_quiet(1).expect("warm read");
+            let (mut t_legacy, mut t_read) = (0.0f64, 0.0f64);
+            for _ in 0..point.iters {
+                let t = Instant::now();
+                legacy_read(transport.as_ref(), 1, data.len(), &servers).expect("legacy read");
+                t_legacy += t.elapsed().as_secs_f64();
+                let t = Instant::now();
+                client.read_quiet(1).expect("read");
+                t_read += t.elapsed().as_secs_f64();
+            }
+            t_legacy / t_read
+        };
+        let best = (0..3).map(|_| speedup_once()).fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            best >= 0.9,
+            "contiguous read regressed: read/legacy_read = {best:.3} < 0.9 \
+             (best of 3 at {})",
+            point.label()
+        );
     }
 
     #[test]

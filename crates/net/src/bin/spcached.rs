@@ -2,12 +2,17 @@
 //!
 //! ```text
 //! spcached worker --id N --bind ADDR [--seed S] [--bandwidth B]
+//!                 [--io-shards N]
 //! spcached master --bind ADDR --workers ADDR1,ADDR2,...
 //!                 [--no-supervisor] [--heartbeat-ms MS]
 //! ```
 //!
 //! Both roles print `LISTEN <addr>` on stdout once bound (port 0 picks
 //! an ephemeral port), then serve until they receive a shutdown RPC.
+//!
+//! Workers serve all their connections from readiness event loops —
+//! one I/O shard (loop thread) per core by default, each multiplexing
+//! N connections; `--io-shards` overrides the shard count.
 //!
 //! Master mode runs the self-healing supervisor loop (DESIGN.md §4.11)
 //! **by default**: it heartbeats the worker fleet, fences crash-restarted
@@ -28,7 +33,8 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  spcached worker --id N --bind ADDR [--seed S] [--bandwidth B]\n  \
+        "usage:\n  spcached worker --id N --bind ADDR [--seed S] [--bandwidth B] \
+         [--io-shards N]\n  \
          spcached master --bind ADDR --workers ADDR1,ADDR2,... \
          [--no-supervisor] [--heartbeat-ms MS]"
     );
@@ -68,11 +74,15 @@ fn run_worker(args: &[String]) {
     if let Some(bw) = flag_value(args, "--bandwidth") {
         cfg.bandwidth = parse("--bandwidth", &bw);
     }
-    let server = WorkerServer::spawn(id, &bind, &cfg, Arc::new(FaultLog::new()))
-        .unwrap_or_else(|e| {
-            eprintln!("spcached: cannot bind {bind}: {e}");
-            exit(1);
-        });
+    let log = Arc::new(FaultLog::new());
+    let server = match flag_value(args, "--io-shards") {
+        Some(n) => WorkerServer::spawn_sharded(id, &bind, &cfg, log, parse("--io-shards", &n)),
+        None => WorkerServer::spawn(id, &bind, &cfg, log),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("spcached: cannot bind {bind}: {e}");
+        exit(1);
+    });
     println!("LISTEN {}", server.addr());
     server.join();
 }

@@ -23,6 +23,7 @@
 //! returns [`StoreError::Codec`] (a *permanent* error — resending the
 //! same bytes reproduces the violation) with bounds-checked cursors.
 
+use crate::poll::WireFrame;
 use bytes::Bytes;
 use spcache_store::rpc::{PartKey, Reply, Request, StoreError, WorkerStats};
 use std::io::{self, Read, Write};
@@ -278,6 +279,55 @@ impl FrameBuilder {
         assert!(len <= MAX_FRAME, "frame exceeds MAX_FRAME");
         self.out[..4].copy_from_slice(&len.to_le_bytes());
         self.out
+    }
+
+    /// Finishes into a [`WireFrame`] whose payload tail is the given
+    /// zero-copy `Bytes` — the length prefix counts the payload but
+    /// the bytes are never appended to the header buffer, so bulk
+    /// data rides to the socket via `writev` without a memcpy.
+    pub(crate) fn finish_parts(mut self, payload: Bytes) -> WireFrame {
+        let len = (self.out.len() - 4 + payload.len()) as u32;
+        assert!(len <= MAX_FRAME, "frame exceeds MAX_FRAME");
+        self.out[..4].copy_from_slice(&len.to_le_bytes());
+        WireFrame {
+            header: self.out,
+            payload: Some(payload),
+        }
+    }
+}
+
+/// Encodes a request as a [`WireFrame`] for the vectored write path:
+/// `Put` payloads (plain or fenced) become zero-copy `Bytes` tails;
+/// every other request is contiguous (their bodies are a few fixed
+/// fields, not bulk data).
+pub fn encode_request_parts(req: &Request, req_id: u64) -> WireFrame {
+    match req {
+        Request::Put { key, data } => FrameBuilder::new(OP_PUT, req_id)
+            .key(*key)
+            .finish_parts(data.clone()),
+        Request::Fenced { epoch, inner } => match &**inner {
+            // The fenced body embeds the inner frame minus its length
+            // prefix; for a fenced Put the inner header is appended to
+            // the outer one and the payload still rides zero-copy.
+            Request::Put { key, data } => FrameBuilder::new(OP_FENCED, req_id)
+                .u64(*epoch)
+                .u8(WIRE_VERSION)
+                .u8(OP_PUT)
+                .u64(req_id)
+                .key(*key)
+                .finish_parts(data.clone()),
+            _ => WireFrame::contiguous(encode_request(req, req_id)),
+        },
+        _ => WireFrame::contiguous(encode_request(req, req_id)),
+    }
+}
+
+/// Encodes a reply as a [`WireFrame`]: `Data` payloads become
+/// zero-copy `Bytes` tails, everything else is contiguous.
+pub fn encode_reply_parts(reply: &Reply, req_id: u64) -> WireFrame {
+    match reply {
+        Reply::Data(d) => FrameBuilder::new(OP_R_DATA, req_id).finish_parts(d.clone()),
+        _ => WireFrame::contiguous(encode_reply(reply, req_id)),
     }
 }
 
@@ -639,6 +689,51 @@ mod tests {
         let buf_range = buf.as_ref().as_ptr() as usize..buf.as_ref().as_ptr() as usize + buf.len();
         assert!(buf_range.contains(&(got.as_ref().as_ptr() as usize)));
         assert_eq!(got, data);
+    }
+
+    #[test]
+    fn parts_encoders_match_contiguous_encoders_byte_for_byte() {
+        let key = PartKey::new(11, 4);
+        let data = Bytes::from(vec![0xEE; 9000]);
+        let requests = [
+            Request::Put {
+                key,
+                data: data.clone(),
+            },
+            Request::Get { key },
+            Request::Fenced {
+                epoch: 42,
+                inner: Box::new(Request::Put {
+                    key,
+                    data: data.clone(),
+                }),
+            },
+            Request::Fenced {
+                epoch: 42,
+                inner: Box::new(Request::Delete { key }),
+            },
+            Request::Shutdown,
+        ];
+        for req in &requests {
+            let parts = encode_request_parts(req, 123);
+            assert_eq!(parts.to_contiguous(), encode_request(req, 123), "{req:?}");
+        }
+        let replies = [
+            Reply::Data(data.clone()),
+            Reply::Data(Bytes::from(Vec::new())),
+            Reply::Done,
+            Reply::Err(StoreError::Timeout(3)),
+        ];
+        for reply in &replies {
+            let parts = encode_reply_parts(reply, 9);
+            assert_eq!(parts.to_contiguous(), encode_reply(reply, 9), "{reply:?}");
+        }
+        // Bulk payloads really are zero-copy: same backing allocation.
+        let parts = encode_reply_parts(&Reply::Data(data.clone()), 9);
+        assert_eq!(
+            parts.payload.as_ref().unwrap().as_ref().as_ptr(),
+            data.as_ref().as_ptr()
+        );
     }
 
     #[test]

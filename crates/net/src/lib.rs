@@ -10,13 +10,19 @@
 //!
 //! * [`frame`] — the length-prefixed binary codec (hand-rolled on
 //!   [`bytes::Bytes`], zero-copy on receive; DESIGN.md §4.10),
-//! * [`tcp::TcpTransport`] — the client side: one pooled connection per
-//!   worker with per-connection request-id multiplexing and
-//!   `RetryPolicy`-derived socket deadlines,
-//! * [`server::WorkerServer`] — the `spcached` worker: a TCP front end
-//!   over the store's channel worker, including wire-level fault
-//!   injection (dropped connections, delayed and truncated frames) and
-//!   graceful drain-then-exit shutdown,
+//! * [`poll`] — the event-loop building blocks (DESIGN.md §4.12): an
+//!   incremental [`poll::FrameReader`] for non-blocking sockets, a
+//!   batching [`poll::WriteQueue`] that gathers pipelined frames into
+//!   single `writev` calls, and a [`poll::Timers`] deadline heap,
+//! * [`tcp::TcpTransport`] — the client side: readiness-driven shard
+//!   loops multiplexing every worker connection, with per-connection
+//!   request-id multiplexing, frame batching and
+//!   `RetryPolicy`-derived poller timers,
+//! * [`server::WorkerServer`] — the `spcached` worker: a sharded
+//!   event-loop TCP front end over the store's channel worker,
+//!   including wire-level fault injection (dropped connections,
+//!   delayed and truncated frames) and graceful drain-then-exit
+//!   shutdown,
 //! * [`master_net`] — the master protocol: [`master_net::MasterServer`]
 //!   serving metadata plus a one-RPC cluster `Rebalance`, and
 //!   [`master_net::MasterClient`], a wire-backed `MetaService`,
@@ -31,6 +37,7 @@
 pub mod frame;
 pub mod loopback;
 pub mod master_net;
+pub mod poll;
 pub mod server;
 pub mod tcp;
 

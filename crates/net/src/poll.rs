@@ -1,0 +1,836 @@
+//! Event-loop plumbing shared by the TCP client and servers: an
+//! incremental frame decoder for non-blocking sockets, a vectored
+//! write queue that batches many frames into one `writev` syscall,
+//! and a deadline timer heap.
+//!
+//! These three pieces are deliberately free of any socket ownership or
+//! threading policy — the readiness loops in [`crate::tcp`],
+//! [`crate::server`] and [`crate::master_net`] compose them around a
+//! [`mio::Poll`] instance. Keeping them standalone makes the decoder
+//! and write queue testable against plain in-memory readers/writers
+//! (the codec proptests drive [`FrameReader`] with adversarial split
+//! points without a socket in sight).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::io::{self, Read, Write};
+use std::os::fd::AsFd;
+use std::time::Instant;
+
+use bytes::Bytes;
+
+use crate::frame::{HEADER_LEN, MAX_FRAME};
+
+/// Read granularity of [`FrameReader`]: one `read` syscall fills at
+/// most this many bytes, and frames that fit entirely inside a single
+/// chunk are returned as zero-copy slices of it.
+pub const READ_CHUNK: usize = 64 * 1024;
+
+/// Upper bound on iovecs handed to a single `writev` call. Linux
+/// accepts up to `IOV_MAX` (1024); 64 keeps the stack array small
+/// while still coalescing dozens of pipelined frames per syscall.
+const MAX_IOV: usize = 64;
+
+// ---------------------------------------------------------------------------
+// FrameReader: incremental non-blocking frame decoder
+// ---------------------------------------------------------------------------
+
+/// What [`FrameReader::pump`] observed about the connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PumpStatus {
+    /// The socket would block (or the pump budget was exhausted); more
+    /// frames may arrive later.
+    Open,
+    /// Clean EOF at a frame boundary — the peer closed between
+    /// messages.
+    Closed,
+}
+
+/// A frame whose length is known but whose body is still arriving; the
+/// remainder is read straight into the exact-size buffer, so a frame
+/// spanning many chunks costs one kernel→user copy total.
+///
+/// The buffer grows in zeroed steps of [`FILL_STEP`] just ahead of the
+/// read cursor instead of being zeroed to `len` up front: for
+/// multi-megabyte frames an up-front `vec![0; len]` pays a full
+/// memset pass whenever the allocator recycles a dirty block, one
+/// extra sweep over every payload byte received.
+struct Partial {
+    /// Target body length.
+    len: usize,
+    /// Body bytes received so far; `buf.len()` ≥ `filled` always.
+    filled: usize,
+    buf: Vec<u8>,
+}
+
+/// Zeroed-growth step for [`Partial`] buffers (must be ≥ 1). Larger
+/// than [`READ_CHUNK`]: once a frame's length is known, each `read`
+/// may drain up to a full socket buffer in one syscall, while the step
+/// stays small enough that the zero-then-overwrite window is still
+/// cache-resident.
+const FILL_STEP: usize = 1 << 20;
+
+impl Partial {
+    fn with_capacity(len: usize) -> Self {
+        Partial {
+            len,
+            filled: 0,
+            buf: Vec::with_capacity(len),
+        }
+    }
+
+    /// Appends the next `data` bytes of the body (caller guarantees it
+    /// fits). Returns the completed body when `len` is reached.
+    fn extend(&mut self, data: &[u8]) -> Option<Vec<u8>> {
+        debug_assert!(self.filled + data.len() <= self.len);
+        self.buf.truncate(self.filled);
+        self.buf.extend_from_slice(data);
+        self.filled += data.len();
+        self.complete()
+    }
+
+    /// The zeroed, not-yet-filled window the next `read` may land in.
+    fn window(&mut self) -> &mut [u8] {
+        let grow = (self.filled + FILL_STEP).min(self.len);
+        if self.buf.len() < grow {
+            self.buf.resize(grow, 0);
+        }
+        &mut self.buf[self.filled..]
+    }
+
+    /// Marks `n` bytes of the window as filled; returns the completed
+    /// body when `len` is reached.
+    fn advance(&mut self, n: usize) -> Option<Vec<u8>> {
+        self.filled += n;
+        debug_assert!(self.filled <= self.buf.len());
+        self.complete()
+    }
+
+    fn complete(&mut self) -> Option<Vec<u8>> {
+        if self.filled == self.len {
+            let mut buf = std::mem::take(&mut self.buf);
+            buf.truncate(self.len);
+            Some(buf)
+        } else {
+            None
+        }
+    }
+}
+
+/// Incremental decoder for the length-prefixed wire framing, built for
+/// non-blocking sockets: each [`pump`](FrameReader::pump) call drains
+/// whatever the kernel has buffered and appends every completed frame
+/// (the bytes *after* the length prefix, same contract as
+/// [`crate::frame::read_frame`]) to the caller's vector.
+///
+/// Copy discipline: frames wholly contained in one read chunk are
+/// zero-copy [`Bytes::slice`] views of that chunk; a frame straddling
+/// a chunk boundary is completed into an exact-size buffer filled
+/// directly by subsequent `read` calls. Partial length prefixes (< 4
+/// bytes at a chunk tail) are the only bytes ever re-buffered.
+#[derive(Default)]
+pub struct FrameReader {
+    /// 0–3 bytes of a length prefix split across reads.
+    prefix: Vec<u8>,
+    /// In-progress frame body that did not fit its origin chunk.
+    partial: Option<Partial>,
+}
+
+impl FrameReader {
+    /// New decoder with no buffered state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if a frame (or its length prefix) is partially buffered —
+    /// EOF now would be mid-message, not a clean close.
+    pub fn mid_frame(&self) -> bool {
+        !self.prefix.is_empty() || self.partial.is_some()
+    }
+
+    /// Reads from `r` until it would block (or EOF), appending every
+    /// completed frame to `out`.
+    ///
+    /// `WouldBlock` is not an error — it ends the pump with
+    /// [`PumpStatus::Open`]. `Interrupted` reads are retried.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` when a length prefix is below the minimum header
+    /// size or above [`MAX_FRAME`]; `UnexpectedEof` when the stream
+    /// ends mid-frame; any other I/O error from `r`.
+    pub fn pump(&mut self, r: &mut impl Read, out: &mut Vec<Bytes>) -> io::Result<PumpStatus> {
+        loop {
+            // Finish an in-progress oversized/straddling frame first:
+            // its remainder reads straight into the exact buffer.
+            if let Some(p) = &mut self.partial {
+                match r.read(p.window()) {
+                    Ok(0) => return Err(eof_mid_frame()),
+                    Ok(n) => {
+                        if let Some(body) = p.advance(n) {
+                            self.partial = None;
+                            out.push(Bytes::from(body));
+                        }
+                        continue;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        return Ok(PumpStatus::Open)
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+
+            let mut chunk = vec![0u8; READ_CHUNK];
+            let n = match r.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.mid_frame() {
+                        Err(eof_mid_frame())
+                    } else {
+                        Ok(PumpStatus::Closed)
+                    }
+                }
+                Ok(n) => n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(PumpStatus::Open),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            chunk.truncate(n);
+            let chunk = Bytes::from(chunk);
+            self.scan_chunk(&chunk, out)?;
+        }
+    }
+
+    /// Splits one freshly read chunk into complete frames (zero-copy
+    /// slices) plus at most one trailing partial frame or prefix.
+    fn scan_chunk(&mut self, chunk: &Bytes, out: &mut Vec<Bytes>) -> io::Result<()> {
+        let mut pos = 0;
+
+        // A split length prefix from the previous chunk comes first.
+        if !self.prefix.is_empty() {
+            let need = 4 - self.prefix.len();
+            let take = need.min(chunk.len());
+            self.prefix.extend_from_slice(&chunk[..take]);
+            pos = take;
+            if self.prefix.len() < 4 {
+                return Ok(()); // still mid-prefix; wait for more bytes
+            }
+            let len = frame_len(&self.prefix)?;
+            self.prefix.clear();
+            pos += self.begin_frame(len, chunk, pos, out);
+        }
+
+        while chunk.len() - pos >= 4 {
+            let len = frame_len(&chunk[pos..pos + 4])?;
+            pos += 4;
+            if chunk.len() - pos >= len {
+                // Whole frame inside this chunk: zero-copy view.
+                out.push(chunk.slice(pos..pos + len));
+                pos += len;
+            } else {
+                pos += self.begin_frame(len, chunk, pos, out);
+            }
+        }
+        if pos < chunk.len() {
+            self.prefix.extend_from_slice(&chunk[pos..]);
+        }
+        Ok(())
+    }
+
+    /// Starts collecting a frame of `len` body bytes whose tail is not
+    /// (necessarily) in `chunk`; copies whatever is available starting
+    /// at `pos` and returns how many chunk bytes were consumed.
+    fn begin_frame(&mut self, len: usize, chunk: &Bytes, pos: usize, out: &mut Vec<Bytes>) -> usize {
+        let avail = chunk.len() - pos;
+        let take = avail.min(len);
+        let mut p = Partial::with_capacity(len);
+        match p.extend(&chunk[pos..pos + take]) {
+            Some(body) => out.push(Bytes::from(body)),
+            None => self.partial = Some(p),
+        }
+        take
+    }
+}
+
+fn frame_len(prefix: &[u8]) -> io::Result<usize> {
+    let len = u32::from_le_bytes(prefix[..4].try_into().expect("4 bytes"));
+    if len < HEADER_LEN as u32 || len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("invalid frame length {len}"),
+        ));
+    }
+    Ok(len as usize)
+}
+
+fn eof_mid_frame() -> io::Error {
+    io::Error::new(io::ErrorKind::UnexpectedEof, "eof inside frame")
+}
+
+// ---------------------------------------------------------------------------
+// WireFrame + WriteQueue: batched vectored writes
+// ---------------------------------------------------------------------------
+
+/// An encoded frame split for vectored writing: a small owned header
+/// (length prefix, wire header and fixed body fields) plus an optional
+/// zero-copy payload tail ([`Bytes`] shared with the store — `Put`
+/// data and `Reply::Data` bodies are never memcpy'd onto the wire).
+#[derive(Debug, Clone)]
+pub struct WireFrame {
+    /// Length prefix + everything before the payload.
+    pub header: Vec<u8>,
+    /// Zero-copy payload tail, if the frame carries bulk data.
+    pub payload: Option<Bytes>,
+}
+
+impl WireFrame {
+    /// Wraps a fully contiguous encoded frame (no separate payload).
+    pub fn contiguous(frame: Vec<u8>) -> Self {
+        WireFrame {
+            header: frame,
+            payload: None,
+        }
+    }
+
+    /// Total on-wire size in bytes (prefix included).
+    pub fn len(&self) -> usize {
+        self.header.len() + self.payload.as_ref().map_or(0, |p| p.len())
+    }
+
+    /// True when the frame is empty (never the case for well-formed
+    /// frames, which carry at least a prefix and header).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialises the full contiguous wire bytes (one copy); used by
+    /// the fault injector to truncate a frame mid-body.
+    pub fn to_contiguous(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(self.len());
+        v.extend_from_slice(&self.header);
+        if let Some(p) = &self.payload {
+            v.extend_from_slice(p);
+        }
+        v
+    }
+
+    /// The two wire slices in order, skipping the first `offset`
+    /// already-written bytes. Returns up to two entries.
+    fn slices(&self, offset: usize) -> impl Iterator<Item = &[u8]> {
+        let h = &self.header[offset.min(self.header.len())..];
+        let poff = offset.saturating_sub(self.header.len());
+        let p = self
+            .payload
+            .as_deref()
+            .map(|p| &p[poff.min(p.len())..])
+            .unwrap_or(&[]);
+        [h, p].into_iter().filter(|s| !s.is_empty())
+    }
+}
+
+/// Outbound frame queue for one non-blocking socket. Frames accumulate
+/// between poll wakeups and [`flush`](WriteQueue::flush) pushes as
+/// many as fit into batched `writev` calls, so a burst of pipelined
+/// replies shares one syscall round instead of one `write` each.
+#[derive(Default)]
+pub struct WriteQueue {
+    queue: VecDeque<WireFrame>,
+    /// Bytes of `queue[0]` already written by a previous short write.
+    offset: usize,
+}
+
+impl WriteQueue {
+    /// New empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a frame to the tail of the queue.
+    pub fn push(&mut self, frame: WireFrame) {
+        self.queue.push_back(frame);
+    }
+
+    /// True when every queued byte has been written.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Number of frames still (fully or partially) unwritten.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Writes queued frames until the queue drains or the socket would
+    /// block. Returns `true` when fully drained (deregister write
+    /// interest), `false` when the socket pushed back (keep write
+    /// interest armed).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the socket other than `WouldBlock` (which is
+    /// flow control, not failure) or `Interrupted` (retried).
+    pub fn flush<W: Write + AsFd>(&mut self, w: &mut W) -> io::Result<bool> {
+        while !self.queue.is_empty() {
+            let written = match self.writev_front(w) {
+                Ok(n) => n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if written == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "socket accepted zero bytes",
+                ));
+            }
+            self.advance(written);
+        }
+        Ok(true)
+    }
+
+    /// One gather-write over the first [`MAX_IOV`] slices of the queue.
+    fn writev_front<W: Write + AsFd>(&self, w: &mut W) -> io::Result<usize> {
+        let mut iov: Vec<&[u8]> = Vec::with_capacity(MAX_IOV);
+        let mut offset = self.offset;
+        'fill: for f in &self.queue {
+            for s in f.slices(offset) {
+                iov.push(s);
+                if iov.len() == MAX_IOV {
+                    break 'fill;
+                }
+            }
+            offset = 0;
+        }
+        sys::writev(w, &iov)
+    }
+
+    /// Pops fully written frames and tracks the partial offset into
+    /// the new front.
+    fn advance(&mut self, mut written: usize) {
+        while written > 0 {
+            let front_left = self.queue[0].len() - self.offset;
+            if written >= front_left {
+                written -= front_left;
+                self.offset = 0;
+                self.queue.pop_front();
+            } else {
+                self.offset += written;
+                written = 0;
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    //! Raw `writev` / `setsockopt` bindings — std exposes no
+    //! vectored-write API for `TcpStream` slices without the
+    //! `io-slice` adaptors allocating, and no socket-buffer control at
+    //! all; the container has no libc crate, but std already links
+    //! libc so the symbols resolve.
+    use std::io::{self, Write};
+    use std::os::fd::{AsFd, AsRawFd};
+
+    #[repr(C)]
+    struct IoVec {
+        iov_base: *const u8,
+        iov_len: usize,
+    }
+
+    extern "C" {
+        #[link_name = "writev"]
+        fn c_writev(fd: i32, iov: *const IoVec, iovcnt: i32) -> isize;
+        #[link_name = "setsockopt"]
+        fn c_setsockopt(fd: i32, level: i32, optname: i32, optval: *const u8, optlen: u32)
+            -> i32;
+    }
+
+    const SOL_SOCKET: i32 = 1;
+    const SO_SNDBUF: i32 = 7;
+    const SO_RCVBUF: i32 = 8;
+
+    extern "C" {
+        #[link_name = "mallopt"]
+        fn c_mallopt(param: i32, value: i32) -> i32;
+    }
+
+    const M_TRIM_THRESHOLD: i32 = -1;
+    const M_MMAP_THRESHOLD: i32 = -3;
+
+    /// Keeps multi-megabyte frame buffers on the reusable heap.
+    ///
+    /// glibc serves large allocations via `mmap` and returns them with
+    /// `munmap`, so every received multi-megabyte frame body would
+    /// fault in each of its pages from scratch (~16k minor faults per
+    /// 64 MB read — measured as the difference between a ~40 ms and a
+    /// ~70 ms read). Its *dynamic* mmap threshold sometimes adapts
+    /// past the frame size on its own; pinning the threshold makes the
+    /// fast path deterministic. The threshold must sit *above* (not
+    /// at) the largest buffer the data path assembles — glibc mmaps
+    /// any request `>= threshold`, and whole-file joins reach 64 MB —
+    /// so it is pinned at 128 MB, with the trim threshold above that
+    /// so freed blocks stay on the heap. Best-effort no-op on
+    /// non-glibc.
+    pub(super) fn tune_allocator() {
+        // SAFETY: mallopt only writes process-global malloc parameters.
+        unsafe {
+            let _ = c_mallopt(M_MMAP_THRESHOLD, 128 << 20);
+            let _ = c_mallopt(M_TRIM_THRESHOLD, 192 << 20);
+        }
+    }
+
+    /// Best-effort: grow `s`'s kernel send/receive buffers to `bytes`
+    /// (the kernel clamps to `net.core.{w,r}mem_max`). Failure is
+    /// ignored — the socket still works, just with default buffers.
+    pub(super) fn set_buffers<F: AsFd>(s: &F, bytes: i32) {
+        let fd = s.as_fd().as_raw_fd();
+        let val = bytes.to_ne_bytes();
+        for opt in [SO_SNDBUF, SO_RCVBUF] {
+            // SAFETY: optval points at a live 4-byte int; optlen matches.
+            unsafe {
+                let _ = c_setsockopt(fd, SOL_SOCKET, opt, val.as_ptr(), val.len() as u32);
+            }
+        }
+    }
+
+    /// Gather-writes `slices` to `w`'s file descriptor in one syscall.
+    pub(super) fn writev<W: Write + AsFd>(w: &mut W, slices: &[&[u8]]) -> io::Result<usize> {
+        let iov: Vec<IoVec> = slices
+            .iter()
+            .map(|s| IoVec {
+                iov_base: s.as_ptr(),
+                iov_len: s.len(),
+            })
+            .collect();
+        let fd = w.as_fd().as_raw_fd();
+        // SAFETY: every iovec points into a live borrowed slice for
+        // the duration of the call; iovcnt matches the array length.
+        let rc = unsafe { c_writev(fd, iov.as_ptr(), iov.len() as i32) };
+        if rc < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(rc as usize)
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    //! Portable fallback: sequential `write` calls (one per slice,
+    //! stopping at the first short write to preserve writev semantics)
+    //! and no socket-buffer tuning.
+    use std::io::{self, Write};
+    use std::os::fd::AsFd;
+
+    pub(super) fn writev<W: Write + AsFd>(w: &mut W, slices: &[&[u8]]) -> io::Result<usize> {
+        let mut total = 0;
+        for s in slices {
+            let n = w.write(s)?;
+            total += n;
+            if n < s.len() {
+                break;
+            }
+        }
+        Ok(total)
+    }
+
+    pub(super) fn set_buffers<F: AsFd>(_s: &F, _bytes: i32) {}
+
+    pub(super) fn tune_allocator() {}
+}
+
+/// Kernel socket buffer size the data plane asks for on every
+/// connection: big enough that a multi-megabyte partition transfer
+/// fits in flight, so a 1-core loopback exchange ping-pongs between
+/// producer and consumer a handful of times instead of once per
+/// default-sized (hundreds of KiB) buffer fill.
+pub const SOCK_BUF_BYTES: i32 = 4 << 20;
+
+/// Best-effort socket tuning for a data-plane connection: grow both
+/// kernel buffers to [`SOCK_BUF_BYTES`]. A failure (platform cap,
+/// exotic fd) is silently ignored.
+pub fn tune_socket<F: AsFd>(s: &F) {
+    sys::set_buffers(s, SOCK_BUF_BYTES);
+}
+
+/// Process-wide, once-only allocator tuning for data-plane endpoints:
+/// pins glibc's mmap threshold above the largest common frame size so
+/// received frame bodies recycle heap blocks instead of faulting in
+/// fresh `mmap` pages on every read (see `sys::tune_allocator`).
+/// Called by `TcpTransport` and the servers on startup; safe to call
+/// from multiple threads.
+pub fn tune_allocator_once() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(sys::tune_allocator);
+}
+
+// ---------------------------------------------------------------------------
+// Timers: deadline min-heap
+// ---------------------------------------------------------------------------
+
+/// Min-heap of `(deadline, key)` pairs driving poll timeouts: the
+/// event loop sleeps until [`next_deadline`](Timers::next_deadline)
+/// and reaps everything [`pop_due`](Timers::pop_due) yields.
+///
+/// There is no cancel operation — a timer whose request already
+/// completed simply finds nothing to reap when it fires. Callers must
+/// treat a popped key whose state is gone as a no-op.
+pub struct Timers<K> {
+    heap: BinaryHeap<Reverse<(Instant, K)>>,
+}
+
+impl<K: Ord> Timers<K> {
+    /// New empty timer heap.
+    pub fn new() -> Self {
+        Timers {
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Schedules `key` to fire at `at`.
+    pub fn insert(&mut self, at: Instant, key: K) {
+        self.heap.push(Reverse((at, key)));
+    }
+
+    /// Earliest pending deadline, if any — the poll timeout bound.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        self.heap.peek().map(|Reverse((at, _))| *at)
+    }
+
+    /// Pops the next timer whose deadline is at or before `now`.
+    pub fn pop_due(&mut self, now: Instant) -> Option<K> {
+        if self.next_deadline()? <= now {
+            self.heap.pop().map(|Reverse((_, k))| k)
+        } else {
+            None
+        }
+    }
+
+    /// True when no timers are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<K: Ord> Default for Timers<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{encode_reply, encode_request};
+    use spcache_store::rpc::{PartKey, Reply, Request};
+    use std::time::Duration;
+
+    /// Reader that serves a byte script in caller-chosen segment sizes
+    /// and then reports WouldBlock (like an idle non-blocking socket).
+    struct Script {
+        data: Vec<u8>,
+        cuts: Vec<usize>, // segment lengths; after the last, WouldBlock
+        pos: usize,
+        cut_idx: usize,
+        eof_at_end: bool,
+    }
+
+    impl Script {
+        fn new(data: Vec<u8>, cuts: Vec<usize>, eof_at_end: bool) -> Self {
+            Script {
+                data,
+                cuts,
+                pos: 0,
+                cut_idx: 0,
+                eof_at_end,
+            }
+        }
+    }
+
+    impl Read for Script {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos == self.data.len() {
+                return if self.eof_at_end {
+                    Ok(0)
+                } else {
+                    Err(io::ErrorKind::WouldBlock.into())
+                };
+            }
+            let seg = if self.cut_idx < self.cuts.len() {
+                self.cuts[self.cut_idx]
+            } else {
+                self.data.len() - self.pos
+            };
+            self.cut_idx += 1;
+            let n = seg.min(buf.len()).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    fn sample_frames() -> (Vec<u8>, Vec<Bytes>) {
+        let key = PartKey { file: 9, part: 3 };
+        let frames = vec![
+            encode_request(&Request::Get { key }, 1),
+            encode_reply(&Reply::Data(Bytes::from(vec![0xAB; 5000])), 2),
+            encode_request(&Request::Ping, 3),
+            encode_reply(&Reply::Data(Bytes::from(vec![0xCD; 200_000])), 4),
+            encode_request(&Request::Delete { key }, 5),
+        ];
+        let mut wire = Vec::new();
+        let mut bodies = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(f);
+            bodies.push(Bytes::from(f[4..].to_vec()));
+        }
+        (wire, bodies)
+    }
+
+    fn pump_all(script: Script) -> (Vec<Bytes>, PumpStatus) {
+        let mut r = FrameReader::new();
+        let mut out = Vec::new();
+        let mut s = script;
+        let status = r.pump(&mut s, &mut out).expect("pump");
+        (out, status)
+    }
+
+    #[test]
+    fn whole_stream_in_one_read_parses_every_frame() {
+        let (wire, bodies) = sample_frames();
+        let (out, status) = pump_all(Script::new(wire, vec![], true));
+        assert_eq!(status, PumpStatus::Closed);
+        assert_eq!(out, bodies);
+    }
+
+    #[test]
+    fn adversarial_split_points_reassemble_identically() {
+        let (wire, bodies) = sample_frames();
+        // One-byte reads: every header and payload boundary is split.
+        let cuts = vec![1; wire.len()];
+        let (out, status) = pump_all(Script::new(wire.clone(), cuts, true));
+        assert_eq!(status, PumpStatus::Closed);
+        assert_eq!(out, bodies);
+
+        // Split mid-length-prefix, mid-header, and mid-payload.
+        let (out, status) = pump_all(Script::new(wire, vec![2, 3, 7, 4999, 1, 65536], true));
+        assert_eq!(status, PumpStatus::Closed);
+        assert_eq!(out, bodies);
+    }
+
+    #[test]
+    fn would_block_pauses_and_resumes() {
+        let (wire, bodies) = sample_frames();
+        let half = wire.len() / 2;
+        let mut reader = FrameReader::new();
+        let mut out = Vec::new();
+
+        let mut first = Script::new(wire[..half].to_vec(), vec![], false);
+        assert_eq!(
+            reader.pump(&mut first, &mut out).unwrap(),
+            PumpStatus::Open
+        );
+
+        let mut second = Script::new(wire[half..].to_vec(), vec![], true);
+        assert_eq!(
+            reader.pump(&mut second, &mut out).unwrap(),
+            PumpStatus::Closed
+        );
+        assert_eq!(out, bodies);
+    }
+
+    #[test]
+    fn eof_mid_frame_is_unexpected_eof() {
+        let (wire, _) = sample_frames();
+        let mut truncated = Script::new(wire[..wire.len() - 3].to_vec(), vec![], true);
+        let mut reader = FrameReader::new();
+        let mut out = Vec::new();
+        let err = reader.pump(&mut truncated, &mut out).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn lying_length_prefix_is_invalid_data() {
+        for bad in [3u32, MAX_FRAME + 1] {
+            let mut wire = bad.to_le_bytes().to_vec();
+            wire.extend_from_slice(&[0u8; 16]);
+            let mut s = Script::new(wire, vec![], true);
+            let mut reader = FrameReader::new();
+            let mut out = Vec::new();
+            let err = reader.pump(&mut s, &mut out).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        }
+    }
+
+    #[test]
+    fn write_queue_batches_and_drains_over_a_socket() {
+        use std::io::Read as _;
+        use std::net::{TcpListener, TcpStream};
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut tx = TcpStream::connect(addr).unwrap();
+        let (mut rx, _) = listener.accept().unwrap();
+        tx.set_nonblocking(true).unwrap();
+
+        let payload = Bytes::from(vec![0x5A; 100_000]);
+        let mut wq = WriteQueue::new();
+        let mut expected = Vec::new();
+        for i in 0..80u8 {
+            let f = WireFrame {
+                header: vec![i; 9],
+                payload: Some(payload.clone()),
+            };
+            expected.extend_from_slice(&f.to_contiguous());
+            wq.push(f);
+        }
+
+        // Drain concurrently: flush until empty while the peer reads.
+        let reader = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            rx.read_to_end(&mut got).unwrap();
+            got
+        });
+        loop {
+            match wq.flush(&mut tx) {
+                Ok(true) => break,
+                Ok(false) => std::thread::sleep(Duration::from_millis(1)),
+                Err(e) => panic!("flush failed: {e}"),
+            }
+        }
+        drop(tx);
+        assert_eq!(reader.join().unwrap(), expected);
+    }
+
+    #[test]
+    fn wire_frame_slices_respect_partial_offsets() {
+        let f = WireFrame {
+            header: vec![1, 2, 3],
+            payload: Some(Bytes::from(vec![4, 5])),
+        };
+        let flat = |off: usize| -> Vec<u8> {
+            f.slices(off).flat_map(|s| s.iter().copied()).collect()
+        };
+        assert_eq!(flat(0), vec![1, 2, 3, 4, 5]);
+        assert_eq!(flat(2), vec![3, 4, 5]);
+        assert_eq!(flat(3), vec![4, 5]);
+        assert_eq!(flat(4), vec![5]);
+        assert_eq!(flat(5), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn timers_fire_in_deadline_order() {
+        let base = Instant::now();
+        let mut t = Timers::new();
+        t.insert(base + Duration::from_millis(30), 3u64);
+        t.insert(base + Duration::from_millis(10), 1u64);
+        t.insert(base + Duration::from_millis(20), 2u64);
+        assert_eq!(t.next_deadline(), Some(base + Duration::from_millis(10)));
+        assert_eq!(t.pop_due(base), None);
+        let later = base + Duration::from_millis(25);
+        assert_eq!(t.pop_due(later), Some(1));
+        assert_eq!(t.pop_due(later), Some(2));
+        assert_eq!(t.pop_due(later), None);
+        assert_eq!(t.next_deadline(), Some(base + Duration::from_millis(30)));
+    }
+}

@@ -1,21 +1,26 @@
 //! `spcached` worker server: a TCP front end over the store's channel
-//! worker.
+//! worker, served by readiness event loops.
 //!
 //! Threading model (chosen for *deterministic op order*, which the
-//! fault-injection scripts key on):
+//! fault-injection scripts key on — DESIGN.md §4.12):
 //!
-//! * an **acceptor** thread takes connections,
-//! * one **reader** thread per connection parses request frames
-//!   (zero-copy payloads) and feeds them into a single service queue,
+//! * **I/O shard loops** (one per core by default) own the sockets:
+//!   shard 0 accepts connections and deals them round-robin across the
+//!   shards; each loop parses request frames off its non-blocking
+//!   sockets with an incremental [`FrameReader`] (zero-copy payloads)
+//!   and feeds them into a single service queue. Reply frames are
+//!   batch-flushed through per-connection [`WriteQueue`]s, so a burst
+//!   of pipelined replies shares one `writev` round,
 //! * one **service** thread pops that queue in arrival order, consults
 //!   the worker's *wire* fault script, and forwards each request to the
 //!   channel worker — so the worker observes exactly one global request
 //!   order and the Nth data request over TCP is the same Nth data
 //!   request an in-process run would count,
-//! * one short-lived **replier** per request awaits the worker's answer
-//!   and writes the reply frame back on the request's connection.
-//!   Because clients demultiplex by `req_id`, replies need no ordering
-//!   and a slow request never blocks the replies behind it.
+//! * one **reply pump** thread selects over every in-flight worker
+//!   reply at once and hands each finished frame back to the owning
+//!   shard as a completion — no per-request threads anywhere. Because
+//!   clients demultiplex by `req_id`, replies need no ordering and a
+//!   slow request never blocks the replies behind it.
 //!
 //! Wire faults fire here, not in the worker (which runs only the data
 //! half of the script):
@@ -24,57 +29,109 @@
 //!   closed without the reply frame,
 //! * `TruncateFrame` — half the reply frame is written, then the
 //!   connection is closed,
-//! * `DelayFrame` — the reply frame is written after the pause.
+//! * `DelayFrame` — the reply frame is written after the pause (a
+//!   shard timer, not a sleeping thread).
 //!
 //! Graceful shutdown: a `Shutdown` request drains through the same
 //! queue, so everything submitted before it is already forwarded (and
 //! the worker itself serves FIFO before acknowledging). The ack frame
-//! goes out, the listener closes, the worker thread is joined.
+//! is queued on the owning shard, every shard then drains its write
+//! queues and closes, and the worker thread is joined.
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
+use crossbeam::channel::{unbounded, Receiver, Select, Sender, TryRecvError};
+use mio::{Events, Interest, Poll, Token, Waker};
 use spcache_store::fault::{FaultAction, FaultLog, WorkerScript};
 use spcache_store::rpc::{Envelope, Reply, Request, StoreError};
 use spcache_store::worker::spawn_worker_with_scripts;
 use spcache_store::StoreConfig;
-use std::io::{self, BufWriter, Write};
+use std::collections::HashMap;
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crate::frame::{decode_request, encode_reply, read_frame, write_frame, Frame};
+use bytes::Bytes;
 
-/// How long the service side waits on the channel worker before treating
+use crate::frame::{decode_request, encode_reply, encode_reply_parts, Frame};
+use crate::poll::{FrameReader, PumpStatus, Timers, WireFrame, WriteQueue};
+
+/// How long the reply pump waits on the channel worker before treating
 /// a request as unanswerable. A `LoseReply` data fault looks exactly
-/// like this — the replier then sends *nothing*, so the remote client
+/// like this — the pump then sends *nothing*, so the remote client
 /// times out just as an in-process client would.
 const FORWARD_DEADLINE: Duration = Duration::from_secs(5);
 
-/// Write half of one client connection, shared between repliers.
-#[derive(Debug)]
-struct ConnWriter {
-    stream: Mutex<BufWriter<TcpStream>>,
+/// How long a shard keeps flushing unsent replies after `Stop` before
+/// giving up on a peer that stopped reading.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Token of the shard's cross-thread waker.
+const WAKER_TOK: Token = Token(0);
+/// Token of the listener (shard 0 only).
+const LISTENER_TOK: Token = Token(1);
+/// First token handed to accepted connections.
+const CONN_BASE: usize = 2;
+
+/// What to do on a connection once its reply is ready.
+enum Action {
+    /// Write the frame (header + zero-copy payload).
+    Frame(WireFrame),
+    /// `DropConnection`: close without writing anything.
+    Close,
+    /// `TruncateFrame`: write the first half of the materialised
+    /// frame, then close.
+    Truncate(Vec<u8>),
 }
 
-impl ConnWriter {
-    /// Writes one whole frame atomically with respect to other repliers.
-    fn write(&self, frame: &[u8]) -> io::Result<()> {
-        write_frame(&mut *self.stream.lock(), frame)
+/// Commands into a shard I/O loop.
+enum SrvCmd {
+    /// Take ownership of an accepted connection.
+    Adopt(TcpStream),
+    /// Apply `action` to connection `token` after `delay`.
+    Complete {
+        token: usize,
+        action: Action,
+        delay: Duration,
+    },
+    /// Drain write queues and exit.
+    Stop,
+}
+
+/// Address of one shard loop: its command queue and waker.
+#[derive(Clone)]
+struct ShardRef {
+    tx: Sender<SrvCmd>,
+    waker: Arc<Waker>,
+}
+
+impl ShardRef {
+    fn send(&self, cmd: SrvCmd) {
+        if self.tx.send(cmd).is_ok() {
+            let _ = self.waker.wake();
+        }
+    }
+}
+
+/// Routes a reply back to the connection its request arrived on.
+#[derive(Clone)]
+struct ConnRef {
+    shard: ShardRef,
+    token: usize,
+}
+
+impl ConnRef {
+    fn complete(&self, action: Action, delay: Duration) {
+        self.shard.send(SrvCmd::Complete {
+            token: self.token,
+            action,
+            delay,
+        });
     }
 
-    /// Writes a prefix of `frame` (a deliberately cut-off message), then
-    /// closes the connection.
-    fn write_truncated(&self, frame: &[u8]) {
-        let mut s = self.stream.lock();
-        let _ = s.write_all(&frame[..frame.len() / 2]);
-        let _ = s.flush();
-        let _ = s.get_ref().shutdown(std::net::Shutdown::Both);
-    }
-
-    fn close(&self) {
-        let _ = self.stream.lock().get_ref().shutdown(std::net::Shutdown::Both);
+    /// Queues a reply frame with no fault behaviour.
+    fn reply(&self, reply: &Reply, req_id: u64) {
+        self.complete(Action::Frame(encode_reply_parts(reply, req_id)), Duration::ZERO);
     }
 }
 
@@ -82,7 +139,19 @@ impl ConnWriter {
 struct Job {
     req: Request,
     req_id: u64,
-    conn: Arc<ConnWriter>,
+    conn: ConnRef,
+}
+
+/// An in-flight worker reply the pump is waiting on.
+struct PendingReply {
+    rx: Receiver<Reply>,
+    conn: ConnRef,
+    req_id: u64,
+    worker_id: usize,
+    delay: Duration,
+    drop_conn: bool,
+    truncate: bool,
+    deadline: Instant,
 }
 
 /// A running worker server. Dropping it abandons the threads; call
@@ -97,20 +166,42 @@ pub struct WorkerServer {
 impl WorkerServer {
     /// Spawns worker `id` of a cluster described by `cfg`, listening on
     /// `bind` (use port 0 for an ephemeral port; the chosen address is
-    /// [`WorkerServer::addr`]). The worker thread receives the *data*
-    /// half of `cfg.faults`; the wire half fires in this server. Both
-    /// log into `fault_log`.
+    /// [`WorkerServer::addr`]), with one I/O shard per core. The worker
+    /// thread receives the *data* half of `cfg.faults`; the wire half
+    /// fires in this server. Both log into `fault_log`.
     ///
     /// # Errors
     ///
-    /// I/O errors binding the listener.
+    /// I/O errors binding the listener or creating the pollers.
     pub fn spawn(
         id: usize,
         bind: &str,
         cfg: &StoreConfig,
         fault_log: Arc<FaultLog>,
     ) -> io::Result<WorkerServer> {
+        let shards = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::spawn_sharded(id, bind, cfg, fault_log, shards)
+    }
+
+    /// Like [`spawn`](WorkerServer::spawn) with an explicit I/O shard
+    /// count (the `spcached --io-shards` flag lands here).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors binding the listener or creating the pollers.
+    pub fn spawn_sharded(
+        id: usize,
+        bind: &str,
+        cfg: &StoreConfig,
+        fault_log: Arc<FaultLog>,
+        io_shards: usize,
+    ) -> io::Result<WorkerServer> {
+        crate::poll::tune_allocator_once();
         let listener = TcpListener::bind(bind)?;
+        listener.set_nonblocking(true)?;
+        // Accepted sockets inherit the listener's buffer sizes, so the
+        // window is already wide during the handshake.
+        crate::poll::tune_socket(&listener);
         let addr = listener.local_addr()?;
         let worker = spawn_worker_with_scripts(
             id,
@@ -123,33 +214,57 @@ impl WorkerServer {
         );
         let wire_script = cfg.faults.wire_script_for(id);
 
+        let n = io_shards.max(1);
         let (job_tx, job_rx) = unbounded::<Job>();
-        let stop = Arc::new(AtomicBool::new(false));
+        let (pump_tx, pump_rx) = unbounded::<PendingReply>();
 
-        let acceptor = {
-            let stop = Arc::clone(&stop);
+        // Build every shard's poller + command channel up front so
+        // shard 0 (the acceptor) can deal connections to all of them.
+        let mut polls = Vec::with_capacity(n);
+        let mut refs: Vec<ShardRef> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let poll = Poll::new()?;
+            let waker = Arc::new(Waker::new(poll.registry(), WAKER_TOK)?);
+            let (tx, rx) = unbounded::<SrvCmd>();
+            refs.push(ShardRef { tx, waker });
+            polls.push((poll, rx));
+        }
+
+        let mut threads = Vec::with_capacity(n + 2);
+        let mut listener = Some(listener);
+        for (i, (poll, rx)) in polls.into_iter().enumerate() {
+            let me = refs[i].clone();
+            let all = refs.clone();
             let job_tx = job_tx.clone();
-            std::thread::Builder::new()
-                .name(format!("spcached-{id}-accept"))
-                .spawn(move || accept_loop(&listener, &job_tx, &stop))
-                .expect("spawn acceptor")
-        };
+            let l = listener.take(); // shard 0 gets the listener
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("spcached-{id}-io-{i}"))
+                    .spawn(move || srv_shard_loop(poll, rx, l, me, all, &job_tx))
+                    .expect("spawn io shard"),
+            );
+        }
+        drop(job_tx);
 
         let service = {
-            let stop = Arc::clone(&stop);
+            let shards = refs.clone();
             std::thread::Builder::new()
                 .name(format!("spcached-{id}-service"))
                 .spawn(move || {
-                    service_loop(id, addr, &job_rx, worker, wire_script, &fault_log, &stop);
+                    service_loop(id, &job_rx, worker, wire_script, &fault_log, pump_tx, &shards);
                 })
                 .expect("spawn service thread")
         };
+        threads.push(service);
 
-        Ok(WorkerServer {
-            id,
-            addr,
-            threads: vec![acceptor, service],
-        })
+        // The pump is detached: after shutdown it may hold LoseReply
+        // entries that only expire at FORWARD_DEADLINE, and join()
+        // must not wait on those.
+        let _ = std::thread::Builder::new()
+            .name(format!("spcached-{id}-pump"))
+            .spawn(move || pump_loop(&pump_rx));
+
+        Ok(WorkerServer { id, addr, threads })
     }
 
     /// Worker index.
@@ -171,81 +286,325 @@ impl WorkerServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, job_tx: &Sender<Job>, stop: &Arc<AtomicBool>) {
+// ---------------------------------------------------------------------------
+// Shard I/O loop
+// ---------------------------------------------------------------------------
+
+/// One client connection owned by a shard.
+struct SrvConn {
+    stream: TcpStream,
+    reader: FrameReader,
+    wq: WriteQueue,
+    writable_armed: bool,
+    /// Close the socket once the write queue drains (fault injection
+    /// or protocol violation).
+    closing: bool,
+}
+
+/// The shard readiness loop: accepts (shard 0), reads request frames
+/// into the service queue, applies reply completions (with scripted
+/// delays on the timer heap), and batch-flushes write queues.
+fn srv_shard_loop(
+    mut poll: Poll,
+    rx: Receiver<SrvCmd>,
+    listener: Option<TcpListener>,
+    me: ShardRef,
+    all: Vec<ShardRef>,
+    job_tx: &Sender<Job>,
+) {
+    if let Some(l) = &listener {
+        let _ = poll
+            .registry()
+            .register(l, LISTENER_TOK, Interest::READABLE);
+    }
+    let mut events = Events::with_capacity(256);
+    let mut conns: HashMap<usize, SrvConn> = HashMap::new();
+    let mut next_token = CONN_BASE;
+    let mut rr = 0usize; // round-robin dealing cursor (shard 0)
+    // Scripted reply delays: a timer per delayed completion.
+    let mut timers: Timers<u64> = Timers::new();
+    let mut delayed: HashMap<u64, (usize, Action)> = HashMap::new();
+    let mut delay_seq = 0u64;
+    let mut inbound: Vec<Bytes> = Vec::new();
+
+    'run: loop {
+        let timeout = timers
+            .next_deadline()
+            .map(|d| d.saturating_duration_since(Instant::now()));
+        if poll.poll(&mut events, timeout).is_err() {
+            break 'run;
+        }
+
+        let mut dirty: Vec<usize> = Vec::new();
+
+        // Commands: adoptions and reply completions.
+        loop {
+            match rx.try_recv() {
+                Ok(SrvCmd::Adopt(stream)) => {
+                    let token = next_token;
+                    next_token += 1;
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    crate::poll::tune_socket(&stream);
+                    if poll
+                        .registry()
+                        .register(&stream, Token(token), Interest::READABLE)
+                        .is_ok()
+                    {
+                        conns.insert(
+                            token,
+                            SrvConn {
+                                stream,
+                                reader: FrameReader::new(),
+                                wq: WriteQueue::new(),
+                                writable_armed: false,
+                                closing: false,
+                            },
+                        );
+                    }
+                }
+                Ok(SrvCmd::Complete {
+                    token,
+                    action,
+                    delay,
+                }) => {
+                    if delay.is_zero() {
+                        apply_action(&mut conns, token, action, &mut dirty);
+                    } else {
+                        timers.insert(Instant::now() + delay, delay_seq);
+                        delayed.insert(delay_seq, (token, action));
+                        delay_seq += 1;
+                    }
+                }
+                Ok(SrvCmd::Stop) => break 'run,
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => break 'run,
+            }
+        }
+
+        // Socket readiness.
+        for ev in &events {
+            let Token(t) = ev.token();
+            if t == WAKER_TOK.0 {
+                continue;
+            }
+            if t == LISTENER_TOK.0 {
+                if let Some(l) = &listener {
+                    accept_burst(l, &all, &mut rr);
+                }
+                continue;
+            }
+            let Some(closing) = conns.get(&t).map(|c| c.closing) else {
+                continue;
+            };
+            if (ev.is_readable() || ev.is_error()) && !closing {
+                read_requests(&mut conns, t, &me, job_tx, &mut inbound, &mut dirty);
+            }
+            if ev.is_writable() && conns.contains_key(&t) && !dirty.contains(&t) {
+                dirty.push(t);
+            }
+        }
+
+        // Expired reply delays.
+        let now = Instant::now();
+        while let Some(seq) = timers.pop_due(now) {
+            if let Some((token, action)) = delayed.remove(&seq) {
+                apply_action(&mut conns, token, action, &mut dirty);
+            }
+        }
+
+        // One flush per touched connection.
+        for token in dirty {
+            flush_srv_conn(&poll, &mut conns, token);
+        }
+    }
+
+    // Stop: drain unsent replies (bounded), then close everything.
+    let drain_until = Instant::now() + DRAIN_DEADLINE;
+    while Instant::now() < drain_until {
+        let mut left = false;
+        let tokens: Vec<usize> = conns.keys().copied().collect();
+        for token in tokens {
+            flush_srv_conn(&poll, &mut conns, token);
+            if conns.get(&token).is_some_and(|c| !c.wq.is_empty()) {
+                left = true;
+            }
+        }
+        if !left {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for (_, conn) in conns.drain() {
+        let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// Accepts every connection the listener has ready and deals them
+/// round-robin across the shards (self-adoption also rides the command
+/// queue so token assignment stays in one place).
+fn accept_burst(listener: &TcpListener, all: &[ShardRef], rr: &mut usize) {
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
-                if stop.load(Ordering::SeqCst) {
-                    return; // woken up by the shutdown dial
-                }
-                let _ = stream.set_nodelay(true);
-                let writer = match stream.try_clone() {
-                    Ok(w) => Arc::new(ConnWriter {
-                        stream: Mutex::new(BufWriter::new(w)),
-                    }),
-                    Err(_) => continue,
-                };
-                let job_tx = job_tx.clone();
-                let _ = std::thread::Builder::new()
-                    .name("spcached-conn".into())
-                    .spawn(move || conn_reader(stream, &writer, &job_tx));
+                all[*rr % all.len()].send(SrvCmd::Adopt(stream));
+                *rr += 1;
             }
-            Err(_) => {
-                if stop.load(Ordering::SeqCst) {
-                    return;
-                }
-            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
         }
     }
 }
 
-/// Parses request frames off one connection into the service queue.
-fn conn_reader(mut stream: TcpStream, writer: &Arc<ConnWriter>, job_tx: &Sender<Job>) {
-    loop {
-        match read_frame(&mut stream) {
-            Ok(Some(buf)) => {
-                let (req_id, req) = match Frame::parse(buf).and_then(|f| {
-                    let req = decode_request(&f)?;
-                    Ok((f.req_id, req))
-                }) {
-                    Ok(ok) => ok,
-                    Err(e) => {
-                        // Protocol violation: answer (best effort, the
-                        // req_id may be unknowable) and cut the
-                        // connection — framing can no longer be trusted.
-                        let _ = writer.write(&encode_reply(&Reply::Err(e), 0));
-                        writer.close();
-                        return;
-                    }
+/// Pumps one readable connection, decoding request frames into jobs.
+/// Kills the connection on protocol violations or death.
+fn read_requests(
+    conns: &mut HashMap<usize, SrvConn>,
+    token: usize,
+    me: &ShardRef,
+    job_tx: &Sender<Job>,
+    inbound: &mut Vec<Bytes>,
+    dirty: &mut Vec<usize>,
+) {
+    let Some(conn) = conns.get_mut(&token) else {
+        return;
+    };
+    inbound.clear();
+    let status = conn.reader.pump(&mut conn.stream, inbound);
+    let mut service_gone = false;
+    for buf in inbound.drain(..) {
+        match Frame::parse(buf).and_then(|f| decode_request(&f).map(|req| (f.req_id, req))) {
+            Ok((req_id, req)) => {
+                let job = Job {
+                    req,
+                    req_id,
+                    conn: ConnRef {
+                        shard: me.clone(),
+                        token,
+                    },
                 };
-                if job_tx
-                    .send(Job {
-                        req,
-                        req_id,
-                        conn: Arc::clone(writer),
-                    })
-                    .is_err()
-                {
-                    // Service thread is gone (post-shutdown).
-                    writer.close();
-                    return;
+                if job_tx.send(job).is_err() {
+                    service_gone = true; // post-shutdown
+                    break;
                 }
             }
-            Ok(None) | Err(_) => return, // peer closed or died
+            Err(e) => {
+                // Protocol violation: answer (best effort, the req_id
+                // may be unknowable) and cut the connection once the
+                // error flushes — framing can no longer be trusted.
+                conn.wq.push(encode_reply_parts(&Reply::Err(e), 0));
+                conn.closing = true;
+                if !dirty.contains(&token) {
+                    dirty.push(token);
+                }
+                return;
+            }
+        }
+    }
+    let dead = service_gone
+        || match status {
+            Ok(PumpStatus::Open) => false,
+            Ok(PumpStatus::Closed) | Err(_) => true, // peer closed or died
+        };
+    if dead {
+        if let Some(conn) = conns.remove(&token) {
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
         }
     }
 }
+
+/// Applies a completion action to a connection (no-op if the
+/// connection already died).
+fn apply_action(
+    conns: &mut HashMap<usize, SrvConn>,
+    token: usize,
+    action: Action,
+    dirty: &mut Vec<usize>,
+) {
+    let Some(conn) = conns.get_mut(&token) else {
+        return;
+    };
+    match action {
+        Action::Frame(wf) => {
+            // A closing stream ends at the torn half-frame: appending a
+            // full frame behind it would let the peer misparse those
+            // bytes as the torn frame's body.
+            if !conn.closing {
+                conn.wq.push(wf);
+            }
+        }
+        Action::Close => {
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            conns.remove(&token);
+            return;
+        }
+        Action::Truncate(full) => {
+            let half = full.len() / 2;
+            conn.wq.push(WireFrame::contiguous(full[..half].to_vec()));
+            conn.closing = true;
+        }
+    }
+    if !dirty.contains(&token) {
+        dirty.push(token);
+    }
+}
+
+/// Flushes one connection's write queue, arming/disarming write
+/// interest; closes it on error or once a closing queue drains.
+fn flush_srv_conn(poll: &Poll, conns: &mut HashMap<usize, SrvConn>, token: usize) {
+    let Some(conn) = conns.get_mut(&token) else {
+        return;
+    };
+    match conn.wq.flush(&mut conn.stream) {
+        Ok(true) => {
+            if conn.closing {
+                let _ = poll.registry().deregister(&conn.stream);
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                conns.remove(&token);
+                return;
+            }
+            if conn.writable_armed {
+                conn.writable_armed = false;
+                let _ = poll
+                    .registry()
+                    .reregister(&conn.stream, Token(token), Interest::READABLE);
+            }
+        }
+        Ok(false) => {
+            if !conn.writable_armed {
+                conn.writable_armed = true;
+                let _ = poll.registry().reregister(
+                    &conn.stream,
+                    Token(token),
+                    Interest::READABLE | Interest::WRITABLE,
+                );
+            }
+        }
+        Err(_) => {
+            let _ = poll.registry().deregister(&conn.stream);
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            conns.remove(&token);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Service thread
+// ---------------------------------------------------------------------------
 
 /// The single-threaded request forwarder; owns the wire fault script
 /// and the worker's sender half.
 fn service_loop(
     id: usize,
-    addr: SocketAddr,
     jobs: &Receiver<Job>,
     mut worker: spcache_store::worker::WorkerHandle,
     mut wire_script: WorkerScript,
     fault_log: &Arc<FaultLog>,
-    stop: &Arc<AtomicBool>,
+    pump_tx: Sender<PendingReply>,
+    shards: &[ShardRef],
 ) {
     let mut op: u64 = 0;
     while let Ok(Job { req, req_id, conn }) = jobs.recv() {
@@ -257,12 +616,14 @@ fn service_loop(
                 Some(reply) => reply,
                 None => Reply::Err(StoreError::WorkerDown(id)),
             };
-            let _ = conn.write(&encode_reply(&ack, req_id));
-            stop.store(true, Ordering::SeqCst);
-            // Wake the acceptor so it observes the flag and drops the
-            // listener.
-            let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+            // The ack rides the conn's own shard queue, so it is
+            // applied before that shard sees Stop.
+            conn.reply(&ack, req_id);
+            for s in shards {
+                s.send(SrvCmd::Stop);
+            }
             worker.shutdown();
+            drop(pump_tx); // pump drains its remaining entries and exits
             return;
         }
 
@@ -288,52 +649,113 @@ fn service_loop(
         let Some(rx) = forward(&worker, req) else {
             // Worker thread is gone: every further request gets a
             // definitive WorkerDown, same as a closed channel in-process.
-            let _ = conn.write(&encode_reply(
-                &Reply::Err(StoreError::WorkerDown(id)),
-                req_id,
-            ));
+            conn.reply(&Reply::Err(StoreError::WorkerDown(id)), req_id);
             continue;
         };
 
-        // Detached replier: awaits the worker and writes the reply with
-        // the scripted wire behaviour applied.
-        let worker_id = id;
-        let _ = std::thread::Builder::new()
-            .name(format!("spcached-{id}-reply"))
-            .spawn(move || {
-                let reply = match rx.recv_timeout(FORWARD_DEADLINE) {
-                    Ok(reply) => reply,
-                    Err(RecvTimeoutError::Disconnected) => {
+        let _ = pump_tx.send(PendingReply {
+            rx,
+            conn,
+            req_id,
+            worker_id: id,
+            delay,
+            drop_conn,
+            truncate,
+            deadline: Instant::now() + FORWARD_DEADLINE,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reply pump
+// ---------------------------------------------------------------------------
+
+/// Waits on every in-flight worker reply at once and turns each into a
+/// shard completion: the scripted wire behaviour (delay / drop /
+/// truncate) rides along, and entries that outlive [`FORWARD_DEADLINE`]
+/// are dropped silently — the `LoseReply` shape, the remote client
+/// times out.
+///
+/// Completions are delivered in **op order**: the pending list keeps
+/// submission order and every wake sweeps it front-to-back, delivering
+/// all ready entries. The worker serves FIFO, so a ready reply implies
+/// every earlier non-lost reply is ready too — the sweep therefore
+/// flushes reply frames onto each connection in the same deterministic
+/// order the requests were served, even when a pipelined burst makes
+/// many replies ready within one wake. Only scripted lost replies are
+/// skipped over (they expire in place).
+fn pump_loop(inject: &Receiver<PendingReply>) {
+    let mut pendings: Vec<PendingReply> = Vec::new();
+    let mut inject_open = true;
+    loop {
+        if !inject_open && pendings.is_empty() {
+            return;
+        }
+
+        // The select set is rebuilt each round (registration is cheap
+        // in the channel shim; the fork-join client does the same).
+        let mut sel = Select::new();
+        if inject_open {
+            sel.recv(inject);
+        }
+        for p in &pendings {
+            sel.recv(&p.rx);
+        }
+        let next_deadline = pendings.iter().map(|p| p.deadline).min();
+        let ready = match next_deadline {
+            Some(d) => sel.ready_deadline(d).ok(),
+            None => Some(sel.ready()),
+        };
+
+        if ready.is_some() {
+            if inject_open {
+                loop {
+                    match inject.try_recv() {
+                        Ok(p) => pendings.push(p),
+                        Err(TryRecvError::Empty) => break,
+                        Err(TryRecvError::Disconnected) => {
+                            inject_open = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            // Ordered sweep: deliver every ready reply, oldest first.
+            let mut i = 0;
+            while i < pendings.len() {
+                match pendings[i].rx.try_recv() {
+                    Ok(reply) => {
+                        let p = pendings.remove(i);
+                        deliver(&p, &reply);
+                    }
+                    Err(TryRecvError::Empty) => i += 1, // not ready yet
+                    Err(TryRecvError::Disconnected) => {
                         // Worker crashed mid-request (Crash fault): tell
                         // the client definitively.
-                        let _ = conn.write(&encode_reply(
-                            &Reply::Err(StoreError::WorkerDown(worker_id)),
-                            req_id,
-                        ));
-                        return;
+                        let p = pendings.remove(i);
+                        p.conn
+                            .reply(&Reply::Err(StoreError::WorkerDown(p.worker_id)), p.req_id);
                     }
-                    Err(RecvTimeoutError::Timeout) => {
-                        // The worker swallowed the reply (LoseReply) or
-                        // is hanging far past the deadline. Send nothing:
-                        // the remote client times out, exactly like an
-                        // in-process client facing LoseReply.
-                        return;
-                    }
-                };
-                if !delay.is_zero() {
-                    std::thread::sleep(delay);
                 }
-                if drop_conn {
-                    conn.close();
-                    return;
-                }
-                let frame = encode_reply(&reply, req_id);
-                if truncate {
-                    conn.write_truncated(&frame);
-                } else {
-                    let _ = conn.write(&frame);
-                }
-            });
+            }
+        }
+
+        // LoseReply shape: expired entries vanish without a frame.
+        let now = Instant::now();
+        pendings.retain(|p| p.deadline > now);
+    }
+}
+
+/// Turns a worker reply into the scripted completion for its connection.
+fn deliver(p: &PendingReply, reply: &Reply) {
+    if p.drop_conn {
+        p.conn.complete(Action::Close, p.delay);
+    } else if p.truncate {
+        p.conn
+            .complete(Action::Truncate(encode_reply(reply, p.req_id)), p.delay);
+    } else {
+        p.conn
+            .complete(Action::Frame(encode_reply_parts(reply, p.req_id)), p.delay);
     }
 }
 

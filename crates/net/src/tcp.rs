@@ -1,12 +1,25 @@
 //! Client-side TCP transport: [`TcpTransport`] implements the store's
-//! [`Transport`] trait over real sockets.
+//! [`Transport`] trait over real sockets, driven by readiness-polled
+//! event loops instead of per-connection reader threads.
 //!
-//! One connection per worker, lazily established and pooled. Each
-//! in-flight request gets a fresh `req_id`; a per-connection reader
-//! thread demultiplexes reply frames back to the waiting
-//! [`Receiver`]s, so any number of requests overlap on one socket and
-//! replies may arrive out of order (the fork-join read path depends on
-//! this).
+//! One connection per worker, lazily established and pooled.
+//! Connections are sharded across a small set of I/O loop threads
+//! (worker `w` lives on shard `w % N`, one shard per core by default);
+//! each loop multiplexes its sockets with a [`mio::Poll`]er. Each
+//! in-flight request gets a fresh `req_id`; the owning loop
+//! demultiplexes reply frames back to the waiting [`Receiver`]s, so
+//! any number of requests overlap on one socket and replies may arrive
+//! out of order (the fork-join read path depends on this).
+//!
+//! The data path is batched and zero-copy: submitters encode frames as
+//! header + [`bytes::Bytes`] payload parts ([`crate::frame::encode_request_parts`]),
+//! the loop gathers every frame queued since its last wakeup into
+//! shared `writev` calls ([`crate::poll::WriteQueue`]), and inbound
+//! frames are decoded incrementally off non-blocking reads
+//! ([`crate::poll::FrameReader`]). A burst of pipelined requests —
+//! e.g. the fork-join fan-out submitting k partition reads at once via
+//! [`Transport::submit_batch`] — shares one syscall round instead of
+//! paying one write and one thread handoff each.
 //!
 //! Failure mapping (the wire-level half of the retry story):
 //!
@@ -19,77 +32,127 @@
 //!   transport.
 //!
 //! The configured [`deadline`](TcpTransport::with_deadline) (take it
-//! from `RetryPolicy::deadline`) maps onto the sockets: it bounds
-//! connection establishment, every blocking write, and the reader
-//! thread's poll interval; entries that outlive `2 * deadline` without
-//! a reply are reaped with [`StoreError::Timeout`] so the pending map
-//! cannot grow without bound.
+//! from `RetryPolicy::deadline`) maps onto the loop's timer heap:
+//! it bounds connection establishment, and every submitted request
+//! arms a poller timer at `2 * deadline` — entries that outlive it
+//! without a reply are reaped with [`StoreError::Timeout`] so the
+//! pending map cannot grow without bound.
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError};
+use mio::{Events, Interest, Poll, Token, Waker};
 use parking_lot::Mutex;
 use spcache_store::rpc::{Reply, Request, StoreError};
 use spcache_store::transport::Transport;
 use std::collections::HashMap;
-use std::io::{self, BufWriter};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::frame::{decode_reply, encode_request, read_frame, write_frame, Frame};
+use bytes::Bytes;
 
-/// Requests waiting for their reply frame, keyed by `req_id`. Shared
-/// between submitters and the connection's reader thread.
-type PendingMap = Arc<Mutex<HashMap<u64, (Instant, Sender<Reply>)>>>;
+use crate::frame::{decode_reply, encode_request_parts, Frame};
+use crate::poll::{FrameReader, PumpStatus, Timers, WireFrame, WriteQueue};
 
-/// One live connection to a worker.
-#[derive(Debug)]
-struct Conn {
-    writer: BufWriter<TcpStream>,
-    pending: PendingMap,
+/// Token reserved for the shard's cross-thread waker.
+const WAKER: Token = Token(0);
+
+/// Socket tokens are the worker index shifted past the waker slot.
+fn worker_token(worker: usize) -> Token {
+    Token(worker + 1)
 }
 
-impl Conn {
-    /// Fails every in-flight request with `err` (connection death).
-    fn fail_all(pending: &PendingMap, err: &StoreError) {
-        for (_, (_, tx)) in pending.lock().drain() {
-            let _ = tx.send(Reply::Err(err.clone()));
-        }
-    }
+/// Work handed from submitters to a shard's event loop.
+enum Cmd {
+    /// Adopt a freshly connected (non-blocking) socket for `worker`.
+    Dial { worker: usize, stream: TcpStream },
+    /// Queue one encoded request frame on `worker`'s connection.
+    Submit {
+        worker: usize,
+        req_id: u64,
+        frame: WireFrame,
+        /// Reap the pending entry with `Timeout` at this instant.
+        reap_at: Instant,
+        reply: Sender<Reply>,
+    },
+    /// Drain and exit (transport drop).
+    Shutdown,
 }
 
-/// Per-worker connection slot.
-#[derive(Debug)]
-struct Peer {
+/// Peer state shared between submitters and the owning shard: the
+/// `connected` flag is the dial gate — set under its lock by the first
+/// submitter to find it false, cleared by the loop when the connection
+/// dies so the next submit redials.
+struct PeerShared {
     addr: SocketAddr,
-    conn: Mutex<Option<Conn>>,
+    connected: Mutex<bool>,
 }
 
-/// A [`Transport`] over real TCP connections, one per worker.
-#[derive(Debug)]
+/// Handle to one I/O loop thread.
+struct Shard {
+    tx: Sender<Cmd>,
+    waker: Waker,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// A [`Transport`] over real TCP connections, one per worker, served
+/// by sharded readiness event loops.
 pub struct TcpTransport {
-    peers: Vec<Peer>,
+    peers: Arc<Vec<PeerShared>>,
+    shards: Vec<Shard>,
     next_id: AtomicU64,
     deadline: Duration,
 }
 
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("addrs", &self.addrs())
+            .field("io_shards", &self.shards.len())
+            .field("deadline", &self.deadline)
+            .finish()
+    }
+}
+
 impl TcpTransport {
     /// A transport speaking to workers at `addrs` (worker `i` ↔
-    /// `addrs[i]`), with the default 5 s deadline.
+    /// `addrs[i]`), with the default 5 s deadline and one I/O shard
+    /// per core (capped at the worker count).
     ///
     /// # Panics
     ///
-    /// Panics if `addrs` is empty.
+    /// Panics if `addrs` is empty or the poller cannot be created.
     pub fn connect(addrs: Vec<SocketAddr>) -> Self {
+        let shards = default_shards().min(addrs.len().max(1));
+        Self::connect_sharded(addrs, shards)
+    }
+
+    /// Like [`connect`](TcpTransport::connect) with an explicit I/O
+    /// shard count (the `spcached --io-shards` flag lands here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addrs` is empty or the poller cannot be created.
+    pub fn connect_sharded(addrs: Vec<SocketAddr>, io_shards: usize) -> Self {
         assert!(!addrs.is_empty(), "need at least one worker address");
-        TcpTransport {
-            peers: addrs
+        crate::poll::tune_allocator_once();
+        let peers: Arc<Vec<PeerShared>> = Arc::new(
+            addrs
                 .into_iter()
-                .map(|addr| Peer {
+                .map(|addr| PeerShared {
                     addr,
-                    conn: Mutex::new(None),
+                    connected: Mutex::new(false),
                 })
                 .collect(),
+        );
+        let n = io_shards.clamp(1, peers.len());
+        let shards = (0..n)
+            .map(|i| spawn_shard(i, Arc::clone(&peers)))
+            .collect();
+        TcpTransport {
+            peers,
+            shards,
             next_id: AtomicU64::new(1),
             deadline: Duration::from_secs(5),
         }
@@ -109,81 +172,60 @@ impl TcpTransport {
         self.peers.iter().map(|p| p.addr).collect()
     }
 
-    /// Establishes a connection to `worker` and spawns its reader
-    /// thread.
-    fn dial(&self, worker: usize) -> io::Result<Conn> {
+    /// Number of I/O loop threads serving this transport.
+    pub fn io_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, worker: usize) -> &Shard {
+        &self.shards[worker % self.shards.len()]
+    }
+
+    /// Ensures `worker`'s connection is live (dialling synchronously if
+    /// not), then returns whether a `Dial` was handed to the loop.
+    /// Serialises concurrent dial attempts on the peer's lock.
+    fn ensure_connected(&self, worker: usize) -> Result<(), StoreError> {
         let peer = &self.peers[worker];
-        let stream = TcpStream::connect_timeout(&peer.addr, self.deadline)?;
-        stream.set_nodelay(true)?;
-        stream.set_write_timeout(Some(self.deadline))?;
-        let pending: PendingMap = Arc::new(Mutex::new(HashMap::new()));
-        let reader = stream.try_clone()?;
-        // The reader polls at the deadline so it can reap abandoned
-        // entries even when the server goes silent without closing.
-        reader.set_read_timeout(Some(self.deadline))?;
-        let reader_pending = Arc::clone(&pending);
-        let reap_after = self.deadline * 2;
-        std::thread::Builder::new()
-            .name(format!("spcache-net-rx-{worker}"))
-            .spawn(move || reader_loop(reader, &reader_pending, worker, reap_after))
-            .expect("spawn reader thread");
-        Ok(Conn {
-            writer: BufWriter::new(stream),
-            pending,
-        })
+        let mut connected = peer.connected.lock();
+        if *connected {
+            return Ok(());
+        }
+        let stream = TcpStream::connect_timeout(&peer.addr, self.deadline)
+            .and_then(|s| {
+                s.set_nodelay(true)?;
+                s.set_nonblocking(true)?;
+                crate::poll::tune_socket(&s);
+                Ok(s)
+            })
+            .map_err(|_| StoreError::Io(worker))?;
+        let shard = self.shard_of(worker);
+        shard
+            .tx
+            .send(Cmd::Dial { worker, stream })
+            .map_err(|_| StoreError::Io(worker))?;
+        *connected = true;
+        Ok(())
+    }
+
+    /// Builds the `Submit` command for one request (fresh `req_id`,
+    /// parts-encoded frame, reap deadline) plus its reply receiver.
+    fn make_submit(&self, worker: usize, req: &Request) -> (Cmd, Receiver<Reply>) {
+        let req_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded(1);
+        let cmd = Cmd::Submit {
+            worker,
+            req_id,
+            frame: encode_request_parts(req, req_id),
+            reap_at: Instant::now() + self.deadline * 2,
+            reply: tx,
+        };
+        (cmd, rx)
     }
 }
 
-/// Demultiplexes reply frames into the pending map until the connection
-/// dies, then fails whatever is still in flight.
-fn reader_loop(mut stream: TcpStream, pending: &PendingMap, worker: usize, reap_after: Duration) {
-    let death = loop {
-        match read_frame(&mut stream) {
-            Ok(Some(buf)) => {
-                let reply = match Frame::parse(buf) {
-                    Ok(frame) => match decode_reply(&frame) {
-                        Ok(reply) => {
-                            if let Some((_, tx)) = pending.lock().remove(&frame.req_id) {
-                                let _ = tx.send(reply);
-                            }
-                            continue;
-                        }
-                        Err(e) => e,
-                    },
-                    Err(e) => e,
-                };
-                // A malformed reply poisons the whole stream (framing is
-                // lost); surface the codec error and drop the connection.
-                break reply;
-            }
-            Ok(None) => break StoreError::Io(worker),
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                // Idle tick: reap requests nobody will answer.
-                let now = Instant::now();
-                pending.lock().retain(|_, (t0, tx)| {
-                    if now.duration_since(*t0) > reap_after {
-                        let _ = tx.send(Reply::Err(StoreError::Timeout(worker)));
-                        false
-                    } else {
-                        true
-                    }
-                });
-                // A dropped writer half means the transport is gone and
-                // this thread should die with it.
-                if Arc::strong_count(pending) == 1 && pending.lock().is_empty() {
-                    break StoreError::Io(worker);
-                }
-            }
-            Err(_) => break StoreError::Io(worker),
-        }
-    };
-    Conn::fail_all(pending, &death);
-    let _ = stream.shutdown(std::net::Shutdown::Both);
+/// One I/O shard per core by default (this machine's parallelism).
+fn default_shards() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 impl Transport for TcpTransport {
@@ -193,46 +235,285 @@ impl Transport for TcpTransport {
 
     fn submit(&self, worker: usize, req: Request) -> Result<Receiver<Reply>, StoreError> {
         assert!(worker < self.peers.len(), "worker index out of range");
-        let mut slot = self.peers[worker].conn.lock();
-        if slot.is_none() {
-            match self.dial(worker) {
-                Ok(conn) => *slot = Some(conn),
-                Err(_) => return Err(StoreError::Io(worker)),
+        self.ensure_connected(worker)?;
+        let (cmd, rx) = self.make_submit(worker, &req);
+        let shard = self.shard_of(worker);
+        shard.tx.send(cmd).map_err(|_| StoreError::Io(worker))?;
+        let _ = shard.waker.wake();
+        Ok(rx)
+    }
+
+    /// Batched submission: every frame reaches its shard before a
+    /// single wake per shard, so the loop flushes the whole burst in
+    /// shared `writev` calls — this is what makes a k-way fork-join
+    /// read one syscall round instead of k.
+    fn submit_batch(
+        &self,
+        reqs: Vec<(usize, Request)>,
+    ) -> Result<Vec<Receiver<Reply>>, StoreError> {
+        let mut receivers = Vec::with_capacity(reqs.len());
+        let mut woken = vec![false; self.shards.len()];
+        for (worker, req) in reqs {
+            assert!(worker < self.peers.len(), "worker index out of range");
+            self.ensure_connected(worker)?;
+            let (cmd, rx) = self.make_submit(worker, &req);
+            self.shard_of(worker)
+                .tx
+                .send(cmd)
+                .map_err(|_| StoreError::Io(worker))?;
+            woken[worker % self.shards.len()] = true;
+            receivers.push(rx);
+        }
+        for (i, fire) in woken.into_iter().enumerate() {
+            if fire {
+                let _ = self.shards[i].waker.wake();
             }
         }
-        let conn = slot.as_mut().expect("connection just ensured");
-        let req_id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let (tx, rx) = bounded(1);
-        conn.pending.lock().insert(req_id, (Instant::now(), tx));
-        let wire = encode_request(&req, req_id);
-        if let Err(_e) = write_frame(&mut conn.writer, &wire) {
-            // Connection is broken: fail everything on it (including the
-            // entry just inserted) and clear the slot so the next submit
-            // redials.
-            let dead = slot.take().expect("connection present");
-            let _ = dead.writer.get_ref().shutdown(std::net::Shutdown::Both);
-            Conn::fail_all(&dead.pending, &StoreError::Io(worker));
-            return Err(StoreError::Io(worker));
-        }
-        Ok(rx)
+        Ok(receivers)
     }
 }
 
 impl Drop for TcpTransport {
     fn drop(&mut self) {
-        // Shut the sockets down so reader threads observe EOF and exit
-        // instead of lingering on a blocking read.
-        for peer in &self.peers {
-            if let Some(conn) = peer.conn.lock().take() {
-                let _ = conn.writer.get_ref().shutdown(std::net::Shutdown::Both);
+        for shard in &mut self.shards {
+            let _ = shard.tx.send(Cmd::Shutdown);
+            let _ = shard.waker.wake();
+            if let Some(t) = shard.thread.take() {
+                let _ = t.join();
             }
         }
     }
 }
 
+// ---------------------------------------------------------------------------
+// The shard event loop
+// ---------------------------------------------------------------------------
+
+/// One live multiplexed connection owned by a shard loop.
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+    wq: WriteQueue,
+    pending: HashMap<u64, Sender<Reply>>,
+    /// Whether the socket is currently registered for write readiness.
+    writable_armed: bool,
+}
+
+impl Conn {
+    fn fail_all(&mut self, err: &StoreError) {
+        for (_, tx) in self.pending.drain() {
+            let _ = tx.send(Reply::Err(err.clone()));
+        }
+    }
+}
+
+fn spawn_shard(index: usize, peers: Arc<Vec<PeerShared>>) -> Shard {
+    let poll = Poll::new().expect("create poller");
+    let waker = Waker::new(poll.registry(), WAKER).expect("create waker");
+    let (tx, rx) = unbounded();
+    let thread = std::thread::Builder::new()
+        .name(format!("spcache-net-io-{index}"))
+        .spawn(move || shard_loop(poll, rx, &peers))
+        .expect("spawn io shard");
+    Shard {
+        tx,
+        waker,
+        thread: Some(thread),
+    }
+}
+
+/// The readiness loop: drains submitter commands, pumps readable
+/// sockets through the incremental decoder, batch-flushes write
+/// queues, and reaps expired request deadlines — all on one thread,
+/// no per-connection threads anywhere.
+fn shard_loop(mut poll: Poll, rx: Receiver<Cmd>, peers: &[PeerShared]) {
+    let mut events = Events::with_capacity(256);
+    let mut conns: HashMap<usize, Conn> = HashMap::new();
+    // Timer keys are (worker, req_id); req_ids are globally unique, so
+    // a stale timer outliving its connection reaps nothing.
+    let mut timers: Timers<(usize, u64)> = Timers::new();
+    let mut inbound: Vec<Bytes> = Vec::new();
+
+    'run: loop {
+        let timeout = timers
+            .next_deadline()
+            .map(|d| d.saturating_duration_since(Instant::now()));
+        if poll.poll(&mut events, timeout).is_err() {
+            break 'run; // poller failure is fatal; drain below
+        }
+
+        // Commands first: frames submitted since the last wakeup land
+        // in the write queues before the single flush pass below.
+        let mut dirty: Vec<usize> = Vec::new();
+        loop {
+            match rx.try_recv() {
+                Ok(Cmd::Dial { worker, stream }) => {
+                    let ok = poll
+                        .registry()
+                        .register(&stream, worker_token(worker), Interest::READABLE)
+                        .is_ok();
+                    if ok {
+                        conns.insert(
+                            worker,
+                            Conn {
+                                stream,
+                                reader: FrameReader::new(),
+                                wq: WriteQueue::new(),
+                                pending: HashMap::new(),
+                                writable_armed: false,
+                            },
+                        );
+                    } else {
+                        *peers[worker].connected.lock() = false;
+                    }
+                }
+                Ok(Cmd::Submit {
+                    worker,
+                    req_id,
+                    frame,
+                    reap_at,
+                    reply,
+                }) => match conns.get_mut(&worker) {
+                    Some(conn) => {
+                        conn.pending.insert(req_id, reply);
+                        conn.wq.push(frame);
+                        timers.insert(reap_at, (worker, req_id));
+                        if !dirty.contains(&worker) {
+                            dirty.push(worker);
+                        }
+                    }
+                    // The connection died between submit and delivery;
+                    // a retryable error sends the caller back around.
+                    None => {
+                        let _ = reply.send(Reply::Err(StoreError::Io(worker)));
+                    }
+                },
+                Ok(Cmd::Shutdown) | Err(TryRecvError::Disconnected) => break 'run,
+                Err(TryRecvError::Empty) => break,
+            }
+        }
+
+        // Socket readiness.
+        for ev in &events {
+            let Token(t) = ev.token();
+            if t == WAKER.0 {
+                continue;
+            }
+            let worker = t - 1;
+            let Some(conn) = conns.get_mut(&worker) else {
+                continue;
+            };
+            if ev.is_readable() || ev.is_error() {
+                if let Some(death) = pump_replies(conn, worker, &mut inbound) {
+                    kill_conn(&poll, &mut conns, peers, worker, &death);
+                    continue;
+                }
+            }
+            if ev.is_writable() && !dirty.contains(&worker) {
+                dirty.push(worker);
+            }
+        }
+
+        // One flush per touched connection: everything queued above
+        // goes out in batched vectored writes.
+        for worker in dirty {
+            let Some(conn) = conns.get_mut(&worker) else {
+                continue;
+            };
+            if let Err(death) = flush_conn(&poll, conn, worker) {
+                kill_conn(&poll, &mut conns, peers, worker, &death);
+            }
+        }
+
+        // Reap expired deadlines.
+        let now = Instant::now();
+        while let Some((worker, req_id)) = timers.pop_due(now) {
+            if let Some(conn) = conns.get_mut(&worker) {
+                if let Some(tx) = conn.pending.remove(&req_id) {
+                    let _ = tx.send(Reply::Err(StoreError::Timeout(worker)));
+                }
+            }
+        }
+    }
+
+    // Shutdown (or poller death): fail whatever is still in flight so
+    // no caller blocks forever, and mark peers disconnected.
+    for (worker, mut conn) in conns.drain() {
+        conn.fail_all(&StoreError::Io(worker));
+        let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        *peers[worker].connected.lock() = false;
+    }
+}
+
+/// Pumps a readable connection and routes every decoded reply to its
+/// waiting receiver. Returns the connection's cause of death, if any.
+fn pump_replies(conn: &mut Conn, worker: usize, inbound: &mut Vec<Bytes>) -> Option<StoreError> {
+    inbound.clear();
+    let status = conn.reader.pump(&mut conn.stream, inbound);
+    for buf in inbound.drain(..) {
+        match Frame::parse(buf).and_then(|f| decode_reply(&f).map(|r| (f.req_id, r))) {
+            Ok((req_id, reply)) => {
+                if let Some(tx) = conn.pending.remove(&req_id) {
+                    let _ = tx.send(reply);
+                }
+            }
+            // A malformed reply poisons the whole stream (framing is
+            // lost); surface the codec error and drop the connection.
+            Err(e) => return Some(e),
+        }
+    }
+    match status {
+        Ok(PumpStatus::Open) => None,
+        Ok(PumpStatus::Closed) | Err(_) => Some(StoreError::Io(worker)),
+    }
+}
+
+/// Flushes a connection's write queue, arming or disarming write
+/// interest to match whether the socket pushed back.
+fn flush_conn(poll: &Poll, conn: &mut Conn, worker: usize) -> Result<(), StoreError> {
+    match conn.wq.flush(&mut conn.stream) {
+        Ok(drained) => {
+            if drained && conn.writable_armed {
+                conn.writable_armed = false;
+                let _ = poll
+                    .registry()
+                    .reregister(&conn.stream, worker_token(worker), Interest::READABLE);
+            } else if !drained && !conn.writable_armed {
+                conn.writable_armed = true;
+                let _ = poll.registry().reregister(
+                    &conn.stream,
+                    worker_token(worker),
+                    Interest::READABLE | Interest::WRITABLE,
+                );
+            }
+            Ok(())
+        }
+        Err(_) => Err(StoreError::Io(worker)),
+    }
+}
+
+/// Tears down a dead connection: fails its in-flight requests with
+/// `death` and clears the peer's connected flag so the next submit
+/// redials.
+fn kill_conn(
+    poll: &Poll,
+    conns: &mut HashMap<usize, Conn>,
+    peers: &[PeerShared],
+    worker: usize,
+    death: &StoreError,
+) {
+    if let Some(mut conn) = conns.remove(&worker) {
+        let _ = poll.registry().deregister(&conn.stream);
+        let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        conn.fail_all(death);
+    }
+    *peers[worker].connected.lock() = false;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frame::{encode_reply, read_frame, write_frame};
     use spcache_store::rpc::PartKey;
     use std::net::TcpListener;
 
@@ -298,6 +579,66 @@ mod tests {
         };
         assert!(matches!(e, StoreError::Codec(_)), "got {e:?}");
         assert!(!e.is_retryable(), "codec violations must be permanent");
+        server.join().unwrap();
+    }
+
+    /// A blocking echo server that answers every request with a `Pong`
+    /// carrying the request id in the epoch field, slightly shuffling
+    /// reply order to exercise out-of-order demultiplexing.
+    fn pong_server(listener: TcpListener) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut held: Option<Vec<u8>> = None;
+            while let Ok(Some(buf)) = read_frame(&mut stream) {
+                let frame = Frame::parse(buf).unwrap();
+                let wire = encode_reply(
+                    &Reply::Pong {
+                        worker: 0,
+                        epoch: frame.req_id,
+                    },
+                    frame.req_id,
+                );
+                // Hold every other reply back one frame: replies go out
+                // out of order relative to requests.
+                match held.take() {
+                    None => held = Some(wire),
+                    Some(prev) => {
+                        write_frame(&mut stream, &wire).unwrap();
+                        write_frame(&mut stream, &prev).unwrap();
+                    }
+                }
+            }
+            if let Some(prev) = held {
+                let _ = write_frame(&mut stream, &prev);
+            }
+        })
+    }
+
+    #[test]
+    fn pipelined_batch_multiplexes_one_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = pong_server(listener);
+
+        let t = TcpTransport::connect(vec![addr]).with_deadline(Duration::from_secs(2));
+        let reqs: Vec<(usize, Request)> = (0..128).map(|_| (0, Request::Ping)).collect();
+        let rxs = t.submit_batch(reqs).unwrap();
+        // Every receiver gets the pong for *its* request id, proving
+        // the demultiplexer never cross-wires replies under batching.
+        let mut epochs = Vec::new();
+        for rx in rxs {
+            let reply = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            let Reply::Pong { epoch, .. } = reply else {
+                panic!("expected pong, got {reply:?}")
+            };
+            epochs.push(epoch);
+        }
+        let mut sorted = epochs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 128, "every request got a distinct reply");
+        assert_eq!(epochs, sorted, "receivers arrived in submit order");
+        drop(t);
         server.join().unwrap();
     }
 }

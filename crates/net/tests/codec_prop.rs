@@ -7,6 +7,7 @@ use proptest::prelude::*;
 use spcache_net::frame::{
     decode_reply, decode_request, encode_reply, encode_request, read_frame, Frame, HEADER_LEN,
 };
+use spcache_net::poll::{FrameReader, PumpStatus};
 use spcache_net::master_net::{
     decode_meta_reply, decode_meta_request, encode_meta_reply, encode_meta_request, MetaReply,
     MetaRequest,
@@ -272,6 +273,152 @@ proptest! {
         // Either InvalidData (over MAX_FRAME) or UnexpectedEof (honest
         // lengths with missing bytes).
         prop_assert!(read_frame(&mut r).is_err());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batched frames through the event loop's `FrameReader`.
+// ---------------------------------------------------------------------
+
+/// A reader that hands back a byte stream in arbitrary chunk sizes —
+/// the adversarial schedule of `read(2)` returns a non-blocking socket
+/// can produce — optionally interleaving `WouldBlock` between chunks
+/// the way a drained socket would.
+struct ChunkedReader {
+    data: Vec<u8>,
+    pos: usize,
+    cuts: Vec<usize>,
+    ci: usize,
+    block_between: bool,
+    pending_block: bool,
+}
+
+impl ChunkedReader {
+    fn new(data: Vec<u8>, cuts: Vec<usize>, block_between: bool) -> Self {
+        ChunkedReader { data, pos: 0, cuts, ci: 0, block_between, pending_block: false }
+    }
+}
+
+impl std::io::Read for ChunkedReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pending_block {
+            self.pending_block = false;
+            return Err(std::io::ErrorKind::WouldBlock.into());
+        }
+        if self.pos >= self.data.len() {
+            return Ok(0);
+        }
+        let chunk = self.cuts.get(self.ci).copied().unwrap_or(usize::MAX).max(1);
+        self.ci += 1;
+        let n = chunk.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        if self.block_between {
+            self.pending_block = true;
+        }
+        Ok(n)
+    }
+}
+
+/// Builds a batched wire stream of `Put` frames plus the frame-boundary
+/// offsets (cumulative encoded lengths) and the expected decodes.
+fn batched_stream(msgs: &[(u64, Vec<u8>)]) -> (Vec<u8>, Vec<usize>, Vec<(u64, Request)>) {
+    let mut stream = Vec::new();
+    let mut boundaries = vec![0];
+    let mut expect = Vec::new();
+    for (req_id, data) in msgs {
+        let req = Request::Put {
+            key: PartKey::new(req_id ^ 0xABCD, (*req_id % 7_919) as u32),
+            data: Bytes::from(data.clone()),
+        };
+        stream.extend_from_slice(&encode_request(&req, *req_id));
+        boundaries.push(stream.len());
+        expect.push((*req_id, req));
+    }
+    (stream, boundaries, expect)
+}
+
+/// Drives `FrameReader::pump` to completion over a chunked reader,
+/// failing the case if it spins without consuming.
+fn pump_all(
+    r: &mut ChunkedReader,
+    frames: &mut Vec<Bytes>,
+) -> Result<std::io::Result<()>, TestCaseError> {
+    let mut fr = FrameReader::new();
+    for _ in 0..(2 * r.data.len() + 64) {
+        match fr.pump(r, frames) {
+            Ok(PumpStatus::Closed) => return Ok(Ok(())),
+            Ok(PumpStatus::Open) => {}
+            Err(e) => return Ok(Err(e)),
+        }
+    }
+    Err(TestCaseError::from("pump never reached EOF"))
+}
+
+proptest! {
+    /// A pipelined batch of frames split at *any* syscall boundaries —
+    /// including one-byte reads and interleaved `WouldBlock` — re-parses
+    /// to exactly the original frame sequence: nothing lost, nothing
+    /// duplicated, no byte attributed to the wrong frame, and the
+    /// reader consumes the stream exactly once (no over-read).
+    #[test]
+    fn batched_frames_reparse_across_any_split_points(
+        msgs in proptest::collection::vec(
+            (0u64..u64::MAX, proptest::collection::vec(0u8..=255, 0..2_048)),
+            1..10,
+        ),
+        cuts in proptest::collection::vec(1usize..97, 0..64),
+        block: bool,
+    ) {
+        let (stream, _, expect) = batched_stream(&msgs);
+        let total = stream.len();
+        let mut r = ChunkedReader::new(stream, cuts, block);
+        let mut frames = Vec::new();
+        pump_all(&mut r, &mut frames)?.expect("clean batch errored");
+        prop_assert_eq!(r.pos, total, "reader stopped early or over-read");
+        prop_assert_eq!(frames.len(), expect.len(), "frame count diverged");
+        for (bytes, (req_id, req)) in frames.iter().zip(&expect) {
+            let frame = Frame::parse(bytes.clone()).expect("parse pumped frame");
+            prop_assert_eq!(frame.req_id, *req_id);
+            prop_assert_eq!(&decode_request(&frame).expect("decode pumped frame"), req);
+        }
+    }
+
+    /// The same batch torn at a random byte: everything before the tear
+    /// re-parses as a strict prefix of the original sequence, and the
+    /// tear itself surfaces as a clean close (frame boundary) or an
+    /// `UnexpectedEof` (mid-frame) — never a panic, never a fabricated
+    /// frame from the torn tail.
+    #[test]
+    fn torn_batched_streams_yield_a_clean_prefix(
+        msgs in proptest::collection::vec(
+            (0u64..u64::MAX, proptest::collection::vec(0u8..=255, 0..512)),
+            1..8,
+        ),
+        cuts in proptest::collection::vec(1usize..53, 0..48),
+        cut_seed in 0usize..usize::MAX,
+        block: bool,
+    ) {
+        let (stream, boundaries, expect) = batched_stream(&msgs);
+        let cut = 1 + cut_seed % (stream.len() - 1);
+        let on_boundary = boundaries.contains(&cut);
+        let mut r = ChunkedReader::new(stream[..cut].to_vec(), cuts, block);
+        let mut frames = Vec::new();
+        let outcome = pump_all(&mut r, &mut frames)?;
+        if on_boundary {
+            prop_assert!(outcome.is_ok(), "boundary cut errored: {:?}", outcome);
+        } else {
+            let err = outcome.expect_err("mid-frame tear decoded cleanly");
+            prop_assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        }
+        // Exactly the frames wholly before the tear, byte-for-byte.
+        let complete = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count();
+        prop_assert_eq!(frames.len(), complete, "torn tail fabricated or ate a frame");
+        for (bytes, (req_id, req)) in frames.iter().zip(&expect) {
+            let frame = Frame::parse(bytes.clone()).expect("parse pumped frame");
+            prop_assert_eq!(frame.req_id, *req_id);
+            prop_assert_eq!(&decode_request(&frame).expect("decode pumped frame"), req);
+        }
     }
 }
 

@@ -42,6 +42,25 @@ pub trait Transport: Send + Sync + std::fmt::Debug {
     /// worker.
     fn submit(&self, worker: usize, req: Request) -> Result<Receiver<Reply>, StoreError>;
 
+    /// Submits a batch of requests, returning one reply receiver per
+    /// request in order. The default is a fail-fast loop of
+    /// [`submit`](Transport::submit); socket transports override it to
+    /// hand the whole batch to their event loops in one wakeup so the
+    /// frames coalesce into shared `writev` calls.
+    ///
+    /// # Errors
+    ///
+    /// The first submission error aborts the batch (requests already
+    /// submitted stay in flight; their receivers are dropped).
+    fn submit_batch(
+        &self,
+        reqs: Vec<(usize, Request)>,
+    ) -> Result<Vec<Receiver<Reply>>, StoreError> {
+        reqs.into_iter()
+            .map(|(worker, req)| self.submit(worker, req))
+            .collect()
+    }
+
     /// Convenience blocking call: submit and wait up to `timeout`.
     ///
     /// # Errors

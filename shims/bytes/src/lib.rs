@@ -10,9 +10,16 @@ use std::ops::{Deref, Range};
 use std::sync::Arc;
 
 /// A cheaply cloneable, contiguous, immutable slice of memory.
+///
+/// Backed by `Arc<Vec<u8>>` rather than `Arc<[u8]>` so that
+/// `Bytes::from(vec)` *adopts* the vector's allocation — `Arc<[u8]>`
+/// has no way to take ownership of a `Vec`'s buffer and would copy
+/// every byte, which silently doubled the receive path's memory
+/// traffic (the frame decoder hands multi-megabyte bodies across this
+/// boundary).
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -23,11 +30,10 @@ impl Bytes {
         Bytes::default()
     }
 
-    /// Copies `data` into a new buffer (one copy: straight into the
-    /// shared allocation, no intermediate `Vec`).
+    /// Copies `data` into a new buffer (one copy).
     pub fn copy_from_slice(data: &[u8]) -> Self {
         Bytes {
-            data: Arc::from(data),
+            data: Arc::new(data.to_vec()),
             start: 0,
             end: data.len(),
         }
@@ -74,10 +80,11 @@ impl AsRef<[u8]> for Bytes {
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Adopts the vector's allocation — no byte copy.
     fn from(v: Vec<u8>) -> Self {
         let end = v.len();
         Bytes {
-            data: Arc::from(v),
+            data: Arc::new(v),
             start: 0,
             end,
         }
