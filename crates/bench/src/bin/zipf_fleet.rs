@@ -1,0 +1,182 @@
+//! `zipf_fleet` — a standalone Zipf read fleet against the budgeted
+//! store, for eyeballing eviction/reload behaviour and pacing outside
+//! the JSON harness.
+//!
+//! ```text
+//! zipf_fleet [--files N] [--file-kb KB] [--k K] [--workers N]
+//!            [--reads N] [--budget-frac F] [--background-fraction F]
+//!            [--bandwidth BYTES_PER_SEC] [--seed S] [--tcp]
+//! ```
+//!
+//! Writes `--files` files of `--file-kb` KB split `--k` ways, then
+//! drives `--reads` Zipf(1.1)-sampled reads through one client and
+//! prints throughput plus the fleet's eviction/spill/reload counters.
+//! `--budget-frac F` caps each worker at `F ×` its unbounded resident
+//! share (omit for an unbounded run); `--tcp` runs the same fleet over
+//! real loopback sockets instead of in-process channels.
+
+use std::process::exit;
+use std::time::Instant;
+
+use bytes::Bytes;
+use rand::SeedableRng;
+use spcache_net::TcpCluster;
+use spcache_sim::Xoshiro256StarStar;
+use spcache_store::rpc::WorkerStats;
+use spcache_store::{Client, StoreCluster, StoreConfig, StoreError};
+use spcache_workload::zipf::ZipfSampler;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    match flag_value(args, flag) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("zipf_fleet: bad value for {flag}: {v:?}");
+            exit(2);
+        }),
+    }
+}
+
+/// The two transports behind one face: same client, same stats RPC.
+enum Fleet {
+    Channel(StoreCluster),
+    Tcp(TcpCluster),
+}
+
+impl Fleet {
+    fn client(&self) -> Client {
+        match self {
+            Fleet::Channel(c) => c.client(),
+            Fleet::Tcp(c) => c.client(),
+        }
+    }
+
+    fn worker_stats(&self) -> Result<Vec<WorkerStats>, StoreError> {
+        match self {
+            Fleet::Channel(c) => c.worker_stats(),
+            Fleet::Tcp(c) => c.worker_stats(),
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let files: u64 = parse(&args, "--files", 24);
+    let file_kb: usize = parse(&args, "--file-kb", 1024);
+    let workers: usize = parse(&args, "--workers", 4);
+    let k: usize = parse(&args, "--k", 4);
+    let reads: usize = parse(&args, "--reads", 2000);
+    let seed: u64 = parse(&args, "--seed", 42);
+    let bandwidth: f64 = parse(&args, "--bandwidth", f64::INFINITY);
+    let tcp = args.iter().any(|a| a == "--tcp");
+    let file_len = file_kb << 10;
+
+    let mut cfg = if bandwidth.is_finite() {
+        StoreConfig::throttled(workers, bandwidth)
+    } else {
+        StoreConfig::unthrottled(workers)
+    };
+    let budget = flag_value(&args, "--budget-frac").map(|v| {
+        let frac: f64 = v.parse().unwrap_or_else(|_| {
+            eprintln!("zipf_fleet: bad value for --budget-frac: {v:?}");
+            exit(2);
+        });
+        if frac <= 0.0 || frac.is_nan() {
+            eprintln!("zipf_fleet: --budget-frac must be positive, got {frac}");
+            exit(2);
+        }
+        ((files as usize * file_len / workers) as f64 * frac).max(1.0) as usize
+    });
+    cfg = cfg.with_memory_budget(budget);
+    if let Some(frac) = flag_value(&args, "--background-fraction") {
+        let frac: f64 = frac.parse().unwrap_or_else(|_| {
+            eprintln!("zipf_fleet: bad value for --background-fraction: {frac:?}");
+            exit(2);
+        });
+        if !(frac > 0.0 && frac <= 1.0) {
+            eprintln!("zipf_fleet: --background-fraction must be in (0, 1], got {frac}");
+            exit(2);
+        }
+        cfg = cfg.with_background_fraction(frac);
+    }
+
+    let fleet = if tcp {
+        Fleet::Tcp(TcpCluster::spawn(cfg))
+    } else {
+        Fleet::Channel(StoreCluster::spawn(cfg))
+    };
+    let client = fleet.client();
+    let data = Bytes::from(
+        (0..file_len)
+            .map(|i| ((i * 31 + 7) % 256) as u8)
+            .collect::<Vec<u8>>(),
+    );
+    for id in 0..files {
+        let servers: Vec<usize> = (0..k).map(|j| (id as usize + j) % workers).collect();
+        client.write_bytes(id, data.clone(), &servers).unwrap_or_else(|e| {
+            eprintln!("zipf_fleet: seed write of file {id} failed: {e:?}");
+            exit(1);
+        });
+    }
+
+    println!(
+        "zipf_fleet: {files} files x {file_kb} KB (k={k}) on {workers} workers, \
+         budget {}, transport {}",
+        match budget {
+            Some(b) => format!("{b} B/worker"),
+            None => "unbounded".to_string(),
+        },
+        if tcp { "tcp" } else { "channel" },
+    );
+
+    let sampler = ZipfSampler::new(files as usize, 1.1);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let mut bytes = 0u64;
+    let t0 = Instant::now();
+    for i in 0..reads {
+        let id = sampler.sample(&mut rng) as u64;
+        match client.read_quiet(id) {
+            Ok(buf) => bytes += buf.len() as u64,
+            Err(e) => {
+                eprintln!("zipf_fleet: read {i} of file {id} failed: {e:?}");
+                exit(1);
+            }
+        }
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    println!(
+        "reads {reads} in {dt:.3} s: {:.1} reads/s, {:.1} MB/s",
+        reads as f64 / dt,
+        bytes as f64 / dt / 1e6,
+    );
+
+    match fleet.worker_stats() {
+        Ok(stats) => {
+            let sum = |f: fn(&WorkerStats) -> u64| stats.iter().map(f).sum::<u64>();
+            println!(
+                "fleet: evictions {}, spilled {:.1} MB, reloaded {:.1} MB, background {:.1} MB",
+                sum(|s| s.evictions),
+                sum(|s| s.spilled_bytes) as f64 / 1e6,
+                sum(|s| s.reloaded_bytes) as f64 / 1e6,
+                sum(|s| s.bytes_background) as f64 / 1e6,
+            );
+            for (w, s) in stats.iter().enumerate() {
+                println!(
+                    "worker {w}: resident {:.1} MB ({} parts), evictions {}, \
+                     reloaded {:.1} MB",
+                    s.resident_bytes as f64 / 1e6,
+                    s.resident_parts,
+                    s.evictions,
+                    s.reloaded_bytes as f64 / 1e6,
+                );
+            }
+        }
+        Err(e) => eprintln!("zipf_fleet: stats unavailable: {e:?}"),
+    }
+}

@@ -29,6 +29,15 @@
 //!   them from the under-store onto the survivors. Setup (writes,
 //!   checkpoints, death detection) stays outside the window; one op =
 //!   one sweep, and `mbytes_per_sec` is healed payload per second.
+//! * `zipf_unbounded_read` / `zipf_budget_read` — a Zipf read storm over
+//!   [`ZIPF_FILES`] checkpointed files, without and with a
+//!   50%-of-dataset memory budget (DESIGN.md §4.13): the budgeted row
+//!   prices LRU eviction, under-store free drops and transparent
+//!   reloads; the `budget_read_ratio` summary is their quotient.
+//! * `paced_recovery` — the recovery sweep re-run with its traffic paced
+//!   to [`PACED_FRACTION`] of the NIC while a foreground Zipf storm
+//!   runs; `paced_bg_utilization` reports how much of the carve-out the
+//!   sweep actually used (≤ 1.1 by the pacing contract).
 //!
 //! Per point and variant it reports reads (or writes) per second, bytes
 //! moved, and p50/p95/p99 latency, and emits a schema-stable
@@ -51,12 +60,39 @@ use spcache_store::{StoreCluster, StoreConfig, StoreError};
 /// v3 adds the `recovery` variant (supervisor sweep time-to-heal).
 /// v4 adds the `tcp_scattered_slowdown` point summary (wire cost of the
 /// zero-copy read path, priced by the readiness-driven event loop).
-pub const SCHEMA: &str = "spcache-bench-store/v4";
+/// v5 adds the memory-budget rows (DESIGN.md §4.13): the
+/// `zipf_unbounded_read` / `zipf_budget_read` variants (a Zipf read
+/// storm without and with a 50%-of-dataset budget forcing
+/// eviction/reload), the `paced_recovery` variant (a sweep whose
+/// background traffic is paced to [`PACED_FRACTION`] of the NIC while a
+/// foreground storm runs), and the `budget_read_ratio` /
+/// `paced_bg_utilization` point summaries.
+pub const SCHEMA: &str = "spcache-bench-store/v5";
 
 /// Files the `recovery` variant loses per sweep: every one holds a
 /// partition on the killed worker, so one sweep re-materializes
 /// `RECOVERY_FILES × file_bytes` of payload.
 pub const RECOVERY_FILES: u64 = 3;
+
+/// Dataset size of the `zipf_*_read` variants (files per point; each is
+/// `file_bytes / 16`, floored at 64 KB, so a point's Zipf working set
+/// stays comparable to one headline file).
+pub const ZIPF_FILES: u64 = 12;
+
+/// Reads folded into one timed `zipf_*_read` operation.
+pub const ZIPF_READS_PER_OP: usize = 16;
+
+/// Skew of the Zipf read storms — the paper's canonical ~1.1.
+pub const ZIPF_EXPONENT: f64 = 1.1;
+
+/// NIC share granted to background traffic in the `paced_recovery`
+/// variant (paper §4.4's bandwidth carve-out).
+pub const PACED_FRACTION: f64 = 0.5;
+
+/// NIC rate substituted for unthrottled grid points in `paced_recovery`
+/// — pacing is meaningless against an infinite NIC, so those points are
+/// measured at 10 Gb/s.
+pub const PACED_FALLBACK_NIC: f64 = 1.25e9;
 
 /// One cell of the measurement grid.
 #[derive(Debug, Clone, Copy)]
@@ -136,6 +172,14 @@ pub struct PointResult {
     /// (`read_scattered / tcp_read_scattered`): how much the socket +
     /// codec round trip costs when neither side copies payload bytes.
     pub tcp_scattered_slowdown: f64,
+    /// Zipf read throughput under a 50%-of-dataset memory budget over
+    /// the unbounded baseline (`zipf_budget_read / zipf_unbounded_read`);
+    /// the ISSUE 7 acceptance floor is 0.8.
+    pub budget_read_ratio: f64,
+    /// Background bytes of the paced recovery sweep over the bandwidth
+    /// the carve-out permits (`bg_bytes / (fraction × rate × elapsed ×
+    /// live_workers)`); must stay ≤ 1.1 per the pacing contract.
+    pub paced_bg_utilization: f64,
 }
 
 /// A full harness run.
@@ -365,6 +409,171 @@ fn measure_recovery(point: &GridPoint, shared: &Bytes) -> VariantResult {
     }
 }
 
+/// Measures a Zipf read storm over [`ZIPF_FILES`] files, optionally
+/// under a per-worker memory budget of `budget_fraction` × the worker's
+/// unbounded resident share. With a budget, cold partitions are evicted
+/// — written back to each worker's spill tier — and reads of evicted
+/// partitions transparently reload them, so the row prices
+/// eviction/refill end to end: the writeback, the slow-tier reload, and
+/// the re-admission churn.
+fn measure_zipf(point: &GridPoint, variant: &str, budget_fraction: Option<f64>) -> VariantResult {
+    use rand::SeedableRng;
+    use spcache_sim::Xoshiro256StarStar;
+    use spcache_workload::zipf::ZipfSampler;
+
+    let file_len = (point.file_bytes / 16).max(64 << 10);
+    let servers_of = |id: u64| -> Vec<usize> {
+        (0..point.k)
+            .map(|j| (id as usize + j) % point.workers)
+            .collect()
+    };
+    let total_bytes = ZIPF_FILES as usize * file_len;
+    let budget =
+        budget_fraction.map(|f| ((total_bytes / point.workers) as f64 * f).max(1.0) as usize);
+    let base = if point.nic_bytes_per_sec.is_infinite() {
+        StoreConfig::unthrottled(point.workers)
+    } else {
+        StoreConfig::throttled(point.workers, point.nic_bytes_per_sec)
+    };
+    let cluster = StoreCluster::spawn(base.with_memory_budget(budget));
+    let client = cluster.client();
+    let shared = Bytes::from(payload(file_len));
+    for id in 0..ZIPF_FILES {
+        client
+            .write_bytes(id, shared.clone(), &servers_of(id))
+            .expect("zipf seed write");
+    }
+    let sampler = ZipfSampler::new(ZIPF_FILES as usize, ZIPF_EXPONENT);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x21bf);
+    let name = variant.to_string();
+    measure(variant, point, move || {
+        let mut bytes = 0usize;
+        for _ in 0..ZIPF_READS_PER_OP {
+            let id = sampler.sample(&mut rng) as u64;
+            bytes += client
+                .read_quiet(id)
+                .unwrap_or_else(|e| panic!("{name}: read of file {id} failed: {e:?}"))
+                .len();
+        }
+        bytes
+    })
+}
+
+/// Measures the recovery sweep with its traffic paced to
+/// [`PACED_FRACTION`] of the NIC (unthrottled points run at
+/// [`PACED_FALLBACK_NIC`]) while a foreground Zipf storm keeps the
+/// survivors busy. Returns the variant row plus the measured background
+/// utilization: healed background bytes over what the carve-out permits
+/// across the sweep window — ≤ 1.1 means the pacer held its fraction.
+fn measure_paced_recovery(point: &GridPoint, shared: &Bytes) -> (VariantResult, f64) {
+    use rand::SeedableRng;
+    use spcache_sim::Xoshiro256StarStar;
+    use spcache_store::backing::{checkpoint, UnderStore};
+    use spcache_store::SupervisorConfig;
+    use spcache_workload::zipf::ZipfSampler;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let rate = if point.nic_bytes_per_sec.is_finite() {
+        point.nic_bytes_per_sec
+    } else {
+        PACED_FALLBACK_NIC
+    };
+    let servers = placement(point.k, point.workers);
+    let iters = point.iters.min(5);
+    let load_len = (point.file_bytes / 16).max(64 << 10);
+    let load_data = Bytes::from(payload(load_len));
+    const LOAD_FILES: u64 = 8;
+    let mut lat = Samples::with_capacity(iters);
+    let mut bytes_moved = 0u64;
+    let mut wall = 0.0f64;
+    let mut util_sum = 0.0f64;
+    for iter in 0..=iters {
+        let cfg = StoreConfig::throttled(point.workers, rate)
+            .with_background_fraction(PACED_FRACTION)
+            .with_supervisor(
+                SupervisorConfig::enabled()
+                    .with_interval(Duration::ZERO)
+                    .with_probe_timeout(Duration::from_millis(500)),
+            );
+        let under = Arc::new(UnderStore::new());
+        let mut cluster = StoreCluster::spawn_with_under_store(cfg, Some(Arc::clone(&under)));
+        let core = cluster.supervisor().expect("supervised cluster").core().clone();
+        core.tick(); // adopt the fleet at epoch 1
+        let client = cluster.client();
+        for id in 0..RECOVERY_FILES {
+            client.write_bytes(id, shared.clone(), &servers).expect("paced seed write");
+            checkpoint(&client, &under, id).expect("paced checkpoint");
+        }
+        // The storm's files live strictly off worker 0, so the
+        // foreground load never stalls on the corpse mid-sweep.
+        for id in 100..100 + LOAD_FILES {
+            let off_corpse: Vec<usize> = (0..point.k)
+                .map(|j| 1 + (id as usize + j) % (point.workers - 1))
+                .collect();
+            client.write_bytes(id, load_data.clone(), &off_corpse).expect("load write");
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let storm = {
+            let client = cluster.client();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let sampler = ZipfSampler::new(LOAD_FILES as usize, ZIPF_EXPONENT);
+                let mut rng = Xoshiro256StarStar::seed_from_u64(0xfeed);
+                while !stop.load(Ordering::Relaxed) {
+                    let id = 100 + sampler.sample(&mut rng) as u64;
+                    let _ = client.read_quiet(id);
+                }
+            })
+        };
+        cluster.kill_worker(0);
+        core.probe(); // death detection, outside the timed window
+        let bg_before: u64 = cluster
+            .worker_stats()
+            .expect("stats")
+            .iter()
+            .map(|s| s.bytes_background)
+            .sum();
+        let t = Instant::now();
+        let rec = core.sweep().expect("dead worker must leave degraded files");
+        let dt = t.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        storm.join().expect("storm thread");
+        assert_eq!(
+            rec.healed.len() as u64,
+            RECOVERY_FILES,
+            "paced sweep must heal every lost file: {rec:?}"
+        );
+        if iter == 0 {
+            continue; // warm-up
+        }
+        let bg_after: u64 = cluster
+            .worker_stats()
+            .expect("stats")
+            .iter()
+            .map(|s| s.bytes_background)
+            .sum();
+        let live = (point.workers - 1) as f64;
+        util_sum +=
+            (bg_after - bg_before) as f64 / (PACED_FRACTION * rate * dt.as_secs_f64() * live);
+        lat.record(dt.as_secs_f64() * 1e3);
+        bytes_moved += RECOVERY_FILES * point.file_bytes as u64;
+        wall += dt.as_secs_f64();
+    }
+    (
+        VariantResult {
+            variant: "paced_recovery".to_string(),
+            ops_per_sec: iters as f64 / wall,
+            mbytes_per_sec: bytes_moved as f64 / wall / 1e6,
+            p50_ms: lat.percentile(50.0),
+            p95_ms: lat.percentile(95.0),
+            p99_ms: lat.percentile(99.0),
+            bytes_moved,
+        },
+        util_sum / iters as f64,
+    )
+}
+
 /// Measures every data-path variant at one grid point.
 pub fn run_point(point: GridPoint) -> PointResult {
     let data = payload(point.file_bytes);
@@ -458,6 +667,14 @@ pub fn run_point(point: GridPoint) -> PointResult {
     // Time-to-heal of the supervisor's recovery sweep.
     variants.push(measure_recovery(&point, &shared));
 
+    // Memory-budget rows (DESIGN.md §4.13): the same Zipf storm with and
+    // without a 50%-of-dataset budget, and a recovery sweep paced to the
+    // background NIC carve-out under foreground load.
+    variants.push(measure_zipf(&point, "zipf_unbounded_read", None));
+    variants.push(measure_zipf(&point, "zipf_budget_read", Some(0.5)));
+    let (paced, paced_bg_utilization) = measure_paced_recovery(&point, &shared);
+    variants.push(paced);
+
     let thpt = |name: &str| {
         variants
             .iter()
@@ -472,6 +689,8 @@ pub fn run_point(point: GridPoint) -> PointResult {
         tcp_read_slowdown: thpt("read") / thpt("tcp_read"),
         tcp_write_slowdown: thpt("write") / thpt("tcp_write"),
         tcp_scattered_slowdown: thpt("read_scattered") / thpt("tcp_read_scattered"),
+        budget_read_ratio: thpt("zipf_budget_read") / thpt("zipf_unbounded_read"),
+        paced_bg_utilization,
         point,
         variants,
     }
@@ -557,6 +776,14 @@ pub fn report_to_json(report: &PerfReport, machine: &str) -> String {
             "      \"tcp_scattered_slowdown\": {},\n",
             json_f64(p.tcp_scattered_slowdown)
         ));
+        out.push_str(&format!(
+            "      \"budget_read_ratio\": {},\n",
+            json_f64(p.budget_read_ratio)
+        ));
+        out.push_str(&format!(
+            "      \"paced_bg_utilization\": {},\n",
+            json_f64(p.paced_bg_utilization)
+        ));
         out.push_str("      \"variants\": [\n");
         for (j, v) in p.variants.iter().enumerate() {
             out.push_str(&format!(
@@ -610,6 +837,8 @@ pub fn validate_report_json(json: &str) -> Result<(), String> {
         "\"tcp_read_slowdown\"",
         "\"tcp_write_slowdown\"",
         "\"tcp_scattered_slowdown\"",
+        "\"budget_read_ratio\"",
+        "\"paced_bg_utilization\"",
         "\"variants\"",
         "\"ops_per_sec\"",
         "\"mbytes_per_sec\"",
@@ -635,6 +864,8 @@ pub fn validate_report_json(json: &str) -> Result<(), String> {
         "\"tcp_read_slowdown\": ",
         "\"tcp_write_slowdown\": ",
         "\"tcp_scattered_slowdown\": ",
+        "\"budget_read_ratio\": ",
+        "\"paced_bg_utilization\": ",
     ] {
         for (found, chunk) in json.match_indices(metric) {
             let rest = &json[found + metric.len()..];
@@ -662,6 +893,9 @@ pub fn validate_report_json(json: &str) -> Result<(), String> {
         "tcp_read",
         "tcp_read_scattered",
         "recovery",
+        "zipf_unbounded_read",
+        "zipf_budget_read",
+        "paced_recovery",
     ] {
         if !json.contains(&format!("\"variant\": \"{variant}\"")) {
             return Err(format!("variant {variant} missing from report"));

@@ -9,8 +9,8 @@ use spcache_sim::{FifoQueue, SimTime, Xoshiro256StarStar};
 use spcache_workload::dist::exponential;
 
 use crate::config::{ClusterConfig, ServiceModel};
-use crate::lru::LruCache;
 use crate::workload::ReadWorkload;
+use spcache_core::lru::LruCache;
 
 /// Everything a simulation run measures.
 #[derive(Debug, Clone)]
@@ -78,7 +78,7 @@ pub fn simulate_reads<S: CachingScheme + ?Sized>(
     let layout_bytes = layout.total_cached_bytes();
 
     let mut queues: Vec<FifoQueue> = (0..cfg.n_servers).map(|_| FifoQueue::new()).collect();
-    let mut caches: Vec<LruCache> = (0..cfg.n_servers)
+    let mut caches: Vec<LruCache<(usize, usize)>> = (0..cfg.n_servers)
         .map(|_| LruCache::new(cfg.cache_capacity))
         .collect();
     // Pre-warm: the cluster caches the layout before clients arrive

@@ -18,7 +18,8 @@
 //! 4. **Coding CPU cost** — read plans carry a decode cost, write plans an
 //!    encode cost (EC-Cache only).
 //! 5. **Cache misses** — per-server LRU over partitions with a byte
-//!    budget ([`lru::LruCache`]); a miss inflates the fetch by the
+//!    budget ([`spcache_core::LruCache`], shared with the real store's
+//!    memory-budgeted workers); a miss inflates the fetch by the
 //!    configured penalty (§7.7 uses 3×).
 //!
 //! [`engine::simulate_reads`] / [`engine::simulate_writes`] execute any
@@ -28,7 +29,6 @@
 
 pub mod config;
 pub mod engine;
-pub mod lru;
 pub mod network;
 pub mod runner;
 pub mod workload;

@@ -28,10 +28,13 @@
 //! * [`scheme`] — the [`scheme::CachingScheme`] abstraction that SP-Cache
 //!   and every baseline implement, so the simulator and the real store can
 //!   drive any of them interchangeably.
+//! * [`lru`] — the byte-budgeted LRU shared by the simulator's
+//!   per-server caches and the real store's memory-budgeted workers.
 
 pub mod file;
 pub mod forkjoin;
 pub mod goodput;
+pub mod lru;
 pub mod mg1;
 pub mod online;
 pub mod partition;
@@ -44,6 +47,7 @@ pub mod variance;
 
 pub use file::{FileId, FileMeta, FileSet};
 pub use goodput::Goodput;
+pub use lru::LruCache;
 pub use partition::partition_count;
 pub use scheme::{CachingScheme, FileLayout, Layout, ReadPlan, WritePlan};
 pub use spcache::SpCache;

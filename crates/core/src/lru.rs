@@ -1,21 +1,22 @@
-//! Per-server LRU cache over partitions, with a byte budget.
-//!
-//! Used by the §7.6 hit-ratio experiment: when the cache budget is
-//! throttled below the working set, each scheme's redundancy directly
-//! costs hit ratio — SP-Cache (redundancy-free) keeps the most files
-//! resident.
+//! Byte-budgeted LRU over arbitrary keys — shared between the cluster
+//! simulator (per-server partition caches, §7.6 hit-ratio experiment)
+//! and the real store's memory-budgeted workers (DESIGN.md §4.13).
 //!
 //! Implementation: a doubly-linked list woven through a `HashMap` via
 //! indices into a slab, giving O(1) touch/insert/evict without unsafe.
+//! Freed slab slots are recycled through a free list, so a warmed cache
+//! performs no per-operation allocation however long it churns.
+//!
+//! Sizes are `f64` bytes: the simulator accounts in fractional MB while
+//! the store feeds exact partition lengths (integers are exact in an
+//! `f64` far beyond any realistic budget).
 
 use std::collections::HashMap;
-
-/// Key identifying one cached partition: `(file, chunk index)`.
-pub type PartKey = (usize, usize);
+use std::hash::Hash;
 
 #[derive(Debug, Clone, Copy)]
-struct Node {
-    key: PartKey,
+struct Node<K> {
+    key: K,
     bytes: f64,
     prev: usize,
     next: usize,
@@ -23,13 +24,13 @@ struct Node {
 
 const NIL: usize = usize::MAX;
 
-/// A byte-budgeted LRU set of partitions.
+/// A byte-budgeted LRU set of entries keyed by `K`.
 #[derive(Debug, Clone)]
-pub struct LruCache {
+pub struct LruCache<K> {
     capacity: f64,
     used: f64,
-    map: HashMap<PartKey, usize>,
-    slab: Vec<Node>,
+    map: HashMap<K, usize>,
+    slab: Vec<Node<K>>,
     free: Vec<usize>,
     head: usize, // most recent
     tail: usize, // least recent
@@ -37,7 +38,7 @@ pub struct LruCache {
     misses: u64,
 }
 
-impl LruCache {
+impl<K: Copy + Eq + Hash> LruCache<K> {
     /// An empty cache with a byte budget. `f64::INFINITY` disables
     /// eviction.
     ///
@@ -86,12 +87,12 @@ impl LruCache {
     }
 
     /// Accesses `key` of `bytes` size: returns `true` on a hit (and
-    /// refreshes recency); on a miss, inserts the partition, evicting
+    /// refreshes recency); on a miss, inserts the entry, evicting
     /// least-recently-used entries until it fits.
     ///
-    /// Partitions larger than the whole capacity are *not* cached (they
+    /// Entries larger than the whole capacity are *not* cached (they
     /// would evict everything for nothing) and always miss.
-    pub fn access(&mut self, key: PartKey, bytes: f64) -> bool {
+    pub fn access(&mut self, key: K, bytes: f64) -> bool {
         debug_assert!(bytes >= 0.0);
         if let Some(&idx) = self.map.get(&key) {
             self.hits += 1;
@@ -106,8 +107,39 @@ impl LruCache {
         false
     }
 
-    /// Inserts without counting a hit or miss (cache pre-warming).
-    pub fn insert(&mut self, key: PartKey, bytes: f64) {
+    /// Touches `key` without inserting on a miss and without moving the
+    /// hit/miss counters; returns whether it was resident.
+    pub fn touch(&mut self, key: &K) -> bool {
+        if let Some(&idx) = self.map.get(key) {
+            self.unlink(idx);
+            self.push_front(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts without counting a hit or miss (cache pre-warming);
+    /// entries evicted to make room are dropped silently.
+    pub fn insert(&mut self, key: K, bytes: f64) {
+        self.insert_evicting_into(key, bytes, None);
+    }
+
+    /// Inserts `key`, appending every `(key, bytes)` pair evicted to
+    /// make room onto `evicted` (the caller decides whether to spill or
+    /// drop them). Returns whether `key` itself is resident afterwards —
+    /// `false` only for entries larger than the whole capacity, which
+    /// are refused and belong to the caller too.
+    pub fn insert_evicting(&mut self, key: K, bytes: f64, evicted: &mut Vec<(K, f64)>) -> bool {
+        self.insert_evicting_into(key, bytes, Some(evicted))
+    }
+
+    fn insert_evicting_into(
+        &mut self,
+        key: K,
+        bytes: f64,
+        mut out: Option<&mut Vec<(K, f64)>>,
+    ) -> bool {
         if let Some(&idx) = self.map.get(&key) {
             // Refresh size and recency.
             self.used -= self.slab[idx].bytes;
@@ -115,11 +147,11 @@ impl LruCache {
             self.slab[idx].bytes = bytes;
             self.unlink(idx);
             self.push_front(idx);
-            self.evict_to_fit();
-            return;
+            self.evict_to_fit(out.as_deref_mut());
+            return self.map.contains_key(&key);
         }
         if bytes > self.capacity {
-            return;
+            return false;
         }
         let idx = match self.free.pop() {
             Some(i) => {
@@ -144,10 +176,11 @@ impl LruCache {
         self.map.insert(key, idx);
         self.used += bytes;
         self.push_front(idx);
-        self.evict_to_fit();
+        self.evict_to_fit(out);
+        true
     }
 
-    fn evict_to_fit(&mut self) {
+    fn evict_to_fit(&mut self, mut out: Option<&mut Vec<(K, f64)>>) {
         while self.used > self.capacity && self.tail != NIL {
             let idx = self.tail;
             // Never evict the entry just inserted at head if it is alone.
@@ -159,11 +192,25 @@ impl LruCache {
             self.map.remove(&node.key);
             self.used -= node.bytes;
             self.free.push(idx);
+            if let Some(out) = out.as_deref_mut() {
+                out.push((node.key, node.bytes));
+            }
         }
     }
 
+    /// Removes `key` (a deleted or renamed entry), returning its size if
+    /// it was resident.
+    pub fn remove(&mut self, key: &K) -> Option<f64> {
+        let idx = self.map.remove(key)?;
+        let bytes = self.slab[idx].bytes;
+        self.unlink(idx);
+        self.used -= bytes;
+        self.free.push(idx);
+        Some(bytes)
+    }
+
     /// Whether `key` is resident (no recency update, no counters).
-    pub fn contains(&self, key: &PartKey) -> bool {
+    pub fn contains(&self, key: &K) -> bool {
         self.map.contains_key(key)
     }
 
@@ -172,7 +219,12 @@ impl LruCache {
         self.used
     }
 
-    /// Number of resident partitions.
+    /// The byte budget.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Number of resident entries.
     pub fn len(&self) -> usize {
         self.map.len()
     }
@@ -180,6 +232,17 @@ impl LruCache {
     /// Whether nothing is resident.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+
+    /// Drops every entry and resets byte accounting (hit/miss counters
+    /// are kept; see [`LruCache::reset_counters`]).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.used = 0.0;
     }
 
     /// `(hits, misses)` counted by [`LruCache::access`].
@@ -307,5 +370,55 @@ mod tests {
         }
         assert_eq!(c.len(), 2);
         assert!(c.used_bytes() <= 20.0);
+    }
+
+    #[test]
+    fn insert_evicting_reports_what_fell_out() {
+        let mut c = LruCache::new(30.0);
+        c.insert(1u64, 10.0);
+        c.insert(2u64, 10.0);
+        c.insert(3u64, 10.0);
+        let mut evicted = Vec::new();
+        assert!(c.insert_evicting(4u64, 20.0, &mut evicted));
+        // 1 and 2 (the two coldest) must fall out to fit 20 bytes
+        // next to 3's 10 under the 30-byte capacity.
+        assert_eq!(evicted, vec![(1u64, 10.0), (2u64, 10.0)]);
+        assert!(c.contains(&3) && c.contains(&4));
+        assert!(c.used_bytes() <= c.capacity());
+        // An oversized entry is refused, evicting nothing.
+        evicted.clear();
+        assert!(!c.insert_evicting(5u64, 31.0, &mut evicted));
+        assert!(evicted.is_empty());
+        assert!(!c.contains(&5));
+    }
+
+    #[test]
+    fn remove_and_touch() {
+        let mut c = LruCache::new(30.0);
+        c.insert('a', 10.0);
+        c.insert('b', 10.0);
+        assert_eq!(c.remove(&'a'), Some(10.0));
+        assert_eq!(c.remove(&'a'), None);
+        assert!((c.used_bytes() - 10.0).abs() < 1e-9);
+        assert!(c.touch(&'b'));
+        assert!(!c.touch(&'a'));
+        // Counters untouched by touch/remove.
+        assert_eq!(c.counters(), (0, 0));
+        // The freed slot is recycled.
+        c.insert('c', 10.0);
+        c.insert('d', 10.0);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut c = LruCache::new(30.0);
+        c.insert(1u32, 10.0);
+        c.insert(2u32, 10.0);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.used_bytes(), 0.0);
+        c.insert(3u32, 30.0);
+        assert!(c.contains(&3));
     }
 }

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! spcached worker --id N --bind ADDR [--seed S] [--bandwidth B]
-//!                 [--io-shards N]
+//!                 [--io-shards N] [--memory-budget BYTES]
+//!                 [--background-fraction F]
 //! spcached master --bind ADDR --workers ADDR1,ADDR2,...
 //!                 [--no-supervisor] [--heartbeat-ms MS]
 //! ```
@@ -19,6 +20,13 @@
 //! workers with fresh epochs and marks lost partitions degraded.
 //! `--no-supervisor` disables it entirely; `--heartbeat-ms` tunes the
 //! probe cadence (default 100).
+//!
+//! `--memory-budget BYTES` caps a worker's resident cache: overflow
+//! evicts cold partitions to a spill tier and reads of evicted
+//! partitions transparently reload (DESIGN.md §4.13).
+//! `--background-fraction F` (in `(0, 1]`, default 1.0) carves out the
+//! share of the worker's NIC granted to background traffic — recovery
+//! sweeps, repartition moves, spill/reload writebacks.
 
 use spcache_net::{MasterServer, WorkerServer};
 use spcache_store::fault::FaultLog;
@@ -34,7 +42,7 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  spcached worker --id N --bind ADDR [--seed S] [--bandwidth B] \
-         [--io-shards N]\n  \
+         [--io-shards N] [--memory-budget BYTES] [--background-fraction F]\n  \
          spcached master --bind ADDR --workers ADDR1,ADDR2,... \
          [--no-supervisor] [--heartbeat-ms MS]"
     );
@@ -74,7 +82,20 @@ fn run_worker(args: &[String]) {
     if let Some(bw) = flag_value(args, "--bandwidth") {
         cfg.bandwidth = parse("--bandwidth", &bw);
     }
+    if let Some(budget) = flag_value(args, "--memory-budget") {
+        cfg = cfg.with_memory_budget(Some(parse("--memory-budget", &budget)));
+    }
+    if let Some(frac) = flag_value(args, "--background-fraction") {
+        let frac: f64 = parse("--background-fraction", &frac);
+        if !(frac > 0.0 && frac <= 1.0) {
+            eprintln!("spcached: --background-fraction must be in (0, 1], got {frac}");
+            exit(2);
+        }
+        cfg = cfg.with_background_fraction(frac);
+    }
     let log = Arc::new(FaultLog::new());
+    // A standalone worker has no shared under-store to spill into, so a
+    // budgeted one backs itself privately (spawn_worker_opts does this).
     let server = match flag_value(args, "--io-shards") {
         Some(n) => WorkerServer::spawn_sharded(id, &bind, &cfg, log, parse("--io-shards", &n)),
         None => WorkerServer::spawn(id, &bind, &cfg, log),

@@ -55,6 +55,7 @@ pub(crate) const OP_PING: u8 = 0x07;
 pub(crate) const OP_SHUTDOWN: u8 = 0x08;
 pub(crate) const OP_FENCED: u8 = 0x09;
 pub(crate) const OP_SET_EPOCH: u8 = 0x0A;
+pub(crate) const OP_BACKGROUND: u8 = 0x0B;
 pub(crate) const OP_R_DONE: u8 = 0x41;
 pub(crate) const OP_R_DATA: u8 = 0x42;
 pub(crate) const OP_R_FLAG: u8 = 0x43;
@@ -360,6 +361,11 @@ pub fn encode_request(req: &Request, req_id: u64) -> Vec<u8> {
             .u64(*epoch)
             .bytes(&encode_request(inner, req_id)[4..])
             .finish(),
+        // Background mirrors the fenced embedding (sans epoch): the body
+        // is the inner frame minus its length prefix.
+        Request::Background { inner } => FrameBuilder::new(OP_BACKGROUND, req_id)
+            .bytes(&encode_request(inner, req_id)[4..])
+            .finish(),
     }
 }
 
@@ -406,6 +412,21 @@ pub fn decode_request(frame: &Frame) -> Result<Request, StoreError> {
             }
             Request::Fenced {
                 epoch,
+                inner: Box::new(decode_request(&inner)?),
+            }
+        }
+        OP_BACKGROUND => {
+            let inner = Frame::parse(c.rest())?;
+            // Canonical nesting is Fenced { Background { data } }: a
+            // fence inside a background stamp (or a double stamp) is a
+            // protocol violation, which also bounds decode recursion.
+            if inner.opcode == OP_BACKGROUND || inner.opcode == OP_FENCED {
+                return Err(codec("invalid nesting inside background request"));
+            }
+            if inner.req_id != frame.req_id {
+                return Err(codec("background inner req_id mismatch"));
+            }
+            Request::Background {
                 inner: Box::new(decode_request(&inner)?),
             }
         }
@@ -469,6 +490,11 @@ pub fn encode_reply(reply: &Reply, req_id: u64) -> Vec<u8> {
             .u64(s.gets)
             .u64(s.puts)
             .u64(s.resident_parts as u64)
+            .u64(s.bytes_background)
+            .u64(s.evictions)
+            .u64(s.spilled_bytes)
+            .u64(s.reloaded_bytes)
+            .u64(s.resident_bytes)
             .finish(),
         Reply::Pong { worker, epoch } => FrameBuilder::new(OP_R_PONG, req_id)
             .u64(*worker as u64)
@@ -497,6 +523,11 @@ pub fn decode_reply(frame: &Frame) -> Result<Reply, StoreError> {
             gets: c.u64()?,
             puts: c.u64()?,
             resident_parts: c.u64()? as usize,
+            bytes_background: c.u64()?,
+            evictions: c.u64()?,
+            spilled_bytes: c.u64()?,
+            reloaded_bytes: c.u64()?,
+            resident_bytes: c.u64()?,
         }),
         OP_R_PONG => Reply::Pong {
             worker: c.u64()? as usize,
@@ -618,6 +649,50 @@ mod tests {
                 data: Bytes::from(vec![5, 6, 7]),
             }),
         });
+        roundtrip_req(Request::Background {
+            inner: Box::new(Request::Get {
+                key: PartKey::new(4, 2),
+            }),
+        });
+        roundtrip_req(Request::Background {
+            inner: Box::new(Request::Put {
+                key: PartKey::new(9, 0),
+                data: Bytes::from(vec![5, 6, 7]),
+            }),
+        });
+        // The canonical full nesting: fence outside, class inside.
+        roundtrip_req(
+            Request::Put {
+                key: PartKey::new(9, 0),
+                data: Bytes::from(vec![8, 9]),
+            }
+            .background()
+            .fenced(3),
+        );
+    }
+
+    #[test]
+    fn invalid_background_nesting_rejected() {
+        // Background { Background { .. } } and Background { Fenced { .. } }
+        // violate the canonical nesting and must not decode.
+        for inner in [
+            Request::Background {
+                inner: Box::new(Request::Ping),
+            },
+            Request::Fenced {
+                epoch: 2,
+                inner: Box::new(Request::Ping),
+            },
+        ] {
+            let wire = encode_request(
+                &Request::Background {
+                    inner: Box::new(inner),
+                },
+                5,
+            );
+            let frame = Frame::parse(Bytes::from(wire[4..].to_vec())).unwrap();
+            assert!(matches!(decode_request(&frame), Err(StoreError::Codec(_))));
+        }
     }
 
     #[test]
@@ -657,6 +732,11 @@ mod tests {
             gets: 3,
             puts: 4,
             resident_parts: 5,
+            bytes_background: 6,
+            evictions: 7,
+            spilled_bytes: 8,
+            reloaded_bytes: 9,
+            resident_bytes: 10,
         }));
         roundtrip_reply(Reply::Err(StoreError::NotFound(PartKey::new(3, 1))));
         roundtrip_reply(Reply::Err(StoreError::WorkerDown(2)));

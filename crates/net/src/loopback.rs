@@ -70,10 +70,21 @@ impl TcpCluster {
     pub fn spawn_with_under_store(cfg: StoreConfig, under: Option<Arc<UnderStore>>) -> Self {
         assert!(cfg.n_workers > 0, "need at least one worker");
         let fault_log = Arc::new(FaultLog::new());
+        let io_shards = std::thread::available_parallelism().map_or(1, |n| n.get());
         let workers: Vec<WorkerServer> = (0..cfg.n_workers)
             .map(|id| {
-                WorkerServer::spawn(id, "127.0.0.1:0", &cfg, Arc::clone(&fault_log))
-                    .expect("bind worker listener")
+                // Budgeted workers spill into the cluster's shared
+                // under-store tier (mirrors `StoreCluster`): whole-file
+                // checkpoints there make evictions free drops.
+                WorkerServer::spawn_sharded_with_spill(
+                    id,
+                    "127.0.0.1:0",
+                    &cfg,
+                    Arc::clone(&fault_log),
+                    io_shards,
+                    under.clone(),
+                )
+                .expect("bind worker listener")
             })
             .collect();
         let addrs: Vec<SocketAddr> = workers.iter().map(WorkerServer::addr).collect();

@@ -40,9 +40,10 @@
 
 use crossbeam::channel::{unbounded, Receiver, Select, Sender, TryRecvError};
 use mio::{Events, Interest, Poll, Token, Waker};
+use spcache_store::backing::UnderStore;
 use spcache_store::fault::{FaultAction, FaultLog, WorkerScript};
 use spcache_store::rpc::{Envelope, Reply, Request, StoreError};
-use spcache_store::worker::spawn_worker_with_scripts;
+use spcache_store::worker::{spawn_worker_opts, WorkerOptions};
 use spcache_store::StoreConfig;
 use std::collections::HashMap;
 use std::io;
@@ -196,6 +197,27 @@ impl WorkerServer {
         fault_log: Arc<FaultLog>,
         io_shards: usize,
     ) -> io::Result<WorkerServer> {
+        Self::spawn_sharded_with_spill(id, bind, cfg, fault_log, io_shards, None)
+    }
+
+    /// Like [`spawn_sharded`](WorkerServer::spawn_sharded) with an
+    /// explicit spill tier for the budgeted worker: evicted partitions
+    /// land in `spill` (normally the deployment's shared under-store,
+    /// so whole-file checkpoints there make evictions free drops).
+    /// Without one, a budgeted worker backs itself with a private
+    /// under-store — eviction stays a performance event either way.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors binding the listener or creating the pollers.
+    pub fn spawn_sharded_with_spill(
+        id: usize,
+        bind: &str,
+        cfg: &StoreConfig,
+        fault_log: Arc<FaultLog>,
+        io_shards: usize,
+        spill: Option<Arc<UnderStore>>,
+    ) -> io::Result<WorkerServer> {
         crate::poll::tune_allocator_once();
         let listener = TcpListener::bind(bind)?;
         listener.set_nonblocking(true)?;
@@ -203,15 +225,24 @@ impl WorkerServer {
         // window is already wide during the handshake.
         crate::poll::tune_socket(&listener);
         let addr = listener.local_addr()?;
-        let worker = spawn_worker_with_scripts(
+        let mut opts = WorkerOptions::new(
             id,
             cfg.bandwidth,
             cfg.stragglers.clone(),
             cfg.seed.wrapping_add(id as u64),
+        )
+        .with_scripts(
             cfg.faults.data_script_for(id),
             cfg.faults.heartbeat_script_for(id),
             Arc::clone(&fault_log),
-        );
+        )
+        .with_memory_budget(cfg.memory_budget)
+        .with_background_fraction(cfg.background_fraction)
+        .with_max_transfer_wait(Some(cfg.executor_deadline));
+        if let Some(u) = spill {
+            opts = opts.with_spill(u);
+        }
+        let worker = spawn_worker_opts(opts);
         let wire_script = cfg.faults.wire_script_for(id);
 
         let n = io_shards.max(1);

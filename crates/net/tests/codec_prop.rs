@@ -90,6 +90,15 @@ proptest! {
                 epoch: len,
                 inner: Box::new(Request::Get { key }),
             },
+            Request::Background {
+                inner: Box::new(Request::Get { key }),
+            },
+            Request::Fenced {
+                epoch: len,
+                inner: Box::new(Request::Background {
+                    inner: Box::new(Request::Delete { key }),
+                }),
+            },
         ] {
             let (rid, decoded) = req_roundtrip(&req, req_id);
             prop_assert_eq!(rid, req_id);
@@ -119,6 +128,11 @@ proptest! {
                 gets: served / 2,
                 puts: served / 3,
                 resident_parts: w,
+                bytes_background: bytes_out / 2,
+                evictions: served / 5,
+                spilled_bytes: bytes_out / 3,
+                reloaded_bytes: bytes_out / 4,
+                resident_bytes: bytes_out / 5,
             }),
             Reply::Pong { worker: w, epoch: served },
             Reply::Err(StoreError::NotFound(key)),

@@ -26,10 +26,15 @@ use crate::client::Client;
 use crate::master::MetaService;
 use crate::rpc::StoreError;
 
-/// A stable storage tier holding whole-file copies.
+/// A stable storage tier holding whole-file copies, plus a **spill
+/// area** of individual partitions written back by memory-budgeted
+/// workers (see [`crate::worker::WorkerOptions::memory_budget`]): an
+/// evicted partition whose file has no whole-file checkpoint here is
+/// spilled so eviction never loses the only copy.
 #[derive(Debug, Default)]
 pub struct UnderStore {
     files: RwLock<HashMap<u64, Bytes>>,
+    spill: RwLock<HashMap<crate::rpc::PartKey, Bytes>>,
     /// Seconds of read delay per byte (0 for tests; ~1/60e6 for a
     /// disk-like 60 MB/s tier).
     read_delay_per_byte: f64,
@@ -50,6 +55,7 @@ impl UnderStore {
         assert!(bytes_per_sec > 0.0, "bandwidth must be positive");
         UnderStore {
             files: RwLock::new(HashMap::new()),
+            spill: RwLock::new(HashMap::new()),
             read_delay_per_byte: 1.0 / bytes_per_sec,
         }
     }
@@ -102,6 +108,57 @@ impl UnderStore {
     /// Whether the under-store is empty.
     pub fn is_empty(&self) -> bool {
         self.files.read().is_empty()
+    }
+
+    /// Writes an evicted partition into the spill area (overwriting any
+    /// previous spill of the same key). Writes pay no modelled delay —
+    /// the *worker* paces the writeback through its background NIC
+    /// share before calling this.
+    pub fn spill_put(&self, key: crate::rpc::PartKey, data: Bytes) {
+        self.spill.write().insert(key, data);
+    }
+
+    /// Loads a spilled partition, paying the configured read delay —
+    /// reloads come off the slow tier.
+    pub fn spill_load(&self, key: crate::rpc::PartKey) -> Option<Bytes> {
+        let data = self.spill.read().get(&key).cloned()?;
+        if self.read_delay_per_byte > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(
+                data.len() as f64 * self.read_delay_per_byte,
+            ));
+        }
+        Some(data)
+    }
+
+    /// Whether a partition sits in the spill area.
+    pub fn spill_contains(&self, key: crate::rpc::PartKey) -> bool {
+        self.spill.read().contains_key(&key)
+    }
+
+    /// Renames a spilled partition (commit of a staged key that was
+    /// evicted before its commit arrived). Returns whether `from` was
+    /// present.
+    pub fn spill_rename(&self, from: crate::rpc::PartKey, to: crate::rpc::PartKey) -> bool {
+        let mut spill = self.spill.write();
+        match spill.remove(&from) {
+            Some(data) => {
+                spill.insert(to, data);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops a spilled partition. Returns whether it was present.
+    pub fn spill_remove(&self, key: crate::rpc::PartKey) -> bool {
+        self.spill.write().remove(&key).is_some()
+    }
+
+    /// `(partitions, bytes)` currently held in the spill area.
+    pub fn spilled(&self) -> (usize, u64) {
+        let spill = self.spill.read();
+        let bytes = spill.values().map(|b| b.len() as u64).sum();
+        (spill.len(), bytes)
     }
 }
 

@@ -65,6 +65,12 @@ pub struct Client {
     /// Admission policy for operations on files whose repair is in
     /// flight elsewhere.
     degraded: DegradedPolicy,
+    /// Whether this client's data requests are stamped
+    /// [`Request::Background`]: workers pace them through the
+    /// background share of their NIC. On for maintenance actors
+    /// (supervisor sweeps, repartitioners, heal pushes), off for
+    /// foreground clients.
+    background: bool,
     /// Cached per-worker epoch table, shared across clones; refreshed
     /// from the master whenever a worker bounces a stale stamp.
     epochs: Arc<Mutex<Vec<u64>>>,
@@ -86,6 +92,7 @@ impl Client {
             hedged_bytes: Arc::new(AtomicU64::new(0)),
             fenced: false,
             degraded: DegradedPolicy::Queue,
+            background: false,
             epochs: Arc::new(Mutex::new(Vec::new())),
         }
     }
@@ -128,6 +135,22 @@ impl Client {
     pub fn with_under_store(mut self, under: Arc<UnderStore>) -> Self {
         self.under = Some(under);
         self
+    }
+
+    /// Marks this client's data requests as background traffic (builder
+    /// style): workers pace them through the background share of their
+    /// NIC (§4.4), so maintenance streams never starve foreground
+    /// reads.
+    pub fn with_background(mut self, background: bool) -> Self {
+        self.background = background;
+        self
+    }
+
+    /// A clone of this client whose requests are background-stamped —
+    /// handed to recovery and repartition paths running next to
+    /// foreground traffic.
+    pub fn as_background(&self) -> Client {
+        self.clone().with_background(true)
     }
 
     /// Number of workers visible to this client.
@@ -232,9 +255,15 @@ impl Client {
     }
 
     /// Best-effort partition drop on one worker (recovery GC); errors
-    /// and dead workers are ignored.
+    /// and dead workers are ignored. Deliberately unfenced (a stale
+    /// epoch must not block GC), but background-stamped like the rest
+    /// of a maintenance client's traffic.
     pub(crate) fn discard_partition(&self, server: usize, key: PartKey) {
-        if let Ok(rx) = self.transport.submit(server, Request::Delete { key }) {
+        let mut req = Request::Delete { key };
+        if self.background {
+            req = req.background();
+        }
+        if let Ok(rx) = self.transport.submit(server, req) {
             let _ = rx.recv_timeout(self.retry.deadline);
         }
     }
@@ -333,8 +362,12 @@ impl Client {
                     if !live.is_empty() {
                         let targets =
                             crate::backing::recovery_targets(&live, servers.len(), id);
+                        // The heal's partition pushes are maintenance
+                        // traffic riding next to this foreground read:
+                        // stamp them background so the refill cannot
+                        // starve other clients' reads.
                         let healed = crate::backing::recover_file(
-                            self,
+                            &self.as_background(),
                             self.master.as_ref(),
                             under,
                             id,
@@ -471,9 +504,9 @@ impl Client {
         &self,
         reqs: Vec<(usize, Request)>,
     ) -> Result<Vec<Receiver<Reply>>, StoreError> {
-        let reqs = if self.fenced {
+        let reqs = if self.fenced || self.background {
             reqs.into_iter()
-                .map(|(server, req)| (server, req.fenced(self.epoch_of(server))))
+                .map(|(server, req)| (server, self.stamp(server, req)))
                 .collect()
         } else {
             reqs
@@ -481,6 +514,21 @@ impl Client {
         self.transport.submit_batch(reqs).inspect_err(|e| {
             self.note_error(e);
         })
+    }
+
+    /// Applies this client's request stamps in canonical nesting order:
+    /// background class inside, epoch fence outside.
+    fn stamp(&self, server: usize, req: Request) -> Request {
+        let req = if self.background {
+            req.background()
+        } else {
+            req
+        };
+        if self.fenced {
+            req.fenced(self.epoch_of(server))
+        } else {
+            req
+        }
     }
 
     /// The cached fencing epoch of `server`, fetching the table from

@@ -11,7 +11,7 @@ use crate::master::Master;
 use crate::rpc::{Request, StoreError, WorkerStats};
 use crate::supervisor::{Supervisor, SupervisorCore};
 use crate::transport::{ChannelTransport, Transport};
-use crate::worker::{spawn_worker_with_scripts, WorkerHandle};
+use crate::worker::{spawn_worker_opts, WorkerHandle, WorkerOptions};
 
 /// A running in-process store cluster.
 ///
@@ -69,15 +69,28 @@ impl StoreCluster {
         let fault_log = Arc::new(FaultLog::new());
         let workers: Vec<WorkerHandle> = (0..cfg.n_workers)
             .map(|id| {
-                spawn_worker_with_scripts(
+                let mut opts = WorkerOptions::new(
                     id,
                     cfg.bandwidth,
                     cfg.stragglers.clone(),
                     cfg.seed.wrapping_add(id as u64),
+                )
+                .with_scripts(
                     cfg.faults.script_for(id),
                     cfg.faults.heartbeat_script_for(id),
                     Arc::clone(&fault_log),
                 )
+                .with_memory_budget(cfg.memory_budget)
+                .with_background_fraction(cfg.background_fraction)
+                .with_max_transfer_wait(Some(cfg.executor_deadline));
+                // Budgeted workers spill evicted partitions into the
+                // cluster's under-store tier, so whole-file checkpoints
+                // there turn evictions into free drops; without one,
+                // spawn_worker_opts backs each worker privately.
+                if let Some(u) = &under {
+                    opts = opts.with_spill(Arc::clone(u));
+                }
+                spawn_worker_opts(opts)
             })
             .collect();
         let transport = Arc::new(ChannelTransport::new(

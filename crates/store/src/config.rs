@@ -216,6 +216,17 @@ pub struct StoreConfig {
     /// now tunable so chaos tests and the recovery sweep can tighten
     /// it.
     pub executor_deadline: Duration,
+    /// Per-worker memory budget in bytes (`None` = unbounded, the seed
+    /// behaviour). With a budget, each worker runs a partition-granular
+    /// LRU: overflow spills cold partitions to the under-store tier and
+    /// reads of evicted partitions transparently reload (DESIGN.md
+    /// §4.13).
+    pub memory_budget: Option<usize>,
+    /// Fraction of each worker's NIC granted to background traffic
+    /// (recovery sweeps, repartition moves, spill/reload), in `(0, 1]`.
+    /// `1.0` (the default) disables the second bucket — background
+    /// shares the full rate like any other traffic.
+    pub background_fraction: f64,
 }
 
 impl StoreConfig {
@@ -231,6 +242,8 @@ impl StoreConfig {
             hedge: HedgePolicy::disabled(),
             supervisor: SupervisorConfig::disabled(),
             executor_deadline: Duration::from_secs(5),
+            memory_budget: None,
+            background_fraction: 1.0,
         }
     }
 
@@ -283,6 +296,26 @@ impl StoreConfig {
         self.executor_deadline = deadline.max(Duration::from_millis(1));
         self
     }
+
+    /// Sets the per-worker memory budget in bytes (`None` = unbounded).
+    pub fn with_memory_budget(mut self, budget: Option<usize>) -> Self {
+        self.memory_budget = budget;
+        self
+    }
+
+    /// Sets the background NIC fraction (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < fraction <= 1.0`.
+    pub fn with_background_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "background fraction must be in (0, 1], got {fraction}"
+        );
+        self.background_fraction = fraction;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -331,6 +364,24 @@ mod tests {
         assert_eq!(c.supervisor.suspicion_threshold, 2);
         assert_eq!(c.supervisor.degraded, DegradedPolicy::FastFail);
         assert_eq!(c.executor_deadline, Duration::from_millis(500));
+    }
+
+    #[test]
+    fn budget_defaults_off_and_builders_apply() {
+        let c = StoreConfig::unthrottled(2);
+        assert_eq!(c.memory_budget, None, "budget must default unbounded");
+        assert_eq!(c.background_fraction, 1.0);
+        let c = c
+            .with_memory_budget(Some(1 << 20))
+            .with_background_fraction(0.25);
+        assert_eq!(c.memory_budget, Some(1 << 20));
+        assert_eq!(c.background_fraction, 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "background fraction")]
+    fn out_of_range_background_fraction_rejected() {
+        let _ = StoreConfig::unthrottled(1).with_background_fraction(0.0);
     }
 
     #[test]

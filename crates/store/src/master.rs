@@ -21,6 +21,14 @@ pub struct FileInfo {
     pub servers: Vec<usize>,
     /// Access counter, bumped on every read (popularity tracking, §6.1).
     pub accesses: AtomicU64,
+    /// Placement version: 1 at registration, bumped on every
+    /// [`Master::apply_placement`]. Recovery sweeps capture it when
+    /// they enumerate degraded files and skip any file whose version
+    /// moved by heal time — a concurrent heal, repartition commit or
+    /// eviction-reload already re-placed the bytes, and
+    /// re-materializing from the stale snapshot would resurrect
+    /// partitions the newer placement dropped.
+    pub version: AtomicU64,
 }
 
 impl FileInfo {
@@ -265,6 +273,7 @@ impl Master {
                 size,
                 servers,
                 accesses: AtomicU64::new(0),
+                version: AtomicU64::new(1),
             },
         );
         Ok(())
@@ -405,7 +414,19 @@ impl Master {
         let mut files = self.files.write();
         let info = files.get_mut(&id).ok_or(StoreError::UnknownFile(id))?;
         info.servers = servers;
+        info.version.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// The placement version of file `id` (1 at registration, +1 per
+    /// [`Master::apply_placement`]); `None` if unregistered. Sweeps
+    /// compare this against the version they captured at enumeration
+    /// to detect placements that moved under them.
+    pub fn placement_version(&self, id: u64) -> Option<u64> {
+        self.files
+            .read()
+            .get(&id)
+            .map(|info| info.version.load(Ordering::Relaxed))
     }
 }
 
@@ -808,6 +829,21 @@ mod tests {
             uniq.dedup();
             assert_eq!(uniq.len(), job.new_servers.len(), "duplicate targets");
         }
+    }
+
+    #[test]
+    fn placement_version_counts_every_swap() {
+        let m = Master::new();
+        assert_eq!(m.placement_version(1), None);
+        m.register(1, 10, vec![0]).unwrap();
+        assert_eq!(m.placement_version(1), Some(1));
+        m.apply_placement(1, vec![1]).unwrap();
+        m.apply_placement(1, vec![2, 0]).unwrap();
+        assert_eq!(m.placement_version(1), Some(3));
+        // Reads and peeks do not move the placement version.
+        let _ = m.locate(1).unwrap();
+        let _ = m.peek(1).unwrap();
+        assert_eq!(m.placement_version(1), Some(3));
     }
 
     #[test]

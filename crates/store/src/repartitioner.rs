@@ -11,6 +11,11 @@
 //! Executors are transport-agnostic: every byte moves through a
 //! [`Transport`], so the same code repartitions an in-process cluster
 //! and a fleet of `spcached` processes over TCP.
+//!
+//! All executor traffic is **background-stamped**
+//! ([`Request::background`]): repartition pulls and pushes ride the
+//! workers' background NIC share (§4.4), so a rebalance never starves
+//! the foreground read path it is trying to improve.
 
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, RecvTimeoutError};
@@ -104,7 +109,7 @@ fn push_shard(
         master,
         transport,
         server,
-        Request::Put { key, data: shard },
+        Request::Put { key, data: shard }.background(),
         deadline,
     )?
     .unit()
@@ -136,7 +141,8 @@ fn execute_job(
     for (j, &server) in job.old_servers.iter().enumerate() {
         let req = Request::Get {
             key: PartKey::new(file_id, j as u32),
-        };
+        }
+        .background();
         shards.push(call(master, transport, server, req, deadline)?.bytes()?);
     }
     let data = join_shards_bytes(&shards, size);
@@ -180,7 +186,8 @@ fn execute_job(
                 Request::Put {
                     key,
                     data: new_shards[j].clone(),
-                },
+                }
+                .background(),
             ) {
                 Ok(rx) => pending.push((j, server, rx)),
                 Err(_) => {
@@ -253,7 +260,8 @@ fn execute_job(
             Request::Rename {
                 from: key.staged(),
                 to: key,
-            },
+            }
+            .background(),
             deadline,
         )?
         .flag()?;
@@ -264,7 +272,7 @@ fn execute_job(
 
 /// Best-effort delete of one key; errors and dead workers are ignored.
 fn discard(transport: &dyn Transport, server: usize, key: PartKey, deadline: Duration) {
-    if let Ok(rx) = transport.submit(server, Request::Delete { key }) {
+    if let Ok(rx) = transport.submit(server, Request::Delete { key }.background()) {
         let _ = rx.recv_timeout(deadline);
     }
 }
@@ -379,7 +387,8 @@ pub fn run_sequential_with_deadline(
         for (j, &server) in servers.iter().enumerate() {
             let req = Request::Get {
                 key: PartKey::new(file_id, j as u32),
-            };
+            }
+            .background();
             shards.push(call(master, transport, server, req, deadline)?.bytes()?);
         }
         let data = Bytes::from(join_shards_bytes(&shards, size));

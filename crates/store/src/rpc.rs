@@ -147,6 +147,18 @@ pub struct WorkerStats {
     pub puts: u64,
     /// Partitions currently resident.
     pub resident_parts: usize,
+    /// Bytes transferred under the background traffic class (recovery
+    /// sweeps, repartition pushes, spill writebacks and refills) — the
+    /// numerator of the §4.4 background-fraction bound.
+    pub bytes_background: u64,
+    /// Partitions evicted by the memory budget (spilled or dropped).
+    pub evictions: u64,
+    /// Bytes written back to the under-store's spill area on eviction.
+    pub spilled_bytes: u64,
+    /// Bytes reloaded from the spill area on reads of evicted partitions.
+    pub reloaded_bytes: u64,
+    /// Bytes currently resident in the partition map.
+    pub resident_bytes: u64,
 }
 
 /// A request to a worker — pure data, identical over every transport.
@@ -217,6 +229,19 @@ pub enum Request {
         /// The wrapped data-path request (never control-plane).
         inner: Box<Request>,
     },
+    /// A data request stamped as **background** traffic: maintenance
+    /// byte streams (recovery sweeps, repartition pushes, spill
+    /// writebacks, refills) that the worker paces through the
+    /// background share of its NIC
+    /// ([`crate::throttle::NicScheduler`]) so they cannot starve
+    /// foreground client traffic. Canonical nesting is
+    /// `Fenced { Background { data } }` — the fence is checked first,
+    /// the class unwrapped second.
+    Background {
+        /// The wrapped data-path request (never control-plane, never
+        /// another `Background` or `Fenced`).
+        inner: Box<Request>,
+    },
 }
 
 impl Request {
@@ -226,7 +251,7 @@ impl Request {
     pub fn is_control(&self) -> bool {
         match self {
             Request::Stats | Request::Ping | Request::Shutdown | Request::SetEpoch(_) => true,
-            Request::Fenced { inner, .. } => inner.is_control(),
+            Request::Fenced { inner, .. } | Request::Background { inner } => inner.is_control(),
             _ => false,
         }
     }
@@ -241,6 +266,23 @@ impl Request {
                 epoch,
                 inner: Box::new(self),
             }
+        }
+    }
+
+    /// Stamps a data request as background traffic (no-op for control
+    /// requests and requests already stamped). Applied *inside* any
+    /// epoch fence: `req.background().fenced(e)` yields the canonical
+    /// `Fenced { Background { data } }` nesting, and calling this on an
+    /// existing fence restamps its interior.
+    pub fn background(self) -> Request {
+        match self {
+            r if r.is_control() => r,
+            Request::Background { inner } => Request::Background { inner },
+            Request::Fenced { epoch, inner } => Request::Fenced {
+                epoch,
+                inner: Box::new(inner.background()),
+            },
+            r => Request::Background { inner: Box::new(r) },
         }
     }
 }
@@ -448,6 +490,30 @@ mod tests {
         assert!(!Request::Delete { key: PartKey::new(1, 0) }.is_control());
         // A fence around a data request stays data-plane.
         assert!(!Request::Get { key: PartKey::new(1, 0) }.fenced(2).is_control());
+    }
+
+    #[test]
+    fn background_stamping_nests_inside_fences() {
+        let get = Request::Get { key: PartKey::new(1, 0) };
+        let bg = get.clone().background();
+        assert!(matches!(bg, Request::Background { .. }));
+        // Idempotent: restamping changes nothing.
+        assert_eq!(bg.clone().background(), bg);
+        // Canonical nesting: fence outside, class inside.
+        let both = get.clone().background().fenced(3);
+        match &both {
+            Request::Fenced { epoch: 3, inner } => {
+                assert!(matches!(**inner, Request::Background { .. }));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+        // Stamping an existing fence restamps its interior instead of
+        // wrapping the fence.
+        assert_eq!(get.clone().fenced(3).background(), both);
+        // Control requests are never stamped, and a stamped data
+        // request stays data-plane.
+        assert_eq!(Request::Ping.background(), Request::Ping);
+        assert!(!get.background().is_control());
     }
 
     #[test]

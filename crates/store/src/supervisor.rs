@@ -124,7 +124,13 @@ impl SupervisorCore {
         retry: RetryPolicy,
     ) -> Self {
         master.set_suspicion_threshold(cfg.suspicion_threshold);
-        let client = Client::new(master.clone(), transport.clone()).with_retry(retry);
+        // Everything the supervisor pushes is maintenance traffic:
+        // stamp it background so recovery sweeps are paced through the
+        // workers' background NIC share (§4.4) instead of competing
+        // with foreground reads at full rate.
+        let client = Client::new(master.clone(), transport.clone())
+            .with_retry(retry)
+            .with_background(true);
         SupervisorCore {
             master,
             transport,
@@ -203,11 +209,31 @@ impl SupervisorCore {
     /// One recovery sweep: re-materialize every degraded file from the
     /// under-store onto the least-loaded live workers. Files whose
     /// repair slot is held elsewhere are skipped (the dedup contract —
-    /// see [`crate::master::Master::begin_repair`]). Returns `None`
-    /// when there is no under-store or nothing is degraded.
+    /// see [`crate::master::Master::begin_repair`]), as are files whose
+    /// placement version moved between enumeration and heal — a lazy
+    /// repair, repartition commit or eviction-reload already re-placed
+    /// them, and healing from the stale snapshot would re-materialize
+    /// partitions the newer placement evicted. Returns `None` when
+    /// there is no under-store or nothing is degraded.
     pub fn sweep(&self) -> Option<SweepRecord> {
+        self.sweep_from(self.snapshot_degraded())
+    }
+
+    /// Enumerates the degraded files as `(id, placement version)`
+    /// pairs — the snapshot a sweep dedupes against. Public so tests
+    /// can interleave a competing heal between snapshot and sweep.
+    pub fn snapshot_degraded(&self) -> Vec<(u64, u64)> {
+        self.master
+            .degraded_files()
+            .into_iter()
+            .map(|id| (id, self.master.placement_version(id).unwrap_or(0)))
+            .collect()
+    }
+
+    /// Runs the heal phase of a sweep against a previously captured
+    /// degraded snapshot (see [`SupervisorCore::sweep`]).
+    pub fn sweep_from(&self, degraded: Vec<(u64, u64)>) -> Option<SweepRecord> {
         let under = self.under.as_ref()?;
-        let degraded = self.master.degraded_files();
         if degraded.is_empty() {
             return None;
         }
@@ -228,9 +254,17 @@ impl SupervisorCore {
                 }
             }
         }
-        for id in degraded {
+        for (id, version) in degraded {
             if live.is_empty() || !under.contains(id) {
                 rec.unrecoverable.push(id);
+                continue;
+            }
+            // Version check just before the heal: if the placement
+            // moved since enumeration, someone else already
+            // re-materialized (or re-homed) the file — do not heal it
+            // again from the stale snapshot.
+            if self.master.placement_version(id) != Some(version) {
+                rec.skipped.push(id);
                 continue;
             }
             let k = self.master.peek(id).map(|(_, s)| s.len()).unwrap_or(1);
@@ -450,6 +484,65 @@ mod tests {
         assert_eq!(rec.healed, vec![1]);
         // Exactly one actual heal per file, plus the manual acquisition.
         assert_eq!(cluster.master().repair_history(), vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn sweep_skips_files_replaced_mid_sweep() {
+        // The evicted-then-reloaded race: a sweep snapshots its
+        // degraded list, but before it reaches file 1 a lazy repair
+        // re-places the file (bumping its placement version). The
+        // sweep must dedupe on (id, version) and skip, not
+        // re-materialize partitions from its stale snapshot.
+        let mut cluster =
+            StoreCluster::spawn(StoreConfig::unthrottled(3).with_retry(RetryPolicy::default()));
+        let under = Arc::new(UnderStore::new());
+        let client = cluster.client().with_under_store(under.clone());
+        let data = payload(3_000);
+        client.write(1, &data, &[0, 1]).unwrap();
+        checkpoint(&client, &under, 1).unwrap();
+        let core = manual_core(&cluster, Some(under));
+        core.tick();
+        cluster.kill_worker(1);
+        core.probe();
+
+        // Snapshot the degraded list, then let a lazy heal win the race.
+        let snap = core.snapshot_degraded();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].0, 1);
+        assert_eq!(client.read(1).unwrap(), data);
+        assert!(cluster.master().placement_version(1).unwrap() > snap[0].1);
+
+        // The stale-snapshot sweep must skip, and must not acquire a
+        // second repair slot for the file.
+        let heals_before = cluster.master().repair_history().len();
+        let rec = core.sweep_from(snap).expect("sweep ran");
+        assert_eq!(rec.skipped, vec![1]);
+        assert!(rec.healed.is_empty());
+        assert_eq!(cluster.master().repair_history().len(), heals_before);
+        assert_eq!(client.read_quiet(1).unwrap(), data);
+    }
+
+    #[test]
+    fn supervisor_heals_are_background_traffic() {
+        let mut cluster =
+            StoreCluster::spawn(StoreConfig::unthrottled(3).with_retry(RetryPolicy::default()));
+        let under = Arc::new(UnderStore::new());
+        let client = cluster.client().with_under_store(under.clone());
+        client.write(1, &payload(4_000), &[0, 1]).unwrap();
+        checkpoint(&client, &under, 1).unwrap();
+        let core = manual_core(&cluster, Some(under));
+        core.tick();
+        cluster.kill_worker(1);
+        let rec = core.tick().expect("sweep ran");
+        assert_eq!(rec.healed, vec![1]);
+        // Every byte the sweep pushed landed as background traffic.
+        let healed_bg: u64 = cluster
+            .worker_stats()
+            .unwrap()
+            .iter()
+            .map(|s| s.bytes_background)
+            .sum();
+        assert!(healed_bg > 0, "sweep pushes must be background-stamped");
     }
 
     #[test]

@@ -6,21 +6,40 @@
 //! loop backs both transports: the in-process [`crate::transport::ChannelTransport`]
 //! feeds it directly, and `spcache-net`'s TCP server forwards decoded
 //! frames into it one at a time.
+//!
+//! Workers are **memory-budgeted** (DESIGN.md §4.13): with
+//! [`WorkerOptions::memory_budget`] set, a partition-granular LRU
+//! ([`spcache_core::LruCache`]) bounds resident bytes. On overflow the
+//! coldest partitions are evicted — written back to the under-store's
+//! spill area when that is the only copy, or dropped for free when the
+//! under-store already holds the file's whole-file checkpoint. Reads of
+//! spilled partitions transparently reload them (paying the slow-tier
+//! delay); reads of dropped partitions answer `NotFound` and heal
+//! through the client's recovery path. Eviction is a performance
+//! event, never a correctness event.
+//!
+//! All maintenance byte streams — spill writebacks, refills, and any
+//! request stamped [`Request::Background`] (recovery pushes,
+//! repartition traffic) — are paced through the background share of
+//! the worker's two-class NIC ([`NicScheduler`]), so a sweep cannot
+//! starve foreground traffic.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use rand::SeedableRng;
+use spcache_core::LruCache;
 use spcache_sim::Xoshiro256StarStar;
 use spcache_workload::StragglerModel;
 
+use crate::backing::UnderStore;
 use crate::fault::{FaultAction, FaultLog, WorkerScript};
-use crate::rpc::{Envelope, PartKey, Reply, Request, StoreError, WorkerStats};
-use crate::throttle::TokenBucket;
+use crate::rpc::{Envelope, PartKey, Reply, Request, StoreError, WorkerStats, STAGE_BIT};
+use crate::throttle::{NicScheduler, TrafficClass};
 
 /// A handle to a running worker thread: its request channel and join
 /// handle.
@@ -78,6 +97,100 @@ impl Drop for WorkerHandle {
     }
 }
 
+/// Everything a worker thread is configured with: identity, NIC model,
+/// fault scripts, and the memory-budget machinery. Build with
+/// [`WorkerOptions::new`] plus the builders; [`spawn_worker_opts`]
+/// consumes it.
+#[derive(Debug)]
+pub struct WorkerOptions {
+    /// Worker index within the cluster.
+    pub id: usize,
+    /// NIC bandwidth in bytes/s (`f64::INFINITY` = unthrottled).
+    pub bandwidth: f64,
+    /// Fraction of the NIC available to background traffic, in
+    /// `(0, 1]` (see [`NicScheduler`]). 1.0 = no background pacing.
+    pub background_fraction: f64,
+    /// Straggler model applied to reads.
+    pub stragglers: StragglerModel,
+    /// RNG seed for straggler draws.
+    pub seed: u64,
+    /// Data-path fault script (fires on the op counter).
+    pub script: WorkerScript,
+    /// Heartbeat fault script (fires on the ping counter).
+    pub heartbeat_script: WorkerScript,
+    /// Shared fault log.
+    pub log: Arc<FaultLog>,
+    /// Resident-byte budget; `None` = unbounded, no eviction ever.
+    pub memory_budget: Option<usize>,
+    /// Spill tier for evicted partitions (normally the cluster's shared
+    /// under-store). When a budget is set and no spill is provided,
+    /// [`spawn_worker_opts`] creates a private one, so eviction can
+    /// never lose the only copy of a partition.
+    pub spill: Option<Arc<UnderStore>>,
+    /// Upper bound on any single emulated transfer's wait. A transfer
+    /// whose projected completion exceeds it is refused with
+    /// [`StoreError::Timeout`] instead of sleeping through it — this is
+    /// what keeps a throttled push from outliving the executor
+    /// deadline. `None` = uncapped.
+    pub max_transfer_wait: Option<Duration>,
+}
+
+impl WorkerOptions {
+    /// Options with no faults, no budget and no transfer cap.
+    pub fn new(id: usize, bandwidth: f64, stragglers: StragglerModel, seed: u64) -> Self {
+        WorkerOptions {
+            id,
+            bandwidth,
+            background_fraction: 1.0,
+            stragglers,
+            seed,
+            script: WorkerScript::empty(),
+            heartbeat_script: WorkerScript::empty(),
+            log: Arc::new(FaultLog::new()),
+            memory_budget: None,
+            spill: None,
+            max_transfer_wait: None,
+        }
+    }
+
+    /// Installs both fault scripts and the shared log.
+    pub fn with_scripts(
+        mut self,
+        script: WorkerScript,
+        heartbeat_script: WorkerScript,
+        log: Arc<FaultLog>,
+    ) -> Self {
+        self.script = script;
+        self.heartbeat_script = heartbeat_script;
+        self.log = log;
+        self
+    }
+
+    /// Sets the resident-byte budget.
+    pub fn with_memory_budget(mut self, budget: Option<usize>) -> Self {
+        self.memory_budget = budget;
+        self
+    }
+
+    /// Sets the background NIC fraction.
+    pub fn with_background_fraction(mut self, fraction: f64) -> Self {
+        self.background_fraction = fraction;
+        self
+    }
+
+    /// Sets the spill tier.
+    pub fn with_spill(mut self, spill: Arc<UnderStore>) -> Self {
+        self.spill = Some(spill);
+        self
+    }
+
+    /// Caps every emulated transfer's wait.
+    pub fn with_max_transfer_wait(mut self, cap: Option<Duration>) -> Self {
+        self.max_transfer_wait = cap;
+        self
+    }
+}
+
 /// Spawns a worker thread with the given NIC bandwidth and straggler
 /// model; returns its handle.
 pub fn spawn_worker(
@@ -86,14 +199,7 @@ pub fn spawn_worker(
     stragglers: StragglerModel,
     seed: u64,
 ) -> WorkerHandle {
-    spawn_worker_with_faults(
-        id,
-        bandwidth,
-        stragglers,
-        seed,
-        WorkerScript::empty(),
-        Arc::new(FaultLog::new()),
-    )
+    spawn_worker_opts(WorkerOptions::new(id, bandwidth, stragglers, seed))
 }
 
 /// Spawns a worker that consults `script` before serving each data-path
@@ -107,14 +213,12 @@ pub fn spawn_worker_with_faults(
     script: WorkerScript,
     log: Arc<FaultLog>,
 ) -> WorkerHandle {
-    spawn_worker_with_scripts(
-        id,
-        bandwidth,
-        stragglers,
-        seed,
-        script,
-        WorkerScript::empty(),
-        log,
+    spawn_worker_opts(
+        WorkerOptions::new(id, bandwidth, stragglers, seed).with_scripts(
+            script,
+            WorkerScript::empty(),
+            log,
+        ),
     )
 }
 
@@ -133,12 +237,28 @@ pub fn spawn_worker_with_scripts(
     heartbeat_script: WorkerScript,
     log: Arc<FaultLog>,
 ) -> WorkerHandle {
+    spawn_worker_opts(
+        WorkerOptions::new(id, bandwidth, stragglers, seed).with_scripts(
+            script,
+            heartbeat_script,
+            log,
+        ),
+    )
+}
+
+/// Spawns a fully-configured worker thread (the general form every
+/// other `spawn_worker*` delegates to).
+pub fn spawn_worker_opts(mut opts: WorkerOptions) -> WorkerHandle {
+    // A budget without a spill tier could turn eviction into data loss;
+    // back it with a private under-store so it never does.
+    if opts.memory_budget.is_some() && opts.spill.is_none() {
+        opts.spill = Some(Arc::new(UnderStore::new()));
+    }
+    let id = opts.id;
     let (tx, rx) = crossbeam::channel::unbounded();
     let join = std::thread::Builder::new()
         .name(format!("spcache-worker-{id}"))
-        .spawn(move || {
-            worker_loop(id, rx, bandwidth, stragglers, seed, script, heartbeat_script, log)
-        })
+        .spawn(move || worker_loop(opts, rx))
         .expect("failed to spawn worker thread");
     WorkerHandle {
         id,
@@ -147,21 +267,36 @@ pub fn spawn_worker_with_scripts(
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn worker_loop(
-    id: usize,
-    rx: Receiver<Envelope>,
-    bandwidth: f64,
-    stragglers: StragglerModel,
-    seed: u64,
-    mut script: WorkerScript,
-    mut heartbeat_script: WorkerScript,
-    log: Arc<FaultLog>,
-) {
-    let mut store: HashMap<PartKey, Bytes> = HashMap::new();
-    let mut nic = TokenBucket::new(bandwidth);
-    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
-    let mut stats = WorkerStats::default();
+fn worker_loop(opts: WorkerOptions, rx: Receiver<Envelope>) {
+    let WorkerOptions {
+        id,
+        bandwidth,
+        background_fraction,
+        stragglers,
+        seed,
+        mut script,
+        mut heartbeat_script,
+        log,
+        memory_budget,
+        spill,
+        max_transfer_wait,
+    } = opts;
+    let mut ctx = ServeCtx {
+        id,
+        store: HashMap::new(),
+        // A zero budget still needs a valid LRU: clamp to one byte so
+        // every partition is "oversized" and spills straight through.
+        lru: LruCache::new(memory_budget.map_or(f64::INFINITY, |b| (b as f64).max(1.0))),
+        nic: NicScheduler::new(bandwidth, background_fraction),
+        stats: WorkerStats::default(),
+        stragglers,
+        rng: Xoshiro256StarStar::seed_from_u64(seed),
+        bandwidth,
+        spill,
+        max_transfer_wait,
+        evicted: Vec::new(),
+        clean: HashSet::new(),
+    };
     // Data-path op counter: faults trigger on this index. Control
     // requests (Stats, Ping, SetEpoch, Shutdown) do not advance it, so
     // monitoring traffic never shifts a scripted fault.
@@ -183,8 +318,10 @@ fn worker_loop(
         // except Ping, which consults the dedicated heartbeat script.
         match req {
             Request::Stats => {
-                stats.resident_parts = store.len();
-                let _ = reply.send(Reply::Stats(stats));
+                ctx.stats.resident_parts = ctx.store.len();
+                ctx.stats.resident_bytes = ctx.lru.used_bytes() as u64;
+                ctx.stats.bytes_background = ctx.nic.class_bytes().1;
+                let _ = reply.send(Reply::Stats(ctx.stats));
                 continue;
             }
             Request::Ping => {
@@ -235,7 +372,8 @@ fn worker_loop(
                 FaultAction::Crash => crash = true,
                 FaultAction::Hang(pause) => std::thread::sleep(pause),
                 FaultAction::DropPartition(key) => {
-                    store.remove(&key);
+                    ctx.store.remove(&key);
+                    ctx.lru.remove(&key);
                 }
                 FaultAction::LoseReply => lose_reply = true,
                 // A dropped connection or torn frame never delivers the
@@ -244,10 +382,14 @@ fn worker_loop(
                 FaultAction::DelayFrame(pause) => delay += pause,
                 // Fast restart with a cold cache: everything cached is
                 // gone and the registration epoch resets; the thread
-                // keeps serving as the "restarted process".
+                // keeps serving as the "restarted process". Spilled
+                // partitions live on the stable tier and survive.
                 FaultAction::CrashRestart => {
-                    store.clear();
-                    stats.resident_parts = 0;
+                    ctx.store.clear();
+                    ctx.lru.clear();
+                    ctx.clean.clear();
+                    ctx.stats.resident_parts = 0;
+                    ctx.stats.resident_bytes = 0;
                     epoch = 0;
                 }
                 FaultAction::StaleEpochDelivery => bounce_stale = true,
@@ -271,11 +413,18 @@ fn worker_loop(
         let out = if bounce_stale || fenced_mismatch {
             Reply::Err(StoreError::StaleEpoch(id))
         } else {
+            // Unwrap the canonical Fenced { Background { data } }
+            // nesting: the fence was checked above, the class picks the
+            // NIC bucket the transfer pays.
             let req = match req {
                 Request::Fenced { inner, .. } => *inner,
                 r => r,
             };
-            serve(req, &mut store, &mut stats, &mut nic, &stragglers, &mut rng, bandwidth)
+            let (req, class) = match req {
+                Request::Background { inner } => (*inner, TrafficClass::Background),
+                r => (r, TrafficClass::Foreground),
+            };
+            ctx.serve(req, class)
         };
         if delay > Duration::ZERO {
             std::thread::sleep(delay);
@@ -288,88 +437,242 @@ fn worker_loop(
     }
 }
 
-/// Serves one data-path request against the worker's partition map.
-fn serve(
-    req: Request,
-    store: &mut HashMap<PartKey, Bytes>,
-    stats: &mut WorkerStats,
-    nic: &mut TokenBucket,
-    stragglers: &StragglerModel,
-    rng: &mut Xoshiro256StarStar,
+/// The worker's serving state: partition map, budget LRU, two-class
+/// NIC, spill tier and counters.
+struct ServeCtx {
+    id: usize,
+    store: HashMap<PartKey, Bytes>,
+    lru: LruCache<PartKey>,
+    nic: NicScheduler,
+    stats: WorkerStats,
+    stragglers: StragglerModel,
+    rng: Xoshiro256StarStar,
     bandwidth: f64,
-) -> Reply {
-    match req {
-        Request::Put { key, data } => {
-            nic.consume(data.len());
-            stats.bytes_stored += data.len() as u64;
-            stats.puts += 1;
-            store.insert(key, data);
-            stats.resident_parts = store.len();
-            Reply::Done
-        }
-        Request::Get { key } => {
-            stats.gets += 1;
-            match store.get(&key) {
-                Some(data) => {
-                    // Emulate the transfer, with optional straggling
-                    // (the paper injects stragglers by sleeping the
-                    // server thread, §4.2).
-                    let factor = stragglers.draw_factor(rng);
-                    nic.consume(data.len());
-                    if factor > 1.0 && bandwidth.is_finite() {
-                        let extra = data.len() as f64 / bandwidth * (factor - 1.0);
-                        std::thread::sleep(Duration::from_secs_f64(extra));
-                    }
-                    stats.bytes_served += data.len() as u64;
-                    Reply::Data(data.clone())
+    spill: Option<Arc<UnderStore>>,
+    max_transfer_wait: Option<Duration>,
+    /// Scratch for LRU eviction drains (reused, allocation-free in
+    /// steady state).
+    evicted: Vec<(PartKey, f64)>,
+    /// Resident partitions whose spill copy is still byte-identical
+    /// (reloaded and not since overwritten). Evicting a clean partition
+    /// is a free drop — the spill tier already holds the only copy it
+    /// would write back. Invariant: `clean` ⊆ resident keys with a live,
+    /// identical spill entry; every path that mutates either side
+    /// (`Put`, `Rename`, `Delete`, crash-restart) clears the flag.
+    clean: HashSet<PartKey>,
+}
+
+impl ServeCtx {
+    /// Serves one data-path request under the given traffic class.
+    fn serve(&mut self, req: Request, class: TrafficClass) -> Reply {
+        match req {
+            Request::Put { key, data } => {
+                if let Err(refused) = self.transfer(data.len(), class) {
+                    return refused;
                 }
-                None => Reply::Err(StoreError::NotFound(key)),
+                self.stats.bytes_stored += data.len() as u64;
+                self.stats.puts += 1;
+                self.admit(key, data);
+                self.stats.resident_parts = self.store.len();
+                Reply::Done
+            }
+            Request::Get { key } => {
+                self.stats.gets += 1;
+                let data = match self.resident(key) {
+                    Some(d) => d,
+                    None => return Reply::Err(StoreError::NotFound(key)),
+                };
+                if let Err(refused) = self.paced_read(data.len(), class) {
+                    return refused;
+                }
+                self.stats.bytes_served += data.len() as u64;
+                Reply::Data(data)
+            }
+            Request::GetRange { key, offset, len } => {
+                self.stats.gets += 1;
+                let data = match self.resident(key) {
+                    Some(d) => d,
+                    None => return Reply::Err(StoreError::NotFound(key)),
+                };
+                let start = (offset as usize).min(data.len());
+                let end = (start + len as usize).min(data.len());
+                let slice = data.slice(start..end);
+                if let Err(refused) = self.paced_read(slice.len(), class) {
+                    return refused;
+                }
+                self.stats.bytes_served += slice.len() as u64;
+                Reply::Data(slice)
+            }
+            Request::Rename { from, to } => {
+                let moved = match self.store.remove(&from) {
+                    Some(data) => {
+                        let bytes = self.lru.remove(&from).unwrap_or(data.len() as f64);
+                        self.lru.insert(to, bytes);
+                        // Any stale spilled copy of either name must not
+                        // shadow the renamed bytes: `to`'s old spill
+                        // entry is dead, and a clean `from` leaves its
+                        // (now misnamed) spill copy behind.
+                        if let Some(s) = &self.spill {
+                            s.spill_remove(to);
+                            if self.clean.remove(&from) {
+                                s.spill_remove(from);
+                            }
+                        }
+                        self.clean.remove(&to);
+                        self.store.insert(to, data);
+                        true
+                    }
+                    // The source may have been evicted before its
+                    // commit arrived: rename within the spill tier.
+                    None => {
+                        self.clean.remove(&to);
+                        self.spill
+                            .as_ref()
+                            .is_some_and(|s| s.spill_rename(from, to))
+                    }
+                };
+                self.stats.resident_parts = self.store.len();
+                Reply::Flag(moved)
+            }
+            Request::Delete { key } => {
+                let mut removed = self.store.remove(&key).is_some();
+                self.lru.remove(&key);
+                self.clean.remove(&key);
+                if let Some(s) = &self.spill {
+                    removed |= s.spill_remove(key);
+                }
+                self.stats.resident_parts = self.store.len();
+                Reply::Flag(removed)
+            }
+            // Control requests were handled before fault injection, and
+            // Fenced/Background wrappers are unwrapped before serve().
+            Request::Stats
+            | Request::Ping
+            | Request::SetEpoch(_)
+            | Request::Shutdown
+            | Request::Fenced { .. }
+            | Request::Background { .. } => {
+                unreachable!("control requests are served before the data path")
             }
         }
-        Request::GetRange { key, offset, len } => {
-            stats.gets += 1;
-            match store.get(&key) {
-                Some(data) => {
-                    let start = (offset as usize).min(data.len());
-                    let end = (start + len as usize).min(data.len());
-                    let slice = data.slice(start..end);
-                    let factor = stragglers.draw_factor(rng);
-                    nic.consume(slice.len());
-                    if factor > 1.0 && bandwidth.is_finite() {
-                        let extra = slice.len() as f64 / bandwidth * (factor - 1.0);
-                        std::thread::sleep(Duration::from_secs_f64(extra));
-                    }
-                    stats.bytes_served += slice.len() as u64;
-                    Reply::Data(slice)
-                }
-                None => Reply::Err(StoreError::NotFound(key)),
+    }
+
+    /// The partition's bytes if resident — reloading it from the spill
+    /// tier first when it was evicted there.
+    fn resident(&mut self, key: PartKey) -> Option<Bytes> {
+        if let Some(data) = self.store.get(&key) {
+            let data = data.clone();
+            self.lru.touch(&key);
+            return Some(data);
+        }
+        self.reload(key)
+    }
+
+    /// Makes `key` resident under the budget, evicting as needed:
+    /// evicted cold partitions spill to the under-store unless it
+    /// already holds the file's whole-file checkpoint (then the drop is
+    /// free — a later read heals from the checkpoint). A partition
+    /// larger than the whole budget spills straight through.
+    fn admit(&mut self, key: PartKey, data: Bytes) {
+        // Fresh bytes supersede any spilled copy: purge it so a later
+        // eviction can't resurrect the stale version.
+        if let Some(s) = &self.spill {
+            s.spill_remove(key);
+        }
+        self.clean.remove(&key);
+        self.admit_inner(key, data);
+    }
+
+    fn admit_inner(&mut self, key: PartKey, data: Bytes) {
+        let fits = self
+            .lru
+            .insert_evicting(key, data.len() as f64, &mut self.evicted);
+        if fits {
+            self.store.insert(key, data);
+        } else {
+            self.store.remove(&key);
+            self.writeback(key, data);
+        }
+        let drained = std::mem::take(&mut self.evicted);
+        for &(k, _) in &drained {
+            if let Some(bytes) = self.store.remove(&k) {
+                self.writeback(k, bytes);
             }
         }
-        Request::Rename { from, to } => {
-            let moved = match store.remove(&from) {
-                Some(data) => {
-                    store.insert(to, data);
-                    true
+        self.evicted = drained;
+        self.evicted.clear();
+    }
+
+    /// Handles one evicted partition: drop free when the spill tier
+    /// already holds the bytes — either the file's whole-file
+    /// checkpoint or a still-identical spill copy left by a clean
+    /// reload — otherwise write it back to the spill area, paced as
+    /// background traffic (uncapped — the only copy must land).
+    fn writeback(&mut self, key: PartKey, data: Bytes) {
+        self.stats.evictions += 1;
+        let Some(spill) = self.spill.clone() else {
+            self.clean.remove(&key);
+            return;
+        };
+        // A clean partition's spill copy is byte-identical by
+        // invariant: evicting it moves nothing.
+        if self.clean.remove(&key) {
+            return;
+        }
+        // Staged partitions belong to an uncommitted layout the
+        // checkpoint knows nothing about: always spill those.
+        if key.part & STAGE_BIT == 0 && spill.contains(key.file) {
+            return;
+        }
+        self.nic.consume(data.len(), TrafficClass::Background);
+        self.stats.spilled_bytes += data.len() as u64;
+        spill.spill_put(key, data);
+    }
+
+    /// Reloads an evicted partition from the spill tier (paying the
+    /// slow-tier read delay and the background NIC share), re-admits it
+    /// and returns its bytes. The spill copy stays where it is and the
+    /// partition is marked clean: until something overwrites it, its
+    /// next eviction is a free drop instead of a redundant writeback.
+    fn reload(&mut self, key: PartKey) -> Option<Bytes> {
+        let spill = self.spill.clone()?;
+        let data = spill.spill_load(key)?;
+        self.nic.consume(data.len(), TrafficClass::Background);
+        self.stats.reloaded_bytes += data.len() as u64;
+        self.clean.insert(key);
+        self.admit_inner(key, data.clone());
+        Some(data)
+    }
+
+    /// Pays the NIC for a transfer, refusing with
+    /// [`StoreError::Timeout`] when a configured cap says the wait
+    /// would overrun the executor deadline.
+    fn transfer(&mut self, bytes: usize, class: TrafficClass) -> Result<(), Reply> {
+        match self.max_transfer_wait {
+            Some(cap) => {
+                if self.nic.consume_within(bytes, class, Instant::now() + cap) {
+                    Ok(())
+                } else {
+                    Err(Reply::Err(StoreError::Timeout(self.id)))
                 }
-                None => false,
-            };
-            stats.resident_parts = store.len();
-            Reply::Flag(moved)
+            }
+            None => {
+                self.nic.consume(bytes, class);
+                Ok(())
+            }
         }
-        Request::Delete { key } => {
-            let removed = store.remove(&key).is_some();
-            stats.resident_parts = store.len();
-            Reply::Flag(removed)
+    }
+
+    /// A read-side transfer with optional straggling (the paper injects
+    /// stragglers by sleeping the server thread, §4.2).
+    fn paced_read(&mut self, bytes: usize, class: TrafficClass) -> Result<(), Reply> {
+        let factor = self.stragglers.draw_factor(&mut self.rng);
+        self.transfer(bytes, class)?;
+        if factor > 1.0 && self.bandwidth.is_finite() {
+            let extra = bytes as f64 / self.bandwidth * (factor - 1.0);
+            std::thread::sleep(Duration::from_secs_f64(extra));
         }
-        // Control requests were handled before fault injection, and
-        // Fenced wrappers are unwrapped before serve().
-        Request::Stats
-        | Request::Ping
-        | Request::SetEpoch(_)
-        | Request::Shutdown
-        | Request::Fenced { .. } => {
-            unreachable!("control requests are served before the data path")
-        }
+        Ok(())
     }
 }
 
@@ -437,6 +740,9 @@ mod tests {
         assert_eq!(s.puts, 2);
         assert_eq!(s.gets, 1);
         assert_eq!(s.resident_parts, 2);
+        assert_eq!(s.resident_bytes, 150);
+        assert_eq!(s.evictions, 0);
+        assert_eq!(s.bytes_background, 0);
     }
 
     #[test]
@@ -686,5 +992,183 @@ mod tests {
         assert!(snap
             .iter()
             .any(|r| r.action == FaultAction::StaleEpochDelivery && r.op == 0));
+    }
+
+    fn budgeted(budget: usize) -> WorkerHandle {
+        spawn_worker_opts(
+            WorkerOptions::new(0, f64::INFINITY, StragglerModel::none(), 1)
+                .with_memory_budget(Some(budget)),
+        )
+    }
+
+    #[test]
+    fn budget_evicts_cold_partitions_and_reads_reload_them() {
+        let h = budgeted(100);
+        put(&h, PartKey::new(1, 0), &[1u8; 50]);
+        put(&h, PartKey::new(1, 1), &[2u8; 50]);
+        // Third partition overflows the budget: the coldest (1,0) spills.
+        put(&h, PartKey::new(1, 2), &[3u8; 50]);
+        let s = h.stats().unwrap();
+        assert_eq!(s.resident_parts, 2);
+        assert!(s.resident_bytes <= 100, "over budget: {}", s.resident_bytes);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.spilled_bytes, 50);
+        // Eviction is a performance event, not a correctness event: the
+        // evicted partition reads back byte-identical via reload...
+        assert_eq!(get(&h, PartKey::new(1, 0)).unwrap().as_ref(), &[1u8; 50]);
+        let s = h.stats().unwrap();
+        assert_eq!(s.reloaded_bytes, 50);
+        // ...and the reload cascaded an eviction to stay under budget.
+        assert!(s.resident_bytes <= 100);
+        assert_eq!(s.evictions, 2);
+    }
+
+    #[test]
+    fn evicting_a_clean_reloaded_partition_writes_nothing_back() {
+        let h = budgeted(100);
+        put(&h, PartKey::new(1, 0), &[1u8; 50]);
+        put(&h, PartKey::new(1, 1), &[2u8; 50]);
+        put(&h, PartKey::new(1, 2), &[3u8; 50]); // evicts (1,0) → spill
+        assert_eq!(get(&h, PartKey::new(1, 0)).unwrap().as_ref(), &[1u8; 50]);
+        let spilled_after_reload = h.stats().unwrap().spilled_bytes;
+        // (1,0) is back, clean, and its spill copy still valid. Fill the
+        // budget until (1,0) falls out again: no second writeback — the
+        // bytes are already in the spill tier.
+        put(&h, PartKey::new(1, 3), &[4u8; 50]);
+        put(&h, PartKey::new(1, 4), &[5u8; 50]);
+        let s = h.stats().unwrap();
+        assert_eq!(
+            s.spilled_bytes,
+            spilled_after_reload + 50,
+            "only the never-spilled victim pays a writeback; the clean \
+             reload drops free"
+        );
+        // And the free-dropped partition still reads back byte-exact.
+        assert_eq!(get(&h, PartKey::new(1, 0)).unwrap().as_ref(), &[1u8; 50]);
+        // A fresh Put invalidates the clean flag: its next eviction
+        // must write back again.
+        put(&h, PartKey::new(1, 0), &[9u8; 50]);
+        let base = h.stats().unwrap().spilled_bytes;
+        put(&h, PartKey::new(1, 5), &[6u8; 50]);
+        put(&h, PartKey::new(1, 6), &[7u8; 50]);
+        let s = h.stats().unwrap();
+        assert!(
+            s.spilled_bytes > base,
+            "overwritten partition lost its clean flag and must spill"
+        );
+        assert_eq!(get(&h, PartKey::new(1, 0)).unwrap().as_ref(), &[9u8; 50]);
+    }
+
+    #[test]
+    fn eviction_is_a_free_drop_under_a_whole_file_checkpoint() {
+        let under = Arc::new(UnderStore::new());
+        under.persist(1, Bytes::copy_from_slice(&[9u8; 100]));
+        let h = spawn_worker_opts(
+            WorkerOptions::new(0, f64::INFINITY, StragglerModel::none(), 1)
+                .with_memory_budget(Some(100))
+                .with_spill(Arc::clone(&under)),
+        );
+        put(&h, PartKey::new(1, 0), &[1u8; 60]);
+        put(&h, PartKey::new(1, 1), &[2u8; 60]);
+        let s = h.stats().unwrap();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.spilled_bytes, 0, "checkpointed file spills nothing");
+        assert_eq!(under.spilled(), (0, 0));
+        // The dropped partition is gone from this worker — the client's
+        // heal path recovers it from the checkpoint.
+        assert_eq!(
+            get(&h, PartKey::new(1, 0)),
+            Err(StoreError::NotFound(PartKey::new(1, 0)))
+        );
+    }
+
+    #[test]
+    fn oversized_partition_spills_straight_through_and_still_reads() {
+        let h = budgeted(10);
+        put(&h, PartKey::new(1, 0), &[7u8; 100]);
+        let s = h.stats().unwrap();
+        assert_eq!(s.resident_parts, 0);
+        assert_eq!(s.spilled_bytes, 100);
+        assert_eq!(get(&h, PartKey::new(1, 0)).unwrap().as_ref(), &[7u8; 100]);
+    }
+
+    #[test]
+    fn rename_and_delete_follow_spilled_partitions() {
+        let h = budgeted(100);
+        let staged = PartKey::new(1, 0).staged();
+        put(&h, staged, &[1u8; 60]);
+        // Evict the staged partition before its commit arrives.
+        put(&h, PartKey::new(2, 0), &[2u8; 60]);
+        assert_eq!(h.stats().unwrap().evictions, 1);
+        // Commit still lands: the rename chases the spill tier.
+        assert!(call(
+            &h,
+            Request::Rename {
+                from: staged,
+                to: PartKey::new(1, 0)
+            }
+        )
+        .flag()
+        .unwrap());
+        assert_eq!(get(&h, PartKey::new(1, 0)).unwrap().as_ref(), &[1u8; 60]);
+        // Delete reaches spilled copies too.
+        put(&h, PartKey::new(3, 0), &[3u8; 90]); // evict (1,0) again
+        assert!(call(&h, Request::Delete { key: PartKey::new(1, 0) })
+            .flag()
+            .unwrap());
+        assert!(get(&h, PartKey::new(1, 0)).is_err());
+    }
+
+    #[test]
+    fn background_requests_pay_the_background_bucket() {
+        let h = spawn_worker_opts(
+            WorkerOptions::new(0, 10e6, StragglerModel::none(), 1)
+                .with_background_fraction(0.25),
+        );
+        call(
+            &h,
+            Request::Put {
+                key: PartKey::new(1, 0),
+                data: Bytes::from(vec![0u8; 1_000_000]),
+            }
+            .background(),
+        )
+        .unit()
+        .unwrap();
+        // 1 MB of background at 25% of 10 MB/s ≈ 400 ms.
+        let t0 = std::time::Instant::now();
+        let got = call(&h, Request::Get { key: PartKey::new(1, 0) }.background())
+            .bytes()
+            .unwrap();
+        assert_eq!(got.len(), 1_000_000);
+        assert!(t0.elapsed().as_secs_f64() >= 0.35);
+        let s = h.stats().unwrap();
+        assert_eq!(s.bytes_background, 2_000_000);
+    }
+
+    #[test]
+    fn transfer_cap_refuses_instead_of_outliving_the_deadline() {
+        let h = spawn_worker_opts(
+            WorkerOptions::new(4, 1e6, StragglerModel::none(), 1)
+                .with_max_transfer_wait(Some(Duration::from_millis(50))),
+        );
+        // A 1 MB put at 1 MB/s projects a ~1 s wait: refused promptly.
+        let t0 = std::time::Instant::now();
+        let reply = call(
+            &h,
+            Request::Put {
+                key: PartKey::new(1, 0),
+                data: Bytes::from(vec![0u8; 1_000_000]),
+            },
+        );
+        assert_eq!(reply, Reply::Err(StoreError::Timeout(4)));
+        assert!(
+            t0.elapsed() < Duration::from_millis(200),
+            "refusal must not sleep out the transfer"
+        );
+        // The refused bytes were never stored or charged: small
+        // transfers still flow.
+        put(&h, PartKey::new(1, 1), &[0u8; 10_000]);
+        assert_eq!(get(&h, PartKey::new(1, 1)).unwrap().len(), 10_000);
     }
 }

@@ -185,6 +185,101 @@ proptest! {
         prop_assert_eq!(client.read_quiet(1).unwrap(), data);
     }
 
+    /// A memory budget is a hard invariant, not a hint: after every
+    /// single operation (writes that overflow, reads that reload,
+    /// deletes), no worker's resident bytes exceed its budget — and
+    /// every read of an evicted partition comes back byte-identical.
+    #[test]
+    fn budget_bounds_resident_bytes_after_every_op(
+        sizes in proptest::collection::vec(512usize..4_096, 4..10),
+        budget in 2_048usize..6_144,
+    ) {
+        let n_workers = 3;
+        let cluster = StoreCluster::spawn(
+            StoreConfig::unthrottled(n_workers).with_memory_budget(Some(budget)),
+        );
+        let client = cluster.client();
+        let check = || -> Result<(), TestCaseError> {
+            for (w, s) in cluster.worker_stats().unwrap().iter().enumerate() {
+                prop_assert!(
+                    s.resident_bytes <= budget as u64,
+                    "worker {} holds {} resident bytes over the {} budget",
+                    w, s.resident_bytes, budget
+                );
+            }
+            Ok(())
+        };
+        let mut datasets = Vec::new();
+        for (i, &len) in sizes.iter().enumerate() {
+            let id = i as u64;
+            let data: Vec<u8> = (0..len).map(|j| ((j * 7 + i * 13 + 3) % 256) as u8).collect();
+            client.write(id, &data, &[i % n_workers, (i + 1) % n_workers]).unwrap();
+            datasets.push(data);
+            check()?;
+        }
+        // Two full sweeps: evicted partitions reload transparently and
+        // byte-identically, without ever breaching the budget.
+        for _ in 0..2 {
+            for (i, data) in datasets.iter().enumerate() {
+                prop_assert_eq!(&client.read_quiet(i as u64).unwrap(), data);
+                check()?;
+            }
+        }
+        // Deletes release their residency.
+        for i in 0..datasets.len() {
+            client.delete(i as u64).unwrap();
+            check()?;
+        }
+        let resident: u64 = cluster
+            .worker_stats()
+            .unwrap()
+            .iter()
+            .map(|s| s.resident_bytes)
+            .sum();
+        prop_assert_eq!(resident, 0, "deletes must drain residency entirely");
+    }
+
+    /// Evict → read → reload is byte-identical under churn for arbitrary
+    /// payloads, and the workload genuinely exercises the spill tier
+    /// (evictions and reloaded bytes are both non-zero when the dataset
+    /// overflows the fleet's total budget).
+    #[test]
+    fn evicted_partitions_reload_byte_identical(
+        seed_byte in any::<u8>(),
+        n_files in 6u64..14,
+    ) {
+        let n_workers = 2;
+        let file_len = 4_096usize;
+        let budget = file_len; // each worker holds ~2 partitions
+        let cluster = StoreCluster::spawn(
+            StoreConfig::unthrottled(n_workers).with_memory_budget(Some(budget)),
+        );
+        let client = cluster.client();
+        let mut datasets = Vec::new();
+        for id in 0..n_files {
+            let data: Vec<u8> = (0..file_len)
+                .map(|j| ((j as u64 * 31 + id * 101 + seed_byte as u64) % 256) as u8)
+                .collect();
+            client.write(id, &data, &[id as usize % n_workers, (id as usize + 1) % n_workers]).unwrap();
+            datasets.push(data);
+        }
+        // Interleaved sweeps front-to-back and back-to-front so both LRU
+        // ends churn.
+        for _ in 0..2 {
+            for id in 0..n_files {
+                prop_assert_eq!(&client.read_quiet(id).unwrap(), &datasets[id as usize]);
+            }
+            for id in (0..n_files).rev() {
+                prop_assert_eq!(&client.read_quiet(id).unwrap(), &datasets[id as usize]);
+            }
+        }
+        let stats = cluster.worker_stats().unwrap();
+        let evictions: u64 = stats.iter().map(|s| s.evictions).sum();
+        let reloaded: u64 = stats.iter().map(|s| s.reloaded_bytes).sum();
+        prop_assert!(evictions > 0, "dataset overflows the budget yet nothing evicted");
+        prop_assert!(reloaded > 0, "reads of evicted partitions must reload bytes");
+    }
+
     /// The zero-copy write path never copies: every partition view a
     /// subsequent scattered read returns points *into the caller's
     /// original allocation* (checked by pointer range) — one shared

@@ -66,7 +66,14 @@ fn chaos_config() -> StoreConfig {
 /// One chaos run over TCP. Structurally the twin of `run_chaos` in
 /// `chaos_store.rs`; only the cluster construction differs.
 fn run_chaos_tcp(workload_seed: u64) -> (Vec<FaultRecord>, Vec<(u64, Vec<usize>)>) {
-    let cluster = TcpCluster::spawn(chaos_config());
+    run_chaos_tcp_cfg(workload_seed, chaos_config())
+}
+
+fn run_chaos_tcp_cfg(
+    workload_seed: u64,
+    cfg: StoreConfig,
+) -> (Vec<FaultRecord>, Vec<(u64, Vec<usize>)>) {
+    let cluster = TcpCluster::spawn(cfg);
     let under = Arc::new(UnderStore::new());
     let client = cluster.client().with_under_store(Arc::clone(&under));
 
@@ -106,8 +113,13 @@ fn run_chaos_tcp(workload_seed: u64) -> (Vec<FaultRecord>, Vec<(u64, Vec<usize>)
 }
 
 /// The in-process control run, for the cross-transport comparison.
+/// Returns the fault log and the fleet-wide eviction count.
 fn run_chaos_channel(workload_seed: u64) -> Vec<FaultRecord> {
-    let cluster = StoreCluster::spawn(chaos_config());
+    run_chaos_channel_cfg(workload_seed, chaos_config()).0
+}
+
+fn run_chaos_channel_cfg(workload_seed: u64, cfg: StoreConfig) -> (Vec<FaultRecord>, u64) {
+    let cluster = StoreCluster::spawn(cfg);
     let under = Arc::new(UnderStore::new());
     let client = cluster.client().with_under_store(Arc::clone(&under));
     for id in 0..N_FILES {
@@ -120,7 +132,13 @@ fn run_chaos_channel(workload_seed: u64) -> Vec<FaultRecord> {
         let id = sampler.sample(&mut rng) as u64;
         assert_eq!(client.read_quiet(id).unwrap(), payload(id, FILE_LEN));
     }
-    cluster.fault_log().snapshot()
+    let evictions: u64 = cluster
+        .worker_stats()
+        .unwrap()
+        .iter()
+        .map(|s| s.evictions)
+        .sum();
+    (cluster.fault_log().snapshot(), evictions)
 }
 
 #[test]
@@ -147,5 +165,29 @@ fn tcp_and_channel_transports_fire_identical_fault_logs() {
     assert_eq!(
         tcp_log, channel_log,
         "wire transport changed which faults fired — op order diverged"
+    );
+}
+
+#[test]
+fn eviction_under_chaos_is_deterministic_across_transports() {
+    // The same twin run with a per-worker budget tight enough that
+    // partitions are constantly evicted and reloaded mid-fault-storm.
+    // Eviction is keyed only on the per-worker FIFO request order, so
+    // it must not perturb which faults fire, the recovery placements,
+    // or byte-exactness (every read is asserted inside the runners).
+    let cfg = || chaos_config().with_memory_budget(Some(FILE_LEN));
+    let (tcp_log, tcp_placements) = run_chaos_tcp_cfg(chaos_seed(), cfg());
+    let (tcp_log_b, tcp_placements_b) = run_chaos_tcp_cfg(chaos_seed(), cfg());
+    assert_eq!(tcp_log, tcp_log_b, "budgeted TCP chaos is not reproducible");
+    assert_eq!(tcp_placements, tcp_placements_b);
+
+    let (channel_log, evictions) = run_chaos_channel_cfg(chaos_seed(), cfg());
+    assert_eq!(
+        tcp_log, channel_log,
+        "eviction changed which faults fired across transports"
+    );
+    assert!(
+        evictions > 0,
+        "budget of one file must force evictions in this workload"
     );
 }
