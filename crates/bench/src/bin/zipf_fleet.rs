@@ -3,17 +3,26 @@
 //! the JSON harness.
 //!
 //! ```text
-//! zipf_fleet [--files N] [--file-kb KB] [--k K] [--workers N]
-//!            [--reads N] [--budget-frac F] [--background-fraction F]
-//!            [--bandwidth BYTES_PER_SEC] [--seed S] [--tcp]
+//! zipf_fleet [--files N] [--file-kb KB | --file-bytes B] [--k K]
+//!            [--workers N] [--reads N] [--budget-frac F]
+//!            [--background-fraction F] [--bandwidth BYTES_PER_SEC]
+//!            [--seed S] [--tcp] [--fleet-1m]
 //! ```
 //!
-//! Writes `--files` files of `--file-kb` KB split `--k` ways, then
-//! drives `--reads` Zipf(1.1)-sampled reads through one client and
-//! prints throughput plus the fleet's eviction/spill/reload counters.
-//! `--budget-frac F` caps each worker at `F ×` its unbounded resident
-//! share (omit for an unbounded run); `--tcp` runs the same fleet over
-//! real loopback sockets instead of in-process channels.
+//! Writes `--files` files of `--file-kb` KB (or `--file-bytes` B)
+//! split `--k` ways, then drives `--reads` Zipf(1.1)-sampled reads
+//! through one client and prints throughput plus the fleet's
+//! eviction/spill/reload counters. `--budget-frac F` caps each worker
+//! at `F ×` its unbounded resident share (omit for an unbounded run);
+//! `--tcp` runs the same fleet over real loopback sockets instead of
+//! in-process channels.
+//!
+//! Seeding streams through [`Client::write_many`]: files are pushed in
+//! chunks of a few thousand, each chunk one partition-put wave plus
+//! **one** metadata round-trip — what makes a million-file corpus
+//! registrable over TCP in seconds instead of a million register
+//! calls. `--fleet-1m` is the smoke preset for exactly that: one
+//! million 64-byte files, `k = 1`, over TCP.
 
 use std::process::exit;
 use std::time::Instant;
@@ -67,15 +76,23 @@ impl Fleet {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let files: u64 = parse(&args, "--files", 24);
-    let file_kb: usize = parse(&args, "--file-kb", 1024);
+    let fleet_1m = args.iter().any(|a| a == "--fleet-1m");
+    let files: u64 = parse(&args, "--files", if fleet_1m { 1_000_000 } else { 24 });
     let workers: usize = parse(&args, "--workers", 4);
-    let k: usize = parse(&args, "--k", 4);
+    let k: usize = parse(&args, "--k", if fleet_1m { 1 } else { 4 });
     let reads: usize = parse(&args, "--reads", 2000);
     let seed: u64 = parse(&args, "--seed", 42);
     let bandwidth: f64 = parse(&args, "--bandwidth", f64::INFINITY);
-    let tcp = args.iter().any(|a| a == "--tcp");
-    let file_len = file_kb << 10;
+    let tcp = args.iter().any(|a| a == "--tcp") || fleet_1m;
+    let file_len: usize = if flag_value(&args, "--file-bytes").is_some() {
+        parse(&args, "--file-bytes", 64)
+    } else if flag_value(&args, "--file-kb").is_some() {
+        parse::<usize>(&args, "--file-kb", 1024) << 10
+    } else if fleet_1m {
+        64
+    } else {
+        1024 << 10
+    };
 
     let mut cfg = if bandwidth.is_finite() {
         StoreConfig::throttled(workers, bandwidth)
@@ -117,22 +134,34 @@ fn main() {
             .map(|i| ((i * 31 + 7) % 256) as u8)
             .collect::<Vec<u8>>(),
     );
+    // Stream the corpus in chunks: each chunk is one put wave + one
+    // batched metadata registration, and every file shares the one
+    // `data` allocation (Bytes clones are refcount bumps).
+    const SEED_CHUNK: usize = 4096;
+    let t_seed = Instant::now();
+    let mut batch: Vec<(u64, Bytes, Vec<usize>)> = Vec::with_capacity(SEED_CHUNK);
     for id in 0..files {
         let servers: Vec<usize> = (0..k).map(|j| (id as usize + j) % workers).collect();
-        client.write_bytes(id, data.clone(), &servers).unwrap_or_else(|e| {
-            eprintln!("zipf_fleet: seed write of file {id} failed: {e:?}");
-            exit(1);
-        });
+        batch.push((id, data.clone(), servers));
+        if batch.len() == SEED_CHUNK || id + 1 == files {
+            client.write_many(&batch).unwrap_or_else(|e| {
+                eprintln!("zipf_fleet: seed chunk ending at file {id} failed: {e:?}");
+                exit(1);
+            });
+            batch.clear();
+        }
     }
+    let seed_dt = t_seed.elapsed().as_secs_f64();
 
     println!(
-        "zipf_fleet: {files} files x {file_kb} KB (k={k}) on {workers} workers, \
-         budget {}, transport {}",
+        "zipf_fleet: {files} files x {file_len} B (k={k}) on {workers} workers, \
+         budget {}, transport {}; seeded in {seed_dt:.2} s ({:.0} files/s)",
         match budget {
             Some(b) => format!("{b} B/worker"),
             None => "unbounded".to_string(),
         },
         if tcp { "tcp" } else { "channel" },
+        files as f64 / seed_dt.max(1e-9),
     );
 
     let sampler = ZipfSampler::new(files as usize, 1.1);

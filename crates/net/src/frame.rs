@@ -56,6 +56,7 @@ pub(crate) const OP_SHUTDOWN: u8 = 0x08;
 pub(crate) const OP_FENCED: u8 = 0x09;
 pub(crate) const OP_SET_EPOCH: u8 = 0x0A;
 pub(crate) const OP_BACKGROUND: u8 = 0x0B;
+pub(crate) const OP_SET_MASTER_EPOCH: u8 = 0x0C;
 pub(crate) const OP_R_DONE: u8 = 0x41;
 pub(crate) const OP_R_DATA: u8 = 0x42;
 pub(crate) const OP_R_FLAG: u8 = 0x43;
@@ -189,6 +190,17 @@ impl Cursor<'_> {
         (0..n).map(|_| Ok(self.u32()? as usize)).collect()
     }
 
+    /// Reads a `u32` element count for a list whose entries occupy at
+    /// least `min_entry_bytes` each, rejecting counts that could not
+    /// possibly fit in the remaining body (a length lie).
+    pub(crate) fn guarded_count(&mut self, min_entry_bytes: usize) -> Result<usize, StoreError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_entry_bytes) > self.buf.len() - self.pos {
+            return Err(codec("list length exceeds frame"));
+        }
+        Ok(n)
+    }
+
     pub(crate) fn u64_list(&mut self) -> Result<Vec<u64>, StoreError> {
         let n = self.u32()? as usize;
         if n.saturating_mul(8) > self.buf.len() - self.pos {
@@ -306,12 +318,13 @@ pub fn encode_request_parts(req: &Request, req_id: u64) -> WireFrame {
         Request::Put { key, data } => FrameBuilder::new(OP_PUT, req_id)
             .key(*key)
             .finish_parts(data.clone()),
-        Request::Fenced { epoch, inner } => match &**inner {
+        Request::Fenced { epoch, master, inner } => match &**inner {
             // The fenced body embeds the inner frame minus its length
             // prefix; for a fenced Put the inner header is appended to
             // the outer one and the payload still rides zero-copy.
             Request::Put { key, data } => FrameBuilder::new(OP_FENCED, req_id)
                 .u64(*epoch)
+                .u64(*master)
                 .u8(WIRE_VERSION)
                 .u8(OP_PUT)
                 .u64(req_id)
@@ -354,11 +367,16 @@ pub fn encode_request(req: &Request, req_id: u64) -> Vec<u8> {
         Request::Ping => FrameBuilder::new(OP_PING, req_id).finish(),
         Request::Shutdown => FrameBuilder::new(OP_SHUTDOWN, req_id).finish(),
         Request::SetEpoch(e) => FrameBuilder::new(OP_SET_EPOCH, req_id).u64(*e).finish(),
+        Request::SetMasterEpoch(m) => {
+            FrameBuilder::new(OP_SET_MASTER_EPOCH, req_id).u64(*m).finish()
+        }
         // The fenced body embeds the inner request as a headered frame
         // minus its length prefix (version | opcode | req_id | body), so
-        // the inner message reuses the whole codec unchanged.
-        Request::Fenced { epoch, inner } => FrameBuilder::new(OP_FENCED, req_id)
+        // the inner message reuses the whole codec unchanged. The two
+        // stamps (worker epoch, master epoch) precede it.
+        Request::Fenced { epoch, master, inner } => FrameBuilder::new(OP_FENCED, req_id)
             .u64(*epoch)
+            .u64(*master)
             .bytes(&encode_request(inner, req_id)[4..])
             .finish(),
         // Background mirrors the fenced embedding (sans epoch): the body
@@ -399,8 +417,10 @@ pub fn decode_request(frame: &Frame) -> Result<Request, StoreError> {
         OP_PING => Request::Ping,
         OP_SHUTDOWN => Request::Shutdown,
         OP_SET_EPOCH => Request::SetEpoch(c.u64()?),
+        OP_SET_MASTER_EPOCH => Request::SetMasterEpoch(c.u64()?),
         OP_FENCED => {
             let epoch = c.u64()?;
+            let master = c.u64()?;
             let inner = Frame::parse(c.rest())?;
             if inner.opcode == OP_FENCED {
                 // One fence per request; unbounded nesting would let a
@@ -412,6 +432,7 @@ pub fn decode_request(frame: &Frame) -> Result<Request, StoreError> {
             }
             Request::Fenced {
                 epoch,
+                master,
                 inner: Box::new(decode_request(&inner)?),
             }
         }
@@ -636,17 +657,28 @@ mod tests {
         roundtrip_req(Request::Shutdown);
         roundtrip_req(Request::SetEpoch(0));
         roundtrip_req(Request::SetEpoch(u64::MAX));
+        roundtrip_req(Request::SetMasterEpoch(0));
+        roundtrip_req(Request::SetMasterEpoch(u64::MAX));
         roundtrip_req(Request::Fenced {
             epoch: 7,
+            master: 0,
             inner: Box::new(Request::Get {
                 key: PartKey::new(4, 2),
             }),
         });
         roundtrip_req(Request::Fenced {
             epoch: u64::MAX,
+            master: u64::MAX,
             inner: Box::new(Request::Put {
                 key: PartKey::new(9, 0),
                 data: Bytes::from(vec![5, 6, 7]),
+            }),
+        });
+        roundtrip_req(Request::Fenced {
+            epoch: 0,
+            master: 3,
+            inner: Box::new(Request::Delete {
+                key: PartKey::new(1, 1),
             }),
         });
         roundtrip_req(Request::Background {
@@ -681,6 +713,7 @@ mod tests {
             },
             Request::Fenced {
                 epoch: 2,
+                master: 0,
                 inner: Box::new(Request::Ping),
             },
         ] {
@@ -700,8 +733,10 @@ mod tests {
         let wire = encode_request(
             &Request::Fenced {
                 epoch: 1,
+                master: 0,
                 inner: Box::new(Request::Fenced {
                     epoch: 2,
+                    master: 0,
                     inner: Box::new(Request::Ping),
                 }),
             },
@@ -783,6 +818,7 @@ mod tests {
             Request::Get { key },
             Request::Fenced {
                 epoch: 42,
+                master: 6,
                 inner: Box::new(Request::Put {
                     key,
                     data: data.clone(),
@@ -790,6 +826,7 @@ mod tests {
             },
             Request::Fenced {
                 epoch: 42,
+                master: 0,
                 inner: Box::new(Request::Delete { key }),
             },
             Request::Shutdown,

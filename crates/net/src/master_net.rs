@@ -61,6 +61,10 @@ const MOP_WORKER_EPOCHS: u8 = 0x8E;
 const MOP_REGISTER_WORKER: u8 = 0x8F;
 const MOP_BEGIN_REPAIR: u8 = 0x90;
 const MOP_END_REPAIR: u8 = 0x91;
+const MOP_STATUS: u8 = 0x92;
+const MOP_LOG_TAIL: u8 = 0x93;
+const MOP_TAKEOVER: u8 = 0x94;
+const MOP_REGISTER_BATCH: u8 = 0x95;
 const MOP_R_DONE: u8 = 0xC1;
 const MOP_R_INFO: u8 = 0xC2;
 const MOP_R_MAYBE: u8 = 0xC3;
@@ -72,6 +76,9 @@ const MOP_R_REBALANCED: u8 = 0xC8;
 const MOP_R_ERR: u8 = 0xC9;
 const MOP_R_EPOCHS: u8 = 0xCA;
 const MOP_R_EPOCH: u8 = 0xCB;
+const MOP_R_REDIRECT: u8 = 0xCC;
+const MOP_R_STATUS: u8 = 0xCD;
+const MOP_R_LOG: u8 = 0xCE;
 
 fn codec(msg: impl Into<String>) -> StoreError {
     StoreError::Codec(msg.into())
@@ -169,6 +176,31 @@ pub enum MetaRequest {
         /// File id.
         id: u64,
     },
+    /// Liveness/authority probe: master epoch, active-vs-fenced flag,
+    /// file count and journal head. Served even by a fenced master (a
+    /// standby polls it to measure lag and detect death).
+    Status,
+    /// Stream every journalled metadata op with `lsn >= from` — the
+    /// standby's replication pull (§4.14).
+    LogTail {
+        /// First LSN the caller has not yet applied.
+        from: u64,
+    },
+    /// A successor announces it has taken over at `epoch`; the receiver
+    /// fences itself and redirects future callers to `addr`.
+    Takeover {
+        /// The successor's (higher) master epoch.
+        epoch: u64,
+        /// The successor's listen address, `host:port`.
+        addr: String,
+    },
+    /// `MetaService::register_batch`: one metadata round-trip
+    /// registering a whole chunk of `(id, size, servers)` rows — the
+    /// million-file seeding path.
+    RegisterBatch {
+        /// The rows, in registration order.
+        entries: Vec<(u64, u64, Vec<usize>)>,
+    },
     /// Stop the master server.
     Shutdown,
 }
@@ -205,6 +237,33 @@ pub enum MetaReply {
         moved: u64,
         /// Files skipped because a worker was unavailable.
         skipped: Vec<u64>,
+    },
+    /// The receiver is a fenced (deposed) master: retry against `to`
+    /// (empty when the successor is unknown — the caller must
+    /// rediscover the master out of band).
+    Redirect {
+        /// The successor's listen address, `host:port`.
+        to: String,
+    },
+    /// `Status` result.
+    Status {
+        /// The master's current master epoch.
+        epoch: u64,
+        /// `false` once fenced by a takeover.
+        active: bool,
+        /// Registered file count.
+        files: u64,
+        /// The journal's next LSN (0 = no journal attached).
+        next_lsn: u64,
+    },
+    /// `LogTail` result: raw journal record bytes (the standby decodes
+    /// them with [`spcache_store::metalog::decode_records`]).
+    Log {
+        /// First LSN **after** the returned records — the `from` of the
+        /// next poll.
+        next_lsn: u64,
+        /// Concatenated wire records, oldest first.
+        bytes: Vec<u8>,
     },
     /// The request failed.
     Err(StoreError),
@@ -258,6 +317,21 @@ pub fn encode_meta_request(req: &MetaRequest, req_id: u64) -> Vec<u8> {
         MetaRequest::EndRepair { id } => {
             FrameBuilder::new(MOP_END_REPAIR, req_id).u64(*id).finish()
         }
+        MetaRequest::Status => FrameBuilder::new(MOP_STATUS, req_id).finish(),
+        MetaRequest::LogTail { from } => {
+            FrameBuilder::new(MOP_LOG_TAIL, req_id).u64(*from).finish()
+        }
+        MetaRequest::Takeover { epoch, addr } => FrameBuilder::new(MOP_TAKEOVER, req_id)
+            .u64(*epoch)
+            .string(addr)
+            .finish(),
+        MetaRequest::RegisterBatch { entries } => {
+            let mut b = FrameBuilder::new(MOP_REGISTER_BATCH, req_id).u32(entries.len() as u32);
+            for (id, size, servers) in entries {
+                b = b.u64(*id).u64(*size).usize_list(servers);
+            }
+            b.finish()
+        }
         MetaRequest::Shutdown => FrameBuilder::new(MOP_SHUTDOWN, req_id).finish(),
     }
 }
@@ -297,6 +371,19 @@ pub fn decode_meta_request(frame: &Frame) -> Result<MetaRequest, StoreError> {
         MOP_REGISTER_WORKER => MetaRequest::RegisterWorker { w: c.u64()? },
         MOP_BEGIN_REPAIR => MetaRequest::BeginRepair { id: c.u64()? },
         MOP_END_REPAIR => MetaRequest::EndRepair { id: c.u64()? },
+        MOP_STATUS => MetaRequest::Status,
+        MOP_LOG_TAIL => MetaRequest::LogTail { from: c.u64()? },
+        MOP_TAKEOVER => MetaRequest::Takeover {
+            epoch: c.u64()?,
+            addr: c.string()?,
+        },
+        MOP_REGISTER_BATCH => {
+            let n = c.guarded_count(20)?;
+            let entries = (0..n)
+                .map(|_| Ok((c.u64()?, c.u64()?, c.usize_list()?)))
+                .collect::<Result<Vec<_>, StoreError>>()?;
+            MetaRequest::RegisterBatch { entries }
+        }
         MOP_SHUTDOWN => MetaRequest::Shutdown,
         op => return Err(codec(format!("unknown meta request opcode {op:#04x}"))),
     };
@@ -331,6 +418,24 @@ pub fn encode_meta_reply(reply: &MetaReply, req_id: u64) -> Vec<u8> {
             .u64(*moved)
             .u64_list(skipped)
             .finish(),
+        MetaReply::Redirect { to } => FrameBuilder::new(MOP_R_REDIRECT, req_id)
+            .string(to)
+            .finish(),
+        MetaReply::Status {
+            epoch,
+            active,
+            files,
+            next_lsn,
+        } => FrameBuilder::new(MOP_R_STATUS, req_id)
+            .u64(*epoch)
+            .u8(*active as u8)
+            .u64(*files)
+            .u64(*next_lsn)
+            .finish(),
+        MetaReply::Log { next_lsn, bytes } => FrameBuilder::new(MOP_R_LOG, req_id)
+            .u64(*next_lsn)
+            .bytes(bytes)
+            .finish(),
         MetaReply::Err(e) => crate::frame::encode_err_frame(MOP_R_ERR, req_id, e),
     }
 }
@@ -362,6 +467,17 @@ pub fn decode_meta_reply(frame: &Frame) -> Result<MetaReply, StoreError> {
         MOP_R_REBALANCED => MetaReply::Rebalanced {
             moved: c.u64()?,
             skipped: c.u64_list()?,
+        },
+        MOP_R_REDIRECT => MetaReply::Redirect { to: c.string()? },
+        MOP_R_STATUS => MetaReply::Status {
+            epoch: c.u64()?,
+            active: c.u8()? != 0,
+            files: c.u64()?,
+            next_lsn: c.u64()?,
+        },
+        MOP_R_LOG => MetaReply::Log {
+            next_lsn: c.u64()?,
+            bytes: c.rest().to_vec(),
         },
         MOP_R_ERR => MetaReply::Err(c.store_error()?),
         op => return Err(codec(format!("unknown meta reply opcode {op:#04x}"))),
@@ -711,6 +827,20 @@ fn serve_meta(
     req: MetaRequest,
     executor_deadline: Duration,
 ) -> MetaReply {
+    // A fenced master answers nothing but probes and takeover
+    // handshakes: every other call is bounced to the successor so a
+    // client that cached this endpoint re-aims itself instead of
+    // mutating deposed metadata (§4.14).
+    if master.is_fenced()
+        && !matches!(
+            req,
+            MetaRequest::Status | MetaRequest::Shutdown | MetaRequest::Takeover { .. }
+        )
+    {
+        return MetaReply::Redirect {
+            to: master.successor().unwrap_or_default(),
+        };
+    }
     match req {
         MetaRequest::Register { id, size, servers } => {
             match MetaService::register(master.as_ref(), id, size as usize, servers) {
@@ -785,14 +915,48 @@ fn serve_meta(
                 Err(e) => MetaReply::Err(e),
             }
         }
+        MetaRequest::Status => MetaReply::Status {
+            epoch: master.master_epoch(),
+            active: !master.is_fenced(),
+            files: master.file_count() as u64,
+            next_lsn: master.journal_next_lsn(),
+        },
+        MetaRequest::LogTail { from } => {
+            let (next_lsn, bytes) = master.journal_tail(from);
+            MetaReply::Log { next_lsn, bytes }
+        }
+        MetaRequest::Takeover { epoch, addr } => {
+            if epoch >= master.master_epoch() {
+                master.self_fence(Some(addr));
+                MetaReply::Done
+            } else {
+                // A *lower*-epoch "successor" is itself the stale one.
+                MetaReply::Err(StoreError::StaleEpoch(MASTER_ENDPOINT))
+            }
+        }
+        MetaRequest::RegisterBatch { entries } => {
+            let rows: Vec<(u64, usize, Vec<usize>)> = entries
+                .into_iter()
+                .map(|(id, size, servers)| (id, size as usize, servers))
+                .collect();
+            match master.register_batch(&rows) {
+                Ok(()) => MetaReply::Done,
+                Err(e) => MetaReply::Err(e),
+            }
+        }
         MetaRequest::Shutdown => MetaReply::Done,
     }
 }
 
 /// A [`MetaService`] implementation speaking the master wire protocol.
+///
+/// The endpoint is **mutable**: when a fenced (deposed) master answers
+/// with [`MetaReply::Redirect`], the client re-aims itself at the
+/// successor and retries — callers keep one `MasterClient` across a
+/// failover and never learn it happened.
 #[derive(Debug)]
 pub struct MasterClient {
-    addr: SocketAddr,
+    addr: Mutex<SocketAddr>,
     conn: Mutex<Option<TcpStream>>,
     next_id: std::sync::atomic::AtomicU64,
     deadline: Duration,
@@ -802,7 +966,7 @@ impl MasterClient {
     /// A client for the master at `addr`, with the default 5 s deadline.
     pub fn connect(addr: SocketAddr) -> Self {
         MasterClient {
-            addr,
+            addr: Mutex::new(addr),
             conn: Mutex::new(None),
             next_id: std::sync::atomic::AtomicU64::new(1),
             deadline: Duration::from_secs(5),
@@ -816,18 +980,50 @@ impl MasterClient {
         self
     }
 
-    /// One synchronous request→reply exchange. Any transport failure
+    /// The master endpoint this client currently aims at (updated by
+    /// redirects).
+    pub fn addr(&self) -> SocketAddr {
+        *self.addr.lock()
+    }
+
+    /// One synchronous request→reply exchange, **following redirects**:
+    /// a fenced master's [`MetaReply::Redirect`] re-aims the client at
+    /// the successor and retries, up to 3 hops. Any transport failure
     /// maps to [`StoreError::Io`] against [`MASTER_ENDPOINT`] and drops
     /// the pooled connection so the next call redials.
     ///
     /// # Errors
     ///
-    /// [`StoreError::Io`] on transport failure, [`StoreError::Codec`]
+    /// [`StoreError::Io`] on transport failure or a redirect to nowhere
+    /// (a fenced master with no known successor), [`StoreError::Codec`]
     /// on malformed replies, plus whatever error the master returns.
     pub fn roundtrip(&self, req: &MetaRequest) -> Result<MetaReply, StoreError> {
+        for _ in 0..3 {
+            match self.exchange(req)? {
+                MetaReply::Redirect { to } => {
+                    let next: SocketAddr = to
+                        .parse()
+                        .map_err(|_| StoreError::Io(MASTER_ENDPOINT))?;
+                    *self.addr.lock() = next;
+                    if let Some(s) = self.conn.lock().take() {
+                        let _ = s.shutdown(std::net::Shutdown::Both);
+                    }
+                }
+                reply => return Ok(reply),
+            }
+        }
+        // A redirect loop (two masters each claiming the other) is a
+        // deployment bug; surface it as an endpoint failure.
+        Err(StoreError::Io(MASTER_ENDPOINT))
+    }
+
+    /// One raw request→reply exchange against the current endpoint
+    /// (no redirect handling).
+    fn exchange(&self, req: &MetaRequest) -> Result<MetaReply, StoreError> {
+        let addr = *self.addr.lock();
         let mut slot = self.conn.lock();
         if slot.is_none() {
-            let stream = TcpStream::connect_timeout(&self.addr, self.deadline)
+            let stream = TcpStream::connect_timeout(&addr, self.deadline)
                 .map_err(|_| StoreError::Io(MASTER_ENDPOINT))?;
             let _ = stream.set_nodelay(true);
             stream
@@ -909,6 +1105,59 @@ impl MasterClient {
     /// Transport errors reaching the master.
     pub fn shutdown_server(&self) -> Result<(), StoreError> {
         self.expect_done(&MetaRequest::Shutdown)
+    }
+
+    /// Probes the master's authority and journal head:
+    /// `(master_epoch, active, file_count, next_lsn)`. Served even by
+    /// a fenced master — this is the standby's lag/liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors reaching the master.
+    pub fn status(&self) -> Result<(u64, bool, u64, u64), StoreError> {
+        match self.exchange(&MetaRequest::Status)? {
+            MetaReply::Status {
+                epoch,
+                active,
+                files,
+                next_lsn,
+            } => Ok((epoch, active, files, next_lsn)),
+            MetaReply::Err(e) => Err(e),
+            other => Err(codec(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Pulls every journalled metadata op with `lsn >= from`; returns
+    /// `(next_lsn, raw record bytes)` for
+    /// [`spcache_store::metalog::decode_records`].
+    ///
+    /// # Errors
+    ///
+    /// Transport errors reaching the master.
+    pub fn log_tail(&self, from: u64) -> Result<(u64, Vec<u8>), StoreError> {
+        match self.roundtrip(&MetaRequest::LogTail { from })? {
+            MetaReply::Log { next_lsn, bytes } => Ok((next_lsn, bytes)),
+            MetaReply::Err(e) => Err(e),
+            other => Err(codec(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Announces a takeover: the receiver (the old master) fences
+    /// itself and redirects future callers to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`StoreError::StaleEpoch`] when `epoch` is
+    /// below the receiver's own (the caller is the stale one).
+    pub fn takeover(&self, epoch: u64, addr: &str) -> Result<(), StoreError> {
+        match self.exchange(&MetaRequest::Takeover {
+            epoch,
+            addr: addr.to_string(),
+        })? {
+            MetaReply::Done => Ok(()),
+            MetaReply::Err(e) => Err(e),
+            other => Err(codec(format!("unexpected reply {other:?}"))),
+        }
     }
 }
 
@@ -1009,5 +1258,14 @@ impl MetaService for MasterClient {
 
     fn end_repair(&self, id: u64) {
         let _ = self.roundtrip(&MetaRequest::EndRepair { id });
+    }
+
+    fn register_batch(&self, entries: &[(u64, usize, Vec<usize>)]) -> Result<(), StoreError> {
+        self.expect_done(&MetaRequest::RegisterBatch {
+            entries: entries
+                .iter()
+                .map(|(id, size, servers)| (*id, *size as u64, servers.clone()))
+                .collect(),
+        })
     }
 }

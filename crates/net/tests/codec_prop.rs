@@ -86,8 +86,15 @@ proptest! {
             Request::Ping,
             Request::Shutdown,
             Request::SetEpoch(offset),
+            Request::SetMasterEpoch(len),
             Request::Fenced {
                 epoch: len,
+                master: 0,
+                inner: Box::new(Request::Get { key }),
+            },
+            Request::Fenced {
+                epoch: len,
+                master: offset,
                 inner: Box::new(Request::Get { key }),
             },
             Request::Background {
@@ -95,6 +102,7 @@ proptest! {
             },
             Request::Fenced {
                 epoch: len,
+                master: offset,
                 inner: Box::new(Request::Background {
                     inner: Box::new(Request::Delete { key }),
                 }),
@@ -182,6 +190,12 @@ proptest! {
             MetaRequest::RegisterWorker { w: w as u64 },
             MetaRequest::BeginRepair { id: file },
             MetaRequest::EndRepair { id: file },
+            MetaRequest::Status,
+            MetaRequest::LogTail { from: size },
+            MetaRequest::Takeover { epoch: size, addr: format!("127.0.0.1:{}", n % 65_536) },
+            MetaRequest::RegisterBatch {
+                entries: files.iter().map(|&f| (f, size, servers.clone())).collect(),
+            },
             MetaRequest::Shutdown,
         ] {
             let frame =
@@ -201,6 +215,10 @@ proptest! {
             MetaReply::Rebalanced { moved: n, skipped: files.clone() },
             MetaReply::Epochs(files.clone()),
             MetaReply::Epoch(size),
+            MetaReply::Redirect { to: format!("10.0.0.{}:{}", n % 256, w % 65_536) },
+            MetaReply::Redirect { to: String::new() },
+            MetaReply::Status { epoch: size, active: flag, files: n, next_lsn: seed },
+            MetaReply::Log { next_lsn: size, bytes: files.iter().flat_map(|f| f.to_le_bytes()).collect() },
             MetaReply::Err(StoreError::UnknownFile(file)),
         ] {
             let frame =
@@ -232,6 +250,65 @@ proptest! {
             let _ = decode_reply(&frame);
             let _ = decode_meta_request(&frame);
             let _ = decode_meta_reply(&frame);
+        }
+    }
+
+    /// Every §4.14 failover-protocol frame — master-epoch stamps on the
+    /// worker wire, log-tail/takeover/redirect/batch on the meta wire —
+    /// survives arbitrary single-byte corruption *and* truncation at
+    /// any offset without panicking or over-reading. (The happy-path
+    /// roundtrips live in `control_requests_roundtrip` and
+    /// `meta_messages_roundtrip`; this is the adversarial half.)
+    #[test]
+    fn failover_frames_survive_corruption_and_truncation(
+        epoch in 0u64..u64::MAX,
+        master in 0u64..u64::MAX,
+        req_id in 0u64..u64::MAX,
+        entries in proptest::collection::vec(
+            (0u64..u64::MAX, 0u64..1u64 << 40, proptest::collection::vec(0usize..64, 0..6)),
+            0..6,
+        ),
+        raw in proptest::collection::vec(0u8..=255, 0..256),
+        pos_seed in 0usize..usize::MAX,
+        cut_seed in 0usize..usize::MAX,
+        flip in 1u8..=255,
+    ) {
+        let wires = [
+            encode_request(&Request::SetMasterEpoch(master), req_id),
+            encode_request(&Request::Fenced {
+                epoch,
+                master,
+                inner: Box::new(Request::Get { key: PartKey::new(epoch, 7) }),
+            }, req_id),
+            encode_meta_request(&MetaRequest::Status, req_id),
+            encode_meta_request(&MetaRequest::LogTail { from: epoch }, req_id),
+            encode_meta_request(&MetaRequest::Takeover {
+                epoch,
+                addr: format!("127.0.0.1:{}", master % 65_536),
+            }, req_id),
+            encode_meta_request(&MetaRequest::RegisterBatch { entries: entries.clone() }, req_id),
+            encode_meta_reply(&MetaReply::Redirect {
+                to: format!("10.1.2.3:{}", epoch % 65_536),
+            }, req_id),
+            encode_meta_reply(&MetaReply::Status {
+                epoch, active: flip & 1 == 1, files: master, next_lsn: epoch ^ master,
+            }, req_id),
+            encode_meta_reply(&MetaReply::Log { next_lsn: epoch, bytes: raw.clone() }, req_id),
+        ];
+        for wire in wires {
+            // Single-byte flip: decode may fail, must not panic.
+            let mut bytes = wire[4..].to_vec();
+            let pos = pos_seed % bytes.len();
+            bytes[pos] ^= flip;
+            if let Ok(frame) = Frame::parse(Bytes::from(bytes)) {
+                let _ = decode_request(&frame);
+                let _ = decode_meta_request(&frame);
+                let _ = decode_meta_reply(&frame);
+            }
+            // Truncation mid-frame: the length prefix catches it.
+            let cut = 1 + cut_seed % (wire.len() - 1);
+            let mut stream = std::io::Cursor::new(wire[..cut].to_vec());
+            prop_assert!(read_frame(&mut stream).is_err(), "cut at {cut} accepted");
         }
     }
 

@@ -16,7 +16,8 @@
 //! * [`read_or_recover`] — the client-facing read path: serve from cache,
 //!   and on lost partitions transparently recover and retry.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
 use std::time::Duration;
 
 use bytes::Bytes;
@@ -31,10 +32,22 @@ use crate::rpc::StoreError;
 /// workers (see [`crate::worker::WorkerOptions::memory_budget`]): an
 /// evicted partition whose file has no whole-file checkpoint here is
 /// spilled so eviction never loses the only copy.
+///
+/// It also carries a small **metadata region** — named durable blobs
+/// used by the master's write-ahead op-log and snapshots
+/// ([`crate::metalog`]). The region lives in memory by default (shared
+/// `Arc` failover within one process) and mirrors to a directory when
+/// built [`UnderStore::with_meta_dir`], which is what lets a standby
+/// *process* replay a kill-9'd master's log.
 #[derive(Debug, Default)]
 pub struct UnderStore {
     files: RwLock<HashMap<u64, Bytes>>,
     spill: RwLock<HashMap<crate::rpc::PartKey, Bytes>>,
+    /// Named metadata blobs (op-log segments + snapshots), sorted by
+    /// name so lexicographic listing doubles as LSN ordering.
+    meta: RwLock<BTreeMap<String, Vec<u8>>>,
+    /// Disk mirror of the meta region, when configured.
+    meta_dir: Option<PathBuf>,
     /// Seconds of read delay per byte (0 for tests; ~1/60e6 for a
     /// disk-like 60 MB/s tier).
     read_delay_per_byte: f64,
@@ -54,10 +67,127 @@ impl UnderStore {
     pub fn with_bandwidth(bytes_per_sec: f64) -> Self {
         assert!(bytes_per_sec > 0.0, "bandwidth must be positive");
         UnderStore {
-            files: RwLock::new(HashMap::new()),
-            spill: RwLock::new(HashMap::new()),
             read_delay_per_byte: 1.0 / bytes_per_sec,
+            ..UnderStore::default()
         }
+    }
+
+    /// Mirrors the metadata region to `dir` (created if missing),
+    /// loading any blobs already there — a restarted or standby master
+    /// process opening the same directory sees its predecessor's op-log
+    /// and snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created or read.
+    #[must_use]
+    pub fn with_meta_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).expect("create meta dir");
+        let mut meta = BTreeMap::new();
+        for entry in std::fs::read_dir(&dir).expect("read meta dir") {
+            let entry = entry.expect("read meta dir entry");
+            if !entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
+                continue;
+            }
+            let Some(name) = entry.file_name().to_str().map(String::from) else {
+                continue;
+            };
+            // Skip tmp files from an interrupted atomic replace.
+            if name.ends_with(".tmp") {
+                let _ = std::fs::remove_file(entry.path());
+                continue;
+            }
+            let bytes = std::fs::read(entry.path()).expect("read meta blob");
+            meta.insert(name, bytes);
+        }
+        self.meta = RwLock::new(meta);
+        self.meta_dir = Some(dir);
+        self
+    }
+
+    /// Reloads the metadata region from the mirror directory, discarding
+    /// the in-memory view. No-op without a meta dir. A standby taking
+    /// over calls this for an authoritative final replay — whatever the
+    /// dead master flushed is what counts.
+    pub fn meta_reload(&self) {
+        let Some(dir) = &self.meta_dir else { return };
+        let mut fresh = BTreeMap::new();
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                if !entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
+                    continue;
+                }
+                let Some(name) = entry.file_name().to_str().map(String::from) else {
+                    continue;
+                };
+                if name.ends_with(".tmp") {
+                    continue;
+                }
+                if let Ok(bytes) = std::fs::read(entry.path()) {
+                    fresh.insert(name, bytes);
+                }
+            }
+        }
+        *self.meta.write() = fresh;
+    }
+
+    /// Writes (or atomically replaces) a named metadata blob. On disk
+    /// this is a tmp-file + rename, so a crash mid-write never leaves a
+    /// torn snapshot under the real name.
+    pub fn meta_put(&self, name: &str, bytes: &[u8]) {
+        let mut meta = self.meta.write();
+        if let Some(dir) = &self.meta_dir {
+            let tmp = dir.join(format!("{name}.tmp"));
+            if std::fs::write(&tmp, bytes).is_ok() {
+                let _ = std::fs::rename(&tmp, dir.join(name));
+            }
+        }
+        meta.insert(name.to_string(), bytes.to_vec());
+    }
+
+    /// Appends bytes to a named metadata blob (creating it if absent) —
+    /// the O(delta) path op-log records take, one disk append per
+    /// record instead of a full rewrite.
+    pub fn meta_append(&self, name: &str, bytes: &[u8]) {
+        let mut meta = self.meta.write();
+        if let Some(dir) = &self.meta_dir {
+            use std::io::Write;
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(dir.join(name))
+            {
+                let _ = f.write_all(bytes);
+            }
+        }
+        meta.entry(name.to_string()).or_default().extend_from_slice(bytes);
+    }
+
+    /// Reads a named metadata blob.
+    pub fn meta_get(&self, name: &str) -> Option<Vec<u8>> {
+        self.meta.read().get(name).cloned()
+    }
+
+    /// Names of metadata blobs starting with `prefix`, in lexicographic
+    /// (= LSN) order.
+    pub fn meta_list(&self, prefix: &str) -> Vec<String> {
+        self.meta
+            .read()
+            .keys()
+            .filter(|n| n.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
+    /// Deletes a named metadata blob (compaction of superseded segments
+    /// and snapshots). Returns whether it was present.
+    pub fn meta_remove(&self, name: &str) -> bool {
+        let mut meta = self.meta.write();
+        if let Some(dir) = &self.meta_dir {
+            let _ = std::fs::remove_file(dir.join(name));
+        }
+        meta.remove(name).is_some()
     }
 
     /// Persists (or overwrites) a file copy.

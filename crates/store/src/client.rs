@@ -71,6 +71,12 @@ pub struct Client {
     /// (supervisor sweeps, repartitioners, heal pushes), off for
     /// foreground clients.
     background: bool,
+    /// Whether fenced stamps also carry the master's **master epoch**
+    /// (§4.14), so workers can detect traffic from a deposed master.
+    /// On for masters' own actors (the supervisor); off for plain
+    /// clients, whose stamps stay wire-identical to the pre-failover
+    /// store.
+    master_stamp: bool,
     /// Cached per-worker epoch table, shared across clones; refreshed
     /// from the master whenever a worker bounces a stale stamp.
     epochs: Arc<Mutex<Vec<u64>>>,
@@ -93,6 +99,7 @@ impl Client {
             fenced: false,
             degraded: DegradedPolicy::Queue,
             background: false,
+            master_stamp: false,
             epochs: Arc::new(Mutex::new(Vec::new())),
         }
     }
@@ -143,6 +150,16 @@ impl Client {
     /// reads.
     pub fn with_background(mut self, background: bool) -> Self {
         self.background = background;
+        self
+    }
+
+    /// Stamps every request with the metadata service's current master
+    /// epoch (builder style). A worker that has heard from a newer
+    /// master bounces the stamp with [`StoreError::StaleEpoch`] — how a
+    /// deposed master's supervisor learns it was fenced (§4.14). Plain
+    /// [`MetaService`] impls report epoch 0, which stamps nothing.
+    pub fn with_master_stamp(mut self, master_stamp: bool) -> Self {
+        self.master_stamp = master_stamp;
         self
     }
 
@@ -209,6 +226,54 @@ impl Client {
         let size = data.len();
         self.push_partitions(id, &data, servers)?;
         self.master.register(id, size, servers.to_vec())
+    }
+
+    /// Writes a whole batch of files in one wave: every file's
+    /// partition pushes are fired as a **single** transport batch
+    /// (socket transports coalesce them into shared `writev` rounds),
+    /// completions are collected under one shared deadline, and all
+    /// metadata rows land through one [`MetaService::register_batch`]
+    /// call — one metadata round-trip per wave instead of one per file.
+    /// This is the seeding path for million-file corpora (§6.1 at
+    /// fleet scale): callers stream chunks of a few thousand files
+    /// through here instead of calling [`Client::write_bytes`] a
+    /// million times.
+    ///
+    /// # Errors
+    ///
+    /// Propagates worker failures and metadata registration errors (a
+    /// duplicate id rejects the whole chunk's metadata; already-pushed
+    /// partitions are orphaned until GC, matching single-write
+    /// semantics on registration failure).
+    pub fn write_many(&self, files: &[(u64, Bytes, Vec<usize>)]) -> Result<(), StoreError> {
+        if files.is_empty() {
+            return Ok(());
+        }
+        let mut reqs = Vec::new();
+        let mut targets = Vec::new();
+        let mut rows = Vec::with_capacity(files.len());
+        for (id, data, servers) in files {
+            assert!(!servers.is_empty(), "need at least one target server");
+            let shards = split_shards_bytes(data, servers.len());
+            for (j, (shard, &server)) in shards.into_iter().zip(servers).enumerate() {
+                reqs.push((
+                    server,
+                    Request::Put {
+                        key: PartKey::new(*id, j as u32),
+                        data: shard,
+                    },
+                ));
+                targets.push(server);
+            }
+            rows.push((*id, data.len(), servers.clone()));
+        }
+        let rxs = self.submit_batch(reqs)?;
+        let deadline = Instant::now() + self.retry.deadline;
+        for (server, rx) in targets.into_iter().zip(rxs) {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            self.await_reply(server, &rx, remaining)?.unit()?;
+        }
+        self.master.register_batch(&rows)
     }
 
     /// Pushes `data` re-split into `servers.len()` partition views under
@@ -327,6 +392,7 @@ impl Client {
         contiguous: bool,
     ) -> Result<ReadOut, StoreError> {
         let mut attempt = 0u32;
+        let started = Instant::now();
         loop {
             attempt += 1;
             // Re-locate every attempt: recovery and repartition both
@@ -373,10 +439,23 @@ impl Client {
                             id,
                             &targets,
                         );
-                        if matches!(healed, Err(StoreError::Degraded(_)))
-                            && self.degraded == DegradedPolicy::FastFail
-                        {
-                            return Err(StoreError::Degraded(id));
+                        if matches!(healed, Err(StoreError::Degraded(_))) {
+                            match self.degraded {
+                                DegradedPolicy::FastFail => {
+                                    return Err(StoreError::Degraded(id));
+                                }
+                                // A TTL'd queue keeps waiting the repair
+                                // out only while this operation is
+                                // young; past the TTL it sheds like
+                                // FastFail so degraded reads have a
+                                // bounded worst case.
+                                DegradedPolicy::QueueTtl(ttl)
+                                    if started.elapsed() >= ttl =>
+                                {
+                                    return Err(StoreError::Degraded(id));
+                                }
+                                _ => {}
+                            }
                         }
                     }
                 }
@@ -504,7 +583,7 @@ impl Client {
         &self,
         reqs: Vec<(usize, Request)>,
     ) -> Result<Vec<Receiver<Reply>>, StoreError> {
-        let reqs = if self.fenced || self.background {
+        let reqs = if self.fenced || self.background || self.master_stamp {
             reqs.into_iter()
                 .map(|(server, req)| (server, self.stamp(server, req)))
                 .collect()
@@ -517,18 +596,21 @@ impl Client {
     }
 
     /// Applies this client's request stamps in canonical nesting order:
-    /// background class inside, epoch fence outside.
+    /// background class inside, epoch fence (worker epoch + optional
+    /// master epoch) outside.
     fn stamp(&self, server: usize, req: Request) -> Request {
         let req = if self.background {
             req.background()
         } else {
             req
         };
-        if self.fenced {
-            req.fenced(self.epoch_of(server))
+        let epoch = if self.fenced { self.epoch_of(server) } else { 0 };
+        let master = if self.master_stamp {
+            self.master.master_epoch()
         } else {
-            req
-        }
+            0
+        };
+        req.fenced_master(epoch, master)
     }
 
     /// The cached fencing epoch of `server`, fetching the table from

@@ -1,7 +1,8 @@
 //! The SP-Master: file metadata, access counting and rebalance planning.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use spcache_core::file::{FileMeta, FileSet};
@@ -10,6 +11,7 @@ use spcache_core::repartition::{plan_repartition, RepartitionPlan};
 use spcache_core::tuner::{tune_scale_factor_hetero, Tuned, TunerConfig};
 use spcache_sim::Xoshiro256StarStar;
 
+use crate::metalog::{MasterImage, MetaLog, MetaOp};
 use crate::rpc::StoreError;
 
 /// Metadata for one stored file.
@@ -94,6 +96,23 @@ pub struct Master {
     /// order; tests derive per-file repair counts from this to assert
     /// zero duplicate heals.
     repair_log: Mutex<Vec<u64>>,
+    /// The master epoch (DESIGN.md §4.14): bumped on every takeover,
+    /// stamped into `Fenced` envelopes so workers bounce a deposed
+    /// master's writes the way they bounce stale workers.
+    master_epoch: AtomicU64,
+    /// Listen address of the master that owns [`Master::master_epoch`]
+    /// ("" when unknown) — a restarted master replaying a journal whose
+    /// newest epoch belongs to a *different* address starts fenced.
+    owner_addr: Mutex<String>,
+    /// Set once a successor deposes this master; a fenced master serves
+    /// only redirects.
+    fenced: AtomicBool,
+    /// The successor's advertised meta address, for redirect replies.
+    successor: Mutex<Option<String>>,
+    /// The write-ahead op-log, when durability is enabled
+    /// ([`Master::enable_journal`]). Mutators append while holding
+    /// their state lock, so journal order is mutation order.
+    journal: RwLock<Option<Arc<MetaLog>>>,
 }
 
 impl Default for Master {
@@ -104,6 +123,11 @@ impl Default for Master {
             threshold: AtomicU32::new(SUSPICION_THRESHOLD),
             repairing: Mutex::new(HashSet::new()),
             repair_log: Mutex::new(Vec::new()),
+            master_epoch: AtomicU64::new(1),
+            owner_addr: Mutex::new(String::new()),
+            fenced: AtomicBool::new(false),
+            successor: Mutex::new(None),
+            journal: RwLock::new(None),
         }
     }
 }
@@ -114,10 +138,357 @@ impl Master {
         Master::default()
     }
 
+    /// Appends one op to the journal, when durability is enabled.
+    /// Callers hold the state lock the op describes, so journal order
+    /// is mutation order (the replay-fidelity invariant).
+    fn journal_op(&self, op: &MetaOp) {
+        if let Some(log) = self.journal.read().as_ref() {
+            log.append(op);
+        }
+    }
+
+    /// Attaches a write-ahead op-log: every subsequent mutation is
+    /// journalled. Call after replaying the log's existing contents
+    /// ([`Master::recover`] does both).
+    pub fn enable_journal(&self, log: Arc<MetaLog>) {
+        *self.journal.write() = Some(log);
+    }
+
+    /// Detaches the op-log: subsequent mutations are no longer
+    /// journalled. The in-process stand-in for `kill -9` — a deposed
+    /// master object kept around as a zombie must not keep appending to
+    /// the shared meta tier its successor now owns.
+    pub fn detach_journal(&self) {
+        *self.journal.write() = None;
+    }
+
+    /// The attached op-log, if durability is enabled.
+    pub fn journal_handle(&self) -> Option<Arc<MetaLog>> {
+        self.journal.read().clone()
+    }
+
+    /// `(next_lsn, record bytes)` for every journalled op with
+    /// `lsn >= from` — the `LogTail` payload a standby replays. The
+    /// newest snapshot record is prepended when `from` predates the
+    /// retained tail. `(0, empty)` when no journal is attached.
+    pub fn journal_tail(&self, from: u64) -> (u64, Vec<u8>) {
+        match self.journal.read().as_ref() {
+            Some(log) => log.tail_from(from),
+            None => (0, Vec::new()),
+        }
+    }
+
+    /// The journal's next LSN without materializing a tail (0 when no
+    /// journal is attached) — the standby's cheap lag probe.
+    pub fn journal_next_lsn(&self) -> u64 {
+        self.journal.read().as_ref().map_or(0, |log| log.next_lsn())
+    }
+
+    /// Rebuilds a master from the journal held by `tier`'s metadata
+    /// region (newest snapshot + tail) and attaches a log so new
+    /// mutations keep journalling — the boot path of a durable master
+    /// and the takeover path of a standby.
+    pub fn recover(tier: Arc<crate::backing::UnderStore>) -> Self {
+        let master = Master::new();
+        for (_, op) in MetaLog::replay_tier(&tier) {
+            master.apply_op(&op);
+        }
+        master.enable_journal(Arc::new(MetaLog::open(tier)));
+        master
+    }
+
+    /// The current master epoch (1 for a freshly booted, never-deposed
+    /// master).
+    pub fn master_epoch(&self) -> u64 {
+        self.master_epoch.load(Ordering::SeqCst)
+    }
+
+    /// Listen address of the master that owns the current epoch (""
+    /// when unknown — e.g. journalling disabled).
+    pub fn owner_addr(&self) -> String {
+        self.owner_addr.lock().clone()
+    }
+
+    /// Claims master epoch `epoch` for `addr`: applied as `max`, and
+    /// journalled so a replayed standby (or a restarted master) learns
+    /// who last owned the metadata. Returns the resulting epoch.
+    pub fn claim_master_epoch(&self, epoch: u64, addr: &str) -> u64 {
+        let mut owner = self.owner_addr.lock();
+        let cur = self.master_epoch.load(Ordering::SeqCst);
+        let new = cur.max(epoch);
+        if epoch >= cur {
+            self.master_epoch.store(new, Ordering::SeqCst);
+            *owner = addr.to_string();
+        }
+        self.journal_op(&MetaOp::MasterEpoch {
+            epoch: new,
+            addr: owner.clone(),
+        });
+        new
+    }
+
+    /// Whether this master has been deposed by a successor.
+    pub fn is_fenced(&self) -> bool {
+        self.fenced.load(Ordering::SeqCst)
+    }
+
+    /// Deposes this master: it stops serving mutations and answers
+    /// redirects pointing at `successor` (empty = unknown). Idempotent;
+    /// fencing is forever — only a fresh process (with a fresh claim)
+    /// serves again.
+    pub fn self_fence(&self, successor: Option<String>) {
+        if let Some(s) = successor {
+            *self.successor.lock() = Some(s);
+        }
+        self.fenced.store(true, Ordering::SeqCst);
+    }
+
+    /// The successor's meta address, once known.
+    pub fn successor(&self) -> Option<String> {
+        self.successor.lock().clone()
+    }
+
+    /// Marks this master active (standby promotion). The inverse of
+    /// [`Master::self_fence`], legal only on a shadow master that was
+    /// never exposed as active.
+    pub fn activate(&self) {
+        *self.successor.lock() = None;
+        self.fenced.store(false, Ordering::SeqCst);
+    }
+
+    /// A full-state image: everything a replica needs to serve in this
+    /// master's place (placements + versions, health, epochs, repair
+    /// slots, master epoch). Volatile observability (access counters,
+    /// heartbeat counts, repair history) is excluded by design.
+    pub fn image(&self) -> MasterImage {
+        let files = self.files.read();
+        let h = self.health.read();
+        let owner = self.owner_addr.lock();
+        let repairing = self.repairing.lock();
+        Self::image_from(&files, &h, &repairing, self.threshold.load(Ordering::Relaxed))
+            .with_owner(self.master_epoch.load(Ordering::SeqCst), owner.clone())
+    }
+
+    fn image_from(
+        files: &HashMap<u64, FileInfo>,
+        h: &Health,
+        repairing: &HashSet<u64>,
+        threshold: u32,
+    ) -> MasterImage {
+        let mut file_rows: Vec<(u64, u64, Vec<usize>, u64)> = files
+            .iter()
+            .map(|(&id, info)| {
+                (
+                    id,
+                    info.size as u64,
+                    info.servers.clone(),
+                    info.version.load(Ordering::Relaxed),
+                )
+            })
+            .collect();
+        file_rows.sort_unstable_by_key(|&(id, ..)| id);
+        let mut rep: Vec<u64> = repairing.iter().copied().collect();
+        rep.sort_unstable();
+        let (mut alive, mut suspicion, mut epochs) =
+            (h.alive.clone(), h.suspicion.clone(), h.epochs.clone());
+        // Canonical form: trim trailing presumed-alive defaults, so a
+        // replayed twin (which only learns of workers through ops)
+        // images identically to a master whose table was pre-sized.
+        while let Some(last) = alive.len().checked_sub(1) {
+            if alive[last] && suspicion[last] == 0 && epochs[last] == 0 {
+                alive.pop();
+                suspicion.pop();
+                epochs.pop();
+            } else {
+                break;
+            }
+        }
+        MasterImage {
+            files: file_rows,
+            alive,
+            suspicion,
+            epochs,
+            threshold,
+            repairing: rep,
+            ..MasterImage::default()
+        }
+    }
+
+    /// Installs a full-state image (the snapshot replay path).
+    fn load_image(&self, img: &MasterImage) {
+        let mut files = self.files.write();
+        files.clear();
+        for (id, size, servers, version) in &img.files {
+            files.insert(
+                *id,
+                FileInfo {
+                    size: *size as usize,
+                    servers: servers.clone(),
+                    accesses: AtomicU64::new(0),
+                    version: AtomicU64::new(*version),
+                },
+            );
+        }
+        drop(files);
+        let mut h = self.health.write();
+        h.alive = img.alive.clone();
+        h.suspicion = img.suspicion.clone();
+        h.epochs = img.epochs.clone();
+        h.last_seen.resize(img.alive.len(), 0);
+        drop(h);
+        self.threshold.store(img.threshold.max(1), Ordering::Relaxed);
+        *self.repairing.lock() = img.repairing.iter().copied().collect();
+        let mut owner = self.owner_addr.lock();
+        if img.master_epoch >= self.master_epoch.load(Ordering::SeqCst) {
+            self.master_epoch.store(img.master_epoch, Ordering::SeqCst);
+            *owner = img.master_addr.clone();
+        }
+    }
+
+    /// Applies one journalled op to local state **without**
+    /// re-journalling — the replay path. Ops carry absolute values, so
+    /// applying any op twice (or replaying any prefix twice) is
+    /// idempotent.
+    pub fn apply_op(&self, op: &MetaOp) {
+        match op {
+            MetaOp::RegisterFile { id, size, servers } => {
+                // Overwrite, not error: replay after a snapshot that
+                // already contains the file must converge, not fail.
+                self.files.write().insert(
+                    *id,
+                    FileInfo {
+                        size: *size as usize,
+                        servers: servers.clone(),
+                        accesses: AtomicU64::new(0),
+                        version: AtomicU64::new(1),
+                    },
+                );
+            }
+            MetaOp::UnregisterFile { id } => {
+                self.files.write().remove(id);
+            }
+            MetaOp::ApplyPlacement { id, servers, version } => {
+                if let Some(info) = self.files.write().get_mut(id) {
+                    info.servers = servers.clone();
+                    info.version.store(*version, Ordering::Relaxed);
+                }
+            }
+            MetaOp::RegisterWorker { w, epoch } => {
+                let w = *w as usize;
+                let mut h = self.health.write();
+                h.ensure(w + 1);
+                h.epochs[w] = h.epochs[w].max(*epoch);
+                h.alive[w] = true;
+                h.suspicion[w] = 0;
+            }
+            MetaOp::MarkAlive { w } => {
+                let w = *w as usize;
+                let mut h = self.health.write();
+                h.ensure(w + 1);
+                h.alive[w] = true;
+                h.suspicion[w] = 0;
+            }
+            MetaOp::MarkDead { w, epoch } => {
+                let w = *w as usize;
+                let mut h = self.health.write();
+                h.ensure(w + 1);
+                h.alive[w] = false;
+                h.epochs[w] = h.epochs[w].max(*epoch);
+            }
+            MetaOp::Suspect { w, count, alive, epoch } => {
+                let w = *w as usize;
+                let mut h = self.health.write();
+                h.ensure(w + 1);
+                h.suspicion[w] = *count;
+                h.alive[w] = *alive;
+                h.epochs[w] = h.epochs[w].max(*epoch);
+            }
+            MetaOp::BeginRepair { id } => {
+                // The repair *history* stays replay-local: replayed
+                // slots are state, not heal attempts.
+                self.repairing.lock().insert(*id);
+            }
+            MetaOp::EndRepair { id } => {
+                self.repairing.lock().remove(id);
+            }
+            MetaOp::SetThreshold { threshold } => {
+                self.threshold.store((*threshold).max(1), Ordering::Relaxed);
+            }
+            MetaOp::MasterEpoch { epoch, addr } => {
+                let mut owner = self.owner_addr.lock();
+                if *epoch >= self.master_epoch.load(Ordering::SeqCst) {
+                    self.master_epoch.store(*epoch, Ordering::SeqCst);
+                    *owner = addr.clone();
+                }
+            }
+            MetaOp::Snapshot(img) => self.load_image(img),
+        }
+    }
+
+    /// Writes a compacted snapshot if enough records accumulated since
+    /// the last one. Blocks mutators for the duration of the image
+    /// capture (read locks + the repair-slot mutex), so no op can slip
+    /// between the image and the snapshot record's LSN — the
+    /// no-lost-op compaction invariant. Call from a maintenance tick
+    /// (the supervisor does), never from inside a mutator.
+    pub fn maybe_compact(&self) {
+        let Some(log) = self.journal.read().clone() else {
+            return;
+        };
+        if !log.snapshot_due() {
+            return;
+        }
+        let files = self.files.read();
+        let h = self.health.read();
+        let owner = self.owner_addr.lock();
+        let repairing = self.repairing.lock();
+        let image = Self::image_from(&files, &h, &repairing, self.threshold.load(Ordering::Relaxed))
+            .with_owner(self.master_epoch.load(Ordering::SeqCst), owner.clone());
+        log.snapshot(&image);
+    }
+
+    /// Registers many files under one lock acquisition (the streaming
+    /// seed path for million-file corpora).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::AlreadyExists`] on the first duplicate id;
+    /// earlier entries in the batch stay registered.
+    pub fn register_batch(&self, entries: &[(u64, usize, Vec<usize>)]) -> Result<(), StoreError> {
+        let mut files = self.files.write();
+        for (id, size, servers) in entries {
+            assert!(!servers.is_empty(), "file must have at least one partition");
+            if files.contains_key(id) {
+                return Err(StoreError::AlreadyExists(*id));
+            }
+            files.insert(
+                *id,
+                FileInfo {
+                    size: *size,
+                    servers: servers.clone(),
+                    accesses: AtomicU64::new(0),
+                    version: AtomicU64::new(1),
+                },
+            );
+            self.journal_op(&MetaOp::RegisterFile {
+                id: *id,
+                size: *size as u64,
+                servers: servers.clone(),
+            });
+        }
+        Ok(())
+    }
+
     /// Overrides the suspicion-ladder death threshold (default 3
     /// consecutive timeouts). Clamped to at least 1.
     pub fn set_suspicion_threshold(&self, threshold: u32) {
+        // The health lock serializes the store+journal pair against a
+        // concurrent compaction's image capture.
+        let _h = self.health.write();
         self.threshold.store(threshold.max(1), Ordering::Relaxed);
+        self.journal_op(&MetaOp::SetThreshold {
+            threshold: threshold.max(1),
+        });
     }
 
     /// Pre-sizes the health table for a fleet of `n` workers, all
@@ -132,9 +503,15 @@ impl Master {
     pub fn mark_alive(&self, w: usize) {
         let mut h = self.health.write();
         h.ensure(w + 1);
+        // Journal only actual transitions — mark_alive fires on every
+        // successful reply, and a quiet fleet must not grow the log.
+        let changed = !h.alive[w] || h.suspicion[w] != 0;
         h.alive[w] = true;
         h.suspicion[w] = 0;
         h.last_seen[w] += 1;
+        if changed {
+            self.journal_op(&MetaOp::MarkAlive { w: w as u64 });
+        }
     }
 
     /// Declares worker `w` dead (its request channel is closed — the
@@ -146,6 +523,11 @@ impl Master {
         h.ensure(w + 1);
         if h.alive[w] {
             h.epochs[w] += 1;
+            h.alive[w] = false;
+            self.journal_op(&MetaOp::MarkDead {
+                w: w as u64,
+                epoch: h.epochs[w],
+            });
         }
         h.alive[w] = false;
     }
@@ -165,6 +547,12 @@ impl Master {
             }
             h.alive[w] = false;
         }
+        self.journal_op(&MetaOp::Suspect {
+            w: w as u64,
+            count: h.suspicion[w],
+            alive: h.alive[w],
+            epoch: h.epochs[w],
+        });
         h.suspicion[w]
     }
 
@@ -179,6 +567,10 @@ impl Master {
         h.epochs[w] += 1;
         h.alive[w] = true;
         h.suspicion[w] = 0;
+        self.journal_op(&MetaOp::RegisterWorker {
+            w: w as u64,
+            epoch: h.epochs[w],
+        });
         h.epochs[w]
     }
 
@@ -195,16 +587,37 @@ impl Master {
     /// caller owns the slot and must release it with
     /// [`Master::end_repair`] when the repair completes or aborts.
     pub fn begin_repair(&self, id: u64) -> bool {
-        let acquired = self.repairing.lock().insert(id);
+        let mut repairing = self.repairing.lock();
+        let acquired = repairing.insert(id);
         if acquired {
             self.repair_log.lock().push(id);
+            self.journal_op(&MetaOp::BeginRepair { id });
         }
         acquired
     }
 
     /// Releases the repair slot for file `id`.
     pub fn end_repair(&self, id: u64) {
-        self.repairing.lock().remove(&id);
+        let mut repairing = self.repairing.lock();
+        if repairing.remove(&id) {
+            self.journal_op(&MetaOp::EndRepair { id });
+        }
+    }
+
+    /// Releases every in-flight repair slot, journalling an `EndRepair`
+    /// for each; returns the released ids, ascending. Takeover hygiene:
+    /// the healers holding these slots died with the old master, and a
+    /// slot nobody holds would starve the file's repair forever (every
+    /// future `begin_repair` would be refused).
+    pub fn abandon_repairs(&self) -> Vec<u64> {
+        let mut repairing = self.repairing.lock();
+        let mut ids: Vec<u64> = repairing.iter().copied().collect();
+        ids.sort_unstable();
+        for id in &ids {
+            self.journal_op(&MetaOp::EndRepair { id: *id });
+        }
+        repairing.clear();
+        ids
     }
 
     /// Whether a repair of `id` is currently in flight.
@@ -267,6 +680,11 @@ impl Master {
         if files.contains_key(&id) {
             return Err(StoreError::AlreadyExists(id));
         }
+        self.journal_op(&MetaOp::RegisterFile {
+            id,
+            size: size as u64,
+            servers: servers.clone(),
+        });
         files.insert(
             id,
             FileInfo {
@@ -281,7 +699,12 @@ impl Master {
 
     /// Removes a file's metadata; returns its former info if present.
     pub fn unregister(&self, id: u64) -> Option<FileInfo> {
-        self.files.write().remove(&id)
+        let mut files = self.files.write();
+        let removed = files.remove(&id);
+        if removed.is_some() {
+            self.journal_op(&MetaOp::UnregisterFile { id });
+        }
+        removed
     }
 
     /// Looks up a file's partition servers and size, bumping its access
@@ -414,7 +837,12 @@ impl Master {
         let mut files = self.files.write();
         let info = files.get_mut(&id).ok_or(StoreError::UnknownFile(id))?;
         info.servers = servers;
-        info.version.fetch_add(1, Ordering::Relaxed);
+        let version = info.version.fetch_add(1, Ordering::Relaxed) + 1;
+        self.journal_op(&MetaOp::ApplyPlacement {
+            id,
+            servers: info.servers.clone(),
+            version,
+        });
         Ok(())
     }
 
@@ -510,6 +938,30 @@ pub trait MetaService: Send + Sync + std::fmt::Debug {
 
     /// Releases the repair slot for file `id`.
     fn end_repair(&self, id: u64);
+
+    /// The master epoch this service acts under. 0 means "unstamped" —
+    /// workers skip the master-staleness check, the pre-§4.14 wire
+    /// behaviour. Only services that act *for* a master (the
+    /// supervisor's) override this.
+    fn master_epoch(&self) -> u64 {
+        0
+    }
+
+    /// Registers a batch of `(id, size, servers)` files in one call —
+    /// the streaming seed path. Default: loop over
+    /// [`MetaService::register`] (wire implementations batch it into
+    /// one frame).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::AlreadyExists`] on a duplicate id; transport
+    /// errors over the wire.
+    fn register_batch(&self, entries: &[(u64, usize, Vec<usize>)]) -> Result<(), StoreError> {
+        for (id, size, servers) in entries {
+            self.register(*id, *size, servers.clone())?;
+        }
+        Ok(())
+    }
 }
 
 impl MetaService for Master {
@@ -571,6 +1023,14 @@ impl MetaService for Master {
 
     fn end_repair(&self, id: u64) {
         Master::end_repair(self, id)
+    }
+
+    fn master_epoch(&self) -> u64 {
+        Master::master_epoch(self)
+    }
+
+    fn register_batch(&self, entries: &[(u64, usize, Vec<usize>)]) -> Result<(), StoreError> {
+        Master::register_batch(self, entries)
     }
 }
 
@@ -855,6 +1315,69 @@ mod tests {
             m.placements(),
             vec![(1, vec![0, 2]), (2, vec![1])]
         );
+    }
+
+    #[test]
+    fn journalled_master_recovers_from_the_log() {
+        use crate::backing::UnderStore;
+        let tier = std::sync::Arc::new(UnderStore::new());
+        let m = Master::recover(std::sync::Arc::clone(&tier));
+        m.ensure_workers(4);
+        assert_eq!(m.register_worker(0), 1);
+        m.register(1, 100, vec![0, 1]).unwrap();
+        m.register(2, 50, vec![2]).unwrap();
+        m.apply_placement(1, vec![2, 3]).unwrap();
+        m.mark_dead(2);
+        m.set_suspicion_threshold(5);
+        assert!(m.begin_repair(2));
+        assert_eq!(m.claim_master_epoch(3, "127.0.0.1:9999"), 3);
+        // A twin rebuilt purely from the journal matches exactly.
+        let twin = Master::recover(tier);
+        assert_eq!(twin.image(), m.image());
+        assert_eq!(twin.peek(1).unwrap().1, vec![2, 3]);
+        assert_eq!(twin.placement_version(1), Some(2));
+        assert!(twin.repairing(2));
+        assert!(!twin.is_alive(2));
+        assert_eq!(twin.master_epoch(), 3);
+        assert_eq!(twin.owner_addr(), "127.0.0.1:9999");
+    }
+
+    #[test]
+    fn compaction_preserves_the_replayed_image() {
+        use crate::backing::UnderStore;
+        use crate::metalog::MetaLog;
+        let tier = std::sync::Arc::new(UnderStore::new());
+        let m = Master::new();
+        m.enable_journal(std::sync::Arc::new(
+            MetaLog::open(std::sync::Arc::clone(&tier)).with_snapshot_every(8),
+        ));
+        for id in 0..40u64 {
+            m.register(id, 64, vec![(id % 3) as usize]).unwrap();
+            m.apply_placement(id, vec![((id + 1) % 3) as usize]).unwrap();
+            m.maybe_compact();
+        }
+        // Compaction ran (the tail is bounded) and lost nothing.
+        assert!(tier.meta_list("snap-").len() == 1);
+        let twin = Master::recover(tier);
+        assert_eq!(twin.image(), m.image());
+        assert_eq!(twin.file_count(), 40);
+    }
+
+    #[test]
+    fn fencing_state_machine() {
+        let m = Master::new();
+        assert_eq!(m.master_epoch(), 1);
+        assert!(!m.is_fenced());
+        m.self_fence(Some("10.0.0.2:4100".into()));
+        assert!(m.is_fenced());
+        assert_eq!(m.successor().as_deref(), Some("10.0.0.2:4100"));
+        // A stale claim cannot lower the epoch.
+        assert_eq!(m.claim_master_epoch(5, "b"), 5);
+        assert_eq!(m.claim_master_epoch(2, "a"), 5);
+        assert_eq!(m.owner_addr(), "b");
+        m.activate();
+        assert!(!m.is_fenced());
+        assert_eq!(m.successor(), None);
     }
 
     #[test]

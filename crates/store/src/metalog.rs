@@ -1,0 +1,905 @@
+//! Durable master metadata: a write-ahead op-log with compacted
+//! snapshots (DESIGN.md §4.14).
+//!
+//! Every master mutation — file registration, placement changes with
+//! their version bumps, worker adoption and fencing-epoch grants,
+//! repair-registry begin/commit, threshold changes, and master-epoch
+//! takeovers — becomes a typed [`MetaOp`] appended as one checksummed
+//! record to an op-log persisted through the under-store's metadata
+//! region ([`crate::backing::UnderStore::meta_append`]). A standby (or
+//! a restarted master) replays snapshot + tail to rebuild the exact
+//! [`crate::master::Master`] state.
+//!
+//! ## Record format
+//!
+//! ```text
+//! | u32 len | u32 crc32 | u64 lsn | u8 tag | body... |
+//!   ^ bytes after the crc field (9 + body)
+//!            ^ IEEE CRC-32 over lsn|tag|body
+//! ```
+//!
+//! All integers little-endian. A torn tail (kill -9 mid-append) or a
+//! corrupt record fails its length or checksum gate and replay stops at
+//! the last valid record — the log's prefix property.
+//!
+//! ## Snapshots and compaction
+//!
+//! A snapshot is itself a record ([`MetaOp::Snapshot`] carrying a full
+//! [`MasterImage`]) written under `snap-{lsn}`; it consumes an LSN, so
+//! "replay" is uniform: apply the newest snapshot record, then every
+//! log record with a later LSN. Writing a snapshot deletes all older
+//! segments and snapshots and starts a fresh segment, keeping replay
+//! O(delta since last snapshot), not O(history). Ops are
+//! **absolute-valued** (placements carry the resulting version, worker
+//! records the resulting epoch, applied as `max`), so replaying any
+//! prefix twice is idempotent — the property the proptests pin.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::backing::UnderStore;
+
+/// Rotate the active log segment after this many bytes.
+pub const SEGMENT_BYTES: usize = 64 << 10;
+/// Default records between snapshots (compaction cadence).
+pub const SNAPSHOT_EVERY: u64 = 512;
+/// Sanity cap on a single record's length field (1 MiB of body covers
+/// any snapshot this master can produce short of ~10k files; larger
+/// images still fit — the cap only gates obviously-garbage lengths).
+const MAX_RECORD: usize = 64 << 20;
+/// Bytes of the record header after the crc field: lsn (8) + tag (1).
+const RECORD_FIXED: usize = 9;
+
+// Record tags.
+const T_REGISTER_FILE: u8 = 1;
+const T_UNREGISTER_FILE: u8 = 2;
+const T_APPLY_PLACEMENT: u8 = 3;
+const T_REGISTER_WORKER: u8 = 4;
+const T_MARK_ALIVE: u8 = 5;
+const T_MARK_DEAD: u8 = 6;
+const T_SUSPECT: u8 = 7;
+const T_BEGIN_REPAIR: u8 = 8;
+const T_END_REPAIR: u8 = 9;
+const T_SET_THRESHOLD: u8 = 10;
+const T_MASTER_EPOCH: u8 = 11;
+const T_SNAPSHOT: u8 = 12;
+
+/// One journalled master mutation. Values are **absolute** (the state
+/// after the mutation), never deltas, so replay is idempotent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetaOp {
+    /// `Master::register`: a new file at placement version 1.
+    RegisterFile {
+        /// File id.
+        id: u64,
+        /// File size in bytes.
+        size: u64,
+        /// Placement (one server per partition).
+        servers: Vec<usize>,
+    },
+    /// `Master::unregister_file`.
+    UnregisterFile {
+        /// File id.
+        id: u64,
+    },
+    /// `Master::apply_placement`, carrying the *resulting* version.
+    ApplyPlacement {
+        /// File id.
+        id: u64,
+        /// New placement.
+        servers: Vec<usize>,
+        /// Placement version after the bump.
+        version: u64,
+    },
+    /// `Master::register_worker`: adoption with the granted epoch.
+    RegisterWorker {
+        /// Worker index.
+        w: u64,
+        /// Granted fencing epoch (applied as `max` on replay).
+        epoch: u64,
+    },
+    /// `Master::mark_alive` on a dead→alive transition.
+    MarkAlive {
+        /// Worker index.
+        w: u64,
+    },
+    /// `Master::mark_dead` on an alive→dead transition, carrying the
+    /// bumped epoch.
+    MarkDead {
+        /// Worker index.
+        w: u64,
+        /// Fencing epoch after the bump.
+        epoch: u64,
+    },
+    /// `Master::suspect`: the absolute suspicion count plus the
+    /// resulting liveness and epoch (a threshold kill bumps both).
+    Suspect {
+        /// Worker index.
+        w: u64,
+        /// Suspicion count after the increment.
+        count: u32,
+        /// Whether the worker is still alive afterwards.
+        alive: bool,
+        /// Fencing epoch afterwards.
+        epoch: u64,
+    },
+    /// `Master::begin_repair` (slot acquired).
+    BeginRepair {
+        /// File id.
+        id: u64,
+    },
+    /// `Master::end_repair`.
+    EndRepair {
+        /// File id.
+        id: u64,
+    },
+    /// `Master::set_suspicion_threshold`.
+    SetThreshold {
+        /// New threshold (≥ 1).
+        threshold: u32,
+    },
+    /// A master-epoch transition: boot, takeover, or forced
+    /// reactivation. `addr` is the winner's listen address — a
+    /// restarted master finding a newer record from a *different*
+    /// address starts fenced.
+    MasterEpoch {
+        /// The new master epoch (applied as `max` on replay).
+        epoch: u64,
+        /// Listen address of the master that owns this epoch.
+        addr: String,
+    },
+    /// A full-state snapshot (compaction point).
+    Snapshot(MasterImage),
+}
+
+/// A compacted full-state image of the master: everything replay needs,
+/// nothing volatile (access counters, heartbeat counts and the repair
+/// *history* are deliberately excluded — they are observability, not
+/// placement truth).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MasterImage {
+    /// `(id, size, servers, placement_version)` sorted by id.
+    pub files: Vec<(u64, u64, Vec<usize>, u64)>,
+    /// Per-worker liveness.
+    pub alive: Vec<bool>,
+    /// Per-worker suspicion counts.
+    pub suspicion: Vec<u32>,
+    /// Per-worker fencing epochs.
+    pub epochs: Vec<u64>,
+    /// Suspicion threshold.
+    pub threshold: u32,
+    /// Files with a repair slot held, sorted.
+    pub repairing: Vec<u64>,
+    /// The master epoch.
+    pub master_epoch: u64,
+    /// Listen address of the master that owned this state ("" when
+    /// unknown).
+    pub master_addr: String,
+}
+
+impl MasterImage {
+    /// Stamps the master-epoch ownership pair onto the image.
+    #[must_use]
+    pub fn with_owner(mut self, epoch: u64, addr: String) -> Self {
+        self.master_epoch = epoch;
+        self.master_addr = addr;
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// Byte-level codec (hand-rolled; the store crate must not depend on the
+// net crate's frame module).
+// ---------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_servers(buf: &mut Vec<u8>, servers: &[usize]) {
+    put_u32(buf, servers.len() as u32);
+    for &s in servers {
+        put_u64(buf, s as u64);
+    }
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked reader over a record body; every getter returns
+/// `None` past the end, so corrupt bodies can never over-read.
+struct Rd<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn new(b: &'a [u8]) -> Self {
+        Rd { b, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.b.len() {
+            return None;
+        }
+        let out = &self.b[self.pos..end];
+        self.pos = end;
+        Some(out)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn servers(&mut self) -> Option<Vec<usize>> {
+        let n = self.u32()? as usize;
+        // Length-lie guard: each entry takes 8 bytes.
+        if n > self.b.len().saturating_sub(self.pos) / 8 {
+            return None;
+        }
+        (0..n).map(|_| self.u64().map(|v| v as usize)).collect()
+    }
+
+    fn string(&mut self) -> Option<String> {
+        let n = self.u32()? as usize;
+        String::from_utf8(self.take(n)?.to_vec()).ok()
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.b.len()
+    }
+}
+
+/// IEEE CRC-32 (the zlib/Ethernet polynomial), table-driven. Hand-rolled
+/// because the container has no crc crate and the log's integrity gate
+/// must not depend on one.
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut c = !0u32;
+    for &b in data {
+        c = table[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+fn encode_body(op: &MetaOp, buf: &mut Vec<u8>) -> u8 {
+    match op {
+        MetaOp::RegisterFile { id, size, servers } => {
+            put_u64(buf, *id);
+            put_u64(buf, *size);
+            put_servers(buf, servers);
+            T_REGISTER_FILE
+        }
+        MetaOp::UnregisterFile { id } => {
+            put_u64(buf, *id);
+            T_UNREGISTER_FILE
+        }
+        MetaOp::ApplyPlacement { id, servers, version } => {
+            put_u64(buf, *id);
+            put_u64(buf, *version);
+            put_servers(buf, servers);
+            T_APPLY_PLACEMENT
+        }
+        MetaOp::RegisterWorker { w, epoch } => {
+            put_u64(buf, *w);
+            put_u64(buf, *epoch);
+            T_REGISTER_WORKER
+        }
+        MetaOp::MarkAlive { w } => {
+            put_u64(buf, *w);
+            T_MARK_ALIVE
+        }
+        MetaOp::MarkDead { w, epoch } => {
+            put_u64(buf, *w);
+            put_u64(buf, *epoch);
+            T_MARK_DEAD
+        }
+        MetaOp::Suspect { w, count, alive, epoch } => {
+            put_u64(buf, *w);
+            put_u32(buf, *count);
+            buf.push(u8::from(*alive));
+            put_u64(buf, *epoch);
+            T_SUSPECT
+        }
+        MetaOp::BeginRepair { id } => {
+            put_u64(buf, *id);
+            T_BEGIN_REPAIR
+        }
+        MetaOp::EndRepair { id } => {
+            put_u64(buf, *id);
+            T_END_REPAIR
+        }
+        MetaOp::SetThreshold { threshold } => {
+            put_u32(buf, *threshold);
+            T_SET_THRESHOLD
+        }
+        MetaOp::MasterEpoch { epoch, addr } => {
+            put_u64(buf, *epoch);
+            put_str(buf, addr);
+            T_MASTER_EPOCH
+        }
+        MetaOp::Snapshot(image) => {
+            put_u32(buf, image.files.len() as u32);
+            for (id, size, servers, version) in &image.files {
+                put_u64(buf, *id);
+                put_u64(buf, *size);
+                put_u64(buf, *version);
+                put_servers(buf, servers);
+            }
+            put_u32(buf, image.alive.len() as u32);
+            for w in 0..image.alive.len() {
+                buf.push(u8::from(image.alive[w]));
+                put_u32(buf, image.suspicion[w]);
+                put_u64(buf, image.epochs[w]);
+            }
+            put_u32(buf, image.threshold);
+            put_u32(buf, image.repairing.len() as u32);
+            for id in &image.repairing {
+                put_u64(buf, *id);
+            }
+            put_u64(buf, image.master_epoch);
+            put_str(buf, &image.master_addr);
+            T_SNAPSHOT
+        }
+    }
+}
+
+fn decode_body(tag: u8, body: &[u8]) -> Option<MetaOp> {
+    let mut r = Rd::new(body);
+    let op = match tag {
+        T_REGISTER_FILE => MetaOp::RegisterFile {
+            id: r.u64()?,
+            size: r.u64()?,
+            servers: r.servers()?,
+        },
+        T_UNREGISTER_FILE => MetaOp::UnregisterFile { id: r.u64()? },
+        T_APPLY_PLACEMENT => MetaOp::ApplyPlacement {
+            id: r.u64()?,
+            version: r.u64()?,
+            servers: r.servers()?,
+        },
+        T_REGISTER_WORKER => MetaOp::RegisterWorker {
+            w: r.u64()?,
+            epoch: r.u64()?,
+        },
+        T_MARK_ALIVE => MetaOp::MarkAlive { w: r.u64()? },
+        T_MARK_DEAD => MetaOp::MarkDead {
+            w: r.u64()?,
+            epoch: r.u64()?,
+        },
+        T_SUSPECT => MetaOp::Suspect {
+            w: r.u64()?,
+            count: r.u32()?,
+            alive: r.u8()? != 0,
+            epoch: r.u64()?,
+        },
+        T_BEGIN_REPAIR => MetaOp::BeginRepair { id: r.u64()? },
+        T_END_REPAIR => MetaOp::EndRepair { id: r.u64()? },
+        T_SET_THRESHOLD => MetaOp::SetThreshold { threshold: r.u32()? },
+        T_MASTER_EPOCH => MetaOp::MasterEpoch {
+            epoch: r.u64()?,
+            addr: r.string()?,
+        },
+        T_SNAPSHOT => {
+            let n_files = r.u32()? as usize;
+            let mut files = Vec::new();
+            for _ in 0..n_files {
+                let id = r.u64()?;
+                let size = r.u64()?;
+                let version = r.u64()?;
+                let servers = r.servers()?;
+                files.push((id, size, servers, version));
+            }
+            let n_workers = r.u32()? as usize;
+            // Length-lie guard: each worker entry takes 13 bytes.
+            if n_workers > body.len() / 13 {
+                return None;
+            }
+            let (mut alive, mut suspicion, mut epochs) =
+                (Vec::new(), Vec::new(), Vec::new());
+            for _ in 0..n_workers {
+                alive.push(r.u8()? != 0);
+                suspicion.push(r.u32()?);
+                epochs.push(r.u64()?);
+            }
+            let threshold = r.u32()?;
+            let n_repairing = r.u32()? as usize;
+            if n_repairing > body.len() / 8 {
+                return None;
+            }
+            let repairing = (0..n_repairing)
+                .map(|_| r.u64())
+                .collect::<Option<Vec<u64>>>()?;
+            MetaOp::Snapshot(MasterImage {
+                files,
+                alive,
+                suspicion,
+                epochs,
+                threshold,
+                repairing,
+                master_epoch: r.u64()?,
+                master_addr: r.string()?,
+            })
+        }
+        _ => return None,
+    };
+    r.done().then_some(op)
+}
+
+/// Encodes one `(lsn, op)` record, checksummed and length-prefixed.
+pub fn encode_record(lsn: u64, op: &MetaOp) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(32);
+    put_u64(&mut payload, lsn);
+    payload.push(0); // tag placeholder
+    let tag = encode_body(op, &mut payload);
+    payload[8] = tag;
+    let mut rec = Vec::with_capacity(8 + payload.len());
+    put_u32(&mut rec, payload.len() as u32);
+    put_u32(&mut rec, crc32(&payload));
+    rec.extend_from_slice(&payload);
+    rec
+}
+
+/// Decodes every valid record from a byte stream, stopping at the first
+/// truncated or corrupt one (the torn-tail rule). Never panics.
+pub fn decode_records(bytes: &[u8]) -> Vec<(u64, MetaOp)> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while bytes.len() - pos >= 8 {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if !(RECORD_FIXED..=MAX_RECORD).contains(&len) || bytes.len() - pos - 8 < len {
+            break;
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        if crc32(payload) != crc {
+            break;
+        }
+        let lsn = u64::from_le_bytes(payload[..8].try_into().unwrap());
+        let Some(op) = decode_body(payload[8], &payload[RECORD_FIXED..]) else {
+            break;
+        };
+        out.push((lsn, op));
+        pos += 8 + len;
+    }
+    out
+}
+
+fn segment_name(base_lsn: u64) -> String {
+    format!("log-{base_lsn:020}")
+}
+
+fn snapshot_name(lsn: u64) -> String {
+    format!("snap-{lsn:020}")
+}
+
+/// State behind the log's mutex: the append cursor.
+#[derive(Debug)]
+struct LogInner {
+    next_lsn: u64,
+    active: String,
+    active_bytes: usize,
+    since_snapshot: u64,
+}
+
+/// The write-ahead op-log over an under-store's metadata region.
+///
+/// Appends are O(delta) (one `meta_append` per record); snapshots
+/// rewrite one blob and delete everything older. Thread-safe: one
+/// internal mutex orders appends, so journal order is append order.
+#[derive(Debug)]
+pub struct MetaLog {
+    tier: Arc<UnderStore>,
+    inner: Mutex<LogInner>,
+    snapshot_every: u64,
+}
+
+impl MetaLog {
+    /// Opens (or creates) the log held by `tier`'s metadata region,
+    /// positioning the append cursor after the last valid record.
+    pub fn open(tier: Arc<UnderStore>) -> Self {
+        let mut next_lsn = 1u64;
+        for name in tier.meta_list("snap-") {
+            if let Some(bytes) = tier.meta_get(&name) {
+                for (lsn, _) in decode_records(&bytes) {
+                    next_lsn = next_lsn.max(lsn + 1);
+                }
+            }
+        }
+        let segments = tier.meta_list("log-");
+        let mut active = None;
+        let mut active_bytes = 0;
+        let mut records = 0u64;
+        for name in &segments {
+            if let Some(bytes) = tier.meta_get(name) {
+                let recs = decode_records(&bytes);
+                records += recs.len() as u64;
+                for (lsn, _) in &recs {
+                    next_lsn = next_lsn.max(lsn + 1);
+                }
+                // The append cursor sits after the last *valid* byte, so
+                // a torn tail is overwritten... it cannot be (appends
+                // only): instead a torn-tailed segment is retired and a
+                // fresh one opened, so new records never hide behind
+                // garbage bytes.
+                let valid: usize = recs
+                    .iter()
+                    .map(|(l, op)| encode_record(*l, op).len())
+                    .sum();
+                if valid == bytes.len() {
+                    active = Some(name.clone());
+                    active_bytes = bytes.len();
+                } else {
+                    active = None;
+                }
+            }
+        }
+        let active = active.unwrap_or_else(|| segment_name(next_lsn));
+        MetaLog {
+            tier,
+            inner: Mutex::new(LogInner {
+                next_lsn,
+                active,
+                active_bytes,
+                since_snapshot: records,
+            }),
+            snapshot_every: SNAPSHOT_EVERY,
+        }
+    }
+
+    /// Overrides the snapshot cadence (records between compactions).
+    #[must_use]
+    pub fn with_snapshot_every(mut self, every: u64) -> Self {
+        self.snapshot_every = every.max(1);
+        self
+    }
+
+    /// The storage tier the log persists through.
+    pub fn tier(&self) -> &Arc<UnderStore> {
+        &self.tier
+    }
+
+    /// Appends one op; returns its LSN. Rotates the active segment past
+    /// [`SEGMENT_BYTES`].
+    pub fn append(&self, op: &MetaOp) -> u64 {
+        let mut inner = self.inner.lock();
+        let lsn = inner.next_lsn;
+        inner.next_lsn += 1;
+        let rec = encode_record(lsn, op);
+        self.tier.meta_append(&inner.active, &rec);
+        inner.active_bytes += rec.len();
+        inner.since_snapshot += 1;
+        if inner.active_bytes >= SEGMENT_BYTES {
+            inner.active = segment_name(inner.next_lsn);
+            inner.active_bytes = 0;
+        }
+        lsn
+    }
+
+    /// The LSN the next record will get.
+    pub fn next_lsn(&self) -> u64 {
+        self.inner.lock().next_lsn
+    }
+
+    /// Whether enough records accumulated since the last snapshot that
+    /// the owner should compact (call [`MetaLog::snapshot`]).
+    pub fn snapshot_due(&self) -> bool {
+        self.inner.lock().since_snapshot >= self.snapshot_every
+    }
+
+    /// Writes a compacted snapshot of `image` and deletes every older
+    /// segment and snapshot — after this, replay is one snapshot record
+    /// plus whatever lands later.
+    pub fn snapshot(&self, image: &MasterImage) {
+        let mut inner = self.inner.lock();
+        let lsn = inner.next_lsn;
+        inner.next_lsn += 1;
+        let rec = encode_record(lsn, &MetaOp::Snapshot(image.clone()));
+        let name = snapshot_name(lsn);
+        self.tier.meta_put(&name, &rec);
+        // Everything older is superseded: all log segments (every record
+        // in them has lsn < snapshot lsn) and all previous snapshots.
+        for seg in self.tier.meta_list("log-") {
+            self.tier.meta_remove(&seg);
+        }
+        for snap in self.tier.meta_list("snap-") {
+            if snap != name {
+                self.tier.meta_remove(&snap);
+            }
+        }
+        inner.active = segment_name(inner.next_lsn);
+        inner.active_bytes = 0;
+        inner.since_snapshot = 0;
+    }
+
+    /// Replays the log: the newest snapshot op (if any) followed by
+    /// every log record with a later LSN, in LSN order.
+    pub fn replay(&self) -> Vec<(u64, MetaOp)> {
+        Self::replay_tier(&self.tier)
+    }
+
+    /// [`MetaLog::replay`] against a bare tier (no open log needed —
+    /// the standby's read-only path).
+    pub fn replay_tier(tier: &UnderStore) -> Vec<(u64, MetaOp)> {
+        let mut snap: Option<(u64, MetaOp)> = None;
+        for name in tier.meta_list("snap-") {
+            if let Some(bytes) = tier.meta_get(&name) {
+                if let Some((lsn, op)) = decode_records(&bytes).pop() {
+                    if snap.as_ref().is_none_or(|(l, _)| *l < lsn) {
+                        snap = Some((lsn, op));
+                    }
+                }
+            }
+        }
+        let snap_lsn = snap.as_ref().map_or(0, |(l, _)| *l);
+        let mut out: Vec<(u64, MetaOp)> = snap.into_iter().collect();
+        let mut tail = Vec::new();
+        for name in tier.meta_list("log-") {
+            if let Some(bytes) = tier.meta_get(&name) {
+                tail.extend(
+                    decode_records(&bytes)
+                        .into_iter()
+                        .filter(|(lsn, _)| *lsn > snap_lsn),
+                );
+            }
+        }
+        tail.sort_by_key(|(lsn, _)| *lsn);
+        out.extend(tail);
+        out
+    }
+
+    /// Raw record bytes for every op with `lsn >= from_lsn` (the wire
+    /// `LogTail` payload), in LSN order. A follower whose cursor
+    /// predates the compaction horizon gets the snapshot record first —
+    /// it carries its own LSN, so the follower jumps forward; a
+    /// follower past the snapshot never sees it again (re-applying an
+    /// old snapshot would wipe newer replayed state). Returns
+    /// `(next_lsn, bytes)`.
+    pub fn tail_from(&self, from_lsn: u64) -> (u64, Vec<u8>) {
+        let next = self.next_lsn();
+        let mut bytes = Vec::new();
+        for (lsn, op) in self.replay() {
+            if lsn >= from_lsn {
+                bytes.extend_from_slice(&encode_record(lsn, &op));
+            }
+        }
+        (next, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops() -> Vec<MetaOp> {
+        vec![
+            MetaOp::RegisterFile {
+                id: 7,
+                size: 4096,
+                servers: vec![0, 3, 5],
+            },
+            MetaOp::ApplyPlacement {
+                id: 7,
+                servers: vec![1, 2],
+                version: 2,
+            },
+            MetaOp::RegisterWorker { w: 3, epoch: 4 },
+            MetaOp::MarkAlive { w: 1 },
+            MetaOp::MarkDead { w: 2, epoch: 9 },
+            MetaOp::Suspect {
+                w: 0,
+                count: 2,
+                alive: true,
+                epoch: 1,
+            },
+            MetaOp::BeginRepair { id: 7 },
+            MetaOp::EndRepair { id: 7 },
+            MetaOp::SetThreshold { threshold: 5 },
+            MetaOp::UnregisterFile { id: 7 },
+            MetaOp::MasterEpoch {
+                epoch: 2,
+                addr: "127.0.0.1:4100".into(),
+            },
+            MetaOp::Snapshot(MasterImage {
+                files: vec![(1, 100, vec![0, 1], 3), (2, 50, vec![2], 1)],
+                alive: vec![true, false, true],
+                suspicion: vec![0, 3, 1],
+                epochs: vec![1, 2, 1],
+                threshold: 3,
+                repairing: vec![2],
+                master_epoch: 4,
+                master_addr: "127.0.0.1:4100".into(),
+            }),
+        ]
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        for (i, op) in ops().into_iter().enumerate() {
+            let rec = encode_record(i as u64 + 1, &op);
+            let decoded = decode_records(&rec);
+            assert_eq!(decoded, vec![(i as u64 + 1, op)]);
+        }
+    }
+
+    #[test]
+    fn concatenated_records_decode_in_order() {
+        let mut stream = Vec::new();
+        let expect: Vec<(u64, MetaOp)> = ops()
+            .into_iter()
+            .enumerate()
+            .map(|(i, op)| (i as u64 + 1, op))
+            .collect();
+        for (lsn, op) in &expect {
+            stream.extend_from_slice(&encode_record(*lsn, op));
+        }
+        assert_eq!(decode_records(&stream), expect);
+    }
+
+    #[test]
+    fn torn_tail_stops_at_last_valid_record() {
+        let a = encode_record(1, &MetaOp::MarkAlive { w: 0 });
+        let b = encode_record(2, &MetaOp::MarkDead { w: 1, epoch: 2 });
+        let mut stream = a.clone();
+        stream.extend_from_slice(&b[..b.len() - 3]); // torn mid-record
+        assert_eq!(decode_records(&stream), vec![(1, MetaOp::MarkAlive { w: 0 })]);
+    }
+
+    #[test]
+    fn corrupt_record_fails_its_checksum() {
+        let mut rec = encode_record(1, &MetaOp::BeginRepair { id: 42 });
+        let last = rec.len() - 1;
+        rec[last] ^= 0x40;
+        assert!(decode_records(&rec).is_empty());
+        // And a flipped byte mid-stream cuts the tail, keeps the prefix.
+        let mut stream = encode_record(1, &MetaOp::EndRepair { id: 1 });
+        let tail_start = stream.len();
+        stream.extend_from_slice(&encode_record(2, &MetaOp::EndRepair { id: 2 }));
+        stream[tail_start + 10] ^= 1;
+        assert_eq!(decode_records(&stream), vec![(1, MetaOp::EndRepair { id: 1 })]);
+    }
+
+    #[test]
+    fn log_appends_rotate_and_replay_in_order() {
+        let tier = Arc::new(UnderStore::new());
+        let log = MetaLog::open(Arc::clone(&tier));
+        let mut expect = Vec::new();
+        for i in 0..5000u64 {
+            let op = MetaOp::BeginRepair { id: i };
+            let lsn = log.append(&op);
+            expect.push((lsn, op));
+        }
+        // Enough volume to rotate segments.
+        assert!(tier.meta_list("log-").len() > 1, "no rotation happened");
+        assert_eq!(log.replay(), expect);
+        // Reopening resumes after the last record.
+        let reopened = MetaLog::open(Arc::clone(&tier));
+        assert_eq!(reopened.next_lsn(), 5001);
+        assert_eq!(reopened.replay(), expect);
+    }
+
+    #[test]
+    fn snapshot_compacts_to_o_delta() {
+        let tier = Arc::new(UnderStore::new());
+        let log = MetaLog::open(Arc::clone(&tier)).with_snapshot_every(10);
+        for i in 0..100u64 {
+            log.append(&MetaOp::BeginRepair { id: i });
+            if log.snapshot_due() {
+                log.snapshot(&MasterImage {
+                    repairing: (0..=i).collect(),
+                    ..MasterImage::default()
+                });
+            }
+        }
+        // One snapshot + at most the uncompacted tail.
+        assert_eq!(tier.meta_list("snap-").len(), 1);
+        let replayed = log.replay();
+        assert!(
+            replayed.len() <= 11,
+            "replay is O(history), not O(delta): {} records",
+            replayed.len()
+        );
+        assert!(matches!(replayed[0], (_, MetaOp::Snapshot(_))));
+        // The snapshot + tail cover all 100 repairs.
+        let MetaOp::Snapshot(img) = &replayed[0].1 else {
+            panic!("first replayed op must be the snapshot")
+        };
+        let mut seen: Vec<u64> = img.repairing.clone();
+        for (_, op) in &replayed[1..] {
+            if let MetaOp::BeginRepair { id } = op {
+                seen.push(*id);
+            }
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen, (0..100u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tail_from_covers_a_cold_follower_via_the_snapshot() {
+        let tier = Arc::new(UnderStore::new());
+        let log = MetaLog::open(Arc::clone(&tier));
+        for i in 0..20u64 {
+            log.append(&MetaOp::BeginRepair { id: i });
+        }
+        log.snapshot(&MasterImage::default());
+        log.append(&MetaOp::EndRepair { id: 3 });
+        // A follower from LSN 0: gets the snapshot plus the tail, not
+        // the compacted-away history.
+        let (next, bytes) = log.tail_from(0);
+        assert_eq!(next, 23, "20 appends + snapshot (21) + 1 append (22)");
+        let recs = decode_records(&bytes);
+        assert!(matches!(recs[0].1, MetaOp::Snapshot(_)));
+        assert_eq!(recs[1].1, MetaOp::EndRepair { id: 3 });
+        // A warm follower past the tail gets nothing — in particular
+        // NOT the old snapshot, which would wipe its newer state.
+        let (_, bytes) = log.tail_from(23);
+        assert!(decode_records(&bytes).is_empty());
+        // One sitting exactly on the tail record gets just the delta.
+        let (_, bytes) = log.tail_from(22);
+        assert_eq!(
+            decode_records(&bytes),
+            vec![(22, MetaOp::EndRepair { id: 3 })]
+        );
+    }
+
+    #[test]
+    fn disk_mirror_survives_a_new_process_view() {
+        let dir = std::env::temp_dir().join(format!(
+            "spcache-metalog-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let tier = Arc::new(UnderStore::new().with_meta_dir(&dir));
+            let log = MetaLog::open(Arc::clone(&tier));
+            for i in 0..50u64 {
+                log.append(&MetaOp::RegisterWorker { w: i % 4, epoch: i });
+            }
+            log.snapshot(&MasterImage {
+                master_epoch: 3,
+                ..MasterImage::default()
+            });
+            log.append(&MetaOp::MarkAlive { w: 0 });
+        }
+        // A different "process": fresh tier over the same directory.
+        let tier = Arc::new(UnderStore::new().with_meta_dir(&dir));
+        let log = MetaLog::open(Arc::clone(&tier));
+        let replayed = log.replay();
+        assert_eq!(replayed.len(), 2, "snapshot + 1 tail record: {replayed:?}");
+        let MetaOp::Snapshot(img) = &replayed[0].1 else {
+            panic!("expected snapshot first");
+        };
+        assert_eq!(img.master_epoch, 3);
+        assert_eq!(replayed[1].1, MetaOp::MarkAlive { w: 0 });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -216,6 +216,13 @@ pub enum Request {
     /// master assigned at registration. The worker adopts it and echoes
     /// it in every subsequent `Pong`.
     SetEpoch(u64),
+    /// Control-plane **master**-epoch announcement: a master (booting,
+    /// or a standby taking over) tells the worker which master epoch
+    /// now rules. The worker raises its watermark and from then on
+    /// bounces `Fenced` traffic stamped with any lower master epoch.
+    /// A worker that has already seen a *higher* epoch answers
+    /// [`StoreError::StaleEpoch`] — the deposed sender must self-fence.
+    SetMasterEpoch(u64),
     /// An epoch-fenced data request: the client stamps the epoch it
     /// believes the worker holds (from the master's epoch table). A
     /// worker whose own epoch differs answers
@@ -226,6 +233,12 @@ pub enum Request {
     Fenced {
         /// The epoch the client expects the worker to hold.
         epoch: u64,
+        /// The **master epoch** the issuing control plane acts under
+        /// (DESIGN.md §4.14). 0 = unstamped (plain clients; the
+        /// pre-failover wire behaviour). A worker that has seen a
+        /// higher master epoch answers [`StoreError::StaleEpoch`] —
+        /// that is how a deposed master's writes bounce forever.
+        master: u64,
         /// The wrapped data-path request (never control-plane).
         inner: Box<Request>,
     },
@@ -250,22 +263,44 @@ impl Request {
     /// injection and op counting on every transport.
     pub fn is_control(&self) -> bool {
         match self {
-            Request::Stats | Request::Ping | Request::Shutdown | Request::SetEpoch(_) => true,
+            Request::Stats
+            | Request::Ping
+            | Request::Shutdown
+            | Request::SetEpoch(_)
+            | Request::SetMasterEpoch(_) => true,
             Request::Fenced { inner, .. } | Request::Background { inner } => inner.is_control(),
             _ => false,
         }
     }
 
     /// Wraps a data request in an epoch fence (no-op for `epoch == 0`,
-    /// the "epoch unknown" sentinel, and for control requests).
+    /// the "epoch unknown" sentinel, and for control requests). The
+    /// master-epoch stamp stays 0 (unstamped) — plain clients read for
+    /// themselves, not for a master.
     pub fn fenced(self, epoch: u64) -> Request {
-        if epoch == 0 || self.is_control() {
-            self
-        } else {
-            Request::Fenced {
+        self.fenced_master(epoch, 0)
+    }
+
+    /// Wraps a data request in an epoch fence carrying a master-epoch
+    /// stamp — the supervisor/repartition path, where the request acts
+    /// *for* a specific master incarnation and must bounce once that
+    /// incarnation is deposed. Restamps an existing fence in place.
+    pub fn fenced_master(self, epoch: u64, master: u64) -> Request {
+        if self.is_control() {
+            return self;
+        }
+        match self {
+            Request::Fenced { inner, .. } => Request::Fenced {
                 epoch,
-                inner: Box::new(self),
-            }
+                master,
+                inner,
+            },
+            _ if epoch == 0 && master == 0 => self,
+            inner => Request::Fenced {
+                epoch,
+                master,
+                inner: Box::new(inner),
+            },
         }
     }
 
@@ -278,8 +313,9 @@ impl Request {
         match self {
             r if r.is_control() => r,
             Request::Background { inner } => Request::Background { inner },
-            Request::Fenced { epoch, inner } => Request::Fenced {
+            Request::Fenced { epoch, master, inner } => Request::Fenced {
                 epoch,
+                master,
                 inner: Box::new(inner.background()),
             },
             r => Request::Background { inner: Box::new(r) },
@@ -502,7 +538,7 @@ mod tests {
         // Canonical nesting: fence outside, class inside.
         let both = get.clone().background().fenced(3);
         match &both {
-            Request::Fenced { epoch: 3, inner } => {
+            Request::Fenced { epoch: 3, master: 0, inner } => {
                 assert!(matches!(**inner, Request::Background { .. }));
             }
             other => panic!("unexpected shape {other:?}"),
@@ -521,11 +557,37 @@ mod tests {
         let get = Request::Get { key: PartKey::new(1, 0) };
         assert!(matches!(
             get.clone().fenced(4),
-            Request::Fenced { epoch: 4, .. }
+            Request::Fenced { epoch: 4, master: 0, .. }
         ));
         // Epoch 0 means "unknown": no fence, wire-identical to PR 3.
         assert_eq!(get.clone().fenced(0), get);
         // Control requests are never fenced.
         assert_eq!(Request::Ping.fenced(4), Request::Ping);
+    }
+
+    #[test]
+    fn master_epoch_stamping() {
+        let get = Request::Get { key: PartKey::new(1, 0) };
+        // SetMasterEpoch is control-plane: no faults, no op counting,
+        // never wrapped.
+        assert!(Request::SetMasterEpoch(2).is_control());
+        assert_eq!(
+            Request::SetMasterEpoch(2).fenced(3),
+            Request::SetMasterEpoch(2)
+        );
+        // A master stamp fences even with a zero worker epoch.
+        assert!(matches!(
+            get.clone().fenced_master(0, 2),
+            Request::Fenced { epoch: 0, master: 2, .. }
+        ));
+        // Restamping an existing fence replaces both stamps in place
+        // rather than nesting.
+        let restamped = get.clone().fenced(4).fenced_master(5, 7);
+        match restamped {
+            Request::Fenced { epoch: 5, master: 7, inner } => {
+                assert_eq!(*inner, get);
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
     }
 }

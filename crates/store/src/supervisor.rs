@@ -43,7 +43,7 @@ use crate::backing::{recover_file, UnderStore};
 use crate::client::Client;
 use crate::config::{RetryPolicy, SupervisorConfig};
 use crate::master::Master;
-use crate::rpc::{Request, StoreError};
+use crate::rpc::{Reply, Request, StoreError};
 use crate::transport::Transport;
 
 /// What one recovery sweep did: the dead fleet it observed and the fate
@@ -130,7 +130,8 @@ impl SupervisorCore {
         // with foreground reads at full rate.
         let client = Client::new(master.clone(), transport.clone())
             .with_retry(retry)
-            .with_background(true);
+            .with_background(true)
+            .with_master_stamp(true);
         SupervisorCore {
             master,
             transport,
@@ -152,10 +153,26 @@ impl SupervisorCore {
     }
 
     /// One full supervisor round: probe every worker, then sweep
-    /// degraded files. Returns the sweep's record when one ran.
+    /// degraded files, then compact the metadata journal when a
+    /// snapshot is due. Returns the sweep's record when one ran.
+    ///
+    /// A fenced master (deposed by a standby takeover — see
+    /// [`Master::self_fence`]) does nothing: mutating the fleet from a
+    /// stale master would fight the successor's supervisor.
     pub fn tick(&self) -> Option<SweepRecord> {
+        if self.master.is_fenced() {
+            return None;
+        }
         self.probe();
-        self.sweep()
+        // An adopt inside probe may have discovered the deposition (a
+        // worker bounced our master-epoch announcement); re-check
+        // before mutating placements.
+        if self.master.is_fenced() {
+            return None;
+        }
+        let rec = self.sweep();
+        self.master.maybe_compact();
+        rec
     }
 
     /// One heartbeat round. For every worker: a `Ping` answered with the
@@ -199,7 +216,21 @@ impl SupervisorCore {
     /// next tick re-registers it with an even fresher epoch — the
     /// fencing invariant (no pre-death epoch is ever accepted again)
     /// holds either way.
+    ///
+    /// Before granting anything the supervisor announces its **master
+    /// epoch** (§4.14). A worker that has already heard from a newer
+    /// master bounces the announcement with [`StoreError::StaleEpoch`],
+    /// which tells this master it was deposed: it fences itself forever
+    /// and adopts nothing — the successor's supervisor owns the fleet.
     fn adopt(&self, w: usize) {
+        let announce = Request::SetMasterEpoch(self.master.master_epoch());
+        match self.transport.call(w, announce, self.cfg.probe_timeout) {
+            Ok(Reply::Err(StoreError::StaleEpoch(_))) | Err(StoreError::StaleEpoch(_)) => {
+                self.master.self_fence(None);
+                return;
+            }
+            _ => {}
+        }
         let epoch = self.master.register_worker(w);
         let _ = self
             .transport

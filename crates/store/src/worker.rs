@@ -308,6 +308,11 @@ fn worker_loop(opts: WorkerOptions, rx: Receiver<Envelope>) {
     // a fresh or crash-restarted worker bounces every fenced request
     // until the supervisor adopts it with `SetEpoch`.
     let mut epoch: u64 = 0;
+    // The highest master epoch this worker has witnessed (via
+    // SetMasterEpoch announcements or Fenced master stamps). 0 = none.
+    // Fenced traffic stamped below the watermark bounces StaleEpoch —
+    // a deposed master can never write through this worker again.
+    let mut master_known: u64 = 0;
     // Reply senders of swallowed heartbeats, kept alive so the probing
     // supervisor observes a *timeout* (→ suspicion ladder), not a
     // disconnect (→ immediate death).
@@ -344,6 +349,19 @@ fn worker_loop(opts: WorkerOptions, rx: Receiver<Envelope>) {
             Request::SetEpoch(e) => {
                 epoch = e;
                 let _ = reply.send(Reply::Done);
+                continue;
+            }
+            Request::SetMasterEpoch(m) => {
+                // A lower announcement is a deposed master knocking:
+                // bounce it so it self-fences. Equal re-announcements
+                // (the active master re-adopting a worker) are fine.
+                let out = if m != 0 && m < master_known {
+                    Reply::Err(StoreError::StaleEpoch(id))
+                } else {
+                    master_known = master_known.max(m);
+                    Reply::Done
+                };
+                let _ = reply.send(out);
                 continue;
             }
             Request::Shutdown => {
@@ -391,6 +409,7 @@ fn worker_loop(opts: WorkerOptions, rx: Receiver<Envelope>) {
                     ctx.stats.resident_parts = 0;
                     ctx.stats.resident_bytes = 0;
                     epoch = 0;
+                    master_known = 0;
                 }
                 FaultAction::StaleEpochDelivery => bounce_stale = true,
                 // Heartbeat faults never appear in op-indexed scripts
@@ -405,11 +424,23 @@ fn worker_loop(opts: WorkerOptions, rx: Receiver<Envelope>) {
 
         // Epoch fencing runs *after* fault injection and the op-counter
         // bump, so a bounced request advances the counter identically on
-        // both transports and scripted faults stay aligned.
-        let fenced_mismatch = matches!(
-            &req,
-            Request::Fenced { epoch: stamped, .. } if *stamped != epoch
-        );
+        // both transports and scripted faults stay aligned. The master
+        // stamp is checked alongside the worker epoch: below-watermark
+        // stamps bounce, higher stamps raise the watermark (a worker
+        // can learn of a takeover from the traffic itself).
+        let fenced_mismatch = match &req {
+            Request::Fenced { epoch: stamped, master, .. } => {
+                let stale_master = *master != 0 && *master < master_known;
+                master_known = master_known.max(*master);
+                // A zero worker stamp means "master stamp only" — the
+                // sender is not epoch-fenced (a bare zero could never
+                // reach the wire before master stamps existed, so this
+                // is backward compatible).
+                let stale_worker = *stamped != 0 && *stamped != epoch;
+                stale_worker || stale_master
+            }
+            _ => false,
+        };
         let out = if bounce_stale || fenced_mismatch {
             Reply::Err(StoreError::StaleEpoch(id))
         } else {
@@ -549,6 +580,7 @@ impl ServeCtx {
             Request::Stats
             | Request::Ping
             | Request::SetEpoch(_)
+            | Request::SetMasterEpoch(_)
             | Request::Shutdown
             | Request::Fenced { .. }
             | Request::Background { .. } => {
@@ -910,6 +942,49 @@ mod tests {
         }
         .fenced(5);
         assert_eq!(call(&h, stale).bytes(), Err(StoreError::StaleEpoch(3)));
+    }
+
+    #[test]
+    fn master_epoch_watermark_fences_deposed_masters() {
+        let h = spawn_worker(2, f64::INFINITY, StragglerModel::none(), 1);
+        assert_eq!(call(&h, Request::SetEpoch(1)), Reply::Done);
+        put(&h, PartKey::new(1, 0), b"v");
+        let get = || Request::Get { key: PartKey::new(1, 0) };
+        // Master 1 announces itself; its stamped traffic serves.
+        assert_eq!(call(&h, Request::SetMasterEpoch(1)), Reply::Done);
+        assert_eq!(
+            call(&h, get().fenced_master(1, 1)).bytes().unwrap().as_ref(),
+            b"v"
+        );
+        // Unstamped (master 0) traffic from plain clients still serves.
+        assert_eq!(call(&h, get().fenced(1)).bytes().unwrap().as_ref(), b"v");
+        // A takeover announcement raises the watermark...
+        assert_eq!(call(&h, Request::SetMasterEpoch(3)), Reply::Done);
+        // ...the deposed master's stamps bounce forever...
+        assert_eq!(
+            call(&h, get().fenced_master(1, 1)).bytes(),
+            Err(StoreError::StaleEpoch(2))
+        );
+        // ...and so does its re-announcement (this is what makes a
+        // stale master's re-adopt attempt self-fence).
+        assert_eq!(
+            call(&h, Request::SetMasterEpoch(1)),
+            Reply::Err(StoreError::StaleEpoch(2))
+        );
+        // The new master's stamps serve; a yet-higher stamp raises the
+        // watermark from the traffic itself.
+        assert_eq!(
+            call(&h, get().fenced_master(1, 3)).bytes().unwrap().as_ref(),
+            b"v"
+        );
+        assert_eq!(
+            call(&h, get().fenced_master(1, 4)).bytes().unwrap().as_ref(),
+            b"v"
+        );
+        assert_eq!(
+            call(&h, get().fenced_master(1, 3)).bytes(),
+            Err(StoreError::StaleEpoch(2))
+        );
     }
 
     #[test]
