@@ -38,6 +38,15 @@
 //!   to [`PACED_FRACTION`] of the NIC while a foreground Zipf storm
 //!   runs; `paced_bg_utilization` reports how much of the carve-out the
 //!   sweep actually used (≤ 1.1 by the pacing contract).
+//! * `verified_read` — the contiguous read against a `verify_reads`
+//!   fleet (DESIGN.md §4.15), A/B-interleaved against the plain `read`;
+//!   their quotient is the `verify_overhead` summary, floored at 0.95
+//!   by [`validate_report_json`] (verification is per byte movement,
+//!   not per request, so steady-state reads must stay near-free).
+//! * `parity_read` — a read that loses one data partition to a delete
+//!   every op and rebuilds it from the file's Cauchy-RS parity: the
+//!   full corruption-to-erasure recovery price (late-binding `k + r`
+//!   re-fetch, decode, fire-and-forget read repair).
 //!
 //! Per point and variant it reports reads (or writes) per second, bytes
 //! moved, and p50/p95/p99 latency, and emits a schema-stable
@@ -67,7 +76,13 @@ use spcache_store::{StoreCluster, StoreConfig, StoreError};
 /// background traffic is paced to [`PACED_FRACTION`] of the NIC while a
 /// foreground storm runs), and the `budget_read_ratio` /
 /// `paced_bg_utilization` point summaries.
-pub const SCHEMA: &str = "spcache-bench-store/v5";
+/// v6 adds the integrity rows (DESIGN.md §4.15): the `verified_read`
+/// variant (the contiguous read against a checksum-verifying fleet) and
+/// the `parity_read` variant (every op rebuilds a deleted partition
+/// from Cauchy-RS parity), plus the `verify_overhead` point summary —
+/// the plain-over-verified read quotient, which
+/// [`validate_report_json`] floors at 0.95.
+pub const SCHEMA: &str = "spcache-bench-store/v6";
 
 /// Files the `recovery` variant loses per sweep: every one holds a
 /// partition on the killed worker, so one sweep re-materializes
@@ -180,6 +195,13 @@ pub struct PointResult {
     /// the carve-out permits (`bg_bytes / (fraction × rate × elapsed ×
     /// live_workers)`); must stay ≤ 1.1 per the pacing contract.
     pub paced_bg_utilization: f64,
+    /// Plain contiguous read time over checksum-verified read time
+    /// (`read / verified_read`, A/B-interleaved so scheduler noise lands
+    /// on both sides of the quotient). The §4.15 acceptance floor is
+    /// 0.95 — verification is per byte movement, not per request, so a
+    /// steady-state verified read must cost within 5% of a plain one —
+    /// and [`validate_report_json`] enforces it.
+    pub verify_overhead: f64,
 }
 
 /// A full harness run.
@@ -273,6 +295,7 @@ fn legacy_write(
             Request::Put {
                 key: PartKey::new(id, j as u32),
                 data: Bytes::from(shard),
+                sum: 0,
             },
         )?;
         pending.push((server, rx));
@@ -574,6 +597,116 @@ fn measure_paced_recovery(point: &GridPoint, shared: &Bytes) -> (VariantResult, 
     )
 }
 
+/// The point's base config (NIC throttled or not), shared by the
+/// integrity rows.
+fn point_config(point: &GridPoint) -> StoreConfig {
+    if point.nic_bytes_per_sec.is_infinite() {
+        StoreConfig::unthrottled(point.workers)
+    } else {
+        StoreConfig::throttled(point.workers, point.nic_bytes_per_sec)
+    }
+}
+
+/// Measures the contiguous read against a `verify_reads` fleet
+/// (DESIGN.md §4.15) and its cost relative to the plain read. Workers
+/// verify each partition on the first read after it lands (and after
+/// every later byte movement); client-side re-verification is the
+/// wire-fault knob priced by the chaos harness, not this row. The two
+/// paths are A/B-interleaved iteration by iteration — `plain` reads the
+/// main cluster's seed file between each verified read — so scheduler
+/// noise lands on both sides of the returned
+/// `verify_overhead = t_plain / t_verified` quotient, and the quotient
+/// is the best of three whole loops so one unlucky window cannot flake
+/// the 0.95 floor (mirrors the contiguous-read regression gate).
+fn measure_verified(
+    point: &GridPoint,
+    shared: &Bytes,
+    servers: &[usize],
+    plain: &spcache_store::Client,
+) -> (VariantResult, f64) {
+    let cluster = StoreCluster::spawn(point_config(point).with_verify_reads(true));
+    // The writer stamps real checksums onto the Puts (a non-verifying
+    // writer would stamp the UNVERIFIED sentinel and the fleet would
+    // have nothing to check); the reader then trusts the in-process
+    // transport and leaves verification to the workers.
+    cluster
+        .client()
+        .write_bytes(1, shared.clone(), servers)
+        .expect("verified seed write");
+    let client = cluster.client().with_verify(false);
+    // Warm-up: pays the one post-landing verification pass per
+    // partition, mirroring `measure`'s discarded first iteration.
+    let _ = client.read_quiet(1).expect("verified warm-up");
+    let _ = plain.read_quiet(1).expect("plain warm-up");
+    const LOOPS: usize = 3;
+    let mut lat = Samples::with_capacity(LOOPS * point.iters);
+    let mut bytes_moved = 0u64;
+    let mut t_total = 0.0f64;
+    let mut best = f64::NEG_INFINITY;
+    for _ in 0..LOOPS {
+        let (mut t_verified, mut t_plain) = (0.0f64, 0.0f64);
+        for _ in 0..point.iters {
+            let t = Instant::now();
+            bytes_moved += client.read_quiet(1).expect("verified read").len() as u64;
+            let dt = t.elapsed().as_secs_f64();
+            t_verified += dt;
+            lat.record(dt * 1e3);
+            let t = Instant::now();
+            let _ = plain.read_quiet(1).expect("plain read");
+            t_plain += t.elapsed().as_secs_f64();
+        }
+        t_total += t_verified;
+        best = best.max(t_plain / t_verified);
+    }
+    (
+        VariantResult {
+            variant: "verified_read".to_string(),
+            ops_per_sec: (LOOPS * point.iters) as f64 / t_total,
+            mbytes_per_sec: bytes_moved as f64 / t_total / 1e6,
+            p50_ms: lat.percentile(50.0),
+            p95_ms: lat.percentile(95.0),
+            p99_ms: lat.percentile(99.0),
+            bytes_moved,
+        },
+        best,
+    )
+}
+
+/// Measures the corruption-to-erasure recovery read (DESIGN.md §4.15):
+/// every op deletes one data partition out from under the file, so the
+/// read pays the full parity path — the typed erasure, the late-binding
+/// `k + r` re-fetch, the Cauchy-RS decode, and the fire-and-forget read
+/// repair. The repair's re-landed partition is removed again by the
+/// next op's delete (the channel transport orders both FIFO per
+/// worker), so every timed iteration decodes.
+fn measure_parity_read(point: &GridPoint, shared: &Bytes) -> VariantResult {
+    let cluster =
+        StoreCluster::spawn(point_config(point).with_verify_reads(true).with_parity(1));
+    // Leave the last worker dataless: parity never shares a server with
+    // a data partition, so the spread keeps exactly one spare for the
+    // `r = 1` shard.
+    let spread = point.workers - 1;
+    let servers: Vec<usize> = (0..point.k).map(|j| j % spread).collect();
+    let client = cluster.client();
+    client
+        .write_bytes(1, shared.clone(), &servers)
+        .expect("parity seed write");
+    let transport = cluster.transport().clone();
+    let victim = servers[0];
+    measure("parity_read", point, move || {
+        transport
+            .call(
+                victim,
+                Request::Delete {
+                    key: PartKey::new(1, 0),
+                },
+                Duration::from_secs(5),
+            )
+            .expect("partition delete");
+        client.read_quiet(1).expect("parity read").len()
+    })
+}
+
 /// Measures every data-path variant at one grid point.
 pub fn run_point(point: GridPoint) -> PointResult {
     let data = payload(point.file_bytes);
@@ -675,6 +808,13 @@ pub fn run_point(point: GridPoint) -> PointResult {
     let (paced, paced_bg_utilization) = measure_paced_recovery(&point, &shared);
     variants.push(paced);
 
+    // Integrity rows (DESIGN.md §4.15): the checksum-verified read
+    // priced A/B against the plain read, and a read that rebuilds a
+    // deleted partition from Cauchy-RS parity every op.
+    let (verified, verify_overhead) = measure_verified(&point, &shared, &servers, &client);
+    variants.push(verified);
+    variants.push(measure_parity_read(&point, &shared));
+
     let thpt = |name: &str| {
         variants
             .iter()
@@ -691,6 +831,7 @@ pub fn run_point(point: GridPoint) -> PointResult {
         tcp_scattered_slowdown: thpt("read_scattered") / thpt("tcp_read_scattered"),
         budget_read_ratio: thpt("zipf_budget_read") / thpt("zipf_unbounded_read"),
         paced_bg_utilization,
+        verify_overhead,
         point,
         variants,
     }
@@ -784,6 +925,10 @@ pub fn report_to_json(report: &PerfReport, machine: &str) -> String {
             "      \"paced_bg_utilization\": {},\n",
             json_f64(p.paced_bg_utilization)
         ));
+        out.push_str(&format!(
+            "      \"verify_overhead\": {},\n",
+            json_f64(p.verify_overhead)
+        ));
         out.push_str("      \"variants\": [\n");
         for (j, v) in p.variants.iter().enumerate() {
             out.push_str(&format!(
@@ -839,6 +984,7 @@ pub fn validate_report_json(json: &str) -> Result<(), String> {
         "\"tcp_scattered_slowdown\"",
         "\"budget_read_ratio\"",
         "\"paced_bg_utilization\"",
+        "\"verify_overhead\"",
         "\"variants\"",
         "\"ops_per_sec\"",
         "\"mbytes_per_sec\"",
@@ -866,6 +1012,7 @@ pub fn validate_report_json(json: &str) -> Result<(), String> {
         "\"tcp_scattered_slowdown\": ",
         "\"budget_read_ratio\": ",
         "\"paced_bg_utilization\": ",
+        "\"verify_overhead\": ",
     ] {
         for (found, chunk) in json.match_indices(metric) {
             let rest = &json[found + metric.len()..];
@@ -896,9 +1043,27 @@ pub fn validate_report_json(json: &str) -> Result<(), String> {
         "zipf_unbounded_read",
         "zipf_budget_read",
         "paced_recovery",
+        "verified_read",
+        "parity_read",
     ] {
         if !json.contains(&format!("\"variant\": \"{variant}\"")) {
             return Err(format!("variant {variant} missing from report"));
+        }
+    }
+    // The §4.15 acceptance floor: a checksummed read must stay within
+    // 5% of the plain read path at every point.
+    for (found, _) in json.match_indices("\"verify_overhead\": ") {
+        let rest = &json[found + "\"verify_overhead\": ".len()..];
+        let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+        let token = rest[..end].trim();
+        let value: f64 = token
+            .parse()
+            .map_err(|_| format!("verify_overhead: unparseable number {token:?}"))?;
+        if value < 0.95 {
+            return Err(format!(
+                "verify_overhead {value:.3} below the 0.95 floor: checksummed reads \
+                 cost more than 5% over plain reads"
+            ));
         }
     }
     Ok(())
@@ -949,6 +1114,16 @@ mod tests {
         assert!(validate_report_json(&bad).is_err());
         let bad = json.replace(&format!("\"schema\": \"{SCHEMA}\""), "\"schema\": \"other\"");
         assert!(validate_report_json(&bad).is_err());
+        // The §4.15 verify_overhead floor is enforced, not just parsed:
+        // shift the measured value onto a scratch key and plant one
+        // below the floor.
+        let bad = json.replacen(
+            "\"verify_overhead\": ",
+            "\"verify_overhead\": 0.500000, \"shifted\": ",
+            1,
+        );
+        let err = validate_report_json(&bad).expect_err("0.5 must violate the floor");
+        assert!(err.contains("0.95 floor"), "unexpected error: {err}");
     }
 
     /// Tier-1 regression gate for the contiguous read path: `read` must

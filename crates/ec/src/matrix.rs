@@ -91,6 +91,25 @@ impl Matrix {
         v.mul(&top_inv)
     }
 
+    /// The systematic MDS encoding matrix for a `(k, n)` code built on a
+    /// **Cauchy** base instead of Vandermonde: take the `n × k` Cauchy
+    /// matrix (any square submatrix invertible by construction) and
+    /// multiply by the inverse of its top `k × k` block. The top block
+    /// becomes the identity (data shards pass through) and any `k` of the
+    /// `n` rows remain invertible — the classic Cauchy-RS construction,
+    /// whose MDS property needs no evaluation-point argument.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < k` or `n + k > 256`.
+    pub fn systematic_cauchy(n: usize, k: usize) -> Self {
+        assert!(n >= k, "need n >= k");
+        let c = Matrix::cauchy(n, k);
+        let top = c.submatrix_rows(&(0..k).collect::<Vec<_>>());
+        let top_inv = top.inverted().expect("Cauchy top block is invertible");
+        c.mul(&top_inv)
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -337,6 +356,51 @@ mod tests {
         let mut count = 0;
         combos(&rows, k, 0, &mut combo, 0, &m, &mut count);
         assert_eq!(count, 56);
+    }
+
+    #[test]
+    fn systematic_cauchy_top_is_identity() {
+        let m = Matrix::systematic_cauchy(14, 10);
+        for i in 0..10 {
+            for j in 0..10 {
+                assert_eq!(m[(i, j)], u8::from(i == j), "at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn systematic_cauchy_any_k_rows_invertible() {
+        let n = 8;
+        let k = 5;
+        let m = Matrix::systematic_cauchy(n, k);
+        let rows: Vec<usize> = (0..n).collect();
+        let mut count = 0;
+        // All C(8,5) = 56 row subsets, reusing the visitor shape of the
+        // Vandermonde twin above.
+        fn visit(rows: &[usize], k: usize, start: usize, combo: &mut Vec<usize>, m: &Matrix, count: &mut usize) {
+            if combo.len() == k {
+                assert!(m.submatrix_rows(combo).inverted().is_some(), "rows {combo:?} singular");
+                *count += 1;
+                return;
+            }
+            for i in start..rows.len() {
+                combo.push(rows[i]);
+                visit(rows, k, i + 1, combo, m, count);
+                combo.pop();
+            }
+        }
+        visit(&rows, k, 0, &mut Vec::new(), &m, &mut count);
+        assert_eq!(count, 56);
+    }
+
+    #[test]
+    fn repeated_rows_of_systematic_cauchy_are_singular() {
+        // The MDS guarantee covers *distinct* rows only: a decode
+        // attempt that presents the same shard twice must hit a
+        // singular submatrix, never a silent wrong answer.
+        let m = Matrix::systematic_cauchy(6, 3);
+        let sub = m.submatrix_rows(&[4, 4, 1]);
+        assert!(sub.inverted().is_none());
     }
 
     #[test]

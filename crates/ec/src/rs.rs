@@ -92,6 +92,25 @@ impl ReedSolomon {
         }
     }
 
+    /// Creates a `(k, n)` codec on the **Cauchy** systematic matrix
+    /// ([`Matrix::systematic_cauchy`]) instead of Vandermonde — the
+    /// construction the integrity/parity tier uses for hot-file parity
+    /// partitions, where the MDS property must hold for every `k`-of-`n`
+    /// subset without an evaluation-point argument.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < k <= n` and `n + k <= 256`.
+    pub fn new_cauchy(k: usize, n: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(n >= k, "n must be at least k");
+        ReedSolomon {
+            k,
+            n,
+            encode: Matrix::systematic_cauchy(n, k),
+        }
+    }
+
     /// Number of data shards.
     pub fn data_shards(&self) -> usize {
         self.k

@@ -123,6 +123,64 @@ proptest! {
         }
     }
 
+    /// Cauchy-RS: **any** `k`-of-`k+r` shard subset decodes the file
+    /// byte-identically — the late-binding guarantee the integrity tier
+    /// leans on when a corrupt partition becomes an erasure.
+    #[test]
+    fn cauchy_any_k_subset_decodes(
+        data in proptest::collection::vec(any::<u8>(), 1..2000),
+        k in 1usize..6,
+        parity in 1usize..4,
+        pick_seed: u64,
+    ) {
+        let n = k + parity;
+        let rs = ReedSolomon::new_cauchy(k, n);
+        let shards = rs.encode_bytes(&data);
+        // Draw a pseudo-random k-subset of the n shards from pick_seed.
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut s = pick_seed;
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        let mut partial: Vec<Option<Vec<u8>>> = vec![None; n];
+        for &i in order.iter().take(k) {
+            partial[i] = Some(shards[i].clone());
+        }
+        let rec = rs.reconstruct_data(&mut partial).unwrap();
+        prop_assert_eq!(&rec[..data.len()], &data[..]);
+        // Every shard (parity included) is restored byte-identically.
+        for (i, sh) in partial.iter().enumerate() {
+            prop_assert_eq!(sh.as_ref().unwrap(), &shards[i], "shard {}", i);
+        }
+    }
+
+    /// Cauchy systematic matrices: every k-row submatrix with distinct
+    /// rows inverts; any submatrix presenting a row twice is singular —
+    /// a duplicated shard can never masquerade as fresh information.
+    #[test]
+    fn cauchy_submatrix_invertibility(
+        k in 2usize..6,
+        parity in 1usize..4,
+        dup_seed: u64,
+    ) {
+        let n = k + parity;
+        let m = Matrix::systematic_cauchy(n, k);
+        // A random distinct k-subset inverts.
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut s = dup_seed;
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        let rows: Vec<usize> = order.iter().take(k).copied().collect();
+        prop_assert!(m.submatrix_rows(&rows).inverted().is_some());
+        // Duplicating any one of those rows makes it singular.
+        let mut dup = rows.clone();
+        dup[0] = dup[1];
+        prop_assert!(m.submatrix_rows(&dup).inverted().is_none());
+    }
+
     /// join ∘ split = id even when asked for fewer bytes than stored.
     #[test]
     fn join_respects_length(

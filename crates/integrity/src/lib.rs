@@ -1,0 +1,152 @@
+//! Partition integrity: a hand-rolled CRC-64 **tree** checksum.
+//!
+//! SP-Cache is redundancy-free, so a flipped bit in a cached partition
+//! would otherwise be served as truth. This crate turns corruption into
+//! an *erasure*: every partition carries a 64-bit checksum computed once
+//! at write/split time; workers re-verify on load and spill reload,
+//! clients on receive, and a mismatch surfaces as a typed error instead
+//! of wrong bytes (see `spcache-store`).
+//!
+//! # Format
+//!
+//! The sum is a two-level tree over CRC-64/XZ (ECMA-182 polynomial,
+//! reflected, init/xorout `!0`):
+//!
+//! 1. the partition is cut into [`LEAF_BYTES`] chunks and each chunk is
+//!    CRC-64'd independently (leaf sums),
+//! 2. the root is the CRC-64 of the little-endian concatenation of the
+//!    leaf sums, with the partition's total length mixed in as a final
+//!    8-byte word (so a truncated partition never collides with its
+//!    zero-extended twin).
+//!
+//! The tree shape keeps the door open for chunk-parallel hashing and
+//! incremental re-verification without changing the stored value; a
+//! single-leaf partition still differs from the plain CRC because the
+//! length word is always mixed in.
+//!
+//! The value `0` is reserved as the **unverified sentinel**: writers
+//! that do not checksum stamp `0`, and verifiers skip such partitions.
+//! [`sum`] never returns `0` for any input (it remaps a real zero root
+//! to a fixed non-zero constant).
+
+/// Leaf chunk size of the checksum tree (64 KiB).
+pub const LEAF_BYTES: usize = 64 * 1024;
+
+/// The unverified sentinel: a stored sum of `0` means "no checksum was
+/// computed"; verification against it always passes.
+pub const UNVERIFIED: u64 = 0;
+
+/// CRC-64/XZ generator polynomial (ECMA-182), reflected form.
+const POLY: u64 = 0xC96C_5795_D787_0F42;
+
+/// The 256-entry CRC table, built once on first use.
+fn table() -> &'static [u64; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u64; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u64; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut crc = i as u64;
+            for _ in 0..8 {
+                crc = if crc & 1 == 1 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            }
+            *slot = crc;
+        }
+        t
+    })
+}
+
+/// Plain CRC-64/XZ of `bytes` — the leaf primitive of the tree.
+pub fn crc64(bytes: &[u8]) -> u64 {
+    let t = table();
+    let mut crc = !0u64;
+    for &b in bytes {
+        crc = t[((crc ^ b as u64) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// The tree checksum of one partition. Never returns [`UNVERIFIED`].
+pub fn sum(bytes: &[u8]) -> u64 {
+    let mut root = Vec::with_capacity((bytes.len() / LEAF_BYTES + 2) * 8);
+    for leaf in bytes.chunks(LEAF_BYTES) {
+        root.extend_from_slice(&crc64(leaf).to_le_bytes());
+    }
+    root.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+    match crc64(&root) {
+        UNVERIFIED => 0x5350_4341_4348_4531, // "SPCACHE1": zero root remapped
+        s => s,
+    }
+}
+
+/// Whether `bytes` matches a stored sum. A stored [`UNVERIFIED`]
+/// sentinel always verifies — the partition was never checksummed.
+pub fn verify(bytes: &[u8], stored: u64) -> bool {
+    stored == UNVERIFIED || sum(bytes) == stored
+}
+
+/// Sums for a slice of partitions (the write/split-time batch helper).
+pub fn sums<B: AsRef<[u8]>>(parts: &[B]) -> Vec<u64> {
+    parts.iter().map(|p| sum(p.as_ref())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc64_known_vector() {
+        // CRC-64/XZ check value from the ECMA-182 reveng catalogue.
+        assert_eq!(crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+        assert_eq!(crc64(b""), 0);
+    }
+
+    #[test]
+    fn sum_is_deterministic_and_nonzero() {
+        for len in [0usize, 1, 63, 64, 1000, LEAF_BYTES, LEAF_BYTES + 1, 3 * LEAF_BYTES + 7] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 31 % 256) as u8).collect();
+            let s = sum(&data);
+            assert_ne!(s, UNVERIFIED, "len {len} produced the sentinel");
+            assert_eq!(s, sum(&data));
+            assert!(verify(&data, s));
+        }
+    }
+
+    #[test]
+    fn any_single_bitflip_is_detected() {
+        let data: Vec<u8> = (0..2 * LEAF_BYTES + 100).map(|i| (i * 7 % 256) as u8).collect();
+        let clean = sum(&data);
+        // Flip one bit at a spread of positions, including leaf
+        // boundaries and the tail.
+        for &pos in &[0, 1, LEAF_BYTES - 1, LEAF_BYTES, 2 * LEAF_BYTES, data.len() - 1] {
+            let mut dirty = data.clone();
+            dirty[pos] ^= 0x40;
+            assert_ne!(sum(&dirty), clean, "flip at {pos} not detected");
+            assert!(!verify(&dirty, clean));
+        }
+    }
+
+    #[test]
+    fn length_extension_does_not_collide() {
+        // A partition and its zero-extended twin must differ even though
+        // the extra leaf is all zeros.
+        let a = vec![9u8; 100];
+        let mut b = a.clone();
+        b.push(0);
+        assert_ne!(sum(&a), sum(&b));
+        // Empty vs one zero byte, the degenerate pair.
+        assert_ne!(sum(&[]), sum(&[0]));
+    }
+
+    #[test]
+    fn unverified_sentinel_always_passes() {
+        assert!(verify(b"anything at all", UNVERIFIED));
+        assert!(verify(b"", UNVERIFIED));
+    }
+
+    #[test]
+    fn batch_sums_match_singles() {
+        let parts = [b"alpha".as_slice(), b"beta".as_slice(), b"".as_slice()];
+        assert_eq!(sums(&parts), vec![sum(b"alpha"), sum(b"beta"), sum(b"")]);
+    }
+}

@@ -3,7 +3,7 @@
 //! ```text
 //! spcached worker --id N --bind ADDR [--seed S] [--bandwidth B]
 //!                 [--io-shards N] [--memory-budget BYTES]
-//!                 [--background-fraction F]
+//!                 [--background-fraction F] [--verify-reads]
 //! spcached master --bind ADDR --workers ADDR1,ADDR2,...
 //!                 [--no-supervisor] [--heartbeat-ms MS]
 //!                 [--meta-dir DIR] [--force-active]
@@ -46,6 +46,13 @@
 //! `--background-fraction F` (in `(0, 1]`, default 1.0) carves out the
 //! share of the worker's NIC granted to background traffic — recovery
 //! sweeps, repartition moves, spill/reload writebacks.
+//!
+//! `--verify-reads` makes the worker recompute each partition's CRC-64
+//! checksum before serving it (DESIGN.md §4.15); a mismatch erases the
+//! local copies and answers a typed `Corrupt` erasure instead of wrong
+//! bytes. Spill reloads are *always* verified, flag or no flag. Every
+//! detected corruption is logged as `CORRUPT <file> <partition>` on
+//! stderr.
 
 use spcache_net::{MasterClient, MasterServer, WorkerServer};
 use spcache_store::backing::UnderStore;
@@ -63,7 +70,8 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  spcached worker --id N --bind ADDR [--seed S] [--bandwidth B] \
-         [--io-shards N] [--memory-budget BYTES] [--background-fraction F]\n  \
+         [--io-shards N] [--memory-budget BYTES] [--background-fraction F] \
+         [--verify-reads]\n  \
          spcached master --bind ADDR --workers ADDR1,ADDR2,... \
          [--no-supervisor] [--heartbeat-ms MS] [--meta-dir DIR] [--force-active] \
          [--standby --peer ADDR [--poll-ms MS] [--takeover-after N]]"
@@ -115,6 +123,12 @@ fn run_worker(args: &[String]) {
         }
         cfg = cfg.with_background_fraction(frac);
     }
+    if args.iter().any(|a| a == "--verify-reads") {
+        cfg = cfg.with_verify_reads(true);
+    }
+    // The daemon always reports corruption events: a bitflip in a cache
+    // node is an operator-visible incident, not a silent retry.
+    cfg = cfg.with_corruption_log(true);
     let log = Arc::new(FaultLog::new());
     // A standalone worker has no shared under-store to spill into, so a
     // budgeted one backs itself privately (spawn_worker_opts does this).

@@ -31,7 +31,11 @@ use std::io::{self, Read, Write};
 /// Protocol version stamped into every frame. Peers reject frames with
 /// any other value, so incompatible protocol revisions fail loudly at
 /// the first message instead of corrupting state.
-pub const WIRE_VERSION: u8 = 1;
+///
+/// v2: `Put` carries a per-partition checksum, `GetParity` and the
+/// `Corrupt` error kind exist, and the stats frame grew the integrity
+/// counters (§4.15).
+pub const WIRE_VERSION: u8 = 2;
 
 /// Hard ceiling on `len` (1 GiB). A corrupt or hostile length prefix
 /// must not make a reader allocate unbounded memory.
@@ -57,6 +61,7 @@ pub(crate) const OP_FENCED: u8 = 0x09;
 pub(crate) const OP_SET_EPOCH: u8 = 0x0A;
 pub(crate) const OP_BACKGROUND: u8 = 0x0B;
 pub(crate) const OP_SET_MASTER_EPOCH: u8 = 0x0C;
+pub(crate) const OP_GET_PARITY: u8 = 0x0D;
 pub(crate) const OP_R_DONE: u8 = 0x41;
 pub(crate) const OP_R_DATA: u8 = 0x42;
 pub(crate) const OP_R_FLAG: u8 = 0x43;
@@ -74,6 +79,7 @@ const ERR_IO: u8 = 6;
 const ERR_CODEC: u8 = 7;
 const ERR_STALE_EPOCH: u8 = 8;
 const ERR_DEGRADED: u8 = 9;
+const ERR_CORRUPT: u8 = 10;
 
 fn codec(msg: impl Into<String>) -> StoreError {
     StoreError::Codec(msg.into())
@@ -315,20 +321,22 @@ impl FrameBuilder {
 /// fields, not bulk data).
 pub fn encode_request_parts(req: &Request, req_id: u64) -> WireFrame {
     match req {
-        Request::Put { key, data } => FrameBuilder::new(OP_PUT, req_id)
+        Request::Put { key, data, sum } => FrameBuilder::new(OP_PUT, req_id)
             .key(*key)
+            .u64(*sum)
             .finish_parts(data.clone()),
         Request::Fenced { epoch, master, inner } => match &**inner {
             // The fenced body embeds the inner frame minus its length
             // prefix; for a fenced Put the inner header is appended to
             // the outer one and the payload still rides zero-copy.
-            Request::Put { key, data } => FrameBuilder::new(OP_FENCED, req_id)
+            Request::Put { key, data, sum } => FrameBuilder::new(OP_FENCED, req_id)
                 .u64(*epoch)
                 .u64(*master)
                 .u8(WIRE_VERSION)
                 .u8(OP_PUT)
                 .u64(req_id)
                 .key(*key)
+                .u64(*sum)
                 .finish_parts(data.clone()),
             _ => WireFrame::contiguous(encode_request(req, req_id)),
         },
@@ -348,11 +356,17 @@ pub fn encode_reply_parts(reply: &Reply, req_id: u64) -> WireFrame {
 /// Encodes one worker-protocol request into a wire frame.
 pub fn encode_request(req: &Request, req_id: u64) -> Vec<u8> {
     match req {
-        Request::Put { key, data } => FrameBuilder::new(OP_PUT, req_id)
+        // The checksum rides between the key and the payload tail (the
+        // payload must stay last for the zero-copy `rest()` decode).
+        Request::Put { key, data, sum } => FrameBuilder::new(OP_PUT, req_id)
             .key(*key)
+            .u64(*sum)
             .bytes(data)
             .finish(),
         Request::Get { key } => FrameBuilder::new(OP_GET, req_id).key(*key).finish(),
+        Request::GetParity { key } => {
+            FrameBuilder::new(OP_GET_PARITY, req_id).key(*key).finish()
+        }
         Request::GetRange { key, offset, len } => FrameBuilder::new(OP_GET_RANGE, req_id)
             .key(*key)
             .u64(*offset)
@@ -399,10 +413,12 @@ pub fn decode_request(frame: &Frame) -> Result<Request, StoreError> {
     let req = match frame.opcode {
         OP_PUT => {
             let key = c.key()?;
+            let sum = c.u64()?;
             let data = c.rest();
-            Request::Put { key, data }
+            Request::Put { key, data, sum }
         }
         OP_GET => Request::Get { key: c.key()? },
+        OP_GET_PARITY => Request::GetParity { key: c.key()? },
         OP_GET_RANGE => Request::GetRange {
             key: c.key()?,
             offset: c.u64()?,
@@ -468,6 +484,7 @@ fn encode_err(b: FrameBuilder, e: &StoreError) -> FrameBuilder {
         StoreError::Codec(msg) => b.u8(ERR_CODEC).string(msg),
         StoreError::StaleEpoch(w) => b.u8(ERR_STALE_EPOCH).u64(*w as u64),
         StoreError::Degraded(id) => b.u8(ERR_DEGRADED).u64(*id),
+        StoreError::Corrupt(k) => b.u8(ERR_CORRUPT).key(*k),
     }
 }
 
@@ -495,6 +512,7 @@ fn decode_err(c: &mut Cursor) -> Result<StoreError, StoreError> {
         ERR_CODEC => StoreError::Codec(c.string()?),
         ERR_STALE_EPOCH => StoreError::StaleEpoch(c.u64()? as usize),
         ERR_DEGRADED => StoreError::Degraded(c.u64()?),
+        ERR_CORRUPT => StoreError::Corrupt(c.key()?),
         k => return Err(codec(format!("unknown error kind {k}"))),
     })
 }
@@ -516,6 +534,9 @@ pub fn encode_reply(reply: &Reply, req_id: u64) -> Vec<u8> {
             .u64(s.spilled_bytes)
             .u64(s.reloaded_bytes)
             .u64(s.resident_bytes)
+            .u64(s.corruptions_detected)
+            .u64(s.parity_bytes)
+            .u64(s.decode_reconstructions)
             .finish(),
         Reply::Pong { worker, epoch } => FrameBuilder::new(OP_R_PONG, req_id)
             .u64(*worker as u64)
@@ -549,6 +570,9 @@ pub fn decode_reply(frame: &Frame) -> Result<Reply, StoreError> {
             spilled_bytes: c.u64()?,
             reloaded_bytes: c.u64()?,
             resident_bytes: c.u64()?,
+            corruptions_detected: c.u64()?,
+            parity_bytes: c.u64()?,
+            decode_reconstructions: c.u64()?,
         }),
         OP_R_PONG => Reply::Pong {
             worker: c.u64()? as usize,
@@ -636,9 +660,18 @@ mod tests {
         roundtrip_req(Request::Put {
             key: PartKey::new(9, 3),
             data: Bytes::from(vec![1, 2, 3]),
+            sum: 0,
+        });
+        roundtrip_req(Request::Put {
+            key: PartKey::parity(9, 1),
+            data: Bytes::from(vec![1, 2, 3]),
+            sum: u64::MAX,
         });
         roundtrip_req(Request::Get {
             key: PartKey::new(0, u32::MAX),
+        });
+        roundtrip_req(Request::GetParity {
+            key: PartKey::parity(7, 0),
         });
         roundtrip_req(Request::GetRange {
             key: PartKey::new(5, 1).staged(),
@@ -672,6 +705,7 @@ mod tests {
             inner: Box::new(Request::Put {
                 key: PartKey::new(9, 0),
                 data: Bytes::from(vec![5, 6, 7]),
+                sum: 42,
             }),
         });
         roundtrip_req(Request::Fenced {
@@ -690,6 +724,7 @@ mod tests {
             inner: Box::new(Request::Put {
                 key: PartKey::new(9, 0),
                 data: Bytes::from(vec![5, 6, 7]),
+                sum: 7,
             }),
         });
         // The canonical full nesting: fence outside, class inside.
@@ -697,6 +732,7 @@ mod tests {
             Request::Put {
                 key: PartKey::new(9, 0),
                 data: Bytes::from(vec![8, 9]),
+                sum: 1,
             }
             .background()
             .fenced(3),
@@ -772,8 +808,12 @@ mod tests {
             spilled_bytes: 8,
             reloaded_bytes: 9,
             resident_bytes: 10,
+            corruptions_detected: 11,
+            parity_bytes: 12,
+            decode_reconstructions: 13,
         }));
         roundtrip_reply(Reply::Err(StoreError::NotFound(PartKey::new(3, 1))));
+        roundtrip_reply(Reply::Err(StoreError::Corrupt(PartKey::parity(3, 1))));
         roundtrip_reply(Reply::Err(StoreError::WorkerDown(2)));
         roundtrip_reply(Reply::Err(StoreError::UnknownFile(7)));
         roundtrip_reply(Reply::Err(StoreError::AlreadyExists(7)));
@@ -791,6 +831,7 @@ mod tests {
             &Request::Put {
                 key: PartKey::new(1, 0),
                 data: data.clone(),
+                sum: 99,
             },
             1,
         );
@@ -814,14 +855,19 @@ mod tests {
             Request::Put {
                 key,
                 data: data.clone(),
+                sum: 0xDEAD_BEEF,
             },
             Request::Get { key },
+            Request::GetParity {
+                key: PartKey::parity(11, 0),
+            },
             Request::Fenced {
                 epoch: 42,
                 master: 6,
                 inner: Box::new(Request::Put {
                     key,
                     data: data.clone(),
+                    sum: 0xFEED_FACE,
                 }),
             },
             Request::Fenced {

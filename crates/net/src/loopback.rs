@@ -177,7 +177,9 @@ impl TcpCluster {
             .with_retry(self.cfg.retry)
             .with_hedge(self.cfg.hedge)
             .with_fencing(self.cfg.supervisor.enabled)
-            .with_degraded_policy(self.cfg.supervisor.degraded);
+            .with_degraded_policy(self.cfg.supervisor.degraded)
+            .with_verify(self.cfg.verify_reads)
+            .with_parity(self.cfg.parity);
         if let Some(under) = &self.under {
             c = c.with_under_store(under.clone());
         }

@@ -29,6 +29,7 @@ use mio::{Events, Interest, Poll, Token, Waker};
 use parking_lot::Mutex;
 use spcache_core::tuner::TunerConfig;
 use spcache_store::master::{Master, MetaService};
+use spcache_store::FileIntegrity;
 use spcache_store::repartitioner::{run_parallel_with_deadline, DEFAULT_EXECUTOR_DEADLINE};
 use spcache_store::rpc::{StoreError, MASTER_ENDPOINT};
 use std::collections::HashMap;
@@ -65,6 +66,8 @@ const MOP_STATUS: u8 = 0x92;
 const MOP_LOG_TAIL: u8 = 0x93;
 const MOP_TAKEOVER: u8 = 0x94;
 const MOP_REGISTER_BATCH: u8 = 0x95;
+const MOP_SET_INTEGRITY: u8 = 0x96;
+const MOP_INTEGRITY: u8 = 0x97;
 const MOP_R_DONE: u8 = 0xC1;
 const MOP_R_INFO: u8 = 0xC2;
 const MOP_R_MAYBE: u8 = 0xC3;
@@ -79,6 +82,7 @@ const MOP_R_EPOCH: u8 = 0xCB;
 const MOP_R_REDIRECT: u8 = 0xCC;
 const MOP_R_STATUS: u8 = 0xCD;
 const MOP_R_LOG: u8 = 0xCE;
+const MOP_R_INTEGRITY: u8 = 0xCF;
 
 fn codec(msg: impl Into<String>) -> StoreError {
     StoreError::Codec(msg.into())
@@ -201,6 +205,19 @@ pub enum MetaRequest {
         /// The rows, in registration order.
         entries: Vec<(u64, u64, Vec<usize>)>,
     },
+    /// `MetaService::set_integrity` (§4.15): record or clear a file's
+    /// checksum + parity row.
+    SetIntegrity {
+        /// File id.
+        id: u64,
+        /// The row (empty = clear).
+        integrity: FileIntegrity,
+    },
+    /// `MetaService::integrity`: fetch a file's integrity row.
+    Integrity {
+        /// File id.
+        id: u64,
+    },
     /// Stop the master server.
     Shutdown,
 }
@@ -265,8 +282,30 @@ pub enum MetaReply {
         /// Concatenated wire records, oldest first.
         bytes: Vec<u8>,
     },
+    /// `Integrity` result: the row, when one is recorded.
+    IntegrityRow(Option<FileIntegrity>),
     /// The request failed.
     Err(StoreError),
+}
+
+/// Appends a [`FileIntegrity`] body: the checksum list, then the
+/// `(server, sum)` parity pairs.
+fn put_integrity(b: FrameBuilder, fi: &FileIntegrity) -> FrameBuilder {
+    let mut b = b.u64_list(&fi.sums).u32(fi.parity.len() as u32);
+    for &(server, sum) in &fi.parity {
+        b = b.u64(server as u64).u64(sum);
+    }
+    b
+}
+
+/// Decodes a [`FileIntegrity`] body (guarded against length lies).
+fn read_integrity(c: &mut crate::frame::Cursor) -> Result<FileIntegrity, StoreError> {
+    let sums = c.u64_list()?;
+    let n = c.guarded_count(16)?;
+    let parity = (0..n)
+        .map(|_| Ok((c.u64()? as usize, c.u64()?)))
+        .collect::<Result<Vec<_>, StoreError>>()?;
+    Ok(FileIntegrity { sums, parity })
 }
 
 /// Encodes one metadata request into a wire frame.
@@ -332,6 +371,14 @@ pub fn encode_meta_request(req: &MetaRequest, req_id: u64) -> Vec<u8> {
             }
             b.finish()
         }
+        MetaRequest::SetIntegrity { id, integrity } => put_integrity(
+            FrameBuilder::new(MOP_SET_INTEGRITY, req_id).u64(*id),
+            integrity,
+        )
+        .finish(),
+        MetaRequest::Integrity { id } => {
+            FrameBuilder::new(MOP_INTEGRITY, req_id).u64(*id).finish()
+        }
         MetaRequest::Shutdown => FrameBuilder::new(MOP_SHUTDOWN, req_id).finish(),
     }
 }
@@ -384,6 +431,11 @@ pub fn decode_meta_request(frame: &Frame) -> Result<MetaRequest, StoreError> {
                 .collect::<Result<Vec<_>, StoreError>>()?;
             MetaRequest::RegisterBatch { entries }
         }
+        MOP_SET_INTEGRITY => MetaRequest::SetIntegrity {
+            id: c.u64()?,
+            integrity: read_integrity(&mut c)?,
+        },
+        MOP_INTEGRITY => MetaRequest::Integrity { id: c.u64()? },
         MOP_SHUTDOWN => MetaRequest::Shutdown,
         op => return Err(codec(format!("unknown meta request opcode {op:#04x}"))),
     };
@@ -436,6 +488,13 @@ pub fn encode_meta_reply(reply: &MetaReply, req_id: u64) -> Vec<u8> {
             .u64(*next_lsn)
             .bytes(bytes)
             .finish(),
+        MetaReply::IntegrityRow(opt) => {
+            let b = FrameBuilder::new(MOP_R_INTEGRITY, req_id);
+            match opt {
+                None => b.u8(0).finish(),
+                Some(fi) => put_integrity(b.u8(1), fi).finish(),
+            }
+        }
         MetaReply::Err(e) => crate::frame::encode_err_frame(MOP_R_ERR, req_id, e),
     }
 }
@@ -478,6 +537,11 @@ pub fn decode_meta_reply(frame: &Frame) -> Result<MetaReply, StoreError> {
         MOP_R_LOG => MetaReply::Log {
             next_lsn: c.u64()?,
             bytes: c.rest().to_vec(),
+        },
+        MOP_R_INTEGRITY => match c.u8()? {
+            0 => MetaReply::IntegrityRow(None),
+            1 => MetaReply::IntegrityRow(Some(read_integrity(&mut c)?)),
+            t => return Err(codec(format!("bad option tag {t}"))),
         },
         MOP_R_ERR => MetaReply::Err(c.store_error()?),
         op => return Err(codec(format!("unknown meta reply opcode {op:#04x}"))),
@@ -944,6 +1008,13 @@ fn serve_meta(
                 Err(e) => MetaReply::Err(e),
             }
         }
+        MetaRequest::SetIntegrity { id, integrity } => {
+            match master.set_integrity(id, integrity) {
+                Ok(()) => MetaReply::Done,
+                Err(e) => MetaReply::Err(e),
+            }
+        }
+        MetaRequest::Integrity { id } => MetaReply::IntegrityRow(master.integrity(id)),
         MetaRequest::Shutdown => MetaReply::Done,
     }
 }
@@ -1267,5 +1338,19 @@ impl MetaService for MasterClient {
                 .map(|(id, size, servers)| (*id, *size as u64, servers.clone()))
                 .collect(),
         })
+    }
+
+    fn set_integrity(&self, id: u64, integrity: FileIntegrity) -> Result<(), StoreError> {
+        self.expect_done(&MetaRequest::SetIntegrity { id, integrity })
+    }
+
+    fn integrity(&self, id: u64) -> Option<FileIntegrity> {
+        match self.roundtrip(&MetaRequest::Integrity { id }) {
+            Ok(MetaReply::IntegrityRow(row)) => row,
+            // Unreachable master: no row means reads skip verification
+            // and parity recovery — degraded but never wrong (the worker
+            // and framing checks still hold).
+            _ => None,
+        }
     }
 }

@@ -238,7 +238,9 @@ impl WorkerServer {
         )
         .with_memory_budget(cfg.memory_budget)
         .with_background_fraction(cfg.background_fraction)
-        .with_max_transfer_wait(Some(cfg.executor_deadline));
+        .with_max_transfer_wait(Some(cfg.executor_deadline))
+        .with_verify_reads(cfg.verify_reads)
+        .with_corruption_log(cfg.log_corruptions);
         if let Some(u) = spill {
             opts = opts.with_spill(u);
         }

@@ -13,6 +13,7 @@ use spcache_net::master_net::{
     MetaRequest,
 };
 use spcache_store::rpc::{PartKey, Reply, Request, StoreError, WorkerStats};
+use spcache_store::FileIntegrity;
 
 /// Strips the 4-byte length prefix off an `encode_*` result, yielding
 /// the frame buffer `read_frame` would hand to `Frame::parse`.
@@ -52,15 +53,17 @@ proptest! {
         staged: bool,
         req_id in 0u64..u64::MAX,
         data in proptest::collection::vec(0u8..=255, 0..4_096),
+        sum in 0u64..u64::MAX,
     ) {
         let key = key_from(file, part, staged);
-        let req = Request::Put { key, data: Bytes::from(data.clone()) };
+        let req = Request::Put { key, data: Bytes::from(data.clone()), sum };
         let (rid, decoded) = req_roundtrip(&req, req_id);
         prop_assert_eq!(rid, req_id);
         match decoded {
-            Request::Put { key: k, data: d } => {
+            Request::Put { key: k, data: d, sum: s } => {
                 prop_assert_eq!(k, key);
                 prop_assert_eq!(&d[..], &data[..]);
+                prop_assert_eq!(s, sum);
             }
             other => prop_assert!(false, "wrong variant: {:?}", other),
         }
@@ -141,9 +144,13 @@ proptest! {
                 spilled_bytes: bytes_out / 3,
                 reloaded_bytes: bytes_out / 4,
                 resident_bytes: bytes_out / 5,
+                corruptions_detected: served / 7,
+                parity_bytes: bytes_out / 6,
+                decode_reconstructions: served / 9,
             }),
             Reply::Pong { worker: w, epoch: served },
             Reply::Err(StoreError::NotFound(key)),
+            Reply::Err(StoreError::Corrupt(key)),
             Reply::Err(StoreError::WorkerDown(w)),
             Reply::Err(StoreError::UnknownFile(file)),
             Reply::Err(StoreError::AlreadyExists(file)),
@@ -196,6 +203,14 @@ proptest! {
             MetaRequest::RegisterBatch {
                 entries: files.iter().map(|&f| (f, size, servers.clone())).collect(),
             },
+            MetaRequest::SetIntegrity {
+                id: file,
+                integrity: FileIntegrity {
+                    sums: files.clone(),
+                    parity: servers.iter().map(|&sv| (sv, seed ^ sv as u64)).collect(),
+                },
+            },
+            MetaRequest::Integrity { id: file },
             MetaRequest::Shutdown,
         ] {
             let frame =
@@ -219,6 +234,11 @@ proptest! {
             MetaReply::Redirect { to: String::new() },
             MetaReply::Status { epoch: size, active: flag, files: n, next_lsn: seed },
             MetaReply::Log { next_lsn: size, bytes: files.iter().flat_map(|f| f.to_le_bytes()).collect() },
+            MetaReply::IntegrityRow(None),
+            MetaReply::IntegrityRow(Some(FileIntegrity {
+                sums: files.clone(),
+                parity: servers.iter().map(|&sv| (sv, seed ^ sv as u64)).collect(),
+            })),
             MetaReply::Err(StoreError::UnknownFile(file)),
         ] {
             let frame =
@@ -241,7 +261,7 @@ proptest! {
         flip in 1u8..=255,
     ) {
         let wire =
-            encode_request(&Request::Put { key: PartKey::new(file, part), data: Bytes::from(data) }, req_id);
+            encode_request(&Request::Put { key: PartKey::new(file, part), data: Bytes::from(data), sum: 7 }, req_id);
         let mut bytes = wire[4..].to_vec();
         let pos = pos_seed % bytes.len();
         bytes[pos] ^= flip;
@@ -325,7 +345,7 @@ proptest! {
         cut_seed in 0usize..usize::MAX,
     ) {
         let wire =
-            encode_request(&Request::Put { key: PartKey::new(file, part), data: Bytes::from(data) }, req_id);
+            encode_request(&Request::Put { key: PartKey::new(file, part), data: Bytes::from(data), sum: 7 }, req_id);
         // Cut strictly inside the message (cut = 0 is a clean close,
         // covered by the unit tests as `Ok(None)`).
         let cut = 1 + cut_seed % (wire.len() - 1);
@@ -421,6 +441,7 @@ fn batched_stream(msgs: &[(u64, Vec<u8>)]) -> (Vec<u8>, Vec<usize>, Vec<(u64, Re
         let req = Request::Put {
             key: PartKey::new(req_id ^ 0xABCD, (*req_id % 7_919) as u32),
             data: Bytes::from(data.clone()),
+            sum: *req_id ^ 0x5A5A,
         };
         stream.extend_from_slice(&encode_request(&req, *req_id));
         boundaries.push(stream.len());
@@ -521,6 +542,7 @@ fn codec_edges() {
         &Request::Put {
             key: PartKey::new(0, 0),
             data: Bytes::from(Vec::new()),
+            sum: 0,
         },
         0,
     );

@@ -148,7 +148,7 @@ fn shutdown_drains_queued_requests() {
             let key = PartKey::new(7, i).staged();
             let data = payload(u64::from(i), 1_500);
             let rx = transport
-                .submit(0, Request::Put { key, data: data.clone().into() })
+                .submit(0, Request::Put { key, data: data.clone().into(), sum: 0 })
                 .unwrap();
             (key, data, rx)
         })

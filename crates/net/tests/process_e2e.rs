@@ -262,7 +262,7 @@ fn kill_nine_and_restart_reregisters_with_a_fresh_epoch() {
     for stale in 1..fresh_epoch {
         for req in [
             Request::Get { key },
-            Request::Put { key, data: payload(9, 64).into() },
+            Request::Put { key, data: payload(9, 64).into(), sum: 0 },
         ] {
             match transport.call(VICTIM, req.fenced(stale), Duration::from_secs(2)).unwrap() {
                 Reply::Err(StoreError::StaleEpoch(w)) => assert_eq!(w, VICTIM),
@@ -274,7 +274,7 @@ fn kill_nine_and_restart_reregisters_with_a_fresh_epoch() {
     transport
         .call(
             VICTIM,
-            Request::Put { key, data: payload(9, 64).into() }.fenced(fresh_epoch),
+            Request::Put { key, data: payload(9, 64).into(), sum: 0 }.fenced(fresh_epoch),
             Duration::from_secs(2),
         )
         .unwrap()

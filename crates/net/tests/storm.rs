@@ -83,6 +83,7 @@ fn thousand_client_storm_loses_and_crosses_no_replies() {
                                 Request::Put {
                                     key,
                                     data: value(c, version).into(),
+                                    sum: 0,
                                 },
                             )
                             .expect("put submission failed");

@@ -352,8 +352,13 @@ pub fn recover_file(
     let result = (|| {
         let data = under.load(id).ok_or(StoreError::UnknownFile(id))?;
         let (_, old_servers) = master.peek(id)?;
-        client.push_partitions(id, &data, new_servers)?;
+        let sums = client.push_partitions(id, &data, new_servers)?;
         master.apply_placement(id, new_servers.to_vec())?;
+        // The placement swap invalidated the old integrity row; record
+        // a fresh data-only one so verified reads keep working. The heal
+        // does not re-encode parity (the checkpoint remains the second
+        // copy until the next full write); best-effort, like the GC.
+        let _ = master.set_integrity(id, crate::metalog::FileIntegrity::data_only(sums));
         // GC partitions of the old layout that the new one did not
         // overwrite (same index on the same server). Dead holders are
         // skipped silently — their copies died with them.

@@ -6,7 +6,7 @@ use bytes::Bytes;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Select, TryRecvError};
 use parking_lot::Mutex;
 use spcache_core::online::partition_range;
-use spcache_ec::split_shards_bytes;
+use spcache_ec::{split_shards_bytes, ReedSolomon};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 use crate::backing::UnderStore;
 use crate::config::{DegradedPolicy, HedgePolicy, RetryPolicy};
 use crate::master::MetaService;
+use crate::metalog::FileIntegrity;
 use crate::rpc::{PartKey, Reply, Request, StoreError};
 use crate::transport::Transport;
 
@@ -80,6 +81,17 @@ pub struct Client {
     /// Cached per-worker epoch table, shared across clones; refreshed
     /// from the master whenever a worker bounces a stale stamp.
     epochs: Arc<Mutex<Vec<u64>>>,
+    /// Whether reads re-verify each landed partition against the
+    /// master's checksum row (§4.15). Off by default: workers already
+    /// verify when their `verify_reads` knob is on, and the wire adds
+    /// its own framing CRCs — this knob adds the end-to-end check.
+    verify: bool,
+    /// How many Cauchy-RS parity partitions each write fans out (onto
+    /// workers outside the file's data placement). 0 = redundancy-free
+    /// (the seed behaviour); `r ≥ 1` lets a read rebuild a corrupt or
+    /// lost partition from any `k` of the `k + r` partitions without an
+    /// under-store round-trip.
+    parity: usize,
 }
 
 impl Client {
@@ -101,6 +113,8 @@ impl Client {
             background: false,
             master_stamp: false,
             epochs: Arc::new(Mutex::new(Vec::new())),
+            verify: false,
+            parity: 0,
         }
     }
 
@@ -160,6 +174,26 @@ impl Client {
     /// [`MetaService`] impls report epoch 0, which stamps nothing.
     pub fn with_master_stamp(mut self, master_stamp: bool) -> Self {
         self.master_stamp = master_stamp;
+        self
+    }
+
+    /// Enables end-to-end read verification (builder style): every
+    /// landed partition is checked against the master's checksum row,
+    /// and a mismatch surfaces as a [`StoreError::Corrupt`] erasure
+    /// instead of wrong bytes. Writes from a verifying client always
+    /// record an integrity row.
+    pub fn with_verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
+    }
+
+    /// Sets the per-file parity width `r` (builder style): each write
+    /// additionally encodes `r` Cauchy-RS parity partitions placed on
+    /// workers *outside* the data placement, enabling the
+    /// corruption-to-erasure recovery path of §4.15. Clamped per write
+    /// to the number of spare workers.
+    pub fn with_parity(mut self, parity: usize) -> Self {
+        self.parity = parity;
         self
     }
 
@@ -224,8 +258,16 @@ impl Client {
     /// is taken.
     pub fn write_bytes(&self, id: u64, data: Bytes, servers: &[usize]) -> Result<(), StoreError> {
         let size = data.len();
-        self.push_partitions(id, &data, servers)?;
-        self.master.register(id, size, servers.to_vec())
+        let sums = self.push_partitions(id, &data, servers)?;
+        self.master.register(id, size, servers.to_vec())?;
+        if self.verify || self.parity > 0 {
+            // Record the integrity row only after the file exists: the
+            // checksums describe exactly the partitions just pushed, and
+            // the parity map tells readers where the recovery set lives.
+            let parity = self.push_parity(id, &data, servers)?;
+            self.master.set_integrity(id, FileIntegrity { sums, parity })?;
+        }
+        Ok(())
     }
 
     /// Writes a whole batch of files in one wave: every file's
@@ -252,20 +294,24 @@ impl Client {
         let mut reqs = Vec::new();
         let mut targets = Vec::new();
         let mut rows = Vec::with_capacity(files.len());
+        let mut integrity = Vec::with_capacity(files.len());
         for (id, data, servers) in files {
             assert!(!servers.is_empty(), "need at least one target server");
             let shards = split_shards_bytes(data, servers.len());
+            let sums = spcache_integrity::sums(&shards);
             for (j, (shard, &server)) in shards.into_iter().zip(servers).enumerate() {
                 reqs.push((
                     server,
                     Request::Put {
                         key: PartKey::new(*id, j as u32),
                         data: shard,
+                        sum: sums[j],
                     },
                 ));
                 targets.push(server);
             }
             rows.push((*id, data.len(), servers.clone()));
+            integrity.push((*id, sums));
         }
         let rxs = self.submit_batch(reqs)?;
         let deadline = Instant::now() + self.retry.deadline;
@@ -273,22 +319,34 @@ impl Client {
             let remaining = deadline.saturating_duration_since(Instant::now());
             self.await_reply(server, &rx, remaining)?.unit()?;
         }
-        self.master.register_batch(&rows)
+        self.master.register_batch(&rows)?;
+        if self.verify || self.parity > 0 {
+            // The bulk-seeding path records checksum rows but skips the
+            // parity fan-out (seed corpora are re-derivable; parity is
+            // for the hot set written through `write_bytes`).
+            for (id, sums) in integrity {
+                self.master.set_integrity(id, FileIntegrity::data_only(sums))?;
+            }
+        }
+        Ok(())
     }
 
     /// Pushes `data` re-split into `servers.len()` partition views under
     /// this file's keys without touching metadata — the building block
     /// shared by [`Client::write_bytes`] and under-store recovery
     /// ([`crate::backing::recover_file`]). The views share `data`'s
-    /// allocation (see [`split_shards_bytes`]).
+    /// allocation (see [`split_shards_bytes`]). Returns the partitions'
+    /// checksums (each Put is stamped with its shard's sum, so workers
+    /// can verify later reads and spill reloads).
     pub(crate) fn push_partitions(
         &self,
         id: u64,
         data: &Bytes,
         servers: &[usize],
-    ) -> Result<(), StoreError> {
+    ) -> Result<Vec<u64>, StoreError> {
         assert!(!servers.is_empty(), "need at least one target server");
         let shards = split_shards_bytes(data, servers.len());
+        let sums = spcache_integrity::sums(&shards);
 
         // Fire all puts as ONE batch (socket transports coalesce the
         // frames into shared `writev` rounds), then collect completions
@@ -305,6 +363,7 @@ impl Client {
                     Request::Put {
                         key: PartKey::new(id, j as u32),
                         data: shard,
+                        sum: sums[j],
                     },
                 )
             })
@@ -316,7 +375,60 @@ impl Client {
             let remaining = deadline.saturating_duration_since(Instant::now());
             self.await_reply(server, &rx, remaining)?.unit()?;
         }
-        Ok(())
+        Ok(sums)
+    }
+
+    /// Encodes and pushes this file's Cauchy-RS parity partitions onto
+    /// workers *outside* its data placement, so no single worker holds
+    /// both a data partition and the parity needed to rebuild it.
+    /// Returns the `(server, checksum)` pair per parity index — the
+    /// parity half of the master's integrity row. The configured width
+    /// is clamped to the number of spare workers (a fleet with no spare
+    /// gets no parity; the read path then heals via the under-store).
+    fn push_parity(
+        &self,
+        id: u64,
+        data: &Bytes,
+        servers: &[usize],
+    ) -> Result<Vec<(usize, u64)>, StoreError> {
+        let k = servers.len();
+        let spare: Vec<usize> = (0..self.transport.n_workers())
+            .filter(|w| !servers.contains(w))
+            .collect();
+        let r = self.parity.min(spare.len());
+        if r == 0 {
+            return Ok(Vec::new());
+        }
+        let mut shards = ReedSolomon::new_cauchy(k, k + r).encode_bytes(data);
+        let parity: Vec<Bytes> = shards.split_off(k).into_iter().map(Bytes::from).collect();
+        let sums = spcache_integrity::sums(&parity);
+        // Rotate the spare list by file id so parity load spreads across
+        // the fleet instead of piling onto the lowest-indexed workers.
+        let rot = (id as usize) % spare.len();
+        let place = |p: usize| spare[(rot + p) % spare.len()];
+        let reqs = parity
+            .into_iter()
+            .enumerate()
+            .map(|(p, shard)| {
+                (
+                    place(p),
+                    Request::Put {
+                        key: PartKey::parity(id, p as u32),
+                        data: shard,
+                        sum: sums[p],
+                    },
+                )
+            })
+            .collect();
+        let rxs = self.submit_batch(reqs)?;
+        let deadline = Instant::now() + self.retry.deadline;
+        let mut row = Vec::with_capacity(r);
+        for (p, rx) in rxs.iter().enumerate() {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            self.await_reply(place(p), rx, remaining)?.unit()?;
+            row.push((place(p), sums[p]));
+        }
+        Ok(row)
     }
 
     /// Best-effort partition drop on one worker (recovery GC); errors
@@ -403,15 +515,58 @@ impl Client {
                 self.master.peek(id)
             };
             let (size, servers) = located?;
+            // The integrity row travels beside the placement: the
+            // checksum half drives end-to-end verification, the parity
+            // half names the recovery set (§4.15).
+            let integ = if self.verify {
+                self.master.integrity(id)
+            } else {
+                None
+            };
+            let sums = integ
+                .as_ref()
+                .map(|i| i.sums.as_slice())
+                // A row of the wrong width predates a re-split that has
+                // not recorded fresh sums yet — don't verify against it.
+                .filter(|s| s.len() == servers.len());
             let mut sink = if contiguous {
                 ReadSink::contiguous(size, servers.len())
             } else {
                 ReadSink::parts(servers.len())
             };
-            let err = match self.fetch_into(id, size, &servers, &mut sink) {
+            let err = match self.fetch_into(id, size, &servers, sums, &mut sink) {
                 Ok(()) => return Ok(sink.finish(size)),
                 Err(e) => e,
             };
+            // A corrupt partition is an *erasure* — and so is a lost
+            // one (`NotFound` with no spill copy left). The parity set
+            // exists for exactly this: rebuild the file from any `k` of
+            // its `k + r` verified partitions, with no under-store
+            // round-trip. This is part of the same read attempt (it
+            // runs even under a single-attempt policy); failure here
+            // (parity unreachable, too few verified shards) falls
+            // through to the heal-and-retry path.
+            if matches!(err, StoreError::Corrupt(_) | StoreError::NotFound(_)) {
+                let row = match integ {
+                    Some(i) => Some(i),
+                    // Workers verify even when this client doesn't
+                    // (e.g. `verify_reads` on the fleet only): fetch
+                    // the row we skipped above.
+                    None => self.master.integrity(id),
+                };
+                let row = row
+                    .filter(|r| !r.parity.is_empty() && r.sums.len() == servers.len());
+                if let Some(row) = row {
+                    if let Ok(parts) = self.read_via_parity(id, size, &servers, &row) {
+                        let f = ScatteredFile { size, parts };
+                        return Ok(if contiguous {
+                            ReadOut::Contiguous(gather(f))
+                        } else {
+                            ReadOut::Scattered(f)
+                        });
+                    }
+                }
+            }
             if !err.is_retryable() || attempt >= self.retry.max_attempts {
                 return Err(err);
             }
@@ -478,11 +633,17 @@ impl Client {
     /// straggler threshold, every partition still outstanding — i.e. the
     /// actual stragglers, whatever their index — is served from its byte
     /// range in the under-store checkpoint instead.
+    /// With `sums` present, every landed worker reply is additionally
+    /// verified against its stored checksum; a mismatch aborts the
+    /// attempt with [`StoreError::Corrupt`] — the same erasure a
+    /// verifying worker reports. (Hedged under-store ranges are the
+    /// checkpoint ground truth and are not re-checked.)
     fn fetch_into(
         &self,
         id: u64,
         size: usize,
         servers: &[usize],
+        sums: Option<&[u64]>,
         sink: &mut ReadSink,
     ) -> Result<(), StoreError> {
         let k = servers.len();
@@ -528,7 +689,15 @@ impl Client {
                     let j = outstanding[i];
                     match replies[j].try_recv() {
                         Ok(reply) => {
-                            sink.place(j, self.absorb_reply(servers[j], reply)?.bytes()?);
+                            let data = self.absorb_reply(servers[j], reply)?.bytes()?;
+                            if let Some(sums) = sums {
+                                if !spcache_integrity::verify(&data, sums[j]) {
+                                    return Err(StoreError::Corrupt(PartKey::new(
+                                        id, j as u32,
+                                    )));
+                                }
+                            }
+                            sink.place(j, data);
                             remaining -= 1;
                         }
                         Err(TryRecvError::Disconnected) => {
@@ -570,6 +739,164 @@ impl Client {
             }
         }
         Ok(())
+    }
+
+    /// Corruption-to-erasure recovery (§4.15): re-reads the file
+    /// through its parity set. All `k` data fetches and `r` parity
+    /// fetches fire as one batch; replies are consumed as they land and
+    /// **verified** against the integrity row (this read is recovering
+    /// from a corruption — nothing is taken on trust). As soon as any
+    /// `k` of the `k + r` shards verify, the rest are abandoned
+    /// (EC-Cache's late binding, repurposed from straggler evasion to
+    /// erasure repair) and the missing data partitions are rebuilt by
+    /// the Cauchy decode. Rebuilt partitions are re-pushed to their
+    /// placement in the background (read repair), so the next read is
+    /// clean — all without touching the under-store.
+    fn read_via_parity(
+        &self,
+        id: u64,
+        size: usize,
+        servers: &[usize],
+        row: &FileIntegrity,
+    ) -> Result<Vec<Bytes>, StoreError> {
+        let k = servers.len();
+        let r = row.parity.len();
+        let deadline = Instant::now() + self.retry.deadline;
+
+        let mut reqs = Vec::with_capacity(k + r);
+        for (j, &server) in servers.iter().enumerate() {
+            reqs.push((
+                server,
+                Request::Get {
+                    key: PartKey::new(id, j as u32),
+                },
+            ));
+        }
+        for (p, &(server, _)) in row.parity.iter().enumerate() {
+            reqs.push((
+                server,
+                Request::GetParity {
+                    key: PartKey::parity(id, p as u32),
+                },
+            ));
+        }
+        let endpoints: Vec<usize> = reqs.iter().map(|&(s, _)| s).collect();
+        let replies = self.submit_batch(reqs)?;
+
+        // Late-binding join: any k verified shards end the wait.
+        let mut got: Vec<Option<Bytes>> = vec![None; k + r];
+        let mut done = vec![false; k + r];
+        let mut verified = 0usize;
+        let mut last_err = StoreError::Corrupt(PartKey::new(id, 0));
+        while verified < k {
+            let mut sel = Select::new();
+            let mut outstanding = Vec::new();
+            for (i, rx) in replies.iter().enumerate() {
+                if !done[i] {
+                    outstanding.push(i);
+                    sel.recv(rx);
+                }
+            }
+            if outstanding.is_empty() {
+                // Every channel answered and fewer than k shards
+                // verified: the parity set cannot cover this failure.
+                return Err(last_err);
+            }
+            match sel.ready_deadline(deadline) {
+                Ok(sel_i) => {
+                    let i = outstanding[sel_i];
+                    match replies[i].try_recv() {
+                        Ok(reply) => {
+                            done[i] = true;
+                            match self
+                                .absorb_reply(endpoints[i], reply)
+                                .and_then(|rep| rep.bytes())
+                            {
+                                Ok(data) => {
+                                    let want = if i < k {
+                                        row.sums[i]
+                                    } else {
+                                        row.parity[i - k].1
+                                    };
+                                    if spcache_integrity::verify(&data, want) {
+                                        got[i] = Some(data);
+                                        verified += 1;
+                                    }
+                                }
+                                Err(e) => last_err = e,
+                            }
+                        }
+                        Err(TryRecvError::Disconnected) => {
+                            done[i] = true;
+                            last_err = self.worker_down(endpoints[i]);
+                        }
+                        Err(TryRecvError::Empty) => {}
+                    }
+                }
+                Err(_) => return Err(self.timeout(endpoints[outstanding[0]])),
+            }
+        }
+
+        let missing: Vec<usize> = (0..k).filter(|&j| got[j].is_none()).collect();
+        if missing.is_empty() {
+            // All data partitions verified after all (the corrupt copy
+            // was already overwritten under us) — no decode needed.
+            return Ok(got.into_iter().take(k).map(|b| b.expect("verified")).collect());
+        }
+
+        // Data partitions arrive ragged; the codec works on the equal
+        // `ceil(size / k)` slot layout they are views of (see
+        // `split_shards_bytes` / `split_into_shards`) — zero-pad each to
+        // its slot, decode, and slice the ragged views back out.
+        let shard_len = size.div_ceil(k).max(1);
+        let mut shards: Vec<Option<Vec<u8>>> = got
+            .iter()
+            .map(|s| {
+                s.as_ref().map(|b| {
+                    let mut v = b.to_vec();
+                    v.resize(shard_len, 0);
+                    v
+                })
+            })
+            .collect();
+        let data = ReedSolomon::new_cauchy(k, k + r)
+            .reconstruct_data(&mut shards)
+            .map_err(|_| StoreError::Corrupt(PartKey::new(id, missing[0] as u32)))?;
+        let data = Bytes::from(data);
+        let parts: Vec<Bytes> = (0..k)
+            .map(|j| {
+                let start = j * shard_len;
+                let end = ((j + 1) * shard_len).min(size);
+                if start >= size {
+                    Bytes::new()
+                } else {
+                    data.slice(start..end)
+                }
+            })
+            .collect();
+        for &j in &missing {
+            // The decode is only as good as the integrity row it used;
+            // prove each rebuilt partition against its recorded sum
+            // before handing it out (or re-landing it) as truth.
+            if !spcache_integrity::verify(&parts[j], row.sums[j]) {
+                return Err(StoreError::Corrupt(PartKey::new(id, j as u32)));
+            }
+        }
+
+        // Read repair: re-land the erased partitions on their placement
+        // (background-stamped, fire-and-forget). The worker counts the
+        // overwrite of a corrupted-erased key as a decode
+        // reconstruction.
+        for &j in &missing {
+            let req = Request::Put {
+                key: PartKey::new(id, j as u32),
+                data: parts[j].clone(),
+                sum: row.sums[j],
+            }
+            .background();
+            let _ = self.transport.submit(servers[j], req);
+        }
+        Ok(parts)
     }
 
     /// Submits a fan-out of requests — each stamped with its target's
@@ -702,9 +1029,13 @@ impl Client {
         }
     }
 
-    /// Deletes a file's partitions and metadata; returns how many
-    /// partitions were actually resident.
+    /// Deletes a file's partitions and metadata; returns how many data
+    /// partitions were actually resident. Any parity partitions are
+    /// dropped too (best-effort, not counted).
     pub fn delete(&self, id: u64) -> Result<usize, StoreError> {
+        // Snapshot the integrity row *before* unregistering drops it:
+        // the parity map is the only record of where parity lives.
+        let integ = self.master.integrity(id);
         let (_, servers) = self
             .master
             .unregister_file(id)
@@ -719,6 +1050,18 @@ impl Client {
             ) {
                 if let Ok(Reply::Flag(true)) = rx.recv_timeout(self.retry.deadline) {
                     removed += 1;
+                }
+            }
+        }
+        if let Some(integ) = integ {
+            for (p, &(server, _)) in integ.parity.iter().enumerate() {
+                if let Ok(rx) = self.transport.submit(
+                    server,
+                    Request::Delete {
+                        key: PartKey::parity(id, p as u32),
+                    },
+                ) {
+                    let _ = rx.recv_timeout(self.retry.deadline);
                 }
             }
         }
@@ -878,7 +1221,7 @@ mod tests {
     use super::*;
     use crate::cluster::StoreCluster;
     use crate::config::StoreConfig;
-    use crate::fault::FaultPlan;
+    use crate::fault::{CorruptSite, FaultPlan};
 
     fn payload(len: usize) -> Vec<u8> {
         (0..len).map(|i| ((i * 31 + 7) % 256) as u8).collect()
@@ -1156,6 +1499,175 @@ mod tests {
         // Partition 0 of a 5000-byte file split 2 ways is 2500 bytes —
         // the hedge pulled exactly that range, not the whole file.
         assert_eq!(c.hedged_bytes(), 2_500);
+    }
+
+    /// Polls `f` until it holds or ~2 s pass (read repair is
+    /// fire-and-forget; the counter lands asynchronously).
+    fn eventually(mut f: impl FnMut() -> bool) -> bool {
+        for _ in 0..200 {
+            if f() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        false
+    }
+
+    #[test]
+    fn parity_write_records_the_integrity_row_off_placement() {
+        let cfg = StoreConfig::unthrottled(6).with_parity(2);
+        let cluster = StoreCluster::spawn(cfg);
+        let c = cluster.client();
+        let data = payload(9_000);
+        c.write(1, &data, &[0, 1, 2]).unwrap();
+        let row = cluster.master().integrity(1).expect("row recorded");
+        assert_eq!(row.sums.len(), 3);
+        assert_eq!(row.parity.len(), 2);
+        for &(server, _) in &row.parity {
+            assert!(
+                !(0..=2).contains(&server),
+                "parity landed on a data server ({server})"
+            );
+        }
+        assert_eq!(c.read(1).unwrap(), data);
+        // Delete drops the parity partitions with the file.
+        let stats_before = cluster.worker_stats().unwrap();
+        assert!(stats_before.iter().any(|s| s.parity_bytes > 0));
+        assert_eq!(c.delete(1).unwrap(), 3);
+        assert_eq!(cluster.master().integrity(1), None);
+    }
+
+    #[test]
+    fn corrupt_partition_rebuilds_from_parity_without_under_store() {
+        // Worker 0's resident copy of partition 0 is flipped right
+        // before the read's Get. The verifying worker erases it and
+        // reports Corrupt; the client rebuilds from the 2 clean data
+        // partitions + parity — there is NO under-store to fall back
+        // to, so a byte-exact read proves the parity path alone healed
+        // it.
+        let cfg = StoreConfig::unthrottled(5)
+            .with_verify_reads(true)
+            .with_parity(2)
+            .with_faults(FaultPlan::none().corrupt(
+                0,
+                1,
+                PartKey::new(1, 0),
+                CorruptSite::Resident,
+                5,
+            ));
+        let cluster = StoreCluster::spawn(cfg);
+        let c = cluster.client();
+        let data = payload(9_000);
+        c.write(1, &data, &[0, 1, 2]).unwrap(); // worker 0 op 0
+        assert_eq!(c.read(1).unwrap(), data); // op 1: flip fires
+        let stats = cluster.worker_stats().unwrap();
+        assert_eq!(stats[0].corruptions_detected, 1);
+        assert_eq!(cluster.fault_log().snapshot().len(), 1);
+        // The background read repair re-lands partition 0 on worker 0,
+        // which counts the overwrite of a corrupted-erased key.
+        assert!(
+            eventually(|| cluster.worker_stats().unwrap()[0].decode_reconstructions == 1),
+            "read repair never landed"
+        );
+        assert_eq!(c.read(1).unwrap(), data);
+    }
+
+    #[test]
+    fn lost_partition_rebuilds_from_parity_without_under_store() {
+        // A *lost* partition — deleted out from under the file, no
+        // corruption involved — is just as much an erasure as a corrupt
+        // one: the read's `NotFound` routes through the same parity
+        // rebuild, with no under-store to fall back to.
+        let cfg = StoreConfig::unthrottled(5).with_verify_reads(true).with_parity(1);
+        let cluster = StoreCluster::spawn(cfg);
+        let c = cluster.client();
+        let data = payload(9_000);
+        c.write(1, &data, &[0, 1, 2]).unwrap();
+        let gone = cluster
+            .transport()
+            .call(
+                0,
+                Request::Delete {
+                    key: PartKey::new(1, 0),
+                },
+                Duration::from_secs(5),
+            )
+            .unwrap();
+        assert_eq!(gone, Reply::Flag(true));
+        assert_eq!(c.read(1).unwrap(), data);
+        // The background read repair re-lands the rebuilt partition, so
+        // worker 0 serves it directly again.
+        assert!(
+            eventually(|| {
+                matches!(
+                    cluster.transport().call(
+                        0,
+                        Request::Get {
+                            key: PartKey::new(1, 0),
+                        },
+                        Duration::from_secs(5),
+                    ),
+                    Ok(Reply::Data(_))
+                )
+            }),
+            "read repair never re-landed the lost partition"
+        );
+    }
+
+    #[test]
+    fn client_side_verify_catches_what_blind_workers_serve() {
+        // Workers do NOT verify; the client does, against the master's
+        // integrity row. The flipped resident copy is served as-is by
+        // worker 0 (twice — the data fetch and the parity path's
+        // re-fetch both fail verification) and the file still comes
+        // back byte-exact via the Cauchy decode.
+        let cfg = StoreConfig::unthrottled(5)
+            .with_parity(1)
+            .with_faults(FaultPlan::none().corrupt(
+                0,
+                1,
+                PartKey::new(1, 0),
+                CorruptSite::Resident,
+                999,
+            ));
+        let cluster = StoreCluster::spawn(cfg);
+        let c = cluster.client().with_verify(true).with_parity(1);
+        let data = payload(10_000);
+        c.write(1, &data, &[0, 1, 2]).unwrap();
+        assert_eq!(c.read(1).unwrap(), data);
+        // The workers never noticed anything.
+        let stats = cluster.worker_stats().unwrap();
+        assert_eq!(stats[0].corruptions_detected, 0);
+    }
+
+    #[test]
+    fn corrupt_partition_without_parity_heals_from_under_store() {
+        // r = 0: the same flip cannot be decoded around, so the read
+        // falls back to the under-store heal — and still never returns
+        // wrong bytes.
+        let cfg = StoreConfig::unthrottled(4)
+            .with_verify_reads(true)
+            .with_faults(FaultPlan::none().corrupt(
+                0,
+                2,
+                PartKey::new(1, 0),
+                CorruptSite::Resident,
+                0,
+            ))
+            .with_retry(RetryPolicy {
+                max_attempts: 4,
+                base_backoff: Duration::from_millis(1),
+                deadline: Duration::from_millis(200),
+            });
+        let under = Arc::new(UnderStore::new());
+        let cluster = StoreCluster::spawn_with_under_store(cfg, Some(under.clone()));
+        let c = cluster.client();
+        let data = payload(6_000);
+        c.write(1, &data, &[0, 1]).unwrap(); // worker 0 op 0
+        crate::backing::checkpoint(&c, &under, 1).unwrap(); // op 1
+        assert_eq!(c.read(1).unwrap(), data); // op 2: flip fires → heal
+        let stats = cluster.worker_stats().unwrap();
+        assert_eq!(stats.iter().map(|s| s.corruptions_detected).sum::<u64>(), 1);
     }
 
     #[test]

@@ -82,7 +82,9 @@ impl StoreCluster {
                 )
                 .with_memory_budget(cfg.memory_budget)
                 .with_background_fraction(cfg.background_fraction)
-                .with_max_transfer_wait(Some(cfg.executor_deadline));
+                .with_max_transfer_wait(Some(cfg.executor_deadline))
+                .with_verify_reads(cfg.verify_reads)
+                .with_corruption_log(cfg.log_corruptions);
                 // Budgeted workers spill evicted partitions into the
                 // cluster's under-store tier, so whole-file checkpoints
                 // there turn evictions into free drops; without one,
@@ -161,7 +163,9 @@ impl StoreCluster {
             .with_retry(self.cfg.retry)
             .with_hedge(self.cfg.hedge)
             .with_fencing(self.cfg.supervisor.enabled)
-            .with_degraded_policy(self.cfg.supervisor.degraded);
+            .with_degraded_policy(self.cfg.supervisor.degraded)
+            .with_verify(self.cfg.verify_reads)
+            .with_parity(self.cfg.parity);
         if let Some(under) = &self.under {
             c = c.with_under_store(under.clone());
         }

@@ -243,6 +243,21 @@ pub struct StoreConfig {
     /// `1.0` (the default) disables the second bucket — background
     /// shares the full rate like any other traffic.
     pub background_fraction: f64,
+    /// Checksum verification on the read path (DESIGN.md §4.15): workers
+    /// verify resident partitions on the first read after every byte
+    /// movement (landing, reload, rename), and clients verify received
+    /// partitions against the master's integrity metadata. Off by
+    /// default — spill *reloads* are always verified regardless (a
+    /// reload crosses the slow tier, where bit rot lives).
+    pub verify_reads: bool,
+    /// Number of Cauchy-RS parity partitions written per file (`r` in a
+    /// `k + r` layout). `0` (the default) writes none; corruption then
+    /// heals via the under-store instead of a client-side decode.
+    pub parity: usize,
+    /// Whether workers print a `CORRUPT <file> <partition>` line on each
+    /// checksum failure (the `spcached` deployment behaviour; off in
+    /// tests to keep output deterministic).
+    pub log_corruptions: bool,
 }
 
 impl StoreConfig {
@@ -260,6 +275,9 @@ impl StoreConfig {
             executor_deadline: Duration::from_secs(5),
             memory_budget: None,
             background_fraction: 1.0,
+            verify_reads: false,
+            parity: 0,
+            log_corruptions: false,
         }
     }
 
@@ -316,6 +334,25 @@ impl StoreConfig {
     /// Sets the per-worker memory budget in bytes (`None` = unbounded).
     pub fn with_memory_budget(mut self, budget: Option<usize>) -> Self {
         self.memory_budget = budget;
+        self
+    }
+
+    /// Enables read-path checksum verification (builder style).
+    pub fn with_verify_reads(mut self, verify: bool) -> Self {
+        self.verify_reads = verify;
+        self
+    }
+
+    /// Sets the number of Cauchy-RS parity partitions per file
+    /// (builder style).
+    pub fn with_parity(mut self, r: usize) -> Self {
+        self.parity = r;
+        self
+    }
+
+    /// Enables `CORRUPT` log lines on checksum failures (builder style).
+    pub fn with_corruption_log(mut self, log: bool) -> Self {
+        self.log_corruptions = log;
         self
     }
 
@@ -392,6 +429,18 @@ mod tests {
             .with_background_fraction(0.25);
         assert_eq!(c.memory_budget, Some(1 << 20));
         assert_eq!(c.background_fraction, 0.25);
+    }
+
+    #[test]
+    fn integrity_defaults_off_and_builders_apply() {
+        let c = StoreConfig::unthrottled(2);
+        assert!(!c.verify_reads, "verification must default off");
+        assert_eq!(c.parity, 0, "parity must default off");
+        assert!(!c.log_corruptions);
+        let c = c.with_verify_reads(true).with_parity(2).with_corruption_log(true);
+        assert!(c.verify_reads);
+        assert_eq!(c.parity, 2);
+        assert!(c.log_corruptions);
     }
 
     #[test]

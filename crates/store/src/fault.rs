@@ -80,6 +80,43 @@ pub enum FaultAction {
     /// its own fencing, or a delayed delivery racing a re-registration.
     /// Clients must treat it as retryable and refresh their epoch cache.
     StaleEpochDelivery,
+    /// One byte of a cached partition flips — bit rot. Where the flip
+    /// lands is picked by [`CorruptSite`]: the resident copy, the spill
+    /// area, or the next reply carrying the partition (an in-flight
+    /// flip). The flipped byte index is `byte % len`, so the same event
+    /// corrupts the same byte on every run regardless of partition
+    /// size. The worker always flips a **copy** — stored `Bytes` may
+    /// share the writer's allocation, and bit rot must never reach the
+    /// ground-truth bytes a test compares against.
+    ///
+    /// Not a wire fault: the flip is applied by the worker thread on
+    /// both transports (a client checksum catches the `Wire` site), so
+    /// fault logs stay identical channel-vs-TCP.
+    CorruptPartition {
+        /// The partition to corrupt.
+        key: PartKey,
+        /// Where the flip lands.
+        site: CorruptSite,
+        /// Byte index to flip, taken modulo the partition length.
+        byte: u64,
+    },
+}
+
+/// Where a [`FaultAction::CorruptPartition`] flip lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptSite {
+    /// The worker's resident in-memory copy.
+    Resident,
+    /// The under-store spill area (bit rot on the slow tier; surfaces on
+    /// the next reload of the evicted partition). Falls back to the
+    /// resident copy when the worker has no spill area or the key was
+    /// never spilled.
+    Spill,
+    /// The next `Get` reply carrying this partition: the stored bytes
+    /// stay clean, but the copy leaving the worker is flipped — a NIC or
+    /// switch flipping a bit in flight. Only a client-side checksum can
+    /// catch this one.
+    Wire,
 }
 
 impl FaultAction {
@@ -201,6 +238,12 @@ impl FaultPlan {
     /// stale-epoch rejection.
     pub fn stale_epoch(self, worker: usize, op: u64) -> Self {
         self.with_event(worker, op, FaultAction::StaleEpochDelivery)
+    }
+
+    /// Flips byte `byte % len` of `key` at `worker`'s `op`-th data-path
+    /// request, at the given [`CorruptSite`].
+    pub fn corrupt(self, worker: usize, op: u64, key: PartKey, site: CorruptSite, byte: u64) -> Self {
+        self.with_event(worker, op, FaultAction::CorruptPartition { key, site, byte })
     }
 
     /// Generates a random plan from a seed — the chaos-test entry point.
@@ -474,6 +517,15 @@ mod tests {
         assert!(FaultAction::TruncateFrame.is_wire());
         assert!(!FaultAction::Crash.is_wire());
         assert!(!FaultAction::LoseReply.is_wire());
+        // Corruption is a *worker* fault even at the Wire site: the
+        // worker flips the reply copy itself, so the same plan fires
+        // identically over channels and sockets.
+        assert!(!FaultAction::CorruptPartition {
+            key: PartKey::new(1, 0),
+            site: CorruptSite::Wire,
+            byte: 3,
+        }
+        .is_wire());
         assert!(!FaultAction::DropHeartbeat.is_wire());
         assert!(!FaultAction::CrashRestart.is_wire());
         assert!(!FaultAction::StaleEpochDelivery.is_wire());

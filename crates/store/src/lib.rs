@@ -47,7 +47,7 @@ pub use cluster::StoreCluster;
 pub use config::{DegradedPolicy, HedgePolicy, RetryPolicy, StoreConfig, SupervisorConfig};
 pub use fault::{FaultAction, FaultEvent, FaultLog, FaultPlan, FaultRecord};
 pub use master::{Master, MetaService};
-pub use metalog::{MasterImage, MetaLog, MetaOp};
+pub use metalog::{FileIntegrity, MasterImage, MetaLog, MetaOp};
 pub use rpc::{Envelope, PartKey, Reply, Request, StoreError, WorkerStats, MASTER_ENDPOINT};
 pub use supervisor::{Supervisor, SupervisorCore, SweepLog, SweepRecord};
 pub use transport::{ChannelTransport, Transport};

@@ -11,7 +11,7 @@ use spcache_core::repartition::{plan_repartition, RepartitionPlan};
 use spcache_core::tuner::{tune_scale_factor_hetero, Tuned, TunerConfig};
 use spcache_sim::Xoshiro256StarStar;
 
-use crate::metalog::{MasterImage, MetaLog, MetaOp};
+use crate::metalog::{FileIntegrity, MasterImage, MetaLog, MetaOp};
 use crate::rpc::StoreError;
 
 /// Metadata for one stored file.
@@ -86,6 +86,10 @@ impl Health {
 #[derive(Debug)]
 pub struct Master {
     files: RwLock<HashMap<u64, FileInfo>>,
+    /// Per-file integrity rows (DESIGN.md §4.15): data-partition
+    /// checksums plus parity placement. Cleared whenever the placement
+    /// changes shape — a re-split invalidates every sum.
+    integrity: RwLock<HashMap<u64, FileIntegrity>>,
     health: RwLock<Health>,
     /// Suspicion-ladder death threshold (see [`Master::suspect`]).
     threshold: AtomicU32,
@@ -119,6 +123,7 @@ impl Default for Master {
     fn default() -> Self {
         Master {
             files: RwLock::default(),
+            integrity: RwLock::default(),
             health: RwLock::default(),
             threshold: AtomicU32::new(SUSPICION_THRESHOLD),
             repairing: Mutex::new(HashSet::new()),
@@ -262,15 +267,23 @@ impl Master {
     /// heartbeat counts, repair history) is excluded by design.
     pub fn image(&self) -> MasterImage {
         let files = self.files.read();
+        let integrity = self.integrity.read();
         let h = self.health.read();
         let owner = self.owner_addr.lock();
         let repairing = self.repairing.lock();
-        Self::image_from(&files, &h, &repairing, self.threshold.load(Ordering::Relaxed))
-            .with_owner(self.master_epoch.load(Ordering::SeqCst), owner.clone())
+        Self::image_from(
+            &files,
+            &integrity,
+            &h,
+            &repairing,
+            self.threshold.load(Ordering::Relaxed),
+        )
+        .with_owner(self.master_epoch.load(Ordering::SeqCst), owner.clone())
     }
 
     fn image_from(
         files: &HashMap<u64, FileInfo>,
+        integrity: &HashMap<u64, FileIntegrity>,
         h: &Health,
         repairing: &HashSet<u64>,
         threshold: u32,
@@ -303,6 +316,11 @@ impl Master {
                 break;
             }
         }
+        let mut integrity_rows: Vec<(u64, FileIntegrity)> = integrity
+            .iter()
+            .map(|(&id, row)| (id, row.clone()))
+            .collect();
+        integrity_rows.sort_unstable_by_key(|&(id, _)| id);
         MasterImage {
             files: file_rows,
             alive,
@@ -310,6 +328,7 @@ impl Master {
             epochs,
             threshold,
             repairing: rep,
+            integrity: integrity_rows,
             ..MasterImage::default()
         }
     }
@@ -330,6 +349,7 @@ impl Master {
             );
         }
         drop(files);
+        *self.integrity.write() = img.integrity.iter().cloned().collect();
         let mut h = self.health.write();
         h.alive = img.alive.clone();
         h.suspicion = img.suspicion.clone();
@@ -366,12 +386,18 @@ impl Master {
             }
             MetaOp::UnregisterFile { id } => {
                 self.files.write().remove(id);
+                self.integrity.write().remove(id);
             }
             MetaOp::ApplyPlacement { id, servers, version } => {
                 if let Some(info) = self.files.write().get_mut(id) {
                     info.servers = servers.clone();
                     info.version.store(*version, Ordering::Relaxed);
                 }
+                // A placement swap re-splits the bytes: every stored
+                // checksum (and parity row) is invalidated. Derived from
+                // the op itself, so replay converges without an extra
+                // journal record.
+                self.integrity.write().remove(id);
             }
             MetaOp::RegisterWorker { w, epoch } => {
                 let w = *w as usize;
@@ -421,6 +447,13 @@ impl Master {
                     *owner = addr.clone();
                 }
             }
+            MetaOp::SetIntegrity { id, integrity } => {
+                if integrity.is_empty() {
+                    self.integrity.write().remove(id);
+                } else {
+                    self.integrity.write().insert(*id, integrity.clone());
+                }
+            }
             MetaOp::Snapshot(img) => self.load_image(img),
         }
     }
@@ -439,11 +472,18 @@ impl Master {
             return;
         }
         let files = self.files.read();
+        let integrity = self.integrity.read();
         let h = self.health.read();
         let owner = self.owner_addr.lock();
         let repairing = self.repairing.lock();
-        let image = Self::image_from(&files, &h, &repairing, self.threshold.load(Ordering::Relaxed))
-            .with_owner(self.master_epoch.load(Ordering::SeqCst), owner.clone());
+        let image = Self::image_from(
+            &files,
+            &integrity,
+            &h,
+            &repairing,
+            self.threshold.load(Ordering::Relaxed),
+        )
+        .with_owner(self.master_epoch.load(Ordering::SeqCst), owner.clone());
         log.snapshot(&image);
     }
 
@@ -702,9 +742,45 @@ impl Master {
         let mut files = self.files.write();
         let removed = files.remove(&id);
         if removed.is_some() {
+            self.integrity.write().remove(&id);
             self.journal_op(&MetaOp::UnregisterFile { id });
         }
         removed
+    }
+
+    /// Installs (or, with an empty row, clears) file `id`'s integrity
+    /// row: the per-partition checksums a verifying reader checks
+    /// received bytes against, plus where the parity partitions live.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::UnknownFile`] if the file is not
+    /// registered — a row must never outlive (or predate) its file.
+    pub fn set_integrity(&self, id: u64, integrity: FileIntegrity) -> Result<(), StoreError> {
+        // The files read lock orders this against a concurrent
+        // unregister; the integrity write lock serializes the
+        // store+journal pair.
+        let files = self.files.read();
+        if !files.contains_key(&id) {
+            return Err(StoreError::UnknownFile(id));
+        }
+        let mut rows = self.integrity.write();
+        self.journal_op(&MetaOp::SetIntegrity {
+            id,
+            integrity: integrity.clone(),
+        });
+        if integrity.is_empty() {
+            rows.remove(&id);
+        } else {
+            rows.insert(id, integrity);
+        }
+        Ok(())
+    }
+
+    /// File `id`'s integrity row, if one was set (and not invalidated by
+    /// a placement change since).
+    pub fn integrity(&self, id: u64) -> Option<FileIntegrity> {
+        self.integrity.read().get(&id).cloned()
     }
 
     /// Looks up a file's partition servers and size, bumping its access
@@ -838,6 +914,10 @@ impl Master {
         let info = files.get_mut(&id).ok_or(StoreError::UnknownFile(id))?;
         info.servers = servers;
         let version = info.version.fetch_add(1, Ordering::Relaxed) + 1;
+        // The new placement re-splits the bytes: every stored checksum
+        // is stale. Writers that know the fresh sums (recovery) re-set
+        // the row afterwards.
+        self.integrity.write().remove(&id);
         self.journal_op(&MetaOp::ApplyPlacement {
             id,
             servers: info.servers.clone(),
@@ -962,6 +1042,24 @@ pub trait MetaService: Send + Sync + std::fmt::Debug {
         }
         Ok(())
     }
+
+    /// Installs file `id`'s integrity row (checksums + parity
+    /// placement). Default: accepted and dropped — services without the
+    /// integrity tier behave like the pre-integrity store.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownFile`]; transport errors over the wire.
+    fn set_integrity(&self, _id: u64, _integrity: FileIntegrity) -> Result<(), StoreError> {
+        Ok(())
+    }
+
+    /// File `id`'s integrity row, `None` when absent/invalidated — and,
+    /// availability-biased, when the service cannot answer (readers
+    /// degrade to unverified rather than fail).
+    fn integrity(&self, _id: u64) -> Option<FileIntegrity> {
+        None
+    }
 }
 
 impl MetaService for Master {
@@ -1031,6 +1129,14 @@ impl MetaService for Master {
 
     fn register_batch(&self, entries: &[(u64, usize, Vec<usize>)]) -> Result<(), StoreError> {
         Master::register_batch(self, entries)
+    }
+
+    fn set_integrity(&self, id: u64, integrity: FileIntegrity) -> Result<(), StoreError> {
+        Master::set_integrity(self, id, integrity)
+    }
+
+    fn integrity(&self, id: u64) -> Option<FileIntegrity> {
+        Master::integrity(self, id)
     }
 }
 
@@ -1105,6 +1211,65 @@ mod tests {
         m.register(1, 10, vec![0]).unwrap();
         let _ = m.peek(1).unwrap();
         assert_eq!(m.accesses(1), 0);
+    }
+
+    #[test]
+    fn integrity_rows_follow_the_file_lifecycle() {
+        let m = Master::new();
+        assert_eq!(
+            m.set_integrity(5, FileIntegrity::data_only(vec![1])),
+            Err(StoreError::UnknownFile(5)),
+            "a row must not predate its file"
+        );
+        m.register(5, 100, vec![0, 1]).unwrap();
+        assert_eq!(m.integrity(5), None);
+        let row = FileIntegrity {
+            sums: vec![11, 22],
+            parity: vec![(2, 33)],
+        };
+        m.set_integrity(5, row.clone()).unwrap();
+        assert_eq!(m.integrity(5), Some(row));
+        // A placement swap re-splits the bytes: the row is invalidated.
+        m.apply_placement(5, vec![1, 2, 0]).unwrap();
+        assert_eq!(m.integrity(5), None, "apply_placement must clear the row");
+        // Re-set (the recovery path does this), then clear explicitly.
+        m.set_integrity(5, FileIntegrity::data_only(vec![7, 8, 9]))
+            .unwrap();
+        m.set_integrity(5, FileIntegrity::default()).unwrap();
+        assert_eq!(m.integrity(5), None);
+        // Unregister drops any row.
+        m.set_integrity(5, FileIntegrity::data_only(vec![1, 2, 3]))
+            .unwrap();
+        m.unregister(5);
+        m.register(5, 100, vec![0, 1]).unwrap();
+        assert_eq!(m.integrity(5), None, "rows must not survive the file");
+    }
+
+    #[test]
+    fn integrity_rows_survive_journal_replay_and_snapshot() {
+        use crate::backing::UnderStore;
+        let tier = Arc::new(UnderStore::new());
+        let m = Master::new();
+        m.enable_journal(Arc::new(MetaLog::open(Arc::clone(&tier))));
+        m.register(1, 64, vec![0, 1]).unwrap();
+        m.register(2, 64, vec![1, 0]).unwrap();
+        let row = FileIntegrity {
+            sums: vec![5, 6],
+            parity: vec![(2, 7)],
+        };
+        m.set_integrity(1, row.clone()).unwrap();
+        m.set_integrity(2, FileIntegrity::data_only(vec![8, 9]))
+            .unwrap();
+        m.apply_placement(2, vec![0, 1]).unwrap(); // invalidates 2's row
+        let twin = Master::recover(Arc::clone(&tier));
+        assert_eq!(twin.integrity(1), Some(row.clone()));
+        assert_eq!(twin.integrity(2), None);
+        // And through a snapshot image round-trip.
+        let img = m.image();
+        let fresh = Master::new();
+        fresh.apply_op(&MetaOp::Snapshot(img));
+        assert_eq!(fresh.integrity(1), Some(row));
+        assert_eq!(fresh.integrity(2), None);
     }
 
     #[test]

@@ -64,6 +64,7 @@ const T_END_REPAIR: u8 = 9;
 const T_SET_THRESHOLD: u8 = 10;
 const T_MASTER_EPOCH: u8 = 11;
 const T_SNAPSHOT: u8 = 12;
+const T_SET_INTEGRITY: u8 = 13;
 
 /// One journalled master mutation. Values are **absolute** (the state
 /// after the mutation), never deltas, so replay is idempotent.
@@ -149,8 +150,46 @@ pub enum MetaOp {
         /// Listen address of the master that owns this epoch.
         addr: String,
     },
+    /// `Master::set_integrity`: the file's checksum/parity row (absolute
+    /// — an empty row clears).
+    SetIntegrity {
+        /// File id.
+        id: u64,
+        /// The row after the mutation.
+        integrity: FileIntegrity,
+    },
     /// A full-state snapshot (compaction point).
     Snapshot(MasterImage),
+}
+
+/// A file's integrity row (DESIGN.md §4.15): the CRC-64 tree checksum of
+/// each data partition plus where its Cauchy-RS parity partitions live.
+/// Written by the client after a verified write; cleared whenever the
+/// placement changes shape (a re-split invalidates every sum).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FileIntegrity {
+    /// Per-data-partition checksums, index order
+    /// ([`spcache_integrity::sum`] of each partition's bytes).
+    pub sums: Vec<u64>,
+    /// `(server, checksum)` per parity partition, index order. Parity
+    /// partition `p` of file `id` lives at `PartKey::parity(id, p)` on
+    /// `parity[p].0`.
+    pub parity: Vec<(usize, u64)>,
+}
+
+impl FileIntegrity {
+    /// A data-only row (no parity partitions).
+    pub fn data_only(sums: Vec<u64>) -> Self {
+        FileIntegrity {
+            sums,
+            parity: Vec::new(),
+        }
+    }
+
+    /// Whether the row carries nothing (the clear sentinel).
+    pub fn is_empty(&self) -> bool {
+        self.sums.is_empty() && self.parity.is_empty()
+    }
 }
 
 /// A compacted full-state image of the master: everything replay needs,
@@ -176,6 +215,10 @@ pub struct MasterImage {
     /// Listen address of the master that owned this state ("" when
     /// unknown).
     pub master_addr: String,
+    /// `(id, integrity row)` sorted by id. Encoded as a tail section of
+    /// the snapshot record, absent in pre-integrity snapshots (decode
+    /// defaults it empty).
+    pub integrity: Vec<(u64, FileIntegrity)>,
 }
 
 impl MasterImage {
@@ -211,6 +254,18 @@ fn put_servers(buf: &mut Vec<u8>, servers: &[usize]) {
 fn put_str(buf: &mut Vec<u8>, s: &str) {
     put_u32(buf, s.len() as u32);
     buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_integrity(buf: &mut Vec<u8>, integrity: &FileIntegrity) {
+    put_u32(buf, integrity.sums.len() as u32);
+    for &s in &integrity.sums {
+        put_u64(buf, s);
+    }
+    put_u32(buf, integrity.parity.len() as u32);
+    for &(server, sum) in &integrity.parity {
+        put_u64(buf, server as u64);
+        put_u64(buf, sum);
+    }
 }
 
 /// A bounds-checked reader over a record body; every getter returns
@@ -259,6 +314,27 @@ impl<'a> Rd<'a> {
     fn string(&mut self) -> Option<String> {
         let n = self.u32()? as usize;
         String::from_utf8(self.take(n)?.to_vec()).ok()
+    }
+
+    fn sums(&mut self) -> Option<Vec<u64>> {
+        let n = self.u32()? as usize;
+        if n > self.b.len().saturating_sub(self.pos) / 8 {
+            return None;
+        }
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    fn integrity(&mut self) -> Option<FileIntegrity> {
+        let sums = self.sums()?;
+        let n = self.u32()? as usize;
+        // Length-lie guard: each parity entry takes 16 bytes.
+        if n > self.b.len().saturating_sub(self.pos) / 16 {
+            return None;
+        }
+        let parity = (0..n)
+            .map(|_| Some((self.u64()? as usize, self.u64()?)))
+            .collect::<Option<Vec<_>>>()?;
+        Some(FileIntegrity { sums, parity })
     }
 
     fn done(&self) -> bool {
@@ -345,6 +421,11 @@ fn encode_body(op: &MetaOp, buf: &mut Vec<u8>) -> u8 {
             put_str(buf, addr);
             T_MASTER_EPOCH
         }
+        MetaOp::SetIntegrity { id, integrity } => {
+            put_u64(buf, *id);
+            put_integrity(buf, integrity);
+            T_SET_INTEGRITY
+        }
         MetaOp::Snapshot(image) => {
             put_u32(buf, image.files.len() as u32);
             for (id, size, servers, version) in &image.files {
@@ -366,6 +447,14 @@ fn encode_body(op: &MetaOp, buf: &mut Vec<u8>) -> u8 {
             }
             put_u64(buf, image.master_epoch);
             put_str(buf, &image.master_addr);
+            // Integrity tail section (pre-integrity decoders never see
+            // it: they were all replaced by this one; *this* decoder
+            // accepts snapshots without it).
+            put_u32(buf, image.integrity.len() as u32);
+            for (id, integrity) in &image.integrity {
+                put_u64(buf, *id);
+                put_integrity(buf, integrity);
+            }
             T_SNAPSHOT
         }
     }
@@ -407,6 +496,10 @@ fn decode_body(tag: u8, body: &[u8]) -> Option<MetaOp> {
             epoch: r.u64()?,
             addr: r.string()?,
         },
+        T_SET_INTEGRITY => MetaOp::SetIntegrity {
+            id: r.u64()?,
+            integrity: r.integrity()?,
+        },
         T_SNAPSHOT => {
             let n_files = r.u32()? as usize;
             let mut files = Vec::new();
@@ -446,6 +539,21 @@ fn decode_body(tag: u8, body: &[u8]) -> Option<MetaOp> {
                 repairing,
                 master_epoch: r.u64()?,
                 master_addr: r.string()?,
+                // Snapshots written before the integrity tier carry no
+                // tail section: default the rows empty.
+                integrity: if r.done() {
+                    Vec::new()
+                } else {
+                    let n = r.u32()? as usize;
+                    if n > body.len() / 8 {
+                        return None;
+                    }
+                    let mut rows = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        rows.push((r.u64()?, r.integrity()?));
+                    }
+                    rows
+                },
             })
         }
         _ => return None,
@@ -727,6 +835,17 @@ mod tests {
                 epoch: 2,
                 addr: "127.0.0.1:4100".into(),
             },
+            MetaOp::SetIntegrity {
+                id: 1,
+                integrity: FileIntegrity {
+                    sums: vec![0xDEAD_BEEF, 0xFEED_FACE],
+                    parity: vec![(2, 0xABAD_1DEA)],
+                },
+            },
+            MetaOp::SetIntegrity {
+                id: 9,
+                integrity: FileIntegrity::default(),
+            },
             MetaOp::Snapshot(MasterImage {
                 files: vec![(1, 100, vec![0, 1], 3), (2, 50, vec![2], 1)],
                 alive: vec![true, false, true],
@@ -736,8 +855,42 @@ mod tests {
                 repairing: vec![2],
                 master_epoch: 4,
                 master_addr: "127.0.0.1:4100".into(),
+                integrity: vec![(
+                    1,
+                    FileIntegrity {
+                        sums: vec![7, 8],
+                        parity: vec![(0, 9)],
+                    },
+                )],
             }),
         ]
+    }
+
+    #[test]
+    fn pre_integrity_snapshot_decodes_with_empty_rows() {
+        // A snapshot record written before the integrity tier existed
+        // ends right after master_addr. Re-encode one and truncate the
+        // tail section: decode must still succeed with empty rows.
+        let img = MasterImage {
+            files: vec![(3, 64, vec![0], 1)],
+            master_epoch: 2,
+            master_addr: "a:1".into(),
+            ..MasterImage::default()
+        };
+        let rec = encode_record(5, &MetaOp::Snapshot(img.clone()));
+        // Strip the 4-byte empty-integrity count from payload and refit
+        // the length/crc header.
+        let payload = &rec[8..rec.len() - 4];
+        let mut old = Vec::new();
+        put_u32(&mut old, payload.len() as u32);
+        put_u32(&mut old, crc32(payload));
+        old.extend_from_slice(payload);
+        let decoded = decode_records(&old);
+        assert_eq!(decoded.len(), 1);
+        let MetaOp::Snapshot(got) = &decoded[0].1 else {
+            panic!("expected snapshot");
+        };
+        assert_eq!(got, &img);
     }
 
     #[test]

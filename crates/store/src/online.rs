@@ -62,12 +62,17 @@ fn build_partition(
         debug_assert_eq!(bytes.len() as u64, pull.len, "short range read");
         buf.extend_from_slice(&bytes);
     }
+    // Stamp the staged partition's checksum: the file's master-side
+    // integrity row dies with the re-split, so the worker-held sum is
+    // what keeps verified reads working after the swap.
+    let sum = spcache_integrity::sum(&buf);
     call(
         transport,
         part.server,
         Request::Put {
             key: PartKey::new(file, part.index).staged(),
             data: Bytes::from(buf),
+            sum,
         },
     )?
     .unit()

@@ -105,11 +105,12 @@ fn push_shard(
     shard: Bytes,
     deadline: Duration,
 ) -> Result<(), StoreError> {
+    let sum = spcache_integrity::sum(&shard);
     call(
         master,
         transport,
         server,
-        Request::Put { key, data: shard }.background(),
+        Request::Put { key, data: shard, sum }.background(),
         deadline,
     )?
     .unit()
@@ -186,6 +187,7 @@ fn execute_job(
                 Request::Put {
                     key,
                     data: new_shards[j].clone(),
+                    sum: spcache_integrity::sum(&new_shards[j]),
                 }
                 .background(),
             ) {

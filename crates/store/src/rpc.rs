@@ -29,6 +29,16 @@ impl PartKey {
     pub fn staged(self) -> PartKey {
         PartKey::new(self.file, self.part | STAGE_BIT)
     }
+
+    /// The key of parity partition `idx` of `file` (see [`PARITY_BIT`]).
+    pub fn parity(file: u64, idx: u32) -> PartKey {
+        PartKey::new(file, idx | PARITY_BIT)
+    }
+
+    /// Whether this key addresses a parity partition.
+    pub fn is_parity(self) -> bool {
+        self.part & PARITY_BIT != 0
+    }
 }
 
 /// Staged-key marker: partition indices with this bit set are invisible
@@ -37,6 +47,13 @@ impl PartKey {
 /// keys and commit them with a rename, so an executor failing mid-build
 /// never corrupts the readable layout.
 pub const STAGE_BIT: u32 = 1 << 31;
+
+/// Parity-key marker: partition indices with this bit set hold Cauchy-RS
+/// parity shards of the file (the integrity tier's hot-file redundancy).
+/// Like staged keys they are invisible to normal data reads — clients
+/// fetch them explicitly via [`Request::GetParity`] during
+/// corruption-to-erasure recovery.
+pub const PARITY_BIT: u32 = 1 << 30;
 
 /// Errors surfaced to clients.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,6 +86,12 @@ pub enum StoreError {
     /// refreshing the epoch table from the master resolves the
     /// client-side case, and the zombie case heals through recovery.
     StaleEpoch(usize),
+    /// The partition's bytes failed checksum verification (worker-side
+    /// on load/reload, or client-side on receive). The copy has been
+    /// dropped — corruption is converted into an **erasure**, never into
+    /// wrong bytes. Retryable: the reader falls back to parity decode
+    /// (when the file carries parity partitions) or an under-store heal.
+    Corrupt(PartKey),
     /// The file is degraded and its recovery is already in flight
     /// elsewhere (sweep or another client's lazy repair); the operation
     /// was shed under [`crate::config::DegradedPolicy::FastFail`].
@@ -90,6 +113,7 @@ impl StoreError {
                 | StoreError::Timeout(_)
                 | StoreError::Io(_)
                 | StoreError::StaleEpoch(_)
+                | StoreError::Corrupt(_)
         )
     }
 
@@ -125,6 +149,9 @@ impl std::fmt::Display for StoreError {
             StoreError::Io(w) => write!(f, "i/o failure reaching worker {w}"),
             StoreError::Codec(msg) => write!(f, "wire protocol violation: {msg}"),
             StoreError::StaleEpoch(w) => write!(f, "stale epoch fencing worker {w}"),
+            StoreError::Corrupt(k) => {
+                write!(f, "partition {k:?} failed checksum verification")
+            }
             StoreError::Degraded(id) => {
                 write!(f, "file {id} is degraded with recovery in flight")
             }
@@ -159,6 +186,15 @@ pub struct WorkerStats {
     pub reloaded_bytes: u64,
     /// Bytes currently resident in the partition map.
     pub resident_bytes: u64,
+    /// Partitions whose bytes failed checksum verification and were
+    /// dropped (corruption-to-erasure conversions).
+    pub corruptions_detected: u64,
+    /// Bytes currently resident under parity keys (Cauchy-RS shards of
+    /// hot files — the integrity tier's redundancy footprint).
+    pub parity_bytes: u64,
+    /// Erased-as-corrupt partitions later re-admitted by a client's
+    /// parity-decode read-repair push-back.
+    pub decode_reconstructions: u64,
 }
 
 /// A request to a worker — pure data, identical over every transport.
@@ -174,10 +210,23 @@ pub enum Request {
         key: PartKey,
         /// Partition bytes.
         data: Bytes,
+        /// CRC-64 tree checksum of `data` (`spcache_integrity::sum`),
+        /// or `0` when the writer did not checksum (the unverified
+        /// sentinel — maintenance paths that re-split bytes, and the
+        /// pre-integrity wire behaviour).
+        sum: u64,
     },
     /// Fetch a partition.
     Get {
         /// Partition key.
+        key: PartKey,
+    },
+    /// Fetch a **parity** partition (a [`PartKey::parity`] key) during
+    /// corruption-to-erasure recovery. Kept distinct from `Get` on the
+    /// wire so parity traffic is observable and ordinary reads can never
+    /// address a parity slot by accident.
+    GetParity {
+        /// Parity partition key ([`PARITY_BIT`] set).
         key: PartKey,
     },
     /// Fetch a byte sub-range of a partition (the online-adjustment path:
@@ -461,6 +510,18 @@ mod tests {
     }
 
     #[test]
+    fn parity_keys_are_marked_and_disjoint() {
+        let data = PartKey::new(7, 2);
+        let parity = PartKey::parity(7, 2);
+        assert!(!data.is_parity());
+        assert!(parity.is_parity());
+        assert_ne!(data, parity);
+        // Parity and staged markers occupy different bits.
+        assert_ne!(parity, data.staged());
+        assert!(parity.staged().is_parity());
+    }
+
+    #[test]
     fn error_display() {
         let e = StoreError::NotFound(PartKey::new(3, 1));
         assert!(e.to_string().contains("not found"));
@@ -473,6 +534,9 @@ mod tests {
             .contains("bad version"));
         assert!(StoreError::StaleEpoch(3).to_string().contains("worker 3"));
         assert!(StoreError::Degraded(5).to_string().contains("file 5"));
+        assert!(StoreError::Corrupt(PartKey::new(4, 2))
+            .to_string()
+            .contains("checksum"));
     }
 
     #[test]
@@ -484,6 +548,9 @@ mod tests {
         assert!(StoreError::Io(0).is_retryable());
         // A stale epoch resolves by refreshing the epoch table.
         assert!(StoreError::StaleEpoch(0).is_retryable());
+        // Corruption is an erasure: parity decode or heal can succeed.
+        assert!(StoreError::Corrupt(PartKey::new(1, 0)).is_retryable());
+        assert_eq!(StoreError::Corrupt(PartKey::new(1, 0)).endpoint(), None);
         // Metadata and protocol violations are permanent.
         assert!(!StoreError::UnknownFile(1).is_retryable());
         assert!(!StoreError::AlreadyExists(1).is_retryable());
@@ -523,6 +590,7 @@ mod tests {
         assert!(Request::Shutdown.is_control());
         assert!(Request::SetEpoch(3).is_control());
         assert!(!Request::Get { key: PartKey::new(1, 0) }.is_control());
+        assert!(!Request::GetParity { key: PartKey::parity(1, 0) }.is_control());
         assert!(!Request::Delete { key: PartKey::new(1, 0) }.is_control());
         // A fence around a data request stays data-plane.
         assert!(!Request::Get { key: PartKey::new(1, 0) }.fenced(2).is_control());

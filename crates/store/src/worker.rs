@@ -37,7 +37,7 @@ use spcache_sim::Xoshiro256StarStar;
 use spcache_workload::StragglerModel;
 
 use crate::backing::UnderStore;
-use crate::fault::{FaultAction, FaultLog, WorkerScript};
+use crate::fault::{CorruptSite, FaultAction, FaultLog, WorkerScript};
 use crate::rpc::{Envelope, PartKey, Reply, Request, StoreError, WorkerStats, STAGE_BIT};
 use crate::throttle::{NicScheduler, TrafficClass};
 
@@ -133,6 +133,16 @@ pub struct WorkerOptions {
     /// what keeps a throttled push from outliving the executor
     /// deadline. `None` = uncapped.
     pub max_transfer_wait: Option<Duration>,
+    /// Verify resident partitions against their stored checksum on the
+    /// read path (DESIGN.md §4.15). Verification is per **byte
+    /// movement**, not per request: the first `Get`/`GetRange` after a
+    /// partition lands, moves or rots pays the checksum pass; later
+    /// reads of the untouched bytes skip it. Spill reloads are verified
+    /// regardless of this flag.
+    pub verify_reads: bool,
+    /// Print a `CORRUPT <file> <partition>` line on each checksum
+    /// failure — the `spcached` deployment behaviour.
+    pub log_corruptions: bool,
 }
 
 impl WorkerOptions {
@@ -150,6 +160,8 @@ impl WorkerOptions {
             memory_budget: None,
             spill: None,
             max_transfer_wait: None,
+            verify_reads: false,
+            log_corruptions: false,
         }
     }
 
@@ -187,6 +199,18 @@ impl WorkerOptions {
     /// Caps every emulated transfer's wait.
     pub fn with_max_transfer_wait(mut self, cap: Option<Duration>) -> Self {
         self.max_transfer_wait = cap;
+        self
+    }
+
+    /// Enables checksum verification on the read path.
+    pub fn with_verify_reads(mut self, verify: bool) -> Self {
+        self.verify_reads = verify;
+        self
+    }
+
+    /// Enables `CORRUPT` log lines on checksum failures.
+    pub fn with_corruption_log(mut self, log: bool) -> Self {
+        self.log_corruptions = log;
         self
     }
 }
@@ -280,6 +304,8 @@ fn worker_loop(opts: WorkerOptions, rx: Receiver<Envelope>) {
         memory_budget,
         spill,
         max_transfer_wait,
+        verify_reads,
+        log_corruptions,
     } = opts;
     let mut ctx = ServeCtx {
         id,
@@ -296,6 +322,12 @@ fn worker_loop(opts: WorkerOptions, rx: Receiver<Envelope>) {
         max_transfer_wait,
         evicted: Vec::new(),
         clean: HashSet::new(),
+        verify_reads,
+        log_corruptions,
+        sums: HashMap::new(),
+        corrupted: HashSet::new(),
+        verified: HashSet::new(),
+        wire_corrupt: Vec::new(),
     };
     // Data-path op counter: faults trigger on this index. Control
     // requests (Stats, Ping, SetEpoch, Shutdown) do not advance it, so
@@ -406,12 +438,26 @@ fn worker_loop(opts: WorkerOptions, rx: Receiver<Envelope>) {
                     ctx.store.clear();
                     ctx.lru.clear();
                     ctx.clean.clear();
+                    // The in-memory checksum map dies with the process;
+                    // surviving spilled partitions reload unverified (the
+                    // client still checks them against the master's rows).
+                    ctx.sums.clear();
+                    ctx.corrupted.clear();
+                    ctx.verified.clear();
+                    ctx.wire_corrupt.clear();
                     ctx.stats.resident_parts = 0;
                     ctx.stats.resident_bytes = 0;
                     epoch = 0;
                     master_known = 0;
                 }
                 FaultAction::StaleEpochDelivery => bounce_stale = true,
+                // Flip one byte of the partition at the scripted site.
+                // The worker mutates its *own copies* on both transports,
+                // which is what keeps seeded fault logs identical across
+                // channel and TCP runs.
+                FaultAction::CorruptPartition { key, site, byte } => {
+                    ctx.corrupt(key, site, byte)
+                }
                 // Heartbeat faults never appear in op-indexed scripts
                 // (FaultPlan::script_for filters them out).
                 FaultAction::DropHeartbeat => {}
@@ -491,39 +537,80 @@ struct ServeCtx {
     /// identical spill entry; every path that mutates either side
     /// (`Put`, `Rename`, `Delete`, crash-restart) clears the flag.
     clean: HashSet<PartKey>,
+    /// Re-verify resident bytes on every read (spill reloads are always
+    /// verified regardless — see [`ServeCtx::reload`]).
+    verify_reads: bool,
+    /// Print `CORRUPT <file> <partition>` on each detection.
+    log_corruptions: bool,
+    /// Checksum per partition, as stamped by the writer's `Put`.
+    /// Partitions written with the [`spcache_integrity::UNVERIFIED`]
+    /// sentinel have no entry and always pass verification.
+    sums: HashMap<PartKey, u64>,
+    /// Keys erased after a failed verification. A fresh `Put` landing on
+    /// one of these is a reconstruction re-landing (read-repair
+    /// push-back) and counts into `decode_reconstructions`.
+    corrupted: HashSet<PartKey>,
+    /// Resident partitions whose bytes passed verification and have not
+    /// moved since. Verification is **per byte movement**, not per
+    /// `Get`: the first read after a `Put`, reload or rename pays the
+    /// checksum pass, and later reads of the untouched bytes are free —
+    /// this is what keeps `verify_reads` within the §4.15 overhead
+    /// budget. Every path that replaces or rots the bytes (`Put`,
+    /// `Rename`, `Delete`, scripted flips, crash-restart) drops the
+    /// mark.
+    verified: HashSet<PartKey>,
+    /// Pending wire-site flips: the next read reply carrying the key
+    /// serves a flipped *copy* — the stored bytes stay pristine, exactly
+    /// like a frame corrupted in flight.
+    wire_corrupt: Vec<(PartKey, u64)>,
 }
 
 impl ServeCtx {
     /// Serves one data-path request under the given traffic class.
     fn serve(&mut self, req: Request, class: TrafficClass) -> Reply {
         match req {
-            Request::Put { key, data } => {
+            Request::Put { key, data, sum } => {
                 if let Err(refused) = self.transfer(data.len(), class) {
                     return refused;
                 }
                 self.stats.bytes_stored += data.len() as u64;
                 self.stats.puts += 1;
+                if key.is_parity() {
+                    self.stats.parity_bytes += data.len() as u64;
+                }
+                if self.corrupted.remove(&key) {
+                    // A fresh Put landing on a corruption-erased key is
+                    // a reconstruction re-landing (read-repair).
+                    self.stats.decode_reconstructions += 1;
+                }
+                if sum == spcache_integrity::UNVERIFIED {
+                    self.sums.remove(&key);
+                } else {
+                    self.sums.insert(key, sum);
+                }
+                // Fresh bytes are unproven: the next read verifies them.
+                self.verified.remove(&key);
                 self.admit(key, data);
                 self.stats.resident_parts = self.store.len();
                 Reply::Done
             }
-            Request::Get { key } => {
+            Request::Get { key } | Request::GetParity { key } => {
                 self.stats.gets += 1;
                 let data = match self.resident(key) {
-                    Some(d) => d,
-                    None => return Reply::Err(StoreError::NotFound(key)),
+                    Ok(d) => d,
+                    Err(e) => return Reply::Err(e),
                 };
                 if let Err(refused) = self.paced_read(data.len(), class) {
                     return refused;
                 }
                 self.stats.bytes_served += data.len() as u64;
-                Reply::Data(data)
+                Reply::Data(self.outgoing(key, data))
             }
             Request::GetRange { key, offset, len } => {
                 self.stats.gets += 1;
                 let data = match self.resident(key) {
-                    Some(d) => d,
-                    None => return Reply::Err(StoreError::NotFound(key)),
+                    Ok(d) => d,
+                    Err(e) => return Reply::Err(e),
                 };
                 let start = (offset as usize).min(data.len());
                 let end = (start + len as usize).min(data.len());
@@ -532,7 +619,7 @@ impl ServeCtx {
                     return refused;
                 }
                 self.stats.bytes_served += slice.len() as u64;
-                Reply::Data(slice)
+                Reply::Data(self.outgoing(key, slice))
             }
             Request::Rename { from, to } => {
                 let moved = match self.store.remove(&from) {
@@ -562,6 +649,28 @@ impl ServeCtx {
                             .is_some_and(|s| s.spill_rename(from, to))
                     }
                 };
+                if moved {
+                    // The checksum (and any pending erasure mark) follow
+                    // the bytes; whatever `to` carried before is stale.
+                    match self.sums.remove(&from) {
+                        Some(sum) => {
+                            self.sums.insert(to, sum);
+                        }
+                        None => {
+                            self.sums.remove(&to);
+                        }
+                    }
+                    if self.corrupted.remove(&from) {
+                        self.corrupted.insert(to);
+                    } else {
+                        self.corrupted.remove(&to);
+                    }
+                    if self.verified.remove(&from) {
+                        self.verified.insert(to);
+                    } else {
+                        self.verified.remove(&to);
+                    }
+                }
                 self.stats.resident_parts = self.store.len();
                 Reply::Flag(moved)
             }
@@ -569,6 +678,9 @@ impl ServeCtx {
                 let mut removed = self.store.remove(&key).is_some();
                 self.lru.remove(&key);
                 self.clean.remove(&key);
+                self.sums.remove(&key);
+                self.corrupted.remove(&key);
+                self.verified.remove(&key);
                 if let Some(s) = &self.spill {
                     removed |= s.spill_remove(key);
                 }
@@ -590,14 +702,116 @@ impl ServeCtx {
     }
 
     /// The partition's bytes if resident — reloading it from the spill
-    /// tier first when it was evicted there.
-    fn resident(&mut self, key: PartKey) -> Option<Bytes> {
+    /// tier first when it was evicted there. A checksum mismatch
+    /// surfaces as [`StoreError::Corrupt`] with every local copy
+    /// dropped: corruption becomes an *erasure* the client recovers
+    /// from (parity decode or under-store heal), never wrong bytes.
+    ///
+    /// Verification is memoised per byte movement (see
+    /// [`ServeCtx::verified`]): only the first read after the bytes
+    /// landed, moved or rotted pays the checksum pass.
+    fn resident(&mut self, key: PartKey) -> Result<Bytes, StoreError> {
         if let Some(data) = self.store.get(&key) {
             let data = data.clone();
             self.lru.touch(&key);
-            return Some(data);
+            if self.verify_reads && !self.verified.contains(&key) {
+                if !spcache_integrity::verify(&data, self.sum_of(key)) {
+                    return Err(self.erase_corrupt(key));
+                }
+                self.verified.insert(key);
+            }
+            return Ok(data);
         }
         self.reload(key)
+    }
+
+    /// The remembered checksum for `key` (`UNVERIFIED` when the writer
+    /// did not stamp one — then verification always passes).
+    fn sum_of(&self, key: PartKey) -> u64 {
+        self.sums
+            .get(&key)
+            .copied()
+            .unwrap_or(spcache_integrity::UNVERIFIED)
+    }
+
+    /// The error for a partition with no local copy left. A key erased
+    /// by a failed verification stays a typed [`StoreError::Corrupt`]
+    /// erasure until a fresh `Put` re-lands it — readers racing the
+    /// read-repair push-back must keep seeing the erasure (and keep
+    /// recovering via parity), not a `NotFound` that looks like a
+    /// deleted file.
+    fn missing(&self, key: PartKey) -> StoreError {
+        if self.corrupted.contains(&key) {
+            StoreError::Corrupt(key)
+        } else {
+            StoreError::NotFound(key)
+        }
+    }
+
+    /// Drops every local copy of a corrupt partition, counts the
+    /// detection and returns the typed erasure error.
+    fn erase_corrupt(&mut self, key: PartKey) -> StoreError {
+        self.store.remove(&key);
+        self.lru.remove(&key);
+        self.clean.remove(&key);
+        if let Some(s) = &self.spill {
+            s.spill_remove(key);
+        }
+        self.stats.resident_parts = self.store.len();
+        self.stats.corruptions_detected += 1;
+        self.corrupted.insert(key);
+        self.verified.remove(&key);
+        if self.log_corruptions {
+            println!("CORRUPT {} {}", key.file, key.part);
+        }
+        StoreError::Corrupt(key)
+    }
+
+    /// Applies a pending wire-site flip to the outgoing reply, if one is
+    /// scripted for this key. Always flips a *copy*: the stored `Bytes`
+    /// may share the writer's (or a test's ground-truth) allocation.
+    fn outgoing(&mut self, key: PartKey, data: Bytes) -> Bytes {
+        if let Some(pos) = self.wire_corrupt.iter().position(|(k, _)| *k == key) {
+            let (_, byte) = self.wire_corrupt.swap_remove(pos);
+            return flipped(&data, byte);
+        }
+        data
+    }
+
+    /// Lands one scripted [`FaultAction::CorruptPartition`].
+    fn corrupt(&mut self, key: PartKey, site: CorruptSite, byte: u64) {
+        match site {
+            CorruptSite::Wire => self.wire_corrupt.push((key, byte)),
+            CorruptSite::Spill => {
+                // Flip the spill-area copy in place; the resident copy
+                // (if any) stays honest, so the flip only surfaces once
+                // the partition must be reloaded. Falls back to the
+                // resident site when the partition never spilled.
+                if let Some(s) = self.spill.clone() {
+                    if let Some(data) = s.spill_load(key) {
+                        s.spill_put(key, flipped(&data, byte));
+                        return;
+                    }
+                }
+                self.corrupt_resident(key, byte);
+            }
+            CorruptSite::Resident => self.corrupt_resident(key, byte),
+        }
+    }
+
+    fn corrupt_resident(&mut self, key: PartKey, byte: u64) {
+        if let Some(data) = self.store.get(&key) {
+            let bad = flipped(data, byte);
+            self.store.insert(key, bad);
+            // A clean spill copy no longer matches the resident bytes:
+            // drop the flag so eviction writes the corruption back
+            // instead of free-dropping it out of existence.
+            self.clean.remove(&key);
+            // The flip replaced the resident `Bytes`, so the memoised
+            // verification no longer covers what's stored — the next
+            // read re-verifies and detects.
+            self.verified.remove(&key);
+        }
     }
 
     /// Makes `key` resident under the budget, evicting as needed:
@@ -666,14 +880,28 @@ impl ServeCtx {
     /// and returns its bytes. The spill copy stays where it is and the
     /// partition is marked clean: until something overwrites it, its
     /// next eviction is a free drop instead of a redundant writeback.
-    fn reload(&mut self, key: PartKey) -> Option<Bytes> {
-        let spill = self.spill.clone()?;
-        let data = spill.spill_load(key)?;
+    ///
+    /// Reloaded bytes are **always** verified when the checksum is
+    /// known, independent of `verify_reads`: the spill tier sits outside
+    /// this process and its bytes must never be re-admitted on trust —
+    /// a corrupt spill file is erased and healed, not served.
+    fn reload(&mut self, key: PartKey) -> Result<Bytes, StoreError> {
+        let Some(spill) = self.spill.clone() else {
+            return Err(self.missing(key));
+        };
+        let Some(data) = spill.spill_load(key) else {
+            return Err(self.missing(key));
+        };
+        if !spcache_integrity::verify(&data, self.sum_of(key)) {
+            return Err(self.erase_corrupt(key));
+        }
         self.nic.consume(data.len(), TrafficClass::Background);
         self.stats.reloaded_bytes += data.len() as u64;
         self.clean.insert(key);
+        // The reload *is* this movement's verification pass.
+        self.verified.insert(key);
         self.admit_inner(key, data.clone());
-        Some(data)
+        Ok(data)
     }
 
     /// Pays the NIC for a transfer, refusing with
@@ -708,6 +936,18 @@ impl ServeCtx {
     }
 }
 
+/// A copy of `data` with the byte at `index % len` inverted. The copy is
+/// mandatory: stored `Bytes` may alias the writer's allocation, and a
+/// seeded fault must never mutate the test's ground truth in place.
+fn flipped(data: &Bytes, index: u64) -> Bytes {
+    let mut v = data.to_vec();
+    if !v.is_empty() {
+        let i = (index % v.len() as u64) as usize;
+        v[i] ^= 0xFF;
+    }
+    Bytes::from(v)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -724,6 +964,21 @@ mod tests {
             Request::Put {
                 key,
                 data: Bytes::copy_from_slice(data),
+                sum: 0,
+            },
+        )
+        .unit()
+        .unwrap();
+    }
+
+    /// A `put` stamped with the real checksum, as the client writes.
+    fn put_summed(h: &WorkerHandle, key: PartKey, data: &[u8]) {
+        call(
+            h,
+            Request::Put {
+                key,
+                data: Bytes::copy_from_slice(data),
+                sum: spcache_integrity::sum(data),
             },
         )
         .unit()
@@ -1205,6 +1460,7 @@ mod tests {
             Request::Put {
                 key: PartKey::new(1, 0),
                 data: Bytes::from(vec![0u8; 1_000_000]),
+                sum: 0,
             }
             .background(),
         )
@@ -1234,6 +1490,7 @@ mod tests {
             Request::Put {
                 key: PartKey::new(1, 0),
                 data: Bytes::from(vec![0u8; 1_000_000]),
+                sum: 0,
             },
         );
         assert_eq!(reply, Reply::Err(StoreError::Timeout(4)));
@@ -1245,5 +1502,126 @@ mod tests {
         // transfers still flow.
         put(&h, PartKey::new(1, 1), &[0u8; 10_000]);
         assert_eq!(get(&h, PartKey::new(1, 1)).unwrap().len(), 10_000);
+    }
+
+    #[test]
+    fn verified_get_converts_a_bitflip_into_an_erasure() {
+        use crate::fault::{CorruptSite, FaultPlan};
+        let key = PartKey::new(7, 0);
+        let plan = FaultPlan::none().corrupt(0, 1, key, CorruptSite::Resident, 3);
+        let log = Arc::new(FaultLog::new());
+        let h = spawn_worker_opts(
+            WorkerOptions::new(0, f64::INFINITY, StragglerModel::none(), 1)
+                .with_scripts(plan.script_for(0), WorkerScript::empty(), Arc::clone(&log))
+                .with_verify_reads(true),
+        );
+        let truth = [5u8; 256];
+        put_summed(&h, key, &truth); // op 0
+        // Op 1 flips a resident byte before serving: the read must come
+        // back as a typed erasure, never as wrong bytes.
+        assert_eq!(get(&h, key), Err(StoreError::Corrupt(key)));
+        // Every local copy was dropped with the detection, and the key
+        // keeps reading as a typed erasure (not NotFound) until fresh
+        // bytes re-land — readers racing the repair still see Corrupt.
+        assert_eq!(get(&h, key), Err(StoreError::Corrupt(key)));
+        let s = h.stats().unwrap();
+        assert_eq!(s.corruptions_detected, 1);
+        assert_eq!(s.decode_reconstructions, 0);
+        // A reconstruction re-landing on the erased key counts, and the
+        // key serves clean again.
+        put_summed(&h, key, &truth);
+        assert_eq!(get(&h, key).unwrap().as_ref(), &truth[..]);
+        let s = h.stats().unwrap();
+        assert_eq!(s.decode_reconstructions, 1);
+        assert_eq!(s.corruptions_detected, 1);
+    }
+
+    #[test]
+    fn spill_reload_verifies_even_without_verify_reads() {
+        use crate::fault::{CorruptSite, FaultPlan};
+        // The reload path must never trust under-store bytes
+        // unconditionally — verification there is NOT gated on the
+        // verify_reads knob.
+        let key = PartKey::new(1, 0);
+        let plan = FaultPlan::none().corrupt(0, 3, key, CorruptSite::Spill, 10);
+        let log = Arc::new(FaultLog::new());
+        let h = spawn_worker_opts(
+            WorkerOptions::new(0, f64::INFINITY, StragglerModel::none(), 1)
+                .with_scripts(plan.script_for(0), WorkerScript::empty(), Arc::clone(&log))
+                .with_memory_budget(Some(100)),
+        );
+        put_summed(&h, key, &[1u8; 50]); // op 0
+        put_summed(&h, PartKey::new(1, 1), &[2u8; 50]); // op 1
+        put_summed(&h, PartKey::new(1, 2), &[3u8; 50]); // op 2: evicts key
+        assert_eq!(h.stats().unwrap().evictions, 1);
+        // Op 3 rots the spilled copy, then the read reloads it: the
+        // mismatch erases the partition instead of re-admitting it.
+        assert_eq!(get(&h, key), Err(StoreError::Corrupt(key)));
+        let s = h.stats().unwrap();
+        assert_eq!(s.corruptions_detected, 1);
+        // The erasure mark outlives the dropped copies.
+        assert_eq!(get(&h, key), Err(StoreError::Corrupt(key)));
+    }
+
+    #[test]
+    fn wire_corruption_flips_the_reply_copy_not_the_store() {
+        use crate::fault::{CorruptSite, FaultPlan};
+        let key = PartKey::new(2, 0);
+        let plan = FaultPlan::none().corrupt(0, 1, key, CorruptSite::Wire, 4);
+        let log = Arc::new(FaultLog::new());
+        let h = spawn_worker_opts(
+            WorkerOptions::new(0, f64::INFINITY, StragglerModel::none(), 1)
+                .with_scripts(plan.script_for(0), WorkerScript::empty(), Arc::clone(&log))
+                .with_verify_reads(true),
+        );
+        let truth = [9u8; 64];
+        put_summed(&h, key, &truth); // op 0
+        // Op 1: the worker's own verification passes (the store is
+        // clean), but the reply leaves with byte 4 inverted — only the
+        // client-side checksum can catch this flavour.
+        let got = get(&h, key).unwrap();
+        let mut expect = truth;
+        expect[4] ^= 0xFF;
+        assert_eq!(got.as_ref(), &expect[..]);
+        // The stored bytes were never touched: the next read is clean
+        // and nothing was counted as a local detection.
+        assert_eq!(get(&h, key).unwrap().as_ref(), &truth[..]);
+        assert_eq!(h.stats().unwrap().corruptions_detected, 0);
+    }
+
+    #[test]
+    fn parity_puts_count_parity_bytes_and_serve_via_get_parity() {
+        let h = spawn_worker(0, f64::INFINITY, StragglerModel::none(), 1);
+        let pkey = PartKey::parity(3, 0);
+        put_summed(&h, pkey, &[8u8; 200]);
+        put_summed(&h, PartKey::new(3, 0), &[1u8; 100]);
+        let s = h.stats().unwrap();
+        assert_eq!(s.parity_bytes, 200, "only the parity put counts");
+        assert_eq!(s.bytes_stored, 300);
+        let got = call(&h, Request::GetParity { key: pkey }).bytes().unwrap();
+        assert_eq!(got.as_ref(), &[8u8; 200]);
+    }
+
+    #[test]
+    fn unverified_puts_clear_a_stale_checksum() {
+        use crate::fault::{CorruptSite, FaultPlan};
+        // A maintenance rewrite (sum: 0) over a partition that carried a
+        // checksum must drop the old sum — otherwise the fresh bytes
+        // would fail verification against the stale one.
+        let key = PartKey::new(4, 0);
+        let plan = FaultPlan::none().corrupt(0, 2, key, CorruptSite::Resident, 0);
+        let log = Arc::new(FaultLog::new());
+        let h = spawn_worker_opts(
+            WorkerOptions::new(0, f64::INFINITY, StragglerModel::none(), 1)
+                .with_scripts(plan.script_for(0), WorkerScript::empty(), Arc::clone(&log))
+                .with_verify_reads(true),
+        );
+        put_summed(&h, key, b"checksummed"); // op 0
+        put(&h, key, b"maintenance rewrite"); // op 1: sum 0 clears it
+        // Op 2 corrupts the resident copy, but with no checksum on file
+        // the worker cannot tell — unverified partitions pass through.
+        let got = get(&h, key).unwrap();
+        assert_ne!(got.as_ref(), b"maintenance rewrite");
+        assert_eq!(h.stats().unwrap().corruptions_detected, 0);
     }
 }
